@@ -1,0 +1,35 @@
+// Shared helpers for the benchmark harnesses: each bench binary regenerates
+// one table or figure of the paper (see DESIGN.md's per-experiment index)
+// and prints the corresponding rows.
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/support/metrics.h"
+
+namespace gerenuk {
+namespace bench {
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n==== %s ====\n", title);
+}
+
+// One stacked-bar row of Figure 6: per-phase milliseconds.
+inline void PrintPhaseRow(const std::string& label, const PhaseTimes& times) {
+  std::printf("%-26s total=%8.1fms  compute=%8.1f  gc=%7.1f  ser=%7.1f  deser=%7.1f\n",
+              label.c_str(), times.TotalMillis(), times.Millis(Phase::kCompute),
+              times.Millis(Phase::kGc), times.Millis(Phase::kSerialize),
+              times.Millis(Phase::kDeserialize));
+}
+
+inline void PrintSpeedup(const char* label, double baseline_ms, double gerenuk_ms) {
+  std::printf("%-26s speedup = %.2fx (baseline %.1fms / gerenuk %.1fms)\n", label,
+              baseline_ms / gerenuk_ms, baseline_ms, gerenuk_ms);
+}
+
+}  // namespace bench
+}  // namespace gerenuk
+
+#endif  // BENCH_BENCH_COMMON_H_

@@ -1,0 +1,113 @@
+// Figure 6(a) + Tables 1 & 3 (Spark rows): end-to-end runtime of the five
+// Spark programs under the unmodified engine vs the Gerenuk-transformed
+// engine, across three executor heap sizes, with the per-phase breakdown
+// (computation / GC / serialization / deserialization) of the stacked bars.
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/workloads/spark_workloads.h"
+
+namespace gerenuk {
+namespace {
+
+struct ProgramSpec {
+  const char* name;
+  const char* dataset;
+  const char* data_type;
+};
+
+struct RunRow {
+  PhaseTimes times;
+  int64_t peak_bytes = 0;
+  double checksum = 0.0;
+};
+
+RunRow RunOne(const char* name, EngineMode mode, size_t heap_bytes) {
+  SparkConfig config;
+  config.mode = mode;
+  config.heap_bytes = heap_bytes;
+  config.num_partitions = 4;
+  SparkEngine engine(config);
+  SparkWorkloads workloads(engine);
+
+  WorkloadResult result;
+  std::string program(name);
+  if (program == "PR") {
+    result = workloads.RunPageRank(MakePowerLawGraph(4000, 20000, 11), 8);
+  } else if (program == "KM") {
+    result = workloads.RunKMeans(MakeClusteredPoints(6000, 10, 5, 22), 5, 5);
+  } else if (program == "LR") {
+    result = workloads.RunLogisticRegression(MakeLabeledPoints(6000, 10, 33), 5, 0.5);
+  } else if (program == "CS") {
+    result = workloads.RunChiSquareSelector(MakeLabeledPoints(20000, 12, 44));
+  } else {
+    result = workloads.RunGradientBoosting(MakeLabeledPoints(4000, 8, 55), 5, 0.3);
+  }
+  RunRow row;
+  row.times = engine.stats().times;
+  row.peak_bytes = engine.peak_memory_bytes();
+  row.checksum = result.checksum;
+  return row;
+}
+
+void Run() {
+  bench::PrintHeader("Table 1: Spark programs");
+  const ProgramSpec programs[] = {
+      {"PR", "synthetic power-law graph (4k vertices / 20k edges)", "VertexLinks, Rank"},
+      {"KM", "synthetic 6k points, 10 features", "Point (DenseVector)"},
+      {"LR", "synthetic 6k points, 10 features", "LabeledPoint, DenseVector"},
+      {"CS", "synthetic 20k points, 12 features", "LabeledPoint, SparseVector"},
+      {"GB", "synthetic 4k points, 8 features", "LabeledPoint, DenseVector"},
+  };
+  for (const ProgramSpec& spec : programs) {
+    std::printf("%-3s %-52s %s\n", spec.name, spec.dataset, spec.data_type);
+  }
+
+  bench::PrintHeader("Figure 6(a): Spark runtime breakdown, baseline vs Gerenuk");
+  // Three per-executor heap sizes (the paper's 10/15/20 GB, scaled to the
+  // simulator's working sets).
+  const size_t heaps[] = {24u << 20, 36u << 20, 48u << 20};
+  const char* heap_names[] = {"small", "medium", "large"};
+  double geo_speedup = 1.0;
+  double geo_gc = 1.0;
+  int gc_samples = 0;
+  double geo_app = 1.0;
+  int samples = 0;
+  for (int h = 0; h < 3; ++h) {
+    std::printf("-- heap: %s (%zu MB) --\n", heap_names[h], heaps[h] >> 20);
+    for (const ProgramSpec& spec : programs) {
+      RunRow baseline = RunOne(spec.name, EngineMode::kBaseline, heaps[h]);
+      RunRow gerenuk = RunOne(spec.name, EngineMode::kGerenuk, heaps[h]);
+      GERENUK_CHECK(std::abs(baseline.checksum - gerenuk.checksum) <=
+                    1e-6 * (std::abs(baseline.checksum) + 1.0))
+          << spec.name << ": transformed result diverged";
+      bench::PrintPhaseRow(std::string(spec.name) + " baseline", baseline.times);
+      bench::PrintPhaseRow(std::string(spec.name) + " Gerenuk", gerenuk.times);
+      bench::PrintSpeedup(spec.name, baseline.times.TotalMillis(),
+                          gerenuk.times.TotalMillis());
+      geo_speedup *= baseline.times.TotalMillis() / gerenuk.times.TotalMillis();
+      geo_app *= (gerenuk.times.Millis(Phase::kCompute) + 0.001) /
+                 (baseline.times.Millis(Phase::kCompute) + 0.001);
+      if (baseline.times.Get(Phase::kGc) > 0) {
+        geo_gc *= (gerenuk.times.Millis(Phase::kGc) + 0.001) /
+                  (baseline.times.Millis(Phase::kGc) + 0.001);
+        gc_samples += 1;
+      }
+      samples += 1;
+    }
+  }
+  bench::PrintHeader("Table 3 (Spark row): Gerenuk normalized to baseline, geo-mean");
+  std::printf("Overall: %.2f   App(non-GC): %.2f   GC: %.2f\n",
+              1.0 / std::pow(geo_speedup, 1.0 / samples),
+              std::pow(geo_app, 1.0 / samples),
+              gc_samples > 0 ? std::pow(geo_gc, 1.0 / gc_samples) : 1.0);
+  std::printf("(paper: Overall 0.51, App 0.50, GC 0.63 — lower is better)\n");
+}
+
+}  // namespace
+}  // namespace gerenuk
+
+int main() {
+  gerenuk::Run();
+  return 0;
+}

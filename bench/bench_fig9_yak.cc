@@ -1,0 +1,84 @@
+// Figure 9: the Hadoop IMC program under three memory managers —
+// Parallel-Scavenge (our generational collector), Yak (the region collector
+// with per-task epochs), and Gerenuk (transformed, native buffers) — across
+// two heap configurations. The paper's ordering: Gerenuk < Yak < PS in GC
+// time, and Gerenuk fastest end-to-end because it also removes the
+// computation and ser/deser costs Yak cannot touch.
+#include "bench/bench_common.h"
+#include "src/workloads/hadoop_workloads.h"
+
+namespace gerenuk {
+namespace {
+
+struct Row {
+  PhaseTimes times;
+  HeapStats heap;
+  int64_t barrier_stores = 0;
+};
+
+Row RunImc(const char* system, size_t heap_bytes, const std::vector<std::string>& lines) {
+  HadoopConfig config;
+  config.heap_bytes = heap_bytes;
+  config.num_map_tasks = 4;
+  config.num_reducers = 2;
+  config.sort_buffer_bytes = 256 << 10;
+  std::string name(system);
+  if (name == "PS") {
+    config.mode = EngineMode::kBaseline;
+    config.gc = GcKind::kGenerational;
+  } else if (name == "Yak") {
+    config.mode = EngineMode::kBaseline;
+    config.gc = GcKind::kRegion;
+    config.yak_epochs = true;
+  } else {
+    config.mode = EngineMode::kGerenuk;
+    config.gc = GcKind::kGenerational;
+  }
+  HadoopEngine engine(config);
+  HadoopWorkloads workloads(engine);
+  DatasetPtr input = workloads.MakeTextInput(lines);
+  engine.heap().ResetStats();
+  workloads.RunImc(input);
+  Row row;
+  row.times = engine.stats().times;
+  row.heap = engine.heap().stats();
+  row.barrier_stores = engine.heap().stats().barrier_stores;
+  return row;
+}
+
+void Run() {
+  bench::PrintHeader("Figure 9: Hadoop IMC under Parallel-Scavenge vs Yak vs Gerenuk");
+  std::vector<std::string> lines = MakeTextLines(5000, 10, 600, 123);
+  const size_t heaps[] = {20u << 20, 32u << 20};
+  const char* heap_names[] = {"tight (20MB)", "roomy (32MB)"};
+  for (int h = 0; h < 2; ++h) {
+    std::printf("-- heap config: %s --\n", heap_names[h]);
+    Row rows[3];
+    const char* systems[] = {"PS", "Yak", "Gerenuk"};
+    for (int s = 0; s < 3; ++s) {
+      rows[s] = RunImc(systems[s], heaps[h], lines);
+      bench::PrintPhaseRow(systems[s], rows[s].times);
+      std::printf("    gc-pauses: minor=%lld major=%lld  barrier-stores=%lld\n",
+                  static_cast<long long>(rows[s].heap.minor_gcs),
+                  static_cast<long long>(rows[s].heap.major_gcs),
+                  static_cast<long long>(rows[s].barrier_stores));
+    }
+    double ps_gc = rows[0].times.Millis(Phase::kGc) + 0.001;
+    double yak_gc = rows[1].times.Millis(Phase::kGc) + 0.001;
+    double ger_gc = rows[2].times.Millis(Phase::kGc) + 0.001;
+    std::printf("GC time:    Gerenuk vs PS  %.1fx lower;  Gerenuk vs Yak %.1fx lower "
+                "(paper: 13.7x, 1.2x)\n",
+                ps_gc / ger_gc, yak_gc / ger_gc);
+    std::printf("end-to-end: Gerenuk %.2fx vs PS, %.2fx vs Yak (paper: 2.4x, 1.8x)\n",
+                rows[0].times.TotalMillis() / rows[2].times.TotalMillis(),
+                rows[1].times.TotalMillis() / rows[2].times.TotalMillis());
+  }
+}
+
+}  // namespace
+}  // namespace gerenuk
+
+int main() {
+  gerenuk::Run();
+  return 0;
+}

@@ -1,0 +1,196 @@
+// Micro-benchmarks (google-benchmark) for the mechanisms behind the
+// macro results — the ablation evidence for DESIGN.md's design choices:
+//   * Kryo-style serialization round trip vs the native byte copy that
+//     replaces it at shuffle boundaries,
+//   * constant vs symbolic (resolveOffset) native field reads,
+//   * record construction via heap objects vs record builders,
+//   * region (whole-buffer) release vs GC'd reclamation of task data.
+#include <benchmark/benchmark.h>
+
+#include "src/nativebuf/record_builder.h"
+#include "src/runtime/roots.h"
+#include "src/serde/heap_serializer.h"
+#include "src/serde/inline_serializer.h"
+
+namespace gerenuk {
+namespace {
+
+struct Fixture {
+  Heap heap;
+  KlassRegistry* reg;
+  const Klass* f64_array;
+  const Klass* dense_vector;
+  const Klass* labeled_point;
+  ExprPool pool;
+  DataStructAnalyzer layouts{pool};
+
+  Fixture() : heap(HeapConfig{64u << 20, GcKind::kGenerational, 0.55, 0.35, 2}) {
+    reg = &heap.klasses();
+    f64_array = reg->DefineArray(FieldKind::kF64);
+    dense_vector = reg->DefineClass("DenseVector",
+                                    {
+                                        {"numActives", FieldKind::kI32, nullptr, 0},
+                                        {"values", FieldKind::kRef, f64_array, 0},
+                                    });
+    labeled_point = reg->DefineClass("LabeledPoint",
+                                     {
+                                         {"label", FieldKind::kF64, nullptr, 0},
+                                         {"features", FieldKind::kRef, dense_vector, 0},
+                                     });
+    std::string error;
+    GERENUK_CHECK(layouts.AnalyzeTopLevel(labeled_point, &error)) << error;
+  }
+
+  // Builds one LabeledPoint with `dim` features and returns its rooted slot.
+  size_t BuildPoint(RootScope& scope, int dim) {
+    size_t arr = scope.Push(heap.AllocArray(f64_array, dim));
+    for (int d = 0; d < dim; ++d) {
+      heap.ASet<double>(scope.Get(arr), d, d * 0.5);
+    }
+    size_t vec = scope.Push(heap.AllocObject(dense_vector));
+    heap.SetPrim<int32_t>(scope.Get(vec), dense_vector->FindField("numActives")->offset, dim);
+    heap.SetRef(scope.Get(vec), dense_vector->FindField("values")->offset, scope.Get(arr));
+    size_t lp = scope.Push(heap.AllocObject(labeled_point));
+    heap.SetPrim<double>(scope.Get(lp), labeled_point->FindField("label")->offset, 1.0);
+    heap.SetRef(scope.Get(lp), labeled_point->FindField("features")->offset, scope.Get(vec));
+    return lp;
+  }
+};
+
+void BM_KryoRoundTrip(benchmark::State& state) {
+  Fixture fx;
+  RootScope scope(fx.heap);
+  size_t lp = fx.BuildPoint(scope, static_cast<int>(state.range(0)));
+  HeapSerializer serde(fx.heap);
+  for (auto _ : state) {
+    ByteBuffer wire;
+    serde.Serialize(scope.Get(lp), fx.labeled_point, wire);
+    ByteReader reader(wire.bytes());
+    RootScope inner(fx.heap);
+    inner.Push(serde.Deserialize(fx.labeled_point, reader));
+    benchmark::DoNotOptimize(wire.size());
+  }
+}
+BENCHMARK(BM_KryoRoundTrip)->Arg(10)->Arg(100);
+
+void BM_NativeShuffleCopy(benchmark::State& state) {
+  // What Gerenuk does at the same boundary: a byte copy of the inlined record.
+  Fixture fx;
+  RootScope scope(fx.heap);
+  size_t lp = fx.BuildPoint(scope, static_cast<int>(state.range(0)));
+  InlineSerializer serde(fx.heap);
+  ByteBuffer record;
+  serde.WriteRecord(scope.Get(lp), fx.labeled_point, record);
+  NativePartition input;
+  int64_t addr =
+      input.AppendRecord(record.data() + 4, static_cast<uint32_t>(record.size() - 4));
+  int64_t size = record.size() - 4;
+  NativePartition out;
+  for (auto _ : state) {
+    out.AppendRecord(reinterpret_cast<const uint8_t*>(addr), static_cast<uint32_t>(size));
+    benchmark::DoNotOptimize(out.record_count());
+    if (out.bytes_used() > (64 << 20)) {
+      out.Release();
+    }
+  }
+}
+BENCHMARK(BM_NativeShuffleCopy)->Arg(10)->Arg(100);
+
+void BM_ReadNativeConstantOffset(benchmark::State& state) {
+  Fixture fx;
+  RootScope scope(fx.heap);
+  size_t lp = fx.BuildPoint(scope, 10);
+  InlineSerializer serde(fx.heap);
+  ByteBuffer record;
+  serde.WriteRecord(scope.Get(lp), fx.labeled_point, record);
+  NativePartition input;
+  int64_t addr =
+      input.AppendRecord(record.data() + 4, static_cast<uint32_t>(record.size() - 4));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NativeReadFloat(addr, 0, FieldKind::kF64));  // label @ 0
+  }
+}
+BENCHMARK(BM_ReadNativeConstantOffset);
+
+void BM_ReadNativeSymbolicOffset(benchmark::State& state) {
+  // Reads through resolveOffset: the size expression of the whole record.
+  Fixture fx;
+  RootScope scope(fx.heap);
+  size_t lp = fx.BuildPoint(scope, 10);
+  InlineSerializer serde(fx.heap);
+  ByteBuffer record;
+  serde.WriteRecord(scope.Get(lp), fx.labeled_point, record);
+  NativePartition input;
+  int64_t addr =
+      input.AppendRecord(record.data() + 4, static_cast<uint32_t>(record.size() - 4));
+  int size_expr = fx.layouts.LayoutOf(fx.labeled_point)->size_expr;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ResolveOffset(fx.pool, size_expr, addr));
+  }
+}
+BENCHMARK(BM_ReadNativeSymbolicOffset);
+
+void BM_HeapRecordConstruction(benchmark::State& state) {
+  Fixture fx;
+  for (auto _ : state) {
+    RootScope scope(fx.heap);
+    fx.BuildPoint(scope, static_cast<int>(state.range(0)));
+  }
+}
+BENCHMARK(BM_HeapRecordConstruction)->Arg(10)->Arg(100);
+
+void BM_BuilderRecordConstruction(benchmark::State& state) {
+  Fixture fx;
+  BuilderStore builders(fx.layouts);
+  NativePartition out;
+  int dim = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    int64_t arr = builders.NewArray(fx.f64_array, dim);
+    for (int d = 0; d < dim; ++d) {
+      builders.ArrayStore(arr, d, FieldKind::kF64, 0, d * 0.5);
+    }
+    int64_t vec = builders.NewRecord(fx.dense_vector);
+    builders.WriteField(vec, 0, FieldKind::kI32, dim, 0);
+    builders.AttachField(vec, 1, arr);
+    int64_t lp = builders.NewRecord(fx.labeled_point);
+    builders.WriteField(lp, 0, FieldKind::kF64, 0, 1.0);
+    builders.AttachField(lp, 1, vec);
+    builders.Render(lp, fx.labeled_point, out);
+    builders.Clear();
+    if (out.bytes_used() > (32 << 20)) {
+      out.Release();
+    }
+  }
+}
+BENCHMARK(BM_BuilderRecordConstruction)->Arg(10)->Arg(100);
+
+void BM_RegionWholesaleRelease(benchmark::State& state) {
+  // Task-scoped region: one Release() regardless of record count.
+  for (auto _ : state) {
+    NativePartition region;
+    uint8_t payload[64] = {0};
+    for (int i = 0; i < 1000; ++i) {
+      region.AppendRecord(payload, sizeof(payload));
+    }
+    region.Release();
+  }
+}
+BENCHMARK(BM_RegionWholesaleRelease);
+
+void BM_GcReclaimTaskData(benchmark::State& state) {
+  // The same churn through the managed heap: the collector must trace and
+  // copy survivors to reclaim anything.
+  Fixture fx;
+  for (auto _ : state) {
+    RootScope scope(fx.heap);
+    for (int i = 0; i < 1000; ++i) {
+      fx.BuildPoint(scope, 4);
+    }
+  }
+}
+BENCHMARK(BM_GcReclaimTaskData);
+
+}  // namespace
+}  // namespace gerenuk
+
+BENCHMARK_MAIN();

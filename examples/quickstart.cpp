@@ -1,0 +1,78 @@
+// Quickstart: the whole Gerenuk pipeline on a ten-line program.
+//
+// We declare a user data type (Measurement), author a map UDF in the IR
+// (celsius -> fahrenheit), and run it over a dataset twice: once on the
+// unmodified baseline engine (heap objects, Kryo shuffles) and once on the
+// Gerenuk-transformed engine (inlined native bytes, speculative execution).
+// Both runs must agree; the Gerenuk run reports zero serialization and zero
+// data-object allocation.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/core/gerenuk.h"
+
+using namespace gerenuk;
+
+int main() {
+  for (EngineMode mode : {EngineMode::kBaseline, EngineMode::kGerenuk}) {
+    SparkConfig config;
+    config.mode = mode;
+    config.heap_bytes = 32u << 20;
+    config.num_partitions = 2;
+    SparkEngine engine(config);
+
+    // 1. Declare the data type and register it (the paper's §3.1 annotation).
+    const Klass* measurement = engine.heap().klasses().DefineClass(
+        "Measurement", {
+                           {"sensor", FieldKind::kI64, nullptr, 0},
+                           {"celsius", FieldKind::kF64, nullptr, 0},
+                       });
+    engine.RegisterDataType(measurement);
+
+    // 2. Author the UDF in the IR (what Java/Scala source is to the real
+    //    Gerenuk): out = new Measurement(sensor, celsius * 9/5 + 32).
+    SerProgram udfs;
+    Function* to_fahrenheit = udfs.AddFunction("to_fahrenheit");
+    {
+      FunctionBuilder b(to_fahrenheit);
+      int rec = b.Param("m", IrType::Ref(measurement));
+      to_fahrenheit->return_type = IrType::Ref(measurement);
+      int out = b.NewObject(measurement);
+      b.FieldStore(out, measurement, "sensor", b.FieldLoad(rec, measurement, "sensor"));
+      int scaled = b.BinOp(BinOpKind::kMul, b.FieldLoad(rec, measurement, "celsius"),
+                           b.ConstF(9.0 / 5.0));
+      b.FieldStore(out, measurement, "celsius",
+                   b.BinOp(BinOpKind::kAdd, scaled, b.ConstF(32.0)));
+      b.Return(out);
+      b.Done();
+    }
+
+    // 3. Build a source dataset and run the stage.
+    DatasetPtr input = engine.Source(measurement, 10000, [&](int64_t i, RootScope&) {
+      ObjRef rec = engine.heap().AllocObject(measurement);
+      engine.heap().SetPrim<int64_t>(rec, measurement->FindField("sensor")->offset, i % 16);
+      engine.heap().SetPrim<double>(rec, measurement->FindField("celsius")->offset,
+                                    20.0 + (i % 7));
+      return rec;
+    });
+    engine.ResetMetrics();
+    DatasetPtr output =
+        engine.RunStage(input, udfs, {NarrowOp::Map(to_fahrenheit, measurement)});
+
+    // 4. Inspect results and runtime behavior.
+    RootScope scope(engine.heap());
+    std::vector<size_t> slots = engine.CollectToHeap(output, scope);
+    double first = engine.heap().GetPrim<double>(scope.Get(slots[0]),
+                                                 measurement->FindField("celsius")->offset);
+    const EngineStats& stats = engine.stats();
+    std::printf("%s: %zu records, first=%.1fF, compute=%.1fms ser=%.1fms deser=%.1fms, "
+                "stmts transformed=%d, aborts=%d\n",
+                mode == EngineMode::kBaseline ? "baseline" : "gerenuk ", slots.size(), first,
+                stats.times.Millis(Phase::kCompute), stats.times.Millis(Phase::kSerialize),
+                stats.times.Millis(Phase::kDeserialize), stats.transform.statements_transformed,
+                stats.aborts);
+  }
+  return 0;
+}

@@ -1,0 +1,208 @@
+#include "src/analysis/layout.h"
+
+#include <sstream>
+
+namespace gerenuk {
+
+int64_t ExprPool::Eval(int id, const std::function<int32_t(int64_t)>& read_i32) const {
+  const SizeExpr& expr = Get(id);
+  int64_t result = expr.constant;
+  for (const SizeExpr::Term& term : expr.terms) {
+    int64_t length_offset = Eval(term.length_at, read_i32);
+    result += term.scale * static_cast<int64_t>(read_i32(length_offset));
+  }
+  return result;
+}
+
+std::string ExprPool::ToString(int id) const {
+  const SizeExpr& expr = Get(id);
+  std::ostringstream out;
+  out << expr.constant;
+  for (const SizeExpr::Term& term : expr.terms) {
+    out << " + " << term.scale << "*len@(" << ToString(term.length_at) << ")";
+  }
+  return out.str();
+}
+
+namespace {
+
+// Re-bases `expr_id` (relative to an inner record) onto `base_id` (the inner
+// record's offset within the outer record): result = base + expr, with every
+// array-length location inside `expr` re-based recursively. This is the
+// paper's substitution of BASE_C with an expression over BASE_C'.
+int ShiftExpr(ExprPool& pool, int expr_id, int base_id) {
+  // Copy both expressions up front: recursive Add calls may reallocate the
+  // pool's storage and invalidate references into it.
+  const SizeExpr base = pool.Get(base_id);
+  const SizeExpr inner = pool.Get(expr_id);
+  SizeExpr result;
+  result.constant = base.constant + inner.constant;
+  result.terms = base.terms;
+  for (const SizeExpr::Term& term : inner.terms) {
+    result.terms.push_back({term.scale, ShiftExpr(pool, term.length_at, base_id)});
+  }
+  return pool.Add(std::move(result));
+}
+
+}  // namespace
+
+bool DataStructAnalyzer::AnalyzeTopLevel(const Klass* top, std::string* error) {
+  const Klass* record_class = top;
+  if (top->is_array()) {
+    arrays_.insert(top);
+    if (top->element_kind() != FieldKind::kRef) {
+      // A primitive-array top-level type (e.g. double[]) needs no class map.
+      tops_.insert(top);
+      top_list_.push_back(top);
+      return true;
+    }
+    record_class = top->element_klass();
+  }
+  if (AnalyzeClass(record_class, error) == nullptr) {
+    return false;
+  }
+  if (tops_.insert(record_class).second) {
+    top_list_.push_back(record_class);
+  }
+  return true;
+}
+
+const ClassLayout* DataStructAnalyzer::AnalyzeClass(const Klass* klass, std::string* error) {
+  GERENUK_CHECK(!klass->is_array());
+  auto cached = layouts_.find(klass);
+  if (cached != layouts_.end()) {
+    return &cached->second;
+  }
+  if (in_progress_.count(klass) > 0) {
+    *error = "recursive data structure at class " + klass->name() +
+             ": shape is not a tree and cannot be represented without pointers";
+    return nullptr;
+  }
+  in_progress_.insert(klass);
+
+  ClassLayout layout;
+  layout.klass = klass;
+  // Running offset of the next field, relative to this record's body start.
+  SizeExpr offset;
+  bool open_ended = false;  // true once a field of statically unknown total
+                            // size has been laid out (must be the last field)
+
+  for (const FieldInfo& field : klass->fields()) {
+    if (open_ended) {
+      *error = "class " + klass->name() + ": field '" + field.name +
+               "' follows a variable-record array; only tail position is supported";
+      in_progress_.erase(klass);
+      return nullptr;
+    }
+    FieldSlot slot;
+    slot.offset_expr = pool_.Add(offset);
+    slot.is_constant = offset.IsConstant();
+    slot.const_offset = offset.constant;
+    layout.fields.push_back(slot);
+
+    if (field.kind != FieldKind::kRef) {
+      offset.constant += FieldKindSize(field.kind);
+      continue;
+    }
+    const Klass* target = field.target;
+    GERENUK_CHECK(target != nullptr) << klass->name() << "." << field.name;
+    if (target->is_array()) {
+      arrays_.insert(target);
+      // Inline array: [length:i32][elements]. The element region's size is
+      // elem_size * length, with length read at this field's own offset.
+      if (target->element_kind() != FieldKind::kRef) {
+        offset.constant += 4;
+        offset.terms.push_back({target->element_size(), slot.offset_expr});
+      } else {
+        const ClassLayout* elem = AnalyzeClass(target->element_klass(), error);
+        if (elem == nullptr) {
+          in_progress_.erase(klass);
+          return nullptr;
+        }
+        if (elem->fixed_size) {
+          offset.constant += 4;
+          offset.terms.push_back({elem->const_size, slot.offset_expr});
+        } else {
+          // Variable-size record elements (each stored with a size prefix):
+          // the total extent is not an affine expression, so nothing may
+          // follow this field.
+          open_ended = true;
+        }
+      }
+      continue;
+    }
+    // Inline class record.
+    const ClassLayout* sub = AnalyzeClass(target, error);
+    if (sub == nullptr) {
+      in_progress_.erase(klass);
+      return nullptr;
+    }
+    if (sub->size_expr < 0) {
+      open_ended = true;  // open-ended child: nothing may follow
+      continue;
+    }
+    if (sub->fixed_size) {
+      offset.constant += sub->const_size;
+    } else {
+      // offset' = offset + size(sub) re-based at this field's slot.
+      int shifted = ShiftExpr(pool_, sub->size_expr, slot.offset_expr);
+      const SizeExpr& total = pool_.Get(shifted);
+      offset = total;
+    }
+  }
+
+  if (open_ended) {
+    layout.size_expr = -1;
+    layout.fixed_size = false;
+    layout.const_size = 0;
+  } else {
+    layout.size_expr = pool_.Add(offset);
+    layout.fixed_size = offset.IsConstant();
+    layout.const_size = offset.constant;
+  }
+
+  in_progress_.erase(klass);
+  auto [it, inserted] = layouts_.emplace(klass, std::move(layout));
+  GERENUK_CHECK(inserted);
+  return &it->second;
+}
+
+std::string DataStructAnalyzer::SchemaToString(const Klass* top) const {
+  std::ostringstream out;
+  const Klass* record_class = top->is_array() ? top->element_klass() : top;
+  std::vector<const Klass*> pending = {record_class};
+  std::unordered_set<const Klass*> seen;
+  while (!pending.empty()) {
+    const Klass* klass = pending.back();
+    pending.pop_back();
+    if (klass == nullptr || !seen.insert(klass).second) {
+      continue;
+    }
+    const ClassLayout* layout = LayoutOf(klass);
+    if (layout == nullptr) {
+      continue;
+    }
+    out << "class " << klass->name() << " {";
+    if (layout->size_expr >= 0) {
+      out << " // size = " << pool_.ToString(layout->size_expr) << "\n";
+    } else {
+      out << " // size = <open-ended>\n";
+    }
+    for (size_t i = 0; i < klass->fields().size(); ++i) {
+      const FieldInfo& field = klass->field(static_cast<int>(i));
+      out << "  " << FieldKindName(field.kind) << " " << field.name << " @ "
+          << pool_.ToString(layout->fields[i].offset_expr) << "\n";
+      if (field.kind == FieldKind::kRef && field.target != nullptr) {
+        const Klass* next = field.target->is_array() ? field.target->element_klass()
+                                                     : field.target;
+        if (next != nullptr) {
+          pending.push_back(next);
+        }
+      }
+    }
+    out << "}\n";
+  }
+  return out.str();
+}
+
+}  // namespace gerenuk

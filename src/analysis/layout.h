@@ -1,0 +1,137 @@
+// The data structure analyzer (§3.3): given a user-specified top-level data
+// type T, explore every class referenced directly or transitively by T and
+// map each field to its offset inside the inlined native representation.
+//
+// Offsets are SizeExprs — affine expressions over array lengths that are
+// read from the record itself at run time:
+//
+//     offset = constant + sum_i (scale_i * lengthAt(offset_expr_i))
+//
+// matching the paper's example where field c of
+//     class C { int a; long[] b; double c; }
+// has offset 4 + 4 + 8 * readNative(BASE_C, 4, 4). Fixed-size classes get
+// pure-constant offsets, which the transformer turns into the fast
+// statically-known form of Algorithm 1.
+//
+// All offsets are relative to the start of the *containing class's* record
+// body (the paper's BASE_C): when class D is inlined into class C at offset
+// O, D-relative expressions are shifted by O on the way back up the DFS —
+// the paper's "BASE_C is replaced with an expression containing BASE_C'".
+#ifndef SRC_ANALYSIS_LAYOUT_H_
+#define SRC_ANALYSIS_LAYOUT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/runtime/klass.h"
+
+namespace gerenuk {
+
+// An affine expression over in-record array lengths. Each term's length
+// location is itself an expression (arrays behind arrays nest), so terms
+// reference other pool entries.
+struct SizeExpr {
+  int64_t constant = 0;
+  struct Term {
+    int64_t scale = 0;
+    int length_at = -1;  // ExprPool id of the expression locating the i32 length
+  };
+  std::vector<Term> terms;
+
+  bool IsConstant() const { return terms.empty(); }
+};
+
+// Owns all SizeExprs produced by the analyzer; statements reference them by
+// id (Statement::expr_id).
+class ExprPool {
+ public:
+  int Add(SizeExpr expr) {
+    exprs_.push_back(std::move(expr));
+    return static_cast<int>(exprs_.size()) - 1;
+  }
+  const SizeExpr& Get(int id) const {
+    GERENUK_CHECK(id >= 0 && id < static_cast<int>(exprs_.size()));
+    return exprs_[static_cast<size_t>(id)];
+  }
+  int AddConstant(int64_t value) {
+    SizeExpr e;
+    e.constant = value;
+    return Add(e);
+  }
+  size_t size() const { return exprs_.size(); }
+
+  // Evaluates `id` against a record at `base`, reading array lengths through
+  // `read_i32(base + offset)`. This is the runtime's resolveOffset.
+  int64_t Eval(int id, const std::function<int32_t(int64_t)>& read_i32) const;
+
+  std::string ToString(int id) const;
+
+ private:
+  std::vector<SizeExpr> exprs_;
+};
+
+// Where one declared field's data lives inside its containing record body.
+struct FieldSlot {
+  int offset_expr = -1;     // ExprPool id, relative to the record body start
+  bool is_constant = false; // true when offset_expr is a plain constant
+  int64_t const_offset = 0; // valid when is_constant
+};
+
+// The inline layout of one class in a top-level type's hierarchy.
+struct ClassLayout {
+  const Klass* klass = nullptr;
+  std::vector<FieldSlot> fields;  // parallel to klass->fields()
+  int size_expr = -1;             // total body size (ExprPool id)
+  bool fixed_size = false;
+  int64_t const_size = 0;         // valid when fixed_size
+};
+
+// Runs the DFS and caches per-class layouts. One analyzer serves all
+// top-level types of a program (their hierarchies may share classes).
+class DataStructAnalyzer {
+ public:
+  explicit DataStructAnalyzer(ExprPool& pool) : pool_(pool) {}
+
+  // Analyzes the hierarchy rooted at `top` (a class or an array type).
+  // Returns false (with *error set) when the shape is not a tree — e.g. a
+  // recursive type — which the paper's analyzer rejects.
+  bool AnalyzeTopLevel(const Klass* top, std::string* error);
+
+  // True when `klass` belongs to any analyzed hierarchy (including array
+  // types encountered inside records and top-level collection arrays).
+  bool Contains(const Klass* klass) const { return layouts_.count(klass) > 0 || arrays_.count(klass) > 0; }
+  bool IsTopLevel(const Klass* klass) const { return tops_.count(klass) > 0; }
+
+  const ClassLayout* LayoutOf(const Klass* klass) const {
+    auto it = layouts_.find(klass);
+    return it == layouts_.end() ? nullptr : &it->second;
+  }
+
+  const std::vector<const Klass*>& top_types() const { return top_list_; }
+
+  // The paper's "schema file": a textual dump of the analyzed structure with
+  // every offset expression, written next to DESIGN.md's per-type tables.
+  std::string SchemaToString(const Klass* top) const;
+
+  ExprPool& pool() { return pool_; }
+  const ExprPool& pool() const { return pool_; }
+
+ private:
+  // Returns the layout (computing it if needed); fails on recursive shapes.
+  const ClassLayout* AnalyzeClass(const Klass* klass, std::string* error);
+
+  ExprPool& pool_;
+  std::unordered_map<const Klass*, ClassLayout> layouts_;
+  std::unordered_set<const Klass*> arrays_;  // array types in the hierarchy
+  std::unordered_set<const Klass*> tops_;
+  std::vector<const Klass*> top_list_;
+  std::unordered_set<const Klass*> in_progress_;  // DFS cycle detection
+};
+
+}  // namespace gerenuk
+
+#endif  // SRC_ANALYSIS_LAYOUT_H_

@@ -1,0 +1,398 @@
+#include "src/analysis/ser_analyzer.h"
+
+#include <sstream>
+
+namespace gerenuk {
+
+const std::unordered_set<std::string>& NativeIntrinsics() {
+  // The paper names clone, hashcode, toString and arrayCopy, plus the
+  // specialized string operations provided for the char-array treatment of
+  // strings (§3.3 "Special Cases").
+  static const std::unordered_set<std::string>* intrinsics =
+      new std::unordered_set<std::string>{
+          "clone",      "hashCode",     "toString",     "arrayCopy",
+          "stringHash", "stringEquals", "stringLength", "stringCompare",
+      };
+  return *intrinsics;
+}
+
+bool SerAnalyzer::Join(Taint& into, Taint from) {
+  // kNone < kLower, kTop; kTop joins with kLower to kLower (an object seen
+  // as both top and nested must be treated as nested for escape checks).
+  if (from == Taint::kNone || into == from) {
+    return false;
+  }
+  if (into == Taint::kNone) {
+    into = from;
+    return true;
+  }
+  if (into == Taint::kTop && from == Taint::kLower) {
+    into = Taint::kLower;
+    return true;
+  }
+  return false;
+}
+
+SerAnalysis SerAnalyzer::Run() {
+  SerAnalysis analysis;
+  analysis.functions.resize(program_.functions.size());
+  for (size_t f = 0; f < program_.functions.size(); ++f) {
+    const Function& func = *program_.functions[f];
+    analysis.functions[f].taint.assign(func.vars.size(), Taint::kNone);
+    analysis.functions[f].fresh.assign(func.vars.size(), false);
+    analysis.functions[f].sink_reaching.assign(func.vars.size(), false);
+  }
+
+  // Seed: deserialization points, plus parameters whose declared class is in
+  // a data hierarchy (records handed in by the engine are deserialized data).
+  for (size_t f = 0; f < program_.functions.size(); ++f) {
+    const Function& func = *program_.functions[f];
+    FunctionTaint& facts = analysis.functions[f];
+    for (int p = 0; p < func.num_params; ++p) {
+      const IrType& type = func.vars[p].type;
+      if (type.IsRef() && type.klass != nullptr && layouts_.Contains(type.klass)) {
+        const Klass* record = type.klass->is_array() && type.klass->element_kind() == FieldKind::kRef
+                                  ? type.klass->element_klass()
+                                  : type.klass;
+        facts.taint[p] = layouts_.IsTopLevel(record) || layouts_.IsTopLevel(type.klass)
+                             ? Taint::kTop
+                             : Taint::kLower;
+      }
+    }
+  }
+
+  while (Propagate(analysis)) {
+  }
+  while (PropagateBackward(analysis)) {
+  }
+  CollectViolationsAndStatements(analysis);
+
+  for (const FunctionTaint& facts : analysis.functions) {
+    for (Taint t : facts.taint) {
+      if (t != Taint::kNone) {
+        analysis.tainted_variables += 1;
+      }
+    }
+  }
+  return analysis;
+}
+
+bool SerAnalyzer::Propagate(SerAnalysis& analysis) {
+  bool changed = false;
+  for (size_t f = 0; f < program_.functions.size(); ++f) {
+    const Function& func = *program_.functions[f];
+    FunctionTaint& facts = analysis.functions[f];
+    auto taint_of = [&facts](int var) {
+      return var < 0 ? Taint::kNone : facts.taint[var];
+    };
+    auto set_fresh = [&facts, &changed](int var, bool fresh) {
+      if (var >= 0 && facts.fresh[var] != fresh && fresh) {
+        facts.fresh[var] = true;
+        changed = true;
+      }
+    };
+    for (const Statement& s : func.body) {
+      switch (s.op) {
+        case Op::kDeserialize:
+          // Source: v = readObject() yields a top-level record.
+          if (s.klass != nullptr && layouts_.Contains(s.klass)) {
+            changed |= Join(facts.taint[s.dst], Taint::kTop);
+          }
+          break;
+        case Op::kAssign:
+          changed |= Join(facts.taint[s.dst], taint_of(s.a));
+          set_fresh(s.dst, s.a >= 0 && facts.fresh[s.a]);
+          break;
+        case Op::kFieldLoad: {
+          // a tainted => the object read out of a.f is part of the same
+          // data structure (the paper's o.f rule).
+          const FieldInfo& field = s.klass->field(s.field_index);
+          if (field.kind == FieldKind::kRef && taint_of(s.a) != Taint::kNone) {
+            changed |= Join(facts.taint[s.dst], Taint::kLower);
+            // Loading out of a fresh (under-construction) record keeps the
+            // freshness: its sub-records are also under construction.
+            set_fresh(s.dst, facts.fresh[s.a]);
+          }
+          break;
+        }
+        case Op::kArrayLoad:
+          if (s.elem_kind == FieldKind::kRef && taint_of(s.a) != Taint::kNone) {
+            // An element of a data-collection array is a record; an element
+            // of a nested data array is a lower-level object.
+            const Klass* elem = s.klass->element_klass();
+            Taint t = elem != nullptr && layouts_.IsTopLevel(elem) ? Taint::kTop : Taint::kLower;
+            changed |= Join(facts.taint[s.dst], t);
+            set_fresh(s.dst, facts.fresh[s.a]);
+          }
+          break;
+        case Op::kNewObject:
+        case Op::kNewArray:
+          if (s.klass != nullptr && layouts_.Contains(s.klass)) {
+            const Klass* record = s.klass->is_array() && s.klass->element_kind() == FieldKind::kRef
+                                      ? s.klass->element_klass()
+                                      : s.klass;
+            Taint t = (record != nullptr && layouts_.IsTopLevel(record)) ||
+                              layouts_.IsTopLevel(s.klass)
+                          ? Taint::kTop
+                          : Taint::kLower;
+            changed |= Join(facts.taint[s.dst], t);
+            set_fresh(s.dst, true);
+          }
+          break;
+        case Op::kCall: {
+          // Interprocedural: arguments flow into callee parameters; the
+          // callee's returned variables flow into dst.
+          const Function& callee = *program_.functions[s.func];
+          FunctionTaint& callee_facts = analysis.functions[s.func];
+          for (size_t i = 0; i < s.args.size(); ++i) {
+            changed |= Join(callee_facts.taint[static_cast<int>(i)], taint_of(s.args[i]));
+            if (facts.fresh[s.args[i]] && !callee_facts.fresh[i]) {
+              callee_facts.fresh[i] = true;
+              changed = true;
+            }
+          }
+          if (s.dst >= 0) {
+            for (const Statement& ret : callee.body) {
+              if (ret.op == Op::kReturn && ret.a >= 0) {
+                changed |= Join(facts.taint[s.dst], callee_facts.taint[ret.a]);
+                set_fresh(s.dst, callee_facts.fresh[ret.a]);
+              }
+            }
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+  return changed;
+}
+
+bool SerAnalyzer::PropagateBackward(SerAnalysis& analysis) {
+  // Sink-reachability: a variable reaches a sink if it is serialized,
+  // returned from a function whose result reaches a sink at some call site,
+  // or flows (forward) into a variable that reaches a sink. We iterate the
+  // def-use edges backwards until fixpoint.
+  bool changed = false;
+  for (size_t f = 0; f < program_.functions.size(); ++f) {
+    const Function& func = *program_.functions[f];
+    FunctionTaint& facts = analysis.functions[f];
+    auto mark = [&facts, &changed](int var) {
+      if (var >= 0 && !facts.sink_reaching[var]) {
+        facts.sink_reaching[var] = true;
+        changed = true;
+      }
+    };
+    for (const Statement& s : func.body) {
+      switch (s.op) {
+        case Op::kSerialize:
+          mark(s.a);
+          break;
+        case Op::kReturn:
+          // A returned record reaches the engine, which shuffles it onward —
+          // the engine boundary is a sink for entry functions, and for
+          // callees the call-site propagation below covers it.
+          if (s.a >= 0 && facts.taint[s.a] != Taint::kNone) {
+            mark(s.a);
+          }
+          break;
+        case Op::kAssign:
+          if (s.dst >= 0 && facts.sink_reaching[s.dst]) {
+            mark(s.a);
+          }
+          break;
+        case Op::kFieldLoad:
+        case Op::kArrayLoad:
+          if (s.dst >= 0 && facts.sink_reaching[s.dst]) {
+            mark(s.a);
+          }
+          break;
+        case Op::kFieldStore:
+          // Building a record that reaches a sink pulls the stored value in.
+          if (s.a >= 0 && facts.sink_reaching[s.a]) {
+            mark(s.b);
+          }
+          break;
+        case Op::kArrayStore:
+          if (s.a >= 0 && facts.sink_reaching[s.a]) {
+            mark(s.c);
+          }
+          break;
+        case Op::kCall: {
+          FunctionTaint& callee_facts = analysis.functions[s.func];
+          const Function& callee = *program_.functions[s.func];
+          // dst reaching a sink marks the callee's returns...
+          if (s.dst >= 0 && facts.sink_reaching[s.dst]) {
+            for (const Statement& ret : callee.body) {
+              if (ret.op == Op::kReturn && ret.a >= 0 && !callee_facts.sink_reaching[ret.a]) {
+                callee_facts.sink_reaching[ret.a] = true;
+                changed = true;
+              }
+            }
+          }
+          // ...and sink-reaching callee params mark the arguments.
+          for (size_t i = 0; i < s.args.size(); ++i) {
+            if (callee_facts.sink_reaching[i]) {
+              mark(s.args[i]);
+            }
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+  return changed;
+}
+
+void SerAnalyzer::CollectViolationsAndStatements(SerAnalysis& analysis) {
+  for (size_t f = 0; f < program_.functions.size(); ++f) {
+    const Function& func = *program_.functions[f];
+    const FunctionTaint& facts = analysis.functions[f];
+    auto tainted = [&facts](int var) {
+      return var >= 0 && facts.taint[var] != Taint::kNone;
+    };
+    for (size_t i = 0; i < func.body.size(); ++i) {
+      const Statement& s = func.body[i];
+      StmtRef ref{static_cast<int>(f), static_cast<int>(i)};
+      bool on_data_path = false;
+      switch (s.op) {
+        case Op::kDeserialize:
+          on_data_path = tainted(s.dst);
+          break;
+        case Op::kSerialize:
+          on_data_path = tainted(s.a);
+          break;
+        case Op::kAssign:
+          on_data_path = tainted(s.dst) && func.vars[s.dst].type.IsRef();
+          break;
+        case Op::kFieldLoad:
+          on_data_path = tainted(s.a);
+          break;
+        case Op::kFieldStore: {
+          const FieldInfo& field = s.klass->field(s.field_index);
+          if (tainted(s.a)) {
+            on_data_path = true;
+            if (field.kind != FieldKind::kRef && !facts.fresh[s.a]) {
+              // Immutability violation: a primitive field of an existing
+              // (deserialized) record is overwritten. The inlined input
+              // bytes must stay pristine for re-execution, so the write is
+              // fenced (this is what fires on the §4.4 resize branch).
+              analysis.violations.push_back(
+                  {ref, AbortReason::kDisruptNativeSpace,
+                   "primitive mutation of non-fresh data object " + s.klass->name() + "." +
+                       field.name});
+              on_data_path = false;
+            } else if (field.kind == FieldKind::kRef) {
+              if (!tainted(s.b)) {
+                // Violation 2: a regular heap reference written into an
+                // inlined data record.
+                analysis.violations.push_back(
+                    {ref, AbortReason::kDisruptNativeSpace,
+                     "heap reference stored into data object " + s.klass->name() + "." +
+                         field.name});
+                on_data_path = false;
+              } else if (!facts.fresh[s.a]) {
+                // Violation 2 (immutability): a reference field of an
+                // existing (deserialized) record is being replaced — the
+                // §4.4 Vector.resize pattern.
+                analysis.violations.push_back(
+                    {ref, AbortReason::kDisruptNativeSpace,
+                     "reference mutation of non-fresh data object " + s.klass->name() + "." +
+                         field.name});
+                on_data_path = false;
+              }
+            }
+          } else if (field.kind == FieldKind::kRef && tainted(s.b) &&
+                     facts.taint[s.b] == Taint::kLower) {
+            // Violation 1: a lower-level data object escapes into a plain
+            // heap object.
+            analysis.violations.push_back(
+                {ref, AbortReason::kLoadAndEscape,
+                 "data object escapes into heap object via " + s.klass->name() + "." +
+                     field.name});
+          }
+          break;
+        }
+        case Op::kArrayLoad:
+          on_data_path = tainted(s.a);
+          break;
+        case Op::kArrayStore:
+          if (tainted(s.a)) {
+            on_data_path = true;
+            if (s.elem_kind != FieldKind::kRef && !facts.fresh[s.a]) {
+              analysis.violations.push_back({ref, AbortReason::kDisruptNativeSpace,
+                                             "primitive mutation of non-fresh data array"});
+              on_data_path = false;
+            } else if (s.elem_kind == FieldKind::kRef) {
+              if (!tainted(s.c)) {
+                analysis.violations.push_back({ref, AbortReason::kDisruptNativeSpace,
+                                               "heap reference stored into data array"});
+                on_data_path = false;
+              } else if (!facts.fresh[s.a]) {
+                analysis.violations.push_back({ref, AbortReason::kDisruptNativeSpace,
+                                               "element mutation of non-fresh data array"});
+                on_data_path = false;
+              }
+            }
+          } else if (s.elem_kind == FieldKind::kRef && tainted(s.c) &&
+                     facts.taint[s.c] == Taint::kLower) {
+            analysis.violations.push_back({ref, AbortReason::kLoadAndEscape,
+                                           "lower-level data object escapes into heap array"});
+          }
+          break;
+        case Op::kArrayLength:
+          on_data_path = tainted(s.a);
+          break;
+        case Op::kNewObject:
+        case Op::kNewArray:
+          on_data_path = tainted(s.dst);
+          break;
+        case Op::kCallNative: {
+          bool any_data_arg = false;
+          for (int arg : s.args) {
+            any_data_arg |= tainted(arg);
+          }
+          if (any_data_arg) {
+            if (NativeIntrinsics().count(s.native_name) > 0) {
+              on_data_path = true;  // customized implementation exists
+            } else {
+              // Violation 3: a native method may create external side
+              // effects.
+              analysis.violations.push_back({ref, AbortReason::kInvokeNativeMethod,
+                                             "native method " + s.native_name +
+                                                 " invoked on data object"});
+            }
+          }
+          break;
+        }
+        case Op::kMonitorEnter:
+        case Op::kMonitorExit:
+          if (tainted(s.a)) {
+            // Violation 4: the object's metadata (its lock) is used.
+            analysis.violations.push_back({ref, AbortReason::kUseObjectMetainfo,
+                                           "monitor taken on data object"});
+          }
+          break;
+        default:
+          break;
+      }
+      if (on_data_path) {
+        analysis.data_statements.insert(ref);
+        // §3.2's sink-based pruning: record-producing flows that provably
+        // never reach a serialization sink. Reads must stay transformed
+        // either way (an untransformed heap load would fault on the native
+        // path), so pruning is reported as a statistic on producers — the
+        // dead flow costs only unused builder space at run time.
+        if ((s.op == Op::kNewObject || s.op == Op::kNewArray) && s.dst >= 0 &&
+            !facts.sink_reaching[s.dst]) {
+          analysis.pruned.insert(ref);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace gerenuk

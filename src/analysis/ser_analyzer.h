@@ -1,0 +1,105 @@
+// The SER code analyzer (§3.2): a taint analysis that traces the flow of
+// data objects from deserialization points (sources) to serialization points
+// (sinks) and classifies every statement as data-path (to be transformed),
+// control-path (left as-is), or a violation point (abort inserted).
+//
+// Simplifications relative to the paper, documented in DESIGN.md: the
+// analysis is flow-insensitive within a function (a fixpoint over all
+// statements) and context-insensitive across calls, where the paper uses a
+// context- and path-sensitive analysis over Soot's IR. Because our IR
+// variables are near-SSA (the builder creates a fresh variable per value)
+// the precision loss is small, and any loss only adds conservative aborts —
+// never unsoundness.
+//
+// Taint lattice per variable:
+//   kNone  — not a data object
+//   kTop   — a top-level data record (the user-annotated type T)
+//   kLower — an object belonging to a data structure rooted at some T
+// plus a "fresh" bit: the value originates from an allocation inside the SER
+// (a record under construction) rather than from deserialized input. The
+// fresh bit is what lets construction writes (new LabeledPoint's fields
+// being filled in) compile to native construction while mutation of input
+// records (the §4.4 Vector.resize) becomes a violation.
+#ifndef SRC_ANALYSIS_SER_ANALYZER_H_
+#define SRC_ANALYSIS_SER_ANALYZER_H_
+
+#include <set>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/analysis/layout.h"
+#include "src/ir/ir.h"
+
+namespace gerenuk {
+
+enum class Taint : uint8_t { kNone = 0, kTop = 1, kLower = 2 };
+
+// A (function, statement) coordinate.
+struct StmtRef {
+  int func = -1;
+  int index = -1;
+  bool operator<(const StmtRef& other) const {
+    return func != other.func ? func < other.func : index < other.index;
+  }
+  bool operator==(const StmtRef& other) const {
+    return func == other.func && index == other.index;
+  }
+};
+
+struct Violation {
+  StmtRef where;
+  AbortReason reason = AbortReason::kLoadAndEscape;
+  std::string detail;
+};
+
+// Per-function taint facts.
+struct FunctionTaint {
+  std::vector<Taint> taint;        // per variable
+  std::vector<bool> fresh;         // per variable: allocated inside the SER
+  std::vector<bool> sink_reaching; // per variable: flows to a serialization sink
+};
+
+struct SerAnalysis {
+  std::vector<FunctionTaint> functions;      // indexed by function id
+  std::set<StmtRef> data_statements;         // statements to transform
+  std::vector<Violation> violations;         // abort insertion points
+  std::set<StmtRef> pruned;                  // tainted but not sink-reaching
+  int tainted_variables = 0;
+
+  Taint TaintOf(int func, int var) const {
+    return var < 0 ? Taint::kNone : functions[func].taint[var];
+  }
+  bool IsData(int func, int var) const { return TaintOf(func, var) != Taint::kNone; }
+  bool IsFresh(int func, int var) const {
+    return var >= 0 && functions[func].fresh[var];
+  }
+};
+
+// Names of native methods for which Gerenuk provides customized
+// implementations that work on inlined bytes (§3.4 violation 3). Calls to
+// these do not abort; anything else native does.
+const std::unordered_set<std::string>& NativeIntrinsics();
+
+class SerAnalyzer {
+ public:
+  // `layouts` must already contain every user-annotated top-level type
+  // (§3.1's second annotation).
+  SerAnalyzer(const SerProgram& program, const DataStructAnalyzer& layouts)
+      : program_(program), layouts_(layouts) {}
+
+  SerAnalysis Run();
+
+ private:
+  bool Propagate(SerAnalysis& analysis);
+  bool PropagateBackward(SerAnalysis& analysis);
+  void CollectViolationsAndStatements(SerAnalysis& analysis);
+  static bool Join(Taint& into, Taint from);
+
+  const SerProgram& program_;
+  const DataStructAnalyzer& layouts_;
+};
+
+}  // namespace gerenuk
+
+#endif  // SRC_ANALYSIS_SER_ANALYZER_H_

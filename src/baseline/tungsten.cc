@@ -1,0 +1,119 @@
+#include "src/baseline/tungsten.h"
+
+namespace gerenuk {
+
+namespace {
+
+uint64_t HashBytes(std::string_view text) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : text) {
+    h = (h ^ static_cast<uint8_t>(c)) * 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+int64_t StringPool::Intern(std::string_view text) {
+  auto it = index_.find(std::string(text));
+  if (it != index_.end()) {
+    return it->second;
+  }
+  int64_t id = static_cast<int64_t>(strings_.size());
+  strings_.emplace_back(text);
+  hashes_.push_back(HashBytes(text));
+  index_.emplace(strings_.back(), id);
+  return id;
+}
+
+std::string_view StringPool::Get(int64_t id) const {
+  GERENUK_CHECK(id >= 0 && id < static_cast<int64_t>(strings_.size()));
+  return strings_[static_cast<size_t>(id)];
+}
+
+TungstenTable::TungstenTable(std::vector<TungstenType> schema, MemoryTracker* tracker)
+    : schema_(std::move(schema)), tracker_(tracker) {
+  GERENUK_CHECK(!schema_.empty());
+}
+
+TungstenTable::~TungstenTable() {
+  if (tracker_ != nullptr && tracked_ > 0) {
+    tracker_->Freed(tracked_);
+  }
+}
+
+void TungstenTable::AppendRow(const int64_t* words) {
+  words_.insert(words_.end(), words, words + schema_.size());
+  num_rows_ += 1;
+  if (tracker_ != nullptr) {
+    int64_t now = bytes_used();
+    tracker_->Allocated(now - tracked_);
+    tracked_ = now;
+  }
+}
+
+namespace {
+
+template <bool kFloatSum>
+TungstenTable GroupBySum(const TungstenTable& input, int key_col, int value_col,
+                         const StringPool* pool, MemoryTracker* tracker) {
+  bool string_key = input.schema()[static_cast<size_t>(key_col)] == TungstenType::kString;
+  // Key word -> index into the output accumulation vectors. String keys use
+  // the pool's cached hash for bucketing and the interned id for equality,
+  // so no byte comparison happens on the hot path.
+  std::unordered_map<int64_t, size_t> groups;
+  std::vector<int64_t> keys;
+  std::vector<double> fsums;
+  std::vector<int64_t> isums;
+  (void)string_key;
+  (void)pool;
+  for (int64_t row = 0; row < input.num_rows(); ++row) {
+    int64_t key = input.GetI64(row, key_col);
+    auto [it, inserted] = groups.try_emplace(key, keys.size());
+    if (inserted) {
+      keys.push_back(key);
+      fsums.push_back(0.0);
+      isums.push_back(0);
+    }
+    if constexpr (kFloatSum) {
+      fsums[it->second] += input.GetF64(row, value_col);
+    } else {
+      isums[it->second] += input.GetI64(row, value_col);
+    }
+  }
+  TungstenTable out({input.schema()[static_cast<size_t>(key_col)],
+                     kFloatSum ? TungstenType::kF64 : TungstenType::kI64},
+                    tracker);
+  for (size_t g = 0; g < keys.size(); ++g) {
+    int64_t row[2];
+    row[0] = keys[g];
+    row[1] = kFloatSum ? TungstenTable::PackF64(fsums[g]) : isums[g];
+    out.AppendRow(row);
+  }
+  return out;
+}
+
+}  // namespace
+
+TungstenTable GroupBySumF64(const TungstenTable& input, int key_col, int value_col,
+                            const StringPool* pool, MemoryTracker* tracker) {
+  return GroupBySum<true>(input, key_col, value_col, pool, tracker);
+}
+
+TungstenTable GroupBySumI64(const TungstenTable& input, int key_col, int value_col,
+                            const StringPool* pool, MemoryTracker* tracker) {
+  return GroupBySum<false>(input, key_col, value_col, pool, tracker);
+}
+
+void RunIterativeWithPlanGrowth(int iterations, const std::function<void(int)>& step,
+                                const std::function<void(int)>& replay_step) {
+  for (int i = 0; i < iterations; ++i) {
+    // Plan re-derivation: replay the lineage accumulated so far.
+    for (int past = 0; past < i; ++past) {
+      replay_step(past);
+    }
+    step(i);
+  }
+}
+
+}  // namespace gerenuk

@@ -1,0 +1,78 @@
+// Gerenuk — speculative program transformation for thin computation over
+// big native data (reproduction of Navasca et al., SOSP 2019).
+//
+// Umbrella header: everything a downstream user needs to
+//   1. declare data types on a managed heap        (runtime/, serde/)
+//   2. author dataflow UDFs in the statement IR    (ir/)
+//   3. run the Gerenuk compiler over them          (analysis/, transform/)
+//   4. execute speculatively over native buffers   (nativebuf/, exec/)
+//   5. or simply run whole jobs on the bundled
+//      mini-Spark / mini-Hadoop engines            (dataflow/, mapreduce/)
+//
+// The typical application only touches the engine layer:
+//
+//   SparkConfig config;
+//   config.mode = EngineMode::kGerenuk;            // or kBaseline
+//   SparkEngine engine(config);
+//   engine.RegisterDataType(my_record_klass);      // §3.1 annotations
+//   DatasetPtr out = engine.ReduceByKey(input, udfs, pre_ops, key, reduce);
+//
+// Lower layers (Compiler below, SerExecutor, Interpreter) are public for
+// programs that embed the transformation directly.
+#ifndef SRC_CORE_GERENUK_H_
+#define SRC_CORE_GERENUK_H_
+
+#include "src/analysis/layout.h"
+#include "src/analysis/ser_analyzer.h"
+#include "src/dataflow/spark.h"
+#include "src/exec/ser_executor.h"
+#include "src/ir/builder.h"
+#include "src/mapreduce/hadoop.h"
+#include "src/runtime/heap.h"
+#include "src/runtime/roots.h"
+#include "src/serde/heap_serializer.h"
+#include "src/serde/inline_serializer.h"
+#include "src/serde/wellknown.h"
+#include "src/transform/transformer.h"
+
+namespace gerenuk {
+
+// Convenience bundle over the compiler pipeline of §3: data structure
+// analysis (offsets/sizes), SER code analysis (taint + violations), and the
+// Algorithm 1 transformation. Holds the ExprPool the transformed program's
+// symbolic offsets refer to.
+class Compiler {
+ public:
+  Compiler() = default;
+
+  // §3.1's second annotation: register each top-level data type.
+  bool RegisterDataType(const Klass* klass, std::string* error) {
+    return layouts_.AnalyzeTopLevel(klass, error);
+  }
+
+  // Analyzes and speculatively transforms `program`. The returned program is
+  // the fast path; `program` itself is kept unmodified as the slow path.
+  TransformResult Compile(const SerProgram& program) {
+    SerAnalyzer analyzer(program, layouts_);
+    SerAnalysis analysis = analyzer.Run();
+    Transformer transformer(program, analysis, layouts_);
+    return transformer.Run();
+  }
+
+  SerAnalysis Analyze(const SerProgram& program) {
+    SerAnalyzer analyzer(program, layouts_);
+    return analyzer.Run();
+  }
+
+  const DataStructAnalyzer& layouts() const { return layouts_; }
+  DataStructAnalyzer& layouts() { return layouts_; }
+  const ExprPool& pool() const { return pool_; }
+
+ private:
+  ExprPool pool_;
+  DataStructAnalyzer layouts_{pool_};
+};
+
+}  // namespace gerenuk
+
+#endif  // SRC_CORE_GERENUK_H_

@@ -1,0 +1,76 @@
+#include "src/dataflow/dataset.h"
+
+namespace gerenuk {
+
+Dataset::Dataset(Heap& heap, const Klass* klass_in, int num_partitions, MemoryTracker* tracker)
+    : klass(klass_in), heap_(heap) {
+  heap_parts.resize(static_cast<size_t>(num_partitions));
+  for (auto& part : heap_parts) {
+    heap_.AddRootVector(&part);
+  }
+  native_parts.reserve(static_cast<size_t>(num_partitions));
+  for (int i = 0; i < num_partitions; ++i) {
+    native_parts.emplace_back(tracker);
+  }
+}
+
+Dataset::~Dataset() {
+  for (auto& part : heap_parts) {
+    heap_.RemoveRootVector(&part);
+  }
+}
+
+int64_t Dataset::TotalRecords() const {
+  int64_t total = 0;
+  for (const auto& part : heap_parts) {
+    total += static_cast<int64_t>(part.size());
+  }
+  for (const auto& part : native_parts) {
+    total += static_cast<int64_t>(part.record_count());
+  }
+  return total;
+}
+
+int64_t Dataset::TotalBytes() const {
+  int64_t total = 0;
+  for (const auto& part : native_parts) {
+    total += part.bytes_used();
+  }
+  return total;
+}
+
+DatasetPtr MakeSourceDataset(Heap& heap, InlineSerializer& serde, MemoryTracker* tracker,
+                             EngineMode mode, const Klass* klass, int num_partitions,
+                             int64_t count,
+                             const std::function<ObjRef(int64_t, RootScope&)>& make) {
+  auto dataset = std::make_shared<Dataset>(heap, klass, num_partitions, tracker);
+  for (int64_t i = 0; i < count; ++i) {
+    RootScope scope(heap);
+    size_t slot = scope.Push(make(i, scope));
+    int p = static_cast<int>(i % num_partitions);
+    if (mode == EngineMode::kBaseline) {
+      dataset->heap_parts[static_cast<size_t>(p)].push_back(scope.Get(slot));
+    } else {
+      ByteBuffer record;
+      serde.WriteRecord(scope.Get(slot), klass, record);
+      dataset->native_parts[static_cast<size_t>(p)].AppendRecord(
+          record.data() + 4, static_cast<uint32_t>(record.size() - 4));
+    }
+  }
+  return dataset;
+}
+
+ShuffleKey EvalShuffleKey(Interpreter& interp, const Function* key_fn, Value record,
+                          bool is_string) {
+  ShuffleKey key;
+  key.is_string = is_string;
+  Value v = interp.CallFunction(key_fn, {record});
+  if (is_string) {
+    interp.ReadStringBytes(v, &key.s);
+  } else {
+    key.i = v.tag == ValueTag::kF64 ? static_cast<int64_t>(v.d) : v.i;
+  }
+  return key;
+}
+
+}  // namespace gerenuk

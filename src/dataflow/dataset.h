@@ -1,0 +1,81 @@
+// Mode-dependent partitioned collections shared by the engines.
+//
+// kBaseline keeps records as managed-heap objects (each partition vector is
+// a GC root, like an RDD cached in deserialized form); kGerenuk keeps them
+// as native inline partitions (the Gerenuk buffer format).
+#ifndef SRC_DATAFLOW_DATASET_H_
+#define SRC_DATAFLOW_DATASET_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dataflow/stage_compiler.h"
+#include "src/exec/interpreter.h"
+#include "src/nativebuf/native_buffer.h"
+#include "src/runtime/roots.h"
+#include "src/serde/inline_serializer.h"
+
+namespace gerenuk {
+
+class Dataset {
+ public:
+  Dataset(Heap& heap, const Klass* klass, int num_partitions, MemoryTracker* tracker);
+  ~Dataset();
+  Dataset(const Dataset&) = delete;
+  Dataset& operator=(const Dataset&) = delete;
+
+  const Klass* klass;
+  std::vector<std::vector<ObjRef>> heap_parts;   // kBaseline (GC-rooted)
+  std::vector<NativePartition> native_parts;     // kGerenuk
+  int64_t TotalRecords() const;
+  int64_t TotalBytes() const;  // native only
+
+ private:
+  Heap& heap_;
+};
+
+using DatasetPtr = std::shared_ptr<Dataset>;
+
+// Builds a source dataset: `make` returns a heap object per index (rooted in
+// the passed scope during conversion); the record is stored per `mode`.
+DatasetPtr MakeSourceDataset(Heap& heap, InlineSerializer& serde, MemoryTracker* tracker,
+                             EngineMode mode, const Klass* klass, int num_partitions,
+                             int64_t count,
+                             const std::function<ObjRef(int64_t, RootScope&)>& make);
+
+// Key extraction for shuffles: an IR function T -> i64, or T -> String when
+// is_string is set.
+struct KeySpec {
+  const Function* fn = nullptr;
+  bool is_string = false;
+};
+
+struct ShuffleKey {
+  bool is_string = false;
+  int64_t i = 0;
+  std::string s;
+
+  bool operator==(const ShuffleKey& o) const {
+    return is_string == o.is_string && i == o.i && s == o.s;
+  }
+  bool operator<(const ShuffleKey& o) const { return is_string ? s < o.s : i < o.i; }
+
+  struct Hash {
+    size_t operator()(const ShuffleKey& k) const {
+      return k.is_string
+                 ? std::hash<std::string>()(k.s)
+                 : std::hash<uint64_t>()(static_cast<uint64_t>(k.i) * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+};
+
+// Evaluates `key_fn` on `record` inside `interp` (which must be able to
+// execute the function: matching path, self-contained body).
+ShuffleKey EvalShuffleKey(Interpreter& interp, const Function* key_fn, Value record,
+                          bool is_string);
+
+}  // namespace gerenuk
+
+#endif  // SRC_DATAFLOW_DATASET_H_

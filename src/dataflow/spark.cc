@@ -1,0 +1,600 @@
+#include "src/dataflow/spark.h"
+
+#include "src/analysis/ser_analyzer.h"
+#include "src/ir/builder.h"
+#include "src/runtime/roots.h"
+#include "src/transform/transformer.h"
+
+namespace gerenuk {
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+SparkEngine::SparkEngine(const SparkConfig& config)
+    : config_(config),
+      heap_(std::make_unique<Heap>(HeapConfig{config.heap_bytes, config.gc, 0.55, 0.35, 2})),
+      wk_(std::make_unique<WellKnown>(*heap_)),
+      kryo_(*heap_),
+      inline_serde_(*heap_) {
+  heap_->set_memory_tracker(&memory_);
+}
+
+SparkEngine::~SparkEngine() = default;
+
+void SparkEngine::RegisterDataType(const Klass* klass) {
+  std::string error;
+  GERENUK_CHECK(layouts_.AnalyzeTopLevel(klass, &error)) << error;
+  if (!klass->is_array()) {
+    // The collection type T[] (§3.1's third annotation) joins the hierarchy
+    // so flatMap results are recognized as data collections.
+    const Klass* array = heap_->klasses().DefineArray(FieldKind::kRef, klass);
+    GERENUK_CHECK(layouts_.AnalyzeTopLevel(array, &error)) << error;
+  }
+}
+
+DatasetPtr SparkEngine::Source(const Klass* klass, int64_t count,
+                               const std::function<ObjRef(int64_t, RootScope&)>& make) {
+  return MakeSourceDataset(*heap_, inline_serde_, &memory_, config_.mode, klass,
+                           config_.num_partitions, count, make);
+}
+
+BroadcastVar SparkEngine::MakeBroadcast(ObjRef obj, const Klass* klass) {
+  BroadcastVar bc;
+  bc.klass = klass;
+  bc.heap = obj;  // the caller keeps `obj` rooted while the broadcast lives
+  ByteBuffer record;
+  inline_serde_.WriteRecord(obj, klass, record);
+  bc.native = NativePartition(&memory_);
+  bc.native.AppendRecord(record.data() + 4, static_cast<uint32_t>(record.size() - 4));
+  return bc;
+}
+
+void SparkEngine::ResetMetrics() {
+  stats_ = EngineStats{};
+  memory_.ResetPeak();
+  heap_->ResetStats();
+}
+
+int64_t SparkEngine::NextForcedAbortIndex(int64_t records) {
+  if (forced_aborts_remaining_ <= 0 || records == 0) {
+    return -1;
+  }
+  forced_aborts_remaining_ -= 1;
+  // Late in the task, so nearly all of its speculative work is wasted — the
+  // worst case the paper's forced-abort experiment probes.
+  return records - 1 - records / 8;
+}
+
+// ---------------------------------------------------------------------------
+// Stage compilation
+// ---------------------------------------------------------------------------
+
+SparkEngine::CompiledStage SparkEngine::CompileStage(const Klass* in_klass,
+                                                     const SerProgram& udfs,
+                                                     const std::vector<NarrowOp>& ops,
+                                                     bool has_broadcast,
+                                                     const Klass* broadcast_klass) {
+  CompiledStage stage = CompileNarrowStage(config_.mode, layouts_, in_klass, udfs, ops,
+                                           has_broadcast, broadcast_klass, &stats_.transform,
+                                           heap_->klasses());
+  if (config_.mode == EngineMode::kGerenuk) {
+    stats_.stages_compiled += 1;
+  }
+  return stage;
+}
+
+SparkEngine::CompiledFn SparkEngine::CompileFn(const SerProgram& udfs, const Function* fn) {
+  return CompileSingleFunction(config_.mode, layouts_, udfs, fn, &stats_.transform);
+}
+
+// ---------------------------------------------------------------------------
+// Narrow stages
+// ---------------------------------------------------------------------------
+
+DatasetPtr SparkEngine::RunStage(const DatasetPtr& input, const SerProgram& udfs,
+                                 const std::vector<NarrowOp>& ops,
+                                 const BroadcastVar* broadcast) {
+  CompiledStage stage = CompileStage(input->klass, udfs, ops, broadcast != nullptr,
+                                     broadcast != nullptr ? broadcast->klass : nullptr);
+  return config_.mode == EngineMode::kBaseline ? RunNarrowBaseline(input, stage, broadcast)
+                                               : RunNarrowGerenuk(input, stage, broadcast);
+}
+
+DatasetPtr SparkEngine::RunNarrowBaseline(const DatasetPtr& input, const CompiledStage& stage,
+                                          const BroadcastVar* broadcast) {
+  auto out =
+      std::make_shared<Dataset>(*heap_, stage.out_klass, config_.num_partitions, &memory_);
+  std::vector<Value> args;
+  if (broadcast != nullptr) {
+    args.push_back(Value::Ref(static_cast<int64_t>(broadcast->heap)));
+  }
+  heap_->set_phase_times(&stats_.times);
+  for (int p = 0; p < config_.num_partitions; ++p) {
+    stats_.tasks_run += 1;
+    Interpreter interp(*stage.original, *heap_, *wk_, &layouts_, nullptr);
+    size_t cursor = 0;
+    const std::vector<ObjRef>& in_part = input->heap_parts[static_cast<size_t>(p)];
+    std::vector<ObjRef>& out_part = out->heap_parts[static_cast<size_t>(p)];
+    RecordChannel channel;
+    channel.next_heap_record = [&in_part, &cursor]() { return in_part[cursor]; };
+    channel.emit_heap_record = [&out_part](ObjRef ref, const Klass*) {
+      out_part.push_back(ref);
+    };
+    interp.set_channel(&channel);
+    ComputePhaseScope compute(stats_.times);
+    for (cursor = 0; cursor < in_part.size(); ++cursor) {
+      interp.CallFunction(stage.original->body, args);
+    }
+  }
+  heap_->set_phase_times(nullptr);
+  return out;
+}
+
+DatasetPtr SparkEngine::RunNarrowGerenuk(const DatasetPtr& input, const CompiledStage& stage,
+                                         const BroadcastVar* broadcast) {
+  auto out =
+      std::make_shared<Dataset>(*heap_, stage.out_klass, config_.num_partitions, &memory_);
+  SerExecutor exec(*heap_, *wk_, layouts_, *stage.original, *stage.transformed);
+  for (int p = 0; p < config_.num_partitions; ++p) {
+    stats_.tasks_run += 1;
+    NativePartition& out_part = out->native_parts[static_cast<size_t>(p)];
+    TaskIo io;
+    io.input = &input->native_parts[static_cast<size_t>(p)];
+    if (broadcast != nullptr) {
+      io.fast_args.push_back(Value::Addr(broadcast->native.record_addr(0)));
+      io.slow_args.push_back(Value::Ref(static_cast<int64_t>(broadcast->heap)));
+    }
+    io.emit_native = [&out_part](int64_t addr, const Klass* klass, Interpreter&,
+                                 BuilderStore& builders) {
+      builders.Render(addr, klass, out_part);
+    };
+    io.emit_heap = [this, &out_part](ObjRef ref, const Klass* klass, Interpreter&) {
+      ScopedPhase phase(stats_.times, Phase::kSerialize);
+      ByteBuffer body;
+      inline_serde_.WriteRecord(ref, klass, body);
+      out_part.AppendRecord(body.data() + 4, static_cast<uint32_t>(body.size() - 4));
+    };
+    io.on_abort = [&out_part] { out_part.Release(); };
+    exec.set_forced_abort_at(
+        NextForcedAbortIndex(static_cast<int64_t>(io.input->record_count())));
+    SpecOutcome outcome = exec.RunTaskIo(io, stats_.times);
+    if (!outcome.committed_fast_path) {
+      stats_.aborts += outcome.aborts;
+    } else {
+      stats_.fast_path_commits += 1;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Shuffles
+// ---------------------------------------------------------------------------
+
+void SparkEngine::ShuffleBaseline(const DatasetPtr& input, const CompiledStage& stage,
+                                  const KeySpec& key, const CompiledFn& key_fn,
+                                  const BroadcastVar* broadcast,
+                                  std::vector<std::vector<ByteBuffer>>* buckets,
+                                  std::vector<std::vector<int64_t>>* bucket_counts) {
+  int parts = config_.num_partitions;
+  buckets->clear();
+  bucket_counts->clear();
+  std::vector<Value> args;
+  if (broadcast != nullptr) {
+    args.push_back(Value::Ref(static_cast<int64_t>(broadcast->heap)));
+  }
+  ShuffleKeyHash hasher;
+  heap_->set_phase_times(&stats_.times);
+  for (int p = 0; p < parts; ++p) {
+    stats_.tasks_run += 1;
+    buckets->emplace_back(static_cast<size_t>(parts));
+    bucket_counts->emplace_back(static_cast<size_t>(parts), 0);
+    std::vector<ByteBuffer>& task_buckets = buckets->back();
+    std::vector<int64_t>& task_counts = bucket_counts->back();
+    Interpreter interp(*stage.original, *heap_, *wk_, &layouts_, nullptr);
+    Interpreter key_interp(*key_fn.original, *heap_, *wk_, &layouts_, nullptr);
+    size_t cursor = 0;
+    const std::vector<ObjRef>& in_part = input->heap_parts[static_cast<size_t>(p)];
+    RecordChannel channel;
+    channel.next_heap_record = [&in_part, &cursor]() { return in_part[cursor]; };
+    channel.emit_heap_record = [this, &key_interp, &key_fn, &key, &task_buckets, &task_counts,
+                                &hasher](ObjRef ref, const Klass* klass) {
+      ShuffleKeyValue k = EvalShuffleKey(key_interp, key_fn.orig_fn,
+                                  Value::Ref(static_cast<int64_t>(ref)), key.is_string);
+      size_t b = hasher(k) % task_buckets.size();
+      ScopedPhase phase(stats_.times, Phase::kSerialize);
+      size_t before = task_buckets[b].size();
+      kryo_.Serialize(ref, klass, task_buckets[b]);
+      stats_.shuffle_bytes += static_cast<int64_t>(task_buckets[b].size() - before);
+      task_counts[b] += 1;
+    };
+    interp.set_channel(&channel);
+    ComputePhaseScope compute(stats_.times);
+    for (cursor = 0; cursor < in_part.size(); ++cursor) {
+      interp.CallFunction(stage.original->body, args);
+    }
+  }
+  heap_->set_phase_times(nullptr);
+}
+
+void SparkEngine::ShuffleGerenuk(const DatasetPtr& input, const CompiledStage& stage,
+                                 const KeySpec& key, const CompiledFn& key_fn,
+                                 const BroadcastVar* broadcast,
+                                 std::vector<std::vector<NativePartition>>* buckets) {
+  int parts = config_.num_partitions;
+  buckets->clear();
+  ShuffleKeyHash hasher;
+  SerExecutor exec(*heap_, *wk_, layouts_, *stage.original, *stage.transformed);
+  for (int p = 0; p < parts; ++p) {
+    stats_.tasks_run += 1;
+    std::vector<NativePartition>& task_buckets = buckets->emplace_back();
+    task_buckets.reserve(static_cast<size_t>(parts));
+    for (int i = 0; i < parts; ++i) {
+      task_buckets.emplace_back(&memory_);
+    }
+    TaskIo io;
+    io.input = &input->native_parts[static_cast<size_t>(p)];
+    if (broadcast != nullptr) {
+      io.fast_args.push_back(Value::Addr(broadcast->native.record_addr(0)));
+      io.slow_args.push_back(Value::Ref(static_cast<int64_t>(broadcast->heap)));
+    }
+    io.emit_native = [this, &key_fn, &key, &task_buckets, &hasher](int64_t addr,
+                                                                   const Klass* klass,
+                                                                   Interpreter& interp,
+                                                                   BuilderStore& builders) {
+      // Key extraction runs the transformed key function directly over the
+      // emitted record (committed bytes or builder).
+      ShuffleKeyValue k = EvalShuffleKey(interp, key_fn.fast_fn, Value::Addr(addr), key.is_string);
+      size_t b = hasher(k) % task_buckets.size();
+      int64_t before = task_buckets[b].bytes_used();
+      builders.Render(addr, klass, task_buckets[b]);
+      stats_.shuffle_bytes += task_buckets[b].bytes_used() - before;
+    };
+    io.emit_heap = [this, &key_fn, &key, &task_buckets, &hasher](ObjRef ref, const Klass* klass,
+                                                                 Interpreter& interp) {
+      ShuffleKeyValue k =
+          EvalShuffleKey(interp, key_fn.orig_fn, Value::Ref(static_cast<int64_t>(ref)), key.is_string);
+      size_t b = hasher(k) % task_buckets.size();
+      ScopedPhase phase(stats_.times, Phase::kSerialize);
+      ByteBuffer body;
+      inline_serde_.WriteRecord(ref, klass, body);
+      task_buckets[b].AppendRecord(body.data() + 4, static_cast<uint32_t>(body.size() - 4));
+      stats_.shuffle_bytes += static_cast<int64_t>(body.size());
+    };
+    io.on_abort = [&task_buckets] {
+      for (NativePartition& bucket : task_buckets) {
+        bucket.Release();
+      }
+    };
+    exec.set_forced_abort_at(
+        NextForcedAbortIndex(static_cast<int64_t>(io.input->record_count())));
+    SpecOutcome outcome = exec.RunTaskIo(io, stats_.times);
+    if (!outcome.committed_fast_path) {
+      stats_.aborts += outcome.aborts;
+    } else {
+      stats_.fast_path_commits += 1;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ReduceByKey
+// ---------------------------------------------------------------------------
+
+DatasetPtr SparkEngine::ReduceByKey(const DatasetPtr& input, const SerProgram& udfs,
+                                    const std::vector<NarrowOp>& pre_ops, const KeySpec& key,
+                                    const Function* reduce_fn, const BroadcastVar* broadcast) {
+  CompiledStage stage = CompileStage(input->klass, udfs, pre_ops, broadcast != nullptr,
+                                     broadcast != nullptr ? broadcast->klass : nullptr);
+  CompiledFn key_c = CompileFn(udfs, key.fn);
+  CompiledFn reduce_c = CompileFn(udfs, reduce_fn);
+  const Klass* rec_klass = stage.out_klass;
+  auto out = std::make_shared<Dataset>(*heap_, rec_klass, config_.num_partitions, &memory_);
+
+  if (config_.mode == EngineMode::kBaseline) {
+    std::vector<std::vector<ByteBuffer>> buckets;
+    std::vector<std::vector<int64_t>> counts;
+    ShuffleBaseline(input, stage, key, key_c, broadcast, &buckets, &counts);
+
+    heap_->set_phase_times(&stats_.times);
+    for (int p = 0; p < config_.num_partitions; ++p) {
+      stats_.tasks_run += 1;
+      Interpreter reduce_interp(*reduce_c.original, *heap_, *wk_, &layouts_, nullptr);
+      Interpreter key_interp(*key_c.original, *heap_, *wk_, &layouts_, nullptr);
+      ComputePhaseScope compute(stats_.times);
+      // Aggregation map: key -> index into the (GC-rooted) value vector.
+      std::unordered_map<ShuffleKeyValue, size_t, ShuffleKeyHash> agg;
+      std::vector<ObjRef> values;
+      heap_->AddRootVector(&values);
+      for (size_t task = 0; task < buckets.size(); ++task) {
+        ByteReader reader(buckets[task][static_cast<size_t>(p)].bytes());
+        for (int64_t r = 0; r < counts[task][static_cast<size_t>(p)]; ++r) {
+          ObjRef rec;
+          {
+            ScopedPhase phase(stats_.times, Phase::kDeserialize);
+            rec = kryo_.Deserialize(rec_klass, reader);
+          }
+          RootScope scope(*heap_);
+          size_t rec_slot = scope.Push(rec);
+          ShuffleKeyValue k = EvalShuffleKey(key_interp, key_c.orig_fn,
+                                      Value::Ref(static_cast<int64_t>(rec)), key.is_string);
+          auto it = agg.find(k);
+          if (it == agg.end()) {
+            agg.emplace(std::move(k), values.size());
+            values.push_back(scope.Get(rec_slot));
+          } else {
+            Value merged = reduce_interp.CallFunction(
+                reduce_c.orig_fn, {Value::Ref(static_cast<int64_t>(values[it->second])),
+                                   Value::Ref(static_cast<int64_t>(scope.Get(rec_slot)))});
+            values[it->second] = static_cast<ObjRef>(merged.i);
+          }
+        }
+      }
+      out->heap_parts[static_cast<size_t>(p)] = values;
+      heap_->RemoveRootVector(&values);
+    }
+    heap_->set_phase_times(nullptr);
+    return out;
+  }
+
+  // Gerenuk mode.
+  std::vector<std::vector<NativePartition>> buckets;
+  ShuffleGerenuk(input, stage, key, key_c, broadcast, &buckets);
+
+  heap_->set_phase_times(&stats_.times);
+  for (int p = 0; p < config_.num_partitions; ++p) {
+    stats_.tasks_run += 1;
+    NativePartition& out_part = out->native_parts[static_cast<size_t>(p)];
+    auto for_each_record = [&buckets, p](const std::function<void(int64_t, uint32_t)>& fn) {
+      for (auto& task_buckets : buckets) {
+        NativePartition& bucket = task_buckets[static_cast<size_t>(p)];
+        for (size_t r = 0; r < bucket.record_count(); ++r) {
+          fn(bucket.record_addr(r), bucket.record_size(r));
+        }
+      }
+    };
+    bool fast_ok = true;
+    try {
+      BuilderStore builders(layouts_);
+      Interpreter reduce_interp(*reduce_c.transformed, *heap_, *wk_, &layouts_, &builders);
+      ComputePhaseScope compute(stats_.times);
+      struct Entry {
+        int64_t addr;
+        int64_t size;
+      };
+      std::unordered_map<ShuffleKeyValue, Entry, ShuffleKeyHash> agg;
+      // Reduction results are rendered into a scratch region, compacted when
+      // garbage (superseded intermediates) dominates — region-based
+      // management in miniature.
+      NativePartition scratch(&memory_);
+      int64_t live_bytes = 0;
+      for_each_record([&](int64_t addr, uint32_t size) {
+        ShuffleKeyValue k =
+            EvalShuffleKey(reduce_interp, key_c.fast_fn, Value::Addr(addr), key.is_string);
+        auto it = agg.find(k);
+        if (it == agg.end()) {
+          agg.emplace(std::move(k), Entry{addr, static_cast<int64_t>(size)});
+          live_bytes += size;
+        } else {
+          Value merged = reduce_interp.CallFunction(
+              reduce_c.fast_fn, {Value::Addr(it->second.addr), Value::Addr(addr)});
+          ByteBuffer body;
+          builders.RenderBody(merged.i, rec_klass, body);
+          builders.Clear();
+          live_bytes -= it->second.size;
+          it->second.addr = scratch.AppendRecord(body.data(), static_cast<uint32_t>(body.size()));
+          it->second.size = static_cast<int64_t>(body.size());
+          live_bytes += it->second.size;
+          if (scratch.bytes_used() > (8 << 20) && scratch.bytes_used() > 2 * live_bytes) {
+            NativePartition compacted(&memory_);
+            for (auto& [kk, entry] : agg) {
+              entry.addr = compacted.AppendRecord(reinterpret_cast<const uint8_t*>(entry.addr),
+                                                  static_cast<uint32_t>(entry.size));
+            }
+            scratch = std::move(compacted);
+          }
+        }
+      });
+      for (const auto& [kk, entry] : agg) {
+        out_part.AppendRecord(reinterpret_cast<const uint8_t*>(entry.addr),
+                              static_cast<uint32_t>(entry.size));
+      }
+      stats_.fast_path_commits += 1;
+    } catch (const SerAbort&) {
+      fast_ok = false;
+    }
+    if (!fast_ok) {
+      // Reduce-side abort: discard and redo this bucket on the slow path.
+      stats_.aborts += 1;
+      out_part.Release();
+      Interpreter reduce_interp(*reduce_c.original, *heap_, *wk_, &layouts_, nullptr);
+      Interpreter key_interp(*key_c.original, *heap_, *wk_, &layouts_, nullptr);
+      ComputePhaseScope compute(stats_.times);
+      std::unordered_map<ShuffleKeyValue, size_t, ShuffleKeyHash> agg;
+      std::vector<ObjRef> values;
+      heap_->AddRootVector(&values);
+      for_each_record([&](int64_t addr, uint32_t size) {
+        ObjRef rec;
+        {
+          ScopedPhase phase(stats_.times, Phase::kDeserialize);
+          ByteReader reader(reinterpret_cast<const uint8_t*>(addr), size);
+          rec = inline_serde_.ReadBody(rec_klass, reader);
+        }
+        RootScope scope(*heap_);
+        size_t rec_slot = scope.Push(rec);
+        ShuffleKeyValue k = EvalShuffleKey(key_interp, key_c.orig_fn,
+                                    Value::Ref(static_cast<int64_t>(rec)), key.is_string);
+        auto it = agg.find(k);
+        if (it == agg.end()) {
+          agg.emplace(std::move(k), values.size());
+          values.push_back(scope.Get(rec_slot));
+        } else {
+          Value merged = reduce_interp.CallFunction(
+              reduce_c.orig_fn, {Value::Ref(static_cast<int64_t>(values[it->second])),
+                                 Value::Ref(static_cast<int64_t>(scope.Get(rec_slot)))});
+          values[it->second] = static_cast<ObjRef>(merged.i);
+        }
+      });
+      for (ObjRef ref : values) {
+        ScopedPhase phase(stats_.times, Phase::kSerialize);
+        ByteBuffer body;
+        inline_serde_.WriteRecord(ref, rec_klass, body);
+        out_part.AppendRecord(body.data() + 4, static_cast<uint32_t>(body.size() - 4));
+      }
+      heap_->RemoveRootVector(&values);
+    }
+  }
+  heap_->set_phase_times(nullptr);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// JoinByKey
+// ---------------------------------------------------------------------------
+
+DatasetPtr SparkEngine::JoinByKey(const DatasetPtr& left, const KeySpec& left_key,
+                                  const DatasetPtr& right, const KeySpec& right_key,
+                                  const SerProgram& udfs, const Function* combine_fn,
+                                  const Klass* out_klass) {
+  CompiledStage left_stage = CompileStage(left->klass, udfs, {}, false, nullptr);
+  CompiledStage right_stage = CompileStage(right->klass, udfs, {}, false, nullptr);
+  CompiledFn lkey = CompileFn(udfs, left_key.fn);
+  CompiledFn rkey = CompileFn(udfs, right_key.fn);
+  CompiledFn combine = CompileFn(udfs, combine_fn);
+  auto out = std::make_shared<Dataset>(*heap_, out_klass, config_.num_partitions, &memory_);
+
+  if (config_.mode == EngineMode::kBaseline) {
+    std::vector<std::vector<ByteBuffer>> lb;
+    std::vector<std::vector<ByteBuffer>> rb;
+    std::vector<std::vector<int64_t>> lc;
+    std::vector<std::vector<int64_t>> rc;
+    ShuffleBaseline(left, left_stage, left_key, lkey, nullptr, &lb, &lc);
+    ShuffleBaseline(right, right_stage, right_key, rkey, nullptr, &rb, &rc);
+
+    heap_->set_phase_times(&stats_.times);
+    for (int p = 0; p < config_.num_partitions; ++p) {
+      stats_.tasks_run += 1;
+      Interpreter key_interp_l(*lkey.original, *heap_, *wk_, &layouts_, nullptr);
+      Interpreter key_interp_r(*rkey.original, *heap_, *wk_, &layouts_, nullptr);
+      Interpreter combine_interp(*combine.original, *heap_, *wk_, &layouts_, nullptr);
+      ComputePhaseScope compute(stats_.times);
+      std::unordered_map<ShuffleKeyValue, std::vector<size_t>, ShuffleKeyHash> table;
+      std::vector<ObjRef> lvalues;
+      heap_->AddRootVector(&lvalues);
+      for (size_t task = 0; task < lb.size(); ++task) {
+        ByteReader lreader(lb[task][static_cast<size_t>(p)].bytes());
+        for (int64_t r = 0; r < lc[task][static_cast<size_t>(p)]; ++r) {
+          ObjRef rec;
+          {
+            ScopedPhase phase(stats_.times, Phase::kDeserialize);
+            rec = kryo_.Deserialize(left->klass, lreader);
+          }
+          lvalues.push_back(rec);
+          ShuffleKeyValue k = EvalShuffleKey(key_interp_l, lkey.orig_fn,
+                                      Value::Ref(static_cast<int64_t>(rec)), left_key.is_string);
+          table[k].push_back(lvalues.size() - 1);
+        }
+      }
+      std::vector<ObjRef>& out_part = out->heap_parts[static_cast<size_t>(p)];
+      for (size_t task = 0; task < rb.size(); ++task) {
+        ByteReader rreader(rb[task][static_cast<size_t>(p)].bytes());
+        for (int64_t r = 0; r < rc[task][static_cast<size_t>(p)]; ++r) {
+          ObjRef rec;
+          {
+            ScopedPhase phase(stats_.times, Phase::kDeserialize);
+            rec = kryo_.Deserialize(right->klass, rreader);
+          }
+          RootScope scope(*heap_);
+          size_t rec_slot = scope.Push(rec);
+          ShuffleKeyValue k =
+              EvalShuffleKey(key_interp_r, rkey.orig_fn, Value::Ref(static_cast<int64_t>(rec)),
+                      right_key.is_string);
+          auto it = table.find(k);
+          if (it == table.end()) {
+            continue;
+          }
+          for (size_t li : it->second) {
+            Value combined = combine_interp.CallFunction(
+                combine.orig_fn, {Value::Ref(static_cast<int64_t>(lvalues[li])),
+                                  Value::Ref(static_cast<int64_t>(scope.Get(rec_slot)))});
+            out_part.push_back(static_cast<ObjRef>(combined.i));
+          }
+        }
+      }
+      heap_->RemoveRootVector(&lvalues);
+    }
+    heap_->set_phase_times(nullptr);
+    return out;
+  }
+
+  // Gerenuk mode.
+  std::vector<std::vector<NativePartition>> lb;
+  std::vector<std::vector<NativePartition>> rb;
+  ShuffleGerenuk(left, left_stage, left_key, lkey, nullptr, &lb);
+  ShuffleGerenuk(right, right_stage, right_key, rkey, nullptr, &rb);
+
+  heap_->set_phase_times(&stats_.times);
+  for (int p = 0; p < config_.num_partitions; ++p) {
+    stats_.tasks_run += 1;
+    NativePartition& out_part = out->native_parts[static_cast<size_t>(p)];
+    BuilderStore builders(layouts_);
+    Interpreter interp(*combine.transformed, *heap_, *wk_, &layouts_, &builders);
+    ComputePhaseScope compute(stats_.times);
+    std::unordered_map<ShuffleKeyValue, std::vector<int64_t>, ShuffleKeyHash> table;
+    for (auto& task_buckets : lb) {
+      NativePartition& lpart = task_buckets[static_cast<size_t>(p)];
+      for (size_t r = 0; r < lpart.record_count(); ++r) {
+        int64_t addr = lpart.record_addr(r);
+        ShuffleKeyValue k = EvalShuffleKey(interp, lkey.fast_fn, Value::Addr(addr), left_key.is_string);
+        table[k].push_back(addr);
+      }
+    }
+    for (auto& task_buckets : rb) {
+      NativePartition& rpart = task_buckets[static_cast<size_t>(p)];
+      for (size_t r = 0; r < rpart.record_count(); ++r) {
+        int64_t addr = rpart.record_addr(r);
+        ShuffleKeyValue k = EvalShuffleKey(interp, rkey.fast_fn, Value::Addr(addr), right_key.is_string);
+        auto it = table.find(k);
+        if (it == table.end()) {
+          continue;
+        }
+        for (int64_t laddr : it->second) {
+          Value combined =
+              interp.CallFunction(combine.fast_fn, {Value::Addr(laddr), Value::Addr(addr)});
+          builders.Render(combined.i, out_klass, out_part);
+          builders.Clear();
+        }
+      }
+    }
+    stats_.fast_path_commits += 1;
+  }
+  heap_->set_phase_times(nullptr);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Driver-side materialization
+// ---------------------------------------------------------------------------
+
+std::vector<size_t> SparkEngine::CollectToHeap(const DatasetPtr& dataset, RootScope& scope) {
+  std::vector<size_t> slots;
+  if (config_.mode == EngineMode::kBaseline) {
+    for (const auto& part : dataset->heap_parts) {
+      for (ObjRef ref : part) {
+        slots.push_back(scope.Push(ref));
+      }
+    }
+    return slots;
+  }
+  for (const auto& part : dataset->native_parts) {
+    for (size_t r = 0; r < part.record_count(); ++r) {
+      ByteReader reader(reinterpret_cast<const uint8_t*>(part.record_addr(r)),
+                        part.record_size(r));
+      slots.push_back(scope.Push(inline_serde_.ReadBody(dataset->klass, reader)));
+    }
+  }
+  return slots;
+}
+
+}  // namespace gerenuk

@@ -1,0 +1,151 @@
+// A miniature Spark: the data-parallel substrate the Gerenuk evaluation
+// transforms. It provides partitioned datasets, fused narrow stages
+// (map/flatMap/filter), hash-partitioned shuffles with reduceByKey and
+// joins, broadcast variables, and per-phase time/memory accounting.
+//
+// Two engine modes mirror the paper's comparison:
+//   * kBaseline — the unmodified system: records live as managed-heap
+//     objects; every shuffle serializes with the Kryo-like HeapSerializer on
+//     the map side and deserializes on the reduce side; the GC pays for all
+//     data objects.
+//   * kGerenuk  — the transformed system: records live as inlined native
+//     bytes; every stage's SER is compiled (SER analyzer + Algorithm 1) and
+//     speculatively executed over the buffers; shuffles are byte copies in
+//     the same format; input regions are freed wholesale after each task.
+//
+// Tasks run sequentially on the calling thread (the managed heap is
+// single-mutator); the relative per-phase costs — what Figure 6 plots — are
+// unaffected by this, since both modes execute the same schedule.
+#ifndef SRC_DATAFLOW_SPARK_H_
+#define SRC_DATAFLOW_SPARK_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/dataflow/dataset.h"
+#include "src/exec/ser_executor.h"
+#include "src/serde/heap_serializer.h"
+
+namespace gerenuk {
+
+struct SparkConfig {
+  EngineMode mode = EngineMode::kBaseline;
+  size_t heap_bytes = 64u << 20;
+  GcKind gc = GcKind::kGenerational;
+  int num_partitions = 4;
+};
+
+// A driver-built value shipped to every task (e.g. KMeans' current centers).
+struct BroadcastVar {
+  const Klass* klass = nullptr;
+  ObjRef heap = kNullRef;          // kBaseline representation
+  NativePartition native;          // kGerenuk representation (single record)
+};
+
+struct EngineStats {
+  PhaseTimes times;
+  int tasks_run = 0;
+  int fast_path_commits = 0;
+  int aborts = 0;
+  int64_t shuffle_bytes = 0;
+  TransformStats transform;  // accumulated compiler statistics
+  int stages_compiled = 0;
+};
+
+class SparkEngine {
+ public:
+  explicit SparkEngine(const SparkConfig& config);
+  ~SparkEngine();
+
+  Heap& heap() { return *heap_; }
+  WellKnown& wk() { return *wk_; }
+  EngineMode mode() const { return config_.mode; }
+  int num_partitions() const { return config_.num_partitions; }
+
+  // §3.1 annotation: top-level data types must be registered before any
+  // stage touching them is compiled.
+  void RegisterDataType(const Klass* klass);
+  const DataStructAnalyzer& layouts() const { return layouts_; }
+
+  // Builds a source dataset. `make` returns a rooted heap object per index
+  // (the engine roots it during conversion); records are stored per the
+  // engine mode. Call ResetMetrics() afterwards to exclude generation cost.
+  DatasetPtr Source(const Klass* klass, int64_t count,
+                    const std::function<ObjRef(int64_t, RootScope&)>& make);
+
+  BroadcastVar MakeBroadcast(ObjRef obj, const Klass* klass);
+
+  // A fused narrow stage (no shuffle).
+  DatasetPtr RunStage(const DatasetPtr& input, const SerProgram& udfs,
+                      const std::vector<NarrowOp>& ops, const BroadcastVar* broadcast = nullptr);
+
+  // Narrow pre-ops, shuffle by key, then pairwise reduction per key.
+  DatasetPtr ReduceByKey(const DatasetPtr& input, const SerProgram& udfs,
+                         const std::vector<NarrowOp>& pre_ops, const KeySpec& key,
+                         const Function* reduce_fn, const BroadcastVar* broadcast = nullptr);
+
+  // Inner hash join: shuffle both sides by key, combine matching pairs.
+  DatasetPtr JoinByKey(const DatasetPtr& left, const KeySpec& left_key, const DatasetPtr& right,
+                       const KeySpec& right_key, const SerProgram& udfs,
+                       const Function* combine_fn, const Klass* out_klass);
+
+  // Driver-side materialization as heap objects (rooted in `scope`).
+  std::vector<size_t> CollectToHeap(const DatasetPtr& dataset, RootScope& scope);
+  int64_t Count(const DatasetPtr& dataset) const { return dataset->TotalRecords(); }
+
+  const EngineStats& stats() const { return stats_; }
+  int64_t peak_memory_bytes() const { return memory_.peak_bytes(); }
+  void ResetMetrics();
+
+  // Fig. 10(b) hook: the next `n` Gerenuk tasks abort halfway through.
+  void ForceAborts(int n) { forced_aborts_remaining_ = n; }
+
+ private:
+  using CompiledStage = StagePrograms;
+  using CompiledFn = CompiledFunction;
+
+  // Builds the stage body: deserialize -> narrow chain -> serialize.
+  CompiledStage CompileStage(const Klass* in_klass, const SerProgram& udfs,
+                             const std::vector<NarrowOp>& ops, bool has_broadcast,
+                             const Klass* broadcast_klass);
+  CompiledFn CompileFn(const SerProgram& udfs, const Function* fn);
+
+  using ShuffleKeyValue = ShuffleKey;
+  using ShuffleKeyHash = ShuffleKey::Hash;
+
+  // Mode-specific stage executors.
+  DatasetPtr RunNarrowBaseline(const DatasetPtr& input, const CompiledStage& stage,
+                               const BroadcastVar* broadcast);
+  DatasetPtr RunNarrowGerenuk(const DatasetPtr& input, const CompiledStage& stage,
+                              const BroadcastVar* broadcast);
+  // Shuffle write: per-map-task, per-bucket outputs — the analogue of map
+  // output files, so an aborted task discards only its own contribution.
+  // Outer index: map task; inner index: reduce bucket.
+  void ShuffleBaseline(const DatasetPtr& input, const CompiledStage& stage, const KeySpec& key,
+                       const CompiledFn& key_fn, const BroadcastVar* broadcast,
+                       std::vector<std::vector<ByteBuffer>>* buckets,
+                       std::vector<std::vector<int64_t>>* bucket_counts);
+  void ShuffleGerenuk(const DatasetPtr& input, const CompiledStage& stage, const KeySpec& key,
+                      const CompiledFn& key_fn, const BroadcastVar* broadcast,
+                      std::vector<std::vector<NativePartition>>* buckets);
+
+  int64_t NextForcedAbortIndex(int64_t records);
+
+  SparkConfig config_;
+  std::unique_ptr<Heap> heap_;
+  std::unique_ptr<WellKnown> wk_;
+  ExprPool pool_;
+  DataStructAnalyzer layouts_{pool_};
+  HeapSerializer kryo_;
+  InlineSerializer inline_serde_;
+  MemoryTracker memory_;
+  EngineStats stats_;
+  int forced_aborts_remaining_ = 0;
+};
+
+}  // namespace gerenuk
+
+#endif  // SRC_DATAFLOW_SPARK_H_

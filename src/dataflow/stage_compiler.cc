@@ -1,0 +1,121 @@
+#include "src/dataflow/stage_compiler.h"
+
+#include <map>
+
+#include "src/analysis/ser_analyzer.h"
+#include "src/ir/builder.h"
+
+namespace gerenuk {
+
+std::unique_ptr<SerProgram> CompileSerProgram(const SerProgram& original,
+                                              const DataStructAnalyzer& layouts,
+                                              TransformStats* stats) {
+  SerAnalyzer analyzer(original, layouts);
+  SerAnalysis analysis = analyzer.Run();
+  Transformer transformer(original, analysis, layouts);
+  TransformResult result = transformer.Run();
+  if (stats != nullptr) {
+    stats->statements_transformed += result.stats.statements_transformed;
+    stats->aborts_inserted += result.stats.aborts_inserted;
+    stats->functions_transformed += result.stats.functions_transformed;
+    for (int i = 0; i < 5; ++i) {
+      stats->violations_by_reason[i] += result.stats.violations_by_reason[i];
+    }
+  }
+  return std::move(result.transformed);
+}
+
+StagePrograms CompileNarrowStage(EngineMode mode, const DataStructAnalyzer& layouts,
+                                 const Klass* in_klass, const SerProgram& udfs,
+                                 const std::vector<NarrowOp>& ops, bool has_broadcast,
+                                 const Klass* broadcast_klass, TransformStats* stats,
+                                 KlassRegistry& registry) {
+  StagePrograms stage;
+  stage.original = std::make_unique<SerProgram>();
+  stage.in_klass = in_klass;
+  stage.out_klass = in_klass;
+
+  std::map<int, int> remap;
+  std::vector<const Function*> imported;
+  imported.reserve(ops.size());
+  for (const NarrowOp& op : ops) {
+    int id = ImportFunction(*stage.original, udfs, op.fn->id, remap);
+    imported.push_back(stage.original->function(id));
+  }
+
+  Function* body = stage.original->AddFunction("stage_body");
+  FunctionBuilder b(body);
+  int bc_param = -1;
+  if (has_broadcast) {
+    bc_param = b.Param("broadcast", IrType::Ref(broadcast_klass));
+  }
+  int end = b.NewLabel();
+  int rec = b.Deserialize(in_klass);
+  int cur = rec;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const NarrowOp& op = ops[i];
+    std::vector<int> args = {cur};
+    if (imported[i]->num_params == 2) {
+      GERENUK_CHECK(has_broadcast) << "UDF " << imported[i]->name
+                                   << " expects a broadcast argument";
+      args.push_back(bc_param);
+    }
+    switch (op.kind) {
+      case NarrowOp::kMap:
+        cur = b.Call(imported[i], args);
+        stage.out_klass = op.out_klass;
+        break;
+      case NarrowOp::kFilter: {
+        int keep = b.Call(imported[i], args);
+        int drop = b.UnOp(UnOpKind::kNot, keep);
+        b.Branch(drop, end);
+        break;
+      }
+      case NarrowOp::kFlatMap: {
+        GERENUK_CHECK_EQ(i, ops.size() - 1) << "flatMap must be the last op of a stage";
+        int arr = b.Call(imported[i], args);
+        int len = b.ArrayLength(arr);
+        b.For(len, [&](int idx) {
+          int elem = b.ArrayLoad(arr, idx, IrType::Ref(op.out_klass));
+          b.Serialize(elem);
+        });
+        stage.out_klass = op.out_klass;
+        b.Jump(end);
+        break;
+      }
+    }
+  }
+  if (ops.empty() || ops.back().kind != NarrowOp::kFlatMap) {
+    b.Serialize(cur);
+  }
+  b.PlaceLabel(end);
+  b.Return();
+  b.Done();
+  stage.original->body = body;
+
+  if (mode == EngineMode::kGerenuk) {
+    stage.transformed = CompileSerProgram(*stage.original, layouts, stats);
+  }
+  return stage;
+}
+
+CompiledFunction CompileSingleFunction(EngineMode mode, const DataStructAnalyzer& layouts,
+                                       const SerProgram& udfs, const Function* fn,
+                                       TransformStats* stats) {
+  CompiledFunction compiled;
+  compiled.original = std::make_unique<SerProgram>();
+  std::map<int, int> remap;
+  int id = ImportFunction(*compiled.original, udfs, fn->id, remap);
+  // Key/reduce/combine functions are evaluated inside other interpreters'
+  // contexts, so they must be self-contained (call no helpers).
+  GERENUK_CHECK_EQ(compiled.original->functions.size(), 1u)
+      << fn->name << " must not call helper functions";
+  compiled.orig_fn = compiled.original->function(id);
+  if (mode == EngineMode::kGerenuk) {
+    compiled.transformed = CompileSerProgram(*compiled.original, layouts, stats);
+    compiled.fast_fn = compiled.transformed->function(id);
+  }
+  return compiled;
+}
+
+}  // namespace gerenuk

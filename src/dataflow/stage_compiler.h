@@ -1,0 +1,69 @@
+// Shared SER construction for the engines: given a chain of narrow operators
+// (the user's UDFs) this builds the stage body — deserialization point,
+// fused operator calls, serialization point — and runs the Gerenuk compiler
+// over it. Both the mini-Spark and mini-Hadoop engines generate their tasks
+// through this, mirroring how the real Gerenuk transforms system + user code
+// together.
+#ifndef SRC_DATAFLOW_STAGE_COMPILER_H_
+#define SRC_DATAFLOW_STAGE_COMPILER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/analysis/layout.h"
+#include "src/ir/ir.h"
+#include "src/transform/transformer.h"
+
+namespace gerenuk {
+
+enum class EngineMode : uint8_t { kBaseline, kGerenuk };
+
+struct NarrowOp {
+  enum Kind : uint8_t { kMap, kFlatMap, kFilter } kind = kMap;
+  const Function* fn = nullptr;   // kMap: T->U; kFlatMap: T->U[]; kFilter: T->bool
+  const Klass* out_klass = nullptr;  // record class produced (kMap/kFlatMap)
+
+  static NarrowOp Map(const Function* fn, const Klass* out_klass) {
+    return {kMap, fn, out_klass};
+  }
+  static NarrowOp FlatMap(const Function* fn, const Klass* out_klass) {
+    return {kFlatMap, fn, out_klass};
+  }
+  static NarrowOp Filter(const Function* fn) { return {kFilter, fn, nullptr}; }
+};
+
+struct StagePrograms {
+  std::unique_ptr<SerProgram> original;
+  std::unique_ptr<SerProgram> transformed;  // kGerenuk only
+  const Klass* in_klass = nullptr;
+  const Klass* out_klass = nullptr;
+};
+
+struct CompiledFunction {
+  std::unique_ptr<SerProgram> original;
+  std::unique_ptr<SerProgram> transformed;
+  const Function* orig_fn = nullptr;
+  const Function* fast_fn = nullptr;  // kGerenuk only
+};
+
+// Runs SER analysis + Algorithm 1 over `original`, accumulating compiler
+// statistics into `*stats` when non-null.
+std::unique_ptr<SerProgram> CompileSerProgram(const SerProgram& original,
+                                              const DataStructAnalyzer& layouts,
+                                              TransformStats* stats);
+
+// Builds and (in kGerenuk mode) compiles a fused narrow stage.
+StagePrograms CompileNarrowStage(EngineMode mode, const DataStructAnalyzer& layouts,
+                                 const Klass* in_klass, const SerProgram& udfs,
+                                 const std::vector<NarrowOp>& ops, bool has_broadcast,
+                                 const Klass* broadcast_klass, TransformStats* stats,
+                                 KlassRegistry& registry);
+
+// Imports and compiles one self-contained function (key/reduce/combine).
+CompiledFunction CompileSingleFunction(EngineMode mode, const DataStructAnalyzer& layouts,
+                                       const SerProgram& udfs, const Function* fn,
+                                       TransformStats* stats);
+
+}  // namespace gerenuk
+
+#endif  // SRC_DATAFLOW_STAGE_COMPILER_H_

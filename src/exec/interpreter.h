@@ -1,0 +1,102 @@
+// The unified IR interpreter executing both sides of the speculation:
+//
+//   * slow path  — the original program: data records are managed-heap
+//     objects; Deserialize/Serialize pull/push records through the engine's
+//     record channel; GC, write barriers, and bounds checks apply.
+//   * fast path  — the transformed program: data records are native
+//     addresses (committed input bytes or record builders); control-path
+//     statements still run against the managed heap, exactly as Gerenuk's
+//     transformed Spark keeps its control objects on the JVM heap.
+//
+// A triggered ABORT (inserted by the transformer, hit at run time) throws
+// SerAbort; the SerExecutor catches it and re-executes the original program
+// (§3.6 "Re-execution"). Interpreter frames register themselves as GC root
+// providers so heap references held in IR variables survive collections.
+#ifndef SRC_EXEC_INTERPRETER_H_
+#define SRC_EXEC_INTERPRETER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/analysis/layout.h"
+#include "src/ir/ir.h"
+#include "src/nativebuf/native_buffer.h"
+#include "src/nativebuf/record_builder.h"
+#include "src/runtime/heap.h"
+#include "src/serde/wellknown.h"
+
+namespace gerenuk {
+
+// Thrown when a transformed SER hits an abort instruction.
+struct SerAbort {
+  AbortReason reason;
+  std::string detail;
+};
+
+// Engine-provided source/sink of records for Deserialize/Serialize (slow
+// path) and GetAddress/GWriteObject (fast path).
+struct RecordChannel {
+  // Slow path: next input record as a heap object (engine deserializes).
+  std::function<ObjRef()> next_heap_record;
+  // Slow path: emit an output record rooted at a heap object.
+  std::function<void(ObjRef, const Klass*)> emit_heap_record;
+  // Fast path: next input record's native address.
+  std::function<int64_t()> next_native_record;
+  // Fast path: emit the structure rooted at a native address / builder.
+  std::function<void(int64_t, const Klass*)> emit_native_record;
+};
+
+class Interpreter : public RootProvider {
+ public:
+  // `builders` may be null for slow-path-only use; `layouts` is required for
+  // the fast path's offset resolution.
+  Interpreter(const SerProgram& program, Heap& heap, const WellKnown& wk,
+              const DataStructAnalyzer* layouts, BuilderStore* builders);
+  ~Interpreter();
+
+  void set_channel(RecordChannel* channel) { channel_ = channel; }
+
+  // Calls `func` with `args`; returns its return value (None for void).
+  // Throws SerAbort when an abort instruction executes.
+  Value CallFunction(const Function* func, const std::vector<Value>& args);
+
+  // Statements executed since construction (used by ablation benches).
+  int64_t statements_executed() const { return statements_executed_; }
+
+  // RootProvider: exposes every kRef slot of every active frame.
+  void VisitRoots(const std::function<void(ObjRef*)>& visit) override;
+
+  // Reads the text of a string value — a heap String (kRef), a committed
+  // native [len][bytes] record (kAddr), or an under-construction string
+  // builder. Engines use this to extract shuffle keys.
+  int64_t ReadStringBytes(Value v, std::string* out);
+
+ private:
+  struct Frame {
+    const Function* func = nullptr;
+    std::vector<Value> slots;
+  };
+
+  // Frames are pooled: small UDFs (key extraction, reduce folds) are invoked
+  // once per record, and a fresh slot vector per call would dominate them.
+  Frame* AcquireFrame(const Function* func);
+  void ReleaseFrame();
+
+  Value Execute(Frame& frame);
+  Value RunIntrinsic(const Statement& s, Frame& frame);
+
+  const SerProgram& program_;
+  Heap& heap_;
+  const WellKnown& wk_;
+  const DataStructAnalyzer* layouts_;
+  BuilderStore* builders_;
+  RecordChannel* channel_ = nullptr;
+  std::vector<std::unique_ptr<Frame>> frame_pool_;  // [0, active) live, rest free
+  size_t active_frames_ = 0;
+  int64_t statements_executed_ = 0;
+};
+
+}  // namespace gerenuk
+
+#endif  // SRC_EXEC_INTERPRETER_H_

@@ -1,0 +1,149 @@
+#include "src/exec/ser_executor.h"
+
+namespace gerenuk {
+
+
+
+bool SerExecutor::RunFastPathIo(TaskIo& io, PhaseTimes& times, SpecOutcome* outcome) {
+  BuilderStore builders(layouts_);
+  Interpreter interp(transformed_, heap_, wk_, &layouts_, &builders);
+
+  size_t cursor = 0;
+  RecordChannel channel;
+  channel.next_native_record = [&io, &cursor]() {
+    GERENUK_CHECK_LT(cursor, io.input->record_count());
+    return io.input->record_addr(cursor);
+  };
+  channel.emit_native_record = [&io, &interp, &builders](int64_t addr, const Klass* klass) {
+    io.emit_native(addr, klass, interp, builders);
+  };
+  interp.set_channel(&channel);
+
+  heap_.set_phase_times(&times);
+  try {
+    ComputePhaseScope compute(times);
+    for (cursor = 0; cursor < io.input->record_count(); ++cursor) {
+      if (forced_abort_at_ >= 0 && static_cast<int64_t>(cursor) == forced_abort_at_) {
+        throw SerAbort{AbortReason::kForced, "forced abort (experiment hook)"};
+      }
+      interp.CallFunction(transformed_.body, io.fast_args);
+      // Builders are per-record scratch state; a fresh record starts clean.
+      builders.Clear();
+      outcome->records_processed += 1;
+    }
+  } catch (const SerAbort& abort) {
+    outcome->aborts += 1;
+    outcome->abort_reason = abort.reason;
+    outcome->records_wasted += static_cast<int64_t>(cursor);
+    outcome->records_processed = 0;
+    heap_.set_phase_times(nullptr);
+    return false;
+  }
+  heap_.set_phase_times(nullptr);
+  return true;
+}
+
+void SerExecutor::RunSlowPathIo(TaskIo& io, PhaseTimes& times) {
+  InlineSerializer serde(heap_);
+  Interpreter interp(original_, heap_, wk_, &layouts_, nullptr);
+
+  const Klass* record_klass = nullptr;
+  for (const Statement& s : original_.body->body) {
+    if (s.op == Op::kDeserialize) {
+      record_klass = s.klass;
+      break;
+    }
+  }
+  GERENUK_CHECK(record_klass != nullptr) << "slow path body has no deserialization point";
+
+  size_t cursor = 0;
+  RecordChannel channel;
+  channel.next_heap_record = [this, &serde, &io, &cursor, &times, record_klass]() {
+    GERENUK_CHECK_LT(cursor, io.input->record_count());
+    ScopedPhase phase(times, Phase::kDeserialize);
+    int64_t addr = io.input->record_addr(cursor);
+    uint32_t size = io.input->record_size(cursor);
+    ByteReader reader(reinterpret_cast<const uint8_t*>(addr), size);
+    return serde.ReadBody(record_klass, reader);
+  };
+  channel.emit_heap_record = [&io, &interp](ObjRef ref, const Klass* klass) {
+    io.emit_heap(ref, klass, interp);
+  };
+  interp.set_channel(&channel);
+
+  heap_.set_phase_times(&times);
+  {
+    ComputePhaseScope compute(times);
+    for (cursor = 0; cursor < io.input->record_count(); ++cursor) {
+      interp.CallFunction(original_.body, io.slow_args);
+    }
+  }
+  heap_.set_phase_times(nullptr);
+}
+
+SpecOutcome SerExecutor::RunTaskIo(TaskIo& io, PhaseTimes& times) {
+  SpecOutcome outcome;
+  if (RunFastPathIo(io, times, &outcome)) {
+    return outcome;
+  }
+  // Abort: terminate the executor — every intermediate buffer is discarded;
+  // the input buffers are untouched (the interpreter aborts before any write
+  // to committed records), so the fresh executor re-runs the original task
+  // on the same input.
+  if (io.on_abort) {
+    io.on_abort();
+  }
+  if (launch_hook_) {
+    launch_hook_();
+  }
+  RunSlowPathIo(io, times);
+  outcome.committed_fast_path = false;
+  outcome.records_processed = static_cast<int64_t>(io.input->record_count());
+  return outcome;
+}
+
+SpecOutcome SerExecutor::RunTask(const NativePartition& input, NativePartition* output,
+                                 PhaseTimes& times) {
+  InlineSerializer serde(heap_);
+  TaskIo io;
+  io.input = &input;
+  io.emit_native = [output](int64_t addr, const Klass* klass, Interpreter&,
+                            BuilderStore& builders) {
+    builders.Render(addr, klass, *output);
+  };
+  io.emit_heap = [this, output, &serde, &times](ObjRef ref, const Klass* klass, Interpreter&) {
+    ScopedPhase phase(times, Phase::kSerialize);
+    ByteBuffer body;
+    serde.WriteRecord(ref, klass, body);
+    output->AppendRecord(body.data() + 4, static_cast<uint32_t>(body.size() - 4));
+  };
+
+  SpecOutcome outcome;
+  if (RunFastPathIo(io, times, &outcome)) {
+    return outcome;
+  }
+  output->Release();  // discard partial fast-path output
+  if (launch_hook_) {
+    launch_hook_();
+  }
+  RunSlowPathIo(io, times);
+  outcome.committed_fast_path = false;
+  outcome.records_processed = static_cast<int64_t>(input.record_count());
+  return outcome;
+}
+
+void SerExecutor::RunSlowPath(const NativePartition& input, NativePartition* output,
+                              PhaseTimes& times) {
+  InlineSerializer serde(heap_);
+  TaskIo io;
+  io.input = &input;
+  io.emit_heap = [this, output, &serde, &times](ObjRef ref, const Klass* klass, Interpreter&) {
+    ScopedPhase phase(times, Phase::kSerialize);
+    ByteBuffer body;
+    serde.WriteRecord(ref, klass, body);
+    output->AppendRecord(body.data() + 4, static_cast<uint32_t>(body.size() - 4));
+  };
+  RunSlowPathIo(io, times);
+}
+
+}  // namespace gerenuk

@@ -1,0 +1,97 @@
+// The speculative execution engine (§3.6): runs a task's transformed SER
+// over a native input partition; if an abort instruction fires, the
+// executor is "terminated and relaunched" — every intermediate buffer and
+// builder is discarded, the *original* program is re-executed over the same
+// (immutable, hence intact) input buffers, deserializing each record into
+// heap objects and re-serializing the outputs into the native format the
+// downstream task expects.
+//
+// The per-phase time breakdown (compute / GC / serialize / deserialize)
+// accumulates into the caller's PhaseTimes — the numbers behind Figure 6's
+// stacked bars and Figure 10's re-execution costs.
+#ifndef SRC_EXEC_SER_EXECUTOR_H_
+#define SRC_EXEC_SER_EXECUTOR_H_
+
+#include <functional>
+
+#include "src/exec/interpreter.h"
+#include "src/serde/inline_serializer.h"
+
+namespace gerenuk {
+
+struct SpecOutcome {
+  bool committed_fast_path = true;  // false => the slow path produced output
+  int aborts = 0;
+  AbortReason abort_reason = AbortReason::kForced;
+  int64_t records_processed = 0;
+  int64_t records_wasted = 0;  // fast-path work discarded by the abort
+};
+
+// Engine-level task description: where records come from, where emitted
+// records go (the engine may route them to shuffle buckets), and any extra
+// arguments for the task body (e.g. a broadcast variable's record).
+struct TaskIo {
+  const NativePartition* input = nullptr;
+  // Fast path: `addr` is a committed address or builder; the engine renders
+  // it wherever it wants via `builders` and may call back into `interp`
+  // (e.g. to evaluate a key-extraction function on the emitted record).
+  std::function<void(int64_t addr, const Klass*, Interpreter& interp, BuilderStore& builders)>
+      emit_native;
+  // Slow path: emitted record as a rooted heap object.
+  std::function<void(ObjRef, const Klass*, Interpreter& interp)> emit_heap;
+  // Extra body arguments. Fast path gets kAddr values, slow path kRef.
+  std::vector<Value> fast_args;
+  std::vector<Value> slow_args;
+  // Invoked after a fast-path abort, before the slow path re-runs: the
+  // engine discards whatever partial output its emit callbacks produced
+  // (the simulator's analogue of tearing down the aborted executor's
+  // intermediate buffers).
+  std::function<void()> on_abort;
+};
+
+class SerExecutor {
+ public:
+  SerExecutor(Heap& heap, WellKnown& wk, const DataStructAnalyzer& layouts,
+              const SerProgram& original, const SerProgram& transformed)
+      : heap_(heap),
+        wk_(wk),
+        layouts_(layouts),
+        original_(original),
+        transformed_(transformed) {}
+
+  // Experiment hook (Fig. 10(b)): force an abort once the fast path has
+  // consumed `record_index` records. -1 disables.
+  void set_forced_abort_at(int64_t record_index) { forced_abort_at_ = record_index; }
+
+  // The paper's user-provided `launch` method: invoked when a new executor
+  // replaces an aborted one. Application-independent; defaults to nothing
+  // (the simulator reuses the calling thread as the fresh executor).
+  void set_launch_hook(std::function<void()> hook) { launch_hook_ = std::move(hook); }
+
+  // Executes the task body once per input record. Output records are
+  // appended to `*output` in the inline native format on both paths.
+  SpecOutcome RunTask(const NativePartition& input, NativePartition* output, PhaseTimes& times);
+
+  // Runs only the slow path (used by the unmodified-baseline engines and by
+  // tests that need reference output).
+  void RunSlowPath(const NativePartition& input, NativePartition* output, PhaseTimes& times);
+
+  // General engine entry points with custom routing and body arguments.
+  SpecOutcome RunTaskIo(TaskIo& io, PhaseTimes& times);
+  void RunSlowPathIo(TaskIo& io, PhaseTimes& times);
+
+ private:
+  bool RunFastPathIo(TaskIo& io, PhaseTimes& times, SpecOutcome* outcome);
+
+  Heap& heap_;
+  WellKnown& wk_;
+  const DataStructAnalyzer& layouts_;
+  const SerProgram& original_;
+  const SerProgram& transformed_;
+  int64_t forced_abort_at_ = -1;
+  std::function<void()> launch_hook_;
+};
+
+}  // namespace gerenuk
+
+#endif  // SRC_EXEC_SER_EXECUTOR_H_

@@ -1,0 +1,285 @@
+#include "src/ir/builder.h"
+
+#include "src/support/logging.h"
+
+namespace gerenuk {
+
+int FunctionBuilder::NewVar(const std::string& name, IrType type) {
+  func_->vars.push_back({name, type});
+  return static_cast<int>(func_->vars.size()) - 1;
+}
+
+int FunctionBuilder::Emit(Statement s) {
+  func_->body.push_back(std::move(s));
+  return static_cast<int>(func_->body.size()) - 1;
+}
+
+int FunctionBuilder::Param(const std::string& name, IrType type) {
+  GERENUK_CHECK_EQ(func_->num_params, static_cast<int>(func_->vars.size()))
+      << "params must be declared before locals";
+  func_->num_params += 1;
+  return NewVar(name, type);
+}
+
+int FunctionBuilder::Local(const std::string& name, IrType type) { return NewVar(name, type); }
+
+int FunctionBuilder::ConstI(int64_t v) {
+  int dst = NewVar("", IrType::I64());
+  Statement s;
+  s.op = Op::kConst;
+  s.dst = dst;
+  s.imm = Value::I64(v);
+  Emit(std::move(s));
+  return dst;
+}
+
+int FunctionBuilder::ConstF(double v) {
+  int dst = NewVar("", IrType::F64());
+  Statement s;
+  s.op = Op::kConst;
+  s.dst = dst;
+  s.imm = Value::F64(v);
+  Emit(std::move(s));
+  return dst;
+}
+
+int FunctionBuilder::Assign(int src) {
+  int dst = NewVar("", func_->vars[src].type);
+  AssignTo(dst, src);
+  return dst;
+}
+
+void FunctionBuilder::AssignTo(int dst, int src) {
+  Statement s;
+  s.op = Op::kAssign;
+  s.dst = dst;
+  s.a = src;
+  Emit(std::move(s));
+}
+
+int FunctionBuilder::BinOp(BinOpKind kind, int a, int b) {
+  bool is_float = func_->vars[a].type.kind == IrType::kF64 ||
+                  func_->vars[b].type.kind == IrType::kF64;
+  bool is_compare = kind == BinOpKind::kLt || kind == BinOpKind::kLe || kind == BinOpKind::kGt ||
+                    kind == BinOpKind::kGe || kind == BinOpKind::kEq || kind == BinOpKind::kNe;
+  int dst = NewVar("", is_compare || !is_float ? IrType::I64() : IrType::F64());
+  Statement s;
+  s.op = Op::kBinOp;
+  s.binop = kind;
+  s.dst = dst;
+  s.a = a;
+  s.b = b;
+  Emit(std::move(s));
+  return dst;
+}
+
+int FunctionBuilder::UnOp(UnOpKind kind, int a) {
+  IrType type = func_->vars[a].type;
+  if (kind == UnOpKind::kI2F) {
+    type = IrType::F64();
+  } else if (kind == UnOpKind::kF2I || kind == UnOpKind::kNot) {
+    type = IrType::I64();
+  }
+  int dst = NewVar("", type);
+  Statement s;
+  s.op = Op::kUnOp;
+  s.unop = kind;
+  s.dst = dst;
+  s.a = a;
+  Emit(std::move(s));
+  return dst;
+}
+
+int FunctionBuilder::Deserialize(const Klass* klass) {
+  int dst = NewVar("", IrType::Ref(klass));
+  Statement s;
+  s.op = Op::kDeserialize;
+  s.dst = dst;
+  s.klass = klass;
+  Emit(std::move(s));
+  return dst;
+}
+
+void FunctionBuilder::Serialize(int src) {
+  Statement s;
+  s.op = Op::kSerialize;
+  s.a = src;
+  s.klass = func_->vars[src].type.klass;
+  Emit(std::move(s));
+}
+
+int FunctionBuilder::FieldLoad(int obj, const Klass* klass, const std::string& field) {
+  const FieldInfo* info = klass->FindField(field);
+  GERENUK_CHECK(info != nullptr) << klass->name() << " has no field " << field;
+  IrType type;
+  switch (info->kind) {
+    case FieldKind::kRef:
+      type = IrType::Ref(info->target);
+      break;
+    case FieldKind::kF32:
+    case FieldKind::kF64:
+      type = IrType::F64();
+      break;
+    default:
+      type = IrType::I64();
+      break;
+  }
+  int dst = NewVar("", type);
+  Statement s;
+  s.op = Op::kFieldLoad;
+  s.dst = dst;
+  s.a = obj;
+  s.klass = klass;
+  s.field_index = static_cast<int>(info - klass->fields().data());
+  s.elem_kind = info->kind;
+  Emit(std::move(s));
+  return dst;
+}
+
+void FunctionBuilder::FieldStore(int obj, const Klass* klass, const std::string& field, int src) {
+  const FieldInfo* info = klass->FindField(field);
+  GERENUK_CHECK(info != nullptr) << klass->name() << " has no field " << field;
+  Statement s;
+  s.op = Op::kFieldStore;
+  s.a = obj;
+  s.b = src;
+  s.klass = klass;
+  s.field_index = static_cast<int>(info - klass->fields().data());
+  s.elem_kind = info->kind;
+  Emit(std::move(s));
+}
+
+int FunctionBuilder::ArrayLoad(int array, int index, IrType elem_type) {
+  int dst = NewVar("", elem_type);
+  Statement s;
+  s.op = Op::kArrayLoad;
+  s.dst = dst;
+  s.a = array;
+  s.b = index;
+  s.klass = func_->vars[array].type.klass;
+  GERENUK_CHECK(s.klass != nullptr && s.klass->is_array());
+  s.elem_kind = s.klass->element_kind();
+  Emit(std::move(s));
+  return dst;
+}
+
+void FunctionBuilder::ArrayStore(int array, int index, int src) {
+  Statement s;
+  s.op = Op::kArrayStore;
+  s.a = array;
+  s.b = index;
+  s.c = src;
+  s.klass = func_->vars[array].type.klass;
+  GERENUK_CHECK(s.klass != nullptr && s.klass->is_array());
+  s.elem_kind = s.klass->element_kind();
+  Emit(std::move(s));
+}
+
+int FunctionBuilder::ArrayLength(int array) {
+  int dst = NewVar("", IrType::I64());
+  Statement s;
+  s.op = Op::kArrayLength;
+  s.dst = dst;
+  s.a = array;
+  s.klass = func_->vars[array].type.klass;
+  Emit(std::move(s));
+  return dst;
+}
+
+int FunctionBuilder::NewObject(const Klass* klass) {
+  int dst = NewVar("", IrType::Ref(klass));
+  Statement s;
+  s.op = Op::kNewObject;
+  s.dst = dst;
+  s.klass = klass;
+  Emit(std::move(s));
+  return dst;
+}
+
+int FunctionBuilder::NewArray(const Klass* klass, int length) {
+  GERENUK_CHECK(klass->is_array());
+  int dst = NewVar("", IrType::Ref(klass));
+  Statement s;
+  s.op = Op::kNewArray;
+  s.dst = dst;
+  s.a = length;
+  s.klass = klass;
+  Emit(std::move(s));
+  return dst;
+}
+
+int FunctionBuilder::Call(const Function* callee, std::vector<int> args) {
+  GERENUK_CHECK_EQ(static_cast<int>(args.size()), callee->num_params);
+  int dst = -1;
+  if (callee->return_type.kind != IrType::kVoid) {
+    dst = NewVar("", callee->return_type);
+  }
+  Statement s;
+  s.op = Op::kCall;
+  s.dst = dst;
+  s.func = callee->id;
+  s.args = std::move(args);
+  Emit(std::move(s));
+  return dst;
+}
+
+int FunctionBuilder::CallNative(const std::string& name, std::vector<int> args, IrType ret) {
+  int dst = -1;
+  if (ret.kind != IrType::kVoid) {
+    dst = NewVar("", ret);
+  }
+  Statement s;
+  s.op = Op::kCallNative;
+  s.dst = dst;
+  s.native_name = name;
+  s.args = std::move(args);
+  Emit(std::move(s));
+  return dst;
+}
+
+void FunctionBuilder::MonitorEnter(int obj) {
+  Statement s;
+  s.op = Op::kMonitorEnter;
+  s.a = obj;
+  Emit(std::move(s));
+}
+
+void FunctionBuilder::MonitorExit(int obj) {
+  Statement s;
+  s.op = Op::kMonitorExit;
+  s.a = obj;
+  Emit(std::move(s));
+}
+
+int FunctionBuilder::NewLabel() { return next_label_++; }
+
+void FunctionBuilder::PlaceLabel(int label) {
+  Statement s;
+  s.op = Op::kLabel;
+  s.label = label;
+  Emit(std::move(s));
+}
+
+void FunctionBuilder::Branch(int cond, int label) {
+  Statement s;
+  s.op = Op::kBranch;
+  s.a = cond;
+  s.label = label;
+  Emit(std::move(s));
+}
+
+void FunctionBuilder::Jump(int label) {
+  Statement s;
+  s.op = Op::kJump;
+  s.label = label;
+  Emit(std::move(s));
+}
+
+void FunctionBuilder::Return(int src) {
+  Statement s;
+  s.op = Op::kReturn;
+  s.a = src;
+  Emit(std::move(s));
+}
+
+}  // namespace gerenuk

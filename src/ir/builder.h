@@ -1,0 +1,99 @@
+// Fluent construction API for SerProgram functions.
+//
+// Workload "user programs" (the Spark/Hadoop UDFs of §4) are authored with
+// this builder, playing the role Java/Scala source plays for the real
+// Gerenuk: the builder output is the *original* object-based program, which
+// the SER analyzer and transformer then rewrite for native execution.
+#ifndef SRC_IR_BUILDER_H_
+#define SRC_IR_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ir/ir.h"
+
+namespace gerenuk {
+
+class FunctionBuilder {
+ public:
+  explicit FunctionBuilder(Function* func) : func_(func) {}
+
+  // Declares a parameter (must precede any Local declarations).
+  int Param(const std::string& name, IrType type);
+  // Declares a local variable.
+  int Local(const std::string& name, IrType type);
+
+  int ConstI(int64_t v);
+  int ConstF(double v);
+
+  int Assign(int src);
+  void AssignTo(int dst, int src);
+  int BinOp(BinOpKind kind, int a, int b);
+  int UnOp(UnOpKind kind, int a);
+
+  // v = readObject() — the deserialization point (SER source).
+  int Deserialize(const Klass* klass);
+  // writeObject(v) — the serialization point (SER sink).
+  void Serialize(int src);
+
+  int FieldLoad(int obj, const Klass* klass, const std::string& field);
+  void FieldStore(int obj, const Klass* klass, const std::string& field, int src);
+  int ArrayLoad(int array, int index, IrType elem_type);
+  void ArrayStore(int array, int index, int src);
+  int ArrayLength(int array);
+  int NewObject(const Klass* klass);
+  int NewArray(const Klass* klass, int length);
+
+  int Call(const Function* callee, std::vector<int> args);
+  int CallNative(const std::string& name, std::vector<int> args, IrType ret);
+  void MonitorEnter(int obj);
+  void MonitorExit(int obj);
+
+  int NewLabel();
+  void PlaceLabel(int label);
+  void Branch(int cond, int label);
+  void Jump(int label);
+  void Return(int src = -1);
+
+  // Convenience: counted loop `for (i = 0; i < bound; ++i) body(i)`.
+  template <typename Body>
+  void For(int bound, Body&& body) {
+    int i = Local("i", IrType::I64());
+    AssignTo(i, ConstI(0));
+    int head = NewLabel();
+    int exit = NewLabel();
+    PlaceLabel(head);
+    int done = BinOp(BinOpKind::kGe, i, bound);
+    Branch(done, exit);
+    body(i);
+    AssignTo(i, BinOp(BinOpKind::kAdd, i, ConstI(1)));
+    Jump(head);
+    PlaceLabel(exit);
+  }
+
+  // Convenience: `if (cond) then_body()`.
+  template <typename Then>
+  void If(int cond, Then&& then_body) {
+    int skip = NewLabel();
+    int not_cond = UnOp(UnOpKind::kNot, cond);
+    Branch(not_cond, skip);
+    then_body();
+    PlaceLabel(skip);
+  }
+
+  // Finalizes the function (resolves labels). Call exactly once.
+  void Done() { func_->ResolveLabels(); }
+
+  Function* function() { return func_; }
+
+ private:
+  int Emit(Statement s);
+  int NewVar(const std::string& name, IrType type);
+
+  Function* func_;
+  int next_label_ = 0;
+};
+
+}  // namespace gerenuk
+
+#endif  // SRC_IR_BUILDER_H_

@@ -1,0 +1,109 @@
+// A miniature Hadoop MapReduce: the second system the paper transforms.
+//
+// A job runs map tasks over input splits; each map emits (key, value)
+// records into a sort buffer that is partitioned by reducer, sorted by key,
+// optionally run through a combiner, and spilled to IFile-like segments.
+// Reducers merge their partition's runs from every segment, group equal
+// keys, and fold each group with the reduce function.
+//
+// The two engine modes mirror the paper's comparison:
+//   * kBaseline — records are heap objects; the sort buffer and segments
+//     hold *serialized* bytes (Hadoop's map-output buffer design, which is
+//     why the paper observes small ser/deser savings for Hadoop); the
+//     combiner and reducer deserialize values before folding.
+//   * kGerenuk  — records are inlined native bytes end to end; sorting and
+//     merging move byte ranges; the combiner and reducer run transformed
+//     code over the buffers. The deserialization point the paper names
+//     (WritableDeserializer.deserialize in ReduceContextImpl) simply
+//     disappears.
+#ifndef SRC_MAPREDUCE_HADOOP_H_
+#define SRC_MAPREDUCE_HADOOP_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/dataflow/dataset.h"
+#include "src/exec/ser_executor.h"
+#include "src/serde/heap_serializer.h"
+
+namespace gerenuk {
+
+struct HadoopConfig {
+  EngineMode mode = EngineMode::kBaseline;
+  size_t heap_bytes = 64u << 20;
+  GcKind gc = GcKind::kGenerational;
+  int num_map_tasks = 4;
+  int num_reducers = 2;
+  size_t sort_buffer_bytes = 1u << 20;  // spill threshold
+  // Yak comparison (Figure 9): with gc == GcKind::kRegion, wrap every map
+  // and reduce task in an epoch (the paper's epoch_start in setup() /
+  // epoch_end in cleanup() annotation). Baseline mode only.
+  bool yak_epochs = false;
+};
+
+struct HadoopStats {
+  PhaseTimes times;
+  int map_tasks = 0;
+  int reduce_tasks = 0;
+  int spills = 0;
+  int aborts = 0;
+  int fast_path_commits = 0;
+  int64_t shuffle_bytes = 0;
+  int64_t combine_calls = 0;
+  TransformStats transform;
+};
+
+class HadoopEngine {
+ public:
+  explicit HadoopEngine(const HadoopConfig& config);
+  ~HadoopEngine();
+
+  Heap& heap() { return *heap_; }
+  WellKnown& wk() { return *wk_; }
+  EngineMode mode() const { return config_.mode; }
+
+  void RegisterDataType(const Klass* klass);
+  const DataStructAnalyzer& layouts() const { return layouts_; }
+
+  DatasetPtr Source(const Klass* klass, int64_t count,
+                    const std::function<ObjRef(int64_t, RootScope&)>& make);
+
+  // Runs one MapReduce job.
+  //   map_fn      — flatMap-style: input record -> out_klass[] (the emits)
+  //   key         — key extraction over out_klass records
+  //   reduce_fn   — pairwise fold: (acc, value) -> merged (same klass)
+  //   combiner_fn — optional map-side combiner, same signature as reduce_fn
+  DatasetPtr RunJob(const DatasetPtr& input, const SerProgram& udfs, const Function* map_fn,
+                    const Klass* out_klass, const KeySpec& key, const Function* reduce_fn,
+                    const Function* combiner_fn = nullptr);
+
+  const HadoopStats& stats() const { return stats_; }
+  int64_t peak_memory_bytes() const { return memory_.peak_bytes(); }
+  void ResetMetrics();
+
+ private:
+  // One spilled, sorted map-output segment. Per reducer partition: records
+  // in key order. Baseline keeps Kryo bytes; Gerenuk keeps native records.
+  struct Segment {
+    // Per partition, parallel arrays sorted by key.
+    std::vector<std::vector<ShuffleKey>> keys;
+    std::vector<ByteBuffer> wire;                 // kBaseline: concatenated records
+    std::vector<std::vector<size_t>> wire_offsets;
+    std::vector<NativePartition> native;          // kGerenuk
+    explicit Segment(int partitions, MemoryTracker* tracker, EngineMode mode);
+  };
+
+  HadoopConfig config_;
+  std::unique_ptr<Heap> heap_;
+  std::unique_ptr<WellKnown> wk_;
+  ExprPool pool_;
+  DataStructAnalyzer layouts_{pool_};
+  HeapSerializer kryo_;
+  InlineSerializer inline_serde_;
+  MemoryTracker memory_;
+  HadoopStats stats_;
+};
+
+}  // namespace gerenuk
+
+#endif  // SRC_MAPREDUCE_HADOOP_H_

@@ -1,0 +1,107 @@
+// Native buffers: task-scoped regions of inlined records.
+//
+// A NativePartition is the Gerenuk runtime's unit of data: the input a SER
+// reads (bytes that arrived from the "network" or "disk") and the output it
+// produces. Records are stored back-to-back as [size:u32][body]; addresses
+// handed to the transformed program are raw pointers to record *bodies*, so
+// readNative(addr, offset, n) is a plain memory read and the record's size
+// field sits at addr - 4.
+//
+// Storage is chunked so record addresses stay stable while the partition
+// grows, and the whole partition is freed at once when the task finishes —
+// the paper's region-based memory management for data objects: "we can
+// safely release the buffer as a whole at the end of the task without even
+// needing to scan the items".
+#ifndef SRC_NATIVEBUF_NATIVE_BUFFER_H_
+#define SRC_NATIVEBUF_NATIVE_BUFFER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/analysis/layout.h"
+#include "src/support/bytes.h"
+#include "src/support/metrics.h"
+
+namespace gerenuk {
+
+class NativePartition {
+ public:
+  // `tracker`, when given, sees allocations/frees so engine-level peak
+  // memory (heap + native) can be reported like the paper's pmap numbers.
+  explicit NativePartition(MemoryTracker* tracker = nullptr);
+  ~NativePartition();
+  NativePartition(NativePartition&& other) noexcept;
+  NativePartition& operator=(NativePartition&& other) noexcept;
+  NativePartition(const NativePartition&) = delete;
+  NativePartition& operator=(const NativePartition&) = delete;
+
+  // Appends one record; returns the address of its body.
+  int64_t AppendRecord(const uint8_t* body, uint32_t body_size);
+  // Reserves an uninitialized record slot (the builder renders into it).
+  uint8_t* ReserveRecord(uint32_t body_size, int64_t* body_addr);
+
+  size_t record_count() const { return records_.size(); }
+  int64_t record_addr(size_t i) const { return records_[i]; }
+  uint32_t record_size(size_t i) const;
+  const std::vector<int64_t>& records() const { return records_; }
+  int64_t bytes_used() const { return bytes_used_; }
+
+  // Shuffle-wire form: [count:u32]([size:u32][body])*. Writing and parsing
+  // are byte copies — the native format IS the wire format, which is why
+  // Gerenuk pays no serialization at shuffle boundaries.
+  void SerializeTo(ByteBuffer& out) const;
+  static NativePartition Parse(ByteReader& in, MemoryTracker* tracker = nullptr);
+
+  // Frees every chunk (the whole-region deallocation of §3.6).
+  void Release();
+
+ private:
+  static constexpr size_t kChunkSize = 256 * 1024;
+  uint8_t* Allocate(size_t n);
+
+  MemoryTracker* tracker_ = nullptr;
+  std::vector<std::unique_ptr<uint8_t[]>> chunks_;
+  size_t chunk_used_ = 0;       // bytes used in the last chunk
+  size_t chunk_capacity_ = 0;   // capacity of the last chunk
+  int64_t bytes_used_ = 0;
+  std::vector<int64_t> records_;  // body addresses
+};
+
+// ---------------------------------------------------------------------------
+// Reads over committed (in-partition) record bytes
+// ---------------------------------------------------------------------------
+
+inline int32_t NativeReadI32(int64_t addr) {
+  int32_t v;
+  std::memcpy(&v, reinterpret_cast<const uint8_t*>(addr), sizeof(v));
+  return v;
+}
+
+// Reads a field of the given kind at `addr + offset`, widened to a Value-
+// compatible representation (integers sign-extended to i64, f32 to f64).
+int64_t NativeReadInt(int64_t addr, int64_t offset, FieldKind kind);
+double NativeReadFloat(int64_t addr, int64_t offset, FieldKind kind);
+void NativeWriteInt(int64_t addr, int64_t offset, FieldKind kind, int64_t value);
+void NativeWriteFloat(int64_t addr, int64_t offset, FieldKind kind, double value);
+
+// resolveOffset (§3.6): evaluates a symbolic offset expression against the
+// record at `base`, reading array lengths out of the record itself. This is
+// a direct recursion over the expression tree (no callback indirection) —
+// it sits on the fast path's every symbolic-offset access.
+int64_t ResolveOffset(const ExprPool& pool, int expr_id, int64_t base);
+
+// Byte size of the committed record body of class `klass` at `addr`.
+// Fixed-size classes are O(1); affine classes evaluate their size
+// expression; open-ended classes walk the structure.
+int64_t MeasureCommittedBody(const DataStructAnalyzer& layouts, const Klass* klass, int64_t addr);
+
+// Address of element `index` of the committed array at `addr` (layout
+// [len:i32][elements]); for variable-size record elements this walks the
+// per-element size prefixes and returns the element body address.
+int64_t CommittedArrayElemAddr(const DataStructAnalyzer& layouts, const Klass* array_klass,
+                               int64_t addr, int64_t index);
+
+}  // namespace gerenuk
+
+#endif  // SRC_NATIVEBUF_NATIVE_BUFFER_H_

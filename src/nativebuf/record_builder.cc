@@ -1,0 +1,277 @@
+#include "src/nativebuf/record_builder.h"
+
+namespace gerenuk {
+
+BuilderStore::Node& BuilderStore::AcquireNode() {
+  if (active_ == nodes_.size()) {
+    nodes_.emplace_back();
+  }
+  return nodes_[active_++];
+}
+
+int64_t BuilderStore::NewRecord(const Klass* klass) {
+  GERENUK_CHECK(!klass->is_array());
+  Node& node = AcquireNode();
+  node.klass = klass;
+  node.length = 0;
+  node.slots.assign(klass->fields().size(), Slot{});
+  return BuilderIdToAddr(static_cast<int64_t>(active_) - 1);
+}
+
+int64_t BuilderStore::NewArray(const Klass* array_klass, int64_t length) {
+  GERENUK_CHECK(array_klass->is_array());
+  GERENUK_CHECK_GE(length, 0);
+  Node& node = AcquireNode();
+  node.klass = array_klass;
+  node.length = length;
+  if (array_klass->element_kind() == FieldKind::kRef) {
+    node.slots.assign(static_cast<size_t>(length), Slot{});
+  } else {
+    // Primitive arrays are built directly in their wire layout: stores write
+    // bytes once and rendering is a single copy.
+    node.slots.clear();
+    node.prim.assign(static_cast<size_t>(length) * array_klass->element_size(), 0);
+  }
+  return BuilderIdToAddr(static_cast<int64_t>(active_) - 1);
+}
+
+const BuilderStore::Node& BuilderStore::NodeAt(int64_t builder_addr) const {
+  GERENUK_CHECK(IsBuilderAddr(builder_addr));
+  int64_t id = BuilderAddrToId(builder_addr);
+  GERENUK_CHECK(id >= 0 && id < static_cast<int64_t>(active_));
+  return nodes_[static_cast<size_t>(id)];
+}
+
+BuilderStore::Node& BuilderStore::NodeAt(int64_t builder_addr) {
+  return const_cast<Node&>(static_cast<const BuilderStore*>(this)->NodeAt(builder_addr));
+}
+
+void BuilderStore::WriteField(int64_t builder_addr, int field_index, FieldKind kind,
+                              int64_t ivalue, double fvalue) {
+  Node& node = NodeAt(builder_addr);
+  Slot& slot = node.slots[static_cast<size_t>(field_index)];
+  slot.is_set = true;
+  slot.is_child = false;
+  slot.ivalue = ivalue;
+  slot.fvalue = fvalue;
+}
+
+void BuilderStore::ReadField(int64_t builder_addr, int field_index, FieldKind kind,
+                             int64_t* ivalue, double* fvalue) const {
+  const Node& node = NodeAt(builder_addr);
+  const Slot& slot = node.slots[static_cast<size_t>(field_index)];
+  // Unset primitive fields read as zero, as freshly allocated objects do.
+  *ivalue = slot.ivalue;
+  *fvalue = slot.fvalue;
+}
+
+int64_t BuilderStore::FieldAddr(int64_t builder_addr, int field_index) const {
+  const Node& node = NodeAt(builder_addr);
+  const Slot& slot = node.slots[static_cast<size_t>(field_index)];
+  GERENUK_CHECK(slot.is_set && slot.is_child)
+      << "ref field " << node.klass->field(field_index).name << " of " << node.klass->name()
+      << " read before attachment";
+  return slot.ivalue;
+}
+
+void BuilderStore::AttachField(int64_t builder_addr, int field_index, int64_t child_addr) {
+  Node& node = NodeAt(builder_addr);
+  Slot& slot = node.slots[static_cast<size_t>(field_index)];
+  slot.is_set = true;
+  slot.is_child = true;
+  slot.ivalue = child_addr;
+}
+
+int64_t BuilderStore::ArrayLength(int64_t builder_addr) const {
+  const Node& node = NodeAt(builder_addr);
+  GERENUK_CHECK(node.klass->is_array());
+  return node.length;
+}
+
+void BuilderStore::ArrayStore(int64_t builder_addr, int64_t index, FieldKind kind, int64_t ivalue,
+                              double fvalue) {
+  Node& node = NodeAt(builder_addr);
+  GERENUK_CHECK(index >= 0 && index < node.length)
+      << "builder array index " << index << " out of bounds [0," << node.length << ")";
+  int64_t base = reinterpret_cast<int64_t>(node.prim.data());
+  int64_t off = index * FieldKindSize(kind);
+  if (kind == FieldKind::kF32 || kind == FieldKind::kF64) {
+    NativeWriteFloat(base, off, kind, fvalue);
+  } else {
+    NativeWriteInt(base, off, kind, ivalue);
+  }
+}
+
+void BuilderStore::ArrayLoad(int64_t builder_addr, int64_t index, FieldKind kind, int64_t* ivalue,
+                             double* fvalue) const {
+  const Node& node = NodeAt(builder_addr);
+  GERENUK_CHECK(index >= 0 && index < node.length)
+      << "builder array index " << index << " out of bounds [0," << node.length << ")";
+  int64_t base = reinterpret_cast<int64_t>(node.prim.data());
+  int64_t off = index * FieldKindSize(kind);
+  if (kind == FieldKind::kF32 || kind == FieldKind::kF64) {
+    *fvalue = NativeReadFloat(base, off, kind);
+  } else {
+    *ivalue = NativeReadInt(base, off, kind);
+  }
+}
+
+void BuilderStore::AttachElement(int64_t builder_addr, int64_t index, int64_t child_addr) {
+  Node& node = NodeAt(builder_addr);
+  GERENUK_CHECK(node.klass->is_array());
+  GERENUK_CHECK(index >= 0 && index < node.length);
+  Slot& slot = node.slots[static_cast<size_t>(index)];
+  slot.is_set = true;
+  slot.is_child = true;
+  slot.ivalue = child_addr;
+}
+
+int64_t BuilderStore::ElementAddr(int64_t builder_addr, int64_t index) const {
+  const Node& node = NodeAt(builder_addr);
+  GERENUK_CHECK(node.klass->is_array());
+  GERENUK_CHECK(index >= 0 && index < node.length);
+  const Slot& slot = node.slots[static_cast<size_t>(index)];
+  GERENUK_CHECK(slot.is_set && slot.is_child) << "array element read before attachment";
+  return slot.ivalue;
+}
+
+const Klass* BuilderStore::KlassOf(int64_t builder_addr) const {
+  return NodeAt(builder_addr).klass;
+}
+
+bool BuilderStore::TryGetStringBytes(int64_t builder_addr, const uint8_t** data,
+                                     int64_t* len) const {
+  const Node& node = NodeAt(builder_addr);
+  if (node.klass->is_array() || node.klass->fields().size() != 1 ||
+      node.klass->field(0).kind != FieldKind::kRef) {
+    return false;
+  }
+  const Slot& slot = node.slots[0];
+  if (!slot.is_set || !slot.is_child || !IsBuilderAddr(slot.ivalue)) {
+    return false;
+  }
+  const Node& chars = NodeAt(slot.ivalue);
+  if (!chars.klass->is_array() || chars.klass->element_kind() != FieldKind::kI8) {
+    return false;
+  }
+  *data = chars.prim.data();
+  *len = chars.length;
+  return true;
+}
+
+int64_t BuilderStore::BodySize(int64_t addr, const Klass* klass) const {
+  if (!IsBuilderAddr(addr)) {
+    return MeasureCommittedBody(layouts_, klass, addr);
+  }
+  const Node& node = NodeAt(addr);
+  GERENUK_CHECK_EQ(node.klass, klass);
+  if (klass->is_array()) {
+    if (klass->element_kind() != FieldKind::kRef) {
+      return 4 + node.length * klass->element_size();
+    }
+    const Klass* elem = klass->element_klass();
+    bool fixed = KlassHasFixedInlineSize(elem);
+    int64_t total = 4;
+    for (int64_t i = 0; i < node.length; ++i) {
+      const Slot& slot = node.slots[static_cast<size_t>(i)];
+      GERENUK_CHECK(slot.is_set && slot.is_child)
+          << "unattached element " << i << " of " << klass->name();
+      total += (fixed ? 0 : 4) + BodySize(slot.ivalue, elem);
+    }
+    return total;
+  }
+  int64_t total = 0;
+  for (size_t i = 0; i < klass->fields().size(); ++i) {
+    const FieldInfo& field = klass->field(static_cast<int>(i));
+    if (field.kind != FieldKind::kRef) {
+      total += FieldKindSize(field.kind);
+      continue;
+    }
+    const Slot& slot = node.slots[i];
+    GERENUK_CHECK(slot.is_set && slot.is_child)
+        << "unattached field " << klass->name() << "." << field.name << " at serialization";
+    total += BodySize(slot.ivalue, field.target);
+  }
+  return total;
+}
+
+void BuilderStore::RenderBody(int64_t addr, const Klass* klass, ByteBuffer& out) const {
+  if (!IsBuilderAddr(addr)) {
+    // Committed record: a straight byte copy (this is how pass-through
+    // records move from input buffers to output buffers with no work).
+    int64_t size = MeasureCommittedBody(layouts_, klass, addr);
+    out.WriteBytes(reinterpret_cast<const uint8_t*>(addr), static_cast<size_t>(size));
+    return;
+  }
+  const Node& node = NodeAt(addr);
+  GERENUK_CHECK_EQ(node.klass, klass);
+  if (klass->is_array()) {
+    out.WriteI32(static_cast<int32_t>(node.length));
+    if (klass->element_kind() != FieldKind::kRef) {
+      out.WriteBytes(node.prim.data(), node.prim.size());  // already wire layout
+      return;
+    }
+    const Klass* elem = klass->element_klass();
+    bool fixed = KlassHasFixedInlineSize(elem);
+    for (int64_t i = 0; i < node.length; ++i) {
+      const Slot& slot = node.slots[static_cast<size_t>(i)];
+      GERENUK_CHECK(slot.is_set && slot.is_child)
+          << "unattached element " << i << " of " << klass->name();
+      if (fixed) {
+        RenderBody(slot.ivalue, elem, out);
+      } else {
+        size_t size_pos = out.size();
+        out.WriteU32(0);
+        size_t body_start = out.size();
+        RenderBody(slot.ivalue, elem, out);
+        out.PatchU32(size_pos, static_cast<uint32_t>(out.size() - body_start));
+      }
+    }
+    return;
+  }
+  for (size_t i = 0; i < klass->fields().size(); ++i) {
+    const FieldInfo& field = klass->field(static_cast<int>(i));
+    const Slot& slot = node.slots[i];
+    switch (field.kind) {
+      case FieldKind::kBool:
+      case FieldKind::kI8:
+        out.WriteU8(static_cast<uint8_t>(slot.ivalue));
+        break;
+      case FieldKind::kI16:
+      case FieldKind::kChar:
+        out.WriteU16(static_cast<uint16_t>(slot.ivalue));
+        break;
+      case FieldKind::kI32:
+        out.WriteI32(static_cast<int32_t>(slot.ivalue));
+        break;
+      case FieldKind::kI64:
+        out.WriteI64(slot.ivalue);
+        break;
+      case FieldKind::kF32:
+        out.WriteF32(static_cast<float>(slot.fvalue));
+        break;
+      case FieldKind::kF64:
+        out.WriteF64(slot.fvalue);
+        break;
+      case FieldKind::kRef:
+        GERENUK_CHECK(slot.is_set && slot.is_child)
+            << "unattached field " << klass->name() << "." << field.name << " at serialization";
+        RenderBody(slot.ivalue, field.target, out);
+        break;
+    }
+  }
+}
+
+int64_t BuilderStore::Render(int64_t addr, const Klass* klass, NativePartition& out) const {
+  if (!IsBuilderAddr(addr)) {
+    // Pass-through: copy the committed record's bytes directly.
+    int64_t size = MeasureCommittedBody(layouts_, klass, addr);
+    return out.AppendRecord(reinterpret_cast<const uint8_t*>(addr), static_cast<uint32_t>(size));
+  }
+  render_scratch_.Clear();
+  RenderBody(addr, klass, render_scratch_);
+  return out.AppendRecord(render_scratch_.data(),
+                          static_cast<uint32_t>(render_scratch_.size()));
+}
+
+}  // namespace gerenuk

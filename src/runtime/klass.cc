@@ -1,0 +1,132 @@
+#include "src/runtime/klass.h"
+
+#include <algorithm>
+
+namespace gerenuk {
+
+const char* FieldKindName(FieldKind kind) {
+  switch (kind) {
+    case FieldKind::kBool:
+      return "bool";
+    case FieldKind::kI8:
+      return "i8";
+    case FieldKind::kI16:
+      return "i16";
+    case FieldKind::kChar:
+      return "char";
+    case FieldKind::kI32:
+      return "i32";
+    case FieldKind::kI64:
+      return "i64";
+    case FieldKind::kF32:
+      return "f32";
+    case FieldKind::kF64:
+      return "f64";
+    case FieldKind::kRef:
+      return "ref";
+  }
+  return "?";
+}
+
+bool KlassHasFixedInlineSize(const Klass* klass) {
+  if (klass->is_array()) {
+    return false;
+  }
+  for (const FieldInfo& field : klass->fields()) {
+    if (field.kind == FieldKind::kRef && !KlassHasFixedInlineSize(field.target)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const FieldInfo* Klass::FindField(const std::string& field_name) const {
+  for (const FieldInfo& f : fields_) {
+    if (f.name == field_name) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+KlassRegistry::KlassRegistry() = default;
+KlassRegistry::~KlassRegistry() = default;
+
+const Klass* KlassRegistry::DefineClass(const std::string& name, std::vector<FieldInfo> fields) {
+  GERENUK_CHECK(by_name_.find(name) == by_name_.end()) << "class redefined: " << name;
+  auto klass = std::unique_ptr<Klass>(new Klass());
+  klass->id_ = static_cast<uint32_t>(klasses_.size() + 1);  // id 0 reserved for "free block"
+  klass->name_ = name;
+
+  // HotSpot-style packing: lay out fields largest-alignment-first so padding
+  // holes are minimized, preserving declaration order within each size class.
+  std::vector<FieldInfo*> order;
+  order.reserve(fields.size());
+  for (FieldInfo& f : fields) {
+    order.push_back(&f);
+  }
+  std::stable_sort(order.begin(), order.end(), [](const FieldInfo* a, const FieldInfo* b) {
+    return FieldKindSize(a->kind) > FieldKindSize(b->kind);
+  });
+  int offset = kObjectHeaderBytes;
+  for (FieldInfo* f : order) {
+    int size = FieldKindSize(f->kind);
+    offset = (offset + size - 1) & ~(size - 1);
+    f->offset = offset;
+    offset += size;
+    if (f->kind == FieldKind::kRef) {
+      klass->ref_offsets_.push_back(f->offset);
+    }
+  }
+  klass->instance_size_ = (offset + kHeapAlignment - 1) & ~(kHeapAlignment - 1);
+  klass->fields_ = std::move(fields);
+
+  Klass* raw = klass.get();
+  klasses_.push_back(std::move(klass));
+  by_name_[name] = raw;
+  return raw;
+}
+
+const Klass* KlassRegistry::DefineArray(FieldKind element_kind, const Klass* element_klass) {
+  std::string name;
+  if (element_kind == FieldKind::kRef) {
+    GERENUK_CHECK(element_klass != nullptr);
+    name = element_klass->name() + "[]";
+  } else {
+    name = std::string(FieldKindName(element_kind)) + "[]";
+  }
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    return it->second;
+  }
+  auto klass = std::unique_ptr<Klass>(new Klass());
+  klass->id_ = static_cast<uint32_t>(klasses_.size() + 1);
+  klass->name_ = name;
+  klass->is_array_ = true;
+  klass->element_kind_ = element_kind;
+  klass->element_klass_ = element_klass;
+  // Length lives right after the header; elements start at the next slot
+  // aligned to the element size (HotSpot aligns 8-byte elements to 8).
+  int elem_size = FieldKindSize(element_kind);
+  int offset = kArrayLengthOffset + 4;
+  offset = (offset + elem_size - 1) & ~(elem_size - 1);
+  klass->elements_offset_ = offset;
+
+  Klass* raw = klass.get();
+  klasses_.push_back(std::move(klass));
+  by_name_[name] = raw;
+  return raw;
+}
+
+const Klass* KlassRegistry::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+const Klass* KlassRegistry::ById(uint32_t id) const {
+  GERENUK_CHECK_GE(id, 1u);
+  GERENUK_CHECK_LE(id, klasses_.size());
+  return klasses_[id - 1].get();
+}
+
+}  // namespace gerenuk

@@ -1,0 +1,156 @@
+// Class metadata for the managed mini-runtime.
+//
+// The paper's baseline costs come from the JVM object model: every data item
+// is an object with a 16-byte header, reference fields are 8-byte pointers,
+// and arrays carry their own header + length. Klass describes exactly that
+// layout so the heap, the GC, the serializers, and the Gerenuk data-structure
+// analyzer all agree on where every field lives.
+#ifndef SRC_RUNTIME_KLASS_H_
+#define SRC_RUNTIME_KLASS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/support/logging.h"
+
+namespace gerenuk {
+
+// Primitive field kinds plus kRef (a pointer to another managed object).
+enum class FieldKind : uint8_t {
+  kBool,
+  kI8,
+  kI16,
+  kChar,
+  kI32,
+  kI64,
+  kF32,
+  kF64,
+  kRef,
+};
+
+inline int FieldKindSize(FieldKind kind) {
+  switch (kind) {
+    case FieldKind::kBool:
+    case FieldKind::kI8:
+      return 1;
+    case FieldKind::kI16:
+    case FieldKind::kChar:
+      return 2;
+    case FieldKind::kI32:
+    case FieldKind::kF32:
+      return 4;
+    case FieldKind::kI64:
+    case FieldKind::kF64:
+    case FieldKind::kRef:
+      return 8;
+  }
+  return 0;
+}
+
+const char* FieldKindName(FieldKind kind);
+
+class Klass;
+
+// True when every instance of `klass` has the same inlined body size — i.e.
+// no array is reachable in its field hierarchy. Records of fixed-size
+// classes need no per-record size prefix in the inline format.
+bool KlassHasFixedInlineSize(const Klass* klass);
+
+// One declared instance field. For kRef fields, `target` names the declared
+// class of the referent (used by the data structure analyzer's DFS).
+struct FieldInfo {
+  std::string name;
+  FieldKind kind = FieldKind::kI32;
+  const Klass* target = nullptr;  // non-null iff kind == kRef
+  int offset = 0;                 // byte offset within the object, set by layout
+};
+
+// JVM-like object layout constants (64-bit HotSpot without compressed oops):
+// an object header is two words — mark word + klass pointer.
+inline constexpr int kObjectHeaderBytes = 16;
+inline constexpr int kHeapAlignment = 8;
+// Arrays store a 32-bit length immediately after the header; elements follow,
+// 8-byte aligned (so there are 4 bytes of padding before 8-byte elements).
+inline constexpr int kArrayLengthOffset = kObjectHeaderBytes;
+
+// Metadata for one managed class or array type.
+//
+// Instances are created and owned by a KlassRegistry; identity equality is
+// used everywhere (one Klass per distinct type per registry).
+class Klass {
+ public:
+  uint32_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  bool is_array() const { return is_array_; }
+
+  // --- instance classes ---
+  const std::vector<FieldInfo>& fields() const { return fields_; }
+  // Byte size of one instance, header included, 8-byte aligned.
+  int instance_size() const { return instance_size_; }
+  // Offsets of all kRef fields; the GC trace loop uses this.
+  const std::vector<int>& ref_offsets() const { return ref_offsets_; }
+  const FieldInfo* FindField(const std::string& field_name) const;
+  const FieldInfo& field(int index) const { return fields_[index]; }
+
+  // --- array classes ---
+  FieldKind element_kind() const { return element_kind_; }
+  const Klass* element_klass() const { return element_klass_; }
+  int element_size() const { return FieldKindSize(element_kind_); }
+  // Offset of element `i` in an array object of this klass.
+  int ElementOffset(int64_t i) const {
+    return elements_offset_ + static_cast<int>(i) * element_size();
+  }
+  int elements_offset() const { return elements_offset_; }
+  // Total byte size of an array object with `length` elements.
+  int64_t ArraySize(int64_t length) const {
+    int64_t raw = elements_offset_ + length * element_size();
+    return (raw + kHeapAlignment - 1) & ~static_cast<int64_t>(kHeapAlignment - 1);
+  }
+
+ private:
+  friend class KlassRegistry;
+  Klass() = default;
+
+  uint32_t id_ = 0;
+  std::string name_;
+  bool is_array_ = false;
+  std::vector<FieldInfo> fields_;
+  std::vector<int> ref_offsets_;
+  int instance_size_ = kObjectHeaderBytes;
+  FieldKind element_kind_ = FieldKind::kI32;
+  const Klass* element_klass_ = nullptr;
+  int elements_offset_ = 0;
+};
+
+// Owns all Klass instances for one simulated "class loader". Layout is
+// computed at definition time: fields are packed largest-first (as HotSpot
+// does) with natural alignment, starting right after the header.
+class KlassRegistry {
+ public:
+  KlassRegistry();
+  ~KlassRegistry();
+  KlassRegistry(const KlassRegistry&) = delete;
+  KlassRegistry& operator=(const KlassRegistry&) = delete;
+
+  // Defines an instance class. `fields` offsets are computed here.
+  const Klass* DefineClass(const std::string& name, std::vector<FieldInfo> fields);
+
+  // Defines (or returns the existing) array class with the given element
+  // type. For kRef elements pass the element class; name becomes "Elem[]".
+  const Klass* DefineArray(FieldKind element_kind, const Klass* element_klass = nullptr);
+
+  const Klass* Find(const std::string& name) const;
+  const Klass* ById(uint32_t id) const;
+  size_t size() const { return klasses_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Klass>> klasses_;
+  std::unordered_map<std::string, Klass*> by_name_;
+};
+
+}  // namespace gerenuk
+
+#endif  // SRC_RUNTIME_KLASS_H_

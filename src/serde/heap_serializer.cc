@@ -1,0 +1,214 @@
+#include "src/serde/heap_serializer.h"
+
+#include "src/runtime/roots.h"
+
+namespace gerenuk {
+
+namespace {
+// Data structures in dataflow programs are shallow trees (the paper reports
+// 3-4 levels at most); a generous depth bound turns accidental cycles into a
+// crisp failure instead of a stack overflow.
+constexpr int kMaxDepth = 64;
+}  // namespace
+
+void HeapSerializer::Serialize(ObjRef root, const Klass* klass, ByteBuffer& out) {
+  size_t before = out.size();
+  SerializeValue(root, klass, out, 0);
+  stats_.wire_bytes += static_cast<int64_t>(out.size() - before);
+}
+
+void HeapSerializer::SerializeValue(ObjRef obj, const Klass* klass, ByteBuffer& out, int depth) {
+  GERENUK_CHECK_LT(depth, kMaxDepth);
+  if (obj == kNullRef) {
+    out.WriteU8(0);
+    return;
+  }
+  out.WriteU8(1);
+  stats_.objects += 1;
+  if (klass->is_array()) {
+    int64_t len = heap_.ArrayLength(obj);
+    out.WriteVarU32(static_cast<uint32_t>(len));
+    switch (klass->element_kind()) {
+      case FieldKind::kBool:
+      case FieldKind::kI8:
+        for (int64_t i = 0; i < len; ++i) {
+          out.WriteU8(static_cast<uint8_t>(heap_.AGet<int8_t>(obj, i)));
+        }
+        break;
+      case FieldKind::kI16:
+      case FieldKind::kChar:
+        for (int64_t i = 0; i < len; ++i) {
+          out.WriteU16(static_cast<uint16_t>(heap_.AGet<int16_t>(obj, i)));
+        }
+        break;
+      case FieldKind::kI32:
+        for (int64_t i = 0; i < len; ++i) {
+          out.WriteVarI32(heap_.AGet<int32_t>(obj, i));
+        }
+        break;
+      case FieldKind::kF32:
+        for (int64_t i = 0; i < len; ++i) {
+          out.WriteF32(heap_.AGet<float>(obj, i));
+        }
+        break;
+      case FieldKind::kI64:
+        for (int64_t i = 0; i < len; ++i) {
+          out.WriteVarI64(heap_.AGet<int64_t>(obj, i));
+        }
+        break;
+      case FieldKind::kF64:
+        for (int64_t i = 0; i < len; ++i) {
+          out.WriteF64(heap_.AGet<double>(obj, i));
+        }
+        break;
+      case FieldKind::kRef:
+        for (int64_t i = 0; i < len; ++i) {
+          SerializeValue(heap_.AGetRef(obj, i), klass->element_klass(), out, depth + 1);
+        }
+        break;
+    }
+    return;
+  }
+  for (const FieldInfo& field : klass->fields()) {
+    switch (field.kind) {
+      case FieldKind::kBool:
+      case FieldKind::kI8:
+        out.WriteU8(static_cast<uint8_t>(heap_.GetPrim<int8_t>(obj, field.offset)));
+        break;
+      case FieldKind::kI16:
+      case FieldKind::kChar:
+        out.WriteU16(static_cast<uint16_t>(heap_.GetPrim<int16_t>(obj, field.offset)));
+        break;
+      case FieldKind::kI32:
+        out.WriteVarI32(heap_.GetPrim<int32_t>(obj, field.offset));
+        break;
+      case FieldKind::kF32:
+        out.WriteF32(heap_.GetPrim<float>(obj, field.offset));
+        break;
+      case FieldKind::kI64:
+        out.WriteVarI64(heap_.GetPrim<int64_t>(obj, field.offset));
+        break;
+      case FieldKind::kF64:
+        out.WriteF64(heap_.GetPrim<double>(obj, field.offset));
+        break;
+      case FieldKind::kRef:
+        SerializeValue(heap_.GetRef(obj, field.offset), field.target, out, depth + 1);
+        break;
+    }
+  }
+}
+
+ObjRef HeapSerializer::Deserialize(const Klass* klass, ByteReader& in) {
+  return DeserializeValue(klass, in, 0);
+}
+
+ObjRef HeapSerializer::DeserializeValue(const Klass* klass, ByteReader& in, int depth) {
+  GERENUK_CHECK_LT(depth, kMaxDepth);
+  if (in.ReadU8() == 0) {
+    return kNullRef;
+  }
+  RootScope scope(heap_);
+  if (klass->is_array()) {
+    int64_t len = in.ReadVarU32();
+    size_t arr_slot = scope.Push(heap_.AllocArray(klass, len));
+    switch (klass->element_kind()) {
+      case FieldKind::kBool:
+      case FieldKind::kI8:
+        for (int64_t i = 0; i < len; ++i) {
+          heap_.ASet<int8_t>(scope.Get(arr_slot), i, static_cast<int8_t>(in.ReadU8()));
+        }
+        break;
+      case FieldKind::kI16:
+      case FieldKind::kChar:
+        for (int64_t i = 0; i < len; ++i) {
+          heap_.ASet<int16_t>(scope.Get(arr_slot), i, static_cast<int16_t>(in.ReadU16()));
+        }
+        break;
+      case FieldKind::kI32:
+        for (int64_t i = 0; i < len; ++i) {
+          heap_.ASet<int32_t>(scope.Get(arr_slot), i, in.ReadVarI32());
+        }
+        break;
+      case FieldKind::kF32:
+        for (int64_t i = 0; i < len; ++i) {
+          heap_.ASet<float>(scope.Get(arr_slot), i, in.ReadF32());
+        }
+        break;
+      case FieldKind::kI64:
+        for (int64_t i = 0; i < len; ++i) {
+          heap_.ASet<int64_t>(scope.Get(arr_slot), i, in.ReadVarI64());
+        }
+        break;
+      case FieldKind::kF64:
+        for (int64_t i = 0; i < len; ++i) {
+          heap_.ASet<double>(scope.Get(arr_slot), i, in.ReadF64());
+        }
+        break;
+      case FieldKind::kRef:
+        for (int64_t i = 0; i < len; ++i) {
+          ObjRef elem = DeserializeValue(klass->element_klass(), in, depth + 1);
+          heap_.ASetRef(scope.Get(arr_slot), i, elem);
+        }
+        break;
+    }
+    return scope.Get(arr_slot);
+  }
+  size_t obj_slot = scope.Push(heap_.AllocObject(klass));
+  for (const FieldInfo& field : klass->fields()) {
+    switch (field.kind) {
+      case FieldKind::kBool:
+      case FieldKind::kI8:
+        heap_.SetPrim<int8_t>(scope.Get(obj_slot), field.offset, static_cast<int8_t>(in.ReadU8()));
+        break;
+      case FieldKind::kI16:
+      case FieldKind::kChar:
+        heap_.SetPrim<int16_t>(scope.Get(obj_slot), field.offset,
+                               static_cast<int16_t>(in.ReadU16()));
+        break;
+      case FieldKind::kI32:
+        heap_.SetPrim<int32_t>(scope.Get(obj_slot), field.offset, in.ReadVarI32());
+        break;
+      case FieldKind::kF32:
+        heap_.SetPrim<float>(scope.Get(obj_slot), field.offset, in.ReadF32());
+        break;
+      case FieldKind::kI64:
+        heap_.SetPrim<int64_t>(scope.Get(obj_slot), field.offset, in.ReadVarI64());
+        break;
+      case FieldKind::kF64:
+        heap_.SetPrim<double>(scope.Get(obj_slot), field.offset, in.ReadF64());
+        break;
+      case FieldKind::kRef: {
+        ObjRef child = DeserializeValue(field.target, in, depth + 1);
+        heap_.SetRef(scope.Get(obj_slot), field.offset, child);
+        break;
+      }
+    }
+  }
+  return scope.Get(obj_slot);
+}
+
+int64_t HeapSerializer::MeasureHeapBytes(ObjRef root, const Klass* klass) {
+  if (root == kNullRef) {
+    return 0;
+  }
+  int64_t total;
+  if (klass->is_array()) {
+    total = klass->ArraySize(heap_.ArrayLength(root));
+    if (klass->element_kind() == FieldKind::kRef) {
+      int64_t len = heap_.ArrayLength(root);
+      for (int64_t i = 0; i < len; ++i) {
+        total += MeasureHeapBytes(heap_.AGetRef(root, i), klass->element_klass());
+      }
+    }
+    return total;
+  }
+  total = klass->instance_size();
+  for (const FieldInfo& field : klass->fields()) {
+    if (field.kind == FieldKind::kRef) {
+      total += MeasureHeapBytes(heap_.GetRef(root, field.offset), field.target);
+    }
+  }
+  return total;
+}
+
+}  // namespace gerenuk

@@ -1,0 +1,64 @@
+// Kryo-like object-graph serializer for the managed mini-heap.
+//
+// This is the baseline path the paper's unmodified Spark/Hadoop use at every
+// shuffle: walk the object graph rooted at a data item, write a compact wire
+// form (varint ints, null markers, inline array lengths), and rebuild the
+// graph object-by-object on the receiving side. Both directions are real
+// work proportional to the number of objects — exactly the cost Gerenuk
+// eliminates.
+//
+// The serializer is schema-directed: the declared Klass of the root tells it
+// the type of every field, so no class names travel on the wire (our
+// equivalent of Kryo's registered-class-ids fast path).
+#ifndef SRC_SERDE_HEAP_SERIALIZER_H_
+#define SRC_SERDE_HEAP_SERIALIZER_H_
+
+#include <cstdint>
+
+#include "src/runtime/heap.h"
+#include "src/support/bytes.h"
+
+namespace gerenuk {
+
+struct SerdeStats {
+  // Figure 5 instrumentation: bytes occupied by the object graph on the
+  // managed heap (headers, padding, pointers included) vs the bytes of the
+  // serialized form.
+  int64_t heap_bytes = 0;
+  int64_t wire_bytes = 0;
+  int64_t objects = 0;
+};
+
+class HeapSerializer {
+ public:
+  explicit HeapSerializer(Heap& heap) : heap_(heap) {}
+
+  // Serializes the data structure rooted at `root` (declared class `klass`).
+  void Serialize(ObjRef root, const Klass* klass, ByteBuffer& out);
+
+  // Rebuilds a data structure of declared class `klass` from `in`,
+  // allocating on the heap. May trigger GC; the caller's refs must be
+  // rooted.
+  ObjRef Deserialize(const Klass* klass, ByteReader& in);
+
+  // Heap footprint of the graph rooted at `root`: headers + fields +
+  // padding, every reachable object counted once (the graphs are trees, so
+  // a plain recursive sum is exact).
+  int64_t MeasureHeapBytes(ObjRef root, const Klass* klass);
+
+  const SerdeStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = SerdeStats{}; }
+
+ private:
+  void SerializeValue(ObjRef obj, const Klass* klass, ByteBuffer& out, int depth);
+  // Returns a rooted slot index within `scope` (see .cc); declared here as
+  // returning the built ref directly, with rooting handled internally.
+  ObjRef DeserializeValue(const Klass* klass, ByteReader& in, int depth);
+
+  Heap& heap_;
+  SerdeStats stats_;
+};
+
+}  // namespace gerenuk
+
+#endif  // SRC_SERDE_HEAP_SERIALIZER_H_

@@ -1,0 +1,56 @@
+// The Gerenuk serializer (§3.6): represents a data structure rooted at a
+// top-level object as a single pointer-free byte sequence.
+//
+// Wire format, which the data structure analyzer's offset computation must
+// match exactly (verified by property tests):
+//
+//   record       := [body_size : i32] [body]
+//   body(C)      := concatenation of C's declared fields, in order:
+//                     primitive field  -> fixed-width raw bytes
+//                     ref to array     -> [length : i32] [element bodies]
+//                     ref to class D   -> body(D), inlined
+//   body(T[])    := [length : i32] [body(elem) ...]
+//
+// All headers and pointers are eliminated; every array carries its length
+// inline; the top-level record carries the size of the whole structure (the
+// paper's "special field"). Field offsets inside a body are either static
+// constants or symbolic expressions over preceding array lengths — exactly
+// what §3.3 computes. Null references cannot be represented (there is no
+// slot to put a null in), so serializing a null is a hard error; the
+// transformed program only reaches this serializer with fully-built records.
+#ifndef SRC_SERDE_INLINE_SERIALIZER_H_
+#define SRC_SERDE_INLINE_SERIALIZER_H_
+
+#include <cstdint>
+
+#include "src/runtime/heap.h"
+#include "src/support/bytes.h"
+
+namespace gerenuk {
+
+class InlineSerializer {
+ public:
+  explicit InlineSerializer(Heap& heap) : heap_(heap) {}
+
+  // Size in bytes of body(klass) for the structure rooted at `root`.
+  int64_t BodySize(ObjRef root, const Klass* klass);
+
+  // Writes [body_size][body] for the structure rooted at `root`.
+  void WriteRecord(ObjRef root, const Klass* klass, ByteBuffer& out);
+
+  // Reads one [body_size][body] record and materializes it as heap objects.
+  // This is the slow-path deserialization used when a SER aborts. May GC.
+  ObjRef ReadRecord(const Klass* klass, ByteReader& in);
+
+  // Reads a record body (no size prefix) of the given class.
+  ObjRef ReadBody(const Klass* klass, ByteReader& in);
+
+ private:
+  void WriteBody(ObjRef obj, const Klass* klass, ByteBuffer& out, int depth);
+
+  Heap& heap_;
+};
+
+}  // namespace gerenuk
+
+#endif  // SRC_SERDE_INLINE_SERIALIZER_H_

@@ -1,0 +1,184 @@
+// Growable byte buffer with primitive read/write helpers and varint codecs.
+//
+// Serialized wire formats in this repo (the Kryo-like serializer, shuffle
+// channels, IFile segments) are built exclusively on ByteBuffer / ByteReader
+// so that byte layouts are identical regardless of the producer.
+#ifndef SRC_SUPPORT_BYTES_H_
+#define SRC_SUPPORT_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/logging.h"
+
+namespace gerenuk {
+
+// Append-only byte sink. Primitives are stored little-endian (host order on
+// all supported platforms); varints use LEB128 with zig-zag for signed types.
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(size_t reserve) { data_.reserve(reserve); }
+
+  void Clear() { data_.clear(); }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  const uint8_t* data() const { return data_.data(); }
+  uint8_t* data() { return data_.data(); }
+
+  void WriteU8(uint8_t v) { data_.push_back(v); }
+  void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
+
+  void WriteU16(uint16_t v) { AppendRaw(&v, sizeof(v)); }
+  void WriteU32(uint32_t v) { AppendRaw(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { AppendRaw(&v, sizeof(v)); }
+  void WriteI32(int32_t v) { AppendRaw(&v, sizeof(v)); }
+  void WriteI64(int64_t v) { AppendRaw(&v, sizeof(v)); }
+  void WriteF32(float v) { AppendRaw(&v, sizeof(v)); }
+  void WriteF64(double v) { AppendRaw(&v, sizeof(v)); }
+
+  // Unsigned LEB128.
+  void WriteVarU32(uint32_t v) {
+    while (v >= 0x80) {
+      WriteU8(static_cast<uint8_t>(v | 0x80));
+      v >>= 7;
+    }
+    WriteU8(static_cast<uint8_t>(v));
+  }
+  void WriteVarU64(uint64_t v) {
+    while (v >= 0x80) {
+      WriteU8(static_cast<uint8_t>(v | 0x80));
+      v >>= 7;
+    }
+    WriteU8(static_cast<uint8_t>(v));
+  }
+  // Zig-zag signed varints.
+  void WriteVarI32(int32_t v) {
+    WriteVarU32((static_cast<uint32_t>(v) << 1) ^ static_cast<uint32_t>(v >> 31));
+  }
+  void WriteVarI64(int64_t v) {
+    WriteVarU64((static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63));
+  }
+
+  void WriteBytes(const void* src, size_t n) { AppendRaw(src, n); }
+  void WriteString(std::string_view s) {
+    WriteVarU32(static_cast<uint32_t>(s.size()));
+    AppendRaw(s.data(), s.size());
+  }
+
+  // In-place patch of a previously written 32-bit slot (used for length
+  // back-patching when a record's size is known only after its body).
+  void PatchU32(size_t pos, uint32_t v) {
+    GERENUK_CHECK_LE(pos + sizeof(v), data_.size());
+    std::memcpy(data_.data() + pos, &v, sizeof(v));
+  }
+
+  std::vector<uint8_t> TakeBytes() { return std::move(data_); }
+  const std::vector<uint8_t>& bytes() const { return data_; }
+
+ private:
+  void AppendRaw(const void* src, size_t n) {
+    const uint8_t* p = static_cast<const uint8_t*>(src);
+    data_.insert(data_.end(), p, p + n);
+  }
+
+  std::vector<uint8_t> data_;
+};
+
+// Sequential reader over a borrowed byte span. All Read* methods bounds-check.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& bytes) : data_(bytes.data()), size_(bytes.size()) {}
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+  void Seek(size_t pos) {
+    GERENUK_CHECK_LE(pos, size_);
+    pos_ = pos;
+  }
+
+  uint8_t ReadU8() {
+    GERENUK_CHECK_LT(pos_, size_);
+    return data_[pos_++];
+  }
+  bool ReadBool() { return ReadU8() != 0; }
+
+  uint16_t ReadU16() { return ReadRaw<uint16_t>(); }
+  uint32_t ReadU32() { return ReadRaw<uint32_t>(); }
+  uint64_t ReadU64() { return ReadRaw<uint64_t>(); }
+  int32_t ReadI32() { return ReadRaw<int32_t>(); }
+  int64_t ReadI64() { return ReadRaw<int64_t>(); }
+  float ReadF32() { return ReadRaw<float>(); }
+  double ReadF64() { return ReadRaw<double>(); }
+
+  uint32_t ReadVarU32() {
+    uint32_t result = 0;
+    int shift = 0;
+    while (true) {
+      uint8_t byte = ReadU8();
+      result |= static_cast<uint32_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) {
+        return result;
+      }
+      shift += 7;
+      GERENUK_CHECK_LE(shift, 28);
+    }
+  }
+  uint64_t ReadVarU64() {
+    uint64_t result = 0;
+    int shift = 0;
+    while (true) {
+      uint8_t byte = ReadU8();
+      result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) {
+        return result;
+      }
+      shift += 7;
+      GERENUK_CHECK_LE(shift, 63);
+    }
+  }
+  int32_t ReadVarI32() {
+    uint32_t u = ReadVarU32();
+    return static_cast<int32_t>((u >> 1) ^ (~(u & 1) + 1));
+  }
+  int64_t ReadVarI64() {
+    uint64_t u = ReadVarU64();
+    return static_cast<int64_t>((u >> 1) ^ (~(u & 1) + 1));
+  }
+
+  void ReadBytes(void* dst, size_t n) {
+    GERENUK_CHECK_LE(pos_ + n, size_);
+    std::memcpy(dst, data_ + pos_, n);
+    pos_ += n;
+  }
+  std::string ReadString() {
+    uint32_t n = ReadVarU32();
+    GERENUK_CHECK_LE(pos_ + n, size_);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+ private:
+  template <typename T>
+  T ReadRaw() {
+    GERENUK_CHECK_LE(pos_ + sizeof(T), size_);
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace gerenuk
+
+#endif  // SRC_SUPPORT_BYTES_H_

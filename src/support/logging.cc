@@ -1,0 +1,11 @@
+#include "src/support/logging.h"
+
+namespace gerenuk {
+
+void FatalError(const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "[gerenuk fatal] %s:%d: %s\n", file, line, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace gerenuk

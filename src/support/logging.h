@@ -1,0 +1,58 @@
+// Minimal assertion and logging utilities shared by every Gerenuk module.
+//
+// GERENUK_CHECK is always on (release included): the simulator's correctness
+// properties (offset consistency, region safety) are cheap to verify and a
+// silent corruption would invalidate every benchmark built on top.
+#ifndef SRC_SUPPORT_LOGGING_H_
+#define SRC_SUPPORT_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace gerenuk {
+
+// Terminates the process with a formatted message; used by GERENUK_CHECK.
+[[noreturn]] void FatalError(const char* file, int line, const std::string& message);
+
+namespace internal {
+
+// Stream-style message collector so call sites can write
+//   GERENUK_CHECK(ok) << "context " << value;
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* expr) : file_(file), line_(line) {
+    stream_ << "CHECK failed: " << expr << " ";
+  }
+  [[noreturn]] ~CheckFailStream() { FatalError(file_, line_, stream_.str()); }
+
+  template <typename T>
+  CheckFailStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define GERENUK_CHECK(expr)                                             \
+  if (expr) {                                                           \
+  } else /* NOLINT */                                                   \
+    ::gerenuk::internal::CheckFailStream(__FILE__, __LINE__, #expr)
+
+#define GERENUK_CHECK_EQ(a, b) GERENUK_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define GERENUK_CHECK_NE(a, b) GERENUK_CHECK((a) != (b))
+#define GERENUK_CHECK_LT(a, b) GERENUK_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define GERENUK_CHECK_LE(a, b) GERENUK_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define GERENUK_CHECK_GE(a, b) GERENUK_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define GERENUK_CHECK_GT(a, b) GERENUK_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+
+}  // namespace gerenuk
+
+#endif  // SRC_SUPPORT_LOGGING_H_

@@ -1,0 +1,24 @@
+#include "src/support/metrics.h"
+
+#include <cstdio>
+
+namespace gerenuk {
+
+std::string FormatBytes(int64_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%lld B", static_cast<long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, units[unit]);
+  }
+  return buf;
+}
+
+}  // namespace gerenuk

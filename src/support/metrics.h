@@ -1,0 +1,152 @@
+// Execution-time accounting shared by the engines, the managed runtime, and
+// the benchmark harnesses.
+//
+// Every task execution is broken into the same four phases the paper's
+// Figure 6 reports: computation, GC, serialization, and deserialization.
+// PhaseTimes accumulates wall-clock nanoseconds per phase; MemoryTracker
+// records live/peak byte counts the way the paper's pmap sampling does
+// (process-level peak = managed heap + native buffers).
+#ifndef SRC_SUPPORT_METRICS_H_
+#define SRC_SUPPORT_METRICS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace gerenuk {
+
+// Monotonic stopwatch. Start/Stop may be called repeatedly; ElapsedNanos
+// accumulates across runs.
+class Stopwatch {
+ public:
+  void Start() { start_ = Clock::now(); }
+  void Stop() {
+    accumulated_ += std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_)
+                        .count();
+  }
+  int64_t ElapsedNanos() const { return accumulated_; }
+  double ElapsedMillis() const { return static_cast<double>(accumulated_) / 1e6; }
+  void Reset() { accumulated_ = 0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_{};
+  int64_t accumulated_ = 0;
+};
+
+// The four runtime components of Figure 6: computation (blue), GC (red),
+// serialization (purple), deserialization (orange).
+enum class Phase : uint8_t { kCompute = 0, kGc = 1, kSerialize = 2, kDeserialize = 3 };
+
+inline const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kCompute:
+      return "compute";
+    case Phase::kGc:
+      return "gc";
+    case Phase::kSerialize:
+      return "ser";
+    case Phase::kDeserialize:
+      return "deser";
+  }
+  return "?";
+}
+
+struct PhaseTimes {
+  int64_t nanos[4] = {0, 0, 0, 0};
+
+  void Add(Phase phase, int64_t ns) { nanos[static_cast<int>(phase)] += ns; }
+  int64_t Get(Phase phase) const { return nanos[static_cast<int>(phase)]; }
+  int64_t TotalNanos() const { return nanos[0] + nanos[1] + nanos[2] + nanos[3]; }
+  double TotalMillis() const { return static_cast<double>(TotalNanos()) / 1e6; }
+  double Millis(Phase phase) const { return static_cast<double>(Get(phase)) / 1e6; }
+
+  PhaseTimes& operator+=(const PhaseTimes& other) {
+    for (int i = 0; i < 4; ++i) {
+      nanos[i] += other.nanos[i];
+    }
+    return *this;
+  }
+};
+
+// RAII phase timer: attributes the enclosed scope's wall time to one phase.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimes& times, Phase phase) : times_(times), phase_(phase) {
+    watch_.Start();
+  }
+  ~ScopedPhase() {
+    watch_.Stop();
+    times_.Add(phase_, watch_.ElapsedNanos());
+  }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimes& times_;
+  Phase phase_;
+  Stopwatch watch_;
+};
+
+// Charges elapsed wall time minus everything separately attributed within
+// the scope (GC pauses, serialization, deserialization) to kCompute, so the
+// four phases partition a task's wall time the way Figure 6's stacked bars
+// do.
+class ComputePhaseScope {
+ public:
+  explicit ComputePhaseScope(PhaseTimes& times) : times_(times) {
+    other_before_ = OtherPhases();
+    watch_.Start();
+  }
+  ~ComputePhaseScope() {
+    watch_.Stop();
+    times_.Add(Phase::kCompute, watch_.ElapsedNanos() - (OtherPhases() - other_before_));
+  }
+  ComputePhaseScope(const ComputePhaseScope&) = delete;
+  ComputePhaseScope& operator=(const ComputePhaseScope&) = delete;
+
+ private:
+  int64_t OtherPhases() const {
+    return times_.Get(Phase::kGc) + times_.Get(Phase::kSerialize) +
+           times_.Get(Phase::kDeserialize);
+  }
+
+  PhaseTimes& times_;
+  int64_t other_before_ = 0;
+  Stopwatch watch_;
+};
+
+// Live/peak memory accounting. The managed heap and the native buffer
+// manager both report into one tracker per engine run, mirroring the paper's
+// process-level pmap measurement.
+class MemoryTracker {
+ public:
+  void Allocated(int64_t bytes) {
+    live_ += bytes;
+    if (live_ > peak_) {
+      peak_ = live_;
+    }
+  }
+  void Freed(int64_t bytes) { live_ -= bytes; }
+
+  int64_t live_bytes() const { return live_; }
+  int64_t peak_bytes() const { return peak_; }
+  void Reset() {
+    live_ = 0;
+    peak_ = 0;
+  }
+  // Restarts peak measurement from the current live footprint (used to
+  // exclude input generation from a benchmark's peak).
+  void ResetPeak() { peak_ = live_; }
+
+ private:
+  int64_t live_ = 0;
+  int64_t peak_ = 0;
+};
+
+// Human-readable byte count ("1.5 GB") for bench output.
+std::string FormatBytes(int64_t bytes);
+
+}  // namespace gerenuk
+
+#endif  // SRC_SUPPORT_METRICS_H_

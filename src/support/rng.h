@@ -1,0 +1,137 @@
+// Deterministic random number generation and the distribution samplers used
+// by the synthetic data generators (power-law graphs, Zipfian text, Gaussian
+// clusters). Benchmarks must be reproducible run-to-run, so everything is
+// seeded explicitly and no global state exists.
+#ifndef SRC_SUPPORT_RNG_H_
+#define SRC_SUPPORT_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/support/logging.h"
+
+namespace gerenuk {
+
+// xoshiro256** — fast, high-quality, and the same on every platform.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding, per the xoshiro reference recommendation.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t NextU64() {
+    uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  uint32_t NextU32() { return static_cast<uint32_t>(NextU64() >> 32); }
+
+  // Uniform in [0, bound).
+  uint64_t NextBounded(uint64_t bound) {
+    GERENUK_CHECK_GT(bound, 0u);
+    return NextU64() % bound;
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+
+  // Uniform in [lo, hi).
+  double NextDouble(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  // Standard normal via Box–Muller (cached pair).
+  double NextGaussian() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = 0.0;
+    while (u1 == 0.0) {
+      u1 = NextDouble();
+    }
+    double u2 = NextDouble();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    cached_ = r * std::sin(2.0 * M_PI * u2);
+    has_cached_ = true;
+    return r * std::cos(2.0 * M_PI * u2);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+// Zipf-distributed integers in [0, n). Uses the classic rejection-inversion
+// method (Hörmann) so setup is O(1) and sampling is O(1) regardless of n —
+// important because the text generator draws hundreds of millions of words.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double exponent) : n_(n), s_(exponent) {
+    GERENUK_CHECK_GT(n, 0u);
+    GERENUK_CHECK_GT(exponent, 0.0);
+    h_x1_ = H(1.5) - 1.0;
+    h_n_ = H(static_cast<double>(n) + 0.5);
+    dummy_ = 2.0 - HInv(H(2.5) - HIntegerPow(2.0));
+  }
+
+  uint64_t Sample(Rng& rng) const {
+    while (true) {
+      double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+      double x = HInv(u);
+      uint64_t k = static_cast<uint64_t>(x + 0.5);
+      if (k < 1) {
+        k = 1;
+      } else if (k > n_) {
+        k = n_;
+      }
+      double kd = static_cast<double>(k);
+      if (kd - x <= dummy_ || u >= H(kd + 0.5) - HIntegerPow(kd)) {
+        return k - 1;  // 0-based rank
+      }
+    }
+  }
+
+ private:
+  // H(x) = integral of x^-s; closed forms for s == 1 and s != 1.
+  double H(double x) const {
+    if (s_ == 1.0) {
+      return std::log(x);
+    }
+    return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+  }
+  double HInv(double x) const {
+    if (s_ == 1.0) {
+      return std::exp(x);
+    }
+    return std::pow(1.0 + x * (1.0 - s_), 1.0 / (1.0 - s_));
+  }
+  double HIntegerPow(double k) const { return std::pow(k, -s_); }
+
+  uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double dummy_;
+};
+
+}  // namespace gerenuk
+
+#endif  // SRC_SUPPORT_RNG_H_

@@ -1,0 +1,60 @@
+// Synthetic data generators standing in for the paper's datasets (the
+// LiveJournal/Orkut/UK-2005/Twitter graphs and the StackOverflow/Wikipedia
+// dumps we don't have). Each generator matches the statistical shape that
+// drives the measured ratios: power-law degree skew for graphs, Gaussian
+// clusters for KMeans, separable labeled points for LR/CS/GB, Zipfian
+// vocabulary for text, and long-tailed per-user post counts for the
+// StackOverflow-style workloads.
+#ifndef SRC_WORKLOADS_DATAGEN_H_
+#define SRC_WORKLOADS_DATAGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/support/rng.h"
+
+namespace gerenuk {
+
+// Directed graph with Zipf-skewed destination popularity (preferential
+// attachment flavor). Every vertex has >= 1 outgoing edge.
+struct SyntheticGraph {
+  int64_t num_vertices = 0;
+  std::vector<std::vector<int64_t>> out_edges;  // adjacency (by source)
+  int64_t num_edges() const;
+};
+SyntheticGraph MakePowerLawGraph(int64_t vertices, int64_t edges, uint64_t seed);
+
+// Points drawn from k Gaussian clusters in `dim` dimensions.
+struct SyntheticPoints {
+  int dim = 0;
+  std::vector<std::vector<double>> values;  // one vector per point
+  std::vector<int> true_cluster;
+};
+SyntheticPoints MakeClusteredPoints(int64_t count, int dim, int clusters, uint64_t seed);
+
+// Binary-labeled points from two separable Gaussians (for LR/CS/GB).
+struct SyntheticLabeledPoints {
+  int dim = 0;
+  std::vector<std::vector<double>> features;
+  std::vector<double> labels;  // 0.0 or 1.0
+};
+SyntheticLabeledPoints MakeLabeledPoints(int64_t count, int dim, uint64_t seed);
+
+// StackOverflow-like posts: long-tailed per-user activity, topic tags,
+// scores, and short Zipfian text bodies.
+struct SyntheticPost {
+  int64_t user_id = 0;
+  int32_t topic = 0;
+  int32_t score = 0;
+  std::string text;
+};
+std::vector<SyntheticPost> MakePosts(int64_t count, int64_t users, int topics, uint64_t seed);
+
+// Wikipedia-like text lines: `words_per_line` Zipf-distributed words.
+std::vector<std::string> MakeTextLines(int64_t lines, int words_per_line, int vocabulary,
+                                       uint64_t seed);
+
+}  // namespace gerenuk
+
+#endif  // SRC_WORKLOADS_DATAGEN_H_

@@ -1,0 +1,309 @@
+// Coverage for modules exercised so far only through macro paths: the
+// Tungsten-like row engine, the committed-bytes helpers of nativebuf, the
+// builder string fast path, and the interpreter's math/string intrinsics.
+#include <gtest/gtest.h>
+
+#include "src/baseline/tungsten.h"
+#include "src/exec/interpreter.h"
+#include "src/ir/builder.h"
+#include "src/nativebuf/record_builder.h"
+#include "src/runtime/roots.h"
+#include "src/serde/inline_serializer.h"
+
+namespace gerenuk {
+namespace {
+
+// --------------------------------------------------------------------------
+// Tungsten baseline
+// --------------------------------------------------------------------------
+
+TEST(StringPoolTest, InternIsStableAndCachesHashes) {
+  StringPool pool;
+  int64_t a = pool.Intern("gerenuk");
+  int64_t b = pool.Intern("spark");
+  int64_t a2 = pool.Intern("gerenuk");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.Get(a), "gerenuk");
+  EXPECT_EQ(pool.CachedHash(a), pool.CachedHash(a2));
+  EXPECT_NE(pool.CachedHash(a), pool.CachedHash(b));
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(TungstenTableTest, RowsRoundTrip) {
+  MemoryTracker tracker;
+  TungstenTable table({TungstenType::kI64, TungstenType::kF64}, &tracker);
+  for (int i = 0; i < 100; ++i) {
+    int64_t row[2] = {i, TungstenTable::PackF64(i * 0.5)};
+    table.AppendRow(row);
+  }
+  EXPECT_EQ(table.num_rows(), 100);
+  EXPECT_EQ(table.GetI64(42, 0), 42);
+  EXPECT_EQ(table.GetF64(42, 1), 21.0);
+  table.SetF64(42, 1, -1.0);
+  EXPECT_EQ(table.GetF64(42, 1), -1.0);
+  EXPECT_EQ(table.bytes_used(), 100 * 2 * 8);
+  EXPECT_GE(tracker.live_bytes(), table.bytes_used());
+}
+
+TEST(TungstenTableTest, GroupBySums) {
+  TungstenTable table({TungstenType::kI64, TungstenType::kF64}, nullptr);
+  for (int i = 0; i < 90; ++i) {
+    int64_t row[2] = {i % 3, TungstenTable::PackF64(1.5)};
+    table.AppendRow(row);
+  }
+  TungstenTable sums = GroupBySumF64(table, 0, 1, nullptr, nullptr);
+  EXPECT_EQ(sums.num_rows(), 3);
+  double total = 0.0;
+  for (int64_t r = 0; r < sums.num_rows(); ++r) {
+    EXPECT_DOUBLE_EQ(sums.GetF64(r, 1), 45.0);
+    total += sums.GetF64(r, 1);
+  }
+  EXPECT_DOUBLE_EQ(total, 135.0);
+
+  TungstenTable itable({TungstenType::kI64, TungstenType::kI64}, nullptr);
+  for (int i = 0; i < 10; ++i) {
+    int64_t row[2] = {i % 2, 7};
+    itable.AppendRow(row);
+  }
+  TungstenTable isums = GroupBySumI64(itable, 0, 1, nullptr, nullptr);
+  EXPECT_EQ(isums.num_rows(), 2);
+  EXPECT_EQ(isums.GetI64(0, 1) + isums.GetI64(1, 1), 70);
+}
+
+TEST(TungstenTest, PlanGrowthReplaysLineage) {
+  // Iteration i replays i prior steps: total replays = 0+1+..+(n-1).
+  int steps = 0;
+  int replays = 0;
+  RunIterativeWithPlanGrowth(
+      5, [&](int) { steps += 1; }, [&](int) { replays += 1; });
+  EXPECT_EQ(steps, 5);
+  EXPECT_EQ(replays, 10);
+}
+
+// --------------------------------------------------------------------------
+// Committed-bytes helpers
+// --------------------------------------------------------------------------
+
+struct NativeFixture {
+  Heap heap{HeapConfig{16u << 20, GcKind::kGenerational, 0.55, 0.35, 2}};
+  WellKnown wk{heap};
+  ExprPool pool;
+  DataStructAnalyzer layouts{pool};
+};
+
+TEST(NativeBufferTest, PrimReadWriteWidths) {
+  alignas(8) uint8_t buf[32] = {0};
+  int64_t base = reinterpret_cast<int64_t>(buf);
+  NativeWriteInt(base, 0, FieldKind::kI8, -5);
+  NativeWriteInt(base, 2, FieldKind::kI16, -300);
+  NativeWriteInt(base, 4, FieldKind::kI32, 1 << 20);
+  NativeWriteInt(base, 8, FieldKind::kI64, -(1LL << 40));
+  NativeWriteFloat(base, 16, FieldKind::kF32, 1.5f);
+  NativeWriteFloat(base, 24, FieldKind::kF64, -2.25);
+  EXPECT_EQ(NativeReadInt(base, 0, FieldKind::kI8), -5);
+  EXPECT_EQ(NativeReadInt(base, 2, FieldKind::kI16), -300);
+  EXPECT_EQ(NativeReadInt(base, 4, FieldKind::kI32), 1 << 20);
+  EXPECT_EQ(NativeReadInt(base, 8, FieldKind::kI64), -(1LL << 40));
+  EXPECT_EQ(NativeReadFloat(base, 16, FieldKind::kF32), 1.5);
+  EXPECT_EQ(NativeReadFloat(base, 24, FieldKind::kF64), -2.25);
+}
+
+TEST(NativeBufferTest, VariableRecordArrayElemAddrWalksSizePrefixes) {
+  // Account-like: Holder { Post[] posts } with Post { text: String } — Post
+  // is variable-size, so array elements carry size prefixes and random
+  // access walks them.
+  NativeFixture fx;
+  KlassRegistry& reg = fx.heap.klasses();
+  const Klass* string_k = fx.wk.string_klass();
+  const Klass* post = reg.DefineClass("Post", {{"text", FieldKind::kRef, string_k, 0}});
+  const Klass* post_array = reg.DefineArray(FieldKind::kRef, post);
+  const Klass* holder = reg.DefineClass("Holder", {{"posts", FieldKind::kRef, post_array, 0}});
+  std::string error;
+  ASSERT_TRUE(fx.layouts.AnalyzeTopLevel(holder, &error)) << error;
+
+  RootScope scope(fx.heap);
+  size_t arr = scope.Push(fx.heap.AllocArray(post_array, 3));
+  const char* texts[] = {"a", "bbbb", "cc"};
+  for (int i = 0; i < 3; ++i) {
+    size_t s = scope.Push(fx.wk.AllocString(texts[i]));
+    size_t p = scope.Push(fx.heap.AllocObject(post));
+    fx.heap.SetRef(scope.Get(p), post->FindField("text")->offset, scope.Get(s));
+    fx.heap.ASetRef(scope.Get(arr), i, scope.Get(p));
+  }
+  size_t h = scope.Push(fx.heap.AllocObject(holder));
+  fx.heap.SetRef(scope.Get(h), holder->FindField("posts")->offset, scope.Get(arr));
+
+  InlineSerializer serde(fx.heap);
+  ByteBuffer record;
+  serde.WriteRecord(scope.Get(h), holder, record);
+  NativePartition part;
+  int64_t addr = part.AppendRecord(record.data() + 4, static_cast<uint32_t>(record.size() - 4));
+
+  // Holder body starts with the posts array.
+  int64_t measured = MeasureCommittedBody(fx.layouts, holder, addr);
+  EXPECT_EQ(measured, static_cast<int64_t>(record.size()) - 4);
+  for (int i = 0; i < 3; ++i) {
+    int64_t elem = CommittedArrayElemAddr(fx.layouts, post_array, addr, i);
+    // Each Post body = its String body = [len][bytes].
+    int32_t len = NativeReadI32(elem);
+    EXPECT_EQ(len, static_cast<int32_t>(strlen(texts[i])));
+    EXPECT_EQ(std::string(reinterpret_cast<const char*>(elem + 4), static_cast<size_t>(len)),
+              texts[i]);
+  }
+  EXPECT_DEATH(CommittedArrayElemAddr(fx.layouts, post_array, addr, 3), "out of bounds");
+}
+
+TEST(RecordBuilderTest, TryGetStringBytesFastPath) {
+  NativeFixture fx;
+  std::string error;
+  ASSERT_TRUE(fx.layouts.AnalyzeTopLevel(fx.wk.string_klass(), &error));
+  BuilderStore builders(fx.layouts);
+  int64_t chars = builders.NewArray(fx.wk.byte_array(), 3);
+  builders.ArrayStore(chars, 0, FieldKind::kI8, 'a', 0);
+  builders.ArrayStore(chars, 1, FieldKind::kI8, 'b', 0);
+  builders.ArrayStore(chars, 2, FieldKind::kI8, 'c', 0);
+  int64_t str = builders.NewRecord(fx.wk.string_klass());
+  builders.AttachField(str, 0, chars);
+
+  const uint8_t* data = nullptr;
+  int64_t len = 0;
+  ASSERT_TRUE(builders.TryGetStringBytes(str, &data, &len));
+  EXPECT_EQ(len, 3);
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(data), 3), "abc");
+  // A non-string-shaped builder declines the fast path.
+  EXPECT_FALSE(builders.TryGetStringBytes(chars, &data, &len));
+}
+
+// --------------------------------------------------------------------------
+// Interpreter intrinsics
+// --------------------------------------------------------------------------
+
+TEST(IntrinsicsTest, MathAndStringOps) {
+  NativeFixture fx;
+  SerProgram program;
+  const Klass* string_k = fx.wk.string_klass();
+  std::string error;
+  ASSERT_TRUE(fx.layouts.AnalyzeTopLevel(string_k, &error));
+
+  Function* math = program.AddFunction("math");
+  {
+    FunctionBuilder b(math);
+    int x = b.Param("x", IrType::F64());
+    math->return_type = IrType::F64();
+    int e = b.CallNative("exp", {x}, IrType::F64());
+    int l = b.CallNative("log", {e}, IrType::F64());  // log(exp(x)) == x
+    int s = b.CallNative("sqrt", {b.ConstF(16.0)}, IrType::F64());
+    b.Return(b.BinOp(BinOpKind::kAdd, l, s));
+    b.Done();
+  }
+  Function* cmp = program.AddFunction("cmp");
+  {
+    FunctionBuilder b(cmp);
+    int a = b.Param("a", IrType::Ref(string_k));
+    int c = b.Param("b", IrType::Ref(string_k));
+    cmp->return_type = IrType::I64();
+    int eq = b.CallNative("stringEquals", {a, c}, IrType::I64());
+    int order = b.CallNative("stringCompare", {a, c}, IrType::I64());
+    int len = b.CallNative("stringLength", {a}, IrType::I64());
+    // pack: eq*1000 + (order<0)*100 + len
+    int neg = b.BinOp(BinOpKind::kLt, order, b.ConstI(0));
+    int packed = b.BinOp(
+        BinOpKind::kAdd,
+        b.BinOp(BinOpKind::kAdd, b.BinOp(BinOpKind::kMul, eq, b.ConstI(1000)),
+                b.BinOp(BinOpKind::kMul, neg, b.ConstI(100))),
+        len);
+    b.Return(packed);
+    b.Done();
+  }
+
+  Interpreter interp(program, fx.heap, fx.wk, &fx.layouts, nullptr);
+  Value m = interp.CallFunction(math, {Value::F64(2.5)});
+  EXPECT_NEAR(m.d, 2.5 + 4.0, 1e-12);
+
+  RootScope scope(fx.heap);
+  size_t a = scope.Push(fx.wk.AllocString("apple"));
+  size_t b2 = scope.Push(fx.wk.AllocString("banana"));
+  Value packed = interp.CallFunction(
+      cmp, {Value::Ref(static_cast<int64_t>(scope.Get(a))),
+            Value::Ref(static_cast<int64_t>(scope.Get(b2)))});
+  // not equal (0), apple < banana (100), length 5.
+  EXPECT_EQ(packed.i, 105);
+  Value same = interp.CallFunction(cmp, {Value::Ref(static_cast<int64_t>(scope.Get(a))),
+                                         Value::Ref(static_cast<int64_t>(scope.Get(a)))});
+  EXPECT_EQ(same.i, 1005);
+}
+
+TEST(IntrinsicsTest, HashAgreesAcrossHeapAndNativeStrings) {
+  // hashCode must produce the same value for a heap String and its native
+  // inline form — shuffle partitioning depends on it.
+  NativeFixture fx;
+  std::string error;
+  ASSERT_TRUE(fx.layouts.AnalyzeTopLevel(fx.wk.string_klass(), &error));
+  SerProgram program;
+  Function* hash = program.AddFunction("hash");
+  {
+    FunctionBuilder b(hash);
+    int s = b.Param("s", IrType::Ref(fx.wk.string_klass()));
+    hash->return_type = IrType::I64();
+    b.Return(b.CallNative("hashCode", {s}, IrType::I64()));
+    b.Done();
+  }
+  BuilderStore builders(fx.layouts);
+  Interpreter interp(program, fx.heap, fx.wk, &fx.layouts, &builders);
+
+  RootScope scope(fx.heap);
+  size_t s = scope.Push(fx.wk.AllocString("gerenuk"));
+  Value heap_hash =
+      interp.CallFunction(hash, {Value::Ref(static_cast<int64_t>(scope.Get(s)))});
+
+  InlineSerializer serde(fx.heap);
+  ByteBuffer record;
+  serde.WriteRecord(scope.Get(s), fx.wk.string_klass(), record);
+  NativePartition part;
+  int64_t addr = part.AppendRecord(record.data() + 4, static_cast<uint32_t>(record.size() - 4));
+  Value native_hash = interp.CallFunction(hash, {Value::Addr(addr)});
+  EXPECT_EQ(heap_hash.i, native_hash.i);
+}
+
+// --------------------------------------------------------------------------
+// ImportFunction
+// --------------------------------------------------------------------------
+
+TEST(ImportFunctionTest, CopiesTransitiveCalleesOnce) {
+  SerProgram src;
+  Function* helper = src.AddFunction("helper");
+  {
+    FunctionBuilder b(helper);
+    int x = b.Param("x", IrType::I64());
+    helper->return_type = IrType::I64();
+    b.Return(b.BinOp(BinOpKind::kAdd, x, b.ConstI(1)));
+    b.Done();
+  }
+  Function* outer = src.AddFunction("outer");
+  {
+    FunctionBuilder b(outer);
+    int x = b.Param("x", IrType::I64());
+    outer->return_type = IrType::I64();
+    int once = b.Call(helper, {x});
+    int twice = b.Call(helper, {once});
+    b.Return(twice);
+    b.Done();
+  }
+
+  SerProgram dst;
+  std::map<int, int> remap;
+  int id = ImportFunction(dst, src, outer->id, remap);
+  EXPECT_EQ(dst.functions.size(), 2u);  // helper imported exactly once
+  // The imported copy runs correctly.
+  HeapConfig config;
+  config.capacity_bytes = 1 << 20;
+  Heap heap(config);
+  WellKnown wk(heap);
+  Interpreter interp(dst, heap, wk, nullptr, nullptr);
+  Value result = interp.CallFunction(dst.function(id), {Value::I64(5)});
+  EXPECT_EQ(result.i, 7);
+}
+
+}  // namespace
+}  // namespace gerenuk

@@ -1,0 +1,228 @@
+// Unit tests for the support library: byte buffers/readers, varints, RNG
+// determinism, samplers, and metrics accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "src/support/bytes.h"
+#include "src/support/metrics.h"
+#include "src/support/rng.h"
+
+namespace gerenuk {
+namespace {
+
+TEST(ByteBufferTest, PrimitivesRoundTrip) {
+  ByteBuffer buf;
+  buf.WriteU8(0xab);
+  buf.WriteBool(true);
+  buf.WriteU16(0x1234);
+  buf.WriteU32(0xdeadbeef);
+  buf.WriteU64(0x0123456789abcdefULL);
+  buf.WriteI32(-42);
+  buf.WriteI64(-1234567890123LL);
+  buf.WriteF32(1.5f);
+  buf.WriteF64(-2.25);
+
+  ByteReader reader(buf.bytes());
+  EXPECT_EQ(reader.ReadU8(), 0xab);
+  EXPECT_TRUE(reader.ReadBool());
+  EXPECT_EQ(reader.ReadU16(), 0x1234);
+  EXPECT_EQ(reader.ReadU32(), 0xdeadbeefu);
+  EXPECT_EQ(reader.ReadU64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(reader.ReadI32(), -42);
+  EXPECT_EQ(reader.ReadI64(), -1234567890123LL);
+  EXPECT_EQ(reader.ReadF32(), 1.5f);
+  EXPECT_EQ(reader.ReadF64(), -2.25);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(ByteBufferTest, VarintRoundTrip) {
+  ByteBuffer buf;
+  const uint32_t u32_values[] = {0, 1, 127, 128, 300, 0x7fffffff, 0xffffffff};
+  const int32_t i32_values[] = {0, -1, 1, -64, 64, INT32_MIN, INT32_MAX};
+  const uint64_t u64_values[] = {0, 1, 0xffffffffULL, 0xffffffffffffffffULL};
+  const int64_t i64_values[] = {0, -1, INT64_MIN, INT64_MAX, 123456789};
+  for (uint32_t v : u32_values) {
+    buf.WriteVarU32(v);
+  }
+  for (int32_t v : i32_values) {
+    buf.WriteVarI32(v);
+  }
+  for (uint64_t v : u64_values) {
+    buf.WriteVarU64(v);
+  }
+  for (int64_t v : i64_values) {
+    buf.WriteVarI64(v);
+  }
+
+  ByteReader reader(buf.bytes());
+  for (uint32_t v : u32_values) {
+    EXPECT_EQ(reader.ReadVarU32(), v);
+  }
+  for (int32_t v : i32_values) {
+    EXPECT_EQ(reader.ReadVarI32(), v);
+  }
+  for (uint64_t v : u64_values) {
+    EXPECT_EQ(reader.ReadVarU64(), v);
+  }
+  for (int64_t v : i64_values) {
+    EXPECT_EQ(reader.ReadVarI64(), v);
+  }
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(ByteBufferTest, VarintSmallValuesAreOneByte) {
+  ByteBuffer buf;
+  buf.WriteVarU32(127);
+  EXPECT_EQ(buf.size(), 1u);
+  buf.WriteVarU32(128);
+  EXPECT_EQ(buf.size(), 3u);
+}
+
+TEST(ByteBufferTest, StringRoundTrip) {
+  ByteBuffer buf;
+  buf.WriteString("hello");
+  buf.WriteString("");
+  buf.WriteString(std::string(1000, 'x'));
+  ByteReader reader(buf.bytes());
+  EXPECT_EQ(reader.ReadString(), "hello");
+  EXPECT_EQ(reader.ReadString(), "");
+  EXPECT_EQ(reader.ReadString(), std::string(1000, 'x'));
+}
+
+TEST(ByteBufferTest, PatchU32) {
+  ByteBuffer buf;
+  size_t pos = buf.size();
+  buf.WriteU32(0);
+  buf.WriteU8(7);
+  buf.PatchU32(pos, 42);
+  ByteReader reader(buf.bytes());
+  EXPECT_EQ(reader.ReadU32(), 42u);
+  EXPECT_EQ(reader.ReadU8(), 7);
+}
+
+TEST(ByteReaderTest, SeekAndPosition) {
+  ByteBuffer buf;
+  buf.WriteU32(1);
+  buf.WriteU32(2);
+  ByteReader reader(buf.bytes());
+  EXPECT_EQ(reader.ReadU32(), 1u);
+  EXPECT_EQ(reader.position(), 4u);
+  reader.Seek(0);
+  EXPECT_EQ(reader.ReadU32(), 1u);
+  EXPECT_EQ(reader.remaining(), 4u);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BoundedStaysInBound) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  const int n = 100000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(ZipfSamplerTest, RanksInRangeAndSkewed) {
+  Rng rng(13);
+  ZipfSampler zipf(1000, 1.1);
+  std::map<uint64_t, int> counts;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    uint64_t rank = zipf.Sample(rng);
+    ASSERT_LT(rank, 1000u);
+    counts[rank]++;
+  }
+  // Rank 0 must dominate rank 99 heavily under a Zipfian law.
+  EXPECT_GT(counts[0], 10 * std::max(counts[99], 1));
+}
+
+TEST(MetricsTest, PhaseTimesAccumulate) {
+  PhaseTimes times;
+  times.Add(Phase::kCompute, 100);
+  times.Add(Phase::kGc, 50);
+  times.Add(Phase::kCompute, 25);
+  EXPECT_EQ(times.Get(Phase::kCompute), 125);
+  EXPECT_EQ(times.Get(Phase::kGc), 50);
+  EXPECT_EQ(times.TotalNanos(), 175);
+
+  PhaseTimes other;
+  other.Add(Phase::kSerialize, 10);
+  times += other;
+  EXPECT_EQ(times.TotalNanos(), 185);
+}
+
+TEST(MetricsTest, ScopedPhaseChargesPhase) {
+  PhaseTimes times;
+  {
+    ScopedPhase scope(times, Phase::kDeserialize);
+    volatile int sink = 0;
+    for (int i = 0; i < 100000; ++i) {
+      sink = sink + i;
+    }
+  }
+  EXPECT_GT(times.Get(Phase::kDeserialize), 0);
+  EXPECT_EQ(times.Get(Phase::kCompute), 0);
+}
+
+TEST(MetricsTest, MemoryTrackerPeak) {
+  MemoryTracker tracker;
+  tracker.Allocated(100);
+  tracker.Allocated(200);
+  tracker.Freed(150);
+  tracker.Allocated(50);
+  EXPECT_EQ(tracker.live_bytes(), 200);
+  EXPECT_EQ(tracker.peak_bytes(), 300);
+}
+
+TEST(MetricsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2048), "2.00 KB");
+  EXPECT_EQ(FormatBytes(3 << 20), "3.00 MB");
+}
+
+}  // namespace
+}  // namespace gerenuk
