@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compiler_stats.dir/bench_compiler_stats.cc.o"
+  "CMakeFiles/bench_compiler_stats.dir/bench_compiler_stats.cc.o.d"
+  "bench_compiler_stats"
+  "bench_compiler_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compiler_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

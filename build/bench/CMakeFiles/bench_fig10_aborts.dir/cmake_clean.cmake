@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_aborts.dir/bench_fig10_aborts.cc.o"
+  "CMakeFiles/bench_fig10_aborts.dir/bench_fig10_aborts.cc.o.d"
+  "bench_fig10_aborts"
+  "bench_fig10_aborts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_aborts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6b_hadoop.dir/bench_fig6b_hadoop.cc.o"
+  "CMakeFiles/bench_fig6b_hadoop.dir/bench_fig6b_hadoop.cc.o.d"
+  "bench_fig6b_hadoop"
+  "bench_fig6b_hadoop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6b_hadoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

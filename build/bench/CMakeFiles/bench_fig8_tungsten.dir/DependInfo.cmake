@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_tungsten.cc" "bench/CMakeFiles/bench_fig8_tungsten.dir/bench_fig8_tungsten.cc.o" "gcc" "bench/CMakeFiles/bench_fig8_tungsten.dir/bench_fig8_tungsten.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/gerenuk_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/gerenuk_hadoop.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/gerenuk_spark.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/gerenuk_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/gerenuk_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/nativebuf/CMakeFiles/gerenuk_native.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gerenuk_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/gerenuk_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/gerenuk_serde.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/gerenuk_mrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/gerenuk_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gerenuk_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_tungsten.dir/bench_fig8_tungsten.cc.o"
+  "CMakeFiles/bench_fig8_tungsten.dir/bench_fig8_tungsten.cc.o.d"
+  "bench_fig8_tungsten"
+  "bench_fig8_tungsten.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_tungsten.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_yak.dir/bench_fig9_yak.cc.o"
+  "CMakeFiles/bench_fig9_yak.dir/bench_fig9_yak.cc.o.d"
+  "bench_fig9_yak"
+  "bench_fig9_yak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_yak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

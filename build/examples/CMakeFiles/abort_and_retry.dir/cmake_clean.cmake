@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abort_and_retry.dir/abort_and_retry.cpp.o"
+  "CMakeFiles/abort_and_retry.dir/abort_and_retry.cpp.o.d"
+  "abort_and_retry"
+  "abort_and_retry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abort_and_retry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abort_and_retry.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadoop_inmap_combiner.dir/hadoop_inmap_combiner.cpp.o"
+  "CMakeFiles/hadoop_inmap_combiner.dir/hadoop_inmap_combiner.cpp.o.d"
+  "hadoop_inmap_combiner"
+  "hadoop_inmap_combiner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadoop_inmap_combiner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spark_logistic_regression.dir/spark_logistic_regression.cpp.o"
+  "CMakeFiles/spark_logistic_regression.dir/spark_logistic_regression.cpp.o.d"
+  "spark_logistic_regression"
+  "spark_logistic_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spark_logistic_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

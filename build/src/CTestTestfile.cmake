@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("runtime")
+subdirs("serde")
+subdirs("ir")
+subdirs("analysis")
+subdirs("transform")
+subdirs("nativebuf")
+subdirs("exec")
+subdirs("dataflow")
+subdirs("mapreduce")
+subdirs("baseline")
+subdirs("workloads")
+subdirs("core")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/layout.cc" "src/analysis/CMakeFiles/gerenuk_analysis.dir/layout.cc.o" "gcc" "src/analysis/CMakeFiles/gerenuk_analysis.dir/layout.cc.o.d"
+  "/root/repo/src/analysis/ser_analyzer.cc" "src/analysis/CMakeFiles/gerenuk_analysis.dir/ser_analyzer.cc.o" "gcc" "src/analysis/CMakeFiles/gerenuk_analysis.dir/ser_analyzer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/gerenuk_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/gerenuk_mrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gerenuk_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gerenuk_analysis.dir/layout.cc.o"
+  "CMakeFiles/gerenuk_analysis.dir/layout.cc.o.d"
+  "CMakeFiles/gerenuk_analysis.dir/ser_analyzer.cc.o"
+  "CMakeFiles/gerenuk_analysis.dir/ser_analyzer.cc.o.d"
+  "libgerenuk_analysis.a"
+  "libgerenuk_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gerenuk_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

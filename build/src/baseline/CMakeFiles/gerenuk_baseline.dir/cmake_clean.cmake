@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gerenuk_baseline.dir/tungsten.cc.o"
+  "CMakeFiles/gerenuk_baseline.dir/tungsten.cc.o.d"
+  "libgerenuk_baseline.a"
+  "libgerenuk_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gerenuk_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gerenuk_spark.dir/dataset.cc.o"
+  "CMakeFiles/gerenuk_spark.dir/dataset.cc.o.d"
+  "CMakeFiles/gerenuk_spark.dir/spark.cc.o"
+  "CMakeFiles/gerenuk_spark.dir/spark.cc.o.d"
+  "CMakeFiles/gerenuk_spark.dir/stage_compiler.cc.o"
+  "CMakeFiles/gerenuk_spark.dir/stage_compiler.cc.o.d"
+  "libgerenuk_spark.a"
+  "libgerenuk_spark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gerenuk_spark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gerenuk_exec.dir/interpreter.cc.o"
+  "CMakeFiles/gerenuk_exec.dir/interpreter.cc.o.d"
+  "CMakeFiles/gerenuk_exec.dir/ser_executor.cc.o"
+  "CMakeFiles/gerenuk_exec.dir/ser_executor.cc.o.d"
+  "libgerenuk_exec.a"
+  "libgerenuk_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gerenuk_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

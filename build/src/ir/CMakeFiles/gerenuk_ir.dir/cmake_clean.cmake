@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gerenuk_ir.dir/builder.cc.o"
+  "CMakeFiles/gerenuk_ir.dir/builder.cc.o.d"
+  "CMakeFiles/gerenuk_ir.dir/ir.cc.o"
+  "CMakeFiles/gerenuk_ir.dir/ir.cc.o.d"
+  "libgerenuk_ir.a"
+  "libgerenuk_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gerenuk_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gerenuk_hadoop.dir/hadoop.cc.o"
+  "CMakeFiles/gerenuk_hadoop.dir/hadoop.cc.o.d"
+  "libgerenuk_hadoop.a"
+  "libgerenuk_hadoop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gerenuk_hadoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

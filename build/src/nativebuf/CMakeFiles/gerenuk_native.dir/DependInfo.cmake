@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nativebuf/native_buffer.cc" "src/nativebuf/CMakeFiles/gerenuk_native.dir/native_buffer.cc.o" "gcc" "src/nativebuf/CMakeFiles/gerenuk_native.dir/native_buffer.cc.o.d"
+  "/root/repo/src/nativebuf/record_builder.cc" "src/nativebuf/CMakeFiles/gerenuk_native.dir/record_builder.cc.o" "gcc" "src/nativebuf/CMakeFiles/gerenuk_native.dir/record_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/gerenuk_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gerenuk_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/gerenuk_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/gerenuk_mrt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

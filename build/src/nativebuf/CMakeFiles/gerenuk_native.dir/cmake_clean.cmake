@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gerenuk_native.dir/native_buffer.cc.o"
+  "CMakeFiles/gerenuk_native.dir/native_buffer.cc.o.d"
+  "CMakeFiles/gerenuk_native.dir/record_builder.cc.o"
+  "CMakeFiles/gerenuk_native.dir/record_builder.cc.o.d"
+  "libgerenuk_native.a"
+  "libgerenuk_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gerenuk_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gerenuk_mrt.dir/heap.cc.o"
+  "CMakeFiles/gerenuk_mrt.dir/heap.cc.o.d"
+  "CMakeFiles/gerenuk_mrt.dir/klass.cc.o"
+  "CMakeFiles/gerenuk_mrt.dir/klass.cc.o.d"
+  "libgerenuk_mrt.a"
+  "libgerenuk_mrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gerenuk_mrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

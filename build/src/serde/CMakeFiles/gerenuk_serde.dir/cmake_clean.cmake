@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gerenuk_serde.dir/heap_serializer.cc.o"
+  "CMakeFiles/gerenuk_serde.dir/heap_serializer.cc.o.d"
+  "CMakeFiles/gerenuk_serde.dir/inline_serializer.cc.o"
+  "CMakeFiles/gerenuk_serde.dir/inline_serializer.cc.o.d"
+  "CMakeFiles/gerenuk_serde.dir/wellknown.cc.o"
+  "CMakeFiles/gerenuk_serde.dir/wellknown.cc.o.d"
+  "libgerenuk_serde.a"
+  "libgerenuk_serde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gerenuk_serde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gerenuk_support.dir/logging.cc.o"
+  "CMakeFiles/gerenuk_support.dir/logging.cc.o.d"
+  "CMakeFiles/gerenuk_support.dir/metrics.cc.o"
+  "CMakeFiles/gerenuk_support.dir/metrics.cc.o.d"
+  "libgerenuk_support.a"
+  "libgerenuk_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gerenuk_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

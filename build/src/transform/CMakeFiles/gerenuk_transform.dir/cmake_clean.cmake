@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gerenuk_transform.dir/transformer.cc.o"
+  "CMakeFiles/gerenuk_transform.dir/transformer.cc.o.d"
+  "libgerenuk_transform.a"
+  "libgerenuk_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gerenuk_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gerenuk_workloads.dir/datagen.cc.o"
+  "CMakeFiles/gerenuk_workloads.dir/datagen.cc.o.d"
+  "CMakeFiles/gerenuk_workloads.dir/hadoop_workloads.cc.o"
+  "CMakeFiles/gerenuk_workloads.dir/hadoop_workloads.cc.o.d"
+  "CMakeFiles/gerenuk_workloads.dir/spark_workloads.cc.o"
+  "CMakeFiles/gerenuk_workloads.dir/spark_workloads.cc.o.d"
+  "libgerenuk_workloads.a"
+  "libgerenuk_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gerenuk_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgerenuk_workloads.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_gc_test.dir/region_gc_test.cc.o"
+  "CMakeFiles/region_gc_test.dir/region_gc_test.cc.o.d"
+  "region_gc_test"
+  "region_gc_test.pdb"
+  "region_gc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_gc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
