@@ -2,6 +2,8 @@
 // Spark programs under the unmodified engine vs the Gerenuk-transformed
 // engine, across three executor heap sizes, with the per-phase breakdown
 // (computation / GC / serialization / deserialization) of the stacked bars.
+#include <chrono>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -22,15 +24,18 @@ struct RunRow {
   double checksum = 0.0;
 };
 
-RunRow RunOne(const char* name, EngineMode mode, size_t heap_bytes) {
+RunRow RunOne(const char* name, EngineMode mode, size_t heap_bytes, int num_workers = 1,
+              double* wall_ms = nullptr) {
   SparkConfig config;
   config.mode = mode;
   config.heap_bytes = heap_bytes;
   config.num_partitions = 4;
+  config.num_workers = num_workers;
   SparkEngine engine(config);
   SparkWorkloads workloads(engine);
 
   WorkloadResult result;
+  const auto wall_start = std::chrono::steady_clock::now();
   std::string program(name);
   if (program == "PR") {
     result = workloads.RunPageRank(MakePowerLawGraph(4000, 20000, 11), 8);
@@ -42,6 +47,11 @@ RunRow RunOne(const char* name, EngineMode mode, size_t heap_bytes) {
     result = workloads.RunChiSquareSelector(MakeLabeledPoints(20000, 12, 44));
   } else {
     result = workloads.RunGradientBoosting(MakeLabeledPoints(4000, 8, 55), 5, 0.3);
+  }
+  if (wall_ms != nullptr) {
+    *wall_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                         wall_start)
+                   .count();
   }
   RunRow row;
   row.times = engine.stats().times;
@@ -96,6 +106,30 @@ void Run() {
       samples += 1;
     }
   }
+  bench::PrintHeader("Parallel scaling: Gerenuk wall clock vs num_workers");
+  // Not a paper figure: this validates the task scheduler. Per-partition
+  // tasks of every stage fan out to a worker pool; output bytes must be
+  // identical at every worker count, so only the wall clock may move.
+  {
+    const unsigned cores = std::thread::hardware_concurrency();
+    std::printf("host cores: %u%s\n", cores,
+                cores <= 1 ? "  (single-core host: expect ~1.0x — scaling "
+                             "needs real cores, the pool only adds overhead here)"
+                           : "");
+    const size_t heap = 36u << 20;
+    double wall1 = 0.0;
+    RunRow serial = RunOne("KM", EngineMode::kGerenuk, heap, 1, &wall1);
+    std::printf("%-26s wall = %8.1fms  (reference)\n", "KM workers=1", wall1);
+    for (int workers : {2, 4}) {
+      double wall = 0.0;
+      RunRow row = RunOne("KM", EngineMode::kGerenuk, heap, workers, &wall);
+      GERENUK_CHECK(row.checksum == serial.checksum)
+          << "KM workers=" << workers << ": result diverged from workers=1";
+      std::printf("%-26s wall = %8.1fms  speedup = %.2fx  (checksum identical)\n",
+                  ("KM workers=" + std::to_string(workers)).c_str(), wall, wall1 / wall);
+    }
+  }
+
   bench::PrintHeader("Table 3 (Spark row): Gerenuk normalized to baseline, geo-mean");
   std::printf("Overall: %.2f   App(non-GC): %.2f   GC: %.2f\n",
               1.0 / std::pow(geo_speedup, 1.0 / samples),

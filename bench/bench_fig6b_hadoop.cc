@@ -38,7 +38,7 @@ void Run() {
       HadoopConfig config;
       config.mode = mode;
       config.heap_bytes = 48u << 20;
-      config.num_map_tasks = 4;
+      config.num_partitions = 4;
       config.num_reducers = 2;
       config.sort_buffer_bytes = 512 << 10;
       HadoopEngine engine(config);

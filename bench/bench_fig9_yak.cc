@@ -19,7 +19,7 @@ struct Row {
 Row RunImc(const char* system, size_t heap_bytes, const std::vector<std::string>& lines) {
   HadoopConfig config;
   config.heap_bytes = heap_bytes;
-  config.num_map_tasks = 4;
+  config.num_partitions = 4;
   config.num_reducers = 2;
   config.sort_buffer_bytes = 256 << 10;
   std::string name(system);

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
     HadoopConfig config;
     config.mode = mode;
     config.heap_bytes = 48u << 20;
-    config.num_map_tasks = 4;
+    config.num_partitions = 4;
     config.num_reducers = 2;
     config.sort_buffer_bytes = 256 << 10;
     HadoopEngine engine(config);
@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
 
     WorkloadResult result = workloads.RunImc(input);
     totals[static_cast<int>(mode)] = result.checksum;
-    const HadoopStats& stats = engine.stats();
+    const EngineStats& stats = engine.stats();
     std::printf("%s: %lld distinct terms, %0.f occurrences | map-tasks=%d spills=%d "
                 "combine-calls=%lld shuffle=%s | total=%.1fms (ser=%.1f deser=%.1f)\n",
                 mode == EngineMode::kBaseline ? "baseline" : "gerenuk ",

@@ -1,0 +1,31 @@
+// The shared engine configuration: both the mini-Spark and mini-Hadoop
+// engines are configured through these knobs, so the task scheduler, the
+// managed heap, and the partitioning are wired identically in both systems.
+#ifndef SRC_DATAFLOW_ENGINE_CONFIG_H_
+#define SRC_DATAFLOW_ENGINE_CONFIG_H_
+
+#include <cstddef>
+
+#include "src/dataflow/stage_compiler.h"  // EngineMode
+#include "src/runtime/heap.h"             // GcKind
+
+namespace gerenuk {
+
+struct EngineConfig {
+  EngineMode mode = EngineMode::kBaseline;
+  size_t heap_bytes = 64u << 20;
+  GcKind gc = GcKind::kGenerational;
+  // Partitions per dataset; also the number of tasks per stage (Hadoop: the
+  // number of map tasks / input splits).
+  int num_partitions = 4;
+  // Size of the worker pool Gerenuk-mode stages fan out to. Each worker owns
+  // an isolated executor context (its own mini-heap, sharing the engine's
+  // class registry). Baseline stages always run serially on the engine heap
+  // (it is single-mutator), whatever this is set to. Output bytes and
+  // abort/commit counts are identical for every worker count.
+  int num_workers = 1;
+};
+
+}  // namespace gerenuk
+
+#endif  // SRC_DATAFLOW_ENGINE_CONFIG_H_

@@ -7,6 +7,53 @@
 
 namespace gerenuk {
 
+namespace {
+
+// Task-local lazy broadcast materialization for the slow path: the broadcast
+// lives as native bytes (shareable across workers) and as an object in the
+// *engine* heap — which a worker-heap interpreter must not touch. The first
+// slow-path record deserializes the bytes into the executing worker's heap
+// and roots the result for the rest of the task; every record then re-reads
+// the root slot, since a worker-heap GC may have moved the object.
+class TaskBroadcast {
+ public:
+  TaskBroadcast(WorkerContext& ctx, const BroadcastVar* bc) : ctx_(ctx), bc_(bc) {}
+  ~TaskBroadcast() {
+    if (rooted_) {
+      ctx_.heap().RemoveRootSlot(&ref_);
+    }
+  }
+  TaskBroadcast(const TaskBroadcast&) = delete;
+  TaskBroadcast& operator=(const TaskBroadcast&) = delete;
+
+  void Bind(TaskIo* io) {
+    if (bc_ == nullptr) {
+      return;
+    }
+    io->fast_args.push_back(Value::Addr(bc_->native.record_addr(0)));
+    io->slow_args.push_back(Value::None());  // placeholder; filled per record
+    io->refresh_slow_args = [this](std::vector<Value>& args) {
+      if (!rooted_) {
+        ScopedPhase phase(ctx_.stats().times, Phase::kDeserialize);
+        ByteReader reader(reinterpret_cast<const uint8_t*>(bc_->native.record_addr(0)),
+                          bc_->native.record_size(0));
+        ref_ = ctx_.serde().ReadBody(bc_->klass, reader);
+        ctx_.heap().AddRootSlot(&ref_);
+        rooted_ = true;
+      }
+      args[0] = Value::Ref(static_cast<int64_t>(ref_));
+    };
+  }
+
+ private:
+  WorkerContext& ctx_;
+  const BroadcastVar* bc_;
+  ObjRef ref_ = kNullRef;
+  bool rooted_ = false;
+};
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // Engine
 // ---------------------------------------------------------------------------
@@ -18,6 +65,13 @@ SparkEngine::SparkEngine(const SparkConfig& config)
       kryo_(*heap_),
       inline_serde_(*heap_) {
   heap_->set_memory_tracker(&memory_);
+  // Worker heaps share the engine's class registry, so Klass pointers in the
+  // driver-compiled programs are valid in every executor context. The engine
+  // WellKnown is built first (above), so the worker contexts find its
+  // classes already defined.
+  scheduler_ = std::make_unique<TaskScheduler>(
+      config.num_workers, HeapConfig{config.heap_bytes, config.gc, 0.55, 0.35, 2},
+      &heap_->klasses(), &memory_);
 }
 
 SparkEngine::~SparkEngine() = default;
@@ -54,16 +108,6 @@ void SparkEngine::ResetMetrics() {
   stats_ = EngineStats{};
   memory_.ResetPeak();
   heap_->ResetStats();
-}
-
-int64_t SparkEngine::NextForcedAbortIndex(int64_t records) {
-  if (forced_aborts_remaining_ <= 0 || records == 0) {
-    return -1;
-  }
-  forced_aborts_remaining_ -= 1;
-  // Late in the task, so nearly all of its speculative work is wasted — the
-  // worst case the paper's forced-abort experiment probes.
-  return records - 1 - records / 8;
 }
 
 // ---------------------------------------------------------------------------
@@ -103,68 +147,77 @@ DatasetPtr SparkEngine::RunStage(const DatasetPtr& input, const SerProgram& udfs
 
 DatasetPtr SparkEngine::RunNarrowBaseline(const DatasetPtr& input, const CompiledStage& stage,
                                           const BroadcastVar* broadcast) {
-  auto out =
-      std::make_shared<Dataset>(*heap_, stage.out_klass, config_.num_partitions, &memory_);
+  int parts = config_.num_partitions;
+  auto out = std::make_shared<Dataset>(*heap_, stage.out_klass, parts, &memory_);
+  ClaimTaskOrdinals(parts);
   std::vector<Value> args;
   if (broadcast != nullptr) {
     args.push_back(Value::Ref(static_cast<int64_t>(broadcast->heap)));
   }
-  heap_->set_phase_times(&stats_.times);
-  for (int p = 0; p < config_.num_partitions; ++p) {
-    stats_.tasks_run += 1;
-    Interpreter interp(*stage.original, *heap_, *wk_, &layouts_, nullptr);
-    size_t cursor = 0;
-    const std::vector<ObjRef>& in_part = input->heap_parts[static_cast<size_t>(p)];
-    std::vector<ObjRef>& out_part = out->heap_parts[static_cast<size_t>(p)];
-    RecordChannel channel;
-    channel.next_heap_record = [&in_part, &cursor]() { return in_part[cursor]; };
-    channel.emit_heap_record = [&out_part](ObjRef ref, const Klass*) {
-      out_part.push_back(ref);
-    };
-    interp.set_channel(&channel);
-    ComputePhaseScope compute(stats_.times);
-    for (cursor = 0; cursor < in_part.size(); ++cursor) {
-      interp.CallFunction(stage.original->body, args);
-    }
-  }
-  heap_->set_phase_times(nullptr);
+  scheduler_->RunStageSerial(
+      parts,
+      [&](WorkerContext& ctx, int p) {
+        ctx.stats().tasks_run += 1;
+        heap_->set_phase_times(&ctx.stats().times);
+        Interpreter interp(*stage.original, *heap_, *wk_, &layouts_, nullptr);
+        size_t cursor = 0;
+        const std::vector<ObjRef>& in_part = input->heap_parts[static_cast<size_t>(p)];
+        std::vector<ObjRef>& out_part = out->heap_parts[static_cast<size_t>(p)];
+        RecordChannel channel;
+        channel.next_heap_record = [&in_part, &cursor]() { return in_part[cursor]; };
+        channel.emit_heap_record = [&out_part](ObjRef ref, const Klass*) {
+          out_part.push_back(ref);
+        };
+        interp.set_channel(&channel);
+        {
+          ComputePhaseScope compute(ctx.stats().times);
+          for (cursor = 0; cursor < in_part.size(); ++cursor) {
+            interp.CallFunction(stage.original->body, args);
+          }
+        }
+        heap_->set_phase_times(nullptr);
+      },
+      &stats_);
   return out;
 }
 
 DatasetPtr SparkEngine::RunNarrowGerenuk(const DatasetPtr& input, const CompiledStage& stage,
                                          const BroadcastVar* broadcast) {
-  auto out =
-      std::make_shared<Dataset>(*heap_, stage.out_klass, config_.num_partitions, &memory_);
-  SerExecutor exec(*heap_, *wk_, layouts_, *stage.original, *stage.transformed);
-  for (int p = 0; p < config_.num_partitions; ++p) {
-    stats_.tasks_run += 1;
-    NativePartition& out_part = out->native_parts[static_cast<size_t>(p)];
-    TaskIo io;
-    io.input = &input->native_parts[static_cast<size_t>(p)];
-    if (broadcast != nullptr) {
-      io.fast_args.push_back(Value::Addr(broadcast->native.record_addr(0)));
-      io.slow_args.push_back(Value::Ref(static_cast<int64_t>(broadcast->heap)));
-    }
-    io.emit_native = [&out_part](int64_t addr, const Klass* klass, Interpreter&,
-                                 BuilderStore& builders) {
-      builders.Render(addr, klass, out_part);
-    };
-    io.emit_heap = [this, &out_part](ObjRef ref, const Klass* klass, Interpreter&) {
-      ScopedPhase phase(stats_.times, Phase::kSerialize);
-      ByteBuffer body;
-      inline_serde_.WriteRecord(ref, klass, body);
-      out_part.AppendRecord(body.data() + 4, static_cast<uint32_t>(body.size() - 4));
-    };
-    io.on_abort = [&out_part] { out_part.Release(); };
-    exec.set_forced_abort_at(
-        NextForcedAbortIndex(static_cast<int64_t>(io.input->record_count())));
-    SpecOutcome outcome = exec.RunTaskIo(io, stats_.times);
-    if (!outcome.committed_fast_path) {
-      stats_.aborts += outcome.aborts;
-    } else {
-      stats_.fast_path_commits += 1;
-    }
-  }
+  int parts = config_.num_partitions;
+  auto out = std::make_shared<Dataset>(*heap_, stage.out_klass, parts, &memory_);
+  const int64_t base = ClaimTaskOrdinals(parts);
+  const FaultPlan* faults = ActiveFaults();
+  scheduler_->RunStage(
+      parts,
+      [&](WorkerContext& ctx, int p) {
+        ctx.stats().tasks_run += 1;
+        SerExecutor exec(ctx.heap(), ctx.wk(), layouts_, *stage.original, *stage.transformed);
+        NativePartition& out_part = out->native_parts[static_cast<size_t>(p)];
+        TaskIo io;
+        io.input = &input->native_parts[static_cast<size_t>(p)];
+        io.task_ordinal = base + p;
+        io.faults = faults;
+        TaskBroadcast bc(ctx, broadcast);
+        bc.Bind(&io);
+        io.emit_native = [&out_part](int64_t addr, const Klass* klass, Interpreter&,
+                                     BuilderStore& builders) {
+          builders.Render(addr, klass, out_part);
+        };
+        io.emit_heap = [&ctx, &out_part](ObjRef ref, const Klass* klass, Interpreter&) {
+          ScopedPhase phase(ctx.stats().times, Phase::kSerialize);
+          ByteBuffer body;
+          ctx.serde().WriteRecord(ref, klass, body);
+          out_part.AppendRecord(body.data() + 4, static_cast<uint32_t>(body.size() - 4));
+        };
+        io.on_abort = [&out_part] { out_part.Release(); };
+        SpecOutcome outcome = exec.RunTaskIo(io, ctx.stats().times);
+        if (!outcome.committed_fast_path) {
+          ctx.stats().aborts += outcome.aborts;
+        } else {
+          ctx.stats().fast_path_commits += 1;
+        }
+      },
+      &stats_);
   return out;
 }
 
@@ -180,42 +233,50 @@ void SparkEngine::ShuffleBaseline(const DatasetPtr& input, const CompiledStage& 
   int parts = config_.num_partitions;
   buckets->clear();
   bucket_counts->clear();
+  for (int p = 0; p < parts; ++p) {
+    buckets->emplace_back(static_cast<size_t>(parts));
+    bucket_counts->emplace_back(static_cast<size_t>(parts), 0);
+  }
+  ClaimTaskOrdinals(parts);
   std::vector<Value> args;
   if (broadcast != nullptr) {
     args.push_back(Value::Ref(static_cast<int64_t>(broadcast->heap)));
   }
   ShuffleKeyHash hasher;
-  heap_->set_phase_times(&stats_.times);
-  for (int p = 0; p < parts; ++p) {
-    stats_.tasks_run += 1;
-    buckets->emplace_back(static_cast<size_t>(parts));
-    bucket_counts->emplace_back(static_cast<size_t>(parts), 0);
-    std::vector<ByteBuffer>& task_buckets = buckets->back();
-    std::vector<int64_t>& task_counts = bucket_counts->back();
-    Interpreter interp(*stage.original, *heap_, *wk_, &layouts_, nullptr);
-    Interpreter key_interp(*key_fn.original, *heap_, *wk_, &layouts_, nullptr);
-    size_t cursor = 0;
-    const std::vector<ObjRef>& in_part = input->heap_parts[static_cast<size_t>(p)];
-    RecordChannel channel;
-    channel.next_heap_record = [&in_part, &cursor]() { return in_part[cursor]; };
-    channel.emit_heap_record = [this, &key_interp, &key_fn, &key, &task_buckets, &task_counts,
-                                &hasher](ObjRef ref, const Klass* klass) {
-      ShuffleKeyValue k = EvalShuffleKey(key_interp, key_fn.orig_fn,
-                                  Value::Ref(static_cast<int64_t>(ref)), key.is_string);
-      size_t b = hasher(k) % task_buckets.size();
-      ScopedPhase phase(stats_.times, Phase::kSerialize);
-      size_t before = task_buckets[b].size();
-      kryo_.Serialize(ref, klass, task_buckets[b]);
-      stats_.shuffle_bytes += static_cast<int64_t>(task_buckets[b].size() - before);
-      task_counts[b] += 1;
-    };
-    interp.set_channel(&channel);
-    ComputePhaseScope compute(stats_.times);
-    for (cursor = 0; cursor < in_part.size(); ++cursor) {
-      interp.CallFunction(stage.original->body, args);
-    }
-  }
-  heap_->set_phase_times(nullptr);
+  scheduler_->RunStageSerial(
+      parts,
+      [&](WorkerContext& ctx, int p) {
+        ctx.stats().tasks_run += 1;
+        heap_->set_phase_times(&ctx.stats().times);
+        std::vector<ByteBuffer>& task_buckets = (*buckets)[static_cast<size_t>(p)];
+        std::vector<int64_t>& task_counts = (*bucket_counts)[static_cast<size_t>(p)];
+        Interpreter interp(*stage.original, *heap_, *wk_, &layouts_, nullptr);
+        Interpreter key_interp(*key_fn.original, *heap_, *wk_, &layouts_, nullptr);
+        size_t cursor = 0;
+        const std::vector<ObjRef>& in_part = input->heap_parts[static_cast<size_t>(p)];
+        RecordChannel channel;
+        channel.next_heap_record = [&in_part, &cursor]() { return in_part[cursor]; };
+        channel.emit_heap_record = [this, &ctx, &key_interp, &key_fn, &key, &task_buckets,
+                                    &task_counts, &hasher](ObjRef ref, const Klass* klass) {
+          ShuffleKeyValue k = EvalShuffleKey(key_interp, key_fn.orig_fn,
+                                             Value::Ref(static_cast<int64_t>(ref)), key.is_string);
+          size_t b = hasher(k) % task_buckets.size();
+          ScopedPhase phase(ctx.stats().times, Phase::kSerialize);
+          size_t before = task_buckets[b].size();
+          kryo_.Serialize(ref, klass, task_buckets[b]);
+          ctx.stats().shuffle_bytes += static_cast<int64_t>(task_buckets[b].size() - before);
+          task_counts[b] += 1;
+        };
+        interp.set_channel(&channel);
+        {
+          ComputePhaseScope compute(ctx.stats().times);
+          for (cursor = 0; cursor < in_part.size(); ++cursor) {
+            interp.CallFunction(stage.original->body, args);
+          }
+        }
+        heap_->set_phase_times(nullptr);
+      },
+      &stats_);
 }
 
 void SparkEngine::ShuffleGerenuk(const DatasetPtr& input, const CompiledStage& stage,
@@ -223,59 +284,70 @@ void SparkEngine::ShuffleGerenuk(const DatasetPtr& input, const CompiledStage& s
                                  const BroadcastVar* broadcast,
                                  std::vector<std::vector<NativePartition>>* buckets) {
   int parts = config_.num_partitions;
+  // Per-map-task, per-bucket outputs — the analogue of map output files, so
+  // an aborted task discards only its own contribution. All slots are
+  // constructed here, before the fan-out, so tasks never mutate the vectors.
   buckets->clear();
-  ShuffleKeyHash hasher;
-  SerExecutor exec(*heap_, *wk_, layouts_, *stage.original, *stage.transformed);
   for (int p = 0; p < parts; ++p) {
-    stats_.tasks_run += 1;
     std::vector<NativePartition>& task_buckets = buckets->emplace_back();
     task_buckets.reserve(static_cast<size_t>(parts));
     for (int i = 0; i < parts; ++i) {
       task_buckets.emplace_back(&memory_);
     }
-    TaskIo io;
-    io.input = &input->native_parts[static_cast<size_t>(p)];
-    if (broadcast != nullptr) {
-      io.fast_args.push_back(Value::Addr(broadcast->native.record_addr(0)));
-      io.slow_args.push_back(Value::Ref(static_cast<int64_t>(broadcast->heap)));
-    }
-    io.emit_native = [this, &key_fn, &key, &task_buckets, &hasher](int64_t addr,
-                                                                   const Klass* klass,
-                                                                   Interpreter& interp,
-                                                                   BuilderStore& builders) {
-      // Key extraction runs the transformed key function directly over the
-      // emitted record (committed bytes or builder).
-      ShuffleKeyValue k = EvalShuffleKey(interp, key_fn.fast_fn, Value::Addr(addr), key.is_string);
-      size_t b = hasher(k) % task_buckets.size();
-      int64_t before = task_buckets[b].bytes_used();
-      builders.Render(addr, klass, task_buckets[b]);
-      stats_.shuffle_bytes += task_buckets[b].bytes_used() - before;
-    };
-    io.emit_heap = [this, &key_fn, &key, &task_buckets, &hasher](ObjRef ref, const Klass* klass,
-                                                                 Interpreter& interp) {
-      ShuffleKeyValue k =
-          EvalShuffleKey(interp, key_fn.orig_fn, Value::Ref(static_cast<int64_t>(ref)), key.is_string);
-      size_t b = hasher(k) % task_buckets.size();
-      ScopedPhase phase(stats_.times, Phase::kSerialize);
-      ByteBuffer body;
-      inline_serde_.WriteRecord(ref, klass, body);
-      task_buckets[b].AppendRecord(body.data() + 4, static_cast<uint32_t>(body.size() - 4));
-      stats_.shuffle_bytes += static_cast<int64_t>(body.size());
-    };
-    io.on_abort = [&task_buckets] {
-      for (NativePartition& bucket : task_buckets) {
-        bucket.Release();
-      }
-    };
-    exec.set_forced_abort_at(
-        NextForcedAbortIndex(static_cast<int64_t>(io.input->record_count())));
-    SpecOutcome outcome = exec.RunTaskIo(io, stats_.times);
-    if (!outcome.committed_fast_path) {
-      stats_.aborts += outcome.aborts;
-    } else {
-      stats_.fast_path_commits += 1;
-    }
   }
+  const int64_t base = ClaimTaskOrdinals(parts);
+  const FaultPlan* faults = ActiveFaults();
+  ShuffleKeyHash hasher;
+  scheduler_->RunStage(
+      parts,
+      [&](WorkerContext& ctx, int p) {
+        ctx.stats().tasks_run += 1;
+        std::vector<NativePartition>& task_buckets = (*buckets)[static_cast<size_t>(p)];
+        SerExecutor exec(ctx.heap(), ctx.wk(), layouts_, *stage.original, *stage.transformed);
+        TaskIo io;
+        io.input = &input->native_parts[static_cast<size_t>(p)];
+        io.task_ordinal = base + p;
+        io.faults = faults;
+        TaskBroadcast bc(ctx, broadcast);
+        bc.Bind(&io);
+        io.emit_native = [&ctx, &key_fn, &key, &task_buckets, &hasher](int64_t addr,
+                                                                       const Klass* klass,
+                                                                       Interpreter& interp,
+                                                                       BuilderStore& builders) {
+          // Key extraction runs the transformed key function directly over
+          // the emitted record (committed bytes or builder).
+          ShuffleKeyValue k =
+              EvalShuffleKey(interp, key_fn.fast_fn, Value::Addr(addr), key.is_string);
+          size_t b = hasher(k) % task_buckets.size();
+          int64_t before = task_buckets[b].bytes_used();
+          builders.Render(addr, klass, task_buckets[b]);
+          ctx.stats().shuffle_bytes += task_buckets[b].bytes_used() - before;
+        };
+        io.emit_heap = [&ctx, &key_fn, &key, &task_buckets, &hasher](ObjRef ref,
+                                                                     const Klass* klass,
+                                                                     Interpreter& interp) {
+          ShuffleKeyValue k = EvalShuffleKey(interp, key_fn.orig_fn,
+                                             Value::Ref(static_cast<int64_t>(ref)), key.is_string);
+          size_t b = hasher(k) % task_buckets.size();
+          ScopedPhase phase(ctx.stats().times, Phase::kSerialize);
+          ByteBuffer body;
+          ctx.serde().WriteRecord(ref, klass, body);
+          task_buckets[b].AppendRecord(body.data() + 4, static_cast<uint32_t>(body.size() - 4));
+          ctx.stats().shuffle_bytes += static_cast<int64_t>(body.size());
+        };
+        io.on_abort = [&task_buckets] {
+          for (NativePartition& bucket : task_buckets) {
+            bucket.Release();
+          }
+        };
+        SpecOutcome outcome = exec.RunTaskIo(io, ctx.stats().times);
+        if (!outcome.committed_fast_path) {
+          ctx.stats().aborts += outcome.aborts;
+        } else {
+          ctx.stats().fast_path_commits += 1;
+        }
+      },
+      &stats_);
 }
 
 // ---------------------------------------------------------------------------
@@ -297,44 +369,48 @@ DatasetPtr SparkEngine::ReduceByKey(const DatasetPtr& input, const SerProgram& u
     std::vector<std::vector<int64_t>> counts;
     ShuffleBaseline(input, stage, key, key_c, broadcast, &buckets, &counts);
 
-    heap_->set_phase_times(&stats_.times);
-    for (int p = 0; p < config_.num_partitions; ++p) {
-      stats_.tasks_run += 1;
-      Interpreter reduce_interp(*reduce_c.original, *heap_, *wk_, &layouts_, nullptr);
-      Interpreter key_interp(*key_c.original, *heap_, *wk_, &layouts_, nullptr);
-      ComputePhaseScope compute(stats_.times);
-      // Aggregation map: key -> index into the (GC-rooted) value vector.
-      std::unordered_map<ShuffleKeyValue, size_t, ShuffleKeyHash> agg;
-      std::vector<ObjRef> values;
-      heap_->AddRootVector(&values);
-      for (size_t task = 0; task < buckets.size(); ++task) {
-        ByteReader reader(buckets[task][static_cast<size_t>(p)].bytes());
-        for (int64_t r = 0; r < counts[task][static_cast<size_t>(p)]; ++r) {
-          ObjRef rec;
-          {
-            ScopedPhase phase(stats_.times, Phase::kDeserialize);
-            rec = kryo_.Deserialize(rec_klass, reader);
+    ClaimTaskOrdinals(config_.num_partitions);
+    scheduler_->RunStageSerial(
+        config_.num_partitions,
+        [&](WorkerContext& ctx, int p) {
+          ctx.stats().tasks_run += 1;
+          heap_->set_phase_times(&ctx.stats().times);
+          Interpreter reduce_interp(*reduce_c.original, *heap_, *wk_, &layouts_, nullptr);
+          Interpreter key_interp(*key_c.original, *heap_, *wk_, &layouts_, nullptr);
+          ComputePhaseScope compute(ctx.stats().times);
+          // Aggregation map: key -> index into the (GC-rooted) value vector.
+          std::unordered_map<ShuffleKeyValue, size_t, ShuffleKeyHash> agg;
+          std::vector<ObjRef> values;
+          heap_->AddRootVector(&values);
+          for (size_t task = 0; task < buckets.size(); ++task) {
+            ByteReader reader(buckets[task][static_cast<size_t>(p)].bytes());
+            for (int64_t r = 0; r < counts[task][static_cast<size_t>(p)]; ++r) {
+              ObjRef rec;
+              {
+                ScopedPhase phase(ctx.stats().times, Phase::kDeserialize);
+                rec = kryo_.Deserialize(rec_klass, reader);
+              }
+              RootScope scope(*heap_);
+              size_t rec_slot = scope.Push(rec);
+              ShuffleKeyValue k = EvalShuffleKey(
+                  key_interp, key_c.orig_fn, Value::Ref(static_cast<int64_t>(rec)), key.is_string);
+              auto it = agg.find(k);
+              if (it == agg.end()) {
+                agg.emplace(std::move(k), values.size());
+                values.push_back(scope.Get(rec_slot));
+              } else {
+                Value merged = reduce_interp.CallFunction(
+                    reduce_c.orig_fn, {Value::Ref(static_cast<int64_t>(values[it->second])),
+                                       Value::Ref(static_cast<int64_t>(scope.Get(rec_slot)))});
+                values[it->second] = static_cast<ObjRef>(merged.i);
+              }
+            }
           }
-          RootScope scope(*heap_);
-          size_t rec_slot = scope.Push(rec);
-          ShuffleKeyValue k = EvalShuffleKey(key_interp, key_c.orig_fn,
-                                      Value::Ref(static_cast<int64_t>(rec)), key.is_string);
-          auto it = agg.find(k);
-          if (it == agg.end()) {
-            agg.emplace(std::move(k), values.size());
-            values.push_back(scope.Get(rec_slot));
-          } else {
-            Value merged = reduce_interp.CallFunction(
-                reduce_c.orig_fn, {Value::Ref(static_cast<int64_t>(values[it->second])),
-                                   Value::Ref(static_cast<int64_t>(scope.Get(rec_slot)))});
-            values[it->second] = static_cast<ObjRef>(merged.i);
-          }
-        }
-      }
-      out->heap_parts[static_cast<size_t>(p)] = values;
-      heap_->RemoveRootVector(&values);
-    }
-    heap_->set_phase_times(nullptr);
+          out->heap_parts[static_cast<size_t>(p)] = values;
+          heap_->RemoveRootVector(&values);
+          heap_->set_phase_times(nullptr);
+        },
+        &stats_);
     return out;
   }
 
@@ -342,110 +418,119 @@ DatasetPtr SparkEngine::ReduceByKey(const DatasetPtr& input, const SerProgram& u
   std::vector<std::vector<NativePartition>> buckets;
   ShuffleGerenuk(input, stage, key, key_c, broadcast, &buckets);
 
-  heap_->set_phase_times(&stats_.times);
-  for (int p = 0; p < config_.num_partitions; ++p) {
-    stats_.tasks_run += 1;
-    NativePartition& out_part = out->native_parts[static_cast<size_t>(p)];
-    auto for_each_record = [&buckets, p](const std::function<void(int64_t, uint32_t)>& fn) {
-      for (auto& task_buckets : buckets) {
-        NativePartition& bucket = task_buckets[static_cast<size_t>(p)];
-        for (size_t r = 0; r < bucket.record_count(); ++r) {
-          fn(bucket.record_addr(r), bucket.record_size(r));
-        }
-      }
-    };
-    bool fast_ok = true;
-    try {
-      BuilderStore builders(layouts_);
-      Interpreter reduce_interp(*reduce_c.transformed, *heap_, *wk_, &layouts_, &builders);
-      ComputePhaseScope compute(stats_.times);
-      struct Entry {
-        int64_t addr;
-        int64_t size;
-      };
-      std::unordered_map<ShuffleKeyValue, Entry, ShuffleKeyHash> agg;
-      // Reduction results are rendered into a scratch region, compacted when
-      // garbage (superseded intermediates) dominates — region-based
-      // management in miniature.
-      NativePartition scratch(&memory_);
-      int64_t live_bytes = 0;
-      for_each_record([&](int64_t addr, uint32_t size) {
-        ShuffleKeyValue k =
-            EvalShuffleKey(reduce_interp, key_c.fast_fn, Value::Addr(addr), key.is_string);
-        auto it = agg.find(k);
-        if (it == agg.end()) {
-          agg.emplace(std::move(k), Entry{addr, static_cast<int64_t>(size)});
-          live_bytes += size;
-        } else {
-          Value merged = reduce_interp.CallFunction(
-              reduce_c.fast_fn, {Value::Addr(it->second.addr), Value::Addr(addr)});
-          ByteBuffer body;
-          builders.RenderBody(merged.i, rec_klass, body);
-          builders.Clear();
-          live_bytes -= it->second.size;
-          it->second.addr = scratch.AppendRecord(body.data(), static_cast<uint32_t>(body.size()));
-          it->second.size = static_cast<int64_t>(body.size());
-          live_bytes += it->second.size;
-          if (scratch.bytes_used() > (8 << 20) && scratch.bytes_used() > 2 * live_bytes) {
-            NativePartition compacted(&memory_);
-            for (auto& [kk, entry] : agg) {
-              entry.addr = compacted.AppendRecord(reinterpret_cast<const uint8_t*>(entry.addr),
-                                                  static_cast<uint32_t>(entry.size));
+  ClaimTaskOrdinals(config_.num_partitions);
+  scheduler_->RunStage(
+      config_.num_partitions,
+      [&](WorkerContext& ctx, int p) {
+        ctx.stats().tasks_run += 1;
+        ctx.heap().set_phase_times(&ctx.stats().times);
+        NativePartition& out_part = out->native_parts[static_cast<size_t>(p)];
+        auto for_each_record = [&buckets, p](const std::function<void(int64_t, uint32_t)>& fn) {
+          for (auto& task_buckets : buckets) {
+            NativePartition& bucket = task_buckets[static_cast<size_t>(p)];
+            for (size_t r = 0; r < bucket.record_count(); ++r) {
+              fn(bucket.record_addr(r), bucket.record_size(r));
             }
-            scratch = std::move(compacted);
           }
+        };
+        bool fast_ok = true;
+        try {
+          BuilderStore builders(layouts_);
+          Interpreter reduce_interp(*reduce_c.transformed, ctx.heap(), ctx.wk(), &layouts_,
+                                    &builders);
+          ComputePhaseScope compute(ctx.stats().times);
+          struct Entry {
+            int64_t addr;
+            int64_t size;
+          };
+          std::unordered_map<ShuffleKeyValue, Entry, ShuffleKeyHash> agg;
+          // Reduction results are rendered into a scratch region, compacted
+          // when garbage (superseded intermediates) dominates — region-based
+          // management in miniature.
+          NativePartition scratch(&memory_);
+          int64_t live_bytes = 0;
+          for_each_record([&](int64_t addr, uint32_t size) {
+            ShuffleKeyValue k =
+                EvalShuffleKey(reduce_interp, key_c.fast_fn, Value::Addr(addr), key.is_string);
+            auto it = agg.find(k);
+            if (it == agg.end()) {
+              agg.emplace(std::move(k), Entry{addr, static_cast<int64_t>(size)});
+              live_bytes += size;
+            } else {
+              Value merged = reduce_interp.CallFunction(
+                  reduce_c.fast_fn, {Value::Addr(it->second.addr), Value::Addr(addr)});
+              ByteBuffer body;
+              builders.RenderBody(merged.i, rec_klass, body);
+              builders.Clear();
+              live_bytes -= it->second.size;
+              it->second.addr =
+                  scratch.AppendRecord(body.data(), static_cast<uint32_t>(body.size()));
+              it->second.size = static_cast<int64_t>(body.size());
+              live_bytes += it->second.size;
+              if (scratch.bytes_used() > (8 << 20) && scratch.bytes_used() > 2 * live_bytes) {
+                NativePartition compacted(&memory_);
+                for (auto& [kk, entry] : agg) {
+                  entry.addr =
+                      compacted.AppendRecord(reinterpret_cast<const uint8_t*>(entry.addr),
+                                             static_cast<uint32_t>(entry.size));
+                }
+                scratch = std::move(compacted);
+              }
+            }
+          });
+          for (const auto& [kk, entry] : agg) {
+            out_part.AppendRecord(reinterpret_cast<const uint8_t*>(entry.addr),
+                                  static_cast<uint32_t>(entry.size));
+          }
+          ctx.stats().fast_path_commits += 1;
+        } catch (const SerAbort&) {
+          fast_ok = false;
         }
-      });
-      for (const auto& [kk, entry] : agg) {
-        out_part.AppendRecord(reinterpret_cast<const uint8_t*>(entry.addr),
-                              static_cast<uint32_t>(entry.size));
-      }
-      stats_.fast_path_commits += 1;
-    } catch (const SerAbort&) {
-      fast_ok = false;
-    }
-    if (!fast_ok) {
-      // Reduce-side abort: discard and redo this bucket on the slow path.
-      stats_.aborts += 1;
-      out_part.Release();
-      Interpreter reduce_interp(*reduce_c.original, *heap_, *wk_, &layouts_, nullptr);
-      Interpreter key_interp(*key_c.original, *heap_, *wk_, &layouts_, nullptr);
-      ComputePhaseScope compute(stats_.times);
-      std::unordered_map<ShuffleKeyValue, size_t, ShuffleKeyHash> agg;
-      std::vector<ObjRef> values;
-      heap_->AddRootVector(&values);
-      for_each_record([&](int64_t addr, uint32_t size) {
-        ObjRef rec;
-        {
-          ScopedPhase phase(stats_.times, Phase::kDeserialize);
-          ByteReader reader(reinterpret_cast<const uint8_t*>(addr), size);
-          rec = inline_serde_.ReadBody(rec_klass, reader);
+        if (!fast_ok) {
+          // Reduce-side abort: discard and redo this bucket on the slow path
+          // inside the same worker — sibling reduce tasks keep running.
+          ctx.stats().aborts += 1;
+          out_part.Release();
+          Interpreter reduce_interp(*reduce_c.original, ctx.heap(), ctx.wk(), &layouts_, nullptr);
+          Interpreter key_interp(*key_c.original, ctx.heap(), ctx.wk(), &layouts_, nullptr);
+          ComputePhaseScope compute(ctx.stats().times);
+          std::unordered_map<ShuffleKeyValue, size_t, ShuffleKeyHash> agg;
+          std::vector<ObjRef> values;
+          ctx.heap().AddRootVector(&values);
+          for_each_record([&](int64_t addr, uint32_t size) {
+            ObjRef rec;
+            {
+              ScopedPhase phase(ctx.stats().times, Phase::kDeserialize);
+              ByteReader reader(reinterpret_cast<const uint8_t*>(addr), size);
+              rec = ctx.serde().ReadBody(rec_klass, reader);
+            }
+            RootScope scope(ctx.heap());
+            size_t rec_slot = scope.Push(rec);
+            ShuffleKeyValue k = EvalShuffleKey(key_interp, key_c.orig_fn,
+                                               Value::Ref(static_cast<int64_t>(rec)),
+                                               key.is_string);
+            auto it = agg.find(k);
+            if (it == agg.end()) {
+              agg.emplace(std::move(k), values.size());
+              values.push_back(scope.Get(rec_slot));
+            } else {
+              Value merged = reduce_interp.CallFunction(
+                  reduce_c.orig_fn, {Value::Ref(static_cast<int64_t>(values[it->second])),
+                                     Value::Ref(static_cast<int64_t>(scope.Get(rec_slot)))});
+              values[it->second] = static_cast<ObjRef>(merged.i);
+            }
+          });
+          for (ObjRef ref : values) {
+            ScopedPhase phase(ctx.stats().times, Phase::kSerialize);
+            ByteBuffer body;
+            ctx.serde().WriteRecord(ref, rec_klass, body);
+            out_part.AppendRecord(body.data() + 4, static_cast<uint32_t>(body.size() - 4));
+          }
+          ctx.heap().RemoveRootVector(&values);
         }
-        RootScope scope(*heap_);
-        size_t rec_slot = scope.Push(rec);
-        ShuffleKeyValue k = EvalShuffleKey(key_interp, key_c.orig_fn,
-                                    Value::Ref(static_cast<int64_t>(rec)), key.is_string);
-        auto it = agg.find(k);
-        if (it == agg.end()) {
-          agg.emplace(std::move(k), values.size());
-          values.push_back(scope.Get(rec_slot));
-        } else {
-          Value merged = reduce_interp.CallFunction(
-              reduce_c.orig_fn, {Value::Ref(static_cast<int64_t>(values[it->second])),
-                                 Value::Ref(static_cast<int64_t>(scope.Get(rec_slot)))});
-          values[it->second] = static_cast<ObjRef>(merged.i);
-        }
-      });
-      for (ObjRef ref : values) {
-        ScopedPhase phase(stats_.times, Phase::kSerialize);
-        ByteBuffer body;
-        inline_serde_.WriteRecord(ref, rec_klass, body);
-        out_part.AppendRecord(body.data() + 4, static_cast<uint32_t>(body.size() - 4));
-      }
-      heap_->RemoveRootVector(&values);
-    }
-  }
-  heap_->set_phase_times(nullptr);
+        ctx.heap().set_phase_times(nullptr);
+      },
+      &stats_);
   return out;
 }
 
@@ -472,59 +557,64 @@ DatasetPtr SparkEngine::JoinByKey(const DatasetPtr& left, const KeySpec& left_ke
     ShuffleBaseline(left, left_stage, left_key, lkey, nullptr, &lb, &lc);
     ShuffleBaseline(right, right_stage, right_key, rkey, nullptr, &rb, &rc);
 
-    heap_->set_phase_times(&stats_.times);
-    for (int p = 0; p < config_.num_partitions; ++p) {
-      stats_.tasks_run += 1;
-      Interpreter key_interp_l(*lkey.original, *heap_, *wk_, &layouts_, nullptr);
-      Interpreter key_interp_r(*rkey.original, *heap_, *wk_, &layouts_, nullptr);
-      Interpreter combine_interp(*combine.original, *heap_, *wk_, &layouts_, nullptr);
-      ComputePhaseScope compute(stats_.times);
-      std::unordered_map<ShuffleKeyValue, std::vector<size_t>, ShuffleKeyHash> table;
-      std::vector<ObjRef> lvalues;
-      heap_->AddRootVector(&lvalues);
-      for (size_t task = 0; task < lb.size(); ++task) {
-        ByteReader lreader(lb[task][static_cast<size_t>(p)].bytes());
-        for (int64_t r = 0; r < lc[task][static_cast<size_t>(p)]; ++r) {
-          ObjRef rec;
-          {
-            ScopedPhase phase(stats_.times, Phase::kDeserialize);
-            rec = kryo_.Deserialize(left->klass, lreader);
+    ClaimTaskOrdinals(config_.num_partitions);
+    scheduler_->RunStageSerial(
+        config_.num_partitions,
+        [&](WorkerContext& ctx, int p) {
+          ctx.stats().tasks_run += 1;
+          heap_->set_phase_times(&ctx.stats().times);
+          Interpreter key_interp_l(*lkey.original, *heap_, *wk_, &layouts_, nullptr);
+          Interpreter key_interp_r(*rkey.original, *heap_, *wk_, &layouts_, nullptr);
+          Interpreter combine_interp(*combine.original, *heap_, *wk_, &layouts_, nullptr);
+          ComputePhaseScope compute(ctx.stats().times);
+          std::unordered_map<ShuffleKeyValue, std::vector<size_t>, ShuffleKeyHash> table;
+          std::vector<ObjRef> lvalues;
+          heap_->AddRootVector(&lvalues);
+          for (size_t task = 0; task < lb.size(); ++task) {
+            ByteReader lreader(lb[task][static_cast<size_t>(p)].bytes());
+            for (int64_t r = 0; r < lc[task][static_cast<size_t>(p)]; ++r) {
+              ObjRef rec;
+              {
+                ScopedPhase phase(ctx.stats().times, Phase::kDeserialize);
+                rec = kryo_.Deserialize(left->klass, lreader);
+              }
+              lvalues.push_back(rec);
+              ShuffleKeyValue k =
+                  EvalShuffleKey(key_interp_l, lkey.orig_fn,
+                                 Value::Ref(static_cast<int64_t>(rec)), left_key.is_string);
+              table[k].push_back(lvalues.size() - 1);
+            }
           }
-          lvalues.push_back(rec);
-          ShuffleKeyValue k = EvalShuffleKey(key_interp_l, lkey.orig_fn,
-                                      Value::Ref(static_cast<int64_t>(rec)), left_key.is_string);
-          table[k].push_back(lvalues.size() - 1);
-        }
-      }
-      std::vector<ObjRef>& out_part = out->heap_parts[static_cast<size_t>(p)];
-      for (size_t task = 0; task < rb.size(); ++task) {
-        ByteReader rreader(rb[task][static_cast<size_t>(p)].bytes());
-        for (int64_t r = 0; r < rc[task][static_cast<size_t>(p)]; ++r) {
-          ObjRef rec;
-          {
-            ScopedPhase phase(stats_.times, Phase::kDeserialize);
-            rec = kryo_.Deserialize(right->klass, rreader);
+          std::vector<ObjRef>& out_part = out->heap_parts[static_cast<size_t>(p)];
+          for (size_t task = 0; task < rb.size(); ++task) {
+            ByteReader rreader(rb[task][static_cast<size_t>(p)].bytes());
+            for (int64_t r = 0; r < rc[task][static_cast<size_t>(p)]; ++r) {
+              ObjRef rec;
+              {
+                ScopedPhase phase(ctx.stats().times, Phase::kDeserialize);
+                rec = kryo_.Deserialize(right->klass, rreader);
+              }
+              RootScope scope(*heap_);
+              size_t rec_slot = scope.Push(rec);
+              ShuffleKeyValue k =
+                  EvalShuffleKey(key_interp_r, rkey.orig_fn,
+                                 Value::Ref(static_cast<int64_t>(rec)), right_key.is_string);
+              auto it = table.find(k);
+              if (it == table.end()) {
+                continue;
+              }
+              for (size_t li : it->second) {
+                Value combined = combine_interp.CallFunction(
+                    combine.orig_fn, {Value::Ref(static_cast<int64_t>(lvalues[li])),
+                                      Value::Ref(static_cast<int64_t>(scope.Get(rec_slot)))});
+                out_part.push_back(static_cast<ObjRef>(combined.i));
+              }
+            }
           }
-          RootScope scope(*heap_);
-          size_t rec_slot = scope.Push(rec);
-          ShuffleKeyValue k =
-              EvalShuffleKey(key_interp_r, rkey.orig_fn, Value::Ref(static_cast<int64_t>(rec)),
-                      right_key.is_string);
-          auto it = table.find(k);
-          if (it == table.end()) {
-            continue;
-          }
-          for (size_t li : it->second) {
-            Value combined = combine_interp.CallFunction(
-                combine.orig_fn, {Value::Ref(static_cast<int64_t>(lvalues[li])),
-                                  Value::Ref(static_cast<int64_t>(scope.Get(rec_slot)))});
-            out_part.push_back(static_cast<ObjRef>(combined.i));
-          }
-        }
-      }
-      heap_->RemoveRootVector(&lvalues);
-    }
-    heap_->set_phase_times(nullptr);
+          heap_->RemoveRootVector(&lvalues);
+          heap_->set_phase_times(nullptr);
+        },
+        &stats_);
     return out;
   }
 
@@ -534,42 +624,46 @@ DatasetPtr SparkEngine::JoinByKey(const DatasetPtr& left, const KeySpec& left_ke
   ShuffleGerenuk(left, left_stage, left_key, lkey, nullptr, &lb);
   ShuffleGerenuk(right, right_stage, right_key, rkey, nullptr, &rb);
 
-  heap_->set_phase_times(&stats_.times);
-  for (int p = 0; p < config_.num_partitions; ++p) {
-    stats_.tasks_run += 1;
-    NativePartition& out_part = out->native_parts[static_cast<size_t>(p)];
-    BuilderStore builders(layouts_);
-    Interpreter interp(*combine.transformed, *heap_, *wk_, &layouts_, &builders);
-    ComputePhaseScope compute(stats_.times);
-    std::unordered_map<ShuffleKeyValue, std::vector<int64_t>, ShuffleKeyHash> table;
-    for (auto& task_buckets : lb) {
-      NativePartition& lpart = task_buckets[static_cast<size_t>(p)];
-      for (size_t r = 0; r < lpart.record_count(); ++r) {
-        int64_t addr = lpart.record_addr(r);
-        ShuffleKeyValue k = EvalShuffleKey(interp, lkey.fast_fn, Value::Addr(addr), left_key.is_string);
-        table[k].push_back(addr);
-      }
-    }
-    for (auto& task_buckets : rb) {
-      NativePartition& rpart = task_buckets[static_cast<size_t>(p)];
-      for (size_t r = 0; r < rpart.record_count(); ++r) {
-        int64_t addr = rpart.record_addr(r);
-        ShuffleKeyValue k = EvalShuffleKey(interp, rkey.fast_fn, Value::Addr(addr), right_key.is_string);
-        auto it = table.find(k);
-        if (it == table.end()) {
-          continue;
+  ClaimTaskOrdinals(config_.num_partitions);
+  scheduler_->RunStage(
+      config_.num_partitions,
+      [&](WorkerContext& ctx, int p) {
+        ctx.stats().tasks_run += 1;
+        NativePartition& out_part = out->native_parts[static_cast<size_t>(p)];
+        BuilderStore builders(layouts_);
+        Interpreter interp(*combine.transformed, ctx.heap(), ctx.wk(), &layouts_, &builders);
+        ComputePhaseScope compute(ctx.stats().times);
+        std::unordered_map<ShuffleKeyValue, std::vector<int64_t>, ShuffleKeyHash> table;
+        for (auto& task_buckets : lb) {
+          NativePartition& lpart = task_buckets[static_cast<size_t>(p)];
+          for (size_t r = 0; r < lpart.record_count(); ++r) {
+            int64_t addr = lpart.record_addr(r);
+            ShuffleKeyValue k =
+                EvalShuffleKey(interp, lkey.fast_fn, Value::Addr(addr), left_key.is_string);
+            table[k].push_back(addr);
+          }
         }
-        for (int64_t laddr : it->second) {
-          Value combined =
-              interp.CallFunction(combine.fast_fn, {Value::Addr(laddr), Value::Addr(addr)});
-          builders.Render(combined.i, out_klass, out_part);
-          builders.Clear();
+        for (auto& task_buckets : rb) {
+          NativePartition& rpart = task_buckets[static_cast<size_t>(p)];
+          for (size_t r = 0; r < rpart.record_count(); ++r) {
+            int64_t addr = rpart.record_addr(r);
+            ShuffleKeyValue k =
+                EvalShuffleKey(interp, rkey.fast_fn, Value::Addr(addr), right_key.is_string);
+            auto it = table.find(k);
+            if (it == table.end()) {
+              continue;
+            }
+            for (int64_t laddr : it->second) {
+              Value combined =
+                  interp.CallFunction(combine.fast_fn, {Value::Addr(laddr), Value::Addr(addr)});
+              builders.Render(combined.i, out_klass, out_part);
+              builders.Clear();
+            }
+          }
         }
-      }
-    }
-    stats_.fast_path_commits += 1;
-  }
-  heap_->set_phase_times(nullptr);
+        ctx.stats().fast_path_commits += 1;
+      },
+      &stats_);
   return out;
 }
 

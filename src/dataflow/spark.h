@@ -13,9 +13,11 @@
 //     speculatively executed over the buffers; shuffles are byte copies in
 //     the same format; input regions are freed wholesale after each task.
 //
-// Tasks run sequentially on the calling thread (the managed heap is
-// single-mutator); the relative per-phase costs — what Figure 6 plots — are
-// unaffected by this, since both modes execute the same schedule.
+// Gerenuk-mode stages fan their per-partition tasks out to a TaskScheduler
+// worker pool (each worker owns an isolated executor context); baseline
+// stages run serially on the engine heap, which is single-mutator. Output
+// bytes and abort/commit counts are identical for every worker count — see
+// the threading model in src/exec/task_scheduler.h.
 #ifndef SRC_DATAFLOW_SPARK_H_
 #define SRC_DATAFLOW_SPARK_H_
 
@@ -26,33 +28,21 @@
 #include <vector>
 
 #include "src/dataflow/dataset.h"
+#include "src/dataflow/engine_config.h"
 #include "src/exec/ser_executor.h"
+#include "src/exec/task_scheduler.h"
 #include "src/serde/heap_serializer.h"
 
 namespace gerenuk {
 
-struct SparkConfig {
-  EngineMode mode = EngineMode::kBaseline;
-  size_t heap_bytes = 64u << 20;
-  GcKind gc = GcKind::kGenerational;
-  int num_partitions = 4;
-};
+// The mini-Spark takes the shared knobs unchanged.
+using SparkConfig = EngineConfig;
 
 // A driver-built value shipped to every task (e.g. KMeans' current centers).
 struct BroadcastVar {
   const Klass* klass = nullptr;
   ObjRef heap = kNullRef;          // kBaseline representation
   NativePartition native;          // kGerenuk representation (single record)
-};
-
-struct EngineStats {
-  PhaseTimes times;
-  int tasks_run = 0;
-  int fast_path_commits = 0;
-  int aborts = 0;
-  int64_t shuffle_bytes = 0;
-  TransformStats transform;  // accumulated compiler statistics
-  int stages_compiled = 0;
 };
 
 class SparkEngine {
@@ -64,6 +54,7 @@ class SparkEngine {
   WellKnown& wk() { return *wk_; }
   EngineMode mode() const { return config_.mode; }
   int num_partitions() const { return config_.num_partitions; }
+  int num_workers() const { return scheduler_->num_workers(); }
 
   // §3.1 annotation: top-level data types must be registered before any
   // stage touching them is compiled.
@@ -100,8 +91,17 @@ class SparkEngine {
   int64_t peak_memory_bytes() const { return memory_.peak_bytes(); }
   void ResetMetrics();
 
-  // Fig. 10(b) hook: the next `n` Gerenuk tasks abort halfway through.
-  void ForceAborts(int n) { forced_aborts_remaining_ = n; }
+  // Fig. 10(b) hook: plans forced aborts for the next `n` submitted Gerenuk
+  // tasks (late in each task, so nearly all speculative work is wasted).
+  void ForceAborts(int n) {
+    for (int i = 0; i < n; ++i) {
+      fault_plan_.AbortTask(task_seq_ + i);
+    }
+  }
+  // Direct fault-plan access for targeting specific (task, record) pairs;
+  // ordinals are assigned in submission order starting at next_task_ordinal().
+  FaultPlan& fault_plan() { return fault_plan_; }
+  int64_t next_task_ordinal() const { return task_seq_; }
 
  private:
   using CompiledStage = StagePrograms;
@@ -132,7 +132,15 @@ class SparkEngine {
                       const CompiledFn& key_fn, const BroadcastVar* broadcast,
                       std::vector<std::vector<NativePartition>>* buckets);
 
-  int64_t NextForcedAbortIndex(int64_t records);
+  // Reserves `n` driver-assigned task ordinals (for the fault plan) and
+  // returns the first. Every stage claims its ordinals before submission, in
+  // both modes, so a plan means the same tasks for any worker count.
+  int64_t ClaimTaskOrdinals(int n) {
+    int64_t base = task_seq_;
+    task_seq_ += n;
+    return base;
+  }
+  const FaultPlan* ActiveFaults() const { return fault_plan_.empty() ? nullptr : &fault_plan_; }
 
   SparkConfig config_;
   std::unique_ptr<Heap> heap_;
@@ -142,8 +150,10 @@ class SparkEngine {
   HeapSerializer kryo_;
   InlineSerializer inline_serde_;
   MemoryTracker memory_;
+  std::unique_ptr<TaskScheduler> scheduler_;
   EngineStats stats_;
-  int forced_aborts_remaining_ = 0;
+  FaultPlan fault_plan_;
+  int64_t task_seq_ = 0;
 };
 
 }  // namespace gerenuk

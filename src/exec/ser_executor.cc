@@ -19,12 +19,17 @@ bool SerExecutor::RunFastPathIo(TaskIo& io, PhaseTimes& times, SpecOutcome* outc
   };
   interp.set_channel(&channel);
 
+  const int64_t forced =
+      io.faults != nullptr
+          ? io.faults->RecordFor(io.task_ordinal, static_cast<int64_t>(io.input->record_count()))
+          : -1;
+
   heap_.set_phase_times(&times);
   try {
     ComputePhaseScope compute(times);
     for (cursor = 0; cursor < io.input->record_count(); ++cursor) {
-      if (forced_abort_at_ >= 0 && static_cast<int64_t>(cursor) == forced_abort_at_) {
-        throw SerAbort{AbortReason::kForced, "forced abort (experiment hook)"};
+      if (forced >= 0 && static_cast<int64_t>(cursor) == forced) {
+        throw SerAbort{AbortReason::kForced, "forced abort (fault plan)"};
       }
       interp.CallFunction(transformed_.body, io.fast_args);
       // Builders are per-record scratch state; a fresh record starts clean.
@@ -74,8 +79,12 @@ void SerExecutor::RunSlowPathIo(TaskIo& io, PhaseTimes& times) {
   heap_.set_phase_times(&times);
   {
     ComputePhaseScope compute(times);
+    std::vector<Value> args = io.slow_args;
     for (cursor = 0; cursor < io.input->record_count(); ++cursor) {
-      interp.CallFunction(original_.body, io.slow_args);
+      if (io.refresh_slow_args) {
+        io.refresh_slow_args(args);
+      }
+      interp.CallFunction(original_.body, args);
     }
   }
   heap_.set_phase_times(nullptr);
@@ -103,10 +112,13 @@ SpecOutcome SerExecutor::RunTaskIo(TaskIo& io, PhaseTimes& times) {
 }
 
 SpecOutcome SerExecutor::RunTask(const NativePartition& input, NativePartition* output,
-                                 PhaseTimes& times) {
+                                 PhaseTimes& times, const FaultPlan* faults,
+                                 int64_t task_ordinal) {
   InlineSerializer serde(heap_);
   TaskIo io;
   io.input = &input;
+  io.faults = faults;
+  io.task_ordinal = task_ordinal;
   io.emit_native = [output](int64_t addr, const Klass* klass, Interpreter&,
                             BuilderStore& builders) {
     builders.Render(addr, klass, *output);

@@ -13,6 +13,7 @@
 #define SRC_EXEC_SER_EXECUTOR_H_
 
 #include <functional>
+#include <unordered_map>
 
 #include "src/exec/interpreter.h"
 #include "src/serde/inline_serializer.h"
@@ -25,6 +26,36 @@ struct SpecOutcome {
   AbortReason abort_reason = AbortReason::kForced;
   int64_t records_processed = 0;
   int64_t records_wasted = 0;  // fast-path work discarded by the abort
+};
+
+// The unified fault-injection plan (Fig. 10(b) and abort experiments):
+// deterministically aborts specific (task, record) pairs. Task ordinals are
+// assigned by the engine on the driver thread, in submission order, so a
+// plan injects the same faults for every worker count and schedule. The
+// plan is read-only during stage execution.
+struct FaultPlan {
+  // Sentinel record index: abort late in the task (records - 1 - records/8),
+  // where nearly all speculative work is wasted — the worst case the paper's
+  // forced-abort experiment probes.
+  static constexpr int64_t kLateInTask = -2;
+
+  // task ordinal -> record index at which the fast path aborts.
+  std::unordered_map<int64_t, int64_t> abort_at;
+
+  bool empty() const { return abort_at.empty(); }
+  void Clear() { abort_at.clear(); }
+  void AbortTask(int64_t task_ordinal, int64_t record = kLateInTask) {
+    abort_at[task_ordinal] = record;
+  }
+  // Record index at which the given task must abort, or -1 for none. A task
+  // with no records never enters its record loop and cannot abort.
+  int64_t RecordFor(int64_t task_ordinal, int64_t records) const {
+    auto it = abort_at.find(task_ordinal);
+    if (it == abort_at.end() || records == 0) {
+      return -1;
+    }
+    return it->second == kLateInTask ? records - 1 - records / 8 : it->second;
+  }
 };
 
 // Engine-level task description: where records come from, where emitted
@@ -47,6 +78,16 @@ struct TaskIo {
   // (the simulator's analogue of tearing down the aborted executor's
   // intermediate buffers).
   std::function<void()> on_abort;
+  // Invoked before every slow-path record with the current argument vector
+  // (initialized from slow_args). Engines use it to materialize heap-side
+  // arguments lazily (e.g. a broadcast object deserialized into the
+  // executing worker's heap) and to re-read rooted references the GC may
+  // have moved between records.
+  std::function<void(std::vector<Value>& args)> refresh_slow_args;
+  // Fault injection: this task's driver-assigned ordinal and the engine's
+  // plan. A null plan disables injection.
+  int64_t task_ordinal = -1;
+  const FaultPlan* faults = nullptr;
 };
 
 class SerExecutor {
@@ -59,10 +100,6 @@ class SerExecutor {
         original_(original),
         transformed_(transformed) {}
 
-  // Experiment hook (Fig. 10(b)): force an abort once the fast path has
-  // consumed `record_index` records. -1 disables.
-  void set_forced_abort_at(int64_t record_index) { forced_abort_at_ = record_index; }
-
   // The paper's user-provided `launch` method: invoked when a new executor
   // replaces an aborted one. Application-independent; defaults to nothing
   // (the simulator reuses the calling thread as the fresh executor).
@@ -70,7 +107,10 @@ class SerExecutor {
 
   // Executes the task body once per input record. Output records are
   // appended to `*output` in the inline native format on both paths.
-  SpecOutcome RunTask(const NativePartition& input, NativePartition* output, PhaseTimes& times);
+  // `faults`, when given, injects this task's planned abort (`task_ordinal`
+  // keys into the plan).
+  SpecOutcome RunTask(const NativePartition& input, NativePartition* output, PhaseTimes& times,
+                      const FaultPlan* faults = nullptr, int64_t task_ordinal = 0);
 
   // Runs only the slow path (used by the unmodified-baseline engines and by
   // tests that need reference output).
@@ -88,7 +128,6 @@ class SerExecutor {
   const DataStructAnalyzer& layouts_;
   const SerProgram& original_;
   const SerProgram& transformed_;
-  int64_t forced_abort_at_ = -1;
   std::function<void()> launch_hook_;
 };
 

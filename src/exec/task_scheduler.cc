@@ -1,0 +1,136 @@
+#include "src/exec/task_scheduler.h"
+
+#include <algorithm>
+
+namespace gerenuk {
+
+TaskScheduler::TaskScheduler(int num_workers, const HeapConfig& worker_heap_config,
+                             KlassRegistry* shared_klasses, MemoryTracker* tracker) {
+  GERENUK_CHECK(num_workers >= 1) << "num_workers must be >= 1";
+  contexts_.reserve(static_cast<size_t>(num_workers));
+  for (int w = 0; w < num_workers; ++w) {
+    contexts_.push_back(
+        std::make_unique<WorkerContext>(w, worker_heap_config, shared_klasses, tracker));
+  }
+  if (num_workers > 1) {
+    threads_.reserve(static_cast<size_t>(num_workers));
+    for (int w = 0; w < num_workers; ++w) {
+      threads_.emplace_back([this, w] { WorkerLoop(w); });
+    }
+  }
+}
+
+TaskScheduler::~TaskScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void TaskScheduler::RunTasksOn(WorkerContext& ctx) {
+  for (;;) {
+    int task = next_task_.fetch_add(1, std::memory_order_relaxed);
+    if (task >= num_tasks_) {
+      return;
+    }
+    try {
+      (*current_)(ctx, task);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      errors_.emplace_back(task, std::current_exception());
+    }
+  }
+}
+
+void TaskScheduler::WorkerLoop(int slot) {
+  uint64_t seen_gen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || stage_gen_ != seen_gen; });
+      if (shutdown_) {
+        return;
+      }
+      seen_gen = stage_gen_;
+    }
+    RunTasksOn(*contexts_[static_cast<size_t>(slot)]);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      workers_done_ += 1;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void TaskScheduler::MergeStats(EngineStats* stage_stats) {
+  for (auto& ctx : contexts_) {
+    if (stage_stats != nullptr) {
+      *stage_stats += ctx->stats();
+    }
+    ctx->stats() = EngineStats{};
+  }
+}
+
+void TaskScheduler::RethrowFirstError() {
+  if (errors_.empty()) {
+    return;
+  }
+  std::sort(errors_.begin(), errors_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::exception_ptr first = errors_.front().second;
+  errors_.clear();
+  std::rethrow_exception(first);
+}
+
+void TaskScheduler::RunStage(int num_tasks, const Task& task, EngineStats* stage_stats) {
+  if (num_tasks <= 0) {
+    return;
+  }
+  if (threads_.empty()) {
+    // Single-worker pool: the calling thread is the executor.
+    current_ = &task;
+    num_tasks_ = num_tasks;
+    next_task_.store(0, std::memory_order_relaxed);
+    RunTasksOn(*contexts_[0]);
+    current_ = nullptr;
+    MergeStats(stage_stats);
+    RethrowFirstError();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = &task;
+    num_tasks_ = num_tasks;
+    next_task_.store(0, std::memory_order_relaxed);
+    workers_done_ = 0;
+    stage_gen_ += 1;
+  }
+  work_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return workers_done_ == static_cast<int>(threads_.size()); });
+    current_ = nullptr;
+  }
+  MergeStats(stage_stats);
+  RethrowFirstError();
+}
+
+void TaskScheduler::RunStageSerial(int num_tasks, const Task& task, EngineStats* stage_stats) {
+  WorkerContext& ctx = *contexts_[0];
+  for (int t = 0; t < num_tasks; ++t) {
+    try {
+      task(ctx, t);
+    } catch (...) {
+      errors_.emplace_back(t, std::current_exception());
+      break;  // a serial stage stops at the first failure, like the seed did
+    }
+  }
+  MergeStats(stage_stats);
+  RethrowFirstError();
+}
+
+}  // namespace gerenuk

@@ -1,0 +1,129 @@
+// The parallel task scheduler: fans a stage's per-partition tasks out to a
+// persistent worker pool, the analogue of a multi-core Spark/Hadoop executor.
+//
+// Threading model (see DESIGN.md "Threading model"):
+//   * Worker confinement — every worker owns a WorkerContext with its own
+//     managed mini-heap (sharing the engine's KlassRegistry, so Klass
+//     pointers agree everywhere), WellKnown cache, InlineSerializer, and an
+//     EngineStats accumulator. A task runs entirely inside one context:
+//     slow-path (re-execution) heap objects, GC roots, and interpreter
+//     frames never cross workers.
+//   * Stage barrier — RunStage blocks until every task of the stage has
+//     finished, then merges each worker's EngineStats into the engine's
+//     copy in worker order and clears them. Counts (tasks, aborts, commits,
+//     shuffle bytes) are therefore deterministic for any worker count;
+//     PhaseTimes become summed-CPU-time across workers rather than wall
+//     time once num_workers > 1.
+//   * Shared data — task inputs (committed native partitions, merged
+//     segments, compiled programs, layouts) are read-only during a stage;
+//     task outputs go to per-task slots the driver pre-sizes, so no two
+//     tasks write the same element. The scheduler's barrier provides the
+//     happens-before edges between driver writes, worker reads, and the
+//     driver's post-stage reads.
+//   * Shared-mutator stages — kBaseline tasks mutate the engine's single
+//     managed heap (the seed's single-mutator constraint), so baseline
+//     stages are submitted through RunStageSerial: same Task signature and
+//     stats merging, executed in task order on the calling thread.
+//
+// Tasks that abort re-execute on the slow path *inside the worker* (the
+// SerExecutor relaunch loop), so one abort never stalls sibling tasks.
+#ifndef SRC_EXEC_TASK_SCHEDULER_H_
+#define SRC_EXEC_TASK_SCHEDULER_H_
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/runtime/heap.h"
+#include "src/serde/inline_serializer.h"
+#include "src/serde/wellknown.h"
+#include "src/support/metrics.h"
+
+namespace gerenuk {
+
+// Per-worker executor state. One mutator per heap: a context is only ever
+// used by the worker thread that owns it (or by the calling thread, for
+// serial stages and single-worker pools).
+class WorkerContext {
+ public:
+  WorkerContext(int worker_id, const HeapConfig& heap_config, KlassRegistry* shared_klasses,
+                MemoryTracker* tracker)
+      : worker_id_(worker_id), heap_(heap_config, shared_klasses), wk_(heap_), serde_(heap_) {
+    heap_.set_memory_tracker(tracker);
+  }
+  WorkerContext(const WorkerContext&) = delete;
+  WorkerContext& operator=(const WorkerContext&) = delete;
+
+  int worker_id() const { return worker_id_; }
+  Heap& heap() { return heap_; }
+  WellKnown& wk() { return wk_; }
+  InlineSerializer& serde() { return serde_; }
+  // Stage-local accumulator; merged into the engine's stats and cleared at
+  // every stage barrier.
+  EngineStats& stats() { return stats_; }
+
+ private:
+  int worker_id_;
+  Heap heap_;
+  WellKnown wk_;
+  InlineSerializer serde_;
+  EngineStats stats_;
+};
+
+class TaskScheduler {
+ public:
+  // A task: runs one partition's work inside the given worker context.
+  using Task = std::function<void(WorkerContext& ctx, int task_index)>;
+
+  // Creates `num_workers` contexts (and, when num_workers > 1, as many
+  // persistent worker threads). Worker heaps use `worker_heap_config` and
+  // share `shared_klasses`; allocations report into `tracker`.
+  TaskScheduler(int num_workers, const HeapConfig& worker_heap_config,
+                KlassRegistry* shared_klasses, MemoryTracker* tracker);
+  ~TaskScheduler();
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+
+  int num_workers() const { return static_cast<int>(contexts_.size()); }
+
+  // Runs tasks [0, num_tasks) across the pool and blocks until all finish
+  // (the stage barrier), then merges worker stats into *stage_stats in
+  // worker order. The first task exception (by task index) is rethrown.
+  // With a single worker the stage runs inline on the calling thread.
+  void RunStage(int num_tasks, const Task& task, EngineStats* stage_stats);
+
+  // Same submission API and stats merging, but every task runs on the
+  // calling thread in task order, inside context 0 — for stages that mutate
+  // a shared single-mutator heap (the kBaseline engine heap).
+  void RunStageSerial(int num_tasks, const Task& task, EngineStats* stage_stats);
+
+ private:
+  void WorkerLoop(int slot);
+  void RunTasksOn(WorkerContext& ctx);
+  void MergeStats(EngineStats* stage_stats);
+  void RethrowFirstError();
+
+  std::vector<std::unique_ptr<WorkerContext>> contexts_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a stage
+  std::condition_variable done_cv_;   // the driver waits for the barrier
+  uint64_t stage_gen_ = 0;            // bumped per stage (guarded by mu_)
+  bool shutdown_ = false;             // guarded by mu_
+  const Task* current_ = nullptr;     // guarded by mu_ (stable during a stage)
+  int num_tasks_ = 0;                 // guarded by mu_
+  int workers_done_ = 0;              // guarded by mu_
+  std::atomic<int> next_task_{0};
+  // (task_index, exception) pairs captured during the stage; guarded by mu_.
+  std::vector<std::pair<int, std::exception_ptr>> errors_;
+};
+
+}  // namespace gerenuk
+
+#endif  // SRC_EXEC_TASK_SCHEDULER_H_

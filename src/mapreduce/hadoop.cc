@@ -47,6 +47,11 @@ HadoopEngine::HadoopEngine(const HadoopConfig& config)
       kryo_(*heap_),
       inline_serde_(*heap_) {
   heap_->set_memory_tracker(&memory_);
+  // Worker heaps share the engine's class registry (see TaskScheduler); the
+  // engine WellKnown above defines the well-known classes first.
+  scheduler_ = std::make_unique<TaskScheduler>(
+      config.num_workers, HeapConfig{config.heap_bytes, config.gc, 0.55, 0.35, 2},
+      &heap_->klasses(), &memory_);
 }
 
 HadoopEngine::~HadoopEngine() = default;
@@ -63,11 +68,11 @@ void HadoopEngine::RegisterDataType(const Klass* klass) {
 DatasetPtr HadoopEngine::Source(const Klass* klass, int64_t count,
                                 const std::function<ObjRef(int64_t, RootScope&)>& make) {
   return MakeSourceDataset(*heap_, inline_serde_, &memory_, config_.mode, klass,
-                           config_.num_map_tasks, count, make);
+                           config_.num_partitions, count, make);
 }
 
 void HadoopEngine::ResetMetrics() {
-  stats_ = HadoopStats{};
+  stats_ = EngineStats{};
   memory_.ResetPeak();
   heap_->ResetStats();
 }
@@ -104,229 +109,254 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
                       : static_cast<int>(input->native_parts.size());
 
   bool epochs = config_.yak_epochs && config_.mode == EngineMode::kBaseline;
-  heap_->set_phase_times(&stats_.times);
-  if (config_.mode == EngineMode::kBaseline) {
-    for (int task = 0; task < map_tasks; ++task) {
-      stats_.map_tasks += 1;
-      if (epochs) {
-        heap_->EpochStart();  // Yak: data objects of this task go to a region
-      }
-      Interpreter interp(*map_stage.original, *heap_, *wk_, &layouts_, nullptr);
-      Interpreter key_interp(*key_c.original, *heap_, *wk_, &layouts_, nullptr);
-      Interpreter combine_interp(combiner_fn != nullptr ? *combine_c.original
-                                                        : *key_c.original,
-                                 *heap_, *wk_, &layouts_, nullptr);
-      ByteBuffer buffer;
-      std::vector<BufferEntry> entries;
+  const int64_t map_base = ClaimTaskOrdinals(map_tasks);
+  const FaultPlan* faults = fault_plan_.empty() ? nullptr : &fault_plan_;
 
-      auto spill = [&]() {
-        if (entries.empty()) {
-          return;
-        }
-        stats_.spills += 1;
-        std::sort(entries.begin(), entries.end(), EntryOrder);
-        Segment segment(reducers, &memory_, config_.mode);
-        size_t i = 0;
-        while (i < entries.size()) {
-          size_t j = i + 1;
-          while (j < entries.size() && entries[j].part == entries[i].part &&
-                 entries[j].key == entries[i].key) {
-            ++j;
+  if (config_.mode == EngineMode::kBaseline) {
+    scheduler_->RunStageSerial(
+        map_tasks,
+        [&](WorkerContext& ctx, int task) {
+          ctx.stats().map_tasks += 1;
+          ctx.stats().tasks_run += 1;
+          heap_->set_phase_times(&ctx.stats().times);
+          if (epochs) {
+            heap_->EpochStart();  // Yak: data objects of this task go to a region
           }
-          int part = entries[i].part;
-          ByteBuffer& out = segment.wire[static_cast<size_t>(part)];
-          if (combiner_fn != nullptr && j - i > 1) {
-            // Combine the run: deserialize, fold, re-serialize (the cost
-            // Hadoop pays for map-side combining).
-            RootScope scope(*heap_);
-            size_t acc = 0;
-            for (size_t r = i; r < j; ++r) {
-              ScopedPhase phase(stats_.times, Phase::kDeserialize);
-              ByteReader reader(buffer.data() + entries[r].offset, entries[r].length);
-              size_t rec = scope.Push(kryo_.Deserialize(out_klass, reader));
-              if (r == i) {
-                acc = rec;
+          Interpreter interp(*map_stage.original, *heap_, *wk_, &layouts_, nullptr);
+          Interpreter key_interp(*key_c.original, *heap_, *wk_, &layouts_, nullptr);
+          Interpreter combine_interp(combiner_fn != nullptr ? *combine_c.original
+                                                            : *key_c.original,
+                                     *heap_, *wk_, &layouts_, nullptr);
+          ByteBuffer buffer;
+          std::vector<BufferEntry> entries;
+
+          auto spill = [&]() {
+            if (entries.empty()) {
+              return;
+            }
+            ctx.stats().spills += 1;
+            std::sort(entries.begin(), entries.end(), EntryOrder);
+            Segment segment(reducers, &memory_, config_.mode);
+            size_t i = 0;
+            while (i < entries.size()) {
+              size_t j = i + 1;
+              while (j < entries.size() && entries[j].part == entries[i].part &&
+                     entries[j].key == entries[i].key) {
+                ++j;
+              }
+              int part = entries[i].part;
+              ByteBuffer& out = segment.wire[static_cast<size_t>(part)];
+              if (combiner_fn != nullptr && j - i > 1) {
+                // Combine the run: deserialize, fold, re-serialize (the cost
+                // Hadoop pays for map-side combining).
+                RootScope scope(*heap_);
+                size_t acc = 0;
+                for (size_t r = i; r < j; ++r) {
+                  ScopedPhase phase(ctx.stats().times, Phase::kDeserialize);
+                  ByteReader reader(buffer.data() + entries[r].offset, entries[r].length);
+                  size_t rec = scope.Push(kryo_.Deserialize(out_klass, reader));
+                  if (r == i) {
+                    acc = rec;
+                  } else {
+                    ctx.stats().combine_calls += 1;
+                    Value merged = combine_interp.CallFunction(
+                        combine_c.orig_fn,
+                        {Value::Ref(static_cast<int64_t>(scope.Get(acc))),
+                         Value::Ref(static_cast<int64_t>(scope.Get(rec)))});
+                    scope.Set(acc, static_cast<ObjRef>(merged.i));
+                  }
+                }
+                ScopedPhase phase(ctx.stats().times, Phase::kSerialize);
+                segment.keys[static_cast<size_t>(part)].push_back(entries[i].key);
+                segment.wire_offsets[static_cast<size_t>(part)].push_back(out.size());
+                kryo_.Serialize(scope.Get(acc), out_klass, out);
               } else {
-                stats_.combine_calls += 1;
-                Value merged = combine_interp.CallFunction(
-                    combine_c.orig_fn,
-                    {Value::Ref(static_cast<int64_t>(scope.Get(acc))),
-                     Value::Ref(static_cast<int64_t>(scope.Get(rec)))});
-                scope.Set(acc, static_cast<ObjRef>(merged.i));
+                for (size_t r = i; r < j; ++r) {
+                  segment.keys[static_cast<size_t>(part)].push_back(entries[r].key);
+                  segment.wire_offsets[static_cast<size_t>(part)].push_back(out.size());
+                  out.WriteBytes(buffer.data() + entries[r].offset, entries[r].length);
+                }
+              }
+              i = j;
+            }
+            for (const ByteBuffer& out : segment.wire) {
+              ctx.stats().shuffle_bytes += static_cast<int64_t>(out.size());
+            }
+            segments.push_back(std::move(segment));  // serial stage: task order
+            buffer.Clear();
+            entries.clear();
+          };
+
+          size_t cursor = 0;
+          const std::vector<ObjRef>& in_part = input->heap_parts[static_cast<size_t>(task)];
+          RecordChannel channel;
+          channel.next_heap_record = [&in_part, &cursor]() { return in_part[cursor]; };
+          channel.emit_heap_record = [&](ObjRef ref, const Klass* klass) {
+            ShuffleKey k = EvalShuffleKey(key_interp, key_c.orig_fn,
+                                          Value::Ref(static_cast<int64_t>(ref)), key.is_string);
+            int part = static_cast<int>(hasher(k) % static_cast<size_t>(reducers));
+            ScopedPhase phase(ctx.stats().times, Phase::kSerialize);
+            size_t offset = buffer.size();
+            kryo_.Serialize(ref, klass, buffer);
+            entries.push_back({part, std::move(k), offset, buffer.size() - offset, 0, 0});
+          };
+          interp.set_channel(&channel);
+          {
+            ComputePhaseScope compute(ctx.stats().times);
+            for (cursor = 0; cursor < in_part.size(); ++cursor) {
+              interp.CallFunction(map_stage.original->body, {});
+              if (buffer.size() > config_.sort_buffer_bytes) {
+                spill();
               }
             }
-            ScopedPhase phase(stats_.times, Phase::kSerialize);
-            segment.keys[static_cast<size_t>(part)].push_back(entries[i].key);
-            segment.wire_offsets[static_cast<size_t>(part)].push_back(out.size());
-            kryo_.Serialize(scope.Get(acc), out_klass, out);
-          } else {
-            for (size_t r = i; r < j; ++r) {
-              segment.keys[static_cast<size_t>(part)].push_back(entries[r].key);
-              segment.wire_offsets[static_cast<size_t>(part)].push_back(out.size());
-              out.WriteBytes(buffer.data() + entries[r].offset, entries[r].length);
+            spill();
+            if (epochs) {
+              heap_->EpochEnd();  // Yak's cleanup(): whole-region reclamation
             }
           }
-          i = j;
-        }
-        for (const ByteBuffer& out : segment.wire) {
-          stats_.shuffle_bytes += static_cast<int64_t>(out.size());
-        }
-        segments.push_back(std::move(segment));
-        buffer.Clear();
-        entries.clear();
-      };
+          heap_->set_phase_times(nullptr);
+        },
+        &stats_);
+  } else {
+    // Gerenuk map phase: native records throughout. Tasks fan out to the
+    // worker pool; each task spills into its own segment list (the analogue
+    // of per-task map output files), merged in task order at the barrier so
+    // the reduce input is identical for every worker count.
+    std::vector<std::vector<Segment>> task_segments(static_cast<size_t>(map_tasks));
+    scheduler_->RunStage(
+        map_tasks,
+        [&](WorkerContext& ctx, int task) {
+          ctx.stats().map_tasks += 1;
+          ctx.stats().tasks_run += 1;
+          std::vector<Segment>& local_segments = task_segments[static_cast<size_t>(task)];
+          SerExecutor exec(ctx.heap(), ctx.wk(), layouts_, *map_stage.original,
+                           *map_stage.transformed);
+          auto region = std::make_unique<NativePartition>(&memory_);  // map output region
+          std::vector<BufferEntry> entries;
+          bool skip_combiner = false;  // set after an abort (see below)
 
-      size_t cursor = 0;
-      const std::vector<ObjRef>& in_part = input->heap_parts[static_cast<size_t>(task)];
-      RecordChannel channel;
-      channel.next_heap_record = [&in_part, &cursor]() { return in_part[cursor]; };
-      channel.emit_heap_record = [&](ObjRef ref, const Klass* klass) {
-        ShuffleKey k = EvalShuffleKey(key_interp, key_c.orig_fn,
-                                      Value::Ref(static_cast<int64_t>(ref)), key.is_string);
-        int part = static_cast<int>(hasher(k) % static_cast<size_t>(reducers));
-        ScopedPhase phase(stats_.times, Phase::kSerialize);
-        size_t offset = buffer.size();
-        kryo_.Serialize(ref, klass, buffer);
-        entries.push_back({part, std::move(k), offset, buffer.size() - offset, 0, 0});
-      };
-      interp.set_channel(&channel);
-      {
-        ComputePhaseScope compute(stats_.times);
-        for (cursor = 0; cursor < in_part.size(); ++cursor) {
-          interp.CallFunction(map_stage.original->body, {});
-          if (buffer.size() > config_.sort_buffer_bytes) {
+          auto spill = [&]() {
+            if (entries.empty()) {
+              return;
+            }
+            ctx.stats().spills += 1;
+            std::sort(entries.begin(), entries.end(), EntryOrder);
+            Segment segment(reducers, &memory_, config_.mode);
+            BuilderStore builders(layouts_);
+            Interpreter combine_interp(combiner_fn != nullptr ? *combine_c.transformed
+                                                              : *key_c.transformed,
+                                       ctx.heap(), ctx.wk(), &layouts_, &builders);
+            size_t i = 0;
+            while (i < entries.size()) {
+              size_t j = i + 1;
+              while (j < entries.size() && entries[j].part == entries[i].part &&
+                     entries[j].key == entries[i].key) {
+                ++j;
+              }
+              int part = entries[i].part;
+              NativePartition& out = segment.native[static_cast<size_t>(part)];
+              bool combined = false;
+              if (combiner_fn != nullptr && !skip_combiner && j - i > 1) {
+                try {
+                  int64_t acc = entries[i].addr;
+                  for (size_t r = i + 1; r < j; ++r) {
+                    ctx.stats().combine_calls += 1;
+                    Value merged = combine_interp.CallFunction(
+                        combine_c.fast_fn, {Value::Addr(acc), Value::Addr(entries[r].addr)});
+                    // Render the intermediate so the next fold reads committed
+                    // bytes (the builder is reset per fold).
+                    ByteBuffer body;
+                    builders.RenderBody(merged.i, out_klass, body);
+                    builders.Clear();
+                    acc = region->AppendRecord(body.data(), static_cast<uint32_t>(body.size()));
+                  }
+                  segment.keys[static_cast<size_t>(part)].push_back(entries[i].key);
+                  out.AppendRecord(reinterpret_cast<const uint8_t*>(acc),
+                                   static_cast<uint32_t>(
+                                       MeasureCommittedBody(layouts_, out_klass, acc)));
+                  combined = true;
+                } catch (const SerAbort&) {
+                  ctx.stats().aborts += 1;
+                  skip_combiner = true;  // keep correctness, drop the optimization
+                }
+              }
+              if (!combined) {
+                for (size_t r = i; r < j; ++r) {
+                  segment.keys[static_cast<size_t>(part)].push_back(entries[r].key);
+                  out.AppendRecord(reinterpret_cast<const uint8_t*>(entries[r].addr),
+                                   entries[r].size);
+                }
+              }
+              i = j;
+            }
+            for (const NativePartition& out : segment.native) {
+              ctx.stats().shuffle_bytes += out.bytes_used();
+            }
+            local_segments.push_back(std::move(segment));
+            // Region-based reclamation: the spilled map outputs die wholesale.
+            *region = NativePartition(&memory_);
+            entries.clear();
+          };
+
+          TaskIo io;
+          io.input = &input->native_parts[static_cast<size_t>(task)];
+          io.task_ordinal = map_base + task;
+          io.faults = faults;
+          io.emit_native = [&](int64_t addr, const Klass* klass, Interpreter& interp,
+                               BuilderStore& builders) {
+            ShuffleKey k =
+                EvalShuffleKey(interp, key_c.fast_fn, Value::Addr(addr), key.is_string);
+            int part = static_cast<int>(hasher(k) % static_cast<size_t>(reducers));
+            int64_t before = region->bytes_used();
+            int64_t committed = builders.Render(addr, klass, *region);
+            entries.push_back({part, std::move(k), 0, 0, committed,
+                               static_cast<uint32_t>(region->bytes_used() - before - 4)});
+            if (region->bytes_used() > static_cast<int64_t>(config_.sort_buffer_bytes)) {
+              spill();
+            }
+          };
+          io.emit_heap = [&](ObjRef ref, const Klass* klass, Interpreter& interp) {
+            // Slow path after an abort: records come off the heap but stay in
+            // native form for the shuffle.
+            Interpreter key_interp(*key_c.original, ctx.heap(), ctx.wk(), &layouts_, nullptr);
+            ShuffleKey k = EvalShuffleKey(key_interp, key_c.orig_fn,
+                                          Value::Ref(static_cast<int64_t>(ref)), key.is_string);
+            int part = static_cast<int>(hasher(k) % static_cast<size_t>(reducers));
+            ScopedPhase phase(ctx.stats().times, Phase::kSerialize);
+            ByteBuffer record;
+            ctx.serde().WriteRecord(ref, klass, record);
+            int64_t committed =
+                region->AppendRecord(record.data() + 4, static_cast<uint32_t>(record.size() - 4));
+            entries.push_back({part, std::move(k), 0, 0, committed,
+                               static_cast<uint32_t>(record.size() - 4)});
+            if (region->bytes_used() > static_cast<int64_t>(config_.sort_buffer_bytes)) {
+              spill();
+            }
+          };
+          io.on_abort = [&] {
+            // Tear down everything this task produced: unspilled entries, the
+            // output region, and its already-spilled segments. Sibling tasks'
+            // segments live in their own lists and are untouched.
+            entries.clear();
+            *region = NativePartition(&memory_);
+            local_segments.clear();
+            skip_combiner = true;
+          };
+          SpecOutcome outcome = exec.RunTaskIo(io, ctx.stats().times);
+          {
+            ComputePhaseScope compute(ctx.stats().times);
             spill();
           }
-        }
-        spill();
-        if (epochs) {
-          heap_->EpochEnd();  // Yak's cleanup(): whole-region reclamation
-        }
-      }
-    }
-  } else {
-    // Gerenuk map phase: native records throughout.
-    SerExecutor exec(*heap_, *wk_, layouts_, *map_stage.original, *map_stage.transformed);
-    for (int task = 0; task < map_tasks; ++task) {
-      stats_.map_tasks += 1;
-      auto region = std::make_unique<NativePartition>(&memory_);  // map output region
-      std::vector<BufferEntry> entries;
-      size_t task_segment_base = segments.size();
-      bool skip_combiner = false;  // set after an abort (see below)
-
-      auto spill = [&]() {
-        if (entries.empty()) {
-          return;
-        }
-        stats_.spills += 1;
-        std::sort(entries.begin(), entries.end(), EntryOrder);
-        Segment segment(reducers, &memory_, config_.mode);
-        BuilderStore builders(layouts_);
-        Interpreter combine_interp(combiner_fn != nullptr ? *combine_c.transformed
-                                                          : *key_c.transformed,
-                                   *heap_, *wk_, &layouts_, &builders);
-        size_t i = 0;
-        while (i < entries.size()) {
-          size_t j = i + 1;
-          while (j < entries.size() && entries[j].part == entries[i].part &&
-                 entries[j].key == entries[i].key) {
-            ++j;
+          if (!outcome.committed_fast_path) {
+            ctx.stats().aborts += outcome.aborts;
+          } else {
+            ctx.stats().fast_path_commits += 1;
           }
-          int part = entries[i].part;
-          NativePartition& out = segment.native[static_cast<size_t>(part)];
-          bool combined = false;
-          if (combiner_fn != nullptr && !skip_combiner && j - i > 1) {
-            try {
-              int64_t acc = entries[i].addr;
-              for (size_t r = i + 1; r < j; ++r) {
-                stats_.combine_calls += 1;
-                Value merged = combine_interp.CallFunction(
-                    combine_c.fast_fn, {Value::Addr(acc), Value::Addr(entries[r].addr)});
-                // Render the intermediate so the next fold reads committed
-                // bytes (the builder is reset per fold).
-                ByteBuffer body;
-                builders.RenderBody(merged.i, out_klass, body);
-                builders.Clear();
-                acc = region->AppendRecord(body.data(), static_cast<uint32_t>(body.size()));
-              }
-              segment.keys[static_cast<size_t>(part)].push_back(entries[i].key);
-              out.AppendRecord(reinterpret_cast<const uint8_t*>(acc),
-                               static_cast<uint32_t>(
-                                   MeasureCommittedBody(layouts_, out_klass, acc)));
-              combined = true;
-            } catch (const SerAbort&) {
-              stats_.aborts += 1;
-              skip_combiner = true;  // keep correctness, drop the optimization
-            }
-          }
-          if (!combined) {
-            for (size_t r = i; r < j; ++r) {
-              segment.keys[static_cast<size_t>(part)].push_back(entries[r].key);
-              out.AppendRecord(reinterpret_cast<const uint8_t*>(entries[r].addr),
-                               entries[r].size);
-            }
-          }
-          i = j;
-        }
-        for (const NativePartition& out : segment.native) {
-          stats_.shuffle_bytes += out.bytes_used();
-        }
+        },
+        &stats_);
+    for (auto& list : task_segments) {
+      for (Segment& segment : list) {
         segments.push_back(std::move(segment));
-        // Region-based reclamation: the spilled map outputs die wholesale.
-        *region = NativePartition(&memory_);
-        entries.clear();
-      };
-
-      TaskIo io;
-      io.input = &input->native_parts[static_cast<size_t>(task)];
-      io.emit_native = [&](int64_t addr, const Klass* klass, Interpreter& interp,
-                           BuilderStore& builders) {
-        ShuffleKey k = EvalShuffleKey(interp, key_c.fast_fn, Value::Addr(addr), key.is_string);
-        int part = static_cast<int>(hasher(k) % static_cast<size_t>(reducers));
-        int64_t before = region->bytes_used();
-        int64_t committed = builders.Render(addr, klass, *region);
-        entries.push_back({part, std::move(k), 0, 0, committed,
-                           static_cast<uint32_t>(region->bytes_used() - before - 4)});
-        if (region->bytes_used() > static_cast<int64_t>(config_.sort_buffer_bytes)) {
-          spill();
-        }
-      };
-      io.emit_heap = [&](ObjRef ref, const Klass* klass, Interpreter& interp) {
-        // Slow path after an abort: records come off the heap but stay in
-        // native form for the shuffle.
-        Interpreter key_interp(*key_c.original, *heap_, *wk_, &layouts_, nullptr);
-        ShuffleKey k = EvalShuffleKey(key_interp, key_c.orig_fn,
-                                      Value::Ref(static_cast<int64_t>(ref)), key.is_string);
-        int part = static_cast<int>(hasher(k) % static_cast<size_t>(reducers));
-        ScopedPhase phase(stats_.times, Phase::kSerialize);
-        ByteBuffer record;
-        inline_serde_.WriteRecord(ref, klass, record);
-        int64_t committed =
-            region->AppendRecord(record.data() + 4, static_cast<uint32_t>(record.size() - 4));
-        entries.push_back({part, std::move(k), 0, 0, committed,
-                           static_cast<uint32_t>(record.size() - 4)});
-        if (region->bytes_used() > static_cast<int64_t>(config_.sort_buffer_bytes)) {
-          spill();
-        }
-      };
-      io.on_abort = [&] {
-        // Tear down everything this task produced: unspilled entries, the
-        // output region, and its already-spilled segments.
-        entries.clear();
-        *region = NativePartition(&memory_);
-        segments.erase(segments.begin() + static_cast<int64_t>(task_segment_base),
-                       segments.end());
-        skip_combiner = true;
-      };
-      SpecOutcome outcome = exec.RunTaskIo(io, stats_.times);
-      {
-        ComputePhaseScope compute(stats_.times);
-        spill();
-      }
-      if (!outcome.committed_fast_path) {
-        stats_.aborts += outcome.aborts;
-      } else {
-        stats_.fast_path_commits += 1;
       }
     }
   }
@@ -335,135 +365,161 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
   // Reduce phase (merge + group + fold)
   // -------------------------------------------------------------------------
   auto out = std::make_shared<Dataset>(*heap_, out_klass, reducers, &memory_);
-  for (int r = 0; r < reducers; ++r) {
-    stats_.reduce_tasks += 1;
-    // Gather this reducer's runs from every segment and sort them by key.
-    struct Ref {
-      const Segment* segment;
-      size_t index;
-    };
-    std::vector<Ref> refs;
+  ClaimTaskOrdinals(reducers);
+
+  // Gathers one reducer's runs from every segment, sorted by key. Segments
+  // are complete and read-only by now (the map-stage barrier), so reduce
+  // tasks may build this concurrently.
+  struct SegRef {
+    const Segment* segment;
+    size_t index;
+  };
+  auto build_refs = [&segments](int r) {
+    std::vector<SegRef> refs;
     for (const Segment& segment : segments) {
       for (size_t i = 0; i < segment.keys[static_cast<size_t>(r)].size(); ++i) {
         refs.push_back({&segment, i});
       }
     }
-    std::sort(refs.begin(), refs.end(), [r](const Ref& a, const Ref& b) {
+    std::sort(refs.begin(), refs.end(), [r](const SegRef& a, const SegRef& b) {
       return a.segment->keys[static_cast<size_t>(r)][a.index] <
              b.segment->keys[static_cast<size_t>(r)][b.index];
     });
-    auto key_at = [r](const Ref& ref) -> const ShuffleKey& {
-      return ref.segment->keys[static_cast<size_t>(r)][ref.index];
-    };
+    return refs;
+  };
+  auto key_at = [](const SegRef& ref, int r) -> const ShuffleKey& {
+    return ref.segment->keys[static_cast<size_t>(r)][ref.index];
+  };
 
-    if (config_.mode == EngineMode::kBaseline) {
-      Interpreter reduce_interp(*reduce_c.original, *heap_, *wk_, &layouts_, nullptr);
-      if (epochs) {
-        heap_->EpochStart();
-      }
-      ComputePhaseScope compute(stats_.times);
-      std::vector<ObjRef>& out_part = out->heap_parts[static_cast<size_t>(r)];
-      size_t i = 0;
-      while (i < refs.size()) {
-        size_t j = i + 1;
-        while (j < refs.size() && key_at(refs[j]) == key_at(refs[i])) {
-          ++j;
-        }
-        RootScope scope(*heap_);
-        size_t acc = 0;
-        for (size_t v = i; v < j; ++v) {
-          const Segment& seg = *refs[v].segment;
-          size_t idx = refs[v].index;
-          ScopedPhase phase(stats_.times, Phase::kDeserialize);
-          const ByteBuffer& wire = seg.wire[static_cast<size_t>(r)];
-          size_t off = seg.wire_offsets[static_cast<size_t>(r)][idx];
-          ByteReader reader(wire.data() + off, wire.size() - off);
-          size_t rec = scope.Push(kryo_.Deserialize(out_klass, reader));
-          if (v == i) {
-            acc = rec;
-          } else {
-            Value merged = reduce_interp.CallFunction(
-                reduce_c.orig_fn, {Value::Ref(static_cast<int64_t>(scope.Get(acc))),
-                                   Value::Ref(static_cast<int64_t>(scope.Get(rec)))});
-            scope.Set(acc, static_cast<ObjRef>(merged.i));
+  if (config_.mode == EngineMode::kBaseline) {
+    scheduler_->RunStageSerial(
+        reducers,
+        [&](WorkerContext& ctx, int r) {
+          ctx.stats().reduce_tasks += 1;
+          ctx.stats().tasks_run += 1;
+          heap_->set_phase_times(&ctx.stats().times);
+          std::vector<SegRef> refs = build_refs(r);
+          Interpreter reduce_interp(*reduce_c.original, *heap_, *wk_, &layouts_, nullptr);
+          if (epochs) {
+            heap_->EpochStart();
           }
-        }
-        // Final output write ("HDFS"): the baseline serializes once more.
-        {
-          ScopedPhase phase(stats_.times, Phase::kSerialize);
-          ByteBuffer sink;
-          kryo_.Serialize(scope.Get(acc), out_klass, sink);
-        }
-        out_part.push_back(scope.Get(acc));
-        i = j;
-      }
-      if (epochs) {
-        heap_->EpochEnd();  // output records escape via out_part's roots
-      }
-      continue;
-    }
-
-    // Gerenuk reduce.
-    NativePartition& out_part = out->native_parts[static_cast<size_t>(r)];
-    BuilderStore builders(layouts_);
-    Interpreter reduce_interp(*reduce_c.transformed, *heap_, *wk_, &layouts_, &builders);
-    Interpreter slow_interp(*reduce_c.original, *heap_, *wk_, &layouts_, nullptr);
-    NativePartition scratch(&memory_);
-    ComputePhaseScope compute(stats_.times);
-    size_t i = 0;
-    while (i < refs.size()) {
-      size_t j = i + 1;
-      while (j < refs.size() && key_at(refs[j]) == key_at(refs[i])) {
-        ++j;
-      }
-      auto addr_of = [r](const Ref& ref) {
-        return ref.segment->native[static_cast<size_t>(r)].record_addr(ref.index);
-      };
-      auto size_of = [r](const Ref& ref) {
-        return ref.segment->native[static_cast<size_t>(r)].record_size(ref.index);
-      };
-      try {
-        int64_t acc = addr_of(refs[i]);
-        uint32_t acc_size = size_of(refs[i]);
-        for (size_t v = i + 1; v < j; ++v) {
-          Value merged = reduce_interp.CallFunction(
-              reduce_c.fast_fn, {Value::Addr(acc), Value::Addr(addr_of(refs[v]))});
-          ByteBuffer body;
-          builders.RenderBody(merged.i, out_klass, body);
-          builders.Clear();
-          acc = scratch.AppendRecord(body.data(), static_cast<uint32_t>(body.size()));
-          acc_size = static_cast<uint32_t>(body.size());
-        }
-        out_part.AppendRecord(reinterpret_cast<const uint8_t*>(acc), acc_size);
-      } catch (const SerAbort&) {
-        // Re-execute this group on the slow path.
-        stats_.aborts += 1;
-        builders.Clear();
-        RootScope scope(*heap_);
-        size_t acc = 0;
-        for (size_t v = i; v < j; ++v) {
-          ScopedPhase phase(stats_.times, Phase::kDeserialize);
-          ByteReader reader(reinterpret_cast<const uint8_t*>(addr_of(refs[v])),
-                            size_of(refs[v]));
-          size_t rec = scope.Push(inline_serde_.ReadBody(out_klass, reader));
-          if (v == i) {
-            acc = rec;
-          } else {
-            Value merged = slow_interp.CallFunction(
-                reduce_c.orig_fn, {Value::Ref(static_cast<int64_t>(scope.Get(acc))),
-                                   Value::Ref(static_cast<int64_t>(scope.Get(rec)))});
-            scope.Set(acc, static_cast<ObjRef>(merged.i));
+          {
+            ComputePhaseScope compute(ctx.stats().times);
+            std::vector<ObjRef>& out_part = out->heap_parts[static_cast<size_t>(r)];
+            size_t i = 0;
+            while (i < refs.size()) {
+              size_t j = i + 1;
+              while (j < refs.size() && key_at(refs[j], r) == key_at(refs[i], r)) {
+                ++j;
+              }
+              RootScope scope(*heap_);
+              size_t acc = 0;
+              for (size_t v = i; v < j; ++v) {
+                const Segment& seg = *refs[v].segment;
+                size_t idx = refs[v].index;
+                ScopedPhase phase(ctx.stats().times, Phase::kDeserialize);
+                const ByteBuffer& wire = seg.wire[static_cast<size_t>(r)];
+                size_t off = seg.wire_offsets[static_cast<size_t>(r)][idx];
+                ByteReader reader(wire.data() + off, wire.size() - off);
+                size_t rec = scope.Push(kryo_.Deserialize(out_klass, reader));
+                if (v == i) {
+                  acc = rec;
+                } else {
+                  Value merged = reduce_interp.CallFunction(
+                      reduce_c.orig_fn, {Value::Ref(static_cast<int64_t>(scope.Get(acc))),
+                                         Value::Ref(static_cast<int64_t>(scope.Get(rec)))});
+                  scope.Set(acc, static_cast<ObjRef>(merged.i));
+                }
+              }
+              // Final output write ("HDFS"): the baseline serializes once more.
+              {
+                ScopedPhase phase(ctx.stats().times, Phase::kSerialize);
+                ByteBuffer sink;
+                kryo_.Serialize(scope.Get(acc), out_klass, sink);
+              }
+              out_part.push_back(scope.Get(acc));
+              i = j;
+            }
+            if (epochs) {
+              heap_->EpochEnd();  // output records escape via out_part's roots
+            }
           }
-        }
-        ScopedPhase phase(stats_.times, Phase::kSerialize);
-        ByteBuffer record;
-        inline_serde_.WriteRecord(scope.Get(acc), out_klass, record);
-        out_part.AppendRecord(record.data() + 4, static_cast<uint32_t>(record.size() - 4));
-      }
-      i = j;
-    }
+          heap_->set_phase_times(nullptr);
+        },
+        &stats_);
+    return out;
   }
-  heap_->set_phase_times(nullptr);
+
+  // Gerenuk reduce: one task per reducer, fanned out to the worker pool.
+  scheduler_->RunStage(
+      reducers,
+      [&](WorkerContext& ctx, int r) {
+        ctx.stats().reduce_tasks += 1;
+        ctx.stats().tasks_run += 1;
+        ctx.heap().set_phase_times(&ctx.stats().times);
+        std::vector<SegRef> refs = build_refs(r);
+        NativePartition& out_part = out->native_parts[static_cast<size_t>(r)];
+        BuilderStore builders(layouts_);
+        Interpreter reduce_interp(*reduce_c.transformed, ctx.heap(), ctx.wk(), &layouts_,
+                                  &builders);
+        Interpreter slow_interp(*reduce_c.original, ctx.heap(), ctx.wk(), &layouts_, nullptr);
+        NativePartition scratch(&memory_);
+        ComputePhaseScope compute(ctx.stats().times);
+        size_t i = 0;
+        while (i < refs.size()) {
+          size_t j = i + 1;
+          while (j < refs.size() && key_at(refs[j], r) == key_at(refs[i], r)) {
+            ++j;
+          }
+          auto addr_of = [r](const SegRef& ref) {
+            return ref.segment->native[static_cast<size_t>(r)].record_addr(ref.index);
+          };
+          auto size_of = [r](const SegRef& ref) {
+            return ref.segment->native[static_cast<size_t>(r)].record_size(ref.index);
+          };
+          try {
+            int64_t acc = addr_of(refs[i]);
+            uint32_t acc_size = size_of(refs[i]);
+            for (size_t v = i + 1; v < j; ++v) {
+              Value merged = reduce_interp.CallFunction(
+                  reduce_c.fast_fn, {Value::Addr(acc), Value::Addr(addr_of(refs[v]))});
+              ByteBuffer body;
+              builders.RenderBody(merged.i, out_klass, body);
+              builders.Clear();
+              acc = scratch.AppendRecord(body.data(), static_cast<uint32_t>(body.size()));
+              acc_size = static_cast<uint32_t>(body.size());
+            }
+            out_part.AppendRecord(reinterpret_cast<const uint8_t*>(acc), acc_size);
+          } catch (const SerAbort&) {
+            // Re-execute this group on the slow path, inside the same worker.
+            ctx.stats().aborts += 1;
+            builders.Clear();
+            RootScope scope(ctx.heap());
+            size_t acc = 0;
+            for (size_t v = i; v < j; ++v) {
+              ScopedPhase phase(ctx.stats().times, Phase::kDeserialize);
+              ByteReader reader(reinterpret_cast<const uint8_t*>(addr_of(refs[v])),
+                                size_of(refs[v]));
+              size_t rec = scope.Push(ctx.serde().ReadBody(out_klass, reader));
+              if (v == i) {
+                acc = rec;
+              } else {
+                Value merged = slow_interp.CallFunction(
+                    reduce_c.orig_fn, {Value::Ref(static_cast<int64_t>(scope.Get(acc))),
+                                       Value::Ref(static_cast<int64_t>(scope.Get(rec)))});
+                scope.Set(acc, static_cast<ObjRef>(merged.i));
+              }
+            }
+            ScopedPhase phase(ctx.stats().times, Phase::kSerialize);
+            ByteBuffer record;
+            ctx.serde().WriteRecord(scope.Get(acc), out_klass, record);
+            out_part.AppendRecord(record.data() + 4, static_cast<uint32_t>(record.size() - 4));
+          }
+          i = j;
+        }
+        ctx.heap().set_phase_times(nullptr);
+      },
+      &stats_);
   return out;
 }
 

@@ -23,34 +23,22 @@
 #include <vector>
 
 #include "src/dataflow/dataset.h"
+#include "src/dataflow/engine_config.h"
 #include "src/exec/ser_executor.h"
+#include "src/exec/task_scheduler.h"
 #include "src/serde/heap_serializer.h"
 
 namespace gerenuk {
 
-struct HadoopConfig {
-  EngineMode mode = EngineMode::kBaseline;
-  size_t heap_bytes = 64u << 20;
-  GcKind gc = GcKind::kGenerational;
-  int num_map_tasks = 4;
+// The mini-Hadoop extends the shared knobs; `num_partitions` is the number
+// of map tasks (input splits).
+struct HadoopConfig : EngineConfig {
   int num_reducers = 2;
   size_t sort_buffer_bytes = 1u << 20;  // spill threshold
   // Yak comparison (Figure 9): with gc == GcKind::kRegion, wrap every map
   // and reduce task in an epoch (the paper's epoch_start in setup() /
   // epoch_end in cleanup() annotation). Baseline mode only.
   bool yak_epochs = false;
-};
-
-struct HadoopStats {
-  PhaseTimes times;
-  int map_tasks = 0;
-  int reduce_tasks = 0;
-  int spills = 0;
-  int aborts = 0;
-  int fast_path_commits = 0;
-  int64_t shuffle_bytes = 0;
-  int64_t combine_calls = 0;
-  TransformStats transform;
 };
 
 class HadoopEngine {
@@ -77,9 +65,15 @@ class HadoopEngine {
                     const Klass* out_klass, const KeySpec& key, const Function* reduce_fn,
                     const Function* combiner_fn = nullptr);
 
-  const HadoopStats& stats() const { return stats_; }
+  const EngineStats& stats() const { return stats_; }
   int64_t peak_memory_bytes() const { return memory_.peak_bytes(); }
+  int num_workers() const { return scheduler_->num_workers(); }
   void ResetMetrics();
+
+  // Fault injection: ordinals are assigned in submission order (all map
+  // tasks of a job, then all reduce tasks), starting at next_task_ordinal().
+  FaultPlan& fault_plan() { return fault_plan_; }
+  int64_t next_task_ordinal() const { return task_seq_; }
 
  private:
   // One spilled, sorted map-output segment. Per reducer partition: records
@@ -93,6 +87,12 @@ class HadoopEngine {
     explicit Segment(int partitions, MemoryTracker* tracker, EngineMode mode);
   };
 
+  int64_t ClaimTaskOrdinals(int n) {
+    int64_t base = task_seq_;
+    task_seq_ += n;
+    return base;
+  }
+
   HadoopConfig config_;
   std::unique_ptr<Heap> heap_;
   std::unique_ptr<WellKnown> wk_;
@@ -101,7 +101,10 @@ class HadoopEngine {
   HeapSerializer kryo_;
   InlineSerializer inline_serde_;
   MemoryTracker memory_;
-  HadoopStats stats_;
+  std::unique_ptr<TaskScheduler> scheduler_;
+  EngineStats stats_;
+  FaultPlan fault_plan_;
+  int64_t task_seq_ = 0;
 };
 
 }  // namespace gerenuk

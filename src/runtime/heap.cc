@@ -11,7 +11,11 @@ constexpr int64_t kMinFreeBlock = 16;     // enough for a free-block header
 uint64_t AlignUp(uint64_t v, uint64_t a) { return (v + a - 1) & ~(a - 1); }
 }  // namespace
 
-Heap::Heap(const HeapConfig& config) : config_(config), capacity_(config.capacity_bytes) {
+Heap::Heap(const HeapConfig& config, KlassRegistry* shared_klasses)
+    : owned_klasses_(shared_klasses == nullptr ? std::make_unique<KlassRegistry>() : nullptr),
+      klasses_(shared_klasses == nullptr ? owned_klasses_.get() : shared_klasses),
+      config_(config),
+      capacity_(config.capacity_bytes) {
   capacity_ = AlignUp(capacity_, kHeapAlignment);
   storage_ = std::make_unique<uint8_t[]>(capacity_);
   base_ = storage_.get();
@@ -50,7 +54,7 @@ void Heap::InitHeader(ObjRef obj, uint32_t klass_id, uint32_t aux) {
 }
 
 int64_t Heap::ObjectSize(ObjRef obj) const {
-  const Klass* k = klasses_.ById(ReadKlassId(obj));
+  const Klass* k = klasses_->ById(ReadKlassId(obj));
   if (k->is_array()) {
     return k->ArraySize(ReadAux(obj));
   }
@@ -290,7 +294,7 @@ void Heap::EpochEnd() {
   while (!region_evacuation_worklist_.empty()) {
     ObjRef obj = region_evacuation_worklist_.back();
     region_evacuation_worklist_.pop_back();
-    const Klass* k = klasses_.ById(ReadKlassId(obj));
+    const Klass* k = klasses_->ById(ReadKlassId(obj));
     if (k->is_array()) {
       if (k->element_kind() == FieldKind::kRef) {
         int64_t len = ReadAux(obj);
@@ -389,7 +393,7 @@ void Heap::MarkSlot(ObjRef* slot) {
 }
 
 void Heap::TraceObject(ObjRef obj, std::vector<ObjRef>& worklist) {
-  const Klass* k = klasses_.ById(ReadKlassId(obj));
+  const Klass* k = klasses_->ById(ReadKlassId(obj));
   if (k->is_array()) {
     if (k->element_kind() == FieldKind::kRef) {
       int64_t len = ReadAux(obj);
@@ -444,7 +448,7 @@ void Heap::MarkSweepCollect(uint64_t sweep_start, uint64_t sweep_end) {
     while (!region_evacuation_worklist_.empty()) {
       ObjRef obj = region_evacuation_worklist_.back();
       region_evacuation_worklist_.pop_back();
-      const Klass* k = klasses_.ById(ReadKlassId(obj));
+      const Klass* k = klasses_->ById(ReadKlassId(obj));
       if (k->is_array()) {
         if (k->element_kind() == FieldKind::kRef) {
           int64_t len = ReadAux(obj);
@@ -604,7 +608,7 @@ void Heap::ScavengeSlot(ObjRef* slot) {
 }
 
 void Heap::ScavengeObjectFields(ObjRef obj, bool* saw_young) {
-  const Klass* k = klasses_.ById(ReadKlassId(obj));
+  const Klass* k = klasses_->ById(ReadKlassId(obj));
   if (k->is_array()) {
     if (k->element_kind() == FieldKind::kRef) {
       int64_t len = ReadAux(obj);

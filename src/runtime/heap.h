@@ -76,13 +76,19 @@ struct HeapStats {
 
 class Heap {
  public:
-  explicit Heap(const HeapConfig& config);
+  // With `shared_klasses == nullptr` the heap owns its own class registry.
+  // A non-null registry is shared (not owned): per-worker heaps of a
+  // parallel engine all reference the engine heap's registry, so Klass
+  // pointers and ids agree across every executor context. All class
+  // definitions must complete before parallel stage execution begins — the
+  // registry itself is not synchronized.
+  explicit Heap(const HeapConfig& config, KlassRegistry* shared_klasses = nullptr);
   ~Heap();
   Heap(const Heap&) = delete;
   Heap& operator=(const Heap&) = delete;
 
-  const KlassRegistry& klasses() const { return klasses_; }
-  KlassRegistry& klasses() { return klasses_; }
+  const KlassRegistry& klasses() const { return *klasses_; }
+  KlassRegistry& klasses() { return *klasses_; }
 
   // ---- allocation ----
   ObjRef AllocObject(const Klass* klass);
@@ -129,7 +135,7 @@ class Heap {
 
   const Klass* KlassOf(ObjRef obj) const {
     GERENUK_CHECK_NE(obj, kNullRef);
-    return klasses_.ById(ReadKlassId(obj));
+    return klasses_->ById(ReadKlassId(obj));
   }
 
   // ---- roots ----
@@ -233,7 +239,8 @@ class Heap {
   void MarkSlot(ObjRef* slot);
   std::vector<ObjRef>* mark_worklist_ = nullptr;
 
-  KlassRegistry klasses_;
+  std::unique_ptr<KlassRegistry> owned_klasses_;
+  KlassRegistry* klasses_;  // owned_klasses_.get() or the shared registry
   HeapConfig config_;
   size_t capacity_;
   std::unique_ptr<uint8_t[]> storage_;

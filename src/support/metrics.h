@@ -9,6 +9,7 @@
 #ifndef SRC_SUPPORT_METRICS_H_
 #define SRC_SUPPORT_METRICS_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -118,30 +119,85 @@ class ComputePhaseScope {
 
 // Live/peak memory accounting. The managed heap and the native buffer
 // manager both report into one tracker per engine run, mirroring the paper's
-// process-level pmap measurement.
+// process-level pmap measurement. Thread-safe: every worker heap and every
+// task-local native partition of a parallel stage reports into the same
+// engine-level tracker.
 class MemoryTracker {
  public:
   void Allocated(int64_t bytes) {
-    live_ += bytes;
-    if (live_ > peak_) {
-      peak_ = live_;
+    int64_t now = live_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    int64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
     }
   }
-  void Freed(int64_t bytes) { live_ -= bytes; }
+  void Freed(int64_t bytes) { live_.fetch_sub(bytes, std::memory_order_relaxed); }
 
-  int64_t live_bytes() const { return live_; }
-  int64_t peak_bytes() const { return peak_; }
+  int64_t live_bytes() const { return live_.load(std::memory_order_relaxed); }
+  int64_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
   void Reset() {
-    live_ = 0;
-    peak_ = 0;
+    live_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
   }
   // Restarts peak measurement from the current live footprint (used to
   // exclude input generation from a benchmark's peak).
-  void ResetPeak() { peak_ = live_; }
+  void ResetPeak() { peak_.store(live_bytes(), std::memory_order_relaxed); }
 
  private:
-  int64_t live_ = 0;
-  int64_t peak_ = 0;
+  std::atomic<int64_t> live_{0};
+  std::atomic<int64_t> peak_{0};
+};
+
+// Statistics of the speculative transformer (Algorithm 1), accumulated per
+// compiled stage/function on the driver.
+struct TransformStats {
+  int statements_transformed = 0;
+  int aborts_inserted = 0;
+  int functions_transformed = 0;  // functions containing >= 1 transformed stmt
+  int violations_by_reason[5] = {0, 0, 0, 0, 0};
+
+  TransformStats& operator+=(const TransformStats& o) {
+    statements_transformed += o.statements_transformed;
+    aborts_inserted += o.aborts_inserted;
+    functions_transformed += o.functions_transformed;
+    for (int i = 0; i < 5; ++i) {
+      violations_by_reason[i] += o.violations_by_reason[i];
+    }
+    return *this;
+  }
+};
+
+// Unified per-engine statistics, shared by the mini-Spark and mini-Hadoop
+// engines. Workers accumulate into a private EngineStats during a stage;
+// the scheduler merges them into the engine's copy (in worker order) at the
+// stage barrier, so counts are deterministic for any worker count.
+struct EngineStats {
+  PhaseTimes times;
+  int tasks_run = 0;
+  int map_tasks = 0;     // mini-Hadoop only
+  int reduce_tasks = 0;  // mini-Hadoop only
+  int spills = 0;        // mini-Hadoop only
+  int fast_path_commits = 0;
+  int aborts = 0;
+  int stages_compiled = 0;
+  int64_t shuffle_bytes = 0;
+  int64_t combine_calls = 0;
+  TransformStats transform;  // accumulated compiler statistics (driver-side)
+
+  EngineStats& operator+=(const EngineStats& o) {
+    times += o.times;
+    tasks_run += o.tasks_run;
+    map_tasks += o.map_tasks;
+    reduce_tasks += o.reduce_tasks;
+    spills += o.spills;
+    fast_path_commits += o.fast_path_commits;
+    aborts += o.aborts;
+    stages_compiled += o.stages_compiled;
+    shuffle_bytes += o.shuffle_bytes;
+    combine_calls += o.combine_calls;
+    transform += o.transform;
+    return *this;
+  }
 };
 
 // Human-readable byte count ("1.5 GB") for bench output.

@@ -31,15 +31,9 @@
 #include "src/analysis/layout.h"
 #include "src/analysis/ser_analyzer.h"
 #include "src/ir/ir.h"
+#include "src/support/metrics.h"  // TransformStats
 
 namespace gerenuk {
-
-struct TransformStats {
-  int statements_transformed = 0;
-  int aborts_inserted = 0;
-  int functions_transformed = 0;  // functions containing >= 1 transformed stmt
-  int violations_by_reason[5] = {0, 0, 0, 0, 0};
-};
 
 struct TransformResult {
   std::unique_ptr<SerProgram> transformed;

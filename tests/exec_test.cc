@@ -335,13 +335,14 @@ TEST(SerExecutorTest, ForcedAbortFallsBackAndOutputMatches) {
   std::vector<uint8_t> input_before = PartitionBytes(input);
 
   SerExecutor exec(p.heap, p.wk, p.layouts, p.program, *p.transformed);
-  exec.set_forced_abort_at(50);
+  FaultPlan faults;
+  faults.AbortTask(0, 50);
   bool launched = false;
   exec.set_launch_hook([&launched] { launched = true; });
 
   NativePartition out;
   PhaseTimes times;
-  SpecOutcome outcome = exec.RunTask(input, &out, times);
+  SpecOutcome outcome = exec.RunTask(input, &out, times, &faults, 0);
   EXPECT_FALSE(outcome.committed_fast_path);
   EXPECT_EQ(outcome.aborts, 1);
   EXPECT_EQ(outcome.abort_reason, AbortReason::kForced);

@@ -1,0 +1,341 @@
+// Determinism tests for the parallel task scheduler: a Gerenuk stage must
+// produce byte-identical output and identical abort/commit counts for every
+// worker count — the scheduler changes wall-clock shape, never results.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "src/dataflow/spark.h"
+#include "src/exec/task_scheduler.h"
+#include "src/ir/builder.h"
+#include "src/mapreduce/hadoop.h"
+
+namespace gerenuk {
+namespace {
+
+constexpr int kWorkerCounts[] = {1, 2, 8};
+
+// ---------------------------------------------------------------------------
+// Scheduler-level tests (no engine)
+// ---------------------------------------------------------------------------
+
+TEST(TaskSchedulerTest, RunsEveryTaskExactlyOnceAndMergesStats) {
+  for (int workers : kWorkerCounts) {
+    MemoryTracker tracker;
+    TaskScheduler sched(workers, HeapConfig{8u << 20}, nullptr, &tracker);
+    std::vector<int> slots(64, 0);
+    EngineStats stats;
+    sched.RunStage(
+        64,
+        [&](WorkerContext& ctx, int t) {
+          slots[static_cast<size_t>(t)] += t * 2 + 1;  // += catches double runs
+          ctx.stats().tasks_run += 1;
+        },
+        &stats);
+    EXPECT_EQ(stats.tasks_run, 64) << "workers=" << workers;
+    for (int t = 0; t < 64; ++t) {
+      EXPECT_EQ(slots[static_cast<size_t>(t)], t * 2 + 1) << "task " << t;
+    }
+  }
+}
+
+TEST(TaskSchedulerTest, FirstErrorByTaskIndexIsRethrown) {
+  for (int workers : kWorkerCounts) {
+    MemoryTracker tracker;
+    TaskScheduler sched(workers, HeapConfig{8u << 20}, nullptr, &tracker);
+    EngineStats stats;
+    try {
+      sched.RunStage(
+          16,
+          [&](WorkerContext&, int t) {
+            if (t == 3 || t == 11) {
+              throw std::runtime_error("task " + std::to_string(t));
+            }
+          },
+          &stats);
+      FAIL() << "expected an exception (workers=" << workers << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "task 3");
+    }
+    // The pool survives a failed stage.
+    int ran = 0;
+    sched.RunStage(4, [&](WorkerContext&, int) { ran += 1; }, &stats);
+    if (workers == 1) {
+      EXPECT_EQ(ran, 4);
+    }
+  }
+}
+
+TEST(TaskSchedulerTest, WorkerHeapsAreIsolatedMutators) {
+  MemoryTracker tracker;
+  TaskScheduler sched(4, HeapConfig{8u << 20}, nullptr, &tracker);
+  EngineStats stats;
+  // Every task allocates in its worker's heap; arrays from different tasks
+  // never alias because each context owns its storage.
+  sched.RunStage(
+      32,
+      [&](WorkerContext& ctx, int t) {
+        const Klass* i64s = ctx.heap().klasses().Find("i64[]");
+        ASSERT_NE(i64s, nullptr);
+        ObjRef arr = ctx.heap().AllocArray(i64s, 8);
+        for (int64_t i = 0; i < 8; ++i) {
+          ctx.heap().ASet<int64_t>(arr, i, t * 100 + i);
+        }
+        for (int64_t i = 0; i < 8; ++i) {
+          GERENUK_CHECK_EQ(ctx.heap().AGet<int64_t>(arr, i), t * 100 + i);
+        }
+      },
+      &stats);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level determinism across worker counts
+// ---------------------------------------------------------------------------
+
+// The shared Pair{key:i64, value:f64} workload, usable with either engine.
+template <typename Engine, typename Config>
+struct PairJob {
+  Engine engine;
+  const Klass* pair;
+  const Klass* pair_array;
+  SerProgram udfs;
+  const Function* double_value;   // map: value *= 2
+  const Function* explode;        // flatMap: -> [ (key, v), (key+1000, v) ]
+  const Function* get_key;        // key extractor
+  const Function* sum_values;     // reduce: (a, b) -> (a.key, a.v + b.v)
+
+  explicit PairJob(const Config& config) : engine(config) {
+    KlassRegistry& reg = engine.heap().klasses();
+    pair = reg.DefineClass("Pair", {
+                                       {"key", FieldKind::kI64, nullptr, 0},
+                                       {"value", FieldKind::kF64, nullptr, 0},
+                                   });
+    engine.RegisterDataType(pair);
+    pair_array = reg.Find("Pair[]");
+
+    {
+      Function* f = udfs.AddFunction("double_value");
+      FunctionBuilder b(f);
+      int rec = b.Param("rec", IrType::Ref(pair));
+      f->return_type = IrType::Ref(pair);
+      int k = b.FieldLoad(rec, pair, "key");
+      int v = b.FieldLoad(rec, pair, "value");
+      int out = b.NewObject(pair);
+      b.FieldStore(out, pair, "key", k);
+      int two = b.ConstF(2.0);
+      b.FieldStore(out, pair, "value", b.BinOp(BinOpKind::kMul, v, two));
+      b.Return(out);
+      b.Done();
+      double_value = f;
+    }
+    {
+      Function* f = udfs.AddFunction("explode");
+      FunctionBuilder b(f);
+      int rec = b.Param("rec", IrType::Ref(pair));
+      f->return_type = IrType::Ref(pair_array);
+      int k = b.FieldLoad(rec, pair, "key");
+      int v = b.FieldLoad(rec, pair, "value");
+      int two = b.ConstI(2);
+      int arr = b.NewArray(pair_array, two);
+      int first = b.NewObject(pair);
+      b.FieldStore(first, pair, "key", k);
+      b.FieldStore(first, pair, "value", v);
+      b.ArrayStore(arr, b.ConstI(0), first);
+      int second = b.NewObject(pair);
+      int offset = b.ConstI(1000);
+      b.FieldStore(second, pair, "key", b.BinOp(BinOpKind::kAdd, k, offset));
+      b.FieldStore(second, pair, "value", v);
+      b.ArrayStore(arr, b.ConstI(1), second);
+      b.Return(arr);
+      b.Done();
+      explode = f;
+    }
+    {
+      Function* f = udfs.AddFunction("get_key");
+      FunctionBuilder b(f);
+      int rec = b.Param("rec", IrType::Ref(pair));
+      f->return_type = IrType::I64();
+      b.Return(b.FieldLoad(rec, pair, "key"));
+      b.Done();
+      get_key = f;
+    }
+    {
+      Function* f = udfs.AddFunction("sum_values");
+      FunctionBuilder b(f);
+      int a = b.Param("a", IrType::Ref(pair));
+      int c = b.Param("b", IrType::Ref(pair));
+      f->return_type = IrType::Ref(pair);
+      int out = b.NewObject(pair);
+      b.FieldStore(out, pair, "key", b.FieldLoad(a, pair, "key"));
+      int sum = b.BinOp(BinOpKind::kAdd, b.FieldLoad(a, pair, "value"),
+                        b.FieldLoad(c, pair, "value"));
+      b.FieldStore(out, pair, "value", sum);
+      b.Return(out);
+      b.Done();
+      sum_values = f;
+    }
+  }
+
+  DatasetPtr MakeInput(int64_t count) {
+    const Klass* k = pair;
+    Heap* h = &engine.heap();
+    return engine.Source(pair, count, [h, k](int64_t i, RootScope&) {
+      ObjRef rec = h->AllocObject(k);
+      h->SetPrim<int64_t>(rec, k->FindField("key")->offset, i % 10);
+      h->SetPrim<double>(rec, k->FindField("value")->offset, (i % 7) - 3.0);
+      return rec;
+    });
+  }
+};
+
+using SparkJob = PairJob<SparkEngine, SparkConfig>;
+using HadoopJob = PairJob<HadoopEngine, HadoopConfig>;
+
+SparkConfig SparkWith(int workers) {
+  SparkConfig config;
+  config.mode = EngineMode::kGerenuk;
+  config.heap_bytes = 24u << 20;
+  config.num_partitions = 4;
+  config.num_workers = workers;
+  return config;
+}
+
+HadoopConfig HadoopWith(int workers) {
+  HadoopConfig config;
+  config.mode = EngineMode::kGerenuk;
+  config.heap_bytes = 24u << 20;
+  config.num_partitions = 4;
+  config.num_workers = workers;
+  config.num_reducers = 3;
+  config.sort_buffer_bytes = 1u << 14;  // force several spills per map task
+  return config;
+}
+
+// Concatenated record bytes of a Gerenuk dataset, partition by partition.
+std::vector<uint8_t> DatasetBytes(const DatasetPtr& ds) {
+  std::vector<uint8_t> bytes;
+  for (const NativePartition& part : ds->native_parts) {
+    for (size_t r = 0; r < part.record_count(); ++r) {
+      const uint8_t* p = reinterpret_cast<const uint8_t*>(part.record_addr(r));
+      bytes.insert(bytes.end(), p, p + part.record_size(r));
+    }
+  }
+  return bytes;
+}
+
+TEST(SchedulerDeterminismTest, NarrowStageBytesIdenticalAcrossWorkerCounts) {
+  std::vector<uint8_t> reference;
+  for (int workers : kWorkerCounts) {
+    SparkJob job(SparkWith(workers));
+    DatasetPtr in = job.MakeInput(600);
+    DatasetPtr out = job.engine.RunStage(
+        in, job.udfs, {NarrowOp::Map(job.double_value, job.pair)});
+    std::vector<uint8_t> bytes = DatasetBytes(out);
+    EXPECT_FALSE(bytes.empty());
+    EXPECT_EQ(job.engine.stats().tasks_run, 4) << "workers=" << workers;
+    EXPECT_EQ(job.engine.stats().fast_path_commits, 4) << "workers=" << workers;
+    EXPECT_EQ(job.engine.stats().aborts, 0) << "workers=" << workers;
+    if (workers == 1) {
+      reference = bytes;
+    } else {
+      EXPECT_EQ(bytes, reference) << "workers=" << workers;
+    }
+  }
+}
+
+TEST(SchedulerDeterminismTest, ReduceByKeyBytesIdenticalAcrossWorkerCounts) {
+  std::vector<uint8_t> reference;
+  int64_t reference_shuffle = 0;
+  for (int workers : kWorkerCounts) {
+    SparkJob job(SparkWith(workers));
+    DatasetPtr in = job.MakeInput(1000);
+    DatasetPtr out = job.engine.ReduceByKey(in, job.udfs, {},
+                                            KeySpec{job.get_key, false}, job.sum_values);
+    EXPECT_EQ(out->TotalRecords(), 10);  // keys are i % 10
+    std::vector<uint8_t> bytes = DatasetBytes(out);
+    if (workers == 1) {
+      reference = bytes;
+      reference_shuffle = job.engine.stats().shuffle_bytes;
+    } else {
+      EXPECT_EQ(bytes, reference) << "workers=" << workers;
+      EXPECT_EQ(job.engine.stats().shuffle_bytes, reference_shuffle);
+    }
+    EXPECT_EQ(job.engine.stats().aborts, 0);
+  }
+}
+
+TEST(SchedulerDeterminismTest, ForcedAbortsIdenticalAcrossWorkerCounts) {
+  // Two planned aborts: the same two tasks re-execute on the slow path for
+  // every worker count, and the slow path reproduces the fast-path bytes.
+  std::vector<uint8_t> clean;
+  {
+    SparkJob job(SparkWith(1));
+    DatasetPtr out = job.engine.RunStage(job.MakeInput(600), job.udfs,
+                                         {NarrowOp::Map(job.double_value, job.pair)});
+    clean = DatasetBytes(out);
+  }
+  for (int workers : kWorkerCounts) {
+    SparkJob job(SparkWith(workers));
+    DatasetPtr in = job.MakeInput(600);
+    job.engine.ForceAborts(2);
+    DatasetPtr out = job.engine.RunStage(
+        in, job.udfs, {NarrowOp::Map(job.double_value, job.pair)});
+    EXPECT_EQ(job.engine.stats().aborts, 2) << "workers=" << workers;
+    EXPECT_EQ(job.engine.stats().fast_path_commits, 2) << "workers=" << workers;
+    EXPECT_EQ(DatasetBytes(out), clean) << "workers=" << workers;
+  }
+}
+
+TEST(SchedulerDeterminismTest, FaultPlanTargetsSpecificTaskAndRecord) {
+  std::vector<uint8_t> reference;
+  for (int workers : kWorkerCounts) {
+    SparkJob job(SparkWith(workers));
+    DatasetPtr in = job.MakeInput(600);
+    // Abort exactly task 2 of the next stage, at record 7.
+    job.engine.fault_plan().AbortTask(job.engine.next_task_ordinal() + 2, 7);
+    DatasetPtr out = job.engine.RunStage(
+        in, job.udfs, {NarrowOp::Map(job.double_value, job.pair)});
+    EXPECT_EQ(job.engine.stats().aborts, 1) << "workers=" << workers;
+    EXPECT_EQ(job.engine.stats().fast_path_commits, 3) << "workers=" << workers;
+    std::vector<uint8_t> bytes = DatasetBytes(out);
+    if (workers == 1) {
+      reference = bytes;
+    } else {
+      EXPECT_EQ(bytes, reference) << "workers=" << workers;
+    }
+  }
+}
+
+TEST(SchedulerDeterminismTest, HadoopJobIdenticalAcrossWorkerCounts) {
+  std::vector<uint8_t> reference;
+  EngineStats reference_stats;
+  for (int workers : kWorkerCounts) {
+    HadoopJob job(HadoopWith(workers));
+    DatasetPtr in = job.MakeInput(800);
+    DatasetPtr out = job.engine.RunJob(in, job.udfs, job.explode, job.pair,
+                                       KeySpec{job.get_key, false}, job.sum_values,
+                                       job.sum_values);
+    EXPECT_EQ(out->TotalRecords(), 20);  // keys i%10 plus their +1000 twins
+    std::vector<uint8_t> bytes = DatasetBytes(out);
+    const EngineStats& stats = job.engine.stats();
+    if (workers == 1) {
+      reference = bytes;
+      reference_stats = stats;
+    } else {
+      EXPECT_EQ(bytes, reference) << "workers=" << workers;
+      EXPECT_EQ(stats.map_tasks, reference_stats.map_tasks);
+      EXPECT_EQ(stats.reduce_tasks, reference_stats.reduce_tasks);
+      EXPECT_EQ(stats.spills, reference_stats.spills);
+      EXPECT_EQ(stats.aborts, reference_stats.aborts);
+      EXPECT_EQ(stats.fast_path_commits, reference_stats.fast_path_commits);
+      EXPECT_EQ(stats.shuffle_bytes, reference_stats.shuffle_bytes);
+      EXPECT_EQ(stats.combine_calls, reference_stats.combine_calls);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gerenuk

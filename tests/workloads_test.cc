@@ -21,7 +21,7 @@ HadoopConfig SmallHadoop(EngineMode mode) {
   HadoopConfig config;
   config.mode = mode;
   config.heap_bytes = 64u << 20;
-  config.num_map_tasks = 3;
+  config.num_partitions = 3;
   config.num_reducers = 2;
   config.sort_buffer_bytes = 64 << 10;
   return config;
