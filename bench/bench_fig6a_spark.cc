@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/ir/builder.h"
 #include "src/workloads/spark_workloads.h"
 
 namespace gerenuk {
@@ -58,6 +59,117 @@ RunRow RunOne(const char* name, EngineMode mode, size_t heap_bytes, int num_work
   row.peak_bytes = engine.peak_memory_bytes();
   row.checksum = result.checksum;
   return row;
+}
+
+// Minimal map-only job for the abort-rate sweep: Pair{key:i64, value:f64}
+// records through a value-doubling map stage.
+struct AbortSweepJob {
+  SparkEngine engine;
+  const Klass* pair;
+  SerProgram udfs;
+  const Function* double_value;
+
+  explicit AbortSweepJob(const SparkConfig& config) : engine(config) {
+    KlassRegistry& reg = engine.heap().klasses();
+    pair = reg.DefineClass("Pair", {
+                                       {"key", FieldKind::kI64, nullptr, 0},
+                                       {"value", FieldKind::kF64, nullptr, 0},
+                                   });
+    engine.RegisterDataType(pair);
+    Function* f = udfs.AddFunction("double_value");
+    FunctionBuilder b(f);
+    int rec = b.Param("rec", IrType::Ref(pair));
+    f->return_type = IrType::Ref(pair);
+    int out = b.NewObject(pair);
+    b.FieldStore(out, pair, "key", b.FieldLoad(rec, pair, "key"));
+    b.FieldStore(out, pair, "value",
+                 b.BinOp(BinOpKind::kMul, b.FieldLoad(rec, pair, "value"), b.ConstF(2.0)));
+    b.Return(out);
+    b.Done();
+    double_value = f;
+  }
+
+  DatasetPtr MakeInput(int64_t count) {
+    const Klass* k = pair;
+    Heap* h = &engine.heap();
+    return engine.Source(pair, count, [h, k](int64_t i, RootScope&) {
+      ObjRef rec = h->AllocObject(k);
+      h->SetPrim<int64_t>(rec, k->FindField("key")->offset, i % 100);
+      h->SetPrim<double>(rec, k->FindField("value")->offset, (i % 13) - 6.0);
+      return rec;
+    });
+  }
+};
+
+SparkConfig AbortSweepConfig(int parts, double governor_threshold) {
+  SparkConfig config;
+  config.mode = EngineMode::kGerenuk;
+  config.heap_bytes = 48u << 20;
+  config.num_partitions = parts;
+  config.num_workers = 1;
+  config.governor_abort_threshold = governor_threshold;
+  config.governor_min_tasks = parts;
+  return config;
+}
+
+// Wall clock of `reps` map stages with `aborts` of `parts` tasks forced to
+// abort late in each stage (the paper's worst case: nearly all speculative
+// work is wasted before the abort).
+double SweepStagesMs(AbortSweepJob& job, const DatasetPtr& in, int reps, int aborts) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int s = 0; s < reps; ++s) {
+    if (aborts > 0) {
+      job.engine.ForceAborts(aborts);
+    }
+    job.engine.RunStage(in, job.udfs, {NarrowOp::Map(job.double_value, job.pair)});
+  }
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void RunAbortRateSweep() {
+  bench::PrintHeader("Abort-rate sweep: speculation vs governor-degraded slow path");
+  const int parts = 8;
+  const int reps = 4;
+  const int64_t records = 160000;
+
+  // Degraded reference: one all-abort warmup stage flips the governor, then
+  // every timed stage routes directly to the slow path. Its cost does not
+  // depend on the abort rate — no speculative work is ever attempted.
+  double degraded_ms = 0.0;
+  {
+    AbortSweepJob job(AbortSweepConfig(parts, 0.5));
+    DatasetPtr in = job.MakeInput(records);
+    job.engine.ForceAborts(parts);
+    job.engine.RunStage(in, job.udfs, {NarrowOp::Map(job.double_value, job.pair)});
+    GERENUK_CHECK(job.engine.stats().governor_flips == 1) << "governor did not flip";
+    degraded_ms = SweepStagesMs(job, in, reps, 0);
+    GERENUK_CHECK(job.engine.stats().slow_path_direct == parts * reps);
+  }
+  std::printf("degraded (direct slow path) = %8.1fms per %d stages, any abort rate\n",
+              degraded_ms, reps);
+
+  int crossover_pct = -1;
+  for (int pct : {0, 25, 50, 75, 100}) {
+    const int aborts = parts * pct / 100;
+    AbortSweepJob job(AbortSweepConfig(parts, -1.0));  // governor off: always speculate
+    DatasetPtr in = job.MakeInput(records);
+    const double spec_ms = SweepStagesMs(job, in, reps, aborts);
+    GERENUK_CHECK(job.engine.stats().aborts == aborts * reps);
+    std::printf("abort rate %3d%%: speculate = %8.1fms   degraded = %8.1fms   -> %s\n", pct,
+                spec_ms, degraded_ms,
+                spec_ms > degraded_ms ? "degraded wins" : "speculate wins");
+    if (crossover_pct < 0 && spec_ms > degraded_ms) {
+      crossover_pct = pct;
+    }
+  }
+  if (crossover_pct >= 0) {
+    std::printf("crossover: speculation stops paying off at ~%d%% forced aborts — a\n"
+                "governor_abort_threshold at or below this rate is worth enabling\n",
+                crossover_pct);
+  } else {
+    std::printf("crossover: not reached — speculation won at every swept abort rate\n");
+  }
 }
 
 void Run() {
@@ -129,6 +241,8 @@ void Run() {
                   ("KM workers=" + std::to_string(workers)).c_str(), wall, wall1 / wall);
     }
   }
+
+  RunAbortRateSweep();
 
   bench::PrintHeader("Table 3 (Spark row): Gerenuk normalized to baseline, geo-mean");
   std::printf("Overall: %.2f   App(non-GC): %.2f   GC: %.2f\n",

@@ -5,8 +5,10 @@
 #define SRC_DATAFLOW_ENGINE_CONFIG_H_
 
 #include <cstddef>
+#include <cstdint>
 
 #include "src/dataflow/stage_compiler.h"  // EngineMode
+#include "src/exec/fault.h"               // RetryPolicy, QuarantinePolicy
 #include "src/runtime/heap.h"             // GcKind
 
 namespace gerenuk {
@@ -24,6 +26,32 @@ struct EngineConfig {
   // (it is single-mutator), whatever this is set to. Output bytes and
   // abort/commit counts are identical for every worker count.
   int num_workers = 1;
+
+  // --- Fault tolerance (see DESIGN.md "Fault model & recovery") ---
+  // Scheduler retry budget per task. 1 = the seed's fail-fast behavior.
+  int max_task_attempts = 1;
+  // Deterministic backoff before attempt n: retry_backoff_ms << (n - 2).
+  int64_t retry_backoff_ms = 0;
+  // Per-attempt deadline (cooperative); 0 disables straggler detection.
+  int64_t task_deadline_ms = 0;
+  // What happens to a task whose input fails its integrity checksum.
+  QuarantinePolicy quarantine = QuarantinePolicy::kFailFast;
+
+  // --- Adaptive speculation governor ---
+  // Once the cumulative abort rate over speculative tasks reaches this
+  // threshold (with at least governor_min_tasks observed), remaining stages
+  // run the slow path directly. <= 0 disables the governor.
+  double governor_abort_threshold = -1.0;
+  int governor_min_tasks = 4;
+
+  RetryPolicy retry_policy() const {
+    RetryPolicy policy;
+    policy.max_attempts = max_task_attempts;
+    policy.backoff_base_ms = retry_backoff_ms;
+    policy.task_deadline_ms = task_deadline_ms;
+    policy.quarantine = quarantine;
+    return policy;
+  }
 };
 
 }  // namespace gerenuk

@@ -63,7 +63,8 @@ SparkEngine::SparkEngine(const SparkConfig& config)
       heap_(std::make_unique<Heap>(HeapConfig{config.heap_bytes, config.gc, 0.55, 0.35, 2})),
       wk_(std::make_unique<WellKnown>(*heap_)),
       kryo_(*heap_),
-      inline_serde_(*heap_) {
+      inline_serde_(*heap_),
+      governor_(config.governor_abort_threshold, config.governor_min_tasks) {
   heap_->set_memory_tracker(&memory_);
   // Worker heaps share the engine's class registry, so Klass pointers in the
   // driver-compiled programs are valid in every executor context. The engine
@@ -72,6 +73,7 @@ SparkEngine::SparkEngine(const SparkConfig& config)
   scheduler_ = std::make_unique<TaskScheduler>(
       config.num_workers, HeapConfig{config.heap_bytes, config.gc, 0.55, 0.35, 2},
       &heap_->klasses(), &memory_);
+  scheduler_->set_retry_policy(config.retry_policy());
 }
 
 SparkEngine::~SparkEngine() = default;
@@ -89,8 +91,14 @@ void SparkEngine::RegisterDataType(const Klass* klass) {
 
 DatasetPtr SparkEngine::Source(const Klass* klass, int64_t count,
                                const std::function<ObjRef(int64_t, RootScope&)>& make) {
-  return MakeSourceDataset(*heap_, inline_serde_, &memory_, config_.mode, klass,
-                           config_.num_partitions, count, make);
+  DatasetPtr ds = MakeSourceDataset(*heap_, inline_serde_, &memory_, config_.mode, klass,
+                                    config_.num_partitions, count, make);
+  // Committed data carries an integrity seal from the moment it exists;
+  // consumers verify it at stage input (DESIGN.md "Fault model & recovery").
+  for (NativePartition& part : ds->native_parts) {
+    part.Seal();
+  }
+  return ds;
 }
 
 BroadcastVar SparkEngine::MakeBroadcast(ObjRef obj, const Klass* klass) {
@@ -187,6 +195,8 @@ DatasetPtr SparkEngine::RunNarrowGerenuk(const DatasetPtr& input, const Compiled
   auto out = std::make_shared<Dataset>(*heap_, stage.out_klass, parts, &memory_);
   const int64_t base = ClaimTaskOrdinals(parts);
   const FaultPlan* faults = ActiveFaults();
+  const bool speculate = governor_.ShouldSpeculate();
+  const int aborts_before = stats_.aborts;
   scheduler_->RunStage(
       parts,
       [&](WorkerContext& ctx, int p) {
@@ -197,6 +207,8 @@ DatasetPtr SparkEngine::RunNarrowGerenuk(const DatasetPtr& input, const Compiled
         io.input = &input->native_parts[static_cast<size_t>(p)];
         io.task_ordinal = base + p;
         io.faults = faults;
+        io.attempt = ctx.attempt();
+        io.cancelled = [&ctx] { return ctx.cancelled(); };
         TaskBroadcast bc(ctx, broadcast);
         bc.Bind(&io);
         io.emit_native = [&out_part](int64_t addr, const Klass* klass, Interpreter&,
@@ -210,14 +222,23 @@ DatasetPtr SparkEngine::RunNarrowGerenuk(const DatasetPtr& input, const Compiled
           out_part.AppendRecord(body.data() + 4, static_cast<uint32_t>(body.size() - 4));
         };
         io.on_abort = [&out_part] { out_part.Release(); };
-        SpecOutcome outcome = exec.RunTaskIo(io, ctx.stats().times);
-        if (!outcome.committed_fast_path) {
-          ctx.stats().aborts += outcome.aborts;
+        if (speculate) {
+          SpecOutcome outcome = exec.RunTaskIo(io, ctx.stats().times);
+          if (!outcome.committed_fast_path) {
+            ctx.stats().aborts += outcome.aborts;
+          } else {
+            ctx.stats().fast_path_commits += 1;
+          }
         } else {
-          ctx.stats().fast_path_commits += 1;
+          exec.RunDirectSlowPath(io, ctx.stats().times);
+          ctx.stats().slow_path_direct += 1;
         }
+        out_part.Seal();
       },
       &stats_);
+  if (speculate) {
+    ObserveSpeculation(parts, stats_.aborts - aborts_before);
+  }
   return out;
 }
 
@@ -297,6 +318,8 @@ void SparkEngine::ShuffleGerenuk(const DatasetPtr& input, const CompiledStage& s
   }
   const int64_t base = ClaimTaskOrdinals(parts);
   const FaultPlan* faults = ActiveFaults();
+  const bool speculate = governor_.ShouldSpeculate();
+  const int aborts_before = stats_.aborts;
   ShuffleKeyHash hasher;
   scheduler_->RunStage(
       parts,
@@ -308,6 +331,8 @@ void SparkEngine::ShuffleGerenuk(const DatasetPtr& input, const CompiledStage& s
         io.input = &input->native_parts[static_cast<size_t>(p)];
         io.task_ordinal = base + p;
         io.faults = faults;
+        io.attempt = ctx.attempt();
+        io.cancelled = [&ctx] { return ctx.cancelled(); };
         TaskBroadcast bc(ctx, broadcast);
         bc.Bind(&io);
         io.emit_native = [&ctx, &key_fn, &key, &task_buckets, &hasher](int64_t addr,
@@ -340,14 +365,25 @@ void SparkEngine::ShuffleGerenuk(const DatasetPtr& input, const CompiledStage& s
             bucket.Release();
           }
         };
-        SpecOutcome outcome = exec.RunTaskIo(io, ctx.stats().times);
-        if (!outcome.committed_fast_path) {
-          ctx.stats().aborts += outcome.aborts;
+        if (speculate) {
+          SpecOutcome outcome = exec.RunTaskIo(io, ctx.stats().times);
+          if (!outcome.committed_fast_path) {
+            ctx.stats().aborts += outcome.aborts;
+          } else {
+            ctx.stats().fast_path_commits += 1;
+          }
         } else {
-          ctx.stats().fast_path_commits += 1;
+          exec.RunDirectSlowPath(io, ctx.stats().times);
+          ctx.stats().slow_path_direct += 1;
+        }
+        for (NativePartition& bucket : task_buckets) {
+          bucket.Seal();
         }
       },
       &stats_);
+  if (speculate) {
+    ObserveSpeculation(parts, stats_.aborts - aborts_before);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -419,6 +455,8 @@ DatasetPtr SparkEngine::ReduceByKey(const DatasetPtr& input, const SerProgram& u
   ShuffleGerenuk(input, stage, key, key_c, broadcast, &buckets);
 
   ClaimTaskOrdinals(config_.num_partitions);
+  const bool speculate = governor_.ShouldSpeculate();
+  const int aborts_before = stats_.aborts;
   scheduler_->RunStage(
       config_.num_partitions,
       [&](WorkerContext& ctx, int p) {
@@ -433,8 +471,8 @@ DatasetPtr SparkEngine::ReduceByKey(const DatasetPtr& input, const SerProgram& u
             }
           }
         };
-        bool fast_ok = true;
-        try {
+        bool fast_ok = speculate;
+        if (speculate) try {
           BuilderStore builders(layouts_);
           Interpreter reduce_interp(*reduce_c.transformed, ctx.heap(), ctx.wk(), &layouts_,
                                     &builders);
@@ -487,10 +525,15 @@ DatasetPtr SparkEngine::ReduceByKey(const DatasetPtr& input, const SerProgram& u
           fast_ok = false;
         }
         if (!fast_ok) {
-          // Reduce-side abort: discard and redo this bucket on the slow path
-          // inside the same worker — sibling reduce tasks keep running.
-          ctx.stats().aborts += 1;
-          out_part.Release();
+          // Reduce-side abort (or governor-degraded routing): run this
+          // bucket on the slow path inside the same worker — sibling reduce
+          // tasks keep running.
+          if (speculate) {
+            ctx.stats().aborts += 1;
+            out_part.Release();
+          } else {
+            ctx.stats().slow_path_direct += 1;
+          }
           Interpreter reduce_interp(*reduce_c.original, ctx.heap(), ctx.wk(), &layouts_, nullptr);
           Interpreter key_interp(*key_c.original, ctx.heap(), ctx.wk(), &layouts_, nullptr);
           ComputePhaseScope compute(ctx.stats().times);
@@ -528,9 +571,13 @@ DatasetPtr SparkEngine::ReduceByKey(const DatasetPtr& input, const SerProgram& u
           }
           ctx.heap().RemoveRootVector(&values);
         }
+        out_part.Seal();
         ctx.heap().set_phase_times(nullptr);
       },
       &stats_);
+  if (speculate) {
+    ObserveSpeculation(config_.num_partitions, stats_.aborts - aborts_before);
+  }
   return out;
 }
 
@@ -662,6 +709,7 @@ DatasetPtr SparkEngine::JoinByKey(const DatasetPtr& left, const KeySpec& left_ke
           }
         }
         ctx.stats().fast_path_commits += 1;
+        out_part.Seal();
       },
       &stats_);
   return out;

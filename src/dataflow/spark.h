@@ -103,6 +103,11 @@ class SparkEngine {
   FaultPlan& fault_plan() { return fault_plan_; }
   int64_t next_task_ordinal() const { return task_seq_; }
 
+  // Driver-side speculation governor (consulted at stage submission, fed at
+  // stage barriers; see src/exec/fault.h). Flip counts and direct-slow-path
+  // task counts surface through stats().
+  const SpeculationGovernor& governor() const { return governor_; }
+
  private:
   using CompiledStage = StagePrograms;
   using CompiledFn = CompiledFunction;
@@ -153,7 +158,17 @@ class SparkEngine {
   std::unique_ptr<TaskScheduler> scheduler_;
   EngineStats stats_;
   FaultPlan fault_plan_;
+  SpeculationGovernor governor_;
   int64_t task_seq_ = 0;
+
+  // Barrier-side governor feed: counts one completed speculative stage and
+  // records a flip in stats_. Driver-only, so decisions never depend on the
+  // in-flight schedule.
+  void ObserveSpeculation(int tasks, int aborts_delta) {
+    if (governor_.Observe(tasks, aborts_delta)) {
+      stats_.governor_flips += 1;
+    }
+  }
 };
 
 }  // namespace gerenuk

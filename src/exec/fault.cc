@@ -1,0 +1,88 @@
+#include "src/exec/fault.h"
+
+#include <chrono>
+#include <thread>
+
+#include "src/nativebuf/native_buffer.h"
+#include "src/support/logging.h"
+
+namespace gerenuk {
+
+const char* TaskErrorKindName(TaskErrorKind kind) {
+  switch (kind) {
+    case TaskErrorKind::kException:
+      return "exception";
+    case TaskErrorKind::kOom:
+      return "oom";
+    case TaskErrorKind::kCorruptInput:
+      return "corrupt-input";
+    case TaskErrorKind::kStraggler:
+      return "straggler";
+  }
+  return "?";
+}
+
+const FaultSpec* FaultInjector::Find(FaultKind kind, int64_t task_ordinal, int attempt) const {
+  auto it = faults_.find(task_ordinal);
+  if (it == faults_.end()) {
+    return nullptr;
+  }
+  for (const FaultSpec& spec : it->second) {
+    if (spec.kind == kind && spec.FiresOn(attempt)) {
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+int64_t FaultInjector::RecordOf(FaultKind kind, int64_t task_ordinal, int64_t records,
+                                int attempt) const {
+  const FaultSpec* spec = Find(kind, task_ordinal, attempt);
+  if (spec == nullptr || records == 0) {
+    return -1;
+  }
+  return spec->record == kLateInTask ? records - 1 - records / 8 : spec->record;
+}
+
+void FaultInjector::AtTaskEntry(int64_t task_ordinal, int attempt,
+                                const NativePartition* input,
+                                const std::function<bool()>& cancelled) const {
+  if (faults_.empty()) {
+    return;
+  }
+  const int64_t records =
+      input != nullptr ? static_cast<int64_t>(input->record_count()) : 0;
+
+  if (const FaultSpec* corrupt = Find(FaultKind::kCorruptInput, task_ordinal, attempt)) {
+    // Simulated bit-rot: flip one byte of the first record's body. The
+    // chunk memory behind record addresses is owned and writable; the flip
+    // happens once, before the checksum is verified at the stage-input
+    // boundary, so every attempt of this task sees the same poisoned bytes.
+    if (!corrupt->applied && input != nullptr && records > 0 && input->record_size(0) > 0) {
+      reinterpret_cast<uint8_t*>(input->record_addr(0))[0] ^= 0x5a;
+      corrupt->applied = true;
+    }
+  }
+
+  if (const FaultSpec* delay = Find(FaultKind::kDelay, task_ordinal, attempt)) {
+    // Cooperative straggling: sleep in slices, polling the cancel probe so
+    // a deadline turns the delay into a deterministic straggler error
+    // instead of a stage-long stall.
+    using Clock = std::chrono::steady_clock;
+    const auto until = Clock::now() + std::chrono::milliseconds(delay->delay_ms);
+    while (Clock::now() < until) {
+      if (cancelled && cancelled()) {
+        throw TaskError(TaskErrorKind::kStraggler, task_ordinal, attempt, records,
+                        "injected delay exceeded the task deadline");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  if (Find(FaultKind::kException, task_ordinal, attempt) != nullptr) {
+    throw TaskError(TaskErrorKind::kException, task_ordinal, attempt, records,
+                    "injected task exception");
+  }
+}
+
+}  // namespace gerenuk

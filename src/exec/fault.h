@@ -1,0 +1,272 @@
+// Fault-tolerant execution: the fault model, the error taxonomy, and the
+// policies the TaskScheduler and both engines share.
+//
+// Gerenuk's correctness story is "speculate; when an assumption breaks,
+// abort and re-execute" — but a production executor survives far more than
+// the one failure the paper models. This header generalizes the original
+// FaultPlan (deterministic forced SER aborts) into a FaultInjector covering
+// five reproducible fault kinds, and adds the recovery-side vocabulary:
+//
+//   * FaultInjector — deterministic, (task ordinal, record)-keyed faults:
+//     forced SER abort (the paper's Fig. 10(b) hook), a task exception at
+//     entry, a simulated heap-OOM during slow-path re-execution, a
+//     corrupted input record (caught by the partition checksum), and an
+//     artificial delay (a straggler). Ordinals are driver-assigned in
+//     submission order, so a plan injects the same faults for every worker
+//     count and schedule.
+//   * TaskError — the structured error a failing task attempt throws;
+//     carries the fault kind, task ordinal, attempt number, and the input
+//     record count (for quarantine accounting).
+//   * RetryPolicy / QuarantinePolicy — how the scheduler responds: bounded
+//     attempts with deterministic backoff and a fresh WorkerContext per
+//     retry; per-task deadlines with straggler relaunch; fail-fast vs.
+//     skip-and-record for poisoned partitions.
+//   * SpeculationGovernor — a driver-side abort-rate tracker: past a
+//     configured threshold the engines stop speculating and route remaining
+//     tasks directly to the slow path, so a workload whose assumptions
+//     break on every record degrades gracefully instead of paying
+//     speculate-then-abort forever.
+#ifndef SRC_EXEC_FAULT_H_
+#define SRC_EXEC_FAULT_H_
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gerenuk {
+
+class NativePartition;
+
+// ---------------------------------------------------------------------------
+// Error taxonomy
+// ---------------------------------------------------------------------------
+
+enum class TaskErrorKind : uint8_t {
+  kException = 0,     // generic task failure (body threw)
+  kOom = 1,           // heap exhaustion during slow-path re-execution
+  kCorruptInput = 2,  // input partition failed its integrity checksum
+  kStraggler = 3,     // attempt exceeded its deadline and was cancelled
+};
+
+const char* TaskErrorKindName(TaskErrorKind kind);
+
+// Structured task failure. The scheduler classifies these: retryable kinds
+// re-enter the queue (bounded by RetryPolicy); corrupt input is permanent —
+// retrying cannot repair bytes — so it either fails the stage or is
+// quarantined.
+class TaskError : public std::runtime_error {
+ public:
+  TaskError(TaskErrorKind kind, int64_t task_ordinal, int attempt, int64_t input_records,
+            const std::string& detail)
+      : std::runtime_error("task " + std::to_string(task_ordinal) + " attempt " +
+                           std::to_string(attempt) + " [" + TaskErrorKindName(kind) +
+                           "]: " + detail),
+        kind_(kind),
+        task_ordinal_(task_ordinal),
+        attempt_(attempt),
+        input_records_(input_records) {}
+
+  TaskErrorKind kind() const { return kind_; }
+  int64_t task_ordinal() const { return task_ordinal_; }
+  int attempt() const { return attempt_; }
+  int64_t input_records() const { return input_records_; }
+  bool retryable() const { return kind_ != TaskErrorKind::kCorruptInput; }
+
+ private:
+  TaskErrorKind kind_;
+  int64_t task_ordinal_;
+  int attempt_;
+  int64_t input_records_;
+};
+
+// ---------------------------------------------------------------------------
+// Recovery policies
+// ---------------------------------------------------------------------------
+
+// What to do with a task whose input is poisoned (checksum mismatch after
+// retries are ruled out): fail the stage, or skip the partition and record
+// the loss in EngineStats.
+enum class QuarantinePolicy : uint8_t { kFailFast = 0, kSkip = 1 };
+
+// Scheduler-level retry policy for parallel stages. Attempt numbers start
+// at 1; a task runs at most `max_attempts` times in total.
+struct RetryPolicy {
+  int max_attempts = 1;  // 1 = seed behavior: any exception fails the stage
+  // Deterministic backoff before attempt n: backoff_base_ms << (n - 2),
+  // computed from the attempt number alone (never from wall-clock state).
+  int64_t backoff_base_ms = 0;
+  // Recycle the executing worker's context (fresh heap, serializer, roots)
+  // before a retry, so heap damage from the failed attempt — a mid-GC
+  // exception, simulated OOM — cannot leak into the next one.
+  bool fresh_context_on_retry = true;
+  // Per-attempt deadline; 0 disables. Cancellation is cooperative: the
+  // attempt observes WorkerContext::cancelled() (the injected-delay loop
+  // polls it), throws TaskError{kStraggler}, and the scheduler relaunches
+  // the task on another worker. Detection is in-attempt, so relaunch counts
+  // are deterministic for any worker count.
+  int64_t task_deadline_ms = 0;
+  QuarantinePolicy quarantine = QuarantinePolicy::kFailFast;
+};
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+enum class FaultKind : uint8_t {
+  kSerAbort = 0,      // forced SER abort at (task, record) — the legacy plan
+  kException = 1,     // throw TaskError{kException} at task entry
+  kOom = 2,           // throw TaskError{kOom} at a slow-path record
+  kCorruptInput = 3,  // flip a byte of the input partition at task entry
+  kDelay = 4,         // sleep at task entry (straggler), cooperatively
+};
+
+// One planned fault. `max_attempt` gates re-firing across retries: a fault
+// fires on attempts <= max_attempt, or on every attempt when it is < 0.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kSerAbort;
+  int64_t record = 0;      // kSerAbort / kOom: record index (or kLateInTask)
+  int64_t delay_ms = 0;    // kDelay
+  int max_attempt = 1;
+  // kCorruptInput flips one input byte exactly once; attempts of one task
+  // are serialized by the scheduler, so this needs no synchronization.
+  // Mutable: the plan is shared read-only across workers otherwise.
+  mutable bool applied = false;
+
+  bool FiresOn(int attempt) const { return max_attempt < 0 || attempt <= max_attempt; }
+};
+
+// The unified deterministic fault plan (generalizing the Fig. 10(b) hook).
+// All injection points key on the task's driver-assigned ordinal, so the
+// same faults hit the same tasks for every worker count. The plan is
+// read-only during stage execution (corruption's one-shot `applied` flag is
+// confined to the serialized attempts of its own task).
+class FaultInjector {
+ public:
+  // Sentinel record index: fault late in the task (records - 1 - records/8),
+  // where nearly all speculative work is wasted — the worst case the paper's
+  // forced-abort experiment probes.
+  static constexpr int64_t kLateInTask = -2;
+
+  bool empty() const { return faults_.empty(); }
+  void Clear() { faults_.clear(); }
+
+  // Legacy FaultPlan interface: a forced SER abort, firing on every attempt
+  // (matching the old plan, which knew nothing of retries).
+  void AbortTask(int64_t task_ordinal, int64_t record = kLateInTask) {
+    Add(task_ordinal, FaultSpec{FaultKind::kSerAbort, record, 0, -1});
+  }
+  // Record index at which the given attempt's fast path aborts, or -1. A
+  // task with no records never enters its record loop and cannot abort.
+  int64_t RecordFor(int64_t task_ordinal, int64_t records, int attempt = 1) const {
+    return RecordOf(FaultKind::kSerAbort, task_ordinal, records, attempt);
+  }
+
+  void InjectException(int64_t task_ordinal, int max_attempt = 1) {
+    Add(task_ordinal, FaultSpec{FaultKind::kException, 0, 0, max_attempt});
+  }
+  void InjectSlowPathOom(int64_t task_ordinal, int64_t record = kLateInTask,
+                         int max_attempt = 1) {
+    Add(task_ordinal, FaultSpec{FaultKind::kOom, record, 0, max_attempt});
+  }
+  void InjectCorruption(int64_t task_ordinal) {
+    Add(task_ordinal, FaultSpec{FaultKind::kCorruptInput, 0, 0, -1});
+  }
+  void InjectDelay(int64_t task_ordinal, int64_t delay_ms, int max_attempt = 1) {
+    Add(task_ordinal, FaultSpec{FaultKind::kDelay, 0, delay_ms, max_attempt});
+  }
+
+  // Slow-path OOM record for the given attempt, or -1 (same contract as
+  // RecordFor). Polled once per slow-path run, then compared per record.
+  int64_t OomRecordFor(int64_t task_ordinal, int64_t records, int attempt) const {
+    return RecordOf(FaultKind::kOom, task_ordinal, records, attempt);
+  }
+
+  // Applies entry faults for one attempt, in deterministic order: first
+  // corruption (flip one input byte, once), then delay (sleeps in slices,
+  // polling `cancelled`; throws TaskError{kStraggler} when it returns
+  // true), then exception (throws TaskError{kException}). Checksum
+  // verification happens after this, at the stage-input boundary, so a
+  // flipped byte is caught there rather than as undefined interpreter
+  // behavior.
+  void AtTaskEntry(int64_t task_ordinal, int attempt, const NativePartition* input,
+                   const std::function<bool()>& cancelled) const;
+
+ private:
+  void Add(int64_t task_ordinal, FaultSpec spec) {
+    faults_[task_ordinal].push_back(spec);
+  }
+  const FaultSpec* Find(FaultKind kind, int64_t task_ordinal, int attempt) const;
+  int64_t RecordOf(FaultKind kind, int64_t task_ordinal, int64_t records, int attempt) const;
+
+  std::unordered_map<int64_t, std::vector<FaultSpec>> faults_;
+};
+
+// The pre-generalization name; the engines' fault_plan() accessor and the
+// abort experiments predate the other fault kinds.
+using FaultPlan = FaultInjector;
+
+// ---------------------------------------------------------------------------
+// Adaptive speculation governor
+// ---------------------------------------------------------------------------
+
+// Driver-side abort-rate tracker. The engines consult it once per stage at
+// submission and feed it the stage's (speculative tasks, aborts) at the
+// barrier, so its decisions depend only on completed-stage totals — never on
+// the in-flight schedule — and reproduce exactly for any worker count.
+//
+// Once the cumulative abort rate over speculatively executed tasks reaches
+// `threshold` (with at least `min_tasks` observed), the governor flips off:
+// remaining stages run the slow path directly, skipping the
+// speculate-then-abort tax. With speculation off no new aborts accrue, so
+// the rate freezes and the governor stays off — one deterministic flip.
+class SpeculationGovernor {
+ public:
+  // threshold <= 0 disables the governor (always speculate).
+  SpeculationGovernor(double threshold, int min_tasks)
+      : threshold_(threshold), min_tasks_(min_tasks) {}
+
+  bool enabled() const { return threshold_ > 0.0; }
+  bool ShouldSpeculate() const { return !enabled() || speculating_; }
+  int flips() const { return flips_; }
+  int64_t tasks_observed() const { return tasks_; }
+  int64_t aborts_observed() const { return aborts_; }
+
+  // Reports one completed speculative stage. Returns true if this
+  // observation flipped the governor off.
+  bool Observe(int64_t tasks, int64_t aborts) {
+    if (!enabled() || !speculating_ || tasks <= 0) {
+      return false;
+    }
+    tasks_ += tasks;
+    aborts_ += aborts;
+    if (tasks_ >= min_tasks_ &&
+        static_cast<double>(aborts_) >= threshold_ * static_cast<double>(tasks_)) {
+      speculating_ = false;
+      flips_ += 1;
+      return true;
+    }
+    return false;
+  }
+
+  void Reset() {
+    tasks_ = 0;
+    aborts_ = 0;
+    speculating_ = true;
+    flips_ = 0;
+  }
+
+ private:
+  double threshold_;
+  int min_tasks_;
+  int64_t tasks_ = 0;
+  int64_t aborts_ = 0;
+  bool speculating_ = true;
+  int flips_ = 0;
+};
+
+}  // namespace gerenuk
+
+#endif  // SRC_EXEC_FAULT_H_

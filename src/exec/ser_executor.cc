@@ -21,7 +21,8 @@ bool SerExecutor::RunFastPathIo(TaskIo& io, PhaseTimes& times, SpecOutcome* outc
 
   const int64_t forced =
       io.faults != nullptr
-          ? io.faults->RecordFor(io.task_ordinal, static_cast<int64_t>(io.input->record_count()))
+          ? io.faults->RecordFor(io.task_ordinal, static_cast<int64_t>(io.input->record_count()),
+                                 io.attempt)
           : -1;
 
   heap_.set_phase_times(&times);
@@ -76,21 +77,67 @@ void SerExecutor::RunSlowPathIo(TaskIo& io, PhaseTimes& times) {
   };
   interp.set_channel(&channel);
 
+  // Planned re-execution fault: at this record index the slow path runs out
+  // of heap (the paper's executor would die and be relaunched; here the
+  // scheduler retries the whole task in a fresh WorkerContext).
+  const int64_t oom =
+      io.faults != nullptr
+          ? io.faults->OomRecordFor(io.task_ordinal,
+                                    static_cast<int64_t>(io.input->record_count()), io.attempt)
+          : -1;
+
   heap_.set_phase_times(&times);
-  {
+  try {
     ComputePhaseScope compute(times);
     std::vector<Value> args = io.slow_args;
     for (cursor = 0; cursor < io.input->record_count(); ++cursor) {
+      if (oom >= 0 && static_cast<int64_t>(cursor) == oom) {
+        throw TaskError(TaskErrorKind::kOom, io.task_ordinal, io.attempt,
+                        static_cast<int64_t>(io.input->record_count()),
+                        "simulated heap exhaustion during re-execution");
+      }
       if (io.refresh_slow_args) {
         io.refresh_slow_args(args);
       }
       interp.CallFunction(original_.body, args);
     }
+  } catch (...) {
+    heap_.set_phase_times(nullptr);
+    throw;
   }
   heap_.set_phase_times(nullptr);
 }
 
+void SerExecutor::EnterTask(TaskIo& io) {
+  if (io.faults != nullptr && !io.faults->empty()) {
+    GERENUK_CHECK(io.task_ordinal >= 0)
+        << "a fault plan requires a driver-assigned task ordinal";
+    io.faults->AtTaskEntry(io.task_ordinal, io.attempt, io.input, io.cancelled);
+  }
+  // Stage-input integrity gate: sealed partitions carry a commit-time
+  // checksum; a mismatch means the bytes rotted between commit and read,
+  // which no retry can repair.
+  if (io.input != nullptr && io.input->sealed() && !io.input->VerifyChecksum()) {
+    throw TaskError(TaskErrorKind::kCorruptInput, io.task_ordinal, io.attempt,
+                    static_cast<int64_t>(io.input->record_count()),
+                    "input partition failed its integrity checksum");
+  }
+}
+
+void SerExecutor::RunDirectSlowPath(TaskIo& io, PhaseTimes& times) {
+  EnterTask(io);
+  try {
+    RunSlowPathIo(io, times);
+  } catch (...) {
+    if (io.on_abort) {
+      io.on_abort();
+    }
+    throw;
+  }
+}
+
 SpecOutcome SerExecutor::RunTaskIo(TaskIo& io, PhaseTimes& times) {
+  EnterTask(io);
   SpecOutcome outcome;
   if (RunFastPathIo(io, times, &outcome)) {
     return outcome;
@@ -105,7 +152,17 @@ SpecOutcome SerExecutor::RunTaskIo(TaskIo& io, PhaseTimes& times) {
   if (launch_hook_) {
     launch_hook_();
   }
-  RunSlowPathIo(io, times);
+  try {
+    RunSlowPathIo(io, times);
+  } catch (...) {
+    // The re-execution itself failed (e.g. simulated OOM). Tear down its
+    // partial output too, so the task honors the scheduler's contract that
+    // a throwing task leaves its output slot released.
+    if (io.on_abort) {
+      io.on_abort();
+    }
+    throw;
+  }
   outcome.committed_fast_path = false;
   outcome.records_processed = static_cast<int64_t>(io.input->record_count());
   return outcome;
@@ -130,18 +187,8 @@ SpecOutcome SerExecutor::RunTask(const NativePartition& input, NativePartition* 
     output->AppendRecord(body.data() + 4, static_cast<uint32_t>(body.size() - 4));
   };
 
-  SpecOutcome outcome;
-  if (RunFastPathIo(io, times, &outcome)) {
-    return outcome;
-  }
-  output->Release();  // discard partial fast-path output
-  if (launch_hook_) {
-    launch_hook_();
-  }
-  RunSlowPathIo(io, times);
-  outcome.committed_fast_path = false;
-  outcome.records_processed = static_cast<int64_t>(input.record_count());
-  return outcome;
+  io.on_abort = [output] { output->Release(); };  // discard partial output
+  return RunTaskIo(io, times);
 }
 
 void SerExecutor::RunSlowPath(const NativePartition& input, NativePartition* output,

@@ -13,8 +13,8 @@
 #define SRC_EXEC_SER_EXECUTOR_H_
 
 #include <functional>
-#include <unordered_map>
 
+#include "src/exec/fault.h"
 #include "src/exec/interpreter.h"
 #include "src/serde/inline_serializer.h"
 
@@ -26,36 +26,6 @@ struct SpecOutcome {
   AbortReason abort_reason = AbortReason::kForced;
   int64_t records_processed = 0;
   int64_t records_wasted = 0;  // fast-path work discarded by the abort
-};
-
-// The unified fault-injection plan (Fig. 10(b) and abort experiments):
-// deterministically aborts specific (task, record) pairs. Task ordinals are
-// assigned by the engine on the driver thread, in submission order, so a
-// plan injects the same faults for every worker count and schedule. The
-// plan is read-only during stage execution.
-struct FaultPlan {
-  // Sentinel record index: abort late in the task (records - 1 - records/8),
-  // where nearly all speculative work is wasted — the worst case the paper's
-  // forced-abort experiment probes.
-  static constexpr int64_t kLateInTask = -2;
-
-  // task ordinal -> record index at which the fast path aborts.
-  std::unordered_map<int64_t, int64_t> abort_at;
-
-  bool empty() const { return abort_at.empty(); }
-  void Clear() { abort_at.clear(); }
-  void AbortTask(int64_t task_ordinal, int64_t record = kLateInTask) {
-    abort_at[task_ordinal] = record;
-  }
-  // Record index at which the given task must abort, or -1 for none. A task
-  // with no records never enters its record loop and cannot abort.
-  int64_t RecordFor(int64_t task_ordinal, int64_t records) const {
-    auto it = abort_at.find(task_ordinal);
-    if (it == abort_at.end() || records == 0) {
-      return -1;
-    }
-    return it->second == kLateInTask ? records - 1 - records / 8 : it->second;
-  }
 };
 
 // Engine-level task description: where records come from, where emitted
@@ -85,9 +55,16 @@ struct TaskIo {
   // have moved between records.
   std::function<void(std::vector<Value>& args)> refresh_slow_args;
   // Fault injection: this task's driver-assigned ordinal and the engine's
-  // plan. A null plan disables injection.
+  // plan. A null plan disables injection. A non-empty plan requires a
+  // non-negative ordinal (RunTaskIo checks).
   int64_t task_ordinal = -1;
   const FaultPlan* faults = nullptr;
+  // Attempt number of this execution (1-based; the scheduler's retry state),
+  // used to gate fault re-firing and stamped into TaskErrors.
+  int attempt = 1;
+  // Cooperative cancellation probe (WorkerContext::cancelled); polled by
+  // long-running injected work so a deadline turns into a straggler error.
+  std::function<bool()> cancelled;
 };
 
 class SerExecutor {
@@ -107,10 +84,11 @@ class SerExecutor {
 
   // Executes the task body once per input record. Output records are
   // appended to `*output` in the inline native format on both paths.
-  // `faults`, when given, injects this task's planned abort (`task_ordinal`
-  // keys into the plan).
+  // `faults`, when given, injects this task's planned faults (`task_ordinal`
+  // keys into the plan and must be non-negative if the plan is non-empty —
+  // the default matches TaskIo's "no ordinal assigned" sentinel).
   SpecOutcome RunTask(const NativePartition& input, NativePartition* output, PhaseTimes& times,
-                      const FaultPlan* faults = nullptr, int64_t task_ordinal = 0);
+                      const FaultPlan* faults = nullptr, int64_t task_ordinal = -1);
 
   // Runs only the slow path (used by the unmodified-baseline engines and by
   // tests that need reference output).
@@ -120,8 +98,16 @@ class SerExecutor {
   SpecOutcome RunTaskIo(TaskIo& io, PhaseTimes& times);
   void RunSlowPathIo(TaskIo& io, PhaseTimes& times);
 
+  // Governor-degraded execution: skips speculation entirely and runs the
+  // original program, but keeps the task-entry gates (fault injection, input
+  // checksum) and the released-slot-on-throw contract of RunTaskIo.
+  void RunDirectSlowPath(TaskIo& io, PhaseTimes& times);
+
  private:
   bool RunFastPathIo(TaskIo& io, PhaseTimes& times, SpecOutcome* outcome);
+  // Task-entry gates: applies planned entry faults for this attempt, then
+  // verifies a sealed input's integrity checksum (throws TaskError).
+  void EnterTask(TaskIo& io);
 
   Heap& heap_;
   WellKnown& wk_;

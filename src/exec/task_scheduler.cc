@@ -31,17 +31,122 @@ TaskScheduler::~TaskScheduler() {
   }
 }
 
-void TaskScheduler::RunTasksOn(WorkerContext& ctx) {
+void TaskScheduler::RunAttempt(WorkerContext& ctx, int task, int attempt, bool fresh_context) {
+  if (fresh_context) {
+    // The previous attempt's executor is terminated and a fresh one
+    // launched (§3.6, generalized to arbitrary faults): new heap, new
+    // serializer, no roots or half-built objects carried over.
+    ctx.Recycle();
+  }
+  if (attempt > 1 && policy_.backoff_base_ms > 0) {
+    // Deterministic backoff: a pure function of the attempt number.
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(policy_.backoff_base_ms << (attempt - 2)));
+  }
+  ctx.BeginAttempt(attempt, policy_.task_deadline_ms);
+  (*current_)(ctx, task);
+}
+
+bool TaskScheduler::HandleFailure(int task, int attempt, int slot, std::exception_ptr error) {
+  TaskErrorKind kind = TaskErrorKind::kException;
+  bool is_task_error = false;
+  bool retryable = true;  // plain exceptions are retryable, like task errors
+  int64_t input_records = 0;
+  try {
+    std::rethrow_exception(error);
+  } catch (const TaskError& e) {
+    is_task_error = true;
+    kind = e.kind();
+    retryable = e.retryable();
+    input_records = e.input_records();
+  } catch (...) {
+  }
+  if (retryable && attempt < policy_.max_attempts) {
+    Attempt next;
+    next.task = task;
+    next.attempt = attempt + 1;
+    if (kind == TaskErrorKind::kStraggler) {
+      // Straggler relaunch: the fresh attempt must not land back on the
+      // machine that was slow. The ban is honored whenever a sibling
+      // worker exists; a single-worker pool reuses its (recycled) context.
+      next.banned_worker = slot;
+      stage_relaunches_ += 1;
+    } else {
+      stage_retries_ += 1;
+    }
+    retry_queue_.push_back(next);
+    return true;
+  }
+  if (kind == TaskErrorKind::kCorruptInput && is_task_error &&
+      policy_.quarantine == QuarantinePolicy::kSkip) {
+    // Skip-and-record: the poisoned partition contributes no output (the
+    // failing task released its slot per the Task contract); the loss is
+    // surfaced through EngineStats instead of failing the job.
+    stage_quarantined_tasks_ += 1;
+    stage_quarantined_records_ += input_records;
+    tasks_terminal_ += 1;
+    return false;
+  }
+  errors_.emplace_back(task, error);
+  tasks_terminal_ += 1;
+  return false;
+}
+
+void TaskScheduler::RunTasksOn(WorkerContext& ctx, int slot) {
   for (;;) {
-    int task = next_task_.fetch_add(1, std::memory_order_relaxed);
-    if (task >= num_tasks_) {
-      return;
+    Attempt work;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      for (;;) {
+        if (shutdown_ || tasks_terminal_ == num_tasks_) {
+          return;
+        }
+        // Queued retries first (they are older work), skipping entries
+        // banned for this worker when a sibling exists to take them.
+        bool found = false;
+        for (auto it = retry_queue_.begin(); it != retry_queue_.end(); ++it) {
+          if (it->banned_worker == slot && contexts_.size() > 1) {
+            continue;
+          }
+          work = *it;
+          retry_queue_.erase(it);
+          found = true;
+          break;
+        }
+        if (!found && next_fresh_ < num_tasks_) {
+          work = Attempt{next_fresh_, 1, -1};
+          next_fresh_ += 1;
+          found = true;
+        }
+        if (found) {
+          break;
+        }
+        // All remaining work is in flight on other workers (or banned for
+        // this one): wait for a retry to be queued or the stage to finish.
+        work_cv_.wait(lock);
+      }
     }
     try {
-      (*current_)(ctx, task);
-    } catch (...) {
+      RunAttempt(ctx, work.task, work.attempt, work.attempt > 1 && policy_.fresh_context_on_retry);
       std::lock_guard<std::mutex> lock(mu_);
-      errors_.emplace_back(task, std::current_exception());
+      tasks_terminal_ += 1;
+      if (tasks_terminal_ == num_tasks_) {
+        work_cv_.notify_all();
+        done_cv_.notify_all();
+      }
+    } catch (...) {
+      // Terminate this attempt's executor context before the task can be
+      // handed to anyone else, so a damaged heap never outlives the fault.
+      if (policy_.fresh_context_on_retry) {
+        ctx.Recycle();
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      if (HandleFailure(work.task, work.attempt, slot, std::current_exception())) {
+        work_cv_.notify_all();
+      } else if (tasks_terminal_ == num_tasks_) {
+        work_cv_.notify_all();
+        done_cv_.notify_all();
+      }
     }
   }
 }
@@ -57,12 +162,12 @@ void TaskScheduler::WorkerLoop(int slot) {
       }
       seen_gen = stage_gen_;
     }
-    RunTasksOn(*contexts_[static_cast<size_t>(slot)]);
+    RunTasksOn(*contexts_[static_cast<size_t>(slot)], slot);
     {
       std::lock_guard<std::mutex> lock(mu_);
       workers_done_ += 1;
     }
-    done_cv_.notify_one();
+    done_cv_.notify_all();
   }
 }
 
@@ -73,6 +178,16 @@ void TaskScheduler::MergeStats(EngineStats* stage_stats) {
     }
     ctx->stats() = EngineStats{};
   }
+  if (stage_stats != nullptr) {
+    stage_stats->retries += stage_retries_;
+    stage_stats->straggler_relaunches += stage_relaunches_;
+    stage_stats->quarantined_tasks += stage_quarantined_tasks_;
+    stage_stats->quarantined_records += stage_quarantined_records_;
+  }
+  stage_retries_ = 0;
+  stage_relaunches_ = 0;
+  stage_quarantined_tasks_ = 0;
+  stage_quarantined_records_ = 0;
 }
 
 void TaskScheduler::RethrowFirstError() {
@@ -91,12 +206,21 @@ void TaskScheduler::RunStage(int num_tasks, const Task& task, EngineStats* stage
     return;
   }
   if (threads_.empty()) {
-    // Single-worker pool: the calling thread is the executor.
-    current_ = &task;
-    num_tasks_ = num_tasks;
-    next_task_.store(0, std::memory_order_relaxed);
-    RunTasksOn(*contexts_[0]);
-    current_ = nullptr;
+    // Single-worker pool: the calling thread is the executor. The same
+    // retry/quarantine state machine runs; only the fan-out is absent.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      current_ = &task;
+      num_tasks_ = num_tasks;
+      next_fresh_ = 0;
+      tasks_terminal_ = 0;
+      retry_queue_.clear();
+    }
+    RunTasksOn(*contexts_[0], 0);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      current_ = nullptr;
+    }
     MergeStats(stage_stats);
     RethrowFirstError();
     return;
@@ -105,7 +229,9 @@ void TaskScheduler::RunStage(int num_tasks, const Task& task, EngineStats* stage
     std::lock_guard<std::mutex> lock(mu_);
     current_ = &task;
     num_tasks_ = num_tasks;
-    next_task_.store(0, std::memory_order_relaxed);
+    next_fresh_ = 0;
+    tasks_terminal_ = 0;
+    retry_queue_.clear();
     workers_done_ = 0;
     stage_gen_ += 1;
   }

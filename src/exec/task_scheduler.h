@@ -9,8 +9,9 @@
 //     slow-path (re-execution) heap objects, GC roots, and interpreter
 //     frames never cross workers.
 //   * Stage barrier — RunStage blocks until every task of the stage has
-//     finished, then merges each worker's EngineStats into the engine's
-//     copy in worker order and clears them. Counts (tasks, aborts, commits,
+//     reached a terminal state (committed, quarantined, or failed), then
+//     merges each worker's EngineStats into the engine's copy in worker
+//     order and clears them. Counts (tasks, aborts, commits, retries,
 //     shuffle bytes) are therefore deterministic for any worker count;
 //     PhaseTimes become summed-CPU-time across workers rather than wall
 //     time once num_workers > 1.
@@ -23,14 +24,26 @@
 //   * Shared-mutator stages — kBaseline tasks mutate the engine's single
 //     managed heap (the seed's single-mutator constraint), so baseline
 //     stages are submitted through RunStageSerial: same Task signature and
-//     stats merging, executed in task order on the calling thread.
+//     stats merging, executed in task order on the calling thread
+//     (fail-fast, like the seed).
 //
-// Tasks that abort re-execute on the slow path *inside the worker* (the
-// SerExecutor relaunch loop), so one abort never stalls sibling tasks.
+// Fault tolerance (see DESIGN.md "Fault model & recovery"): tasks that
+// abort re-execute on the slow path *inside the worker* (the SerExecutor
+// relaunch loop), so one abort never stalls sibling tasks. Tasks that
+// *throw* are governed by the stage's RetryPolicy: retryable failures
+// re-enter the queue with a bounded attempt budget, deterministic backoff,
+// and a fresh WorkerContext; straggler cancellations relaunch on another
+// worker; corrupt input is either fatal or quarantined. Attempts of one
+// task never overlap, so exactly one attempt commits into the task's
+// pre-sized output slot — first (and only) committed result wins, keeping
+// stage output byte-identical for any worker count.
 #ifndef SRC_EXEC_TASK_SCHEDULER_H_
 #define SRC_EXEC_TASK_SCHEDULER_H_
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
@@ -39,6 +52,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/exec/fault.h"
 #include "src/runtime/heap.h"
 #include "src/serde/inline_serializer.h"
 #include "src/serde/wellknown.h"
@@ -53,31 +67,88 @@ class WorkerContext {
  public:
   WorkerContext(int worker_id, const HeapConfig& heap_config, KlassRegistry* shared_klasses,
                 MemoryTracker* tracker)
-      : worker_id_(worker_id), heap_(heap_config, shared_klasses), wk_(heap_), serde_(heap_) {
-    heap_.set_memory_tracker(tracker);
+      : worker_id_(worker_id),
+        heap_config_(heap_config),
+        shared_klasses_(shared_klasses),
+        tracker_(tracker) {
+    Recycle();
   }
   WorkerContext(const WorkerContext&) = delete;
   WorkerContext& operator=(const WorkerContext&) = delete;
 
   int worker_id() const { return worker_id_; }
-  Heap& heap() { return heap_; }
-  WellKnown& wk() { return wk_; }
-  InlineSerializer& serde() { return serde_; }
+  Heap& heap() { return *heap_; }
+  WellKnown& wk() { return *wk_; }
+  InlineSerializer& serde() { return *serde_; }
   // Stage-local accumulator; merged into the engine's stats and cleared at
   // every stage barrier.
   EngineStats& stats() { return stats_; }
 
+  // Replaces the heap, WellKnown cache, and serializer with fresh instances
+  // (stats survive). Used between retry attempts so damage from a failed
+  // attempt — dangling roots, a heap poisoned mid-OOM — cannot leak into
+  // the next one. Only the owning worker may call this, between tasks.
+  void Recycle() {
+    serde_.reset();
+    wk_.reset();
+    heap_.reset();
+    heap_ = std::make_unique<Heap>(heap_config_, shared_klasses_);
+    heap_->set_memory_tracker(tracker_);
+    wk_ = std::make_unique<WellKnown>(*heap_);
+    serde_ = std::make_unique<InlineSerializer>(*heap_);
+  }
+
+  // --- Per-attempt state, set by the scheduler before each task attempt ---
+
+  void BeginAttempt(int attempt, int64_t deadline_ms) {
+    attempt_ = attempt;
+    deadline_ms_ = deadline_ms;
+    cancel_.store(false, std::memory_order_relaxed);
+    attempt_start_ = std::chrono::steady_clock::now();
+  }
+  // Attempt number of the running task, starting at 1.
+  int attempt() const { return attempt_; }
+  // Cooperative cancellation probe: true once the attempt is past its
+  // deadline (or was cancelled externally). Long-running task code — the
+  // injected-delay loop in particular — polls this and throws
+  // TaskError{kStraggler} so the scheduler can relaunch elsewhere.
+  bool cancelled() const {
+    if (cancel_.load(std::memory_order_relaxed)) {
+      return true;
+    }
+    if (deadline_ms_ <= 0) {
+      return false;
+    }
+    auto elapsed = std::chrono::steady_clock::now() - attempt_start_;
+    return std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count() >=
+           deadline_ms_;
+  }
+  void RequestCancel() { cancel_.store(true, std::memory_order_relaxed); }
+
  private:
   int worker_id_;
-  Heap heap_;
-  WellKnown wk_;
-  InlineSerializer serde_;
+  HeapConfig heap_config_;
+  KlassRegistry* shared_klasses_;
+  MemoryTracker* tracker_;
+  std::unique_ptr<Heap> heap_;
+  std::unique_ptr<WellKnown> wk_;
+  std::unique_ptr<InlineSerializer> serde_;
   EngineStats stats_;
+
+  int attempt_ = 1;
+  int64_t deadline_ms_ = 0;
+  std::atomic<bool> cancel_{false};
+  std::chrono::steady_clock::time_point attempt_start_{};
 };
 
 class TaskScheduler {
  public:
   // A task: runs one partition's work inside the given worker context.
+  //
+  // Fault-tolerance contract: a task that throws must leave its output slot
+  // released (engines route cleanup through their on_abort teardown), so a
+  // retry starts from a clean slot and a quarantined task contributes no
+  // partial records.
   using Task = std::function<void(WorkerContext& ctx, int task_index)>;
 
   // Creates `num_workers` contexts (and, when num_workers > 1, as many
@@ -91,35 +162,65 @@ class TaskScheduler {
 
   int num_workers() const { return static_cast<int>(contexts_.size()); }
 
-  // Runs tasks [0, num_tasks) across the pool and blocks until all finish
-  // (the stage barrier), then merges worker stats into *stage_stats in
-  // worker order. The first task exception (by task index) is rethrown.
+  // Policy applied by every subsequent RunStage. The default (1 attempt,
+  // fail-fast) reproduces the seed's behavior exactly.
+  void set_retry_policy(const RetryPolicy& policy) { policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return policy_; }
+
+  // Runs tasks [0, num_tasks) across the pool and blocks until every task
+  // is terminal (the stage barrier), then merges worker stats — plus the
+  // stage's retry/relaunch/quarantine counters — into *stage_stats in
+  // worker order. The first task error (by task index) is rethrown.
   // With a single worker the stage runs inline on the calling thread.
   void RunStage(int num_tasks, const Task& task, EngineStats* stage_stats);
 
   // Same submission API and stats merging, but every task runs on the
   // calling thread in task order, inside context 0 — for stages that mutate
-  // a shared single-mutator heap (the kBaseline engine heap).
+  // a shared single-mutator heap (the kBaseline engine heap). Fail-fast:
+  // retries never apply (the shared heap cannot be recycled per attempt).
   void RunStageSerial(int num_tasks, const Task& task, EngineStats* stage_stats);
 
  private:
+  // One queued execution of a task (a retry or a straggler relaunch).
+  struct Attempt {
+    int task = 0;
+    int attempt = 1;          // 1-based
+    int banned_worker = -1;   // straggler relaunch: not on this worker
+    bool fresh_context = false;
+  };
+
   void WorkerLoop(int slot);
-  void RunTasksOn(WorkerContext& ctx);
+  void RunTasksOn(WorkerContext& ctx, int slot);
+  void RunAttempt(WorkerContext& ctx, int task, int attempt, bool fresh_context);
+  // Classifies a failed attempt under mu_: requeue, quarantine, or record
+  // the error. `slot` is the worker the attempt ran on (banned for straggler
+  // relaunches). Returns true if the stage gained new runnable work.
+  bool HandleFailure(int task, int attempt, int slot, std::exception_ptr error);
   void MergeStats(EngineStats* stage_stats);
   void RethrowFirstError();
 
   std::vector<std::unique_ptr<WorkerContext>> contexts_;
   std::vector<std::thread> threads_;
+  RetryPolicy policy_;
 
   std::mutex mu_;
-  std::condition_variable work_cv_;   // workers wait for a stage
+  std::condition_variable work_cv_;   // workers wait for a stage / new retries
   std::condition_variable done_cv_;   // the driver waits for the barrier
   uint64_t stage_gen_ = 0;            // bumped per stage (guarded by mu_)
   bool shutdown_ = false;             // guarded by mu_
   const Task* current_ = nullptr;     // guarded by mu_ (stable during a stage)
   int num_tasks_ = 0;                 // guarded by mu_
+  int next_fresh_ = 0;                // next first-attempt task (guarded by mu_)
+  int tasks_terminal_ = 0;            // committed/quarantined/failed (guarded by mu_)
   int workers_done_ = 0;              // guarded by mu_
-  std::atomic<int> next_task_{0};
+  std::deque<Attempt> retry_queue_;   // guarded by mu_
+  // Per-stage fault-tolerance counters (guarded by mu_), merged into the
+  // stage stats at the barrier. Sums of per-task events, so they are
+  // deterministic for any worker count.
+  int stage_retries_ = 0;
+  int stage_relaunches_ = 0;
+  int stage_quarantined_tasks_ = 0;
+  int64_t stage_quarantined_records_ = 0;
   // (task_index, exception) pairs captured during the stage; guarded by mu_.
   std::vector<std::pair<int, std::exception_ptr>> errors_;
 };

@@ -45,13 +45,15 @@ HadoopEngine::HadoopEngine(const HadoopConfig& config)
       heap_(std::make_unique<Heap>(HeapConfig{config.heap_bytes, config.gc, 0.55, 0.35, 2})),
       wk_(std::make_unique<WellKnown>(*heap_)),
       kryo_(*heap_),
-      inline_serde_(*heap_) {
+      inline_serde_(*heap_),
+      governor_(config.governor_abort_threshold, config.governor_min_tasks) {
   heap_->set_memory_tracker(&memory_);
   // Worker heaps share the engine's class registry (see TaskScheduler); the
   // engine WellKnown above defines the well-known classes first.
   scheduler_ = std::make_unique<TaskScheduler>(
       config.num_workers, HeapConfig{config.heap_bytes, config.gc, 0.55, 0.35, 2},
       &heap_->klasses(), &memory_);
+  scheduler_->set_retry_policy(config.retry_policy());
 }
 
 HadoopEngine::~HadoopEngine() = default;
@@ -67,8 +69,13 @@ void HadoopEngine::RegisterDataType(const Klass* klass) {
 
 DatasetPtr HadoopEngine::Source(const Klass* klass, int64_t count,
                                 const std::function<ObjRef(int64_t, RootScope&)>& make) {
-  return MakeSourceDataset(*heap_, inline_serde_, &memory_, config_.mode, klass,
-                           config_.num_partitions, count, make);
+  DatasetPtr ds = MakeSourceDataset(*heap_, inline_serde_, &memory_, config_.mode, klass,
+                                    config_.num_partitions, count, make);
+  // Seal committed inputs so map tasks verify integrity at stage input.
+  for (NativePartition& part : ds->native_parts) {
+    part.Seal();
+  }
+  return ds;
 }
 
 void HadoopEngine::ResetMetrics() {
@@ -222,6 +229,8 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
     // worker pool; each task spills into its own segment list (the analogue
     // of per-task map output files), merged in task order at the barrier so
     // the reduce input is identical for every worker count.
+    const bool map_speculate = governor_.ShouldSpeculate();
+    const int map_aborts_before = stats_.aborts;
     std::vector<std::vector<Segment>> task_segments(static_cast<size_t>(map_tasks));
     scheduler_->RunStage(
         map_tasks,
@@ -302,6 +311,8 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
           io.input = &input->native_parts[static_cast<size_t>(task)];
           io.task_ordinal = map_base + task;
           io.faults = faults;
+          io.attempt = ctx.attempt();
+          io.cancelled = [&ctx] { return ctx.cancelled(); };
           io.emit_native = [&](int64_t addr, const Klass* klass, Interpreter& interp,
                                BuilderStore& builders) {
             ShuffleKey k =
@@ -342,18 +353,33 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
             local_segments.clear();
             skip_combiner = true;
           };
-          SpecOutcome outcome = exec.RunTaskIo(io, ctx.stats().times);
-          {
-            ComputePhaseScope compute(ctx.stats().times);
-            spill();
-          }
-          if (!outcome.committed_fast_path) {
-            ctx.stats().aborts += outcome.aborts;
+          if (map_speculate) {
+            SpecOutcome outcome = exec.RunTaskIo(io, ctx.stats().times);
+            {
+              ComputePhaseScope compute(ctx.stats().times);
+              spill();
+            }
+            if (!outcome.committed_fast_path) {
+              ctx.stats().aborts += outcome.aborts;
+            } else {
+              ctx.stats().fast_path_commits += 1;
+            }
           } else {
-            ctx.stats().fast_path_commits += 1;
+            // Governor-degraded: skip speculation, run the original program
+            // directly (emits route through the same spill machinery).
+            skip_combiner = true;
+            exec.RunDirectSlowPath(io, ctx.stats().times);
+            {
+              ComputePhaseScope compute(ctx.stats().times);
+              spill();
+            }
+            ctx.stats().slow_path_direct += 1;
           }
         },
         &stats_);
+    if (map_speculate) {
+      ObserveSpeculation(map_tasks, stats_.aborts - map_aborts_before);
+    }
     for (auto& list : task_segments) {
       for (Segment& segment : list) {
         segments.push_back(std::move(segment));
@@ -451,6 +477,8 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
   }
 
   // Gerenuk reduce: one task per reducer, fanned out to the worker pool.
+  const bool reduce_speculate = governor_.ShouldSpeculate();
+  const int reduce_aborts_before = stats_.aborts;
   scheduler_->RunStage(
       reducers,
       [&](WorkerContext& ctx, int r) {
@@ -477,7 +505,8 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
           auto size_of = [r](const SegRef& ref) {
             return ref.segment->native[static_cast<size_t>(r)].record_size(ref.index);
           };
-          try {
+          bool fast_ok = reduce_speculate;
+          if (reduce_speculate) try {
             int64_t acc = addr_of(refs[i]);
             uint32_t acc_size = size_of(refs[i]);
             for (size_t v = i + 1; v < j; ++v) {
@@ -493,6 +522,9 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
           } catch (const SerAbort&) {
             // Re-execute this group on the slow path, inside the same worker.
             ctx.stats().aborts += 1;
+            fast_ok = false;
+          }
+          if (!fast_ok) {
             builders.Clear();
             RootScope scope(ctx.heap());
             size_t acc = 0;
@@ -517,9 +549,16 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
           }
           i = j;
         }
+        if (!reduce_speculate) {
+          ctx.stats().slow_path_direct += 1;
+        }
+        out_part.Seal();
         ctx.heap().set_phase_times(nullptr);
       },
       &stats_);
+  if (reduce_speculate) {
+    ObserveSpeculation(reducers, stats_.aborts - reduce_aborts_before);
+  }
   return out;
 }
 

@@ -75,6 +75,10 @@ class HadoopEngine {
   FaultPlan& fault_plan() { return fault_plan_; }
   int64_t next_task_ordinal() const { return task_seq_; }
 
+  // Driver-side speculation governor, shared semantics with SparkEngine
+  // (see src/exec/fault.h): both the map and reduce phases consult it.
+  const SpeculationGovernor& governor() const { return governor_; }
+
  private:
   // One spilled, sorted map-output segment. Per reducer partition: records
   // in key order. Baseline keeps Kryo bytes; Gerenuk keeps native records.
@@ -104,7 +108,14 @@ class HadoopEngine {
   std::unique_ptr<TaskScheduler> scheduler_;
   EngineStats stats_;
   FaultPlan fault_plan_;
+  SpeculationGovernor governor_;
   int64_t task_seq_ = 0;
+
+  void ObserveSpeculation(int tasks, int aborts_delta) {
+    if (governor_.Observe(tasks, aborts_delta)) {
+      stats_.governor_flips += 1;
+    }
+  }
 };
 
 }  // namespace gerenuk

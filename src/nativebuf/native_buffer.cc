@@ -17,11 +17,15 @@ NativePartition& NativePartition::operator=(NativePartition&& other) noexcept {
     chunk_capacity_ = other.chunk_capacity_;
     bytes_used_ = other.bytes_used_;
     records_ = std::move(other.records_);
+    sealed_ = other.sealed_;
+    checksum_ = other.checksum_;
     other.chunks_.clear();
     other.chunk_used_ = 0;
     other.chunk_capacity_ = 0;
     other.bytes_used_ = 0;
     other.records_.clear();
+    other.sealed_ = false;
+    other.checksum_ = 0;
   }
   return *this;
 }
@@ -35,6 +39,8 @@ void NativePartition::Release() {
   chunk_capacity_ = 0;
   bytes_used_ = 0;
   records_.clear();
+  sealed_ = false;
+  checksum_ = 0;
 }
 
 uint8_t* NativePartition::Allocate(size_t n) {
@@ -54,6 +60,7 @@ uint8_t* NativePartition::Allocate(size_t n) {
 }
 
 uint8_t* NativePartition::ReserveRecord(uint32_t body_size, int64_t* body_addr) {
+  sealed_ = false;  // mutation invalidates the integrity seal
   uint8_t* slot = Allocate(4 + static_cast<size_t>(body_size));
   std::memcpy(slot, &body_size, sizeof(body_size));
   *body_addr = reinterpret_cast<int64_t>(slot + 4);
@@ -74,6 +81,34 @@ uint32_t NativePartition::record_size(size_t i) const {
   return size;
 }
 
+uint64_t NativePartition::ComputeChecksum() const {
+  // FNV-1a over each record's size prefix and body. Linear in the bytes,
+  // paid once at commit and once per stage read — noise next to the
+  // interpreter's per-record cost.
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](const uint8_t* p, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+  };
+  for (size_t i = 0; i < records_.size(); ++i) {
+    uint32_t size = record_size(i);
+    mix(reinterpret_cast<const uint8_t*>(&size), sizeof(size));
+    mix(reinterpret_cast<const uint8_t*>(records_[i]), size);
+  }
+  return h;
+}
+
+void NativePartition::Seal() {
+  checksum_ = ComputeChecksum();
+  sealed_ = true;
+}
+
+bool NativePartition::VerifyChecksum() const {
+  return !sealed_ || ComputeChecksum() == checksum_;
+}
+
 void NativePartition::SerializeTo(ByteBuffer& out) const {
   out.WriteU32(static_cast<uint32_t>(records_.size()));
   for (size_t i = 0; i < records_.size(); ++i) {
@@ -81,6 +116,7 @@ void NativePartition::SerializeTo(ByteBuffer& out) const {
     out.WriteU32(size);
     out.WriteBytes(reinterpret_cast<const uint8_t*>(records_[i]), size);
   }
+  out.WriteU64(sealed_ ? checksum_ : ComputeChecksum());
 }
 
 NativePartition NativePartition::Parse(ByteReader& in, MemoryTracker* tracker) {
@@ -92,6 +128,11 @@ NativePartition NativePartition::Parse(ByteReader& in, MemoryTracker* tracker) {
     uint8_t* dst = partition.ReserveRecord(size, &addr);
     in.ReadBytes(dst, size);
   }
+  // Adopt the sender's seal; verification is deferred to the stage-input
+  // boundary so a mismatch surfaces as a quarantinable TaskError, not a
+  // parse crash.
+  partition.checksum_ = in.ReadU64();
+  partition.sealed_ = true;
   return partition;
 }
 

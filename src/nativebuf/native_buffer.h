@@ -47,9 +47,22 @@ class NativePartition {
   const std::vector<int64_t>& records() const { return records_; }
   int64_t bytes_used() const { return bytes_used_; }
 
-  // Shuffle-wire form: [count:u32]([size:u32][body])*. Writing and parsing
-  // are byte copies — the native format IS the wire format, which is why
-  // Gerenuk pays no serialization at shuffle boundaries.
+  // --- Integrity (see DESIGN.md "Fault model & recovery") ---
+  // A partition is sealed when its producer commits it: Seal records a
+  // checksum over every record's size and body. Consumers verify at the
+  // stage-input boundary; a mismatch means the bytes rotted after commit —
+  // an error no re-execution can repair. Appending unseals.
+  void Seal();
+  bool sealed() const { return sealed_; }
+  uint64_t checksum() const { return checksum_; }
+  // True if the partition is unsealed or its bytes still match the seal.
+  bool VerifyChecksum() const;
+
+  // Shuffle-wire form: [count:u32]([size:u32][body])*[checksum:u64]. Writing
+  // and parsing are byte copies — the native format IS the wire format,
+  // which is why Gerenuk pays no serialization at shuffle boundaries. The
+  // trailing checksum carries the integrity seal across the wire: Parse
+  // returns a sealed partition (verified lazily at stage input, not here).
   void SerializeTo(ByteBuffer& out) const;
   static NativePartition Parse(ByteReader& in, MemoryTracker* tracker = nullptr);
 
@@ -59,6 +72,7 @@ class NativePartition {
  private:
   static constexpr size_t kChunkSize = 256 * 1024;
   uint8_t* Allocate(size_t n);
+  uint64_t ComputeChecksum() const;
 
   MemoryTracker* tracker_ = nullptr;
   std::vector<std::unique_ptr<uint8_t[]>> chunks_;
@@ -66,6 +80,8 @@ class NativePartition {
   size_t chunk_capacity_ = 0;   // capacity of the last chunk
   int64_t bytes_used_ = 0;
   std::vector<int64_t> records_;  // body addresses
+  bool sealed_ = false;
+  uint64_t checksum_ = 0;
 };
 
 // ---------------------------------------------------------------------------

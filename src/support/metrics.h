@@ -182,6 +182,14 @@ struct EngineStats {
   int stages_compiled = 0;
   int64_t shuffle_bytes = 0;
   int64_t combine_calls = 0;
+  // Fault tolerance (see DESIGN.md "Fault model & recovery"). All are sums
+  // of per-task events, deterministic for any worker count.
+  int retries = 0;               // failed attempts that were requeued
+  int straggler_relaunches = 0;  // deadline cancellations relaunched elsewhere
+  int quarantined_tasks = 0;     // poisoned partitions skipped (kSkip policy)
+  int64_t quarantined_records = 0;
+  int governor_flips = 0;        // speculation-governor off switches (driver)
+  int slow_path_direct = 0;      // tasks routed straight to the slow path
   TransformStats transform;  // accumulated compiler statistics (driver-side)
 
   EngineStats& operator+=(const EngineStats& o) {
@@ -195,6 +203,12 @@ struct EngineStats {
     stages_compiled += o.stages_compiled;
     shuffle_bytes += o.shuffle_bytes;
     combine_calls += o.combine_calls;
+    retries += o.retries;
+    straggler_relaunches += o.straggler_relaunches;
+    quarantined_tasks += o.quarantined_tasks;
+    quarantined_records += o.quarantined_records;
+    governor_flips += o.governor_flips;
+    slow_path_direct += o.slow_path_direct;
     transform += o.transform;
     return *this;
   }

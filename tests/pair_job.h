@@ -1,0 +1,152 @@
+// Shared engine-level test fixture: the Pair{key:i64, value:f64} workload,
+// usable with either engine, plus the worker counts and byte-dump helper the
+// determinism tests sweep over. Used by scheduler_test.cc (scheduler
+// determinism) and fault_tolerance_test.cc (fault recovery determinism).
+#ifndef TESTS_PAIR_JOB_H_
+#define TESTS_PAIR_JOB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/dataflow/spark.h"
+#include "src/ir/builder.h"
+#include "src/mapreduce/hadoop.h"
+
+namespace gerenuk {
+
+constexpr int kWorkerCounts[] = {1, 2, 8};
+
+// The shared Pair{key:i64, value:f64} workload, usable with either engine.
+template <typename Engine, typename Config>
+struct PairJob {
+  Engine engine;
+  const Klass* pair;
+  const Klass* pair_array;
+  SerProgram udfs;
+  const Function* double_value;   // map: value *= 2
+  const Function* explode;        // flatMap: -> [ (key, v), (key+1000, v) ]
+  const Function* get_key;        // key extractor
+  const Function* sum_values;     // reduce: (a, b) -> (a.key, a.v + b.v)
+
+  explicit PairJob(const Config& config) : engine(config) {
+    KlassRegistry& reg = engine.heap().klasses();
+    pair = reg.DefineClass("Pair", {
+                                       {"key", FieldKind::kI64, nullptr, 0},
+                                       {"value", FieldKind::kF64, nullptr, 0},
+                                   });
+    engine.RegisterDataType(pair);
+    pair_array = reg.Find("Pair[]");
+
+    {
+      Function* f = udfs.AddFunction("double_value");
+      FunctionBuilder b(f);
+      int rec = b.Param("rec", IrType::Ref(pair));
+      f->return_type = IrType::Ref(pair);
+      int k = b.FieldLoad(rec, pair, "key");
+      int v = b.FieldLoad(rec, pair, "value");
+      int out = b.NewObject(pair);
+      b.FieldStore(out, pair, "key", k);
+      int two = b.ConstF(2.0);
+      b.FieldStore(out, pair, "value", b.BinOp(BinOpKind::kMul, v, two));
+      b.Return(out);
+      b.Done();
+      double_value = f;
+    }
+    {
+      Function* f = udfs.AddFunction("explode");
+      FunctionBuilder b(f);
+      int rec = b.Param("rec", IrType::Ref(pair));
+      f->return_type = IrType::Ref(pair_array);
+      int k = b.FieldLoad(rec, pair, "key");
+      int v = b.FieldLoad(rec, pair, "value");
+      int two = b.ConstI(2);
+      int arr = b.NewArray(pair_array, two);
+      int first = b.NewObject(pair);
+      b.FieldStore(first, pair, "key", k);
+      b.FieldStore(first, pair, "value", v);
+      b.ArrayStore(arr, b.ConstI(0), first);
+      int second = b.NewObject(pair);
+      int offset = b.ConstI(1000);
+      b.FieldStore(second, pair, "key", b.BinOp(BinOpKind::kAdd, k, offset));
+      b.FieldStore(second, pair, "value", v);
+      b.ArrayStore(arr, b.ConstI(1), second);
+      b.Return(arr);
+      b.Done();
+      explode = f;
+    }
+    {
+      Function* f = udfs.AddFunction("get_key");
+      FunctionBuilder b(f);
+      int rec = b.Param("rec", IrType::Ref(pair));
+      f->return_type = IrType::I64();
+      b.Return(b.FieldLoad(rec, pair, "key"));
+      b.Done();
+      get_key = f;
+    }
+    {
+      Function* f = udfs.AddFunction("sum_values");
+      FunctionBuilder b(f);
+      int a = b.Param("a", IrType::Ref(pair));
+      int c = b.Param("b", IrType::Ref(pair));
+      f->return_type = IrType::Ref(pair);
+      int out = b.NewObject(pair);
+      b.FieldStore(out, pair, "key", b.FieldLoad(a, pair, "key"));
+      int sum = b.BinOp(BinOpKind::kAdd, b.FieldLoad(a, pair, "value"),
+                        b.FieldLoad(c, pair, "value"));
+      b.FieldStore(out, pair, "value", sum);
+      b.Return(out);
+      b.Done();
+      sum_values = f;
+    }
+  }
+
+  DatasetPtr MakeInput(int64_t count) {
+    const Klass* k = pair;
+    Heap* h = &engine.heap();
+    return engine.Source(pair, count, [h, k](int64_t i, RootScope&) {
+      ObjRef rec = h->AllocObject(k);
+      h->SetPrim<int64_t>(rec, k->FindField("key")->offset, i % 10);
+      h->SetPrim<double>(rec, k->FindField("value")->offset, (i % 7) - 3.0);
+      return rec;
+    });
+  }
+};
+
+using SparkJob = PairJob<SparkEngine, SparkConfig>;
+using HadoopJob = PairJob<HadoopEngine, HadoopConfig>;
+
+inline SparkConfig SparkWith(int workers) {
+  SparkConfig config;
+  config.mode = EngineMode::kGerenuk;
+  config.heap_bytes = 24u << 20;
+  config.num_partitions = 4;
+  config.num_workers = workers;
+  return config;
+}
+
+inline HadoopConfig HadoopWith(int workers) {
+  HadoopConfig config;
+  config.mode = EngineMode::kGerenuk;
+  config.heap_bytes = 24u << 20;
+  config.num_partitions = 4;
+  config.num_workers = workers;
+  config.num_reducers = 3;
+  config.sort_buffer_bytes = 1u << 14;  // force several spills per map task
+  return config;
+}
+
+// Concatenated record bytes of a Gerenuk dataset, partition by partition.
+inline std::vector<uint8_t> DatasetBytes(const DatasetPtr& ds) {
+  std::vector<uint8_t> bytes;
+  for (const NativePartition& part : ds->native_parts) {
+    for (size_t r = 0; r < part.record_count(); ++r) {
+      const uint8_t* p = reinterpret_cast<const uint8_t*>(part.record_addr(r));
+      bytes.insert(bytes.end(), p, p + part.record_size(r));
+    }
+  }
+  return bytes;
+}
+
+}  // namespace gerenuk
+
+#endif  // TESTS_PAIR_JOB_H_

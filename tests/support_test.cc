@@ -199,8 +199,8 @@ TEST(MetricsTest, ScopedPhaseChargesPhase) {
   PhaseTimes times;
   {
     ScopedPhase scope(times, Phase::kDeserialize);
-    volatile int sink = 0;
-    for (int i = 0; i < 100000; ++i) {
+    volatile uint64_t sink = 0;
+    for (uint64_t i = 0; i < 100000; ++i) {
       sink = sink + i;
     }
   }
