@@ -4,9 +4,12 @@
 //     replaces it at shuffle boundaries,
 //   * constant vs symbolic (resolveOffset) native field reads,
 //   * record construction via heap objects vs record builders,
-//   * region (whole-buffer) release vs GC'd reclamation of task data.
+//   * region (whole-buffer) release vs GC'd reclamation of task data,
+//   * fast-path dispatch: tree-walking interpreter vs direct-threaded plan.
 #include <benchmark/benchmark.h>
 
+#include "src/exec/plan.h"
+#include "src/ir/builder.h"
 #include "src/nativebuf/record_builder.h"
 #include "src/runtime/roots.h"
 #include "src/serde/heap_serializer.h"
@@ -163,6 +166,62 @@ void BM_BuilderRecordConstruction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BuilderRecordConstruction)->Arg(10)->Arg(100);
+
+// The per-record UDF shape for the dispatch pair below: a 64-iteration
+// integer loop, so the measured difference is dispatch + operand access,
+// not native-data machinery.
+Function* BuildSpinFunction(SerProgram& prog) {
+  Function* spin = prog.AddFunction("spin");
+  FunctionBuilder b(spin);
+  int n = b.Param("n", IrType::I64());
+  spin->return_type = IrType::I64();
+  int acc = b.Local("acc", IrType::I64());
+  b.AssignTo(acc, b.ConstI(1));
+  int three = b.ConstI(3);
+  int seven = b.ConstI(7);
+  b.For(n, [&](int i) {
+    int t = b.BinOp(BinOpKind::kMul, i, three);
+    int u = b.BinOp(BinOpKind::kXor, t, seven);
+    b.AssignTo(acc, b.BinOp(BinOpKind::kAdd, acc, u));
+  });
+  b.Return(acc);
+  b.Done();
+  return spin;
+}
+
+void BM_InterpreterDispatch(benchmark::State& state) {
+  SerProgram prog;
+  Function* spin = BuildSpinFunction(prog);
+  Heap heap(HeapConfig{16u << 20, GcKind::kGenerational, 0.55, 0.35, 2});
+  WellKnown wk{heap};
+  ExprPool pool;
+  DataStructAnalyzer layouts{pool};
+  Interpreter interp(prog, heap, wk, &layouts, nullptr);
+  const std::vector<Value> args = {Value::I64(64)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interp.CallFunction(spin, args).i);
+  }
+  state.SetItemsProcessed(state.iterations());  // one call = one record
+}
+BENCHMARK(BM_InterpreterDispatch);
+
+void BM_PlanDispatch(benchmark::State& state) {
+  SerProgram prog;
+  Function* spin = BuildSpinFunction(prog);
+  Heap heap(HeapConfig{16u << 20, GcKind::kGenerational, 0.55, 0.35, 2});
+  WellKnown wk{heap};
+  ExprPool pool;
+  DataStructAnalyzer layouts{pool};
+  pool.FoldConstants();
+  std::shared_ptr<const SerPlan> plan = CompilePlan(prog, layouts);
+  PlanExecutor exec(*plan, heap, wk, &layouts, nullptr);
+  const std::vector<Value> args = {Value::I64(64)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec.CallFunction(spin, args).i);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlanDispatch);
 
 void BM_RegionWholesaleRelease(benchmark::State& state) {
   // Task-scoped region: one Release() regardless of record count.

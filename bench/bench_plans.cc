@@ -1,0 +1,312 @@
+// Plan-compiler performance harness. Prints human-readable rows and writes
+// BENCH_plans.json (op mix, records/sec, interpreter-vs-plan ratios) so
+// future PRs can track the perf trajectory machine-readably.
+//
+//   1. Dispatch — the same arithmetic-loop UDF through the tree-walking
+//      Interpreter and the direct-threaded PlanExecutor; pure dispatch cost,
+//      no native data. The acceptance bar is >= 2x records/sec.
+//   2. Stage throughput — a full map stage over Pair records with
+//      use_plan_compiler off/on (what an engine user actually sees).
+//   3. Tiny-record grouping — EXPERIMENTS.md's "limit worth naming":
+//      computation-free grouping over tiny records, baseline vs Gerenuk
+//      interpreter vs Gerenuk plans. The plan path is the fix.
+//   4. Op mix of a representative compiled stage (fusion + folding rates).
+#include <algorithm>
+#include <chrono>
+
+#include "bench/bench_common.h"
+#include "src/dataflow/stage_compiler.h"
+#include "src/exec/plan.h"
+#include "src/ir/builder.h"
+#include "src/workloads/spark_workloads.h"
+
+namespace gerenuk {
+namespace {
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// The dispatch workload: one "record" = one call of a 64-iteration integer
+// loop (~390 interpreted statements), the shape of a per-record UDF body.
+Function* BuildSpin(SerProgram& prog) {
+  Function* spin = prog.AddFunction("spin");
+  FunctionBuilder b(spin);
+  int n = b.Param("n", IrType::I64());
+  spin->return_type = IrType::I64();
+  int acc = b.Local("acc", IrType::I64());
+  b.AssignTo(acc, b.ConstI(1));
+  int three = b.ConstI(3);
+  int seven = b.ConstI(7);
+  b.For(n, [&](int i) {
+    int t = b.BinOp(BinOpKind::kMul, i, three);
+    int u = b.BinOp(BinOpKind::kXor, t, seven);
+    b.AssignTo(acc, b.BinOp(BinOpKind::kAdd, acc, u));
+  });
+  b.Return(acc);
+  b.Done();
+  return spin;
+}
+
+void DispatchExperiment(bench::JsonWriter& json) {
+  bench::PrintHeader("Plans 1: fast-path dispatch, interpreter vs compiled plan");
+  SerProgram prog;
+  Function* spin = BuildSpin(prog);
+  Heap heap(HeapConfig{16u << 20, GcKind::kGenerational, 0.55, 0.35, 2});
+  WellKnown wk{heap};
+  ExprPool pool;
+  DataStructAnalyzer layouts{pool};
+  const std::vector<Value> args = {Value::I64(64)};
+  constexpr int kCalls = 200000;
+
+  // Alternate interpreter/plan rounds and keep each side's best: on a shared
+  // single-core host, best-of filters scheduler interference out of the ratio.
+  constexpr int kRounds = 5;
+  int64_t sum = 0;
+  double interp_rps = 0.0;
+  double plan_rps = 0.0;
+  pool.FoldConstants();
+  std::shared_ptr<const SerPlan> plan = CompilePlan(prog, layouts);
+  Interpreter interp(prog, heap, wk, &layouts, nullptr);
+  PlanExecutor exec(*plan, heap, wk, &layouts, nullptr);
+  for (int i = 0; i < kCalls / 10; ++i) {  // warmup both paths
+    sum += interp.CallFunction(spin, args).i;
+    sum += exec.CallFunction(spin, args).i;
+  }
+  for (int round = 0; round < kRounds; ++round) {
+    // Re-warm after each executor switch: alternating rounds retrain the
+    // indirect-branch predictor, which otherwise taxes whichever side just
+    // took over (the direct-threaded plan loop most of all).
+    for (int i = 0; i < kCalls / 20; ++i) {
+      sum += interp.CallFunction(spin, args).i;
+    }
+    double start = NowMs();
+    for (int i = 0; i < kCalls; ++i) {
+      sum += interp.CallFunction(spin, args).i;
+    }
+    interp_rps = std::max(interp_rps, kCalls / ((NowMs() - start) / 1000.0));
+    for (int i = 0; i < kCalls / 20; ++i) {
+      sum += exec.CallFunction(spin, args).i;
+    }
+    start = NowMs();
+    for (int i = 0; i < kCalls; ++i) {
+      sum += exec.CallFunction(spin, args).i;
+    }
+    plan_rps = std::max(plan_rps, kCalls / ((NowMs() - start) / 1000.0));
+  }
+  GERENUK_CHECK_NE(sum, 0);  // keep the loops observable
+  double ratio = plan_rps / interp_rps;
+  std::printf("spin plan: ops=%lld fused=%lld copies elided=%lld\n",
+              static_cast<long long>(plan->ops_total()),
+              static_cast<long long>(plan->ops_fused()),
+              static_cast<long long>(plan->ops_copies_elided()));
+  for (size_t k = 0; k < static_cast<size_t>(PlanOpCode::kCount); ++k) {
+    if (plan->op_counts()[k] > 0) {
+      std::printf("  %-24s %6lld\n", PlanOpName(static_cast<PlanOpCode>(k)),
+                  static_cast<long long>(plan->op_counts()[k]));
+    }
+  }
+  std::printf("interpreter: %10.0f records/s\n", interp_rps);
+  std::printf("plan:        %10.0f records/s\n", plan_rps);
+  std::printf("plan/interpreter = %.2fx (acceptance bar: >= 2x)\n", ratio);
+
+  json.BeginObject("dispatch");
+  json.Field("interpreter_records_per_sec", interp_rps);
+  json.Field("plan_records_per_sec", plan_rps);
+  json.Field("plan_vs_interpreter", ratio);
+  json.End();
+}
+
+void StageThroughput(bench::JsonWriter& json) {
+  bench::PrintHeader("Plans 2: full map-stage throughput, use_plan_compiler off/on");
+  constexpr int64_t kRecords = 120000;
+  double rps[2];
+  for (bool use_plans : {false, true}) {
+    SparkConfig config;
+    config.mode = EngineMode::kGerenuk;
+    config.heap_bytes = 64u << 20;
+    config.num_partitions = 4;
+    config.use_plan_compiler = use_plans;
+    SparkEngine engine(config);
+    const Klass* pair = engine.heap().klasses().DefineClass(
+        "Pair", {
+                    {"key", FieldKind::kI64, nullptr, 0},
+                    {"value", FieldKind::kF64, nullptr, 0},
+                });
+    engine.RegisterDataType(pair);
+    SerProgram udfs;
+    Function* bump = udfs.AddFunction("bump");
+    {
+      FunctionBuilder b(bump);
+      int rec = b.Param("rec", IrType::Ref(pair));
+      bump->return_type = IrType::Ref(pair);
+      int out = b.NewObject(pair);
+      b.FieldStore(out, pair, "key", b.FieldLoad(rec, pair, "key"));
+      b.FieldStore(out, pair, "value",
+                   b.BinOp(BinOpKind::kMul, b.FieldLoad(rec, pair, "value"), b.ConstF(2.0)));
+      b.Return(out);
+      b.Done();
+    }
+    DatasetPtr input = engine.Source(pair, kRecords, [&](int64_t i, RootScope&) {
+      ObjRef rec = engine.heap().AllocObject(pair);
+      engine.heap().SetPrim<int64_t>(rec, pair->FindField("key")->offset, i % 97);
+      engine.heap().SetPrim<double>(rec, pair->FindField("value")->offset, i * 0.5);
+      return rec;
+    });
+    engine.RunStage(input, udfs, {NarrowOp::Map(bump, pair)});  // warmup
+    engine.ResetMetrics();
+    double start = NowMs();
+    engine.RunStage(input, udfs, {NarrowOp::Map(bump, pair)});
+    double elapsed_s = (NowMs() - start) / 1000.0;
+    rps[use_plans ? 1 : 0] = kRecords / elapsed_s;
+    std::printf("%-12s %10.0f records/s  (%.1fms for %lld records)\n",
+                use_plans ? "plan:" : "interpreter:", rps[use_plans ? 1 : 0],
+                elapsed_s * 1000.0, static_cast<long long>(kRecords));
+  }
+  std::printf("plan/interpreter = %.2fx end-to-end\n", rps[1] / rps[0]);
+
+  json.BeginObject("map_stage");
+  json.Field("records", static_cast<int64_t>(kRecords));
+  json.Field("interpreter_records_per_sec", rps[0]);
+  json.Field("plan_records_per_sec", rps[1]);
+  json.Field("plan_vs_interpreter", rps[1] / rps[0]);
+  json.End();
+}
+
+void TinyRecordGrouping(bench::JsonWriter& json) {
+  bench::PrintHeader(
+      "Plans 3: tiny-record computation-free grouping (EXPERIMENTS.md's limit)");
+  // Ablation 1's clean setting: 800 users x 8 tiny posts, capacity 16 so no
+  // resize violations fire; pure grouping, no computation to amortize.
+  std::vector<SyntheticPost> posts;
+  for (int64_t user = 0; user < 800; ++user) {
+    for (int64_t i = 0; i < 8; ++i) {
+      SyntheticPost post;
+      post.user_id = user;
+      post.text = "post body #" + std::to_string(i);
+      posts.push_back(std::move(post));
+    }
+  }
+  struct Cell {
+    const char* label;
+    EngineMode mode;
+    bool plans;
+    double ms;
+  };
+  Cell cells[] = {
+      {"baseline", EngineMode::kBaseline, false, 0.0},
+      {"gerenuk-interpreter", EngineMode::kGerenuk, false, 0.0},
+      {"gerenuk-plan", EngineMode::kGerenuk, true, 0.0},
+  };
+  for (Cell& cell : cells) {
+    double best = 0.0;
+    for (int round = 0; round < 3; ++round) {  // round 0 is a warmup
+      SparkConfig config;
+      config.mode = cell.mode;
+      config.heap_bytes = 64u << 20;
+      config.num_partitions = 8;
+      config.use_plan_compiler = cell.plans;
+      SparkEngine engine(config);
+      SparkWorkloads workloads(engine);
+      workloads.RunAccountGrouping(posts, /*initial_capacity=*/16);
+      double total = engine.stats().times.TotalMillis();
+      if (round > 0 && (best == 0.0 || total < best)) {
+        best = total;
+      }
+    }
+    cell.ms = best;
+    std::printf("%-22s %7.1fms\n", cell.label, cell.ms);
+  }
+  double interp_ratio = cells[1].ms / cells[0].ms;
+  double plan_ratio = cells[2].ms / cells[0].ms;
+  std::printf("gerenuk/baseline: interpreter %.2fx -> plan %.2fx (1.0 = parity; "
+              "lower is better)\n",
+              interp_ratio, plan_ratio);
+
+  json.BeginObject("tiny_record_grouping");
+  json.Field("baseline_ms", cells[0].ms);
+  json.Field("gerenuk_interpreter_ms", cells[1].ms);
+  json.Field("gerenuk_plan_ms", cells[2].ms);
+  json.Field("interpreter_vs_baseline", interp_ratio);
+  json.Field("plan_vs_baseline", plan_ratio);
+  json.End();
+}
+
+void OpMix(bench::JsonWriter& json) {
+  bench::PrintHeader("Plans 4: op mix of a compiled map stage");
+  Heap heap(HeapConfig{16u << 20, GcKind::kGenerational, 0.55, 0.35, 2});
+  KlassRegistry& reg = heap.klasses();
+  const Klass* pair = reg.DefineClass("Pair", {
+                                                  {"key", FieldKind::kI64, nullptr, 0},
+                                                  {"value", FieldKind::kF64, nullptr, 0},
+                                              });
+  ExprPool pool;
+  DataStructAnalyzer layouts{pool};
+  std::string error;
+  GERENUK_CHECK(layouts.AnalyzeTopLevel(pair, &error)) << error;
+  SerProgram udfs;
+  Function* bump = udfs.AddFunction("bump");
+  {
+    FunctionBuilder b(bump);
+    int rec = b.Param("rec", IrType::Ref(pair));
+    bump->return_type = IrType::Ref(pair);
+    int out = b.NewObject(pair);
+    b.FieldStore(out, pair, "key", b.FieldLoad(rec, pair, "key"));
+    b.FieldStore(out, pair, "value",
+                 b.BinOp(BinOpKind::kAdd, b.FieldLoad(rec, pair, "value"), b.ConstF(1.0)));
+    b.Return(out);
+    b.Done();
+  }
+  TransformStats tstats;
+  StagePrograms stage = CompileNarrowStage(EngineMode::kGerenuk, layouts, pair, udfs,
+                                           {NarrowOp::Map(bump, pair)}, false, nullptr,
+                                           &tstats, reg);
+  pool.FoldConstants();
+  std::shared_ptr<const SerPlan> plan = CompilePlan(*stage.transformed, layouts);
+  std::printf("ops=%lld fused=%lld copies elided=%lld offsets folded=%lld symbolic=%lld\n",
+              static_cast<long long>(plan->ops_total()),
+              static_cast<long long>(plan->ops_fused()),
+              static_cast<long long>(plan->ops_copies_elided()),
+              static_cast<long long>(plan->offsets_folded()),
+              static_cast<long long>(plan->offsets_symbolic()));
+
+  json.BeginObject("op_mix");
+  json.Field("ops_total", plan->ops_total());
+  json.Field("ops_fused", plan->ops_fused());
+  json.Field("ops_copies_elided", plan->ops_copies_elided());
+  json.Field("offsets_folded", plan->offsets_folded());
+  json.Field("offsets_symbolic", plan->offsets_symbolic());
+  json.BeginArray("ops");
+  for (size_t i = 0; i < static_cast<size_t>(PlanOpCode::kCount); ++i) {
+    if (plan->op_counts()[i] == 0) {
+      continue;
+    }
+    PlanOpCode code = static_cast<PlanOpCode>(i);
+    std::printf("  %-22s %4lld\n", PlanOpName(code),
+                static_cast<long long>(plan->op_counts()[i]));
+    json.BeginObject();
+    json.Field("op", PlanOpName(code));
+    json.Field("count", plan->op_counts()[i]);
+    json.End();
+  }
+  json.End();
+  json.End();
+}
+
+}  // namespace
+}  // namespace gerenuk
+
+int main() {
+  gerenuk::bench::JsonWriter json("BENCH_plans.json");
+  GERENUK_CHECK(json.ok()) << "cannot open BENCH_plans.json for writing";
+  json.BeginObject();
+  gerenuk::DispatchExperiment(json);
+  gerenuk::StageThroughput(json);
+  gerenuk::TinyRecordGrouping(json);
+  gerenuk::OpMix(json);
+  json.End();
+  std::printf("\nwrote BENCH_plans.json\n");
+  return 0;
+}

@@ -14,6 +14,21 @@ int64_t ExprPool::Eval(int id, const std::function<int32_t(int64_t)>& read_i32) 
   return result;
 }
 
+void ExprPool::FoldConstants() {
+  folded_.resize(exprs_.size());
+  for (size_t id = 0; id < exprs_.size(); ++id) {
+    const SizeExpr& expr = exprs_[id];
+    bool is_const = true;
+    for (const SizeExpr::Term& term : expr.terms) {
+      if (term.scale != 0) {
+        is_const = false;
+        break;
+      }
+    }
+    folded_[id] = Folded{is_const, expr.constant};
+  }
+}
+
 std::string ExprPool::ToString(int id) const {
   const SizeExpr& expr = Get(id);
   std::ostringstream out;

@@ -68,10 +68,35 @@ class ExprPool {
   // `read_i32(base + offset)`. This is the runtime's resolveOffset.
   int64_t Eval(int id, const std::function<int32_t(int64_t)>& read_i32) const;
 
+  // One-time constant-folding pass: marks every expression whose value does
+  // not depend on record bytes (no terms, or only zero-scale terms) so
+  // ResolveOffset and the plan compiler can skip the tree walk. Idempotent;
+  // re-run it after the pool grows (analyzing a new top-level type adds
+  // expressions). Eval() stays unfolded — it is the reference evaluator the
+  // agreement test compares against.
+  void FoldConstants();
+
+  // True when FoldConstants() proved `id` reduces to a compile-time
+  // constant; `*value` receives it. Ids added after the last fold pass
+  // report false (conservative, never wrong).
+  bool FoldedConstant(int id, int64_t* value) const {
+    if (id < 0 || id >= static_cast<int>(folded_.size()) || !folded_[static_cast<size_t>(id)].is_const) {
+      return false;
+    }
+    *value = folded_[static_cast<size_t>(id)].value;
+    return true;
+  }
+
   std::string ToString(int id) const;
 
  private:
+  struct Folded {
+    bool is_const = false;
+    int64_t value = 0;
+  };
+
   std::vector<SizeExpr> exprs_;
+  std::vector<Folded> folded_;
 };
 
 // Where one declared field's data lives inside its containing record body.

@@ -60,17 +60,25 @@ DatasetPtr MakeSourceDataset(Heap& heap, InlineSerializer& serde, MemoryTracker*
   return dataset;
 }
 
-ShuffleKey EvalShuffleKey(Interpreter& interp, const Function* key_fn, Value record,
+ShuffleKey EvalShuffleKey(SerRunner& runner, const Function* key_fn, Value record,
                           bool is_string) {
   ShuffleKey key;
-  key.is_string = is_string;
-  Value v = interp.CallFunction(key_fn, {record});
-  if (is_string) {
-    interp.ReadStringBytes(v, &key.s);
-  } else {
-    key.i = v.tag == ValueTag::kF64 ? static_cast<int64_t>(v.d) : v.i;
-  }
+  EvalShuffleKeyInto(runner, key_fn, record, is_string, &key);
   return key;
+}
+
+bool EvalShuffleKeyInto(SerRunner& runner, const Function* key_fn, Value record,
+                        bool is_string, ShuffleKey* key) {
+  key->is_string = is_string;
+  Value v = runner.CallFunction(key_fn, {record});
+  if (is_string) {
+    size_t capacity_before = key->s.capacity();
+    runner.ReadStringBytes(v, &key->s);
+    return key->s.capacity() == capacity_before;
+  }
+  key->s.clear();
+  key->i = v.tag == ValueTag::kF64 ? static_cast<int64_t>(v.d) : v.i;
+  return false;
 }
 
 }  // namespace gerenuk

@@ -71,10 +71,18 @@ struct ShuffleKey {
   };
 };
 
-// Evaluates `key_fn` on `record` inside `interp` (which must be able to
+// Evaluates `key_fn` on `record` inside `runner` (which must be able to
 // execute the function: matching path, self-contained body).
-ShuffleKey EvalShuffleKey(Interpreter& interp, const Function* key_fn, Value record,
+ShuffleKey EvalShuffleKey(SerRunner& runner, const Function* key_fn, Value record,
                           bool is_string);
+
+// Scratch-reusing variant: overwrites `*key` in place instead of building a
+// fresh ShuffleKey. Returns true when the reuse avoided a string-buffer
+// allocation (the scratch capacity already covered the key's bytes) — the
+// engines count these into EngineStats::key_allocs_saved. Integer keys
+// involve no allocation and return false.
+bool EvalShuffleKeyInto(SerRunner& runner, const Function* key_fn, Value record,
+                        bool is_string, ShuffleKey* key);
 
 }  // namespace gerenuk
 

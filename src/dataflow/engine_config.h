@@ -34,6 +34,12 @@ struct EngineConfig {
   int64_t retry_backoff_ms = 0;
   // Per-attempt deadline (cooperative); 0 disables straggler detection.
   int64_t task_deadline_ms = 0;
+  // Lower transformed SERs to flat direct-threaded plans (SerPlan) and run
+  // the fast path through the PlanExecutor with batched record channels.
+  // Off: the tree-walking Interpreter runs the fast path (the reference
+  // implementation — also the abort/slow-path fallback either way). Output
+  // bytes are identical in both settings; see tests/plan_test.cc.
+  bool use_plan_compiler = true;
   // What happens to a task whose input fails its integrity checksum.
   QuarantinePolicy quarantine = QuarantinePolicy::kFailFast;
 

@@ -132,12 +132,26 @@ SparkEngine::CompiledStage SparkEngine::CompileStage(const Klass* in_klass,
                                            heap_->klasses());
   if (config_.mode == EngineMode::kGerenuk) {
     stats_.stages_compiled += 1;
+    if (config_.use_plan_compiler && stage.transformed != nullptr) {
+      // The transformer may have grown the offset-expression pool; re-fold
+      // before lowering so every now-constant expression becomes an immediate.
+      pool_.FoldConstants();
+      stage.plan = CompilePlan(*stage.transformed, layouts_);
+      stats_.plans_compiled += 1;
+    }
   }
   return stage;
 }
 
 SparkEngine::CompiledFn SparkEngine::CompileFn(const SerProgram& udfs, const Function* fn) {
-  return CompileSingleFunction(config_.mode, layouts_, udfs, fn, &stats_.transform);
+  CompiledFn compiled = CompileSingleFunction(config_.mode, layouts_, udfs, fn, &stats_.transform);
+  if (config_.mode == EngineMode::kGerenuk && config_.use_plan_compiler &&
+      compiled.transformed != nullptr) {
+    pool_.FoldConstants();
+    compiled.plan = CompilePlan(*compiled.transformed, layouts_);
+    stats_.plans_compiled += 1;
+  }
+  return compiled;
 }
 
 // ---------------------------------------------------------------------------
@@ -211,11 +225,12 @@ DatasetPtr SparkEngine::RunNarrowGerenuk(const DatasetPtr& input, const Compiled
         io.cancelled = [&ctx] { return ctx.cancelled(); };
         TaskBroadcast bc(ctx, broadcast);
         bc.Bind(&io);
-        io.emit_native = [&out_part](int64_t addr, const Klass* klass, Interpreter&,
+        io.plan = stage.plan.get();
+        io.emit_native = [&out_part](int64_t addr, const Klass* klass, SerRunner&,
                                      BuilderStore& builders) {
           builders.Render(addr, klass, out_part);
         };
-        io.emit_heap = [&ctx, &out_part](ObjRef ref, const Klass* klass, Interpreter&) {
+        io.emit_heap = [&ctx, &out_part](ObjRef ref, const Klass* klass, SerRunner&) {
           ScopedPhase phase(ctx.stats().times, Phase::kSerialize);
           ByteBuffer body;
           ctx.serde().WriteRecord(ref, klass, body);
@@ -335,24 +350,34 @@ void SparkEngine::ShuffleGerenuk(const DatasetPtr& input, const CompiledStage& s
         io.cancelled = [&ctx] { return ctx.cancelled(); };
         TaskBroadcast bc(ctx, broadcast);
         bc.Bind(&io);
-        io.emit_native = [&ctx, &key_fn, &key, &task_buckets, &hasher](int64_t addr,
-                                                                       const Klass* klass,
-                                                                       Interpreter& interp,
-                                                                       BuilderStore& builders) {
+        io.plan = stage.plan.get();
+        if (key_fn.plan != nullptr) {
+          io.extra_plans.push_back(key_fn.plan.get());
+        }
+        // Per-task scratch key: the string buffer survives across records,
+        // so steady-state extractions allocate nothing.
+        auto scratch = std::make_shared<ShuffleKeyValue>();
+        io.emit_native = [&ctx, &key_fn, &key, &task_buckets, &hasher, scratch](
+                             int64_t addr, const Klass* klass, SerRunner& runner,
+                             BuilderStore& builders) {
           // Key extraction runs the transformed key function directly over
           // the emitted record (committed bytes or builder).
-          ShuffleKeyValue k =
-              EvalShuffleKey(interp, key_fn.fast_fn, Value::Addr(addr), key.is_string);
-          size_t b = hasher(k) % task_buckets.size();
+          if (EvalShuffleKeyInto(runner, key_fn.fast_fn, Value::Addr(addr), key.is_string,
+                                 scratch.get())) {
+            ctx.stats().key_allocs_saved += 1;
+          }
+          size_t b = hasher(*scratch) % task_buckets.size();
           int64_t before = task_buckets[b].bytes_used();
           builders.Render(addr, klass, task_buckets[b]);
           ctx.stats().shuffle_bytes += task_buckets[b].bytes_used() - before;
         };
-        io.emit_heap = [&ctx, &key_fn, &key, &task_buckets, &hasher](ObjRef ref,
-                                                                     const Klass* klass,
-                                                                     Interpreter& interp) {
-          ShuffleKeyValue k = EvalShuffleKey(interp, key_fn.orig_fn,
-                                             Value::Ref(static_cast<int64_t>(ref)), key.is_string);
+        io.emit_heap = [&ctx, &key_fn, &key, &task_buckets, &hasher, scratch](
+                           ObjRef ref, const Klass* klass, SerRunner& runner) {
+          if (EvalShuffleKeyInto(runner, key_fn.orig_fn, Value::Ref(static_cast<int64_t>(ref)),
+                                 key.is_string, scratch.get())) {
+            ctx.stats().key_allocs_saved += 1;
+          }
+          const ShuffleKeyValue& k = *scratch;
           size_t b = hasher(k) % task_buckets.size();
           ScopedPhase phase(ctx.stats().times, Phase::kSerialize);
           ByteBuffer body;
@@ -474,8 +499,10 @@ DatasetPtr SparkEngine::ReduceByKey(const DatasetPtr& input, const SerProgram& u
         bool fast_ok = speculate;
         if (speculate) try {
           BuilderStore builders(layouts_);
-          Interpreter reduce_interp(*reduce_c.transformed, ctx.heap(), ctx.wk(), &layouts_,
-                                    &builders);
+          std::unique_ptr<SerRunner> reduce_runner = MakeFastRunner(
+              reduce_c.plan.get(), *reduce_c.transformed, ctx.heap(), ctx.wk(), &layouts_,
+              &builders, {key_c.plan.get()});
+          SerRunner& reduce_interp = *reduce_runner;
           ComputePhaseScope compute(ctx.stats().times);
           struct Entry {
             int64_t addr;
@@ -487,12 +514,15 @@ DatasetPtr SparkEngine::ReduceByKey(const DatasetPtr& input, const SerProgram& u
           // management in miniature.
           NativePartition scratch(&memory_);
           int64_t live_bytes = 0;
+          ShuffleKeyValue scratch_key;
           for_each_record([&](int64_t addr, uint32_t size) {
-            ShuffleKeyValue k =
-                EvalShuffleKey(reduce_interp, key_c.fast_fn, Value::Addr(addr), key.is_string);
-            auto it = agg.find(k);
+            if (EvalShuffleKeyInto(reduce_interp, key_c.fast_fn, Value::Addr(addr),
+                                   key.is_string, &scratch_key)) {
+              ctx.stats().key_allocs_saved += 1;
+            }
+            auto it = agg.find(scratch_key);
             if (it == agg.end()) {
-              agg.emplace(std::move(k), Entry{addr, static_cast<int64_t>(size)});
+              agg.emplace(scratch_key, Entry{addr, static_cast<int64_t>(size)});
               live_bytes += size;
             } else {
               Value merged = reduce_interp.CallFunction(
@@ -678,25 +708,33 @@ DatasetPtr SparkEngine::JoinByKey(const DatasetPtr& left, const KeySpec& left_ke
         ctx.stats().tasks_run += 1;
         NativePartition& out_part = out->native_parts[static_cast<size_t>(p)];
         BuilderStore builders(layouts_);
-        Interpreter interp(*combine.transformed, ctx.heap(), ctx.wk(), &layouts_, &builders);
+        std::unique_ptr<SerRunner> runner =
+            MakeFastRunner(combine.plan.get(), *combine.transformed, ctx.heap(), ctx.wk(),
+                           &layouts_, &builders, {lkey.plan.get(), rkey.plan.get()});
+        SerRunner& interp = *runner;
         ComputePhaseScope compute(ctx.stats().times);
         std::unordered_map<ShuffleKeyValue, std::vector<int64_t>, ShuffleKeyHash> table;
+        ShuffleKeyValue scratch_key;
         for (auto& task_buckets : lb) {
           NativePartition& lpart = task_buckets[static_cast<size_t>(p)];
           for (size_t r = 0; r < lpart.record_count(); ++r) {
             int64_t addr = lpart.record_addr(r);
-            ShuffleKeyValue k =
-                EvalShuffleKey(interp, lkey.fast_fn, Value::Addr(addr), left_key.is_string);
-            table[k].push_back(addr);
+            if (EvalShuffleKeyInto(interp, lkey.fast_fn, Value::Addr(addr), left_key.is_string,
+                                   &scratch_key)) {
+              ctx.stats().key_allocs_saved += 1;
+            }
+            table[scratch_key].push_back(addr);
           }
         }
         for (auto& task_buckets : rb) {
           NativePartition& rpart = task_buckets[static_cast<size_t>(p)];
           for (size_t r = 0; r < rpart.record_count(); ++r) {
             int64_t addr = rpart.record_addr(r);
-            ShuffleKeyValue k =
-                EvalShuffleKey(interp, rkey.fast_fn, Value::Addr(addr), right_key.is_string);
-            auto it = table.find(k);
+            if (EvalShuffleKeyInto(interp, rkey.fast_fn, Value::Addr(addr), right_key.is_string,
+                                   &scratch_key)) {
+              ctx.stats().key_allocs_saved += 1;
+            }
+            auto it = table.find(scratch_key);
             if (it == table.end()) {
               continue;
             }

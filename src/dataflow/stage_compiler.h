@@ -16,6 +16,8 @@
 
 namespace gerenuk {
 
+class SerPlan;  // src/exec/plan.h — compiled form of a transformed program
+
 enum class EngineMode : uint8_t { kBaseline, kGerenuk };
 
 struct NarrowOp {
@@ -35,6 +37,10 @@ struct NarrowOp {
 struct StagePrograms {
   std::unique_ptr<SerProgram> original;
   std::unique_ptr<SerProgram> transformed;  // kGerenuk only
+  // Flat direct-threaded plan over `transformed` (kGerenuk with
+  // EngineConfig::use_plan_compiler; null otherwise). Immutable after
+  // compile; shared read-only across workers.
+  std::shared_ptr<const SerPlan> plan;
   const Klass* in_klass = nullptr;
   const Klass* out_klass = nullptr;
 };
@@ -42,6 +48,7 @@ struct StagePrograms {
 struct CompiledFunction {
   std::unique_ptr<SerProgram> original;
   std::unique_ptr<SerProgram> transformed;
+  std::shared_ptr<const SerPlan> plan;  // over `transformed`, may be null
   const Function* orig_fn = nullptr;
   const Function* fast_fn = nullptr;  // kGerenuk only
 };

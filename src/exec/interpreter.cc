@@ -4,10 +4,6 @@
 
 namespace gerenuk {
 
-namespace {
-
-// FNV-1a over a byte span — used by the hashCode/stringHash intrinsics so
-// both paths produce identical hashes for identical payloads.
 uint64_t HashBytes(const uint8_t* data, size_t n) {
   uint64_t h = 1469598103934665603ULL;
   for (size_t i = 0; i < n; ++i) {
@@ -15,8 +11,6 @@ uint64_t HashBytes(const uint8_t* data, size_t n) {
   }
   return h;
 }
-
-}  // namespace
 
 Interpreter::Interpreter(const SerProgram& program, Heap& heap, const WellKnown& wk,
                          const DataStructAnalyzer* layouts, BuilderStore* builders)
@@ -474,20 +468,21 @@ Value Interpreter::Execute(Frame& frame) {
   return Value::None();
 }
 
-int64_t Interpreter::ReadStringBytes(Value v, std::string* out) {
+int64_t ReadStringValueBytes(BuilderStore* builders, const WellKnown& wk, Value v,
+                             std::string* out) {
   if (v.tag == ValueTag::kAddr) {
     int64_t addr = v.i;
     if (IsBuilderAddr(addr)) {
       // An under-construction string: its byte-array child holds the chars.
       const uint8_t* data = nullptr;
       int64_t len = 0;
-      if (builders_->TryGetStringBytes(addr, &data, &len)) {
+      if (builders->TryGetStringBytes(addr, &data, &len)) {
         out->assign(reinterpret_cast<const char*>(data), static_cast<size_t>(len));
         return len;
       }
-      const Klass* klass = builders_->KlassOf(addr);
+      const Klass* klass = builders->KlassOf(addr);
       ByteBuffer bytes;
-      builders_->RenderBody(addr, klass, bytes);
+      builders->RenderBody(addr, klass, bytes);
       ByteReader reader(bytes.bytes());
       int32_t count = reader.ReadI32();
       out->assign(reinterpret_cast<const char*>(bytes.data() + 4), static_cast<size_t>(count));
@@ -498,8 +493,12 @@ int64_t Interpreter::ReadStringBytes(Value v, std::string* out) {
     return len;
   }
   GERENUK_CHECK(v.tag == ValueTag::kRef);
-  *out = wk_.GetString(static_cast<ObjRef>(v.i));
+  *out = wk.GetString(static_cast<ObjRef>(v.i));
   return static_cast<int64_t>(out->size());
+}
+
+int64_t Interpreter::ReadStringBytes(Value v, std::string* out) {
+  return ReadStringValueBytes(builders_, wk_, v, out);
 }
 
 Value Interpreter::RunIntrinsic(const Statement& s, Frame& frame) {

@@ -34,6 +34,13 @@ struct SerAbort {
   std::string detail;
 };
 
+// An output record handed to a batched emit sink: the structure rooted at a
+// native address / builder id, plus its record class.
+struct EmittedRecord {
+  int64_t addr = 0;
+  const Klass* klass = nullptr;
+};
+
 // Engine-provided source/sink of records for Deserialize/Serialize (slow
 // path) and GetAddress/GWriteObject (fast path).
 struct RecordChannel {
@@ -45,32 +52,67 @@ struct RecordChannel {
   std::function<int64_t()> next_native_record;
   // Fast path: emit the structure rooted at a native address / builder.
   std::function<void(int64_t, const Klass*)> emit_native_record;
+  // Batched fast path (PlanExecutor; optional — when unset the per-record
+  // closures above are used). `next_native_batch` fills up to `cap` input
+  // addresses and returns how many; `emit_native_batch` receives a run of
+  // emitted records in emission order. Emits are flushed before any builder
+  // reset, so builder ids inside a batch are still live when the sink runs.
+  std::function<size_t(int64_t* out, size_t cap)> next_native_batch;
+  std::function<void(const EmittedRecord* records, size_t count)> emit_native_batch;
 };
 
-class Interpreter : public RootProvider {
+// The common surface of the two fast-path execution engines — the
+// tree-walking Interpreter (reference) and the direct-threaded PlanExecutor.
+// Engine emit callbacks receive a SerRunner so key-extraction UDFs run on
+// whichever engine produced the record.
+class SerRunner {
+ public:
+  virtual ~SerRunner() = default;
+
+  virtual void set_channel(RecordChannel* channel) = 0;
+
+  // Calls `func` with `args`; returns its return value (None for void).
+  // Throws SerAbort when an abort instruction executes.
+  virtual Value CallFunction(const Function* func, const std::vector<Value>& args) = 0;
+
+  // Reads the text of a string value — a heap String (kRef), a committed
+  // native [len][bytes] record (kAddr), or an under-construction string
+  // builder. Engines use this to extract shuffle keys.
+  virtual int64_t ReadStringBytes(Value v, std::string* out) = 0;
+
+  // Statements (interpreter) or plan ops (executor) run since construction.
+  virtual int64_t statements_executed() const = 0;
+};
+
+// FNV-1a over a byte span — the hashCode/stringHash intrinsic, shared by
+// both runners so identical payloads hash identically on every path.
+uint64_t HashBytes(const uint8_t* data, size_t n);
+
+// The string-reading logic behind SerRunner::ReadStringBytes, shared by the
+// Interpreter and the PlanExecutor: a heap String (kRef), a committed native
+// [len][bytes] record (kAddr), or an under-construction string builder.
+int64_t ReadStringValueBytes(BuilderStore* builders, const WellKnown& wk, Value v,
+                             std::string* out);
+
+class Interpreter : public RootProvider, public SerRunner {
  public:
   // `builders` may be null for slow-path-only use; `layouts` is required for
   // the fast path's offset resolution.
   Interpreter(const SerProgram& program, Heap& heap, const WellKnown& wk,
               const DataStructAnalyzer* layouts, BuilderStore* builders);
-  ~Interpreter();
+  ~Interpreter() override;
 
-  void set_channel(RecordChannel* channel) { channel_ = channel; }
+  void set_channel(RecordChannel* channel) override { channel_ = channel; }
 
-  // Calls `func` with `args`; returns its return value (None for void).
-  // Throws SerAbort when an abort instruction executes.
-  Value CallFunction(const Function* func, const std::vector<Value>& args);
+  Value CallFunction(const Function* func, const std::vector<Value>& args) override;
 
   // Statements executed since construction (used by ablation benches).
-  int64_t statements_executed() const { return statements_executed_; }
+  int64_t statements_executed() const override { return statements_executed_; }
 
   // RootProvider: exposes every kRef slot of every active frame.
   void VisitRoots(const std::function<void(ObjRef*)>& visit) override;
 
-  // Reads the text of a string value — a heap String (kRef), a committed
-  // native [len][bytes] record (kAddr), or an under-construction string
-  // builder. Engines use this to extract shuffle keys.
-  int64_t ReadStringBytes(Value v, std::string* out);
+  int64_t ReadStringBytes(Value v, std::string* out) override;
 
  private:
   struct Frame {

@@ -1,0 +1,798 @@
+#include "src/exec/plan.h"
+
+#include <cmath>
+#include <cstring>
+#include <type_traits>
+
+// Direct-threaded dispatch needs GNU computed goto; elsewhere the same
+// handler bodies compile into a switch loop via the OP/NEXT/JUMP macros.
+#if defined(__GNUC__) || defined(__clang__)
+#define GERENUK_COMPUTED_GOTO 1
+#endif
+
+namespace gerenuk {
+
+namespace {
+
+// The hot helpers must land inside each dispatch handler: an out-of-line
+// EvalBin costs a call plus a 24-byte sret round trip per binop, which alone
+// erases the dispatch win (GCC at -O2 declines to inline it by size).
+#if defined(__GNUC__) || defined(__clang__)
+#define GERENUK_FORCE_INLINE inline __attribute__((always_inline))
+#else
+#define GERENUK_FORCE_INLINE inline
+#endif
+
+// Exact copies of the interpreter's binop semantics, including the dynamic
+// float rule (either operand kF64 promotes), the divide-by-zero checks, and
+// the bitwise-on-float fatal — the differential tests depend on parity.
+GERENUK_FORCE_INLINE double AsF(const Value& v) {
+  return v.tag == ValueTag::kF64 ? v.d : static_cast<double>(v.i);
+}
+
+GERENUK_FORCE_INLINE Value EvalBin(BinOpKind kind, const Value& a, const Value& b) {
+  bool is_float = a.tag == ValueTag::kF64 || b.tag == ValueTag::kF64;
+  if (is_float) {
+    double x = AsF(a);
+    double y = AsF(b);
+    switch (kind) {
+      case BinOpKind::kAdd: return Value::F64(x + y);
+      case BinOpKind::kSub: return Value::F64(x - y);
+      case BinOpKind::kMul: return Value::F64(x * y);
+      case BinOpKind::kDiv: return Value::F64(x / y);
+      case BinOpKind::kRem: return Value::F64(std::fmod(x, y));
+      case BinOpKind::kLt: return Value::Bool(x < y);
+      case BinOpKind::kLe: return Value::Bool(x <= y);
+      case BinOpKind::kGt: return Value::Bool(x > y);
+      case BinOpKind::kGe: return Value::Bool(x >= y);
+      case BinOpKind::kEq: return Value::Bool(x == y);
+      case BinOpKind::kNe: return Value::Bool(x != y);
+      case BinOpKind::kMin: return Value::F64(x < y ? x : y);
+      case BinOpKind::kMax: return Value::F64(x > y ? x : y);
+      default:
+        GERENUK_CHECK(false) << "bitwise binop on floats";
+    }
+    return Value::None();
+  }
+  int64_t x = a.i;
+  int64_t y = b.i;
+  switch (kind) {
+    case BinOpKind::kAdd: return Value::I64(x + y);
+    case BinOpKind::kSub: return Value::I64(x - y);
+    case BinOpKind::kMul: return Value::I64(x * y);
+    case BinOpKind::kDiv:
+      GERENUK_CHECK_NE(y, 0);
+      return Value::I64(x / y);
+    case BinOpKind::kRem:
+      GERENUK_CHECK_NE(y, 0);
+      return Value::I64(x % y);
+    case BinOpKind::kLt: return Value::Bool(x < y);
+    case BinOpKind::kLe: return Value::Bool(x <= y);
+    case BinOpKind::kGt: return Value::Bool(x > y);
+    case BinOpKind::kGe: return Value::Bool(x >= y);
+    case BinOpKind::kEq: return Value::Bool(x == y);
+    case BinOpKind::kNe: return Value::Bool(x != y);
+    case BinOpKind::kAnd: return Value::I64(x & y);
+    case BinOpKind::kOr: return Value::I64(x | y);
+    case BinOpKind::kXor: return Value::I64(x ^ y);
+    case BinOpKind::kShl: return Value::I64(x << y);
+    case BinOpKind::kShr: return Value::I64(x >> y);
+    case BinOpKind::kMin: return Value::I64(x < y ? x : y);
+    case BinOpKind::kMax: return Value::I64(x > y ? x : y);
+  }
+  return Value::None();
+}
+
+inline Value LoadHeapField(Heap& heap, ObjRef obj, int64_t off, FieldKind kind) {
+  switch (kind) {
+    case FieldKind::kBool:
+    case FieldKind::kI8: return Value::I64(heap.GetPrim<int8_t>(obj, off));
+    case FieldKind::kI16:
+    case FieldKind::kChar: return Value::I64(heap.GetPrim<int16_t>(obj, off));
+    case FieldKind::kI32: return Value::I64(heap.GetPrim<int32_t>(obj, off));
+    case FieldKind::kI64: return Value::I64(heap.GetPrim<int64_t>(obj, off));
+    case FieldKind::kF32: return Value::F64(heap.GetPrim<float>(obj, off));
+    case FieldKind::kF64: return Value::F64(heap.GetPrim<double>(obj, off));
+    case FieldKind::kRef: return Value::Ref(static_cast<int64_t>(heap.GetRef(obj, off)));
+  }
+  return Value::None();
+}
+
+inline void StoreHeapField(Heap& heap, ObjRef obj, int64_t off, FieldKind kind,
+                           const Value& v) {
+  switch (kind) {
+    case FieldKind::kBool:
+    case FieldKind::kI8: heap.SetPrim<int8_t>(obj, off, static_cast<int8_t>(v.i)); break;
+    case FieldKind::kI16:
+    case FieldKind::kChar: heap.SetPrim<int16_t>(obj, off, static_cast<int16_t>(v.i)); break;
+    case FieldKind::kI32: heap.SetPrim<int32_t>(obj, off, static_cast<int32_t>(v.i)); break;
+    case FieldKind::kI64: heap.SetPrim<int64_t>(obj, off, v.i); break;
+    case FieldKind::kF32: heap.SetPrim<float>(obj, off, static_cast<float>(AsF(v))); break;
+    case FieldKind::kF64: heap.SetPrim<double>(obj, off, AsF(v)); break;
+    case FieldKind::kRef: heap.SetRef(obj, off, static_cast<ObjRef>(v.i)); break;
+  }
+}
+
+inline Value LoadHeapArray(Heap& heap, ObjRef arr, int64_t idx, FieldKind kind) {
+  switch (kind) {
+    case FieldKind::kBool:
+    case FieldKind::kI8: return Value::I64(heap.AGet<int8_t>(arr, idx));
+    case FieldKind::kI16:
+    case FieldKind::kChar: return Value::I64(heap.AGet<int16_t>(arr, idx));
+    case FieldKind::kI32: return Value::I64(heap.AGet<int32_t>(arr, idx));
+    case FieldKind::kI64: return Value::I64(heap.AGet<int64_t>(arr, idx));
+    case FieldKind::kF32: return Value::F64(heap.AGet<float>(arr, idx));
+    case FieldKind::kF64: return Value::F64(heap.AGet<double>(arr, idx));
+    case FieldKind::kRef: return Value::Ref(static_cast<int64_t>(heap.AGetRef(arr, idx)));
+  }
+  return Value::None();
+}
+
+inline void StoreHeapArray(Heap& heap, ObjRef arr, int64_t idx, FieldKind kind,
+                           const Value& v) {
+  switch (kind) {
+    case FieldKind::kBool:
+    case FieldKind::kI8: heap.ASet<int8_t>(arr, idx, static_cast<int8_t>(v.i)); break;
+    case FieldKind::kI16:
+    case FieldKind::kChar: heap.ASet<int16_t>(arr, idx, static_cast<int16_t>(v.i)); break;
+    case FieldKind::kI32: heap.ASet<int32_t>(arr, idx, static_cast<int32_t>(v.i)); break;
+    case FieldKind::kI64: heap.ASet<int64_t>(arr, idx, v.i); break;
+    case FieldKind::kF32: heap.ASet<float>(arr, idx, static_cast<float>(AsF(v))); break;
+    case FieldKind::kF64: heap.ASet<double>(arr, idx, AsF(v)); break;
+    case FieldKind::kRef: heap.ASetRef(arr, idx, static_cast<ObjRef>(v.i)); break;
+  }
+}
+
+}  // namespace
+
+PlanExecutor::PlanExecutor(const SerPlan& plan, Heap& heap, const WellKnown& wk,
+                           const DataStructAnalyzer* layouts, BuilderStore* builders)
+    : primary_(plan), heap_(heap), wk_(wk), layouts_(layouts), builders_(builders) {
+  AddPlan(plan);
+  emit_buf_.reserve(kEmitBatch);
+  heap_.AddRootProvider(this);
+}
+
+PlanExecutor::~PlanExecutor() { heap_.RemoveRootProvider(this); }
+
+void PlanExecutor::AddPlan(const SerPlan& plan) {
+  for (const PlanFunction& pf : plan.funcs()) {
+    fn_index_[pf.src] = &pf;
+  }
+}
+
+void PlanExecutor::set_channel(RecordChannel* channel) {
+  channel_ = channel;
+  input_pos_ = 0;
+  input_len_ = 0;
+  emit_buf_.clear();
+}
+
+void PlanExecutor::VisitRoots(const std::function<void(ObjRef*)>& visit) {
+  for (size_t f = 0; f < active_frames_; ++f) {
+    for (Value& value : frame_pool_[f]->slots) {
+      if (value.tag == ValueTag::kRef && value.i != 0) {
+        visit(reinterpret_cast<ObjRef*>(&value.i));
+      }
+    }
+  }
+}
+
+PlanExecutor::Frame* PlanExecutor::AcquireFrame(const PlanFunction* func) {
+  if (active_frames_ == frame_pool_.size()) {
+    frame_pool_.push_back(std::make_unique<Frame>());
+  }
+  Frame* frame = frame_pool_[active_frames_++].get();
+  frame->func = func;
+  // Value() is all-zero bytes (kNone = 0), so a memset is the same clear as
+  // assign() without the element-wise fill. Resize to the exact var count —
+  // VisitRoots scans the whole slots vector of every active frame, so a
+  // stale tail from a larger previous callee must not survive here.
+  static_assert(std::is_trivially_copyable_v<Value>);
+  const size_t num_vars = static_cast<size_t>(func->num_vars);
+  frame->slots.resize(num_vars);
+  std::memset(static_cast<void*>(frame->slots.data()), 0,
+              num_vars * sizeof(Value));
+  return frame;
+}
+
+void PlanExecutor::ReleaseFrame() { active_frames_ -= 1; }
+
+Value PlanExecutor::CallFunction(const Function* func, const std::vector<Value>& args) {
+  const PlanFunction* pf;
+  if (func == last_fn_) {
+    pf = last_pf_;
+  } else {
+    auto it = fn_index_.find(func);
+    GERENUK_CHECK(it != fn_index_.end())
+        << "function not in any registered plan: " << func->name;
+    pf = it->second;
+    last_fn_ = func;
+    last_pf_ = pf;
+  }
+  GERENUK_CHECK_EQ(static_cast<int>(args.size()), pf->num_params);
+  return Invoke(*pf, args.data(), args.size());
+}
+
+Value PlanExecutor::Invoke(const PlanFunction& func, const Value* args, size_t nargs) {
+  Frame* frame = AcquireFrame(&func);
+  for (size_t i = 0; i < nargs; ++i) {
+    frame->slots[i] = args[i];
+  }
+  Value result;
+  try {
+    result = Execute(*frame);
+  } catch (...) {
+    ReleaseFrame();
+    throw;
+  }
+  ReleaseFrame();
+  return result;
+}
+
+int64_t PlanExecutor::ReadStringBytes(Value v, std::string* out) {
+  return ReadStringValueBytes(builders_, wk_, v, out);
+}
+
+void PlanExecutor::RefillInput() {
+  GERENUK_CHECK(channel_ != nullptr);
+  if (channel_->next_native_batch) {
+    input_len_ = channel_->next_native_batch(input_buf_, kInputBatch);
+    input_pos_ = 0;
+    GERENUK_CHECK(input_len_ > 0) << "record source exhausted";
+    return;
+  }
+  GERENUK_CHECK(channel_->next_native_record);
+  input_buf_[0] = channel_->next_native_record();
+  input_pos_ = 0;
+  input_len_ = 1;
+}
+
+void PlanExecutor::FlushEmits() {
+  if (emit_buf_.empty()) {
+    return;
+  }
+  GERENUK_CHECK(channel_ != nullptr && channel_->emit_native_batch);
+  channel_->emit_native_batch(emit_buf_.data(), emit_buf_.size());
+  emit_buf_.clear();
+}
+
+namespace {
+
+// Evaluates a flattened symbolic offset: each step is constant + Σ scale ·
+// i32 length read at (base + earlier step's value); the last step is the
+// offset. Mirrors ResolveOffset without recursion or pool lookups.
+
+inline int64_t EvalFlat(const SerPlan& plan, const PlanOp& op, int64_t base) {
+  int64_t vals[kMaxFlatSteps];
+  const FlatStep* steps = plan.flat_steps().data();
+  const FlatTerm* terms = plan.flat_terms().data();
+  for (int32_t i = 0; i < op.flat_len; ++i) {
+    const FlatStep& step = steps[op.flat_off + i];
+    int64_t v = step.constant;
+    for (int32_t t = 0; t < step.num_terms; ++t) {
+      const FlatTerm& term = terms[step.first_term + t];
+      v += term.scale * static_cast<int64_t>(NativeReadI32(base + vals[term.step]));
+    }
+    vals[i] = v;
+  }
+  return vals[op.flat_len - 1];
+}
+
+}  // namespace
+
+Value PlanExecutor::RunIntrinsic(const PlanOp& op, const Value* slots,
+                                 const int32_t* args_pool) {
+  auto arg = [&](int i) -> const Value& { return slots[args_pool[op.args_off + i]]; };
+  auto arg_f = [&](int i) { return AsF(arg(i)); };
+  switch (op.intrinsic) {
+    case Intrinsic::kExp:
+      return Value::F64(std::exp(arg_f(0)));
+    case Intrinsic::kLog:
+      return Value::F64(std::log(arg_f(0)));
+    case Intrinsic::kSqrt:
+      return Value::F64(std::sqrt(arg_f(0)));
+    case Intrinsic::kAbs:
+      return Value::F64(std::fabs(arg_f(0)));
+    case Intrinsic::kStringLength: {
+      std::string text;
+      ReadStringBytes(arg(0), &text);
+      return Value::I64(static_cast<int64_t>(text.size()));
+    }
+    case Intrinsic::kStringHash: {
+      std::string text;
+      ReadStringBytes(arg(0), &text);
+      return Value::I64(static_cast<int64_t>(
+          HashBytes(reinterpret_cast<const uint8_t*>(text.data()), text.size())));
+    }
+    case Intrinsic::kStringEquals: {
+      std::string a;
+      std::string b;
+      ReadStringBytes(arg(0), &a);
+      ReadStringBytes(arg(1), &b);
+      return Value::Bool(a == b);
+    }
+    case Intrinsic::kStringCompare: {
+      std::string a;
+      std::string b;
+      ReadStringBytes(arg(0), &a);
+      ReadStringBytes(arg(1), &b);
+      return Value::I64(a.compare(b));
+    }
+    case Intrinsic::kUnknown:
+      break;
+  }
+  GERENUK_CHECK(false) << "no runtime implementation for native method";
+  return Value::None();
+}
+
+Value PlanExecutor::Execute(Frame& frame) {
+  const PlanFunction& pf = *frame.func;
+  const SerPlan& plan = *pf.plan;
+  const PlanOp* const ops = pf.ops.data();
+  Value* const slots = frame.slots.data();
+  const int32_t* const args_pool = pf.args_pool.data();
+  int64_t pc = 0;
+  const PlanOp* op;
+
+  // Op accounting stays off the dispatch path: a local counter is flushed
+  // into ops_executed_ on every exit, including SerAbort unwinds.
+  struct OpCount {
+    int64_t n = 0;
+    int64_t* sink;
+    explicit OpCount(int64_t* s) : sink(s) {}
+    ~OpCount() { *sink += n; }
+  } opcount(&ops_executed_);
+
+#ifdef GERENUK_COMPUTED_GOTO
+  // One entry per PlanOpCode, in declaration order.
+  static const void* kDispatch[] = {
+      &&lbl_kConst, &&lbl_kAssign, &&lbl_kBinOp, &&lbl_kUnOp, &&lbl_kDeserialize,
+      &&lbl_kSerialize, &&lbl_kFieldLoad, &&lbl_kFieldStore, &&lbl_kArrayLoad,
+      &&lbl_kArrayStore, &&lbl_kArrayLength, &&lbl_kNewObject, &&lbl_kNewArray,
+      &&lbl_kCall, &&lbl_kIntrinsic, &&lbl_kBranch, &&lbl_kJump, &&lbl_kReturn,
+      &&lbl_kReturnVoid, &&lbl_kGetAddress, &&lbl_kGWriteObject,
+      &&lbl_kReadNativeConst, &&lbl_kReadNativeSym, &&lbl_kWriteNative,
+      &&lbl_kAddrOfFieldConst, &&lbl_kAddrOfFieldSym, &&lbl_kNativeArrayLength,
+      &&lbl_kNativeArrayLoad, &&lbl_kNativeArrayStore, &&lbl_kNativeArrayElemAddr,
+      &&lbl_kAppendRecord, &&lbl_kAppendArray, &&lbl_kAttachField,
+      &&lbl_kAttachElement, &&lbl_kAbort, &&lbl_kBinOpBranch, &&lbl_kNotBranch,
+      &&lbl_kBinOpJump, &&lbl_kReadConstBin, &&lbl_kBinOpBin,
+      &&lbl_kBinOpBinJump, &&lbl_kBinOpRun, &&lbl_kBinOpRunBranch,
+      &&lbl_kBinOpRunJump, &&lbl_kBranchElse, &&lbl_kBinOpBranchElse,
+      &&lbl_kBinOpRunBranchElse,
+  };
+  static_assert(sizeof(kDispatch) / sizeof(kDispatch[0]) ==
+                static_cast<size_t>(PlanOpCode::kCount));
+#define OP(name) lbl_##name:
+#define NEXT()                                            \
+  do {                                                    \
+    op = &ops[++pc];                                      \
+    opcount.n += 1;                                       \
+    goto* kDispatch[static_cast<size_t>(op->code)];       \
+  } while (0)
+#define JUMP(t)                                           \
+  do {                                                    \
+    pc = (t);                                             \
+    op = &ops[pc];                                        \
+    opcount.n += 1;                                       \
+    goto* kDispatch[static_cast<size_t>(op->code)];       \
+  } while (0)
+  JUMP(0);
+#else
+#define OP(name) case PlanOpCode::name:
+#define NEXT()  \
+  {             \
+    ++pc;       \
+    break;      \
+  }
+#define JUMP(t) \
+  {             \
+    pc = (t);   \
+    break;      \
+  }
+  for (;;) {
+    op = &ops[pc];
+    opcount.n += 1;
+    switch (op->code) {
+#endif
+
+  OP(kConst) {
+    slots[op->dst] = Value{op->imm_tag, op->imm, op->fimm};
+    NEXT();
+  }
+  OP(kAssign) {
+    slots[op->dst] = slots[op->a];
+    NEXT();
+  }
+  OP(kBinOp) {
+    slots[op->dst] = EvalBin(op->binop, slots[op->a], slots[op->b]);
+    NEXT();
+  }
+  OP(kUnOp) {
+    switch (op->unop) {
+      case UnOpKind::kNeg:
+        slots[op->dst] = slots[op->a].tag == ValueTag::kF64 ? Value::F64(-slots[op->a].d)
+                                                            : Value::I64(-slots[op->a].i);
+        break;
+      case UnOpKind::kNot:
+        slots[op->dst] = Value::Bool(!slots[op->a].AsBool());
+        break;
+      case UnOpKind::kI2F:
+        slots[op->dst] = Value::F64(static_cast<double>(slots[op->a].i));
+        break;
+      case UnOpKind::kF2I:
+        slots[op->dst] = Value::I64(static_cast<int64_t>(AsF(slots[op->a])));
+        break;
+    }
+    NEXT();
+  }
+  OP(kDeserialize) {
+    GERENUK_CHECK(channel_ != nullptr && channel_->next_heap_record);
+    slots[op->dst] = Value::Ref(static_cast<int64_t>(channel_->next_heap_record()));
+    NEXT();
+  }
+  OP(kSerialize) {
+    GERENUK_CHECK(channel_ != nullptr && channel_->emit_heap_record);
+    channel_->emit_heap_record(static_cast<ObjRef>(slots[op->a].i), op->klass);
+    NEXT();
+  }
+  OP(kFieldLoad) {
+    slots[op->dst] =
+        LoadHeapField(heap_, static_cast<ObjRef>(slots[op->a].i), op->imm, op->kind);
+    NEXT();
+  }
+  OP(kFieldStore) {
+    StoreHeapField(heap_, static_cast<ObjRef>(slots[op->a].i), op->imm, op->kind,
+                   slots[op->b]);
+    NEXT();
+  }
+  OP(kArrayLoad) {
+    slots[op->dst] =
+        LoadHeapArray(heap_, static_cast<ObjRef>(slots[op->a].i), slots[op->b].i, op->kind);
+    NEXT();
+  }
+  OP(kArrayStore) {
+    StoreHeapArray(heap_, static_cast<ObjRef>(slots[op->a].i), slots[op->b].i, op->kind,
+                   slots[op->c]);
+    NEXT();
+  }
+  OP(kArrayLength) {
+    slots[op->dst] = Value::I64(heap_.ArrayLength(static_cast<ObjRef>(slots[op->a].i)));
+    NEXT();
+  }
+  OP(kNewObject) {
+    slots[op->dst] = Value::Ref(static_cast<int64_t>(heap_.AllocObject(op->klass)));
+    NEXT();
+  }
+  OP(kNewArray) {
+    slots[op->dst] =
+        Value::Ref(static_cast<int64_t>(heap_.AllocArray(op->klass, slots[op->a].i)));
+    NEXT();
+  }
+  OP(kCall) {
+    const PlanFunction& callee = plan.funcs()[static_cast<size_t>(op->callee)];
+    Frame* cf = AcquireFrame(&callee);
+    for (int32_t i = 0; i < op->args_len; ++i) {
+      cf->slots[static_cast<size_t>(i)] = slots[args_pool[op->args_off + i]];
+    }
+    Value result;
+    try {
+      result = Execute(*cf);
+    } catch (...) {
+      ReleaseFrame();
+      throw;
+    }
+    ReleaseFrame();
+    if (op->dst >= 0) {
+      slots[op->dst] = result;
+    }
+    NEXT();
+  }
+  OP(kIntrinsic) {
+    Value result = RunIntrinsic(*op, slots, args_pool);
+    if (op->dst >= 0) {
+      slots[op->dst] = result;
+    }
+    NEXT();
+  }
+  OP(kBranch) {
+    if (slots[op->a].AsBool()) {
+      JUMP(op->target);
+    }
+    NEXT();
+  }
+  OP(kJump) { JUMP(op->target); }
+  OP(kReturn) { return op->a >= 0 ? slots[op->a] : Value::None(); }
+  OP(kReturnVoid) { return Value::None(); }
+  OP(kGetAddress) {
+    if (input_pos_ == input_len_) {
+      RefillInput();
+    }
+    slots[op->dst] = Value::Addr(input_buf_[input_pos_++]);
+    NEXT();
+  }
+  OP(kGWriteObject) {
+    GERENUK_CHECK(channel_ != nullptr);
+    if (channel_->emit_native_batch) {
+      emit_buf_.push_back(EmittedRecord{slots[op->a].i, op->klass});
+      if (emit_buf_.size() >= kEmitBatch) {
+        FlushEmits();
+      }
+    } else {
+      GERENUK_CHECK(channel_->emit_native_record);
+      channel_->emit_native_record(slots[op->a].i, op->klass);
+    }
+    NEXT();
+  }
+  OP(kReadNativeConst) {
+    int64_t addr = slots[op->a].i;
+    if (IsBuilderAddr(addr)) {
+      int64_t iv = 0;
+      double fv = 0.0;
+      builders_->ReadField(addr, op->field_index, op->kind, &iv, &fv);
+      slots[op->dst] = op->float_kind ? Value::F64(fv) : Value::I64(iv);
+    } else {
+      slots[op->dst] = op->float_kind
+                           ? Value::F64(NativeReadFloat(addr, op->imm, op->kind))
+                           : Value::I64(NativeReadInt(addr, op->imm, op->kind));
+    }
+    NEXT();
+  }
+  OP(kReadNativeSym) {
+    int64_t addr = slots[op->a].i;
+    if (IsBuilderAddr(addr)) {
+      int64_t iv = 0;
+      double fv = 0.0;
+      builders_->ReadField(addr, op->field_index, op->kind, &iv, &fv);
+      slots[op->dst] = op->float_kind ? Value::F64(fv) : Value::I64(iv);
+    } else {
+      int64_t off = op->flat_off >= 0 ? EvalFlat(plan, *op, addr)
+                                      : ResolveOffset(layouts_->pool(), op->expr_id, addr);
+      slots[op->dst] = op->float_kind ? Value::F64(NativeReadFloat(addr, off, op->kind))
+                                      : Value::I64(NativeReadInt(addr, off, op->kind));
+    }
+    NEXT();
+  }
+  OP(kWriteNative) {
+    int64_t addr = slots[op->a].i;
+    if (!IsBuilderAddr(addr)) {
+      throw SerAbort{AbortReason::kDisruptNativeSpace,
+                     "writeNative on committed input record"};
+    }
+    if (op->float_kind) {
+      builders_->WriteField(addr, op->field_index, op->kind, 0, AsF(slots[op->b]));
+    } else {
+      builders_->WriteField(addr, op->field_index, op->kind, slots[op->b].i, 0.0);
+    }
+    NEXT();
+  }
+  OP(kAddrOfFieldConst) {
+    int64_t addr = slots[op->a].i;
+    slots[op->dst] = Value::Addr(IsBuilderAddr(addr)
+                                     ? builders_->FieldAddr(addr, op->field_index)
+                                     : addr + op->imm);
+    NEXT();
+  }
+  OP(kAddrOfFieldSym) {
+    int64_t addr = slots[op->a].i;
+    if (IsBuilderAddr(addr)) {
+      slots[op->dst] = Value::Addr(builders_->FieldAddr(addr, op->field_index));
+    } else {
+      int64_t off = op->flat_off >= 0 ? EvalFlat(plan, *op, addr)
+                                      : ResolveOffset(layouts_->pool(), op->expr_id, addr);
+      slots[op->dst] = Value::Addr(addr + off);
+    }
+    NEXT();
+  }
+  OP(kNativeArrayLength) {
+    int64_t addr = slots[op->a].i;
+    slots[op->dst] = Value::I64(IsBuilderAddr(addr) ? builders_->ArrayLength(addr)
+                                                    : NativeReadI32(addr));
+    NEXT();
+  }
+  OP(kNativeArrayLoad) {
+    int64_t addr = slots[op->a].i;
+    int64_t idx = slots[op->b].i;
+    if (IsBuilderAddr(addr)) {
+      int64_t iv = 0;
+      double fv = 0.0;
+      builders_->ArrayLoad(addr, idx, op->kind, &iv, &fv);
+      slots[op->dst] = op->float_kind ? Value::F64(fv) : Value::I64(iv);
+    } else {
+      int64_t len = NativeReadI32(addr);
+      if (idx < 0 || idx >= len) {
+        GERENUK_CHECK(false) << "native array index " << idx << " out of bounds [0," << len
+                             << ")";
+      }
+      int64_t off = 4 + idx * FieldKindSize(op->kind);
+      slots[op->dst] = op->float_kind ? Value::F64(NativeReadFloat(addr, off, op->kind))
+                                      : Value::I64(NativeReadInt(addr, off, op->kind));
+    }
+    NEXT();
+  }
+  OP(kNativeArrayStore) {
+    int64_t addr = slots[op->a].i;
+    if (!IsBuilderAddr(addr)) {
+      throw SerAbort{AbortReason::kDisruptNativeSpace,
+                     "array store into committed input record"};
+    }
+    if (op->float_kind) {
+      builders_->ArrayStore(addr, slots[op->b].i, op->kind, 0, AsF(slots[op->c]));
+    } else {
+      builders_->ArrayStore(addr, slots[op->b].i, op->kind, slots[op->c].i, 0.0);
+    }
+    NEXT();
+  }
+  OP(kNativeArrayElemAddr) {
+    int64_t addr = slots[op->a].i;
+    int64_t idx = slots[op->b].i;
+    slots[op->dst] = Value::Addr(IsBuilderAddr(addr)
+                                     ? builders_->ElementAddr(addr, idx)
+                                     : CommittedArrayElemAddr(*layouts_, op->klass, addr, idx));
+    NEXT();
+  }
+  OP(kAppendRecord) {
+    slots[op->dst] = Value::Addr(builders_->NewRecord(op->klass));
+    NEXT();
+  }
+  OP(kAppendArray) {
+    slots[op->dst] = Value::Addr(builders_->NewArray(op->klass, slots[op->a].i));
+    NEXT();
+  }
+  OP(kAttachField) {
+    int64_t addr = slots[op->a].i;
+    if (!IsBuilderAddr(addr)) {
+      throw SerAbort{AbortReason::kDisruptNativeSpace,
+                     "reference write into committed input record"};
+    }
+    builders_->AttachField(addr, op->field_index, slots[op->b].i);
+    NEXT();
+  }
+  OP(kAttachElement) {
+    int64_t addr = slots[op->a].i;
+    if (!IsBuilderAddr(addr)) {
+      throw SerAbort{AbortReason::kDisruptNativeSpace,
+                     "reference element write into committed input record"};
+    }
+    builders_->AttachElement(addr, slots[op->b].i, slots[op->c].i);
+    NEXT();
+  }
+  OP(kAbort) {
+    throw SerAbort{op->abort_reason, "static abort fence reached in " + pf.src->name};
+  }
+  OP(kBinOpBranch) {
+    slots[op->dst] = EvalBin(op->binop, slots[op->a], slots[op->b]);
+    if (slots[op->c].AsBool()) {
+      JUMP(op->target);
+    }
+    NEXT();
+  }
+  OP(kNotBranch) {
+    slots[op->dst] = Value::Bool(!slots[op->a].AsBool());
+    if (slots[op->c].AsBool()) {
+      JUMP(op->target);
+    }
+    NEXT();
+  }
+  OP(kBinOpJump) {
+    slots[op->dst] = EvalBin(op->binop, slots[op->a], slots[op->b]);
+    JUMP(op->target);
+  }
+  OP(kReadConstBin) {
+    int64_t addr = slots[op->a].i;
+    if (IsBuilderAddr(addr)) {
+      int64_t iv = 0;
+      double fv = 0.0;
+      builders_->ReadField(addr, op->field_index, op->kind, &iv, &fv);
+      slots[op->dst] = op->float_kind ? Value::F64(fv) : Value::I64(iv);
+    } else {
+      slots[op->dst] = op->float_kind
+                           ? Value::F64(NativeReadFloat(addr, op->imm, op->kind))
+                           : Value::I64(NativeReadInt(addr, op->imm, op->kind));
+    }
+    slots[op->dst2] = EvalBin(op->binop, slots[op->b], slots[op->c]);
+    NEXT();
+  }
+  OP(kBinOpBin) {
+    slots[op->dst] = EvalBin(op->binop, slots[op->a], slots[op->b]);
+    slots[op->dst2] = EvalBin(static_cast<BinOpKind>(op->imm), slots[op->c], slots[op->d]);
+    NEXT();
+  }
+  OP(kBinOpBinJump) {
+    slots[op->dst] = EvalBin(op->binop, slots[op->a], slots[op->b]);
+    slots[op->dst2] = EvalBin(static_cast<BinOpKind>(op->imm), slots[op->c], slots[op->d]);
+    JUMP(op->target);
+  }
+#define RUN_BINOPS()                                                      \
+  do {                                                                    \
+    const int32_t* r = &args_pool[op->args_off];                          \
+    const int32_t* const rend = r + op->args_len;                         \
+    for (; r != rend; r += 4) {                                           \
+      if (r[0] < 0) {                                                     \
+        slots[r[3]] = Value::I64(r[1]);                                   \
+      } else {                                                            \
+        slots[r[3]] = EvalBin(static_cast<BinOpKind>(r[0]), slots[r[1]],  \
+                              slots[r[2]]);                               \
+      }                                                                   \
+    }                                                                     \
+  } while (0)
+  OP(kBinOpRun) {
+    RUN_BINOPS();
+    NEXT();
+  }
+// For the branching run variants: all entries but the last through the run
+// loop, the last one peeled so the condition — nearly always the last
+// entry's result — can branch on the just-computed value instead of a
+// store-then-reload of the condition slot.
+#define RUN_BINOPS_PEEL(vlast, rlast)                                     \
+  const int32_t* r = &args_pool[op->args_off];                            \
+  const int32_t* const rlast = r + op->args_len - 4;                      \
+  for (; r != rlast; r += 4) {                                            \
+    if (r[0] < 0) {                                                       \
+      slots[r[3]] = Value::I64(r[1]);                                     \
+    } else {                                                              \
+      slots[r[3]] = EvalBin(static_cast<BinOpKind>(r[0]), slots[r[1]],    \
+                            slots[r[2]]);                                 \
+    }                                                                     \
+  }                                                                       \
+  const Value vlast =                                                     \
+      rlast[0] < 0 ? Value::I64(rlast[1])                                 \
+                   : EvalBin(static_cast<BinOpKind>(rlast[0]),            \
+                             slots[rlast[1]], slots[rlast[2]]);           \
+  slots[rlast[3]] = vlast
+  OP(kBinOpRunBranch) {
+    RUN_BINOPS_PEEL(v, rl);
+    if (rl[3] == op->c ? v.AsBool() : slots[op->c].AsBool()) {
+      JUMP(op->target);
+    }
+    NEXT();
+  }
+  OP(kBinOpRunJump) {
+    RUN_BINOPS();
+    JUMP(op->target);
+  }
+  OP(kBranchElse) {
+    JUMP(slots[op->a].AsBool() ? op->target : op->target2);
+  }
+  OP(kBinOpBranchElse) {
+    slots[op->dst] = EvalBin(op->binop, slots[op->a], slots[op->b]);
+    JUMP(slots[op->c].AsBool() ? op->target : op->target2);
+  }
+  OP(kBinOpRunBranchElse) {
+    RUN_BINOPS_PEEL(v, rl);
+    JUMP((rl[3] == op->c ? v.AsBool() : slots[op->c].AsBool()) ? op->target
+                                                               : op->target2);
+  }
+#undef RUN_BINOPS
+#undef RUN_BINOPS_PEEL
+
+#ifndef GERENUK_COMPUTED_GOTO
+      case PlanOpCode::kCount:
+        GERENUK_CHECK(false);
+    }
+  }
+#endif
+#undef OP
+#undef NEXT
+#undef JUMP
+}
+
+std::unique_ptr<SerRunner> MakeFastRunner(const SerPlan* plan, const SerProgram& program,
+                                          Heap& heap, const WellKnown& wk,
+                                          const DataStructAnalyzer* layouts,
+                                          BuilderStore* builders,
+                                          const std::vector<const SerPlan*>& extra_plans) {
+  if (plan == nullptr) {
+    return std::make_unique<Interpreter>(program, heap, wk, layouts, builders);
+  }
+  auto exec = std::make_unique<PlanExecutor>(*plan, heap, wk, layouts, builders);
+  for (const SerPlan* extra : extra_plans) {
+    if (extra != nullptr) {
+      exec->AddPlan(*extra);
+    }
+  }
+  return exec;
+}
+
+}  // namespace gerenuk

@@ -1,0 +1,289 @@
+// Flat direct-threaded execution plans for transformed SERs.
+//
+// The tree-walking Interpreter pays per statement for what the plan compiler
+// pays once per stage: label lookups, klass->field() indirection, SizeExpr
+// resolution for offsets that are really constants, and the branchy Op
+// switch over 40-byte Statement structs holding vectors and strings. A
+// SerPlan lowers every function of a transformed SerProgram into a
+// contiguous array of fixed-size PlanOps with
+//   * branch targets resolved to op indices (kLabel/kMonitor* disappear),
+//   * field offsets and kinds pre-bound into the op,
+//   * constant-foldable offset expressions folded to immediates (symbolic
+//     ones flattened into an iterative per-plan FlatStep run),
+//   * fused superinstructions for the dominant shapes (compare+branch,
+//     binop+jump loop back edges, not+branch filters, const-read+binop).
+// The PlanExecutor runs plans with computed-goto dispatch (GCC/Clang; a
+// plain switch elsewhere) and batches the record channel: input addresses
+// are prefetched in runs and emits are buffered, amortizing the per-record
+// std::function hops.
+//
+// Semantics are bit-for-bit those of the Interpreter — including the
+// dynamic float/int binop rule, builder-vs-committed address dispatch, and
+// SerAbort on committed-record writes — so the interpreter stays the
+// reference implementation and the abort/slow-path machinery is untouched
+// (tests/plan_test.cc holds the differential proof).
+#ifndef SRC_EXEC_PLAN_H_
+#define SRC_EXEC_PLAN_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/exec/interpreter.h"
+
+namespace gerenuk {
+
+enum class PlanOpCode : uint8_t {
+  kConst,
+  kAssign,
+  kBinOp,
+  kUnOp,
+  kDeserialize,
+  kSerialize,
+  kFieldLoad,
+  kFieldStore,
+  kArrayLoad,
+  kArrayStore,
+  kArrayLength,
+  kNewObject,
+  kNewArray,
+  kCall,
+  kIntrinsic,
+  kBranch,
+  kJump,
+  kReturn,
+  kReturnVoid,  // synthetic fall-off-the-end return
+  kGetAddress,
+  kGWriteObject,
+  kReadNativeConst,  // offset folded to an immediate at compile time
+  kReadNativeSym,    // genuinely symbolic offset (FlatStep run)
+  kWriteNative,
+  kAddrOfFieldConst,
+  kAddrOfFieldSym,
+  kNativeArrayLength,
+  kNativeArrayLoad,
+  kNativeArrayStore,
+  kNativeArrayElemAddr,
+  kAppendRecord,
+  kAppendArray,
+  kAttachField,
+  kAttachElement,
+  kAbort,
+  // --- fused superinstructions (intermediate dsts are still written, so
+  // fusion is invisible to any later reader of those slots) ---
+  kBinOpBranch,   // dst = a <binop> b; if (slots[c]) goto target
+  kNotBranch,     // dst = !a;          if (slots[c]) goto target
+  kBinOpJump,     // dst = a <binop> b; goto target (loop back edge)
+  kReadConstBin,  // dst = readNative(a, imm); dst2 = b <binop> c
+  kBinOpBin,      // dst = a <binop> b; dst2 = c <binop2:imm> d — the second
+                  // binop reads slots after the first one's store, so a
+                  // dependent pair behaves exactly as when unfused
+  kBinOpBinJump,  // kBinOpBin then goto target (a counted loop's whole tail)
+  kBinOpRun,      // {kind, a, b, dst} x (args_len/4) binops from args_pool,
+                  // executed in order against the slots — an arithmetic
+                  // chain costs one dispatch instead of one per binop. An
+                  // entry with kind < 0 is an int32 immediate: dst = I64(a).
+  kBinOpRunBranch,  // kBinOpRun then: if (slots[c]) goto target
+  kBinOpRunJump,    // kBinOpRun then goto target
+  // A conditional branch whose fall-through was itself a jump: both edges
+  // resolved in one dispatch (if (slots[cond]) goto target else target2).
+  kBranchElse,         // cond is a
+  kBinOpBranchElse,    // dst = a <binop> b first; cond is c
+  kBinOpRunBranchElse, // the run first; cond is c
+  kCount,
+};
+
+const char* PlanOpName(PlanOpCode code);
+
+// kCallNative symbols resolved at compile time (the interpreter string-
+// compares per execution). kUnknown lowers names without a runtime
+// implementation; executing one is fatal, exactly like the interpreter.
+enum class Intrinsic : uint8_t {
+  kExp,
+  kLog,
+  kSqrt,
+  kAbs,
+  kStringLength,
+  kStringHash,
+  kStringEquals,
+  kStringCompare,
+  kUnknown,
+};
+
+// One lowered op. Fixed size, no heap-owning members: the whole plan is a
+// few contiguous arrays, and dispatch touches exactly one cache line per op.
+struct PlanOp {
+  PlanOpCode code = PlanOpCode::kReturnVoid;
+  BinOpKind binop = BinOpKind::kAdd;
+  UnOpKind unop = UnOpKind::kNeg;
+  FieldKind kind = FieldKind::kI32;   // field/element kind for data ops
+  bool float_kind = false;            // kind is kF32/kF64 (precomputed)
+  ValueTag imm_tag = ValueTag::kNone; // kConst payload tag
+  AbortReason abort_reason = AbortReason::kLoadAndEscape;
+  Intrinsic intrinsic = Intrinsic::kUnknown;
+  int32_t dst = -1;
+  int32_t a = -1;
+  int32_t b = -1;
+  int32_t c = -1;
+  int32_t d = -1;          // kBinOpBin second binop's rhs
+  int32_t dst2 = -1;       // kReadConstBin/kBinOpBin second destination
+  int32_t target = -1;     // branch/jump destination op index
+  int32_t target2 = -1;    // kBranchElse et al: fall-through jump destination
+  int32_t args_off = 0;    // kCall/kIntrinsic: run in PlanFunction::args_pool
+  int32_t args_len = 0;
+  int32_t callee = -1;     // kCall: plan-local function index
+  int32_t field_index = -1;  // builder-side field ops
+  int32_t flat_off = -1;   // symbolic offset: FlatStep run in the plan
+  int32_t flat_len = 0;    // 0 with flat_off<0 => fall back to ResolveOffset
+  int32_t expr_id = -1;    // pool id kept for the ResolveOffset fallback
+  int64_t imm = 0;         // folded offset / kConst integer payload
+  double fimm = 0.0;       // kConst float payload
+  const Klass* klass = nullptr;
+};
+
+// A symbolic offset flattened post-order: step i's value may feed later
+// steps' length reads; the run's last step is the offset. Evaluated
+// iteratively into a small stack buffer — no recursion, no std::function.
+// Runs longer than kMaxFlatSteps keep the recursive ResolveOffset fallback.
+inline constexpr size_t kMaxFlatSteps = 16;
+struct FlatStep {
+  int64_t constant = 0;
+  int32_t first_term = 0;  // into SerPlan::flat_terms
+  int32_t num_terms = 0;
+};
+struct FlatTerm {
+  int64_t scale = 0;
+  int32_t step = 0;  // run-local index of the step locating the i32 length
+};
+
+class SerPlan;
+
+struct PlanFunction {
+  const Function* src = nullptr;
+  const SerPlan* plan = nullptr;  // back-pointer (set after all lowering)
+  int num_params = 0;
+  int num_vars = 0;
+  std::vector<PlanOp> ops;
+  std::vector<int32_t> args_pool;  // call/intrinsic argument variable ids
+};
+
+// The compiled, immutable form of one transformed SerProgram. Shared
+// read-only across workers (each worker owns its own PlanExecutor).
+class SerPlan {
+ public:
+  const PlanFunction* Lookup(const Function* fn) const {
+    auto it = by_fn_.find(fn);
+    return it == by_fn_.end() ? nullptr : &funcs_[it->second];
+  }
+  const PlanFunction* entry() const { return entry_; }
+  const std::vector<PlanFunction>& funcs() const { return funcs_; }
+  const std::vector<FlatStep>& flat_steps() const { return flat_steps_; }
+  const std::vector<FlatTerm>& flat_terms() const { return flat_terms_; }
+
+  // Compile statistics (BENCH_plans.json's op mix).
+  const int64_t* op_counts() const { return op_counts_; }
+  int64_t ops_total() const { return ops_total_; }
+  int64_t ops_fused() const { return ops_fused_; }
+  int64_t ops_copies_elided() const { return ops_copies_elided_; }
+  int64_t offsets_folded() const { return offsets_folded_; }
+  int64_t offsets_symbolic() const { return offsets_symbolic_; }
+
+ private:
+  friend class PlanBuilder;  // the compiler (plan_compiler.cc) fills these in
+
+  std::vector<PlanFunction> funcs_;
+  std::unordered_map<const Function*, size_t> by_fn_;
+  const PlanFunction* entry_ = nullptr;
+  std::vector<FlatStep> flat_steps_;
+  std::vector<FlatTerm> flat_terms_;
+  int64_t op_counts_[static_cast<size_t>(PlanOpCode::kCount)] = {};
+  int64_t ops_total_ = 0;
+  int64_t ops_fused_ = 0;
+  int64_t ops_copies_elided_ = 0;
+  int64_t offsets_folded_ = 0;
+  int64_t offsets_symbolic_ = 0;
+};
+
+// Lowers every function of `program` (a *transformed* SerProgram; labels
+// must be resolved). `layouts` supplies the ExprPool for offset folding and
+// flattening — run ExprPool::FoldConstants() first for best results.
+std::shared_ptr<const SerPlan> CompilePlan(const SerProgram& program,
+                                           const DataStructAnalyzer& layouts);
+
+// Direct-threaded executor over one or more SerPlans. Functions are looked
+// up across every registered plan, so a stage plan and its key/reduce
+// function plans execute through one runner (sharing the builder store).
+class PlanExecutor : public RootProvider, public SerRunner {
+ public:
+  PlanExecutor(const SerPlan& plan, Heap& heap, const WellKnown& wk,
+               const DataStructAnalyzer* layouts, BuilderStore* builders);
+  ~PlanExecutor() override;
+
+  // Registers an additional plan's functions (key extraction, reduce folds).
+  void AddPlan(const SerPlan& plan);
+
+  void set_channel(RecordChannel* channel) override;
+
+  Value CallFunction(const Function* func, const std::vector<Value>& args) override;
+
+  int64_t ReadStringBytes(Value v, std::string* out) override;
+
+  // Plan ops dispatched since construction (the dispatch microbenchmark's
+  // denominator; fused ops count once).
+  int64_t statements_executed() const override { return ops_executed_; }
+
+  // Delivers buffered emits to the channel's batch sink. Must run before
+  // any builder reset; SerExecutor calls it at batch boundaries and after
+  // the record loop. No-op when nothing is buffered.
+  void FlushEmits();
+
+  // RootProvider: every kRef slot of every active frame.
+  void VisitRoots(const std::function<void(ObjRef*)>& visit) override;
+
+ private:
+  struct Frame {
+    const PlanFunction* func = nullptr;
+    std::vector<Value> slots;
+  };
+
+  static constexpr size_t kInputBatch = 256;
+  static constexpr size_t kEmitBatch = 128;
+
+  Frame* AcquireFrame(const PlanFunction* func);
+  void ReleaseFrame();
+  Value Invoke(const PlanFunction& func, const Value* args, size_t nargs);
+  Value Execute(Frame& frame);
+  Value RunIntrinsic(const PlanOp& op, const Value* slots, const int32_t* args_pool);
+  void RefillInput();
+
+  const SerPlan& primary_;
+  Heap& heap_;
+  const WellKnown& wk_;
+  const DataStructAnalyzer* layouts_;
+  BuilderStore* builders_;
+  RecordChannel* channel_ = nullptr;
+  std::unordered_map<const Function*, const PlanFunction*> fn_index_;
+  // One-entry lookup cache: record loops call the same body repeatedly.
+  const Function* last_fn_ = nullptr;
+  const PlanFunction* last_pf_ = nullptr;
+  std::vector<std::unique_ptr<Frame>> frame_pool_;  // [0, active) live
+  size_t active_frames_ = 0;
+  int64_t ops_executed_ = 0;
+  // Batched channel state.
+  int64_t input_buf_[kInputBatch];
+  size_t input_pos_ = 0;
+  size_t input_len_ = 0;
+  std::vector<EmittedRecord> emit_buf_;
+};
+
+// Fast-path runner factory: a PlanExecutor over `plan` (plus `extra_plans`)
+// when non-null, else the reference Interpreter over `program`.
+std::unique_ptr<SerRunner> MakeFastRunner(const SerPlan* plan, const SerProgram& program,
+                                          Heap& heap, const WellKnown& wk,
+                                          const DataStructAnalyzer* layouts,
+                                          BuilderStore* builders,
+                                          const std::vector<const SerPlan*>& extra_plans = {});
+
+}  // namespace gerenuk
+
+#endif  // SRC_EXEC_PLAN_H_

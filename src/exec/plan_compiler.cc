@@ -1,0 +1,808 @@
+#include "src/exec/plan_compiler.h"
+
+#include <map>
+#include <utility>
+
+namespace gerenuk {
+
+namespace {
+
+Intrinsic ResolveIntrinsic(const std::string& name) {
+  if (name == "exp") return Intrinsic::kExp;
+  if (name == "log") return Intrinsic::kLog;
+  if (name == "sqrt") return Intrinsic::kSqrt;
+  if (name == "abs") return Intrinsic::kAbs;
+  if (name == "stringLength") return Intrinsic::kStringLength;
+  if (name == "stringHash" || name == "hashCode") return Intrinsic::kStringHash;
+  if (name == "stringEquals") return Intrinsic::kStringEquals;
+  if (name == "stringCompare") return Intrinsic::kStringCompare;
+  return Intrinsic::kUnknown;
+}
+
+// Flattens one symbolic SizeExpr into a post-order FlatStep run: children
+// land before parents, shared subexpressions are emitted once, zero-scale
+// terms are dropped (the constant-folding pass proves them dead). The run's
+// last step is the expression itself.
+class Flattener {
+ public:
+  explicit Flattener(const ExprPool& pool) : pool_(pool) {}
+
+  bool Flatten(int expr_id, std::vector<FlatStep>* steps, std::vector<FlatTerm>* terms) {
+    steps_.clear();
+    terms_.clear();
+    local_.clear();
+    ok_ = true;
+    Visit(expr_id);
+    if (!ok_) {
+      return false;
+    }
+    *steps = steps_;
+    *terms = terms_;
+    return true;
+  }
+
+ private:
+  int Visit(int id) {
+    auto it = local_.find(id);
+    if (it != local_.end()) {
+      return it->second;
+    }
+    const SizeExpr& expr = pool_.Get(id);
+    std::vector<std::pair<int64_t, int>> children;
+    for (const SizeExpr::Term& term : expr.terms) {
+      if (term.scale == 0) {
+        continue;
+      }
+      children.emplace_back(term.scale, Visit(term.length_at));
+    }
+    if (!ok_ || steps_.size() >= kMaxFlatSteps) {
+      ok_ = false;
+      return 0;
+    }
+    FlatStep step;
+    step.constant = expr.constant;
+    step.first_term = static_cast<int32_t>(terms_.size());
+    step.num_terms = static_cast<int32_t>(children.size());
+    for (const auto& child : children) {
+      terms_.push_back(FlatTerm{child.first, static_cast<int32_t>(child.second)});
+    }
+    steps_.push_back(step);
+    int idx = static_cast<int>(steps_.size()) - 1;
+    local_[id] = idx;
+    return idx;
+  }
+
+  const ExprPool& pool_;
+  std::vector<FlatStep> steps_;
+  std::vector<FlatTerm> terms_;
+  std::unordered_map<int, int> local_;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+class PlanBuilder {
+ public:
+  PlanBuilder(const SerProgram& program, const DataStructAnalyzer& layouts, SerPlan* plan)
+      : program_(program), pool_(layouts.pool()), plan_(plan), flattener_(pool_) {}
+
+  void Build() {
+    plan_->funcs_.resize(program_.functions.size());
+    for (size_t i = 0; i < program_.functions.size(); ++i) {
+      LowerFunction(*program_.functions[i], &plan_->funcs_[i]);
+      plan_->by_fn_[program_.functions[i].get()] = i;
+    }
+    // Back-pointers only after the vector stops growing.
+    for (PlanFunction& pf : plan_->funcs_) {
+      pf.plan = plan_;
+    }
+    // Single-function programs (key/reduce/combine UDFs) have no stage body;
+    // their functions are invoked by name through another runner's fn index.
+    plan_->entry_ = program_.body != nullptr ? plan_->Lookup(program_.body) : nullptr;
+    for (const PlanFunction& pf : plan_->funcs_) {
+      for (const PlanOp& op : pf.ops) {
+        plan_->op_counts_[static_cast<size_t>(op.code)] += 1;
+        plan_->ops_total_ += 1;
+      }
+    }
+  }
+
+ private:
+  // Offset resolution for kReadNative/kAddrOfField: fills the op's
+  // const/sym fields and returns true when the offset folded to a constant.
+  bool LowerOffset(const Statement& s, PlanOp* op) {
+    int64_t folded = 0;
+    if (s.expr_is_const) {
+      op->imm = s.expr_const_offset;
+      plan_->offsets_folded_ += 1;
+      return true;
+    }
+    if (pool_.FoldedConstant(s.expr_id, &folded)) {
+      op->imm = folded;
+      plan_->offsets_folded_ += 1;
+      return true;
+    }
+    plan_->offsets_symbolic_ += 1;
+    op->expr_id = s.expr_id;
+    auto cached = flat_cache_.find(s.expr_id);
+    if (cached != flat_cache_.end()) {
+      op->flat_off = cached->second.first;
+      op->flat_len = cached->second.second;
+      return false;
+    }
+    std::vector<FlatStep> steps;
+    std::vector<FlatTerm> terms;
+    if (flattener_.Flatten(s.expr_id, &steps, &terms)) {
+      op->flat_off = static_cast<int32_t>(plan_->flat_steps_.size());
+      op->flat_len = static_cast<int32_t>(steps.size());
+      int32_t term_base = static_cast<int32_t>(plan_->flat_terms_.size());
+      for (FlatStep& step : steps) {
+        step.first_term += term_base;
+        plan_->flat_steps_.push_back(step);
+      }
+      for (const FlatTerm& term : terms) {
+        plan_->flat_terms_.push_back(term);
+      }
+    }
+    // Overflowed expressions keep flat_off = -1: ResolveOffset fallback.
+    flat_cache_[s.expr_id] = {op->flat_off, op->flat_len};
+    return false;
+  }
+
+  void LowerFunction(const Function& func, PlanFunction* out) {
+    out->src = &func;
+    out->num_params = func.num_params;
+    out->num_vars = static_cast<int>(func.vars.size());
+
+    // Pass A: one PlanOp per statement (labels and monitors vanish), with
+    // branch targets resolved through label_index into *op* indices. A
+    // statement index maps to the first op emitted at or after it, so a
+    // branch landing on a kLabel lands on the next real op — exactly the
+    // interpreter's "jump to the no-op label, fall through" behavior.
+    std::vector<PlanOp> ops;
+    std::vector<int32_t> op_of_stmt(func.body.size() + 1, 0);
+    for (size_t i = 0; i < func.body.size(); ++i) {
+      op_of_stmt[i] = static_cast<int32_t>(ops.size());
+      LowerStatement(func.body[i], out, &ops);
+    }
+    op_of_stmt[func.body.size()] = static_cast<int32_t>(ops.size());
+    // Synthetic return: falling off the end yields None, and every branch
+    // target past the last real op stays a valid op index.
+    PlanOp ret;
+    ret.code = PlanOpCode::kReturnVoid;
+    ops.push_back(ret);
+
+    for (PlanOp& op : ops) {
+      if (op.target >= 0) {
+        // During lowering, target temporarily holds a label id.
+        GERENUK_CHECK_LT(static_cast<size_t>(op.target), func.label_index.size());
+        op.target = op_of_stmt[static_cast<size_t>(func.label_index[op.target])];
+      }
+    }
+
+    // Pass B: copy elimination. FunctionBuilder lowers every AssignTo as
+    // `temp = <produce>; var = temp`; when nothing but that kAssign ever
+    // reads the temp, the producer can write `var` directly and the copy
+    // disappears. Handlers read all operands before writing dst, so the
+    // rewrite is safe even when `var` is one of the producer's operands.
+    {
+      std::vector<char> leader(ops.size(), 0);
+      for (const PlanOp& op : ops) {
+        if (op.target >= 0) {
+          leader[static_cast<size_t>(op.target)] = 1;
+        }
+      }
+      // Reads per variable: a/b/c are operand reads whenever set, plus the
+      // call/intrinsic argument pool. dst (and the not-yet-created dst2)
+      // are writes.
+      std::vector<int32_t> reads(static_cast<size_t>(out->num_vars), 0);
+      auto count_read = [&reads](int32_t v) {
+        if (v >= 0 && static_cast<size_t>(v) < reads.size()) {
+          reads[static_cast<size_t>(v)] += 1;
+        }
+      };
+      for (const PlanOp& op : ops) {
+        count_read(op.a);
+        count_read(op.b);
+        count_read(op.c);
+        for (int32_t j = 0; j < op.args_len; ++j) {
+          count_read(out->args_pool[static_cast<size_t>(op.args_off + j)]);
+        }
+      }
+      std::vector<PlanOp> pruned;
+      pruned.reserve(ops.size());
+      std::vector<int32_t> remap(ops.size() + 1, 0);
+      size_t j = 0;
+      while (j < ops.size()) {
+        remap[j] = static_cast<int32_t>(pruned.size());
+        if (j + 1 < ops.size() && !leader[j + 1]) {
+          const PlanOp& x = ops[j];
+          const PlanOp& y = ops[j + 1];
+          if (y.code == PlanOpCode::kAssign && x.dst >= 0 && y.a == x.dst &&
+              reads[static_cast<size_t>(x.dst)] == 1) {
+            remap[j + 1] = static_cast<int32_t>(pruned.size());
+            pruned.push_back(x);
+            pruned.back().dst = y.dst;
+            plan_->ops_copies_elided_ += 1;
+            j += 2;
+            continue;
+          }
+        }
+        pruned.push_back(ops[j]);
+        j += 1;
+      }
+      remap[ops.size()] = static_cast<int32_t>(pruned.size());
+      for (PlanOp& op : pruned) {
+        if (op.target >= 0) {
+          op.target = remap[static_cast<size_t>(op.target)];
+        }
+        if (op.target2 >= 0) {
+          op.target2 = remap[static_cast<size_t>(op.target2)];
+        }
+      }
+      ops = std::move(pruned);
+    }
+
+    // Pass B1b: const hoisting. A kConst whose destination has no other
+    // writer in the function always produces the same value, so it runs
+    // once at function entry instead of (potentially) once per loop
+    // iteration — FunctionBuilder materializes literals right before use,
+    // which puts them inside loop bodies. Builder code always writes a
+    // temp before reading it, so moving the single write earlier is
+    // unobservable; param slots are excluded (the call writes those).
+    {
+      std::vector<int32_t> writes(static_cast<size_t>(out->num_vars), 0);
+      for (const PlanOp& op : ops) {
+        if (op.dst >= 0 && static_cast<size_t>(op.dst) < writes.size()) {
+          writes[static_cast<size_t>(op.dst)] += 1;
+        }
+      }
+      std::vector<char> hoist(ops.size(), 0);
+      size_t num_hoisted = 0;
+      for (size_t j = 0; j < ops.size(); ++j) {
+        const PlanOp& op = ops[j];
+        if (op.code == PlanOpCode::kConst && op.dst >= out->num_params &&
+            writes[static_cast<size_t>(op.dst)] == 1) {
+          hoist[j] = 1;
+          ++num_hoisted;
+        }
+      }
+      if (num_hoisted > 0) {
+        std::vector<PlanOp> reordered;
+        reordered.reserve(ops.size());
+        for (size_t j = 0; j < ops.size(); ++j) {
+          if (hoist[j]) {
+            reordered.push_back(ops[j]);
+          }
+        }
+        std::vector<int32_t> remap(ops.size() + 1, 0);
+        for (size_t j = 0; j < ops.size(); ++j) {
+          if (!hoist[j]) {
+            remap[j] = static_cast<int32_t>(reordered.size());
+            reordered.push_back(ops[j]);
+          }
+        }
+        remap[ops.size()] = static_cast<int32_t>(reordered.size());
+        // A branch that landed on a hoisted const lands on the next op
+        // instead: the const already ran at entry, and re-running it would
+        // be idempotent anyway.
+        for (size_t j = ops.size(); j-- > 0;) {
+          if (hoist[j]) {
+            remap[j] = remap[j + 1];
+          }
+        }
+        for (PlanOp& op : reordered) {
+          if (op.target >= 0) {
+            op.target = remap[static_cast<size_t>(op.target)];
+          }
+          if (op.target2 >= 0) {
+            op.target2 = remap[static_cast<size_t>(op.target2)];
+          }
+        }
+        ops = std::move(reordered);
+      }
+    }
+
+    // Pass B2: jump threading. A kJump is replaced by a copy of a short
+    // prefix of its target block (up to kThreadWindow ops) plus a jump to
+    // the remainder — inlining the destination, so any prefix length is
+    // semantically neutral. The payoff is structural: the old target often
+    // stops being entered sideways (e.g. a bottom-test loop's condition
+    // block and its loop-entry jump), which unblocks the run collapse and
+    // fusion passes below.
+    {
+      constexpr size_t kThreadWindow = 3;
+      auto is_control = [](PlanOpCode c) {
+        return c == PlanOpCode::kJump || c == PlanOpCode::kBranch ||
+               c == PlanOpCode::kReturn || c == PlanOpCode::kReturnVoid ||
+               c == PlanOpCode::kAbort;
+      };
+      auto is_unconditional = [](PlanOpCode c) {
+        return c == PlanOpCode::kJump || c == PlanOpCode::kReturn ||
+               c == PlanOpCode::kReturnVoid || c == PlanOpCode::kAbort;
+      };
+      std::vector<PlanOp> threaded;
+      threaded.reserve(ops.size());
+      std::vector<int32_t> remap(ops.size() + 1, 0);
+      for (size_t j = 0; j < ops.size(); ++j) {
+        remap[j] = static_cast<int32_t>(threaded.size());
+        const PlanOp& op = ops[j];
+        if (op.code == PlanOpCode::kJump) {
+          size_t t = static_cast<size_t>(op.target);
+          size_t end = t;  // one past the prefix to inline
+          while (end < ops.size() && end - t < kThreadWindow &&
+                 !is_control(ops[end].code)) {
+            ++end;
+          }
+          // Thread only when the prefix reaches a control op inside the
+          // window; otherwise the copy would end in a rejoin jump and save
+          // no dispatches — pure code growth.
+          if (end < ops.size() && end - t < kThreadWindow) {
+            ++end;  // the control op itself is part of the prefix
+            for (size_t m = t; m < end; ++m) {
+              threaded.push_back(ops[m]);  // targets still in old indices
+            }
+            if (!is_unconditional(ops[end - 1].code)) {
+              // The prefix ends in a conditional branch: its fall-through
+              // must rejoin the original successor.
+              PlanOp rejoin;
+              rejoin.code = PlanOpCode::kJump;
+              rejoin.target = static_cast<int32_t>(end);
+              threaded.push_back(rejoin);
+            }
+            continue;
+          }
+        }
+        threaded.push_back(op);
+      }
+      remap[ops.size()] = static_cast<int32_t>(threaded.size());
+      for (PlanOp& op : threaded) {
+        if (op.target >= 0) {
+          op.target = remap[static_cast<size_t>(op.target)];
+        }
+        if (op.target2 >= 0) {
+          op.target2 = remap[static_cast<size_t>(op.target2)];
+        }
+      }
+      ops = std::move(threaded);
+    }
+
+    // Pass B3: collapse each maximal straight-line run of >= 3 consecutive
+    // kBinOps (no branch landing inside it; landing on its head is fine)
+    // into one kBinOpRun whose {kind, a, b, dst} entries live in args_pool.
+    // Small integer kConsts join a run as immediate entries (kind -1) so a
+    // loop-body constant doesn't split the chain. Every entry still stores
+    // its destination in order, so the run is indistinguishable from the
+    // unfused ops to any reader or to a branch that follows it.
+    {
+      std::vector<char> leader(ops.size(), 0);
+      for (const PlanOp& op : ops) {
+        if (op.target >= 0) {
+          leader[static_cast<size_t>(op.target)] = 1;
+        }
+      }
+      auto run_member = [](const PlanOp& op) {
+        if (op.code == PlanOpCode::kBinOp) {
+          return true;
+        }
+        // Value{kI64, v, 0.0} == Value::I64(v), so an int32-sized I64 const
+        // is exactly an immediate entry.
+        return op.code == PlanOpCode::kConst && op.imm_tag == ValueTag::kI64 &&
+               op.imm >= INT32_MIN && op.imm <= INT32_MAX;
+      };
+      std::vector<PlanOp> packed;
+      packed.reserve(ops.size());
+      std::vector<int32_t> remap(ops.size() + 1, 0);
+      size_t j = 0;
+      while (j < ops.size()) {
+        remap[j] = static_cast<int32_t>(packed.size());
+        size_t k = j;
+        while (k < ops.size() && run_member(ops[k]) && (k == j || !leader[k])) {
+          ++k;
+        }
+        // Any >= 3 straight-line run pays for itself: one dispatch plus a
+        // tight entry loop beats three dispatches even when the entries are
+        // all constants (function-entry const blocks are the common case).
+        if (k - j >= 3) {
+          PlanOp run;
+          run.code = PlanOpCode::kBinOpRun;
+          run.args_off = static_cast<int32_t>(out->args_pool.size());
+          run.args_len = static_cast<int32_t>(4 * (k - j));
+          for (size_t m = j; m < k; ++m) {
+            remap[m] = static_cast<int32_t>(packed.size());
+            if (ops[m].code == PlanOpCode::kConst) {
+              out->args_pool.push_back(-1);
+              out->args_pool.push_back(static_cast<int32_t>(ops[m].imm));
+              out->args_pool.push_back(-1);
+            } else {
+              out->args_pool.push_back(static_cast<int32_t>(ops[m].binop));
+              out->args_pool.push_back(ops[m].a);
+              out->args_pool.push_back(ops[m].b);
+            }
+            out->args_pool.push_back(ops[m].dst);
+          }
+          packed.push_back(run);
+          plan_->ops_fused_ += static_cast<int64_t>(k - j - 1);
+          j = k;
+        } else {
+          packed.push_back(ops[j]);
+          j += 1;
+        }
+      }
+      remap[ops.size()] = static_cast<int32_t>(packed.size());
+      for (PlanOp& op : packed) {
+        if (op.target >= 0) {
+          op.target = remap[static_cast<size_t>(op.target)];
+        }
+        if (op.target2 >= 0) {
+          op.target2 = remap[static_cast<size_t>(op.target2)];
+        }
+      }
+      ops = std::move(packed);
+    }
+
+    // Pass C: peephole fusion over adjacent pairs, repeated to a fixpoint —
+    // a later round can absorb a round-1 superinstruction's neighbor (e.g.
+    // kBinOpBin + the loop back-edge kJump becomes kBinOpBinJump, the whole
+    // tail of a counted loop in one dispatch). Intermediate destinations
+    // are still written (no liveness analysis), so semantics are identical
+    // whether or not a pair fuses. Branch/jump destinations start basic
+    // blocks; a block leader must stay addressable, so it can never be the
+    // second half of a fusion.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      std::vector<char> leader(ops.size(), 0);
+      for (const PlanOp& op : ops) {
+        if (op.target >= 0) {
+          leader[static_cast<size_t>(op.target)] = 1;
+        }
+        if (op.target2 >= 0) {
+          leader[static_cast<size_t>(op.target2)] = 1;
+        }
+      }
+      std::vector<PlanOp> fused;
+      fused.reserve(ops.size());
+      std::vector<int32_t> remap(ops.size() + 1, 0);
+      size_t i = 0;
+      while (i < ops.size()) {
+        remap[i] = static_cast<int32_t>(fused.size());
+        PlanOp merged;
+        if (i + 1 < ops.size() && !leader[i + 1] && TryFuse(ops[i], ops[i + 1], &merged)) {
+          remap[i + 1] = static_cast<int32_t>(fused.size());
+          fused.push_back(merged);
+          plan_->ops_fused_ += 1;
+          changed = true;
+          i += 2;
+        } else {
+          fused.push_back(ops[i]);
+          i += 1;
+        }
+      }
+      remap[ops.size()] = static_cast<int32_t>(fused.size());
+      for (PlanOp& op : fused) {
+        if (op.target >= 0) {
+          op.target = remap[static_cast<size_t>(op.target)];
+        }
+        if (op.target2 >= 0) {
+          op.target2 = remap[static_cast<size_t>(op.target2)];
+        }
+      }
+      ops = std::move(fused);
+    }
+    out->ops = std::move(ops);
+  }
+
+  static bool TryFuse(const PlanOp& x, const PlanOp& y, PlanOp* out) {
+    if (x.code == PlanOpCode::kBinOp && y.code == PlanOpCode::kBranch) {
+      *out = x;
+      out->code = PlanOpCode::kBinOpBranch;
+      out->c = y.a;
+      out->target = y.target;
+      return true;
+    }
+    if (x.code == PlanOpCode::kUnOp && x.unop == UnOpKind::kNot &&
+        y.code == PlanOpCode::kBranch) {
+      *out = x;
+      out->code = PlanOpCode::kNotBranch;
+      out->c = y.a;
+      out->target = y.target;
+      return true;
+    }
+    if (x.code == PlanOpCode::kBinOp && y.code == PlanOpCode::kJump) {
+      *out = x;
+      out->code = PlanOpCode::kBinOpJump;
+      out->target = y.target;
+      return true;
+    }
+    // A conditional branch that falls through into a jump takes both edges
+    // in one dispatch (the shape jump threading leaves behind loop tails).
+    if (y.code == PlanOpCode::kJump &&
+        (x.code == PlanOpCode::kBranch || x.code == PlanOpCode::kBinOpBranch ||
+         x.code == PlanOpCode::kBinOpRunBranch)) {
+      *out = x;
+      out->code = x.code == PlanOpCode::kBranch ? PlanOpCode::kBranchElse
+                  : x.code == PlanOpCode::kBinOpBranch
+                      ? PlanOpCode::kBinOpBranchElse
+                      : PlanOpCode::kBinOpRunBranchElse;
+      out->target2 = y.target;
+      return true;
+    }
+    if (x.code == PlanOpCode::kBinOpRun && y.code == PlanOpCode::kBranch) {
+      *out = x;
+      out->code = PlanOpCode::kBinOpRunBranch;
+      out->c = y.a;
+      out->target = y.target;
+      return true;
+    }
+    if (x.code == PlanOpCode::kBinOpRun && y.code == PlanOpCode::kJump) {
+      *out = x;
+      out->code = PlanOpCode::kBinOpRunJump;
+      out->target = y.target;
+      return true;
+    }
+    if (x.code == PlanOpCode::kBinOpBin && y.code == PlanOpCode::kJump) {
+      *out = x;
+      out->code = PlanOpCode::kBinOpBinJump;
+      out->target = y.target;
+      return true;
+    }
+    if (x.code == PlanOpCode::kBinOp && y.code == PlanOpCode::kBinOpJump) {
+      *out = x;
+      out->code = PlanOpCode::kBinOpBinJump;
+      out->imm = static_cast<int64_t>(y.binop);
+      out->c = y.a;
+      out->d = y.b;
+      out->dst2 = y.dst;
+      out->target = y.target;
+      return true;
+    }
+    if (x.code == PlanOpCode::kBinOp && y.code == PlanOpCode::kBinOp) {
+      // Both results are still stored, and the second binop reads its
+      // operands from the slots after the first one's store, so dependent
+      // and independent pairs alike behave exactly as when unfused. The
+      // second kind rides in `imm`, which kBinOp never uses.
+      *out = x;
+      out->code = PlanOpCode::kBinOpBin;
+      out->imm = static_cast<int64_t>(y.binop);
+      out->c = y.a;
+      out->d = y.b;
+      out->dst2 = y.dst;
+      return true;
+    }
+    if (x.code == PlanOpCode::kReadNativeConst && y.code == PlanOpCode::kBinOp &&
+        y.dst != x.dst) {
+      // The binop may read the loaded value (y.a/y.b == x.dst is fine: the
+      // load's slot is written first), but must not overwrite it before the
+      // operands are read — excluded by y.dst != x.dst above for the only
+      // aliasing that matters.
+      *out = x;
+      out->code = PlanOpCode::kReadConstBin;
+      out->binop = y.binop;
+      out->b = y.a;
+      out->c = y.b;
+      out->dst2 = y.dst;
+      return true;
+    }
+    return false;
+  }
+
+  void LowerStatement(const Statement& s, PlanFunction* out, std::vector<PlanOp>* ops) {
+    PlanOp op;
+    op.dst = s.dst;
+    op.a = s.a;
+    op.b = s.b;
+    op.c = s.c;
+    op.klass = s.klass;
+    op.binop = s.binop;
+    op.unop = s.unop;
+    op.abort_reason = s.abort_reason;
+    switch (s.op) {
+      case Op::kLabel:
+      case Op::kMonitorEnter:
+      case Op::kMonitorExit:
+        return;  // no-ops carry no runtime behavior: emit nothing
+      case Op::kConst:
+        op.code = PlanOpCode::kConst;
+        op.imm_tag = s.imm.tag;
+        op.imm = s.imm.i;
+        op.fimm = s.imm.d;
+        break;
+      case Op::kAssign:
+        op.code = PlanOpCode::kAssign;
+        break;
+      case Op::kBinOp:
+        op.code = PlanOpCode::kBinOp;
+        break;
+      case Op::kUnOp:
+        op.code = PlanOpCode::kUnOp;
+        break;
+      case Op::kDeserialize:
+        op.code = PlanOpCode::kDeserialize;
+        break;
+      case Op::kSerialize:
+        op.code = PlanOpCode::kSerialize;
+        break;
+      case Op::kFieldLoad:
+      case Op::kFieldStore: {
+        // Pre-bind the heap field's offset and kind: no klass->field() walk
+        // per execution.
+        const FieldInfo& field = s.klass->field(s.field_index);
+        op.code = s.op == Op::kFieldLoad ? PlanOpCode::kFieldLoad : PlanOpCode::kFieldStore;
+        op.imm = field.offset;
+        op.kind = field.kind;
+        break;
+      }
+      case Op::kArrayLoad:
+        op.code = PlanOpCode::kArrayLoad;
+        op.kind = s.elem_kind;
+        break;
+      case Op::kArrayStore:
+        op.code = PlanOpCode::kArrayStore;
+        op.kind = s.elem_kind;
+        break;
+      case Op::kArrayLength:
+        op.code = PlanOpCode::kArrayLength;
+        break;
+      case Op::kNewObject:
+        op.code = PlanOpCode::kNewObject;
+        break;
+      case Op::kNewArray:
+        op.code = PlanOpCode::kNewArray;
+        break;
+      case Op::kCall:
+        op.code = PlanOpCode::kCall;
+        op.callee = s.func;
+        op.args_off = static_cast<int32_t>(out->args_pool.size());
+        op.args_len = static_cast<int32_t>(s.args.size());
+        for (int arg : s.args) {
+          out->args_pool.push_back(arg);
+        }
+        break;
+      case Op::kCallNative:
+        op.code = PlanOpCode::kIntrinsic;
+        op.intrinsic = ResolveIntrinsic(s.native_name);
+        op.args_off = static_cast<int32_t>(out->args_pool.size());
+        op.args_len = static_cast<int32_t>(s.args.size());
+        for (int arg : s.args) {
+          out->args_pool.push_back(arg);
+        }
+        break;
+      case Op::kBranch:
+        op.code = PlanOpCode::kBranch;
+        op.target = s.label;  // label id until the patch pass
+        break;
+      case Op::kJump:
+        op.code = PlanOpCode::kJump;
+        op.target = s.label;
+        break;
+      case Op::kReturn:
+        op.code = PlanOpCode::kReturn;
+        break;
+      case Op::kGetAddress:
+        op.code = PlanOpCode::kGetAddress;
+        break;
+      case Op::kGWriteObject:
+        op.code = PlanOpCode::kGWriteObject;
+        break;
+      case Op::kReadNative:
+        op.kind = s.elem_kind;
+        op.field_index = s.field_index;
+        op.code = LowerOffset(s, &op) ? PlanOpCode::kReadNativeConst
+                                      : PlanOpCode::kReadNativeSym;
+        break;
+      case Op::kWriteNative:
+        op.code = PlanOpCode::kWriteNative;
+        op.kind = s.elem_kind;
+        op.field_index = s.field_index;
+        break;
+      case Op::kAddrOfField:
+        op.field_index = s.field_index;
+        op.code = LowerOffset(s, &op) ? PlanOpCode::kAddrOfFieldConst
+                                      : PlanOpCode::kAddrOfFieldSym;
+        break;
+      case Op::kNativeArrayLength:
+        op.code = PlanOpCode::kNativeArrayLength;
+        break;
+      case Op::kNativeArrayLoad:
+        op.code = PlanOpCode::kNativeArrayLoad;
+        op.kind = s.elem_kind;
+        break;
+      case Op::kNativeArrayStore:
+        op.code = PlanOpCode::kNativeArrayStore;
+        op.kind = s.elem_kind;
+        break;
+      case Op::kNativeArrayElemAddr:
+        op.code = PlanOpCode::kNativeArrayElemAddr;
+        break;
+      case Op::kAppendRecord:
+        op.code = PlanOpCode::kAppendRecord;
+        break;
+      case Op::kAppendArray:
+        op.code = PlanOpCode::kAppendArray;
+        break;
+      case Op::kAttachField:
+        op.code = PlanOpCode::kAttachField;
+        op.field_index = s.field_index;
+        break;
+      case Op::kAttachElement:
+        op.code = PlanOpCode::kAttachElement;
+        break;
+      case Op::kAbort:
+        op.code = PlanOpCode::kAbort;
+        break;
+    }
+    op.float_kind = op.kind == FieldKind::kF32 || op.kind == FieldKind::kF64;
+    ops->push_back(op);
+  }
+
+  const SerProgram& program_;
+  const ExprPool& pool_;
+  SerPlan* plan_;
+  Flattener flattener_;
+  std::unordered_map<int, std::pair<int32_t, int32_t>> flat_cache_;
+};
+
+std::shared_ptr<const SerPlan> CompilePlan(const SerProgram& program,
+                                           const DataStructAnalyzer& layouts) {
+  auto plan = std::make_shared<SerPlan>();
+  PlanBuilder builder(program, layouts, plan.get());
+  builder.Build();
+  return plan;
+}
+
+const char* PlanOpName(PlanOpCode code) {
+  switch (code) {
+    case PlanOpCode::kConst: return "const";
+    case PlanOpCode::kAssign: return "assign";
+    case PlanOpCode::kBinOp: return "binop";
+    case PlanOpCode::kUnOp: return "unop";
+    case PlanOpCode::kDeserialize: return "deserialize";
+    case PlanOpCode::kSerialize: return "serialize";
+    case PlanOpCode::kFieldLoad: return "fieldload";
+    case PlanOpCode::kFieldStore: return "fieldstore";
+    case PlanOpCode::kArrayLoad: return "arrayload";
+    case PlanOpCode::kArrayStore: return "arraystore";
+    case PlanOpCode::kArrayLength: return "arraylength";
+    case PlanOpCode::kNewObject: return "newobject";
+    case PlanOpCode::kNewArray: return "newarray";
+    case PlanOpCode::kCall: return "call";
+    case PlanOpCode::kIntrinsic: return "intrinsic";
+    case PlanOpCode::kBranch: return "branch";
+    case PlanOpCode::kJump: return "jump";
+    case PlanOpCode::kReturn: return "return";
+    case PlanOpCode::kReturnVoid: return "returnvoid";
+    case PlanOpCode::kGetAddress: return "getaddress";
+    case PlanOpCode::kGWriteObject: return "gwriteobject";
+    case PlanOpCode::kReadNativeConst: return "readnative.const";
+    case PlanOpCode::kReadNativeSym: return "readnative.sym";
+    case PlanOpCode::kWriteNative: return "writenative";
+    case PlanOpCode::kAddrOfFieldConst: return "addroffield.const";
+    case PlanOpCode::kAddrOfFieldSym: return "addroffield.sym";
+    case PlanOpCode::kNativeArrayLength: return "narraylength";
+    case PlanOpCode::kNativeArrayLoad: return "narrayload";
+    case PlanOpCode::kNativeArrayStore: return "narraystore";
+    case PlanOpCode::kNativeArrayElemAddr: return "narrayelemaddr";
+    case PlanOpCode::kAppendRecord: return "appendrecord";
+    case PlanOpCode::kAppendArray: return "appendarray";
+    case PlanOpCode::kAttachField: return "attachfield";
+    case PlanOpCode::kAttachElement: return "attachelement";
+    case PlanOpCode::kAbort: return "abort";
+    case PlanOpCode::kBinOpBranch: return "binop+branch";
+    case PlanOpCode::kNotBranch: return "not+branch";
+    case PlanOpCode::kBinOpJump: return "binop+jump";
+    case PlanOpCode::kReadConstBin: return "read.const+binop";
+    case PlanOpCode::kBinOpBin: return "binop+binop";
+    case PlanOpCode::kBinOpBinJump: return "binop+binop+jump";
+    case PlanOpCode::kBinOpRun: return "binop.run";
+    case PlanOpCode::kBinOpRunBranch: return "binop.run+branch";
+    case PlanOpCode::kBinOpRunJump: return "binop.run+jump";
+    case PlanOpCode::kBranchElse: return "branch+else";
+    case PlanOpCode::kBinOpBranchElse: return "binop+branch+else";
+    case PlanOpCode::kBinOpRunBranchElse: return "binop.run+branch+else";
+    case PlanOpCode::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace gerenuk

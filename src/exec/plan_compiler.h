@@ -1,0 +1,20 @@
+// The SerProgram -> SerPlan lowering (see src/exec/plan.h for the data
+// structures and DESIGN.md "Plan compiler" for the lowering rules). Split
+// from plan.cc so the compiler (driver-side, once per stage) and the
+// executor (worker-side, once per record) stay separately readable.
+#ifndef SRC_EXEC_PLAN_COMPILER_H_
+#define SRC_EXEC_PLAN_COMPILER_H_
+
+#include "src/exec/plan.h"
+
+namespace gerenuk {
+
+// Declared in plan.h (friend of SerPlan); re-exported here for callers that
+// only compile plans:
+//
+//   std::shared_ptr<const SerPlan> CompilePlan(const SerProgram& program,
+//                                              const DataStructAnalyzer& layouts);
+
+}  // namespace gerenuk
+
+#endif  // SRC_EXEC_PLAN_COMPILER_H_

@@ -1,12 +1,18 @@
 #include "src/exec/ser_executor.h"
 
+#include <algorithm>
+
 namespace gerenuk {
 
 
 
 bool SerExecutor::RunFastPathIo(TaskIo& io, PhaseTimes& times, SpecOutcome* outcome) {
   BuilderStore builders(layouts_);
-  Interpreter interp(transformed_, heap_, wk_, &layouts_, &builders);
+  std::unique_ptr<SerRunner> runner =
+      MakeFastRunner(io.plan, transformed_, heap_, wk_, &layouts_, &builders, io.extra_plans);
+  PlanExecutor* plan_exec =
+      io.plan != nullptr ? static_cast<PlanExecutor*>(runner.get()) : nullptr;
+  SerRunner& fast = *runner;
 
   size_t cursor = 0;
   RecordChannel channel;
@@ -14,10 +20,34 @@ bool SerExecutor::RunFastPathIo(TaskIo& io, PhaseTimes& times, SpecOutcome* outc
     GERENUK_CHECK_LT(cursor, io.input->record_count());
     return io.input->record_addr(cursor);
   };
-  channel.emit_native_record = [&io, &interp, &builders](int64_t addr, const Klass* klass) {
-    io.emit_native(addr, klass, interp, builders);
+  channel.emit_native_record = [&io, &fast, &builders](int64_t addr, const Klass* klass) {
+    io.emit_native(addr, klass, fast, builders);
   };
-  interp.set_channel(&channel);
+  // The plan path widens the channel: input addresses are handed out in runs
+  // (one std::function hop per batch instead of per record) and emits arrive
+  // as buffered runs. `batch_cursor` tracks handed-out prefetch positions;
+  // the outer loop's `cursor` still drives per-record abort accounting, and
+  // since the body consumes exactly one address per record the two agree.
+  size_t batch_cursor = 0;
+  if (plan_exec != nullptr) {
+    channel.next_native_batch = [&io, &batch_cursor](int64_t* out, size_t cap) {
+      size_t total = io.input->record_count();
+      GERENUK_CHECK_LT(batch_cursor, total);
+      size_t n = std::min(cap, total - batch_cursor);
+      for (size_t i = 0; i < n; ++i) {
+        out[i] = io.input->record_addr(batch_cursor + i);
+      }
+      batch_cursor += n;
+      return n;
+    };
+    channel.emit_native_batch = [&io, &fast, &builders](const EmittedRecord* records,
+                                                        size_t count) {
+      for (size_t i = 0; i < count; ++i) {
+        io.emit_native(records[i].addr, records[i].klass, fast, builders);
+      }
+    };
+  }
+  fast.set_channel(&channel);
 
   const int64_t forced =
       io.faults != nullptr
@@ -28,16 +58,36 @@ bool SerExecutor::RunFastPathIo(TaskIo& io, PhaseTimes& times, SpecOutcome* outc
   heap_.set_phase_times(&times);
   try {
     ComputePhaseScope compute(times);
-    for (cursor = 0; cursor < io.input->record_count(); ++cursor) {
-      if (forced >= 0 && static_cast<int64_t>(cursor) == forced) {
-        throw SerAbort{AbortReason::kForced, "forced abort (fault plan)"};
+    if (plan_exec != nullptr) {
+      // Builders stay live across a batch so buffered emits can still render
+      // them; flush-then-clear runs at batch boundaries instead of per record.
+      constexpr size_t kClearInterval = 64;
+      for (cursor = 0; cursor < io.input->record_count(); ++cursor) {
+        if (forced >= 0 && static_cast<int64_t>(cursor) == forced) {
+          throw SerAbort{AbortReason::kForced, "forced abort (fault plan)"};
+        }
+        plan_exec->CallFunction(transformed_.body, io.fast_args);
+        outcome->records_processed += 1;
+        if ((cursor + 1) % kClearInterval == 0) {
+          plan_exec->FlushEmits();
+          builders.Clear();
+        }
       }
-      interp.CallFunction(transformed_.body, io.fast_args);
-      // Builders are per-record scratch state; a fresh record starts clean.
-      builders.Clear();
-      outcome->records_processed += 1;
+      plan_exec->FlushEmits();
+    } else {
+      for (cursor = 0; cursor < io.input->record_count(); ++cursor) {
+        if (forced >= 0 && static_cast<int64_t>(cursor) == forced) {
+          throw SerAbort{AbortReason::kForced, "forced abort (fault plan)"};
+        }
+        fast.CallFunction(transformed_.body, io.fast_args);
+        // Builders are per-record scratch state; a fresh record starts clean.
+        builders.Clear();
+        outcome->records_processed += 1;
+      }
     }
   } catch (const SerAbort& abort) {
+    // Buffered emits die with the runner: the abort contract discards every
+    // intermediate buffer, and io.on_abort tears down engine-side output.
     outcome->aborts += 1;
     outcome->abort_reason = abort.reason;
     outcome->records_wasted += static_cast<int64_t>(cursor);
@@ -176,11 +226,11 @@ SpecOutcome SerExecutor::RunTask(const NativePartition& input, NativePartition* 
   io.input = &input;
   io.faults = faults;
   io.task_ordinal = task_ordinal;
-  io.emit_native = [output](int64_t addr, const Klass* klass, Interpreter&,
+  io.emit_native = [output](int64_t addr, const Klass* klass, SerRunner&,
                             BuilderStore& builders) {
     builders.Render(addr, klass, *output);
   };
-  io.emit_heap = [this, output, &serde, &times](ObjRef ref, const Klass* klass, Interpreter&) {
+  io.emit_heap = [this, output, &serde, &times](ObjRef ref, const Klass* klass, SerRunner&) {
     ScopedPhase phase(times, Phase::kSerialize);
     ByteBuffer body;
     serde.WriteRecord(ref, klass, body);
@@ -196,7 +246,7 @@ void SerExecutor::RunSlowPath(const NativePartition& input, NativePartition* out
   InlineSerializer serde(heap_);
   TaskIo io;
   io.input = &input;
-  io.emit_heap = [this, output, &serde, &times](ObjRef ref, const Klass* klass, Interpreter&) {
+  io.emit_heap = [this, output, &serde, &times](ObjRef ref, const Klass* klass, SerRunner&) {
     ScopedPhase phase(times, Phase::kSerialize);
     ByteBuffer body;
     serde.WriteRecord(ref, klass, body);

@@ -15,7 +15,7 @@
 #include <functional>
 
 #include "src/exec/fault.h"
-#include "src/exec/interpreter.h"
+#include "src/exec/plan.h"
 #include "src/serde/inline_serializer.h"
 
 namespace gerenuk {
@@ -33,13 +33,20 @@ struct SpecOutcome {
 // arguments for the task body (e.g. a broadcast variable's record).
 struct TaskIo {
   const NativePartition* input = nullptr;
+  // Compiled plan for the transformed program; when set, the fast path runs
+  // on the direct-threaded PlanExecutor instead of the tree-walking
+  // Interpreter (identical semantics — the differential tests prove it).
+  // `extra_plans` register auxiliary function plans (key extraction, reduce
+  // folds) with the same runner.
+  const SerPlan* plan = nullptr;
+  std::vector<const SerPlan*> extra_plans;
   // Fast path: `addr` is a committed address or builder; the engine renders
-  // it wherever it wants via `builders` and may call back into `interp`
+  // it wherever it wants via `builders` and may call back into `runner`
   // (e.g. to evaluate a key-extraction function on the emitted record).
-  std::function<void(int64_t addr, const Klass*, Interpreter& interp, BuilderStore& builders)>
+  std::function<void(int64_t addr, const Klass*, SerRunner& runner, BuilderStore& builders)>
       emit_native;
   // Slow path: emitted record as a rooted heap object.
-  std::function<void(ObjRef, const Klass*, Interpreter& interp)> emit_heap;
+  std::function<void(ObjRef, const Klass*, SerRunner& runner)> emit_heap;
   // Extra body arguments. Fast path gets kAddr values, slow path kRef.
   std::vector<Value> fast_args;
   std::vector<Value> slow_args;

@@ -102,6 +102,19 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
     combine_c = CompileSingleFunction(config_.mode, layouts_, udfs, combiner_fn,
                                       &stats_.transform);
   }
+  if (config_.mode == EngineMode::kGerenuk && config_.use_plan_compiler) {
+    // Transformation may have grown the offset-expression pool; fold before
+    // lowering so now-constant expressions become plan immediates.
+    pool_.FoldConstants();
+    map_stage.plan = CompilePlan(*map_stage.transformed, layouts_);
+    key_c.plan = CompilePlan(*key_c.transformed, layouts_);
+    reduce_c.plan = CompilePlan(*reduce_c.transformed, layouts_);
+    stats_.plans_compiled += 3;
+    if (combiner_fn != nullptr) {
+      combine_c.plan = CompilePlan(*combine_c.transformed, layouts_);
+      stats_.plans_compiled += 1;
+    }
+  }
 
   std::vector<Segment> segments;
   ShuffleKey::Hash hasher;
@@ -252,9 +265,11 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
             std::sort(entries.begin(), entries.end(), EntryOrder);
             Segment segment(reducers, &memory_, config_.mode);
             BuilderStore builders(layouts_);
-            Interpreter combine_interp(combiner_fn != nullptr ? *combine_c.transformed
-                                                              : *key_c.transformed,
-                                       ctx.heap(), ctx.wk(), &layouts_, &builders);
+            std::unique_ptr<SerRunner> combine_runner = MakeFastRunner(
+                combiner_fn != nullptr ? combine_c.plan.get() : key_c.plan.get(),
+                combiner_fn != nullptr ? *combine_c.transformed : *key_c.transformed,
+                ctx.heap(), ctx.wk(), &layouts_, &builders);
+            SerRunner& combine_interp = *combine_runner;
             size_t i = 0;
             while (i < entries.size()) {
               size_t j = i + 1;
@@ -313,32 +328,53 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
           io.faults = faults;
           io.attempt = ctx.attempt();
           io.cancelled = [&ctx] { return ctx.cancelled(); };
-          io.emit_native = [&](int64_t addr, const Klass* klass, Interpreter& interp,
-                               BuilderStore& builders) {
-            ShuffleKey k =
-                EvalShuffleKey(interp, key_c.fast_fn, Value::Addr(addr), key.is_string);
+          io.plan = map_stage.plan.get();
+          if (key_c.plan != nullptr) {
+            io.extra_plans.push_back(key_c.plan.get());
+          }
+          // Scratch key: extraction reuses the string buffer; the per-entry
+          // copy below is unavoidable (entries own their keys), but the
+          // extraction-side allocation is saved once the buffer warms up.
+          auto scratch_key = std::make_shared<ShuffleKey>();
+          io.emit_native = [&, scratch_key](int64_t addr, const Klass* klass, SerRunner& interp,
+                                            BuilderStore& builders) {
+            if (EvalShuffleKeyInto(interp, key_c.fast_fn, Value::Addr(addr), key.is_string,
+                                   scratch_key.get())) {
+              ctx.stats().key_allocs_saved += 1;
+            }
+            const ShuffleKey& k = *scratch_key;
             int part = static_cast<int>(hasher(k) % static_cast<size_t>(reducers));
             int64_t before = region->bytes_used();
             int64_t committed = builders.Render(addr, klass, *region);
-            entries.push_back({part, std::move(k), 0, 0, committed,
+            entries.push_back({part, k, 0, 0, committed,
                                static_cast<uint32_t>(region->bytes_used() - before - 4)});
             if (region->bytes_used() > static_cast<int64_t>(config_.sort_buffer_bytes)) {
               spill();
             }
           };
-          io.emit_heap = [&](ObjRef ref, const Klass* klass, Interpreter& interp) {
-            // Slow path after an abort: records come off the heap but stay in
-            // native form for the shuffle.
-            Interpreter key_interp(*key_c.original, ctx.heap(), ctx.wk(), &layouts_, nullptr);
-            ShuffleKey k = EvalShuffleKey(key_interp, key_c.orig_fn,
-                                          Value::Ref(static_cast<int64_t>(ref)), key.is_string);
+          // Slow path after an abort: records come off the heap but stay in
+          // native form for the shuffle. The key interpreter is built once
+          // per task (lazily), not once per record.
+          auto key_interp = std::make_shared<std::unique_ptr<Interpreter>>();
+          io.emit_heap = [&, scratch_key, key_interp](ObjRef ref, const Klass* klass,
+                                                      SerRunner& interp) {
+            if (!*key_interp) {
+              *key_interp = std::make_unique<Interpreter>(*key_c.original, ctx.heap(), ctx.wk(),
+                                                          &layouts_, nullptr);
+            }
+            if (EvalShuffleKeyInto(**key_interp, key_c.orig_fn,
+                                   Value::Ref(static_cast<int64_t>(ref)), key.is_string,
+                                   scratch_key.get())) {
+              ctx.stats().key_allocs_saved += 1;
+            }
+            const ShuffleKey& k = *scratch_key;
             int part = static_cast<int>(hasher(k) % static_cast<size_t>(reducers));
             ScopedPhase phase(ctx.stats().times, Phase::kSerialize);
             ByteBuffer record;
             ctx.serde().WriteRecord(ref, klass, record);
             int64_t committed =
                 region->AppendRecord(record.data() + 4, static_cast<uint32_t>(record.size() - 4));
-            entries.push_back({part, std::move(k), 0, 0, committed,
+            entries.push_back({part, k, 0, 0, committed,
                                static_cast<uint32_t>(record.size() - 4)});
             if (region->bytes_used() > static_cast<int64_t>(config_.sort_buffer_bytes)) {
               spill();
@@ -488,8 +524,10 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
         std::vector<SegRef> refs = build_refs(r);
         NativePartition& out_part = out->native_parts[static_cast<size_t>(r)];
         BuilderStore builders(layouts_);
-        Interpreter reduce_interp(*reduce_c.transformed, ctx.heap(), ctx.wk(), &layouts_,
-                                  &builders);
+        std::unique_ptr<SerRunner> reduce_runner = MakeFastRunner(
+            reduce_c.plan.get(), *reduce_c.transformed, ctx.heap(), ctx.wk(), &layouts_,
+            &builders);
+        SerRunner& reduce_interp = *reduce_runner;
         Interpreter slow_interp(*reduce_c.original, ctx.heap(), ctx.wk(), &layouts_, nullptr);
         NativePartition scratch(&memory_);
         ComputePhaseScope compute(ctx.stats().times);

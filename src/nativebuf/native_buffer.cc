@@ -224,9 +224,18 @@ void NativeWriteFloat(int64_t addr, int64_t offset, FieldKind kind, double value
 }
 
 int64_t ResolveOffset(const ExprPool& pool, int expr_id, int64_t base) {
+  // Expressions proven constant by ExprPool::FoldConstants() skip the tree
+  // walk entirely (most fixed-size-class offsets land here).
+  int64_t folded = 0;
+  if (pool.FoldedConstant(expr_id, &folded)) {
+    return folded;
+  }
   const SizeExpr& expr = pool.Get(expr_id);
   int64_t result = expr.constant;
   for (const SizeExpr::Term& term : expr.terms) {
+    if (term.scale == 0) {
+      continue;
+    }
     int64_t length_offset = ResolveOffset(pool, term.length_at, base);
     result += term.scale * static_cast<int64_t>(NativeReadI32(base + length_offset));
   }

@@ -190,6 +190,12 @@ struct EngineStats {
   int64_t quarantined_records = 0;
   int governor_flips = 0;        // speculation-governor off switches (driver)
   int slow_path_direct = 0;      // tasks routed straight to the slow path
+  // Plan compiler (see DESIGN.md "Plan compiler"). plans_compiled counts
+  // driver-side SerPlan lowerings; key_allocs_saved counts shuffle-key
+  // extractions that reused the per-task scratch string without a fresh
+  // heap allocation.
+  int plans_compiled = 0;
+  int64_t key_allocs_saved = 0;
   TransformStats transform;  // accumulated compiler statistics (driver-side)
 
   EngineStats& operator+=(const EngineStats& o) {
@@ -209,6 +215,8 @@ struct EngineStats {
     quarantined_records += o.quarantined_records;
     governor_flips += o.governor_flips;
     slow_path_direct += o.slow_path_direct;
+    plans_compiled += o.plans_compiled;
+    key_allocs_saved += o.key_allocs_saved;
     transform += o.transform;
     return *this;
   }

@@ -1,0 +1,292 @@
+// Differential proof for the plan compiler (ctest -L plans): the
+// direct-threaded PlanExecutor must be observationally identical to the
+// tree-walking Interpreter — same checksums on every benchmark workload,
+// byte-identical stage output at every worker count, and identical abort
+// behavior (a compiled ABORT or forced fault lands in the same slow-path
+// re-execution machinery and reproduces the same bytes).
+#include <gtest/gtest.h>
+
+#include "src/analysis/layout.h"
+#include "src/workloads/hadoop_workloads.h"
+#include "src/workloads/spark_workloads.h"
+#include "tests/pair_job.h"
+
+namespace gerenuk {
+namespace {
+
+SparkConfig PlanSpark(bool use_plans) {
+  SparkConfig config;
+  config.mode = EngineMode::kGerenuk;
+  config.heap_bytes = 64u << 20;
+  config.num_partitions = 3;
+  config.use_plan_compiler = use_plans;
+  return config;
+}
+
+HadoopConfig PlanHadoop(bool use_plans) {
+  HadoopConfig config;
+  config.mode = EngineMode::kGerenuk;
+  config.heap_bytes = 64u << 20;
+  config.num_partitions = 3;
+  config.num_reducers = 2;
+  config.sort_buffer_bytes = 64 << 10;
+  config.use_plan_compiler = use_plans;
+  return config;
+}
+
+// All eight Spark benchmark programs, interpreter vs compiled plan. Both
+// runs are kGerenuk mode with identical partitioning, so floating-point
+// evaluation order is identical and checksums must match exactly.
+TEST(PlanDifferentialTest, SparkWorkloadChecksumsMatchInterpreter) {
+  SyntheticGraph graph = MakePowerLawGraph(250, 1300, 7);
+  SyntheticPoints points = MakeClusteredPoints(300, 4, 3, 11);
+  SyntheticLabeledPoints labeled = MakeLabeledPoints(250, 5, 13);
+  std::vector<std::string> lines = MakeTextLines(120, 6, 80, 23);
+  std::vector<SyntheticPost> posts = MakePosts(600, 100, 5, 29);
+
+  struct Row {
+    double checksum;
+    int64_t records;
+  };
+  std::vector<Row> rows[2];
+  for (bool use_plans : {false, true}) {
+    SparkEngine engine(PlanSpark(use_plans));
+    SparkWorkloads workloads(engine);
+    for (const WorkloadResult& result :
+         {workloads.RunPageRank(graph, 3), workloads.RunConnectedComponents(graph, 4),
+          workloads.RunKMeans(points, 3, 3),
+          workloads.RunLogisticRegression(labeled, 3, 0.5),
+          workloads.RunChiSquareSelector(labeled),
+          workloads.RunGradientBoosting(labeled, 3, 0.5), workloads.RunWordCount(lines),
+          workloads.RunAccountGrouping(posts, 64)}) {
+      rows[use_plans ? 1 : 0].push_back({result.checksum, result.records});
+    }
+    // The toggle must actually change the execution engine.
+    if (use_plans) {
+      EXPECT_GT(engine.stats().plans_compiled, 0);
+    } else {
+      EXPECT_EQ(engine.stats().plans_compiled, 0);
+    }
+  }
+  ASSERT_EQ(rows[0].size(), 8u);
+  for (size_t i = 0; i < rows[0].size(); ++i) {
+    EXPECT_EQ(rows[0][i].checksum, rows[1][i].checksum) << "workload " << i;
+    EXPECT_EQ(rows[0][i].records, rows[1][i].records) << "workload " << i;
+  }
+}
+
+// All seven Hadoop jobs, interpreter vs compiled plan.
+TEST(PlanDifferentialTest, HadoopWorkloadChecksumsMatchInterpreter) {
+  std::vector<SyntheticPost> posts = MakePosts(400, 70, 6, 37);
+  std::vector<std::string> lines = MakeTextLines(100, 8, 50, 41);
+  struct Row {
+    double checksum;
+    int64_t records;
+  };
+  std::vector<Row> rows[2];
+  for (bool use_plans : {false, true}) {
+    HadoopEngine engine(PlanHadoop(use_plans));
+    HadoopWorkloads workloads(engine);
+    DatasetPtr post_input = workloads.MakePostInput(posts);
+    DatasetPtr text_input = workloads.MakeTextInput(lines);
+    for (const WorkloadResult& result :
+         {workloads.RunIuf(post_input), workloads.RunUah(post_input),
+          workloads.RunSpf(post_input), workloads.RunUed(post_input),
+          workloads.RunCed(post_input), workloads.RunImc(text_input),
+          workloads.RunTfc(text_input)}) {
+      rows[use_plans ? 1 : 0].push_back({result.checksum, result.records});
+    }
+    if (use_plans) {
+      EXPECT_GT(engine.stats().plans_compiled, 0);
+    }
+  }
+  ASSERT_EQ(rows[0].size(), 7u);
+  for (size_t i = 0; i < rows[0].size(); ++i) {
+    EXPECT_EQ(rows[0][i].checksum, rows[1][i].checksum) << "job " << i;
+    EXPECT_EQ(rows[0][i].records, rows[1][i].records) << "job " << i;
+  }
+}
+
+// Narrow-stage output bytes: one reference dump (interpreter, 1 worker),
+// then every (worker count, runner) combination must reproduce it.
+TEST(PlanDifferentialTest, StageBytesIdenticalAcrossWorkersAndRunners) {
+  std::vector<uint8_t> reference;
+  for (bool use_plans : {false, true}) {
+    for (int workers : kWorkerCounts) {
+      SparkConfig config = SparkWith(workers);
+      config.use_plan_compiler = use_plans;
+      SparkJob job(config);
+      DatasetPtr out = job.engine.RunStage(job.MakeInput(800), job.udfs,
+                                           {NarrowOp::Map(job.double_value, job.pair)});
+      std::vector<uint8_t> bytes = DatasetBytes(out);
+      ASSERT_FALSE(bytes.empty());
+      if (reference.empty()) {
+        reference = bytes;
+      } else {
+        EXPECT_EQ(bytes, reference) << "plans=" << use_plans << " workers=" << workers;
+      }
+    }
+  }
+}
+
+// Shuffles run key-extraction plans inside the stage runner (extra_plans)
+// and reuse the per-task scratch key; the reduce fold runs through its own
+// plan. Bytes must still be identical everywhere.
+TEST(PlanDifferentialTest, ReduceByKeyBytesIdenticalAcrossWorkersAndRunners) {
+  std::vector<uint8_t> reference;
+  for (bool use_plans : {false, true}) {
+    for (int workers : kWorkerCounts) {
+      SparkConfig config = SparkWith(workers);
+      config.use_plan_compiler = use_plans;
+      SparkJob job(config);
+      DatasetPtr out = job.engine.ReduceByKey(job.MakeInput(1000), job.udfs, {},
+                                              KeySpec{job.get_key, false}, job.sum_values);
+      EXPECT_EQ(out->TotalRecords(), 10);
+      std::vector<uint8_t> bytes = DatasetBytes(out);
+      if (reference.empty()) {
+        reference = bytes;
+      } else {
+        EXPECT_EQ(bytes, reference) << "plans=" << use_plans << " workers=" << workers;
+      }
+      EXPECT_EQ(job.engine.stats().aborts, 0);
+    }
+  }
+}
+
+// Forced aborts (fault plan, mid-record): the compiled fast path must
+// abandon the task at the same point, discard its buffered emits, and the
+// slow-path re-execution must reproduce the clean bytes — at every worker
+// count, with and without plans.
+TEST(PlanDifferentialTest, ForcedAbortsMatchAcrossRunners) {
+  std::vector<uint8_t> clean;
+  {
+    SparkJob job(SparkWith(1));
+    DatasetPtr out = job.engine.RunStage(job.MakeInput(600), job.udfs,
+                                         {NarrowOp::Map(job.double_value, job.pair)});
+    clean = DatasetBytes(out);
+  }
+  for (bool use_plans : {false, true}) {
+    for (int workers : kWorkerCounts) {
+      SparkConfig config = SparkWith(workers);
+      config.use_plan_compiler = use_plans;
+      SparkJob job(config);
+      DatasetPtr in = job.MakeInput(600);
+      // One abort late in a task, one mid-record (record 7 of task 2).
+      job.engine.ForceAborts(1);
+      job.engine.fault_plan().AbortTask(job.engine.next_task_ordinal() + 2, 7);
+      DatasetPtr out = job.engine.RunStage(in, job.udfs,
+                                           {NarrowOp::Map(job.double_value, job.pair)});
+      EXPECT_EQ(job.engine.stats().aborts, 2) << "plans=" << use_plans;
+      EXPECT_EQ(DatasetBytes(out), clean)
+          << "plans=" << use_plans << " workers=" << workers;
+    }
+  }
+}
+
+// Real (not fault-injected) aborts: AccountGrouping with a tiny capacity
+// trips the resize violation inside compiled code. The compiled ABORT must
+// fire on exactly the same tasks as the interpreter's, and the slow path
+// must still produce the correct grouping.
+TEST(PlanDifferentialTest, RealAbortsMatchAcrossRunners) {
+  std::vector<SyntheticPost> posts = MakePosts(700, 110, 5, 29);
+  double checksums[2];
+  int aborts[2];
+  for (bool use_plans : {false, true}) {
+    SparkEngine engine(PlanSpark(use_plans));
+    SparkWorkloads workloads(engine);
+    WorkloadResult result = workloads.RunAccountGrouping(posts, 4);
+    checksums[use_plans ? 1 : 0] = result.checksum;
+    aborts[use_plans ? 1 : 0] = engine.stats().aborts;
+  }
+  EXPECT_EQ(checksums[0], checksums[1]);
+  EXPECT_EQ(checksums[0], 700.0);  // every post grouped exactly once
+  EXPECT_EQ(aborts[0], aborts[1]);
+  EXPECT_GT(aborts[0], 0);
+}
+
+// Satellite 1's observable: string-keyed shuffles reuse the per-task
+// scratch key buffer instead of allocating per record.
+TEST(PlanDifferentialTest, StringShufflesReuseScratchKeys) {
+  std::vector<std::string> lines = MakeTextLines(100, 6, 60, 23);
+  SparkEngine engine(PlanSpark(true));
+  SparkWorkloads workloads(engine);
+  WorkloadResult result = workloads.RunWordCount(lines);
+  EXPECT_EQ(result.checksum, 100.0 * 6);
+  EXPECT_GT(engine.stats().key_allocs_saved, 0);
+}
+
+// ExprPool::FoldConstants agreement: on every workload schema (all Spark
+// and Hadoop top-level types), any offset expression the fold pass declares
+// constant must evaluate — via the unfolded reference Eval — to the folded
+// value no matter what bytes the record contains.
+TEST(ExprFoldTest, FoldedConstantsAgreeWithEvalOnAllWorkloadSchemas) {
+  int total_folded = 0;
+  auto check_pool = [&total_folded](const DataStructAnalyzer& engine_layouts) {
+    ExprPool pool;
+    DataStructAnalyzer analyzer(pool);
+    for (const Klass* top : engine_layouts.top_types()) {
+      std::string error;
+      ASSERT_TRUE(analyzer.AnalyzeTopLevel(top, &error)) << error;
+    }
+    ASSERT_GT(pool.size(), 0u);
+    pool.FoldConstants();
+    for (int32_t fake_len : {0, 3, 7777}) {
+      auto read = [fake_len](int64_t) { return fake_len; };
+      for (int id = 0; id < static_cast<int>(pool.size()); ++id) {
+        int64_t folded = 0;
+        if (pool.FoldedConstant(id, &folded)) {
+          EXPECT_EQ(folded, pool.Eval(id, read))
+              << "expr " << id << " (" << pool.ToString(id) << ") with lengths "
+              << fake_len;
+          total_folded += 1;
+        }
+      }
+    }
+  };
+  {
+    SparkEngine engine(PlanSpark(true));
+    SparkWorkloads workloads(engine);
+    check_pool(engine.layouts());
+  }
+  {
+    HadoopEngine engine(PlanHadoop(true));
+    HadoopWorkloads workloads(engine);
+    check_pool(engine.layouts());
+  }
+  // Fixed-size records exist in every schema, so folding must have fired.
+  EXPECT_GT(total_folded, 0);
+}
+
+// Growing the pool after a fold pass must stay conservative: unfolded ids
+// report false until the next pass, then fold correctly.
+TEST(ExprFoldTest, FoldIsIdempotentAndConservativeForNewExprs) {
+  ExprPool pool;
+  int a = pool.AddConstant(12);
+  pool.FoldConstants();
+  int64_t v = 0;
+  ASSERT_TRUE(pool.FoldedConstant(a, &v));
+  EXPECT_EQ(v, 12);
+
+  SizeExpr sym;
+  sym.constant = 8;
+  sym.terms.push_back({4, a});  // 8 + 4 * lengthAt(expr a)
+  int b = pool.Add(sym);
+  SizeExpr zero_scale;
+  zero_scale.constant = 5;
+  zero_scale.terms.push_back({0, b});  // value-independent despite the term
+  int c = pool.Add(zero_scale);
+
+  EXPECT_FALSE(pool.FoldedConstant(b, &v));
+  EXPECT_FALSE(pool.FoldedConstant(c, &v));  // added after the pass
+  pool.FoldConstants();
+  pool.FoldConstants();  // idempotent
+  EXPECT_FALSE(pool.FoldedConstant(b, &v));  // genuinely symbolic
+  ASSERT_TRUE(pool.FoldedConstant(c, &v));
+  EXPECT_EQ(v, 5);
+  auto read = [](int64_t) { return 99; };
+  EXPECT_EQ(pool.Eval(c, read), 5);
+  EXPECT_EQ(pool.Eval(b, read), 8 + 4 * 99);
+}
+
+}  // namespace
+}  // namespace gerenuk
