@@ -8,12 +8,15 @@
 //   * fast-path dispatch: tree-walking interpreter vs direct-threaded plan.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "src/exec/plan.h"
 #include "src/ir/builder.h"
 #include "src/nativebuf/record_builder.h"
 #include "src/runtime/roots.h"
 #include "src/serde/heap_serializer.h"
 #include "src/serde/inline_serializer.h"
+#include "src/support/trace.h"
 
 namespace gerenuk {
 namespace {
@@ -222,6 +225,60 @@ void BM_PlanDispatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PlanDispatch);
+
+// BM_PlanDispatch with the sampled op profiler on: the arg is the sampling
+// stride. Compare against BM_PlanDispatch for the tracing-on surcharge; the
+// tracing-off path runs a separate unprofiled instantiation (see
+// PlanExecutor::EnableProfiling), so BM_PlanDispatch itself is the off cost.
+void BM_PlanDispatchProfiled(benchmark::State& state) {
+  SerProgram prog;
+  Function* spin = BuildSpinFunction(prog);
+  Heap heap(HeapConfig{16u << 20, GcKind::kGenerational, 0.55, 0.35, 2});
+  WellKnown wk{heap};
+  ExprPool pool;
+  DataStructAnalyzer layouts{pool};
+  pool.FoldConstants();
+  std::shared_ptr<const SerPlan> plan = CompilePlan(prog, layouts);
+  PlanExecutor exec(*plan, heap, wk, &layouts, nullptr);
+  OpProfile profile;
+  exec.EnableProfiling(&profile, /*stride=*/state.range(0));
+  const std::vector<Value> args = {Value::I64(64)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec.CallFunction(spin, args).i);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlanDispatchProfiled)->Arg(64)->Arg(1024);
+
+// Tracing on/off pair for one span emission: off is a null sink (the single
+// predictable branch every instrumentation site pays when tracing is
+// disabled), on is a store into the worker's event buffer. The buffer is
+// recycled outside the timed region before it overflows, so the on number
+// measures the store path, not drop-and-count.
+void BM_TraceSpanEmit(benchmark::State& state) {
+  const bool on = state.range(0) != 0;
+  constexpr size_t kCapacity = size_t{1} << 16;
+  std::unique_ptr<Trace> trace;
+  TraceSink* sink = nullptr;
+  auto recycle = [&] {
+    trace = std::make_unique<Trace>(1, kCapacity);
+    sink = on ? trace->worker(0) : nullptr;
+  };
+  recycle();
+  size_t emitted = 0;
+  for (auto _ : state) {
+    if (on && ++emitted >= kCapacity) {
+      state.PauseTiming();
+      recycle();
+      emitted = 0;
+      state.ResumeTiming();
+    }
+    TraceSpan span(sink, TraceEventType::kFastPath, "fast_path");
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSpanEmit)->Arg(0)->Arg(1);
 
 void BM_RegionWholesaleRelease(benchmark::State& state) {
   // Task-scoped region: one Release() regardless of record count.

@@ -13,6 +13,9 @@
 //   4. Op mix of a representative compiled stage (fusion + folding rates).
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "bench/bench_common.h"
 #include "src/dataflow/stage_compiler.h"
@@ -50,7 +53,30 @@ Function* BuildSpin(SerProgram& prog) {
   return spin;
 }
 
-void DispatchExperiment(bench::JsonWriter& json) {
+// The prior run's tracing-off dispatch rate, read from BENCH_plans.json in
+// the working directory before JsonWriter truncates it; 0 when absent. The
+// file's first "plan_records_per_sec" belongs to the dispatch section.
+double ReadPriorPlanRps() {
+  std::FILE* f = std::fopen("BENCH_plans.json", "r");
+  if (f == nullptr) {
+    return 0.0;
+  }
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  const char* key = "\"plan_records_per_sec\":";
+  size_t pos = text.find(key);
+  if (pos == std::string::npos) {
+    return 0.0;
+  }
+  return std::strtod(text.c_str() + pos + std::strlen(key), nullptr);
+}
+
+void DispatchExperiment(bench::JsonWriter& json, double prior_plan_rps) {
   bench::PrintHeader("Plans 1: fast-path dispatch, interpreter vs compiled plan");
   SerProgram prog;
   Function* spin = BuildSpin(prog);
@@ -96,7 +122,25 @@ void DispatchExperiment(bench::JsonWriter& json) {
     }
     plan_rps = std::max(plan_rps, kCalls / ((NowMs() - start) / 1000.0));
   }
+  // The same plan with the sampled op profiler on (stride 64): the dispatch
+  // loop switches to its profiled instantiation, so this is the whole
+  // tracing-on surcharge for pure dispatch.
+  PlanExecutor profiled(*plan, heap, wk, &layouts, nullptr);
+  OpProfile profile;
+  profiled.EnableProfiling(&profile, /*stride=*/64);
+  double profiled_rps = 0.0;
+  for (int round = 0; round < kRounds; ++round) {
+    for (int i = 0; i < kCalls / 20; ++i) {
+      sum += profiled.CallFunction(spin, args).i;
+    }
+    double start = NowMs();
+    for (int i = 0; i < kCalls; ++i) {
+      sum += profiled.CallFunction(spin, args).i;
+    }
+    profiled_rps = std::max(profiled_rps, kCalls / ((NowMs() - start) / 1000.0));
+  }
   GERENUK_CHECK_NE(sum, 0);  // keep the loops observable
+  GERENUK_CHECK_GT(profile.samples, 0);
   double ratio = plan_rps / interp_rps;
   std::printf("spin plan: ops=%lld fused=%lld copies elided=%lld\n",
               static_cast<long long>(plan->ops_total()),
@@ -110,12 +154,38 @@ void DispatchExperiment(bench::JsonWriter& json) {
   }
   std::printf("interpreter: %10.0f records/s\n", interp_rps);
   std::printf("plan:        %10.0f records/s\n", plan_rps);
+  std::printf("plan+profiler: %8.0f records/s (stride 64, %.1f%% surcharge)\n", profiled_rps,
+              (plan_rps - profiled_rps) / plan_rps * 100.0);
   std::printf("plan/interpreter = %.2fx (acceptance bar: >= 2x)\n", ratio);
+
+  // Tracing-off overhead guard: the unprofiled dispatch loop must stay
+  // within 5% of the prior run's rate (the profiler is a separate template
+  // instantiation precisely so the off path carries no new instructions).
+  double tracing_off_overhead_pct = 0.0;
+  int tracing_off_regression = 0;
+  if (prior_plan_rps > 0.0) {
+    tracing_off_overhead_pct = (prior_plan_rps - plan_rps) / prior_plan_rps * 100.0;
+    std::printf("tracing-off dispatch vs prior BENCH_plans.json: %+.1f%% (budget: 5%%)\n",
+                tracing_off_overhead_pct);
+    if (tracing_off_overhead_pct > 5.0) {
+      tracing_off_regression = 1;
+      std::fprintf(stderr,
+                   "REGRESSION: tracing-off plan dispatch is %.1f%% slower than the prior "
+                   "run (%.0f vs %.0f records/s; budget 5%%)\n",
+                   tracing_off_overhead_pct, plan_rps, prior_plan_rps);
+    }
+  } else {
+    std::printf("tracing-off overhead guard: no prior BENCH_plans.json, skipping\n");
+  }
 
   json.BeginObject("dispatch");
   json.Field("interpreter_records_per_sec", interp_rps);
   json.Field("plan_records_per_sec", plan_rps);
+  json.Field("profiled_records_per_sec", profiled_rps);
+  json.Field("profiler_overhead_pct", (plan_rps - profiled_rps) / plan_rps * 100.0);
   json.Field("plan_vs_interpreter", ratio);
+  json.Field("tracing_off_overhead_pct", tracing_off_overhead_pct);
+  json.Field("tracing_off_regression", tracing_off_regression);
   json.End();
 }
 
@@ -299,10 +369,11 @@ void OpMix(bench::JsonWriter& json) {
 }  // namespace gerenuk
 
 int main() {
+  double prior_plan_rps = gerenuk::ReadPriorPlanRps();  // before JsonWriter truncates it
   gerenuk::bench::JsonWriter json("BENCH_plans.json");
   GERENUK_CHECK(json.ok()) << "cannot open BENCH_plans.json for writing";
   json.BeginObject();
-  gerenuk::DispatchExperiment(json);
+  gerenuk::DispatchExperiment(json, prior_plan_rps);
   gerenuk::StageThroughput(json);
   gerenuk::TinyRecordGrouping(json);
   gerenuk::OpMix(json);

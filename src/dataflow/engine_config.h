@@ -43,6 +43,22 @@ struct EngineConfig {
   // What happens to a task whose input fails its integrity checksum.
   QuarantinePolicy quarantine = QuarantinePolicy::kFailFast;
 
+  // --- Observability (see DESIGN.md "Observability") ---
+  // Record a per-task event timeline: stage/task/fast-path/slow-path spans,
+  // abort + retry/relaunch/quarantine instants, GC pauses, ser/deser spans,
+  // shuffle-byte counters. Off by default: no Trace is allocated and every
+  // instrumentation site reduces to one null-pointer test. Export with
+  // TraceExporter (Chrome trace-event JSON or a text timeline).
+  bool trace = false;
+  // Per-worker event ring capacity; overflowing events are dropped and
+  // counted (Trace::dropped_events), never blocked on.
+  size_t trace_buffer_events = 1u << 16;
+  // Sampled plan-op profiler: every dispatch counts its opcode, every
+  // `stride`-th dispatch takes a clock read. <= 0 disables (the dispatch
+  // loop then runs the unprofiled instantiation — zero overhead). Results
+  // land in EngineStats::plan_ops.
+  int64_t plan_profile_stride = 0;
+
   // --- Adaptive speculation governor ---
   // Once the cumulative abort rate over speculative tasks reaches this
   // threshold (with at least governor_min_tasks observed), remaining stages

@@ -74,6 +74,13 @@ SparkEngine::SparkEngine(const SparkConfig& config)
       config.num_workers, HeapConfig{config.heap_bytes, config.gc, 0.55, 0.35, 2},
       &heap_->klasses(), &memory_);
   scheduler_->set_retry_policy(config.retry_policy());
+  if (config.trace) {
+    trace_ = std::make_unique<Trace>(scheduler_->num_workers(), config.trace_buffer_events);
+    scheduler_->set_trace(trace_.get());
+    // Driver-side GC (the engine heap: sources, baseline stages, collect)
+    // reports into the driver's direct sink.
+    heap_->set_trace_sink(trace_->driver());
+  }
 }
 
 SparkEngine::~SparkEngine() = default;
@@ -116,6 +123,15 @@ void SparkEngine::ResetMetrics() {
   stats_ = EngineStats{};
   memory_.ResetPeak();
   heap_->ResetStats();
+}
+
+MetricsRegistry SparkEngine::metrics() const {
+  MetricsRegistry registry;
+  stats_.ExportTo(&registry);
+  if (trace_ != nullptr) {
+    registry.Merge(trace_->metrics());
+  }
+  return registry;
 }
 
 // ---------------------------------------------------------------------------
@@ -176,6 +192,7 @@ DatasetPtr SparkEngine::RunNarrowBaseline(const DatasetPtr& input, const Compile
   if (broadcast != nullptr) {
     args.push_back(Value::Ref(static_cast<int64_t>(broadcast->heap)));
   }
+  TraceSpan stage_span(DriverSink(), TraceEventType::kStage, "narrow");
   scheduler_->RunStageSerial(
       parts,
       [&](WorkerContext& ctx, int p) {
@@ -211,6 +228,7 @@ DatasetPtr SparkEngine::RunNarrowGerenuk(const DatasetPtr& input, const Compiled
   const FaultPlan* faults = ActiveFaults();
   const bool speculate = governor_.ShouldSpeculate();
   const int aborts_before = stats_.aborts;
+  TraceSpan stage_span(DriverSink(), TraceEventType::kStage, "narrow");
   scheduler_->RunStage(
       parts,
       [&](WorkerContext& ctx, int p) {
@@ -223,6 +241,7 @@ DatasetPtr SparkEngine::RunNarrowGerenuk(const DatasetPtr& input, const Compiled
         io.faults = faults;
         io.attempt = ctx.attempt();
         io.cancelled = [&ctx] { return ctx.cancelled(); };
+        BindObservability(&io, ctx);
         TaskBroadcast bc(ctx, broadcast);
         bc.Bind(&io);
         io.plan = stage.plan.get();
@@ -231,6 +250,7 @@ DatasetPtr SparkEngine::RunNarrowGerenuk(const DatasetPtr& input, const Compiled
           builders.Render(addr, klass, out_part);
         };
         io.emit_heap = [&ctx, &out_part](ObjRef ref, const Klass* klass, SerRunner&) {
+          TraceSpan ser_span(ctx.trace_sink(), TraceEventType::kSerialize, "serialize");
           ScopedPhase phase(ctx.stats().times, Phase::kSerialize);
           ByteBuffer body;
           ctx.serde().WriteRecord(ref, klass, body);
@@ -279,10 +299,12 @@ void SparkEngine::ShuffleBaseline(const DatasetPtr& input, const CompiledStage& 
     args.push_back(Value::Ref(static_cast<int64_t>(broadcast->heap)));
   }
   ShuffleKeyHash hasher;
+  TraceSpan stage_span(DriverSink(), TraceEventType::kStage, "shuffle");
   scheduler_->RunStageSerial(
       parts,
       [&](WorkerContext& ctx, int p) {
         ctx.stats().tasks_run += 1;
+        int64_t shuffle_before = ctx.stats().shuffle_bytes;
         heap_->set_phase_times(&ctx.stats().times);
         std::vector<ByteBuffer>& task_buckets = (*buckets)[static_cast<size_t>(p)];
         std::vector<int64_t>& task_counts = (*bucket_counts)[static_cast<size_t>(p)];
@@ -311,6 +333,10 @@ void SparkEngine::ShuffleBaseline(const DatasetPtr& input, const CompiledStage& 
           }
         }
         heap_->set_phase_times(nullptr);
+        if (ctx.trace_sink() != nullptr) {
+          ctx.trace_sink()->Counter(TraceEventType::kShuffleBytes, "shuffle_bytes",
+                                    ctx.stats().shuffle_bytes - shuffle_before);
+        }
       },
       &stats_);
 }
@@ -336,10 +362,12 @@ void SparkEngine::ShuffleGerenuk(const DatasetPtr& input, const CompiledStage& s
   const bool speculate = governor_.ShouldSpeculate();
   const int aborts_before = stats_.aborts;
   ShuffleKeyHash hasher;
+  TraceSpan stage_span(DriverSink(), TraceEventType::kStage, "shuffle");
   scheduler_->RunStage(
       parts,
       [&](WorkerContext& ctx, int p) {
         ctx.stats().tasks_run += 1;
+        int64_t shuffle_before = ctx.stats().shuffle_bytes;
         std::vector<NativePartition>& task_buckets = (*buckets)[static_cast<size_t>(p)];
         SerExecutor exec(ctx.heap(), ctx.wk(), layouts_, *stage.original, *stage.transformed);
         TaskIo io;
@@ -348,6 +376,7 @@ void SparkEngine::ShuffleGerenuk(const DatasetPtr& input, const CompiledStage& s
         io.faults = faults;
         io.attempt = ctx.attempt();
         io.cancelled = [&ctx] { return ctx.cancelled(); };
+        BindObservability(&io, ctx);
         TaskBroadcast bc(ctx, broadcast);
         bc.Bind(&io);
         io.plan = stage.plan.get();
@@ -379,6 +408,7 @@ void SparkEngine::ShuffleGerenuk(const DatasetPtr& input, const CompiledStage& s
           }
           const ShuffleKeyValue& k = *scratch;
           size_t b = hasher(k) % task_buckets.size();
+          TraceSpan ser_span(ctx.trace_sink(), TraceEventType::kSerialize, "serialize");
           ScopedPhase phase(ctx.stats().times, Phase::kSerialize);
           ByteBuffer body;
           ctx.serde().WriteRecord(ref, klass, body);
@@ -403,6 +433,10 @@ void SparkEngine::ShuffleGerenuk(const DatasetPtr& input, const CompiledStage& s
         }
         for (NativePartition& bucket : task_buckets) {
           bucket.Seal();
+        }
+        if (ctx.trace_sink() != nullptr) {
+          ctx.trace_sink()->Counter(TraceEventType::kShuffleBytes, "shuffle_bytes",
+                                    ctx.stats().shuffle_bytes - shuffle_before);
         }
       },
       &stats_);
@@ -431,6 +465,7 @@ DatasetPtr SparkEngine::ReduceByKey(const DatasetPtr& input, const SerProgram& u
     ShuffleBaseline(input, stage, key, key_c, broadcast, &buckets, &counts);
 
     ClaimTaskOrdinals(config_.num_partitions);
+    TraceSpan stage_span(DriverSink(), TraceEventType::kStage, "reduce");
     scheduler_->RunStageSerial(
         config_.num_partitions,
         [&](WorkerContext& ctx, int p) {
@@ -482,6 +517,7 @@ DatasetPtr SparkEngine::ReduceByKey(const DatasetPtr& input, const SerProgram& u
   ClaimTaskOrdinals(config_.num_partitions);
   const bool speculate = governor_.ShouldSpeculate();
   const int aborts_before = stats_.aborts;
+  TraceSpan stage_span(DriverSink(), TraceEventType::kStage, "reduce");
   scheduler_->RunStage(
       config_.num_partitions,
       [&](WorkerContext& ctx, int p) {
@@ -496,7 +532,9 @@ DatasetPtr SparkEngine::ReduceByKey(const DatasetPtr& input, const SerProgram& u
             }
           }
         };
+        TraceSink* sink = ctx.trace_sink();
         bool fast_ok = speculate;
+        const int64_t fast_start = (speculate && sink != nullptr) ? sink->Now() : 0;
         if (speculate) try {
           BuilderStore builders(layouts_);
           std::unique_ptr<SerRunner> reduce_runner = MakeFastRunner(
@@ -551,13 +589,25 @@ DatasetPtr SparkEngine::ReduceByKey(const DatasetPtr& input, const SerProgram& u
                                   static_cast<uint32_t>(entry.size));
           }
           ctx.stats().fast_path_commits += 1;
-        } catch (const SerAbort&) {
+          if (sink != nullptr) {
+            sink->Span(TraceEventType::kFastPath, "fast_path", fast_start);
+          }
+        } catch (const SerAbort& abort) {
+          // Instant first, span second: the abort timestamp nests inside the
+          // fast-path span, matching the SerExecutor emission order.
+          if (sink != nullptr) {
+            sink->Instant(TraceEventType::kAbort, "abort",
+                          static_cast<int64_t>(abort.reason));
+            sink->Span(TraceEventType::kFastPath, "fast_path", fast_start);
+          }
           fast_ok = false;
         }
         if (!fast_ok) {
           // Reduce-side abort (or governor-degraded routing): run this
           // bucket on the slow path inside the same worker — sibling reduce
           // tasks keep running.
+          TraceSpan slow_span(sink, TraceEventType::kSlowPath, "slow_path",
+                              speculate ? 0 : 1);
           if (speculate) {
             ctx.stats().aborts += 1;
             out_part.Release();
@@ -635,6 +685,7 @@ DatasetPtr SparkEngine::JoinByKey(const DatasetPtr& left, const KeySpec& left_ke
     ShuffleBaseline(right, right_stage, right_key, rkey, nullptr, &rb, &rc);
 
     ClaimTaskOrdinals(config_.num_partitions);
+    TraceSpan stage_span(DriverSink(), TraceEventType::kStage, "join");
     scheduler_->RunStageSerial(
         config_.num_partitions,
         [&](WorkerContext& ctx, int p) {
@@ -702,11 +753,13 @@ DatasetPtr SparkEngine::JoinByKey(const DatasetPtr& left, const KeySpec& left_ke
   ShuffleGerenuk(right, right_stage, right_key, rkey, nullptr, &rb);
 
   ClaimTaskOrdinals(config_.num_partitions);
+  TraceSpan stage_span(DriverSink(), TraceEventType::kStage, "join");
   scheduler_->RunStage(
       config_.num_partitions,
       [&](WorkerContext& ctx, int p) {
         ctx.stats().tasks_run += 1;
         NativePartition& out_part = out->native_parts[static_cast<size_t>(p)];
+        TraceSpan fast_span(ctx.trace_sink(), TraceEventType::kFastPath, "fast_path");
         BuilderStore builders(layouts_);
         std::unique_ptr<SerRunner> runner =
             MakeFastRunner(combine.plan.get(), *combine.transformed, ctx.heap(), ctx.wk(),

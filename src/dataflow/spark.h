@@ -91,6 +91,17 @@ class SparkEngine {
   int64_t peak_memory_bytes() const { return memory_.peak_bytes(); }
   void ResetMetrics();
 
+  // The engine's event timeline (null when config.trace is off). Complete —
+  // merged and histogram-fed — after any stage barrier; export it with
+  // TraceExporter.
+  Trace* trace() { return trace_.get(); }
+
+  // Unified metrics snapshot: every EngineStats counter (completeness pinned
+  // by the field-count static_assert in metrics.h), per-phase times, plan-op
+  // profile totals, and — when tracing — the trace's derived histograms
+  // (task duration, GC pause, abort-to-slow-path-commit) and drop counter.
+  MetricsRegistry metrics() const;
+
   // Fig. 10(b) hook: plans forced aborts for the next `n` submitted Gerenuk
   // tasks (late in each task, so nearly all speculative work is wasted).
   void ForceAborts(int n) {
@@ -146,6 +157,16 @@ class SparkEngine {
     return base;
   }
   const FaultPlan* ActiveFaults() const { return fault_plan_.empty() ? nullptr : &fault_plan_; }
+  // Driver-side sink for stage spans (null when tracing is off).
+  TraceSink* DriverSink() const { return trace_ != nullptr ? trace_->driver() : nullptr; }
+  // Shared TaskIo tracing/profiling wiring for every Gerenuk-mode stage.
+  void BindObservability(TaskIo* io, WorkerContext& ctx) const {
+    io->trace = ctx.trace_sink();
+    if (config_.plan_profile_stride > 0) {
+      io->plan_profile = &ctx.stats().plan_ops;
+      io->plan_profile_stride = config_.plan_profile_stride;
+    }
+  }
 
   SparkConfig config_;
   std::unique_ptr<Heap> heap_;
@@ -156,6 +177,7 @@ class SparkEngine {
   InlineSerializer inline_serde_;
   MemoryTracker memory_;
   std::unique_ptr<TaskScheduler> scheduler_;
+  std::unique_ptr<Trace> trace_;  // allocated only when config.trace
   EngineStats stats_;
   FaultPlan fault_plan_;
   SpeculationGovernor governor_;

@@ -25,11 +25,13 @@
 #ifndef SRC_EXEC_PLAN_H_
 #define SRC_EXEC_PLAN_H_
 
+#include <chrono>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "src/exec/interpreter.h"
+#include "src/support/metrics.h"
 
 namespace gerenuk {
 
@@ -94,6 +96,11 @@ enum class PlanOpCode : uint8_t {
 };
 
 const char* PlanOpName(PlanOpCode code);
+
+// OpProfile's fixed-size arrays index by opcode; growing the ISA past the
+// profile's capacity must bump OpProfile::kMaxOps, not silently truncate.
+static_assert(static_cast<size_t>(PlanOpCode::kCount) <= OpProfile::kMaxOps,
+              "PlanOpCode outgrew OpProfile::kMaxOps; bump it in metrics.h");
 
 // kCallNative symbols resolved at compile time (the interpreter string-
 // compares per execution). kUnknown lowers names without a runtime
@@ -232,6 +239,22 @@ class PlanExecutor : public RootProvider, public SerRunner {
   // denominator; fused ops count once).
   int64_t statements_executed() const override { return ops_executed_; }
 
+  // Sampled plan-op profiler. When enabled, every dispatch bumps the
+  // opcode's exact count and every `stride`-th dispatch takes one clock
+  // read, attributing the elapsed nanos since the previous sample to the
+  // opcode observed there. The profiled and unprofiled dispatch loops are
+  // separate template instantiations, so the unprofiled loop carries zero
+  // extra instructions (the tracing-off overhead budget is "none", not
+  // "one branch per op"). A null profile or non-positive stride disables.
+  void EnableProfiling(OpProfile* profile, int64_t stride) {
+    profile_ = (stride > 0) ? profile : nullptr;
+    profile_stride_ = stride;
+    profile_countdown_ = stride;
+    profile_prev_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count();
+  }
+
   // Delivers buffered emits to the channel's batch sink. Must run before
   // any builder reset; SerExecutor calls it at batch boundaries and after
   // the record loop. No-op when nothing is buffered.
@@ -252,9 +275,21 @@ class PlanExecutor : public RootProvider, public SerRunner {
   Frame* AcquireFrame(const PlanFunction* func);
   void ReleaseFrame();
   Value Invoke(const PlanFunction& func, const Value* args, size_t nargs);
+  template <bool kProfiled>
   Value Execute(Frame& frame);
   Value RunIntrinsic(const PlanOp& op, const Value* slots, const int32_t* args_pool);
   void RefillInput();
+
+  // Profiler hot-path hook: exact dispatch count, then a countdown to the
+  // next timing sample. Only the kProfiled=true Execute instantiation
+  // references it.
+  void ProfileOp(size_t code) {
+    profile_->dispatches[code] += 1;
+    if (--profile_countdown_ <= 0) {
+      ProfileSample(code);
+    }
+  }
+  void ProfileSample(size_t code);
 
   const SerPlan& primary_;
   Heap& heap_;
@@ -269,6 +304,12 @@ class PlanExecutor : public RootProvider, public SerRunner {
   std::vector<std::unique_ptr<Frame>> frame_pool_;  // [0, active) live
   size_t active_frames_ = 0;
   int64_t ops_executed_ = 0;
+  // Sampled profiler state (see EnableProfiling). Null profile = off; the
+  // dispatch loop then runs the unprofiled instantiation.
+  OpProfile* profile_ = nullptr;
+  int64_t profile_stride_ = 0;
+  int64_t profile_countdown_ = 0;
+  int64_t profile_prev_ns_ = 0;
   // Batched channel state.
   int64_t input_buf_[kInputBatch];
   size_t input_pos_ = 0;

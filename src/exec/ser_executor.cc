@@ -12,6 +12,9 @@ bool SerExecutor::RunFastPathIo(TaskIo& io, PhaseTimes& times, SpecOutcome* outc
       MakeFastRunner(io.plan, transformed_, heap_, wk_, &layouts_, &builders, io.extra_plans);
   PlanExecutor* plan_exec =
       io.plan != nullptr ? static_cast<PlanExecutor*>(runner.get()) : nullptr;
+  if (plan_exec != nullptr && io.plan_profile != nullptr && io.plan_profile_stride > 0) {
+    plan_exec->EnableProfiling(io.plan_profile, io.plan_profile_stride);
+  }
   SerRunner& fast = *runner;
 
   size_t cursor = 0;
@@ -56,6 +59,7 @@ bool SerExecutor::RunFastPathIo(TaskIo& io, PhaseTimes& times, SpecOutcome* outc
           : -1;
 
   heap_.set_phase_times(&times);
+  TraceSpan fast_span(io.trace, TraceEventType::kFastPath, "fast_path");
   try {
     ComputePhaseScope compute(times);
     if (plan_exec != nullptr) {
@@ -88,6 +92,12 @@ bool SerExecutor::RunFastPathIo(TaskIo& io, PhaseTimes& times, SpecOutcome* outc
   } catch (const SerAbort& abort) {
     // Buffered emits die with the runner: the abort contract discards every
     // intermediate buffer, and io.on_abort tears down engine-side output.
+    // The instant is emitted before fast_span closes, so its timestamp nests
+    // inside the fast-path span in the exported timeline.
+    if (io.trace != nullptr) {
+      io.trace->Instant(TraceEventType::kAbort, "abort",
+                        static_cast<int64_t>(abort.reason));
+    }
     outcome->aborts += 1;
     outcome->abort_reason = abort.reason;
     outcome->records_wasted += static_cast<int64_t>(cursor);
@@ -116,6 +126,7 @@ void SerExecutor::RunSlowPathIo(TaskIo& io, PhaseTimes& times) {
   RecordChannel channel;
   channel.next_heap_record = [this, &serde, &io, &cursor, &times, record_klass]() {
     GERENUK_CHECK_LT(cursor, io.input->record_count());
+    TraceSpan deser_span(io.trace, TraceEventType::kDeserialize, "deserialize");
     ScopedPhase phase(times, Phase::kDeserialize);
     int64_t addr = io.input->record_addr(cursor);
     uint32_t size = io.input->record_size(cursor);
@@ -177,6 +188,8 @@ void SerExecutor::EnterTask(TaskIo& io) {
 void SerExecutor::RunDirectSlowPath(TaskIo& io, PhaseTimes& times) {
   EnterTask(io);
   try {
+    // arg 1 = governor-routed directly, without a preceding abort.
+    TraceSpan slow_span(io.trace, TraceEventType::kSlowPath, "slow_path", 1);
     RunSlowPathIo(io, times);
   } catch (...) {
     if (io.on_abort) {
@@ -203,6 +216,7 @@ SpecOutcome SerExecutor::RunTaskIo(TaskIo& io, PhaseTimes& times) {
     launch_hook_();
   }
   try {
+    TraceSpan slow_span(io.trace, TraceEventType::kSlowPath, "slow_path");
     RunSlowPathIo(io, times);
   } catch (...) {
     // The re-execution itself failed (e.g. simulated OOM). Tear down its

@@ -17,6 +17,7 @@
 #include "src/exec/fault.h"
 #include "src/exec/plan.h"
 #include "src/serde/inline_serializer.h"
+#include "src/support/trace.h"
 
 namespace gerenuk {
 
@@ -72,6 +73,15 @@ struct TaskIo {
   // Cooperative cancellation probe (WorkerContext::cancelled); polled by
   // long-running injected work so a deadline turns into a straggler error.
   std::function<bool()> cancelled;
+  // Tracing sink of the executing worker (null = tracing off): the executor
+  // emits fast-path/slow-path spans, abort instants, and per-record
+  // deserialization spans into it.
+  TraceSink* trace = nullptr;
+  // Sampled plan-op profiler (see PlanExecutor::EnableProfiling): when
+  // `plan_profile` is set and the stride is positive, the fast path's plan
+  // dispatch records per-opcode counts and sampled time into it.
+  OpProfile* plan_profile = nullptr;
+  int64_t plan_profile_stride = 0;
 };
 
 class SerExecutor {

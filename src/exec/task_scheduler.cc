@@ -31,6 +31,47 @@ TaskScheduler::~TaskScheduler() {
   }
 }
 
+void TaskScheduler::set_trace(Trace* trace) {
+  trace_ = trace;
+  for (size_t w = 0; w < contexts_.size(); ++w) {
+    contexts_[w]->set_trace_sink(trace != nullptr ? trace->worker(static_cast<int>(w))
+                                                  : nullptr);
+  }
+}
+
+namespace {
+
+// Brackets one task attempt: tags the sink so every event the task body
+// emits (fast/slow path, ser/deser, GC pauses, aborts) carries this
+// (task, attempt), and emits the enclosing kTask span — on normal exit and
+// on exception unwinds alike. Declared before the span would be, so the
+// span closes while the tag is still set.
+class TaskTraceScope {
+ public:
+  TaskTraceScope(TraceSink* sink, int64_t task, int attempt) : sink_(sink) {
+    if (sink_ != nullptr) {
+      sink_->BeginTask(task, attempt);
+      start_ns_ = sink_->Now();
+      attempt_ = attempt;
+    }
+  }
+  ~TaskTraceScope() {
+    if (sink_ != nullptr) {
+      sink_->Span(TraceEventType::kTask, "task", start_ns_, attempt_);
+      sink_->EndTask();
+    }
+  }
+  TaskTraceScope(const TaskTraceScope&) = delete;
+  TaskTraceScope& operator=(const TaskTraceScope&) = delete;
+
+ private:
+  TraceSink* sink_;
+  int64_t start_ns_ = 0;
+  int attempt_ = 0;
+};
+
+}  // namespace
+
 void TaskScheduler::RunAttempt(WorkerContext& ctx, int task, int attempt, bool fresh_context) {
   if (fresh_context) {
     // The previous attempt's executor is terminated and a fresh one
@@ -44,6 +85,7 @@ void TaskScheduler::RunAttempt(WorkerContext& ctx, int task, int attempt, bool f
         std::chrono::milliseconds(policy_.backoff_base_ms << (attempt - 2)));
   }
   ctx.BeginAttempt(attempt, policy_.task_deadline_ms);
+  TaskTraceScope span(ctx.trace_sink(), task, attempt);
   (*current_)(ctx, task);
 }
 
@@ -61,6 +103,7 @@ bool TaskScheduler::HandleFailure(int task, int attempt, int slot, std::exceptio
     input_records = e.input_records();
   } catch (...) {
   }
+  TraceSink* sink = contexts_[static_cast<size_t>(slot)]->trace_sink();
   if (retryable && attempt < policy_.max_attempts) {
     Attempt next;
     next.task = task;
@@ -71,8 +114,15 @@ bool TaskScheduler::HandleFailure(int task, int attempt, int slot, std::exceptio
       // worker exists; a single-worker pool reuses its (recycled) context.
       next.banned_worker = slot;
       stage_relaunches_ += 1;
+      if (sink != nullptr) {
+        sink->InstantFor(task, attempt, TraceEventType::kStragglerRelaunch,
+                         "straggler_relaunch", next.attempt);
+      }
     } else {
       stage_retries_ += 1;
+      if (sink != nullptr) {
+        sink->InstantFor(task, attempt, TraceEventType::kRetry, "retry", next.attempt);
+      }
     }
     retry_queue_.push_back(next);
     return true;
@@ -85,6 +135,10 @@ bool TaskScheduler::HandleFailure(int task, int attempt, int slot, std::exceptio
     stage_quarantined_tasks_ += 1;
     stage_quarantined_records_ += input_records;
     tasks_terminal_ += 1;
+    if (sink != nullptr) {
+      sink->InstantFor(task, attempt, TraceEventType::kQuarantine, "quarantine",
+                       input_records);
+    }
     return false;
   }
   errors_.emplace_back(task, error);
@@ -188,6 +242,11 @@ void TaskScheduler::MergeStats(EngineStats* stage_stats) {
   stage_relaunches_ = 0;
   stage_quarantined_tasks_ = 0;
   stage_quarantined_records_ = 0;
+  if (trace_ != nullptr) {
+    // The barrier already happened: workers are quiescent, and the lock
+    // acquisitions above give the driver a consistent view of every sink.
+    trace_->FlushWorkersAtBarrier();
+  }
 }
 
 void TaskScheduler::RethrowFirstError() {
@@ -249,6 +308,7 @@ void TaskScheduler::RunStageSerial(int num_tasks, const Task& task, EngineStats*
   WorkerContext& ctx = *contexts_[0];
   for (int t = 0; t < num_tasks; ++t) {
     try {
+      TaskTraceScope span(ctx.trace_sink(), t, 1);
       task(ctx, t);
     } catch (...) {
       errors_.emplace_back(t, std::current_exception());

@@ -57,6 +57,7 @@
 #include "src/serde/inline_serializer.h"
 #include "src/serde/wellknown.h"
 #include "src/support/metrics.h"
+#include "src/support/trace.h"
 
 namespace gerenuk {
 
@@ -84,6 +85,14 @@ class WorkerContext {
   // every stage barrier.
   EngineStats& stats() { return stats_; }
 
+  // This worker's trace sink (null = tracing off). The sink is also attached
+  // to the worker heap so GC pauses are attributed to the running task.
+  TraceSink* trace_sink() const { return trace_sink_; }
+  void set_trace_sink(TraceSink* sink) {
+    trace_sink_ = sink;
+    heap_->set_trace_sink(sink);
+  }
+
   // Replaces the heap, WellKnown cache, and serializer with fresh instances
   // (stats survive). Used between retry attempts so damage from a failed
   // attempt — dangling roots, a heap poisoned mid-OOM — cannot leak into
@@ -94,6 +103,7 @@ class WorkerContext {
     heap_.reset();
     heap_ = std::make_unique<Heap>(heap_config_, shared_klasses_);
     heap_->set_memory_tracker(tracker_);
+    heap_->set_trace_sink(trace_sink_);
     wk_ = std::make_unique<WellKnown>(*heap_);
     serde_ = std::make_unique<InlineSerializer>(*heap_);
   }
@@ -134,6 +144,7 @@ class WorkerContext {
   std::unique_ptr<WellKnown> wk_;
   std::unique_ptr<InlineSerializer> serde_;
   EngineStats stats_;
+  TraceSink* trace_sink_ = nullptr;
 
   int attempt_ = 1;
   int64_t deadline_ms_ = 0;
@@ -166,6 +177,14 @@ class TaskScheduler {
   // fail-fast) reproduces the seed's behavior exactly.
   void set_retry_policy(const RetryPolicy& policy) { policy_ = policy; }
   const RetryPolicy& retry_policy() const { return policy_; }
+
+  // Attaches a trace (or detaches with nullptr): each worker context gets
+  // its per-worker sink, task attempts are bracketed with spans, scheduler
+  // decisions (retry/relaunch/quarantine) become instants, and worker sinks
+  // are drained into the merged timeline at every stage barrier. Call
+  // before any stage runs — sink assignment is not synchronized.
+  void set_trace(Trace* trace);
+  Trace* trace() const { return trace_; }
 
   // Runs tasks [0, num_tasks) across the pool and blocks until every task
   // is terminal (the stage barrier), then merges worker stats — plus the
@@ -202,6 +221,7 @@ class TaskScheduler {
   std::vector<std::unique_ptr<WorkerContext>> contexts_;
   std::vector<std::thread> threads_;
   RetryPolicy policy_;
+  Trace* trace_ = nullptr;
 
   std::mutex mu_;
   std::condition_variable work_cv_;   // workers wait for a stage / new retries

@@ -54,6 +54,13 @@ HadoopEngine::HadoopEngine(const HadoopConfig& config)
       config.num_workers, HeapConfig{config.heap_bytes, config.gc, 0.55, 0.35, 2},
       &heap_->klasses(), &memory_);
   scheduler_->set_retry_policy(config.retry_policy());
+  if (config.trace) {
+    trace_ = std::make_unique<Trace>(scheduler_->num_workers(), config.trace_buffer_events);
+    scheduler_->set_trace(trace_.get());
+    // Driver-side GC (sources, baseline phases, Yak epochs) reports into
+    // the driver's direct sink.
+    heap_->set_trace_sink(trace_->driver());
+  }
 }
 
 HadoopEngine::~HadoopEngine() = default;
@@ -82,6 +89,15 @@ void HadoopEngine::ResetMetrics() {
   stats_ = EngineStats{};
   memory_.ResetPeak();
   heap_->ResetStats();
+}
+
+MetricsRegistry HadoopEngine::metrics() const {
+  MetricsRegistry registry;
+  stats_.ExportTo(&registry);
+  if (trace_ != nullptr) {
+    registry.Merge(trace_->metrics());
+  }
+  return registry;
 }
 
 DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
@@ -133,11 +149,13 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
   const FaultPlan* faults = fault_plan_.empty() ? nullptr : &fault_plan_;
 
   if (config_.mode == EngineMode::kBaseline) {
+    TraceSpan map_span(DriverSink(), TraceEventType::kStage, "map");
     scheduler_->RunStageSerial(
         map_tasks,
         [&](WorkerContext& ctx, int task) {
           ctx.stats().map_tasks += 1;
           ctx.stats().tasks_run += 1;
+          int64_t shuffle_before = ctx.stats().shuffle_bytes;
           heap_->set_phase_times(&ctx.stats().times);
           if (epochs) {
             heap_->EpochStart();  // Yak: data objects of this task go to a region
@@ -235,6 +253,10 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
             }
           }
           heap_->set_phase_times(nullptr);
+          if (ctx.trace_sink() != nullptr) {
+            ctx.trace_sink()->Counter(TraceEventType::kShuffleBytes, "shuffle_bytes",
+                                      ctx.stats().shuffle_bytes - shuffle_before);
+          }
         },
         &stats_);
   } else {
@@ -245,11 +267,13 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
     const bool map_speculate = governor_.ShouldSpeculate();
     const int map_aborts_before = stats_.aborts;
     std::vector<std::vector<Segment>> task_segments(static_cast<size_t>(map_tasks));
+    TraceSpan map_span(DriverSink(), TraceEventType::kStage, "map");
     scheduler_->RunStage(
         map_tasks,
         [&](WorkerContext& ctx, int task) {
           ctx.stats().map_tasks += 1;
           ctx.stats().tasks_run += 1;
+          int64_t shuffle_before = ctx.stats().shuffle_bytes;
           std::vector<Segment>& local_segments = task_segments[static_cast<size_t>(task)];
           SerExecutor exec(ctx.heap(), ctx.wk(), layouts_, *map_stage.original,
                            *map_stage.transformed);
@@ -299,7 +323,11 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
                                    static_cast<uint32_t>(
                                        MeasureCommittedBody(layouts_, out_klass, acc)));
                   combined = true;
-                } catch (const SerAbort&) {
+                } catch (const SerAbort& abort) {
+                  if (ctx.trace_sink() != nullptr) {
+                    ctx.trace_sink()->Instant(TraceEventType::kAbort, "abort",
+                                              static_cast<int64_t>(abort.reason));
+                  }
                   ctx.stats().aborts += 1;
                   skip_combiner = true;  // keep correctness, drop the optimization
                 }
@@ -328,6 +356,11 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
           io.faults = faults;
           io.attempt = ctx.attempt();
           io.cancelled = [&ctx] { return ctx.cancelled(); };
+          io.trace = ctx.trace_sink();
+          if (config_.plan_profile_stride > 0) {
+            io.plan_profile = &ctx.stats().plan_ops;
+            io.plan_profile_stride = config_.plan_profile_stride;
+          }
           io.plan = map_stage.plan.get();
           if (key_c.plan != nullptr) {
             io.extra_plans.push_back(key_c.plan.get());
@@ -411,6 +444,10 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
             }
             ctx.stats().slow_path_direct += 1;
           }
+          if (ctx.trace_sink() != nullptr) {
+            ctx.trace_sink()->Counter(TraceEventType::kShuffleBytes, "shuffle_bytes",
+                                      ctx.stats().shuffle_bytes - shuffle_before);
+          }
         },
         &stats_);
     if (map_speculate) {
@@ -454,6 +491,7 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
   };
 
   if (config_.mode == EngineMode::kBaseline) {
+    TraceSpan reduce_span(DriverSink(), TraceEventType::kStage, "reduce");
     scheduler_->RunStageSerial(
         reducers,
         [&](WorkerContext& ctx, int r) {
@@ -515,6 +553,7 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
   // Gerenuk reduce: one task per reducer, fanned out to the worker pool.
   const bool reduce_speculate = governor_.ShouldSpeculate();
   const int reduce_aborts_before = stats_.aborts;
+  TraceSpan reduce_span(DriverSink(), TraceEventType::kStage, "reduce");
   scheduler_->RunStage(
       reducers,
       [&](WorkerContext& ctx, int r) {
@@ -557,12 +596,18 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
               acc_size = static_cast<uint32_t>(body.size());
             }
             out_part.AppendRecord(reinterpret_cast<const uint8_t*>(acc), acc_size);
-          } catch (const SerAbort&) {
+          } catch (const SerAbort& abort) {
             // Re-execute this group on the slow path, inside the same worker.
+            if (ctx.trace_sink() != nullptr) {
+              ctx.trace_sink()->Instant(TraceEventType::kAbort, "abort",
+                                        static_cast<int64_t>(abort.reason));
+            }
             ctx.stats().aborts += 1;
             fast_ok = false;
           }
           if (!fast_ok) {
+            TraceSpan slow_span(ctx.trace_sink(), TraceEventType::kSlowPath, "slow_path",
+                                reduce_speculate ? 0 : 1);
             builders.Clear();
             RootScope scope(ctx.heap());
             size_t acc = 0;

@@ -70,6 +70,13 @@ class HadoopEngine {
   int num_workers() const { return scheduler_->num_workers(); }
   void ResetMetrics();
 
+  // The engine's event timeline (null when config.trace is off); complete
+  // after RunJob returns. Export with TraceExporter.
+  Trace* trace() { return trace_.get(); }
+  // Unified metrics snapshot: every EngineStats counter, phase times,
+  // plan-op profile totals, and (when tracing) the trace-derived histograms.
+  MetricsRegistry metrics() const;
+
   // Fault injection: ordinals are assigned in submission order (all map
   // tasks of a job, then all reduce tasks), starting at next_task_ordinal().
   FaultPlan& fault_plan() { return fault_plan_; }
@@ -106,10 +113,14 @@ class HadoopEngine {
   InlineSerializer inline_serde_;
   MemoryTracker memory_;
   std::unique_ptr<TaskScheduler> scheduler_;
+  std::unique_ptr<Trace> trace_;  // allocated only when config.trace
   EngineStats stats_;
   FaultPlan fault_plan_;
   SpeculationGovernor governor_;
   int64_t task_seq_ = 0;
+
+  // Driver-side sink for phase spans (null when tracing is off).
+  TraceSink* DriverSink() const { return trace_ != nullptr ? trace_->driver() : nullptr; }
 
   void ObserveSpeculation(int tasks, int aborts_delta) {
     if (governor_.Observe(tasks, aborts_delta)) {

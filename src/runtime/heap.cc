@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/support/trace.h"
+
 namespace gerenuk {
 
 namespace {
@@ -275,6 +277,7 @@ void Heap::EvacuateRegionSlot(ObjRef* slot) {
 
 void Heap::EpochEnd() {
   GERENUK_CHECK(in_epoch_);
+  TraceSpan gc_span(trace_sink_, TraceEventType::kGcPause, "region_gc");
   Stopwatch watch;
   watch.Start();
   in_gc_ = true;
@@ -428,6 +431,7 @@ void Heap::MarkFromRoots(std::vector<ObjRef>& worklist) {
 }
 
 void Heap::MarkSweepCollect(uint64_t sweep_start, uint64_t sweep_end) {
+  TraceSpan gc_span(trace_sink_, TraceEventType::kGcPause, "major_gc");
   Stopwatch watch;
   watch.Start();
   in_gc_ = true;
@@ -649,6 +653,7 @@ void Heap::MinorCollect() {
     MarkSweepCollect(old_.start, old_.top);
   }
 
+  TraceSpan gc_span(trace_sink_, TraceEventType::kGcPause, "minor_gc");
   Stopwatch watch;
   watch.Start();
   in_gc_ = true;

@@ -29,6 +29,8 @@
 
 namespace gerenuk {
 
+class TraceSink;  // src/support/trace.h
+
 // Byte offset from the heap base. 0 is the null reference.
 using ObjRef = uint64_t;
 inline constexpr ObjRef kNullRef = 0;
@@ -165,6 +167,10 @@ class Heap {
   size_t capacity() const { return capacity_; }
   // When set, GC pause time is also charged to Phase::kGc of this tracker.
   void set_phase_times(PhaseTimes* times) { phase_times_ = times; }
+  // When set, every collection pause is also emitted as a kGcPause trace
+  // span into this sink (the owning worker's, or the driver's for the
+  // engine heap). Null = tracing off.
+  void set_trace_sink(TraceSink* sink) { trace_sink_ = sink; }
   // When set, live heap bytes are mirrored into an external tracker so an
   // engine can observe the *combined* (heap + native buffer) footprint the
   // way the paper's pmap sampling observes process memory.
@@ -276,6 +282,7 @@ class Heap {
   HeapStats stats_;
   int64_t peak_used_ = 0;
   PhaseTimes* phase_times_ = nullptr;
+  TraceSink* trace_sink_ = nullptr;
   MemoryTracker* memory_tracker_ = nullptr;
   int64_t tracker_reported_ = 0;
   bool in_gc_ = false;

@@ -1,24 +1,171 @@
 #include "src/support/metrics.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 namespace gerenuk {
 
 std::string FormatBytes(int64_t bytes) {
-  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
-  double value = static_cast<double>(bytes);
+  // Negate through uint64_t so INT64_MIN is representable.
+  const bool negative = bytes < 0;
+  const uint64_t magnitude =
+      negative ? 0u - static_cast<uint64_t>(bytes) : static_cast<uint64_t>(bytes);
+  const char* units[] = {"B", "KB", "MB", "GB", "TB", "PB", "EB"};
+  double value = static_cast<double>(magnitude);
   int unit = 0;
-  while (value >= 1024.0 && unit < 4) {
+  while (value >= 1024.0 && unit < 6) {
     value /= 1024.0;
     ++unit;
   }
-  char buf[32];
+  char buf[40];
   if (unit == 0) {
-    std::snprintf(buf, sizeof(buf), "%lld B", static_cast<long long>(bytes));
+    std::snprintf(buf, sizeof(buf), "%s%llu B", negative ? "-" : "",
+                  static_cast<unsigned long long>(magnitude));
   } else {
-    std::snprintf(buf, sizeof(buf), "%.2f %s", value, units[unit]);
+    std::snprintf(buf, sizeof(buf), "%s%.2f %s", negative ? "-" : "", value, units[unit]);
   }
   return buf;
+}
+
+std::string FormatNanos(int64_t nanos) {
+  const bool negative = nanos < 0;
+  const uint64_t magnitude =
+      negative ? 0u - static_cast<uint64_t>(nanos) : static_cast<uint64_t>(nanos);
+  const char* units[] = {"ns", "us", "ms", "s"};
+  double value = static_cast<double>(magnitude);
+  int unit = 0;
+  while (value >= 1000.0 && unit < 3) {
+    value /= 1000.0;
+    ++unit;
+  }
+  char buf[40];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%s%llu ns", negative ? "-" : "",
+                  static_cast<unsigned long long>(magnitude));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%.2f %s", negative ? "-" : "", value, units[unit]);
+  }
+  return buf;
+}
+
+std::string FormatMetricValue(int64_t value, MetricUnit unit) {
+  switch (unit) {
+    case MetricUnit::kNanos:
+      return FormatNanos(value);
+    case MetricUnit::kBytes:
+      return FormatBytes(value);
+    case MetricUnit::kCount:
+      break;
+  }
+  return std::to_string(value);
+}
+
+int64_t Histogram::BucketUpperBound(int bucket) {
+  if (bucket <= 0) {
+    return 0;
+  }
+  if (bucket >= 64) {
+    return INT64_MAX;
+  }
+  // Compute in uint64: 1 << 63 would shift into the sign bit.
+  return static_cast<int64_t>((uint64_t{1} << bucket) - 1);
+}
+
+int64_t Histogram::PercentileApprox(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Rank of the percentile sample, 1-based; walk buckets until reached.
+  int64_t rank = static_cast<int64_t>(p * static_cast<double>(count_ - 1)) + 1;
+  int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += counts_[b];
+    if (seen >= rank) {
+      // The true sample is within the bucket; clamp to observed extremes so
+      // the approximation never reports an impossible value.
+      return std::min(std::max(BucketUpperBound(b), min()), max());
+    }
+  }
+  return max();
+}
+
+std::string Histogram::Render() const {
+  if (count_ == 0) {
+    return "count=0";
+  }
+  std::string out = "count=" + std::to_string(count_);
+  out += " min=" + FormatMetricValue(min(), unit_);
+  out += " p50<=" + FormatMetricValue(PercentileApprox(0.5), unit_);
+  out += " p90<=" + FormatMetricValue(PercentileApprox(0.9), unit_);
+  out += " p99<=" + FormatMetricValue(PercentileApprox(0.99), unit_);
+  out += " max=" + FormatMetricValue(max(), unit_);
+  out += " mean=" + FormatMetricValue(mean(), unit_);
+  return out;
+}
+
+Histogram& MetricsRegistry::Hist(const std::string& name, MetricUnit unit) {
+  auto it = hists_.find(name);
+  if (it == hists_.end()) {
+    it = hists_.emplace(name, Histogram(unit)).first;
+  }
+  return it->second;
+}
+
+void MetricsRegistry::Merge(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) {
+    counters_[name] += value;
+  }
+  for (const auto& [name, hist] : other.hists_) {
+    Hist(name, hist.unit()) += hist;
+  }
+}
+
+std::string MetricsRegistry::Render() const {
+  std::string out;
+  for (const auto& [name, value] : counters_) {
+    out += name + " = " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, hist] : hists_) {
+    out += name + ": " + hist.Render() + "\n";
+  }
+  return out;
+}
+
+std::string OpProfile::Render(const char* (*op_name)(int), int top_n) const {
+  std::vector<int> order;
+  for (int i = 0; i < kMaxOps; ++i) {
+    if (dispatches[i] > 0) {
+      order.push_back(i);
+    }
+  }
+  std::sort(order.begin(), order.end(),
+            [this](int a, int b) { return dispatches[a] > dispatches[b]; });
+  if (static_cast<int>(order.size()) > top_n) {
+    order.resize(static_cast<size_t>(top_n));
+  }
+  std::string out;
+  char line[128];
+  for (int i : order) {
+    std::snprintf(line, sizeof(line), "  %-24s %12lld  %s\n", op_name(i),
+                  static_cast<long long>(dispatches[i]),
+                  FormatNanos(sampled_nanos[i]).c_str());
+    out += line;
+  }
+  return out;
+}
+
+void EngineStats::ExportTo(MetricsRegistry* registry) const {
+#define GERENUK_EXPORT_FIELD(f) registry->Counter(#f) += static_cast<int64_t>(f);
+  GERENUK_ENGINE_COUNTER_FIELDS(GERENUK_EXPORT_FIELD)
+#undef GERENUK_EXPORT_FIELD
+  for (Phase phase : {Phase::kCompute, Phase::kGc, Phase::kSerialize, Phase::kDeserialize}) {
+    registry->Counter(std::string("phase_") + PhaseName(phase) + "_ns") += times.Get(phase);
+  }
+  registry->Counter("plan_op_dispatches") += plan_ops.total_dispatches();
+  registry->Counter("plan_op_samples") += plan_ops.samples;
 }
 
 }  // namespace gerenuk

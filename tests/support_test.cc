@@ -224,5 +224,150 @@ TEST(MetricsTest, FormatBytes) {
   EXPECT_EQ(FormatBytes(3 << 20), "3.00 MB");
 }
 
+TEST(MetricsTest, FormatBytesNegativeAndHuge) {
+  EXPECT_EQ(FormatBytes(-512), "-512 B");
+  EXPECT_EQ(FormatBytes(-2048), "-2.00 KB");
+  EXPECT_EQ(FormatBytes(int64_t{2} << 40), "2.00 TB");
+  EXPECT_EQ(FormatBytes(int64_t{3} << 50), "3.00 PB");
+  EXPECT_EQ(FormatBytes(int64_t{5} << 60), "5.00 EB");
+  EXPECT_EQ(FormatBytes(INT64_MAX), "8.00 EB");
+  EXPECT_EQ(FormatBytes(INT64_MIN), "-8.00 EB");
+}
+
+TEST(MetricsTest, FormatNanosNegativeAndHuge) {
+  EXPECT_EQ(FormatNanos(500), "500 ns");
+  EXPECT_EQ(FormatNanos(-500), "-500 ns");
+  EXPECT_EQ(FormatNanos(-1500), "-1.50 us");
+  EXPECT_EQ(FormatNanos(-2000000), "-2.00 ms");
+  EXPECT_EQ(FormatNanos(int64_t{90} * 1000 * 1000 * 1000), "90.00 s");
+}
+
+TEST(MetricsTest, StopwatchAccumulatesAcrossRuns) {
+  Stopwatch watch;
+  watch.Start();
+  watch.Stop();
+  int64_t first = watch.ElapsedNanos();
+  EXPECT_GE(first, 0);
+  watch.Start();
+  watch.Stop();
+  EXPECT_GE(watch.ElapsedNanos(), first);
+  watch.Reset();
+  EXPECT_EQ(watch.ElapsedNanos(), 0);
+}
+
+TEST(MetricsTest, StopwatchUnmatchedStopIsRejected) {
+  // Stop() without a prior Start() must not charge phantom time: debug
+  // builds assert, release builds drop the unmatched Stop.
+#ifdef NDEBUG
+  Stopwatch watch;
+  watch.Stop();
+  EXPECT_EQ(watch.ElapsedNanos(), 0);
+  watch.Start();
+  watch.Stop();
+  watch.Stop();  // second Stop is unmatched: accumulates nothing further
+  int64_t elapsed = watch.ElapsedNanos();
+  watch.Stop();
+  EXPECT_EQ(watch.ElapsedNanos(), elapsed);
+#else
+  EXPECT_DEATH(
+      {
+        Stopwatch watch;
+        watch.Stop();
+      },
+      "Stopwatch");
+#endif
+}
+
+TEST(MetricsTest, HistogramHandlesNegativeAndHugeValues) {
+  Histogram hist(MetricUnit::kBytes);
+  EXPECT_EQ(hist.Render(), "count=0");
+  hist.Record(-4096);
+  hist.Record(0);
+  hist.Record(1);
+  hist.Record(int64_t{3} << 41);  // ~6 TB
+  hist.Record(INT64_MAX);
+  EXPECT_EQ(hist.count(), 5);
+  EXPECT_EQ(hist.min(), -4096);
+  EXPECT_EQ(hist.max(), INT64_MAX);
+  EXPECT_EQ(hist.sum(), INT64_MAX);  // saturates instead of overflowing
+  // The p0 sample falls in the underflow bucket (upper bound 0); the clamp
+  // keeps the answer within the observed [min, max] range.
+  EXPECT_EQ(hist.PercentileApprox(0.0), 0);
+  EXPECT_EQ(hist.PercentileApprox(1.0), INT64_MAX);
+  std::string rendered = hist.Render();
+  EXPECT_NE(rendered.find("count=5"), std::string::npos);
+  EXPECT_NE(rendered.find("min=-4.00 KB"), std::string::npos);
+  EXPECT_NE(rendered.find("max=8.00 EB"), std::string::npos);
+}
+
+TEST(MetricsTest, HistogramMergePreservesExtremes) {
+  Histogram a(MetricUnit::kNanos);
+  a.Record(100);
+  a.Record(200);
+  Histogram b(MetricUnit::kNanos);
+  b.Record(-50);
+  b.Record(int64_t{1} << 50);
+  a += b;
+  EXPECT_EQ(a.count(), 4);
+  EXPECT_EQ(a.min(), -50);
+  EXPECT_EQ(a.max(), int64_t{1} << 50);
+  Histogram empty;
+  a += empty;  // merging an empty histogram must not disturb min/max
+  EXPECT_EQ(a.min(), -50);
+  EXPECT_EQ(a.max(), int64_t{1} << 50);
+}
+
+TEST(MetricsTest, RegistryMergeAddsCountersAndHistograms) {
+  MetricsRegistry a;
+  a.Counter("tasks") = 3;
+  a.Hist("latency_ns").Record(100);
+  MetricsRegistry b;
+  b.Counter("tasks") = 2;
+  b.Counter("only_in_b") = 7;
+  b.Hist("latency_ns").Record(300);
+  b.Hist("bytes", MetricUnit::kBytes).Record(1 << 20);
+  a.Merge(b);
+  EXPECT_EQ(a.Counter("tasks"), 5);
+  EXPECT_EQ(a.Counter("only_in_b"), 7);
+  EXPECT_EQ(a.Hist("latency_ns").count(), 2);
+  EXPECT_EQ(a.Hist("bytes").count(), 1);
+  std::string rendered = a.Render();
+  EXPECT_NE(rendered.find("tasks"), std::string::npos);
+  EXPECT_NE(rendered.find("latency_ns"), std::string::npos);
+}
+
+TEST(MetricsTest, EngineStatsExportToRegistry) {
+  EngineStats stats;
+  stats.tasks_run = 4;
+  stats.aborts = 1;
+  stats.plan_ops.dispatches[0] = 10;
+  stats.plan_ops.samples = 2;
+  MetricsRegistry registry;
+  stats.ExportTo(&registry);
+  EXPECT_EQ(registry.Counter("tasks_run"), 4);
+  EXPECT_EQ(registry.Counter("aborts"), 1);
+  EXPECT_EQ(registry.Counter("plan_op_dispatches"), 10);
+  EXPECT_EQ(registry.Counter("plan_op_samples"), 2);
+}
+
+TEST(MetricsTest, OpProfileMergeAndRender) {
+  OpProfile a;
+  a.dispatches[1] = 5;
+  a.sampled_nanos[1] = 1000;
+  a.samples = 1;
+  OpProfile b;
+  b.dispatches[1] = 3;
+  b.dispatches[2] = 9;
+  b.samples = 2;
+  a += b;
+  EXPECT_EQ(a.total_dispatches(), 17);
+  EXPECT_EQ(a.samples, 3);
+  EXPECT_FALSE(a.empty());
+  auto name = [](int op) -> const char* { return op == 1 ? "op_one" : "op_other"; };
+  std::string rendered = a.Render(name, /*top_n=*/2);
+  EXPECT_NE(rendered.find("op_other"), std::string::npos);  // highest dispatch count
+  EXPECT_NE(rendered.find("op_one"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace gerenuk
