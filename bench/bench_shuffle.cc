@@ -1,0 +1,203 @@
+// Shuffle-service and process-executor harness. Prints human-readable rows
+// and writes BENCH_shuffle.json so future PRs can track the trajectory:
+//
+//   1. Spill throughput — driver-side Add of sealed blocks through the
+//      serialize/compress/seal/append pipeline, compressed vs stored,
+//      against the zero-copy resident path.
+//   2. Fetch latency — OpenBucket (credit + read + verify + decompress +
+//      parse) per bucket, resident vs spilled.
+//   3. Recovery time — a process-mode WordCount with one executor SIGKILLed
+//      mid-stage vs the unkilled run: the cost of a real executor death
+//      under supervision (heartbeats, relaunch, task reroute).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/shuffle/shuffle_service.h"
+#include "src/support/logging.h"
+#include "src/workloads/datagen.h"
+#include "src/workloads/spark_workloads.h"
+
+namespace gerenuk {
+namespace {
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr int kProducers = 8;
+constexpr int kBuckets = 4;
+constexpr int kRecordsPerBlock = 512;
+
+// Word-like (Zipf text) record bodies: compressible the way shuffled text
+// records are, not the way zero-filled buffers are.
+NativePartition MakeBlock(const std::vector<std::string>& lines, int producer, int bucket) {
+  NativePartition part;
+  for (int r = 0; r < kRecordsPerBlock; ++r) {
+    const std::string& line =
+        lines[static_cast<size_t>((producer * 131 + bucket * 17 + r)) % lines.size()];
+    part.AppendRecord(reinterpret_cast<const uint8_t*>(line.data()),
+                      static_cast<uint32_t>(line.size()));
+  }
+  part.Seal();
+  return part;
+}
+
+struct SpillRun {
+  double add_ms = 0;
+  double fetch_ms_per_bucket = 0;
+  int64_t raw_bytes = 0;
+  int64_t stored_bytes = 0;
+  int64_t fetches = 0;
+};
+
+SpillRun RunShuffle(const std::vector<std::string>& lines, int64_t spill_threshold,
+                    bool compress) {
+  ShuffleConfig config;
+  config.spill_threshold_bytes = spill_threshold;
+  config.compress = compress;
+  ShuffleRun run(kProducers, kBuckets, config);
+  EngineStats stats;
+  SpillRun result;
+
+  double t0 = NowMs();
+  for (int p = 0; p < kProducers; ++p) {
+    for (int b = 0; b < kBuckets; ++b) {
+      run.Add(p, b, MakeBlock(lines, p, b), &stats);
+    }
+  }
+  result.add_ms = NowMs() - t0;
+  result.raw_bytes = stats.spill_bytes_raw;
+  result.stored_bytes = stats.spill_bytes_stored;
+
+  constexpr int kFetchIters = 8;
+  t0 = NowMs();
+  int64_t drained = 0;
+  for (int iter = 0; iter < kFetchIters; ++iter) {
+    for (int b = 0; b < kBuckets; ++b) {
+      run.ForEachRecordInBucket(b, &stats, nullptr,
+                                [&drained](int64_t, uint32_t size) { drained += size; });
+    }
+  }
+  result.fetch_ms_per_bucket = (NowMs() - t0) / (kFetchIters * kBuckets);
+  result.fetches = stats.shuffle_fetches;
+  GERENUK_CHECK(drained > 0);
+  return result;
+}
+
+void SpillExperiments(bench::JsonWriter& json) {
+  bench::PrintHeader("Shuffle spill throughput & fetch latency");
+  std::vector<std::string> lines = MakeTextLines(2000, 12, 600, 77);
+
+  struct Case {
+    const char* name;
+    int64_t threshold;
+    bool compress;
+  };
+  const Case cases[] = {
+      {"resident", 0, true},
+      {"spill_stored", 1, false},
+      {"spill_compressed", 1, true},
+  };
+
+  json.BeginArray("spill");
+  for (const Case& c : cases) {
+    SpillRun r = RunShuffle(lines, c.threshold, c.compress);
+    double raw_mb = static_cast<double>(r.raw_bytes) / (1 << 20);
+    double spill_mbps = r.add_ms > 0 ? raw_mb / (r.add_ms / 1000.0) : 0;
+    std::printf("  %-18s add %7.2f ms (%7.1f MB/s spilled)  fetch %6.3f ms/bucket", c.name,
+                r.add_ms, spill_mbps, r.fetch_ms_per_bucket);
+    if (r.raw_bytes > 0) {
+      std::printf("  stored/raw %.2f", static_cast<double>(r.stored_bytes) / r.raw_bytes);
+    }
+    std::printf("\n");
+    json.BeginObject();
+    json.Field("name", c.name);
+    json.Field("add_ms", r.add_ms);
+    json.Field("spill_throughput_mb_per_s", spill_mbps);
+    json.Field("fetch_ms_per_bucket", r.fetch_ms_per_bucket);
+    json.Field("spill_bytes_raw", r.raw_bytes);
+    json.Field("spill_bytes_stored", r.stored_bytes);
+    json.Field("fetches", r.fetches);
+    json.End();
+  }
+  json.End();
+}
+
+struct RecoveryRun {
+  double wall_ms = 0;
+  double checksum = 0;
+  int64_t executor_deaths = 0;
+  int64_t executor_relaunches = 0;
+  int64_t heartbeats = 0;
+};
+
+RecoveryRun RunWordCountProcessMode(const std::vector<std::string>& lines, bool kill) {
+  SparkConfig config;
+  config.mode = EngineMode::kGerenuk;
+  config.heap_bytes = 48u << 20;
+  config.num_workers = 4;
+  config.process_executors = true;
+  config.executor_heartbeat_ms = 5;
+  config.max_task_attempts = 3;
+  SparkEngine engine(config);
+  SparkWorkloads workloads(engine);
+  if (kill) {
+    engine.fault_plan().InjectExecutorKill(engine.next_task_ordinal() + 1, /*signal=*/9,
+                                           /*max_attempt=*/1);
+  }
+  RecoveryRun r;
+  double t0 = NowMs();
+  r.checksum = workloads.RunWordCount(lines).checksum;
+  r.wall_ms = NowMs() - t0;
+  r.executor_deaths = engine.stats().executor_deaths;
+  r.executor_relaunches = engine.stats().executor_relaunches;
+  r.heartbeats = engine.stats().heartbeats_received;
+  return r;
+}
+
+void RecoveryExperiment(bench::JsonWriter& json) {
+  bench::PrintHeader("Executor-kill recovery (process mode, WordCount)");
+  std::vector<std::string> lines = MakeTextLines(3000, 10, 700, 101);
+
+  RecoveryRun clean = RunWordCountProcessMode(lines, /*kill=*/false);
+  RecoveryRun killed = RunWordCountProcessMode(lines, /*kill=*/true);
+  GERENUK_CHECK(clean.checksum == killed.checksum)
+      << "recovered run diverged: " << clean.checksum << " vs " << killed.checksum;
+  GERENUK_CHECK(killed.executor_deaths >= 1);
+  GERENUK_CHECK(killed.executor_relaunches >= 1);
+
+  double overhead = killed.wall_ms - clean.wall_ms;
+  std::printf("  unkilled  %8.2f ms  (%lld heartbeats)\n", clean.wall_ms,
+              static_cast<long long>(clean.heartbeats));
+  std::printf("  SIGKILLed %8.2f ms  (%lld deaths, %lld relaunches)\n", killed.wall_ms,
+              static_cast<long long>(killed.executor_deaths),
+              static_cast<long long>(killed.executor_relaunches));
+  std::printf("  recovery overhead %.2f ms\n", overhead);
+
+  json.BeginObject("recovery");
+  json.Field("clean_ms", clean.wall_ms);
+  json.Field("killed_ms", killed.wall_ms);
+  json.Field("recovery_overhead_ms", overhead);
+  json.Field("executor_deaths", killed.executor_deaths);
+  json.Field("executor_relaunches", killed.executor_relaunches);
+  json.Field("heartbeats_received", killed.heartbeats);
+  json.End();
+}
+
+}  // namespace
+}  // namespace gerenuk
+
+int main() {
+  gerenuk::bench::JsonWriter json("BENCH_shuffle.json");
+  json.BeginObject();
+  gerenuk::SpillExperiments(json);
+  gerenuk::RecoveryExperiment(json);
+  json.End();
+  return 0;
+}

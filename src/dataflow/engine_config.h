@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "src/dataflow/stage_compiler.h"  // EngineMode
 #include "src/exec/fault.h"               // RetryPolicy, QuarantinePolicy
@@ -34,6 +35,40 @@ struct EngineConfig {
   int64_t retry_backoff_ms = 0;
   // Per-attempt deadline (cooperative); 0 disables straggler detection.
   int64_t task_deadline_ms = 0;
+  // Deterministic jitter added to the exponential backoff term: a seeded
+  // hash of (task, attempt) in [0, retry_backoff_jitter_ms]. Reproducible —
+  // the same seed gives the same schedule on every run and worker count.
+  int64_t retry_backoff_jitter_ms = 0;
+  uint64_t retry_jitter_seed = 0;
+
+  // --- Process-mode execution (see DESIGN.md "Process model & shuffle") ---
+  // Run Gerenuk-mode stages in forked executor processes supervised by the
+  // driver: sealed partition bytes cross a real process boundary, executor
+  // death (SIGKILL) is a recoverable TaskError{kExecutorLost}, and wedged
+  // executors are reaped by heartbeat timeout. Output bytes stay identical
+  // to in-process mode for every executor count. Baseline mode and stages
+  // without a wire codec run in-process regardless.
+  bool process_executors = false;
+  // Child heartbeat period / supervisor liveness timeout (ms).
+  int64_t executor_heartbeat_ms = 25;
+  int64_t executor_heartbeat_timeout_ms = 1000;
+  // Fresh processes allowed per executor slot after the initial launch.
+  int max_executor_relaunches = 3;
+
+  // --- Shuffle service (Spark-side reduce/join exchange) ---
+  // Spill threshold: once resident shuffle bytes would exceed this, newly
+  // added partitions are sealed, compressed, and spilled to disk; reducers
+  // fetch them on demand. 0 = never spill (all-resident, the default).
+  int64_t shuffle_spill_threshold_bytes = 0;
+  // Compress spilled blocks (LZ-style; stored verbatim when incompressible).
+  bool shuffle_compress = true;
+  // Bounded-credit backpressure: total bytes of spilled blocks allowed
+  // in flight to consumers at once. A slow consumer blocks further fetches
+  // instead of ballooning producer-side memory.
+  int64_t shuffle_fetch_budget_bytes = 16ll << 20;
+  // Directory for spill files ("" = $TMPDIR or /tmp). Files are unlinked at
+  // creation, so they vanish with the process no matter how it dies.
+  std::string shuffle_spill_dir;
   // Lower transformed SERs to flat direct-threaded plans (SerPlan) and run
   // the fast path through the PlanExecutor with batched record channels.
   // Off: the tree-walking Interpreter runs the fast path (the reference
@@ -70,6 +105,8 @@ struct EngineConfig {
     RetryPolicy policy;
     policy.max_attempts = max_task_attempts;
     policy.backoff_base_ms = retry_backoff_ms;
+    policy.backoff_jitter_ms = retry_backoff_jitter_ms;
+    policy.jitter_seed = retry_jitter_seed;
     policy.task_deadline_ms = task_deadline_ms;
     policy.quarantine = quarantine;
     return policy;

@@ -3,11 +3,57 @@
 #include "src/analysis/ser_analyzer.h"
 #include "src/ir/builder.h"
 #include "src/runtime/roots.h"
+#include "src/shuffle/shuffle_service.h"
 #include "src/transform/transformer.h"
 
 namespace gerenuk {
 
 namespace {
+
+// Process-mode wire codec for a stage whose task `t` commits one sealed
+// partition into `(*parts)[t]`. Encode ships the partition's shuffle-wire
+// bytes (seal included); decode lands them in the driver's slot. Parse
+// failures are reclassified as the fail-closed TaskError{kCorruptInput}.
+StageCodec PartitionVectorCodec(std::vector<NativePartition>* parts, MemoryTracker* memory) {
+  StageCodec codec;
+  codec.encode = [parts](int task, ByteBuffer* out) {
+    (*parts)[static_cast<size_t>(task)].SerializeTo(*out);
+  };
+  codec.decode = [parts, memory](int task, ByteReader* in) {
+    try {
+      (*parts)[static_cast<size_t>(task)] = NativePartition::Parse(*in, memory);
+    } catch (const WireFormatError& e) {
+      throw TaskError(TaskErrorKind::kCorruptInput, task, 1, 0,
+                      std::string("executor result failed wire parse: ") + e.what());
+    }
+  };
+  return codec;
+}
+
+// Same, for shuffle-map stages: task `t` commits one sealed partition per
+// reduce bucket into `(*buckets)[t]`, concatenated on the wire in bucket
+// order (each partition's trailer delimits it).
+StageCodec BucketRowCodec(std::vector<std::vector<NativePartition>>* buckets,
+                          MemoryTracker* memory) {
+  StageCodec codec;
+  codec.encode = [buckets](int task, ByteBuffer* out) {
+    for (NativePartition& bucket : (*buckets)[static_cast<size_t>(task)]) {
+      bucket.SerializeTo(*out);
+    }
+  };
+  codec.decode = [buckets, memory](int task, ByteReader* in) {
+    std::vector<NativePartition>& row = (*buckets)[static_cast<size_t>(task)];
+    try {
+      for (size_t b = 0; b < row.size(); ++b) {
+        row[b] = NativePartition::Parse(*in, memory);
+      }
+    } catch (const WireFormatError& e) {
+      throw TaskError(TaskErrorKind::kCorruptInput, task, 1, 0,
+                      std::string("executor shuffle output failed wire parse: ") + e.what());
+    }
+  };
+  return codec;
+}
 
 // Task-local lazy broadcast materialization for the slow path: the broadcast
 // lives as native bytes (shareable across workers) and as an object in the
@@ -70,10 +116,20 @@ SparkEngine::SparkEngine(const SparkConfig& config)
   // driver-compiled programs are valid in every executor context. The engine
   // WellKnown is built first (above), so the worker contexts find its
   // classes already defined.
+  // Process executors only make sense for Gerenuk-mode stages (baseline
+  // stages mutate the shared engine heap and always run serially in the
+  // driver).
+  const bool process_mode =
+      config.process_executors && config.mode == EngineMode::kGerenuk;
   scheduler_ = std::make_unique<TaskScheduler>(
       config.num_workers, HeapConfig{config.heap_bytes, config.gc, 0.55, 0.35, 2},
-      &heap_->klasses(), &memory_);
+      &heap_->klasses(), &memory_, process_mode);
   scheduler_->set_retry_policy(config.retry_policy());
+  ExecutorSupervisorConfig supervision;
+  supervision.heartbeat_ms = config.executor_heartbeat_ms;
+  supervision.heartbeat_timeout_ms = config.executor_heartbeat_timeout_ms;
+  supervision.max_executor_relaunches = config.max_executor_relaunches;
+  scheduler_->set_supervisor_config(supervision);
   if (config.trace) {
     trace_ = std::make_unique<Trace>(scheduler_->num_workers(), config.trace_buffer_events);
     scheduler_->set_trace(trace_.get());
@@ -228,6 +284,7 @@ DatasetPtr SparkEngine::RunNarrowGerenuk(const DatasetPtr& input, const Compiled
   const FaultPlan* faults = ActiveFaults();
   const bool speculate = governor_.ShouldSpeculate();
   const int aborts_before = stats_.aborts;
+  const StageCodec codec = PartitionVectorCodec(&out->native_parts, &memory_);
   TraceSpan stage_span(DriverSink(), TraceEventType::kStage, "narrow");
   scheduler_->RunStage(
       parts,
@@ -237,6 +294,8 @@ DatasetPtr SparkEngine::RunNarrowGerenuk(const DatasetPtr& input, const Compiled
         NativePartition& out_part = out->native_parts[static_cast<size_t>(p)];
         TaskIo io;
         io.input = &input->native_parts[static_cast<size_t>(p)];
+        io.stage_label = "narrow";
+        io.partition = p;
         io.task_ordinal = base + p;
         io.faults = faults;
         io.attempt = ctx.attempt();
@@ -270,7 +329,7 @@ DatasetPtr SparkEngine::RunNarrowGerenuk(const DatasetPtr& input, const Compiled
         }
         out_part.Seal();
       },
-      &stats_);
+      &stats_, &codec);
   if (speculate) {
     ObserveSpeculation(parts, stats_.aborts - aborts_before);
   }
@@ -362,6 +421,7 @@ void SparkEngine::ShuffleGerenuk(const DatasetPtr& input, const CompiledStage& s
   const bool speculate = governor_.ShouldSpeculate();
   const int aborts_before = stats_.aborts;
   ShuffleKeyHash hasher;
+  const StageCodec codec = BucketRowCodec(buckets, &memory_);
   TraceSpan stage_span(DriverSink(), TraceEventType::kStage, "shuffle");
   scheduler_->RunStage(
       parts,
@@ -372,6 +432,8 @@ void SparkEngine::ShuffleGerenuk(const DatasetPtr& input, const CompiledStage& s
         SerExecutor exec(ctx.heap(), ctx.wk(), layouts_, *stage.original, *stage.transformed);
         TaskIo io;
         io.input = &input->native_parts[static_cast<size_t>(p)];
+        io.stage_label = "shuffle";
+        io.partition = p;
         io.task_ordinal = base + p;
         io.faults = faults;
         io.attempt = ctx.attempt();
@@ -439,7 +501,7 @@ void SparkEngine::ShuffleGerenuk(const DatasetPtr& input, const CompiledStage& s
                                     ctx.stats().shuffle_bytes - shuffle_before);
         }
       },
-      &stats_);
+      &stats_, &codec);
   if (speculate) {
     ObserveSpeculation(parts, stats_.aborts - aborts_before);
   }
@@ -514,9 +576,24 @@ DatasetPtr SparkEngine::ReduceByKey(const DatasetPtr& input, const SerProgram& u
   std::vector<std::vector<NativePartition>> buckets;
   ShuffleGerenuk(input, stage, key, key_c, broadcast, &buckets);
 
+  // Hand the map outputs to the shuffle service at the barrier, in
+  // task-major order (the determinism contract for spill decisions).
+  // Resident unless the spill threshold says otherwise; reduce tasks fetch
+  // spilled blocks on demand under the credit gate. The run is built before
+  // the reduce stage submits, so process-mode executor children inherit the
+  // resident blocks and the spill-file descriptor through fork.
+  ShuffleRun shuffle(config_.num_partitions, config_.num_partitions, shuffle_config());
+  for (int t = 0; t < config_.num_partitions; ++t) {
+    for (int b = 0; b < config_.num_partitions; ++b) {
+      shuffle.Add(t, b, std::move(buckets[static_cast<size_t>(t)][static_cast<size_t>(b)]),
+                  &stats_, DriverSink());
+    }
+  }
+
   ClaimTaskOrdinals(config_.num_partitions);
   const bool speculate = governor_.ShouldSpeculate();
   const int aborts_before = stats_.aborts;
+  const StageCodec codec = PartitionVectorCodec(&out->native_parts, &memory_);
   TraceSpan stage_span(DriverSink(), TraceEventType::kStage, "reduce");
   scheduler_->RunStage(
       config_.num_partitions,
@@ -524,13 +601,8 @@ DatasetPtr SparkEngine::ReduceByKey(const DatasetPtr& input, const SerProgram& u
         ctx.stats().tasks_run += 1;
         ctx.heap().set_phase_times(&ctx.stats().times);
         NativePartition& out_part = out->native_parts[static_cast<size_t>(p)];
-        auto for_each_record = [&buckets, p](const std::function<void(int64_t, uint32_t)>& fn) {
-          for (auto& task_buckets : buckets) {
-            NativePartition& bucket = task_buckets[static_cast<size_t>(p)];
-            for (size_t r = 0; r < bucket.record_count(); ++r) {
-              fn(bucket.record_addr(r), bucket.record_size(r));
-            }
-          }
+        auto for_each_record = [&shuffle, &ctx, p](const std::function<void(int64_t, uint32_t)>& fn) {
+          shuffle.ForEachRecordInBucket(p, &ctx.stats(), ctx.trace_sink(), fn);
         };
         TraceSink* sink = ctx.trace_sink();
         bool fast_ok = speculate;
@@ -654,7 +726,7 @@ DatasetPtr SparkEngine::ReduceByKey(const DatasetPtr& input, const SerProgram& u
         out_part.Seal();
         ctx.heap().set_phase_times(nullptr);
       },
-      &stats_);
+      &stats_, &codec);
   if (speculate) {
     ObserveSpeculation(config_.num_partitions, stats_.aborts - aborts_before);
   }
@@ -752,7 +824,23 @@ DatasetPtr SparkEngine::JoinByKey(const DatasetPtr& left, const KeySpec& left_ke
   ShuffleGerenuk(left, left_stage, left_key, lkey, nullptr, &lb);
   ShuffleGerenuk(right, right_stage, right_key, rkey, nullptr, &rb);
 
+  // Both sides go through the shuffle service. The build (left) side is
+  // held open for the whole probe — its record addresses back the hash
+  // table — which is exactly the hold-and-wait shape the credit gate's
+  // grace timeout exists for.
+  ShuffleRun lrun(config_.num_partitions, config_.num_partitions, shuffle_config());
+  ShuffleRun rrun(config_.num_partitions, config_.num_partitions, shuffle_config());
+  for (int t = 0; t < config_.num_partitions; ++t) {
+    for (int b = 0; b < config_.num_partitions; ++b) {
+      lrun.Add(t, b, std::move(lb[static_cast<size_t>(t)][static_cast<size_t>(b)]), &stats_,
+               DriverSink());
+      rrun.Add(t, b, std::move(rb[static_cast<size_t>(t)][static_cast<size_t>(b)]), &stats_,
+               DriverSink());
+    }
+  }
+
   ClaimTaskOrdinals(config_.num_partitions);
+  const StageCodec codec = PartitionVectorCodec(&out->native_parts, &memory_);
   TraceSpan stage_span(DriverSink(), TraceEventType::kStage, "join");
   scheduler_->RunStage(
       config_.num_partitions,
@@ -768,41 +856,35 @@ DatasetPtr SparkEngine::JoinByKey(const DatasetPtr& left, const KeySpec& left_ke
         ComputePhaseScope compute(ctx.stats().times);
         std::unordered_map<ShuffleKeyValue, std::vector<int64_t>, ShuffleKeyHash> table;
         ShuffleKeyValue scratch_key;
-        for (auto& task_buckets : lb) {
-          NativePartition& lpart = task_buckets[static_cast<size_t>(p)];
-          for (size_t r = 0; r < lpart.record_count(); ++r) {
-            int64_t addr = lpart.record_addr(r);
-            if (EvalShuffleKeyInto(interp, lkey.fast_fn, Value::Addr(addr), left_key.is_string,
-                                   &scratch_key)) {
-              ctx.stats().key_allocs_saved += 1;
-            }
-            table[scratch_key].push_back(addr);
+        BucketReader build_side = lrun.OpenBucket(p, &ctx.stats(), ctx.trace_sink());
+        build_side.ForEachRecord([&](int64_t addr, uint32_t /*size*/) {
+          if (EvalShuffleKeyInto(interp, lkey.fast_fn, Value::Addr(addr), left_key.is_string,
+                                 &scratch_key)) {
+            ctx.stats().key_allocs_saved += 1;
           }
-        }
-        for (auto& task_buckets : rb) {
-          NativePartition& rpart = task_buckets[static_cast<size_t>(p)];
-          for (size_t r = 0; r < rpart.record_count(); ++r) {
-            int64_t addr = rpart.record_addr(r);
-            if (EvalShuffleKeyInto(interp, rkey.fast_fn, Value::Addr(addr), right_key.is_string,
-                                   &scratch_key)) {
-              ctx.stats().key_allocs_saved += 1;
-            }
-            auto it = table.find(scratch_key);
-            if (it == table.end()) {
-              continue;
-            }
-            for (int64_t laddr : it->second) {
-              Value combined =
-                  interp.CallFunction(combine.fast_fn, {Value::Addr(laddr), Value::Addr(addr)});
-              builders.Render(combined.i, out_klass, out_part);
-              builders.Clear();
-            }
-          }
-        }
+          table[scratch_key].push_back(addr);
+        });
+        rrun.ForEachRecordInBucket(
+            p, &ctx.stats(), ctx.trace_sink(), [&](int64_t addr, uint32_t /*size*/) {
+              if (EvalShuffleKeyInto(interp, rkey.fast_fn, Value::Addr(addr),
+                                     right_key.is_string, &scratch_key)) {
+                ctx.stats().key_allocs_saved += 1;
+              }
+              auto it = table.find(scratch_key);
+              if (it == table.end()) {
+                return;
+              }
+              for (int64_t laddr : it->second) {
+                Value combined = interp.CallFunction(combine.fast_fn,
+                                                     {Value::Addr(laddr), Value::Addr(addr)});
+                builders.Render(combined.i, out_klass, out_part);
+                builders.Clear();
+              }
+            });
         ctx.stats().fast_path_commits += 1;
         out_part.Seal();
       },
-      &stats_);
+      &stats_, &codec);
   return out;
 }
 

@@ -32,6 +32,7 @@
 #include "src/exec/ser_executor.h"
 #include "src/exec/task_scheduler.h"
 #include "src/serde/heap_serializer.h"
+#include "src/shuffle/shuffle_service.h"
 
 namespace gerenuk {
 
@@ -157,6 +158,16 @@ class SparkEngine {
     return base;
   }
   const FaultPlan* ActiveFaults() const { return fault_plan_.empty() ? nullptr : &fault_plan_; }
+  // Shuffle-service knobs for this engine's reduce/join exchanges.
+  ShuffleConfig shuffle_config() {
+    ShuffleConfig sc;
+    sc.spill_threshold_bytes = config_.shuffle_spill_threshold_bytes;
+    sc.compress = config_.shuffle_compress;
+    sc.fetch_budget_bytes = config_.shuffle_fetch_budget_bytes;
+    sc.spill_dir = config_.shuffle_spill_dir;
+    sc.tracker = &memory_;
+    return sc;
+  }
   // Driver-side sink for stage spans (null when tracing is off).
   TraceSink* DriverSink() const { return trace_ != nullptr ? trace_->driver() : nullptr; }
   // Shared TaskIo tracing/profiling wiring for every Gerenuk-mode stage.

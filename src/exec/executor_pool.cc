@@ -1,0 +1,170 @@
+#include "src/exec/executor_pool.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace gerenuk {
+
+namespace {
+
+// Sends exactly `n` bytes; retries EINTR; MSG_NOSIGNAL turns a dead peer
+// into an EPIPE return instead of a fatal signal.
+bool SendAll(int fd, const uint8_t* data, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    ssize_t rc = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<size_t>(rc);
+  }
+  return true;
+}
+
+bool RecvAll(int fd, uint8_t* data, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    ssize_t rc = ::recv(fd, data + got, n - got, 0);
+    if (rc < 0 && errno == EINTR) {
+      continue;
+    }
+    if (rc <= 0) {
+      return false;  // EOF or error
+    }
+    got += static_cast<size_t>(rc);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool WriteFrame(int fd, ExecMsg type, const uint8_t* payload, size_t n,
+                std::mutex* write_mu) {
+  if (n > kMaxFrameBytes) {
+    return false;
+  }
+  uint8_t header[5];
+  const uint32_t len = static_cast<uint32_t>(n);
+  std::memcpy(header, &len, 4);
+  header[4] = static_cast<uint8_t>(type);
+  if (write_mu != nullptr) {
+    std::lock_guard<std::mutex> lock(*write_mu);
+    return SendAll(fd, header, sizeof(header)) && (n == 0 || SendAll(fd, payload, n));
+  }
+  return SendAll(fd, header, sizeof(header)) && (n == 0 || SendAll(fd, payload, n));
+}
+
+bool ReadFrameBlocking(int fd, ExecMsg* type, std::vector<uint8_t>* payload) {
+  uint8_t header[5];
+  if (!RecvAll(fd, header, sizeof(header))) {
+    return false;
+  }
+  uint32_t len = 0;
+  std::memcpy(&len, header, 4);
+  if (len > kMaxFrameBytes) {
+    return false;
+  }
+  *type = static_cast<ExecMsg>(header[4]);
+  payload->resize(len);
+  return len == 0 || RecvAll(fd, payload->data(), len);
+}
+
+ExecutorChannel::ExecutorChannel(int fd) : fd_(fd) {
+  int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags >= 0) {
+    ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  }
+}
+
+ExecutorChannel::~ExecutorChannel() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+bool ExecutorChannel::Pump() {
+  uint8_t chunk[16384];
+  for (;;) {
+    ssize_t rc = ::recv(fd_, chunk, sizeof(chunk), MSG_DONTWAIT);
+    if (rc > 0) {
+      buf_.insert(buf_.end(), chunk, chunk + rc);
+      continue;
+    }
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return true;  // drained
+    }
+    if (rc < 0 && errno == EINTR) {
+      continue;
+    }
+    return false;  // EOF or hard error: peer is gone
+  }
+}
+
+bool ExecutorChannel::NextFrame(ExecMsg* type, std::vector<uint8_t>* payload) {
+  const size_t avail = buf_.size() - consumed_;
+  if (avail < 5) {
+    return false;
+  }
+  uint32_t len = 0;
+  std::memcpy(&len, buf_.data() + consumed_, 4);
+  if (len > kMaxFrameBytes) {
+    // Corrupted length prefix; resync is impossible on a byte stream.
+    // Surface as "no frame" forever — the supervisor's liveness checks
+    // will reap the peer.
+    return false;
+  }
+  if (avail < 5 + static_cast<size_t>(len)) {
+    return false;
+  }
+  *type = static_cast<ExecMsg>(buf_[consumed_ + 4]);
+  payload->assign(buf_.begin() + static_cast<long>(consumed_ + 5),
+                  buf_.begin() + static_cast<long>(consumed_ + 5 + len));
+  consumed_ += 5 + static_cast<size_t>(len);
+  // Compact once the consumed prefix dominates, so the buffer does not
+  // grow with the whole stage's output volume.
+  if (consumed_ > 4096 && consumed_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<long>(consumed_));
+    consumed_ = 0;
+  }
+  return true;
+}
+
+bool ExecutorChannel::Write(ExecMsg type, const uint8_t* payload, size_t n) {
+  // Driver writes are tiny (kRunTask / kShutdown) and only target an idle
+  // executor, whose socket buffer is empty — blocking semantics via a
+  // temporary flag flip would be overkill; SendAll on a non-blocking fd
+  // can short-write EAGAIN, so spin on it.
+  uint8_t header[5];
+  const uint32_t len = static_cast<uint32_t>(n);
+  std::memcpy(header, &len, 4);
+  header[4] = static_cast<uint8_t>(type);
+  uint8_t small[64];
+  if (5 + n <= sizeof(small)) {
+    std::memcpy(small, header, 5);
+    if (n > 0) {
+      std::memcpy(small + 5, payload, n);
+    }
+    size_t sent = 0;
+    while (sent < 5 + n) {
+      ssize_t rc = ::send(fd_, small + sent, 5 + n - sent, MSG_NOSIGNAL);
+      if (rc < 0) {
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+          continue;
+        }
+        return false;
+      }
+      sent += static_cast<size_t>(rc);
+    }
+    return true;
+  }
+  return WriteFrame(fd_, type, payload, n);
+}
+
+}  // namespace gerenuk

@@ -1,0 +1,87 @@
+// The executor wire protocol: framing and channel plumbing between the
+// driver and its forked executor processes (see DESIGN.md "Process model &
+// shuffle service").
+//
+// Transport is a SOCK_STREAM socketpair per executor. Every message is one
+// frame: [payload_len:u32 LE][type:u8][payload]. Types:
+//
+//   kRunTask   (driver -> executor): u32 task, u32 attempt, u8 fresh_context
+//   kShutdown  (driver -> executor): empty; the child exits cleanly
+//   kTaskOk    (executor -> driver): u32 task, u32 attempt,
+//                                    u32 stats_len, [stats blob],
+//                                    codec-encoded task output to frame end
+//   kTaskFail  (executor -> driver): u32 task, u32 attempt,
+//                                    u8 is_task_error, u8 kind,
+//                                    i64 task_ordinal, i64 input_records,
+//                                    varlen detail string
+//   kHeartbeat (executor -> driver): empty, sent by the child's heartbeat
+//                                    thread every heartbeat_ms
+//
+// The driver's side of each channel is non-blocking with a per-channel
+// receive buffer (a SIGSTOP'd child must never wedge the driver); the
+// child's side is blocking. All writes use MSG_NOSIGNAL so a dead peer
+// yields EPIPE instead of killing the process.
+#ifndef SRC_EXEC_EXECUTOR_POOL_H_
+#define SRC_EXEC_EXECUTOR_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace gerenuk {
+
+enum class ExecMsg : uint8_t {
+  kRunTask = 0,
+  kShutdown = 1,
+  kTaskOk = 2,
+  kTaskFail = 3,
+  kHeartbeat = 4,
+};
+
+// Frames larger than this are protocol violations (a corrupted length
+// prefix); the reader treats the peer as dead rather than allocating.
+inline constexpr uint32_t kMaxFrameBytes = 1u << 30;
+
+// Writes one frame, blocking until it is fully sent. When `write_mu` is
+// non-null the whole frame is sent under the lock (the child's task loop
+// and heartbeat thread share one fd). Returns false on EPIPE/error — the
+// peer is gone and the caller should stop talking to it.
+bool WriteFrame(int fd, ExecMsg type, const uint8_t* payload, size_t n,
+                std::mutex* write_mu = nullptr);
+
+// Child-side: blocks until one full frame arrives. Returns false on EOF or
+// error (the driver died; the child should exit).
+bool ReadFrameBlocking(int fd, ExecMsg* type, std::vector<uint8_t>* payload);
+
+// Driver-side view of one executor's socket: non-blocking reads into a
+// growing buffer, frames extracted on demand.
+class ExecutorChannel {
+ public:
+  explicit ExecutorChannel(int fd);
+  ~ExecutorChannel();
+  ExecutorChannel(const ExecutorChannel&) = delete;
+  ExecutorChannel& operator=(const ExecutorChannel&) = delete;
+
+  int fd() const { return fd_; }
+
+  // Drains every readable byte into the buffer. Returns false once the
+  // peer is definitively gone (EOF or a hard error); buffered frames may
+  // still be extracted afterwards.
+  bool Pump();
+
+  // Extracts the next complete frame, if any.
+  bool NextFrame(ExecMsg* type, std::vector<uint8_t>* payload);
+
+  // Driver-side blocking write of one (small) frame.
+  bool Write(ExecMsg type, const uint8_t* payload, size_t n);
+
+ private:
+  int fd_;
+  std::vector<uint8_t> buf_;
+  size_t consumed_ = 0;  // bytes of buf_ already handed out as frames
+};
+
+}  // namespace gerenuk
+
+#endif  // SRC_EXEC_EXECUTOR_POOL_H_

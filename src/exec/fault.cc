@@ -1,12 +1,23 @@
 #include "src/exec/fault.h"
 
 #include <chrono>
+#include <csignal>
 #include <thread>
 
 #include "src/nativebuf/native_buffer.h"
 #include "src/support/logging.h"
 
 namespace gerenuk {
+
+namespace {
+// Set once in an executor child immediately after fork, before any task
+// runs; read on the task path. Plain bool: each process has its own copy
+// (fork snapshots it) and no thread writes it concurrently with readers.
+bool g_in_forked_executor = false;
+}  // namespace
+
+void SetInForkedExecutor(bool in_executor) { g_in_forked_executor = in_executor; }
+bool InForkedExecutor() { return g_in_forked_executor; }
 
 const char* TaskErrorKindName(TaskErrorKind kind) {
   switch (kind) {
@@ -18,8 +29,31 @@ const char* TaskErrorKindName(TaskErrorKind kind) {
       return "corrupt-input";
     case TaskErrorKind::kStraggler:
       return "straggler";
+    case TaskErrorKind::kExecutorLost:
+      return "executor-lost";
   }
   return "?";
+}
+
+int64_t RetryPolicy::BackoffMsFor(int64_t task, int attempt) const {
+  if (attempt <= 1) {
+    return 0;
+  }
+  int64_t ms = backoff_base_ms > 0 ? backoff_base_ms << (attempt - 2) : 0;
+  if (backoff_jitter_ms > 0) {
+    // SplitMix64 finalizer over (seed, task, attempt): well-mixed, cheap,
+    // and a pure function — the schedule reproduces exactly across runs
+    // and worker counts (asserted in process_mode_test.cc).
+    uint64_t z = jitter_seed;
+    z ^= static_cast<uint64_t>(task) * 0x9e3779b97f4a7c15ull;
+    z ^= static_cast<uint64_t>(attempt) * 0xbf58476d1ce4e5b9ull;
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z = z ^ (z >> 31);
+    ms += static_cast<int64_t>(z % static_cast<uint64_t>(backoff_jitter_ms + 1));
+  }
+  return ms;
 }
 
 const FaultSpec* FaultInjector::Find(FaultKind kind, int64_t task_ordinal, int attempt) const {
@@ -52,6 +86,21 @@ void FaultInjector::AtTaskEntry(int64_t task_ordinal, int attempt,
   }
   const int64_t records =
       input != nullptr ? static_cast<int64_t>(input->record_count()) : 0;
+
+  if (const FaultSpec* kill = Find(FaultKind::kExecutorKill, task_ordinal, attempt)) {
+    if (InForkedExecutor()) {
+      // Real process death (or a SIGSTOP wedge): the driver-side supervisor
+      // must detect it, classify it, and relaunch. This is the genuine
+      // failure the process-mode tests exercise — no in-band error escapes.
+      raise(kill->signal != 0 ? kill->signal : SIGKILL);
+      // A SIGSTOP'd process resumes here after the supervisor-issued
+      // SIGKILL never arrives... in practice SIGKILL follows; if the task
+      // somehow resumes (e.g. SIGCONT in a debugger), fall through and run.
+    } else {
+      throw TaskError(TaskErrorKind::kExecutorLost, task_ordinal, attempt, records,
+                      "injected executor kill (in-process mode)");
+    }
+  }
 
   if (const FaultSpec* corrupt = Find(FaultKind::kCorruptInput, task_ordinal, attempt)) {
     // Simulated bit-rot: flip one byte of the first record's body. The

@@ -49,6 +49,7 @@ enum class TaskErrorKind : uint8_t {
   kOom = 1,           // heap exhaustion during slow-path re-execution
   kCorruptInput = 2,  // input partition failed its integrity checksum
   kStraggler = 3,     // attempt exceeded its deadline and was cancelled
+  kExecutorLost = 4,  // executor process died / stopped heartbeating mid-task
 };
 
 const char* TaskErrorKindName(TaskErrorKind kind);
@@ -67,12 +68,16 @@ class TaskError : public std::runtime_error {
         kind_(kind),
         task_ordinal_(task_ordinal),
         attempt_(attempt),
-        input_records_(input_records) {}
+        input_records_(input_records),
+        detail_(detail) {}
 
   TaskErrorKind kind() const { return kind_; }
   int64_t task_ordinal() const { return task_ordinal_; }
   int attempt() const { return attempt_; }
   int64_t input_records() const { return input_records_; }
+  // The bare detail string, kept separate from what() so the executor wire
+  // protocol can round-trip a TaskError without re-parsing the message.
+  const std::string& detail() const { return detail_; }
   bool retryable() const { return kind_ != TaskErrorKind::kCorruptInput; }
 
  private:
@@ -80,6 +85,7 @@ class TaskError : public std::runtime_error {
   int64_t task_ordinal_;
   int attempt_;
   int64_t input_records_;
+  std::string detail_;
 };
 
 // ---------------------------------------------------------------------------
@@ -98,6 +104,16 @@ struct RetryPolicy {
   // Deterministic backoff before attempt n: backoff_base_ms << (n - 2),
   // computed from the attempt number alone (never from wall-clock state).
   int64_t backoff_base_ms = 0;
+  // Deterministic jitter added on top of the exponential term: a SplitMix64
+  // hash of (jitter_seed, task, attempt) reduced to [0, backoff_jitter_ms].
+  // Same seed + same task + same attempt => same delay, on every worker
+  // count and every run — jitter decorrelates retries without giving up
+  // schedule reproducibility. 0 disables (seed behavior).
+  int64_t backoff_jitter_ms = 0;
+  uint64_t jitter_seed = 0;
+  // Full backoff (exponential + jitter) before running `attempt` of `task`;
+  // 0 for first attempts. Pure function of its arguments and the policy.
+  int64_t BackoffMsFor(int64_t task, int attempt) const;
   // Recycle the executing worker's context (fresh heap, serializer, roots)
   // before a retry, so heap damage from the failed attempt — a mid-GC
   // exception, simulated OOM — cannot leak into the next one.
@@ -121,7 +137,16 @@ enum class FaultKind : uint8_t {
   kOom = 2,           // throw TaskError{kOom} at a slow-path record
   kCorruptInput = 3,  // flip a byte of the input partition at task entry
   kDelay = 4,         // sleep at task entry (straggler), cooperatively
+  kExecutorKill = 5,  // raise(signal) in a forked executor at task entry
 };
+
+// Process-mode fault routing: forked executor children set this once after
+// fork so kExecutorKill faults raise a real signal (genuine process death,
+// exercising the supervisor) instead of throwing. In the driver / in-process
+// mode the same fault throws TaskError{kExecutorLost}, which is retryable,
+// so one fault plan behaves equivalently in both modes.
+void SetInForkedExecutor(bool in_executor);
+bool InForkedExecutor();
 
 // One planned fault. `max_attempt` gates re-firing across retries: a fault
 // fires on attempts <= max_attempt, or on every attempt when it is < 0.
@@ -130,6 +155,7 @@ struct FaultSpec {
   int64_t record = 0;      // kSerAbort / kOom: record index (or kLateInTask)
   int64_t delay_ms = 0;    // kDelay
   int max_attempt = 1;
+  int signal = 0;          // kExecutorKill: signal to raise (SIGKILL, SIGSTOP)
   // kCorruptInput flips one input byte exactly once; attempts of one task
   // are serialized by the scheduler, so this needs no synchronization.
   // Mutable: the plan is shared read-only across workers otherwise.
@@ -177,6 +203,15 @@ class FaultInjector {
   void InjectDelay(int64_t task_ordinal, int64_t delay_ms, int max_attempt = 1) {
     Add(task_ordinal, FaultSpec{FaultKind::kDelay, 0, delay_ms, max_attempt});
   }
+  // Kill the executor running this task at task entry. In a forked executor
+  // the process raises `signal` (SIGKILL = death, SIGSTOP = wedged —
+  // heartbeats stop and the supervisor SIGKILLs it on timeout); in-process
+  // it throws the retryable TaskError{kExecutorLost} instead. Defaults to
+  // firing on attempt 1 only, so the relaunched attempt survives.
+  void InjectExecutorKill(int64_t task_ordinal, int signal = 9 /* SIGKILL */,
+                          int max_attempt = 1) {
+    Add(task_ordinal, FaultSpec{FaultKind::kExecutorKill, 0, 0, max_attempt, signal});
+  }
 
   // Slow-path OOM record for the given attempt, or -1 (same contract as
   // RecordFor). Polled once per slow-path run, then compared per record.
@@ -185,9 +220,11 @@ class FaultInjector {
   }
 
   // Applies entry faults for one attempt, in deterministic order: first
-  // corruption (flip one input byte, once), then delay (sleeps in slices,
-  // polling `cancelled`; throws TaskError{kStraggler} when it returns
-  // true), then exception (throws TaskError{kException}). Checksum
+  // executor kill (raise the signal in a forked executor, or throw
+  // TaskError{kExecutorLost} in-process), then corruption (flip one input
+  // byte, once), then delay (sleeps in slices, polling `cancelled`; throws
+  // TaskError{kStraggler} when it returns true), then exception (throws
+  // TaskError{kException}). Checksum
   // verification happens after this, at the stage-input boundary, so a
   // flipped byte is caught there rather than as undefined interpreter
   // behavior.

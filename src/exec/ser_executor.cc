@@ -179,9 +179,13 @@ void SerExecutor::EnterTask(TaskIo& io) {
   // checksum; a mismatch means the bytes rotted between commit and read,
   // which no retry can repair.
   if (io.input != nullptr && io.input->sealed() && !io.input->VerifyChecksum()) {
+    std::string detail = "input partition failed its integrity checksum (stage ";
+    detail += (io.stage_label != nullptr && io.stage_label[0] != '\0') ? io.stage_label
+                                                                       : "<unlabeled>";
+    detail += ", partition " + std::to_string(io.partition) + ", attempt " +
+              std::to_string(io.attempt) + ")";
     throw TaskError(TaskErrorKind::kCorruptInput, io.task_ordinal, io.attempt,
-                    static_cast<int64_t>(io.input->record_count()),
-                    "input partition failed its integrity checksum");
+                    static_cast<int64_t>(io.input->record_count()), detail);
   }
 }
 

@@ -62,6 +62,12 @@ struct TaskIo {
   // executing worker's heap) and to re-read rooted references the GC may
   // have moved between records.
   std::function<void(std::vector<Value>& args)> refresh_slow_args;
+  // Diagnostic context stamped into integrity-failure TaskErrors: which
+  // stage this task belongs to and which input partition it reads. A seal
+  // mismatch report that names (stage, partition, attempt) is actionable;
+  // a bare "checksum failed" is not.
+  const char* stage_label = "";
+  int partition = -1;
   // Fault injection: this task's driver-assigned ordinal and the engine's
   // plan. A null plan disables injection. A non-empty plan requires a
   // non-negative ordinal (RunTaskIo checks).

@@ -56,6 +56,7 @@
 #include "src/runtime/heap.h"
 #include "src/serde/inline_serializer.h"
 #include "src/serde/wellknown.h"
+#include "src/support/bytes.h"
 #include "src/support/metrics.h"
 #include "src/support/trace.h"
 
@@ -152,6 +153,32 @@ class WorkerContext {
   std::chrono::steady_clock::time_point attempt_start_{};
 };
 
+// Wire codec for one stage's process-mode execution: how an executor child
+// serializes a finished task's output onto the reply frame, and how the
+// driver lands those bytes back into the task's pre-sized output slot. A
+// stage without a codec cannot cross a process boundary and runs inline on
+// the driver (context 0) even when the scheduler is in process mode.
+struct StageCodec {
+  // Executor-side: append task `task`'s output bytes (runs after the task
+  // body committed its output into this process's slot).
+  std::function<void(int task, ByteBuffer* out)> encode;
+  // Driver-side: parse the executor's bytes into the driver's output slot.
+  // Must throw TaskError{kCorruptInput} (not WireFormatError) on damage.
+  std::function<void(int task, ByteReader* in)> decode;
+};
+
+// Liveness/relaunch policy for the driver-side executor supervisor.
+struct ExecutorSupervisorConfig {
+  // Child heartbeat period.
+  int64_t heartbeat_ms = 25;
+  // No heartbeat (or task result) for this long => the executor is declared
+  // wedged, SIGKILLed, and its in-flight task rerouted. 0 disables the
+  // liveness check (a SIGSTOP'd child would then hang the stage).
+  int64_t heartbeat_timeout_ms = 1000;
+  // Per-slot budget of fresh processes after the initial launch.
+  int max_executor_relaunches = 3;
+};
+
 class TaskScheduler {
  public:
   // A task: runs one partition's work inside the given worker context.
@@ -165,8 +192,14 @@ class TaskScheduler {
   // Creates `num_workers` contexts (and, when num_workers > 1, as many
   // persistent worker threads). Worker heaps use `worker_heap_config` and
   // share `shared_klasses`; allocations report into `tracker`.
+  //
+  // With `process_mode` set, NO worker threads are spawned (fork safety:
+  // the driver must be effectively single-threaded when it forks); stages
+  // that carry a StageCodec run in forked executor processes under the
+  // supervisor, and codec-less stages run inline on context 0.
   TaskScheduler(int num_workers, const HeapConfig& worker_heap_config,
-                KlassRegistry* shared_klasses, MemoryTracker* tracker);
+                KlassRegistry* shared_klasses, MemoryTracker* tracker,
+                bool process_mode = false);
   ~TaskScheduler();
   TaskScheduler(const TaskScheduler&) = delete;
   TaskScheduler& operator=(const TaskScheduler&) = delete;
@@ -177,6 +210,12 @@ class TaskScheduler {
   // fail-fast) reproduces the seed's behavior exactly.
   void set_retry_policy(const RetryPolicy& policy) { policy_ = policy; }
   const RetryPolicy& retry_policy() const { return policy_; }
+
+  bool process_mode() const { return process_mode_; }
+  void set_supervisor_config(const ExecutorSupervisorConfig& config) {
+    supervisor_config_ = config;
+  }
+  const ExecutorSupervisorConfig& supervisor_config() const { return supervisor_config_; }
 
   // Attaches a trace (or detaches with nullptr): each worker context gets
   // its per-worker sink, task attempts are bracketed with spans, scheduler
@@ -191,7 +230,15 @@ class TaskScheduler {
   // stage's retry/relaunch/quarantine counters — into *stage_stats in
   // worker order. The first task error (by task index) is rethrown.
   // With a single worker the stage runs inline on the calling thread.
-  void RunStage(int num_tasks, const Task& task, EngineStats* stage_stats);
+  //
+  // In process mode, a stage that supplies `codec` executes in forked
+  // executor processes: the supervisor dispatches tasks over the wire,
+  // classifies executor death into TaskError{kExecutorLost} (retryable
+  // through the same RetryPolicy machinery), relaunches dead executors
+  // within budget, and lands codec-decoded outputs into the driver's
+  // pre-sized slots — preserving the byte-identical-output invariant.
+  void RunStage(int num_tasks, const Task& task, EngineStats* stage_stats,
+                const StageCodec* codec = nullptr);
 
   // Same submission API and stats merging, but every task runs on the
   // calling thread in task order, inside context 0 — for stages that mutate
@@ -206,6 +253,9 @@ class TaskScheduler {
     int attempt = 1;          // 1-based
     int banned_worker = -1;   // straggler relaunch: not on this worker
     bool fresh_context = false;
+    // Process mode only: earliest steady-clock ms at which the supervisor
+    // may dispatch this retry (drives backoff without sleeping the driver).
+    int64_t not_before_ms = 0;
   };
 
   void WorkerLoop(int slot);
@@ -218,10 +268,21 @@ class TaskScheduler {
   void MergeStats(EngineStats* stage_stats);
   void RethrowFirstError();
 
+  // Process mode: the driver-side supervisor loop — fork one executor per
+  // slot, dispatch over the wire, poll for results/heartbeats, classify
+  // deaths, relaunch within budget.
+  void RunStageProcess(int num_tasks, const Task& task, EngineStats* stage_stats,
+                       const StageCodec& codec);
+  // Runs inside the forked child: heartbeat thread + blocking task loop.
+  // Never returns (always _exit).
+  [[noreturn]] void ExecutorChildMain(int fd, int slot, const StageCodec& codec);
+
   std::vector<std::unique_ptr<WorkerContext>> contexts_;
   std::vector<std::thread> threads_;
   RetryPolicy policy_;
   Trace* trace_ = nullptr;
+  bool process_mode_ = false;
+  ExecutorSupervisorConfig supervisor_config_;
 
   std::mutex mu_;
   std::condition_variable work_cv_;   // workers wait for a stage / new retries
@@ -241,6 +302,11 @@ class TaskScheduler {
   int stage_relaunches_ = 0;
   int stage_quarantined_tasks_ = 0;
   int64_t stage_quarantined_records_ = 0;
+  // Process-mode supervisor counters (driver thread only).
+  int stage_executors_launched_ = 0;
+  int stage_executor_deaths_ = 0;
+  int stage_executor_relaunches_ = 0;
+  int64_t stage_heartbeats_ = 0;
   // (task_index, exception) pairs captured during the stage; guarded by mu_.
   std::vector<std::pair<int, std::exception_ptr>> errors_;
 };

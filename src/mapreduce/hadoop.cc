@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <string>
 
 namespace gerenuk {
 
@@ -50,10 +51,19 @@ HadoopEngine::HadoopEngine(const HadoopConfig& config)
   heap_->set_memory_tracker(&memory_);
   // Worker heaps share the engine's class registry (see TaskScheduler); the
   // engine WellKnown above defines the well-known classes first.
+  // Process executors apply to Gerenuk-mode stages only (baseline stages
+  // mutate the shared engine heap and run serially in the driver).
+  const bool process_mode =
+      config.process_executors && config.mode == EngineMode::kGerenuk;
   scheduler_ = std::make_unique<TaskScheduler>(
       config.num_workers, HeapConfig{config.heap_bytes, config.gc, 0.55, 0.35, 2},
-      &heap_->klasses(), &memory_);
+      &heap_->klasses(), &memory_, process_mode);
   scheduler_->set_retry_policy(config.retry_policy());
+  ExecutorSupervisorConfig supervision;
+  supervision.heartbeat_ms = config.executor_heartbeat_ms;
+  supervision.heartbeat_timeout_ms = config.executor_heartbeat_timeout_ms;
+  supervision.max_executor_relaunches = config.max_executor_relaunches;
+  scheduler_->set_supervisor_config(supervision);
   if (config.trace) {
     trace_ = std::make_unique<Trace>(scheduler_->num_workers(), config.trace_buffer_events);
     scheduler_->set_trace(trace_.get());
@@ -267,6 +277,92 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
     const bool map_speculate = governor_.ShouldSpeculate();
     const int map_aborts_before = stats_.aborts;
     std::vector<std::vector<Segment>> task_segments(static_cast<size_t>(map_tasks));
+    // Process-mode wire codec: a map task's output is its ordered segment
+    // list — per segment, per reducer partition, the sorted key run
+    // ({u8 is_string, i64 i, varlen string}) followed by the partition's
+    // native record bytes (self-delimiting trailer). Hadoop's map output
+    // stays resident in Segments (the IFile analogue that reducers merge
+    // with the key runs alongside the bytes), so it ships whole over the
+    // executor channel rather than routing through the spilling ShuffleRun.
+    StageCodec map_codec;
+    map_codec.encode = [&](int task, ByteBuffer* out) {
+      const std::vector<Segment>& list = task_segments[static_cast<size_t>(task)];
+      out->WriteU32(static_cast<uint32_t>(list.size()));
+      for (const Segment& segment : list) {
+        for (int r = 0; r < reducers; ++r) {
+          const std::vector<ShuffleKey>& ks = segment.keys[static_cast<size_t>(r)];
+          out->WriteU32(static_cast<uint32_t>(ks.size()));
+          for (const ShuffleKey& k : ks) {
+            out->WriteU8(k.is_string ? 1 : 0);
+            out->WriteI64(k.i);
+            out->WriteString(k.s);
+          }
+          segment.native[static_cast<size_t>(r)].SerializeTo(*out);
+        }
+      }
+    };
+    map_codec.decode = [&](int task, ByteReader* in) {
+      // Fail closed on structural damage: guard every length against the
+      // frame's remaining bytes before reading (ByteReader itself aborts on
+      // overrun), and reclassify as the non-retryable kCorruptInput.
+      auto require = [task](bool ok) {
+        if (!ok) {
+          throw TaskError(TaskErrorKind::kCorruptInput, task, 1, 0,
+                          "map segment wire bytes truncated or over-long");
+        }
+      };
+      // ByteReader::ReadString aborts on an over-long varlen; decode the
+      // prefix by hand so a damaged length fails closed instead.
+      auto read_string = [&require](ByteReader* in) {
+        uint32_t len = 0;
+        int shift = 0;
+        while (true) {
+          require(in->remaining() >= 1);
+          uint8_t byte = in->ReadU8();
+          len |= static_cast<uint32_t>(byte & 0x7f) << shift;
+          if ((byte & 0x80) == 0) {
+            break;
+          }
+          shift += 7;
+          require(shift <= 28);
+        }
+        require(len <= in->remaining());
+        std::string s(len, '\0');
+        if (len > 0) {
+          in->ReadBytes(&s[0], len);
+        }
+        return s;
+      };
+      std::vector<Segment>& list = task_segments[static_cast<size_t>(task)];
+      list.clear();
+      try {
+        require(in->remaining() >= 4);
+        uint32_t num_segments = in->ReadU32();
+        for (uint32_t s = 0; s < num_segments; ++s) {
+          require(in->remaining() >= 4);  // a segment is at least one key count
+          Segment segment(reducers, &memory_, config_.mode);
+          for (int r = 0; r < reducers; ++r) {
+            require(in->remaining() >= 4);
+            uint32_t num_keys = in->ReadU32();
+            // Each key is >= 10 bytes (u8 + i64 + 1-byte varlen).
+            require(num_keys <= in->remaining() / 10);
+            std::vector<ShuffleKey>& ks = segment.keys[static_cast<size_t>(r)];
+            ks.resize(num_keys);
+            for (uint32_t k = 0; k < num_keys; ++k) {
+              require(in->remaining() >= 10);
+              ks[k].is_string = in->ReadU8() != 0;
+              ks[k].i = in->ReadI64();
+              ks[k].s = read_string(in);
+            }
+            segment.native[static_cast<size_t>(r)] = NativePartition::Parse(*in, &memory_);
+          }
+          list.push_back(std::move(segment));
+        }
+      } catch (const WireFormatError& e) {
+        throw TaskError(TaskErrorKind::kCorruptInput, task, 1, 0,
+                        std::string("map segment failed wire parse: ") + e.what());
+      }
+    };
     TraceSpan map_span(DriverSink(), TraceEventType::kStage, "map");
     scheduler_->RunStage(
         map_tasks,
@@ -352,6 +448,8 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
 
           TaskIo io;
           io.input = &input->native_parts[static_cast<size_t>(task)];
+          io.stage_label = "map";
+          io.partition = task;
           io.task_ordinal = map_base + task;
           io.faults = faults;
           io.attempt = ctx.attempt();
@@ -449,7 +547,7 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
                                       ctx.stats().shuffle_bytes - shuffle_before);
           }
         },
-        &stats_);
+        &stats_, &map_codec);
     if (map_speculate) {
       ObserveSpeculation(map_tasks, stats_.aborts - map_aborts_before);
     }
@@ -553,6 +651,20 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
   // Gerenuk reduce: one task per reducer, fanned out to the worker pool.
   const bool reduce_speculate = governor_.ShouldSpeculate();
   const int reduce_aborts_before = stats_.aborts;
+  // Process-mode wire codec: a reduce task commits one sealed output
+  // partition; its shuffle-wire bytes (seal included) ship back whole.
+  StageCodec reduce_codec;
+  reduce_codec.encode = [&out](int task, ByteBuffer* wire) {
+    out->native_parts[static_cast<size_t>(task)].SerializeTo(*wire);
+  };
+  reduce_codec.decode = [this, &out](int task, ByteReader* in) {
+    try {
+      out->native_parts[static_cast<size_t>(task)] = NativePartition::Parse(*in, &memory_);
+    } catch (const WireFormatError& e) {
+      throw TaskError(TaskErrorKind::kCorruptInput, task, 1, 0,
+                      std::string("reduce output failed wire parse: ") + e.what());
+    }
+  };
   TraceSpan reduce_span(DriverSink(), TraceEventType::kStage, "reduce");
   scheduler_->RunStage(
       reducers,
@@ -638,7 +750,7 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
         out_part.Seal();
         ctx.heap().set_phase_times(nullptr);
       },
-      &stats_);
+      &stats_, &reduce_codec);
   if (reduce_speculate) {
     ObserveSpeculation(reducers, stats_.aborts - reduce_aborts_before);
   }

@@ -1,5 +1,9 @@
 #include "src/nativebuf/native_buffer.h"
 
+#include <string>
+
+#include "src/support/fnv.h"
+
 namespace gerenuk {
 
 NativePartition::NativePartition(MemoryTracker* tracker) : tracker_(tracker) {}
@@ -82,22 +86,17 @@ uint32_t NativePartition::record_size(size_t i) const {
 }
 
 uint64_t NativePartition::ComputeChecksum() const {
-  // FNV-1a over each record's size prefix and body. Linear in the bytes,
-  // paid once at commit and once per stage read — noise next to the
-  // interpreter's per-record cost.
-  uint64_t h = 1469598103934665603ull;
-  auto mix = [&h](const uint8_t* p, size_t n) {
-    for (size_t i = 0; i < n; ++i) {
-      h ^= p[i];
-      h *= 1099511628211ull;
-    }
-  };
+  // FNV-1a over each record's size prefix and body (shared helper so the
+  // shuffle service's spill-block seals use the identical hash). Linear in
+  // the bytes, paid once at commit and once per stage read — noise next to
+  // the interpreter's per-record cost.
+  Fnv1a h;
   for (size_t i = 0; i < records_.size(); ++i) {
     uint32_t size = record_size(i);
-    mix(reinterpret_cast<const uint8_t*>(&size), sizeof(size));
-    mix(reinterpret_cast<const uint8_t*>(records_[i]), size);
+    h.Update(&size, sizeof(size));
+    h.Update(reinterpret_cast<const uint8_t*>(records_[i]), size);
   }
-  return h;
+  return h.digest();
 }
 
 void NativePartition::Seal() {
@@ -120,13 +119,41 @@ void NativePartition::SerializeTo(ByteBuffer& out) const {
 }
 
 NativePartition NativePartition::Parse(ByteReader& in, MemoryTracker* tracker) {
+  // Every length is validated against the reader's remaining bytes BEFORE the
+  // corresponding read, because ByteReader treats a bounds overrun as a fatal
+  // programming error (GERENUK_CHECK). Wire bytes come from the network /
+  // spill files / another process, so malformed input must throw a catchable
+  // WireFormatError — fail closed, never crash. The checks are conservative
+  // when several partitions are concatenated in one stream: `remaining` only
+  // grows with trailing content, so a well-formed prefix always passes.
   NativePartition partition(tracker);
+  if (in.remaining() < 4) {
+    throw WireFormatError("native partition wire bytes truncated before record count");
+  }
   uint32_t count = in.ReadU32();
+  // Each record needs at least a 4-byte size prefix, plus the 8-byte trailer.
+  if (static_cast<uint64_t>(count) * 4 + 8 > in.remaining()) {
+    throw WireFormatError("native partition record count " + std::to_string(count) +
+                          " exceeds the remaining wire bytes");
+  }
   for (uint32_t i = 0; i < count; ++i) {
+    if (in.remaining() < 4) {
+      throw WireFormatError("native partition wire bytes truncated at record " +
+                            std::to_string(i) + " size prefix");
+    }
     uint32_t size = in.ReadU32();
+    // The body plus this partition's 8-byte checksum trailer must still fit.
+    if (static_cast<uint64_t>(size) + 8 > in.remaining()) {
+      throw WireFormatError("native partition record " + std::to_string(i) +
+                            " length prefix " + std::to_string(size) +
+                            " overruns the remaining wire bytes");
+    }
     int64_t addr = 0;
     uint8_t* dst = partition.ReserveRecord(size, &addr);
     in.ReadBytes(dst, size);
+  }
+  if (in.remaining() < 8) {
+    throw WireFormatError("native partition wire bytes truncated before checksum trailer");
   }
   // Adopt the sender's seal; verification is deferred to the stage-input
   // boundary so a mismatch surfaces as a quarantinable TaskError, not a

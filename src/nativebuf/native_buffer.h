@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "src/analysis/layout.h"
@@ -24,6 +25,18 @@
 #include "src/support/metrics.h"
 
 namespace gerenuk {
+
+// Thrown by NativePartition::Parse when the wire bytes are structurally
+// malformed: truncated stream, length prefix larger than the remaining
+// bytes, missing checksum trailer. Defined here (not next to TaskError)
+// because nativebuf sits below exec in the layering; exec/shuffle callers
+// catch it at the decode boundary and reclassify as
+// TaskError(kCorruptInput) so a hostile byte stream fails closed instead
+// of crashing the process on a bounds check.
+class WireFormatError : public std::runtime_error {
+ public:
+  explicit WireFormatError(const std::string& what) : std::runtime_error(what) {}
+};
 
 class NativePartition {
  public:
@@ -63,6 +76,9 @@ class NativePartition {
   // which is why Gerenuk pays no serialization at shuffle boundaries. The
   // trailing checksum carries the integrity seal across the wire: Parse
   // returns a sealed partition (verified lazily at stage input, not here).
+  // Parse validates the structure before touching any record — a truncated
+  // stream, an oversized length prefix, or a missing trailer throws
+  // WireFormatError rather than tripping a fatal bounds check.
   void SerializeTo(ByteBuffer& out) const;
   static NativePartition Parse(ByteReader& in, MemoryTracker* tracker = nullptr);
 

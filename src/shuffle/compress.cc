@@ -1,0 +1,186 @@
+#include "src/shuffle/compress.h"
+
+#include <cstring>
+
+namespace gerenuk {
+
+namespace {
+
+constexpr uint8_t kCodecStored = 0;
+constexpr uint8_t kCodecLz = 1;
+constexpr size_t kMaxOffset = 65535;
+constexpr int kHashBits = 13;
+
+uint32_t Load32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+uint32_t HashSeq(uint32_t v) { return (v * 2654435761u) >> (32 - kHashBits); }
+
+// Length-extension bytes for a nibble that saturated at 15.
+void WriteLenExt(std::vector<uint8_t>* out, size_t extra) {
+  while (extra >= 255) {
+    out->push_back(255);
+    extra -= 255;
+  }
+  out->push_back(static_cast<uint8_t>(extra));
+}
+
+void EmitSequence(const uint8_t* src, size_t lit_start, size_t lit_len, size_t offset,
+                  size_t match_len, std::vector<uint8_t>* out) {
+  const uint8_t lit_code = lit_len < 15 ? static_cast<uint8_t>(lit_len) : 15;
+  const size_t match_code_val = match_len - 4;
+  const uint8_t match_code = match_code_val < 15 ? static_cast<uint8_t>(match_code_val) : 15;
+  out->push_back(static_cast<uint8_t>((lit_code << 4) | match_code));
+  if (lit_code == 15) {
+    WriteLenExt(out, lit_len - 15);
+  }
+  out->insert(out->end(), src + lit_start, src + lit_start + lit_len);
+  out->push_back(static_cast<uint8_t>(offset & 0xff));
+  out->push_back(static_cast<uint8_t>(offset >> 8));
+  if (match_code == 15) {
+    WriteLenExt(out, match_code_val - 15);
+  }
+}
+
+void EmitFinalLiterals(const uint8_t* src, size_t lit_start, size_t lit_len,
+                       std::vector<uint8_t>* out) {
+  if (lit_len == 0) {
+    return;  // the stream may end right after a match
+  }
+  const uint8_t lit_code = lit_len < 15 ? static_cast<uint8_t>(lit_len) : 15;
+  out->push_back(static_cast<uint8_t>(lit_code << 4));
+  if (lit_code == 15) {
+    WriteLenExt(out, lit_len - 15);
+  }
+  out->insert(out->end(), src + lit_start, src + lit_start + lit_len);
+}
+
+// Greedy single-pass matcher over a 2^13-entry hash table of 4-byte
+// sequences. Quality is deliberately modest; spilled shuffle blocks are
+// rendered records full of repeated layouts, which this catches well.
+void LzCompress(const uint8_t* src, size_t n, std::vector<uint8_t>* out) {
+  std::vector<int32_t> table(size_t{1} << kHashBits, -1);
+  size_t ip = 0;
+  size_t anchor = 0;
+  // Stop match-finding near the tail; the remainder ships as literals.
+  const size_t find_limit = n >= 12 ? n - 12 : 0;
+  while (ip < find_limit) {
+    const uint32_t seq = Load32(src + ip);
+    const uint32_t h = HashSeq(seq);
+    const int32_t cand = table[h];
+    table[h] = static_cast<int32_t>(ip);
+    if (cand >= 0 && ip - static_cast<size_t>(cand) <= kMaxOffset &&
+        Load32(src + cand) == seq) {
+      size_t match_len = 4;
+      while (ip + match_len < n && src[static_cast<size_t>(cand) + match_len] == src[ip + match_len]) {
+        ++match_len;
+      }
+      EmitSequence(src, anchor, ip - anchor, ip - static_cast<size_t>(cand), match_len, out);
+      ip += match_len;
+      anchor = ip;
+    } else {
+      ++ip;
+    }
+  }
+  EmitFinalLiterals(src, anchor, n - anchor, out);
+}
+
+}  // namespace
+
+void CompressBlock(const uint8_t* src, size_t n, ByteBuffer* out) {
+  if (n >= 16) {
+    std::vector<uint8_t> lz;
+    lz.reserve(n);
+    LzCompress(src, n, &lz);
+    if (lz.size() < n) {
+      out->WriteU8(kCodecLz);
+      out->WriteBytes(lz.data(), lz.size());
+      return;
+    }
+  }
+  out->WriteU8(kCodecStored);
+  out->WriteBytes(src, n);
+}
+
+bool DecompressBlock(const uint8_t* src, size_t n, size_t raw_size,
+                     std::vector<uint8_t>* dst) {
+  dst->clear();
+  if (n < 1) {
+    return false;
+  }
+  const uint8_t codec = src[0];
+  const uint8_t* ip = src + 1;
+  const uint8_t* const end = src + n;
+
+  if (codec == kCodecStored) {
+    if (static_cast<size_t>(end - ip) != raw_size) {
+      return false;
+    }
+    dst->assign(ip, end);
+    return true;
+  }
+  if (codec != kCodecLz) {
+    return false;
+  }
+
+  dst->reserve(raw_size);
+  // Reads a nibble's extension bytes; -1 signals a truncated stream. The
+  // accumulated length cannot overflow: each extension byte adds <= 255 and
+  // the stream is finite.
+  auto read_len = [&ip, end](uint8_t nibble) -> int64_t {
+    int64_t len = nibble;
+    if (nibble == 15) {
+      uint8_t b;
+      do {
+        if (ip >= end) {
+          return -1;
+        }
+        b = *ip++;
+        len += b;
+      } while (b == 255);
+    }
+    return len;
+  };
+
+  while (ip < end) {
+    const uint8_t token = *ip++;
+    const int64_t lit_len = read_len(token >> 4);
+    if (lit_len < 0 || static_cast<int64_t>(end - ip) < lit_len ||
+        dst->size() + static_cast<size_t>(lit_len) > raw_size) {
+      return false;
+    }
+    dst->insert(dst->end(), ip, ip + lit_len);
+    ip += lit_len;
+    if (ip == end) {
+      break;  // final literal-only sequence
+    }
+    if (end - ip < 2) {
+      return false;
+    }
+    const size_t offset = static_cast<size_t>(ip[0]) | (static_cast<size_t>(ip[1]) << 8);
+    ip += 2;
+    if (offset == 0 || offset > dst->size()) {
+      return false;
+    }
+    int64_t match_len = read_len(token & 0x0f);
+    if (match_len < 0) {
+      return false;
+    }
+    match_len += 4;
+    if (dst->size() + static_cast<size_t>(match_len) > raw_size) {
+      return false;
+    }
+    // Byte-at-a-time so overlapping matches (offset < length, the RLE case)
+    // replicate correctly.
+    size_t pos = dst->size() - offset;
+    for (int64_t i = 0; i < match_len; ++i) {
+      dst->push_back((*dst)[pos + static_cast<size_t>(i)]);
+    }
+  }
+  return dst->size() == raw_size;
+}
+
+}  // namespace gerenuk

@@ -1,0 +1,46 @@
+// Block compression for spilled shuffle blocks: a small LZ77 codec with an
+// LZ4-flavored encoding (token byte with literal/match nibbles, 15 =
+// extension bytes, u16 little-endian match offsets, minimum match 4), plus a
+// stored-block fallback so incompressible data costs one byte of overhead.
+//
+// The repo deliberately carries its own codec instead of depending on an
+// external library: the container bakes in no compression dependency, and
+// the decoder must be strictly bounds-checked anyway — spilled bytes are
+// wire bytes and malformed input has to fail closed, never overrun.
+//
+// Stored form:      [0x00][raw bytes]
+// Compressed form:  [0x01][sequence]*
+//   sequence = [token: lit_len<<4 | match_code]
+//              [lit_len extension bytes, if nibble == 15: 255* + remainder]
+//              [literals]
+//              -- stream may end here (final literal-only sequence) --
+//              [offset: u16 LE, 1..65535, into the decoded output]
+//              [match_code extension bytes, same scheme; match length =
+//               match_code + 4]
+#ifndef SRC_SHUFFLE_COMPRESS_H_
+#define SRC_SHUFFLE_COMPRESS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/support/bytes.h"
+
+namespace gerenuk {
+
+// Appends the encoded block (leading codec byte + payload) to `out`.
+// Falls back to the stored form whenever compression does not shrink the
+// input, so the stored size never exceeds raw size + 1.
+void CompressBlock(const uint8_t* src, size_t n, ByteBuffer* out);
+
+// Decodes a block produced by CompressBlock into exactly `raw_size` bytes.
+// Returns false — leaving `dst` in an unspecified but owned state — on any
+// structural violation: unknown codec byte, truncated stream, offset past
+// the decoded prefix, or a decoded size other than `raw_size`. Never reads
+// or writes out of bounds.
+bool DecompressBlock(const uint8_t* src, size_t n, size_t raw_size,
+                     std::vector<uint8_t>* dst);
+
+}  // namespace gerenuk
+
+#endif  // SRC_SHUFFLE_COMPRESS_H_

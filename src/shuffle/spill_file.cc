@@ -1,0 +1,83 @@
+#include "src/shuffle/spill_file.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "src/support/logging.h"
+
+namespace gerenuk {
+
+SpillFile::SpillFile(std::string dir) : dir_(std::move(dir)) {}
+
+SpillFile::~SpillFile() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+void SpillFile::EnsureOpen() {
+  if (fd_ >= 0) {
+    return;
+  }
+  std::string dir = dir_;
+  if (dir.empty()) {
+    const char* tmp = std::getenv("TMPDIR");
+    dir = (tmp != nullptr && *tmp != '\0') ? tmp : "/tmp";
+  }
+  std::string tmpl = dir + "/gerenuk-spill-XXXXXX";
+  std::vector<char> path(tmpl.begin(), tmpl.end());
+  path.push_back('\0');
+  fd_ = ::mkstemp(path.data());
+  GERENUK_CHECK(fd_ >= 0) << "mkstemp(" << tmpl << ") failed: " << std::strerror(errno);
+  // Unlink immediately: the fd keeps the data alive, the namespace stays
+  // clean, and any crash reclaims the space automatically.
+  ::unlink(path.data());
+}
+
+int64_t SpillFile::Append(const uint8_t* data, size_t n) {
+  EnsureOpen();
+  const int64_t offset = size_;
+  size_t written = 0;
+  while (written < n) {
+    ssize_t rc = ::pwrite(fd_, data + written, n - written,
+                          static_cast<off_t>(offset + static_cast<int64_t>(written)));
+    if (rc < 0 && errno == EINTR) {
+      continue;
+    }
+    GERENUK_CHECK(rc > 0) << "spill write failed: " << std::strerror(errno);
+    written += static_cast<size_t>(rc);
+  }
+  size_ += static_cast<int64_t>(n);
+  return offset;
+}
+
+void SpillFile::ReadAt(int64_t offset, uint8_t* dst, size_t n) const {
+  GERENUK_CHECK(fd_ >= 0) << "ReadAt on a spill file that was never written";
+  size_t done = 0;
+  while (done < n) {
+    ssize_t rc = ::pread(fd_, dst + done, n - done,
+                         static_cast<off_t>(offset + static_cast<int64_t>(done)));
+    if (rc < 0 && errno == EINTR) {
+      continue;
+    }
+    GERENUK_CHECK(rc > 0) << "spill read failed at offset " << offset << ": "
+                          << (rc == 0 ? "unexpected EOF" : std::strerror(errno));
+    done += static_cast<size_t>(rc);
+  }
+}
+
+void SpillFile::FlipByteForTest(int64_t offset) {
+  GERENUK_CHECK(fd_ >= 0 && offset < size_);
+  uint8_t b = 0;
+  ReadAt(offset, &b, 1);
+  b ^= 0x5a;
+  ssize_t rc = ::pwrite(fd_, &b, 1, static_cast<off_t>(offset));
+  GERENUK_CHECK(rc == 1) << "spill corrupt-for-test write failed: " << std::strerror(errno);
+}
+
+}  // namespace gerenuk

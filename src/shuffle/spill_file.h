@@ -1,0 +1,49 @@
+// An append-only spill file for shuffle blocks. Created lazily (a run that
+// never spills never touches the filesystem) via mkstemp and unlinked
+// immediately, so the kernel reclaims the space when the last fd closes —
+// a crashed driver leaks no spill garbage. Reads use pread, which is safe
+// from concurrent reduce tasks and from forked executor children sharing
+// the inherited fd (offset-based, no shared file position).
+#ifndef SRC_SHUFFLE_SPILL_FILE_H_
+#define SRC_SHUFFLE_SPILL_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gerenuk {
+
+class SpillFile {
+ public:
+  // `dir` of "" means $TMPDIR (or /tmp). The file itself is created on the
+  // first Append.
+  explicit SpillFile(std::string dir = "");
+  ~SpillFile();
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+
+  // Appends `n` bytes; returns the offset they landed at. Driver-side and
+  // single-threaded (the shuffle service adds blocks at stage barriers).
+  int64_t Append(const uint8_t* data, size_t n);
+
+  // Reads exactly `n` bytes at `offset` (pread; thread- and fork-safe).
+  void ReadAt(int64_t offset, uint8_t* dst, size_t n) const;
+
+  // Test hook: flips one stored byte in place, so seal-verification paths
+  // can be exercised against genuine on-disk corruption.
+  void FlipByteForTest(int64_t offset);
+
+  int64_t size() const { return size_; }
+  bool created() const { return fd_ >= 0; }
+
+ private:
+  void EnsureOpen();
+
+  std::string dir_;
+  int fd_ = -1;
+  int64_t size_ = 0;
+};
+
+}  // namespace gerenuk
+
+#endif  // SRC_SHUFFLE_SPILL_FILE_H_

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <type_traits>
 #include <vector>
+
+#include "src/support/bytes.h"
 
 namespace gerenuk {
 
@@ -155,6 +158,54 @@ std::string OpProfile::Render(const char* (*op_name)(int), int top_n) const {
     out += line;
   }
   return out;
+}
+
+namespace {
+// Fixed-size blob: every scalar counter, the four phase times, and the plan-op
+// profile, each as one i64. A size change here is a protocol change; Parse
+// rejects blobs whose remaining byte count is too small for this layout.
+constexpr size_t kEngineStatsWireFields = internal::kEngineStatsCounterFields +
+                                          4 +  // PhaseTimes nanos
+                                          2 * OpProfile::kMaxOps +  // dispatches + sampled
+                                          1;                        // samples
+constexpr size_t kEngineStatsWireBytes = kEngineStatsWireFields * 8;
+}  // namespace
+
+void SerializeEngineStats(const EngineStats& stats, ByteBuffer* out) {
+#define GERENUK_WIRE_FIELD(f) out->WriteI64(static_cast<int64_t>(stats.f));
+  GERENUK_ENGINE_COUNTER_FIELDS(GERENUK_WIRE_FIELD)
+#undef GERENUK_WIRE_FIELD
+  for (int i = 0; i < 4; ++i) {
+    out->WriteI64(stats.times.nanos[i]);
+  }
+  for (int i = 0; i < OpProfile::kMaxOps; ++i) {
+    out->WriteI64(stats.plan_ops.dispatches[i]);
+  }
+  for (int i = 0; i < OpProfile::kMaxOps; ++i) {
+    out->WriteI64(stats.plan_ops.sampled_nanos[i]);
+  }
+  out->WriteI64(stats.plan_ops.samples);
+}
+
+bool ParseEngineStats(ByteReader* in, EngineStats* out) {
+  if (in->remaining() < kEngineStatsWireBytes) {
+    return false;
+  }
+#define GERENUK_WIRE_FIELD(f) \
+  out->f = static_cast<std::remove_reference_t<decltype(out->f)>>(in->ReadI64());
+  GERENUK_ENGINE_COUNTER_FIELDS(GERENUK_WIRE_FIELD)
+#undef GERENUK_WIRE_FIELD
+  for (int i = 0; i < 4; ++i) {
+    out->times.nanos[i] = in->ReadI64();
+  }
+  for (int i = 0; i < OpProfile::kMaxOps; ++i) {
+    out->plan_ops.dispatches[i] = in->ReadI64();
+  }
+  for (int i = 0; i < OpProfile::kMaxOps; ++i) {
+    out->plan_ops.sampled_nanos[i] = in->ReadI64();
+  }
+  out->plan_ops.samples = in->ReadI64();
+  return true;
 }
 
 void EngineStats::ExportTo(MetricsRegistry* registry) const {

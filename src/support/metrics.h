@@ -376,7 +376,17 @@ struct TransformStats {
   X(governor_flips)                                                           \
   X(slow_path_direct)                                                         \
   X(plans_compiled)                                                           \
-  X(key_allocs_saved)
+  X(key_allocs_saved)                                                         \
+  X(executors_launched)                                                       \
+  X(executor_deaths)                                                          \
+  X(executor_relaunches)                                                      \
+  X(heartbeats_received)                                                      \
+  X(spill_blocks)                                                             \
+  X(spill_merges)                                                             \
+  X(shuffle_fetches)                                                          \
+  X(fetch_backpressure_waits)                                                 \
+  X(spill_bytes_raw)                                                          \
+  X(spill_bytes_stored)
 
 // Unified per-engine statistics, shared by the mini-Spark and mini-Hadoop
 // engines. Workers accumulate into a private EngineStats during a stage;
@@ -407,6 +417,21 @@ struct EngineStats {
   // heap allocation.
   int plans_compiled = 0;
   int64_t key_allocs_saved = 0;
+  // Process executors & shuffle service (see DESIGN.md "Process model &
+  // shuffle service"). Launch/death/relaunch and the spill counters are
+  // driver-side and deterministic; heartbeats_received and
+  // fetch_backpressure_waits depend on wall-clock timing and are excluded
+  // from determinism assertions (tests check > 0, never equality).
+  int executors_launched = 0;        // forked executor processes (incl. relaunches)
+  int executor_deaths = 0;           // EOF/exit/heartbeat-timeout classified losses
+  int executor_relaunches = 0;       // fresh processes forked to replace dead ones
+  int64_t heartbeats_received = 0;   // liveness pings seen by the supervisor
+  int64_t spill_blocks = 0;          // shuffle blocks written to spill files
+  int64_t spill_merges = 0;          // bucket reads that merged >= 2 spilled runs
+  int64_t shuffle_fetches = 0;       // spilled blocks fetched on demand
+  int64_t fetch_backpressure_waits = 0;  // fetches that blocked on credit
+  int64_t spill_bytes_raw = 0;       // pre-compression spilled bytes
+  int64_t spill_bytes_stored = 0;    // on-disk (post-compression) spilled bytes
   TransformStats transform;  // accumulated compiler statistics (driver-side)
   // Sampled plan-op profiler output (EngineConfig::plan_profile_stride > 0):
   // per-opcode dispatch counts and sampled time, merged at stage barriers.
@@ -442,6 +467,18 @@ static_assert(
     "kEngineStatsCompositeFields and extend operator+= (composites), so the "
     "stage-barrier merge cannot silently drop it");
 }  // namespace internal
+
+class ByteBuffer;
+class ByteReader;
+
+// Wire round-trip for EngineStats, used by the process-executor protocol to
+// ship per-task stats from a forked executor back to the driver. Covers every
+// X-macro scalar counter, the four phase times, and the plan-op profile.
+// TransformStats is driver-only (compilation never happens in an executor) and
+// is deliberately not shipped. Parse validates the blob size up front and
+// returns false (leaving `out` untouched) on a short or mis-sized blob.
+void SerializeEngineStats(const EngineStats& stats, ByteBuffer* out);
+bool ParseEngineStats(ByteReader* in, EngineStats* out);
 
 // Human-readable byte count ("1.5 GB") for bench output. Negative inputs
 // render with a leading sign; units extend through EB so any int64 stays in

@@ -34,6 +34,16 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "quarantine";
     case TraceEventType::kShuffleBytes:
       return "shuffle_bytes";
+    case TraceEventType::kExecutorDead:
+      return "executor_dead";
+    case TraceEventType::kExecutorRelaunch:
+      return "executor_relaunch";
+    case TraceEventType::kHeartbeat:
+      return "heartbeats";
+    case TraceEventType::kSpillBytes:
+      return "spill_bytes";
+    case TraceEventType::kFetchBytes:
+      return "fetch_bytes";
   }
   return "?";
 }

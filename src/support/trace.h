@@ -53,6 +53,11 @@ enum class TraceEventType : uint8_t {
   kStragglerRelaunch,  // instant: deadline relaunch on another worker
   kQuarantine,         // instant: poisoned input skipped (arg = records lost)
   kShuffleBytes,       // counter: bytes this task wrote to shuffle (arg)
+  kExecutorDead,       // instant: executor process lost (arg = slot)
+  kExecutorRelaunch,   // instant: fresh executor forked for a slot (arg = slot)
+  kHeartbeat,          // counter: heartbeats received during a stage (arg)
+  kSpillBytes,         // counter: stored bytes a shuffle block spilled (arg)
+  kFetchBytes,         // counter: raw bytes fetched from a spilled block (arg)
 };
 
 const char* TraceEventTypeName(TraceEventType type);
