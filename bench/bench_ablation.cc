@@ -47,10 +47,10 @@ void AbortRateSweep() {
     double total = 0.0;
     int aborted_tasks = 0;
     {
-      SparkConfig config;
-      config.mode = EngineMode::kGerenuk;
-      config.heap_bytes = 64u << 20;
-      config.num_partitions = 8;
+      EngineConfig config;
+      config.execution.mode = EngineMode::kGerenuk;
+      config.execution.heap_bytes = 64u << 20;
+      config.execution.num_partitions = 8;
       SparkEngine engine(config);
       SparkWorkloads workloads(engine);
       workloads.RunAccountGrouping(posts, /*initial_capacity=*/16);
@@ -78,10 +78,10 @@ void FusedStageDepth() {
   for (int depth : {1, 4, 8}) {
     double totals[2];
     for (EngineMode mode : {EngineMode::kBaseline, EngineMode::kGerenuk}) {
-      SparkConfig config;
-      config.mode = mode;
-      config.heap_bytes = 48u << 20;
-      config.num_partitions = 4;
+      EngineConfig config;
+      config.execution.mode = mode;
+      config.execution.heap_bytes = 48u << 20;
+      config.execution.num_partitions = 4;
       SparkEngine engine(config);
       const Klass* pair = engine.heap().klasses().DefineClass(
           "Pair", {
@@ -125,10 +125,10 @@ void HeapSensitivity() {
     double totals[2];
     double gc[2];
     for (EngineMode mode : {EngineMode::kBaseline, EngineMode::kGerenuk}) {
-      SparkConfig config;
-      config.mode = mode;
-      config.heap_bytes = heap_mb << 20;
-      config.num_partitions = 4;
+      EngineConfig config;
+      config.execution.mode = mode;
+      config.execution.heap_bytes = heap_mb << 20;
+      config.execution.num_partitions = 4;
       SparkEngine engine(config);
       SparkWorkloads workloads(engine);
       workloads.RunPageRank(graph, 8);

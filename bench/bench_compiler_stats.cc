@@ -30,9 +30,9 @@ void Run() {
 
   // Spark workloads.
   for (const char* name : {"PR", "KM", "LR", "CS", "GB", "WC", "SO-App"}) {
-    SparkConfig config;
-    config.mode = EngineMode::kGerenuk;
-    config.heap_bytes = 64u << 20;
+    EngineConfig config;
+    config.execution.mode = EngineMode::kGerenuk;
+    config.execution.heap_bytes = 64u << 20;
     SparkEngine engine(config);
     SparkWorkloads workloads(engine);
     std::string program(name);
@@ -58,8 +58,8 @@ void Run() {
   // Hadoop workloads (each in a fresh engine so per-job stats are visible).
   for (const char* job : {"IUF", "UAH", "SPF", "UED", "CED", "IMC", "TFC"}) {
     HadoopConfig config;
-    config.mode = EngineMode::kGerenuk;
-    config.heap_bytes = 64u << 20;
+    config.engine.execution.mode = EngineMode::kGerenuk;
+    config.engine.execution.heap_bytes = 64u << 20;
     HadoopEngine engine(config);
     HadoopWorkloads workloads(engine);
     DatasetPtr posts = workloads.MakePostInput(MakePosts(400, 60, 4, 8));

@@ -18,10 +18,10 @@ void Run() {
   int aborts[2] = {0, 0};
   double checksums[2];
   for (EngineMode mode : {EngineMode::kBaseline, EngineMode::kGerenuk}) {
-    SparkConfig config;
-    config.mode = mode;
-    config.heap_bytes = 64u << 20;
-    config.num_partitions = 4;
+    EngineConfig config;
+    config.execution.mode = mode;
+    config.execution.heap_bytes = 64u << 20;
+    config.execution.num_partitions = 4;
     SparkEngine engine(config);
     SparkWorkloads workloads(engine);
     WorkloadResult result = workloads.RunAccountGrouping(posts, 4);
@@ -40,10 +40,10 @@ void Run() {
   SyntheticGraph graph = MakePowerLawGraph(2500, 12000, 161);
   PhaseTimes baseline;
   {
-    SparkConfig config;
-    config.mode = EngineMode::kBaseline;
-    config.heap_bytes = 48u << 20;
-    config.num_partitions = 4;
+    EngineConfig config;
+    config.execution.mode = EngineMode::kBaseline;
+    config.execution.heap_bytes = 48u << 20;
+    config.execution.num_partitions = 4;
     SparkEngine engine(config);
     SparkWorkloads workloads(engine);
     workloads.RunPageRank(graph, 10);
@@ -54,20 +54,20 @@ void Run() {
     // Warmup: the first engine run in a process pays one-time costs (page
     // faults, allocator growth) that would otherwise pollute the 0-abort
     // reference point.
-    SparkConfig config;
-    config.mode = EngineMode::kGerenuk;
-    config.heap_bytes = 48u << 20;
-    config.num_partitions = 2;
+    EngineConfig config;
+    config.execution.mode = EngineMode::kGerenuk;
+    config.execution.heap_bytes = 48u << 20;
+    config.execution.num_partitions = 2;
     SparkEngine engine(config);
     SparkWorkloads workloads(engine);
     workloads.RunPageRank(graph, 10);
   }
   double zero_aborts_ms = 0.0;
   for (int forced : {0, 1, 2, 5, 10, 15, 20}) {
-    SparkConfig config;
-    config.mode = EngineMode::kGerenuk;
-    config.heap_bytes = 48u << 20;
-    config.num_partitions = 2;  // fewer, larger tasks: each abort wastes more
+    EngineConfig config;
+    config.execution.mode = EngineMode::kGerenuk;
+    config.execution.heap_bytes = 48u << 20;
+    config.execution.num_partitions = 2;  // fewer, larger tasks: each abort wastes more
     SparkEngine engine(config);
     SparkWorkloads workloads(engine);
     engine.ForceAborts(forced);

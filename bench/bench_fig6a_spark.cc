@@ -27,11 +27,11 @@ struct RunRow {
 
 RunRow RunOne(const char* name, EngineMode mode, size_t heap_bytes, int num_workers = 1,
               double* wall_ms = nullptr) {
-  SparkConfig config;
-  config.mode = mode;
-  config.heap_bytes = heap_bytes;
-  config.num_partitions = 4;
-  config.num_workers = num_workers;
+  EngineConfig config;
+  config.execution.mode = mode;
+  config.execution.heap_bytes = heap_bytes;
+  config.execution.num_partitions = 4;
+  config.execution.num_workers = num_workers;
   SparkEngine engine(config);
   SparkWorkloads workloads(engine);
 
@@ -69,7 +69,7 @@ struct AbortSweepJob {
   SerProgram udfs;
   const Function* double_value;
 
-  explicit AbortSweepJob(const SparkConfig& config) : engine(config) {
+  explicit AbortSweepJob(const EngineConfig& config) : engine(config) {
     KlassRegistry& reg = engine.heap().klasses();
     pair = reg.DefineClass("Pair", {
                                        {"key", FieldKind::kI64, nullptr, 0},
@@ -101,14 +101,14 @@ struct AbortSweepJob {
   }
 };
 
-SparkConfig AbortSweepConfig(int parts, double governor_threshold) {
-  SparkConfig config;
-  config.mode = EngineMode::kGerenuk;
-  config.heap_bytes = 48u << 20;
-  config.num_partitions = parts;
-  config.num_workers = 1;
-  config.governor_abort_threshold = governor_threshold;
-  config.governor_min_tasks = parts;
+EngineConfig AbortSweepConfig(int parts, double governor_threshold) {
+  EngineConfig config;
+  config.execution.mode = EngineMode::kGerenuk;
+  config.execution.heap_bytes = 48u << 20;
+  config.execution.num_partitions = parts;
+  config.execution.num_workers = 1;
+  config.fault.governor_abort_threshold = governor_threshold;
+  config.fault.governor_min_tasks = parts;
   return config;
 }
 

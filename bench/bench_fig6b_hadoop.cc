@@ -36,9 +36,9 @@ void Run() {
     double checksums[2];
     for (EngineMode mode : {EngineMode::kBaseline, EngineMode::kGerenuk}) {
       HadoopConfig config;
-      config.mode = mode;
-      config.heap_bytes = 48u << 20;
-      config.num_partitions = 4;
+      config.engine.execution.mode = mode;
+      config.engine.execution.heap_bytes = 48u << 20;
+      config.engine.execution.num_partitions = 4;
       config.num_reducers = 2;
       config.sort_buffer_bytes = 512 << 10;
       HadoopEngine engine(config);

@@ -17,10 +17,10 @@ void Run() {
   for (const char* name : {"PR", "KM", "LR", "CS", "GB"}) {
     int64_t peaks[2];
     for (EngineMode mode : {EngineMode::kBaseline, EngineMode::kGerenuk}) {
-      SparkConfig config;
-      config.mode = mode;
-      config.heap_bytes = 48u << 20;
-      config.num_partitions = 4;
+      EngineConfig config;
+      config.execution.mode = mode;
+      config.execution.heap_bytes = 48u << 20;
+      config.execution.num_partitions = 4;
       SparkEngine engine(config);
       SparkWorkloads workloads(engine);
       std::string program(name);
@@ -55,8 +55,8 @@ void Run() {
     int64_t peaks[2];
     for (EngineMode mode : {EngineMode::kBaseline, EngineMode::kGerenuk}) {
       HadoopConfig config;
-      config.mode = mode;
-      config.heap_bytes = 48u << 20;
+      config.engine.execution.mode = mode;
+      config.engine.execution.heap_bytes = 48u << 20;
       HadoopEngine engine(config);
       HadoopWorkloads workloads(engine);
       DatasetPtr post_input = workloads.MakePostInput(posts);

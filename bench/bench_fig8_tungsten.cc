@@ -21,10 +21,10 @@ namespace {
 
 PhaseTimes RunPr(EngineMode mode, const SyntheticGraph& graph, int iterations, bool plan_growth,
                  double* checksum) {
-  SparkConfig config;
-  config.mode = mode;
-  config.heap_bytes = 48u << 20;
-  config.num_partitions = 4;
+  EngineConfig config;
+  config.execution.mode = mode;
+  config.execution.heap_bytes = 48u << 20;
+  config.execution.num_partitions = 4;
   SparkEngine engine(config);
   SparkWorkloads workloads(engine);
   PhaseTimes total;
@@ -196,27 +196,27 @@ void Run() {
   PhaseTimes wc_tung;
   double counts[3];
   {
-    SparkConfig config;
-    config.mode = EngineMode::kBaseline;
-    config.heap_bytes = 48u << 20;
+    EngineConfig config;
+    config.execution.mode = EngineMode::kBaseline;
+    config.execution.heap_bytes = 48u << 20;
     SparkEngine engine(config);
     SparkWorkloads workloads(engine);
     counts[0] = workloads.RunWordCount(lines).checksum;
     wc_base = engine.stats().times;
   }
   {
-    SparkConfig config;
-    config.mode = EngineMode::kGerenuk;
-    config.heap_bytes = 48u << 20;
+    EngineConfig config;
+    config.execution.mode = EngineMode::kGerenuk;
+    config.execution.heap_bytes = 48u << 20;
     SparkEngine engine(config);
     SparkWorkloads workloads(engine);
     counts[1] = workloads.RunWordCount(lines).checksum;
     wc_ger = engine.stats().times;
   }
   {
-    SparkConfig config;
-    config.mode = EngineMode::kGerenuk;
-    config.heap_bytes = 48u << 20;
+    EngineConfig config;
+    config.execution.mode = EngineMode::kGerenuk;
+    config.execution.heap_bytes = 48u << 20;
     SparkEngine engine(config);
     SparkWorkloads workloads(engine);  // defines Line
     counts[2] = RunTungstenWordCount(engine, lines, &wc_tung).checksum;

@@ -18,21 +18,21 @@ struct Row {
 
 Row RunImc(const char* system, size_t heap_bytes, const std::vector<std::string>& lines) {
   HadoopConfig config;
-  config.heap_bytes = heap_bytes;
-  config.num_partitions = 4;
+  config.engine.execution.heap_bytes = heap_bytes;
+  config.engine.execution.num_partitions = 4;
   config.num_reducers = 2;
   config.sort_buffer_bytes = 256 << 10;
   std::string name(system);
   if (name == "PS") {
-    config.mode = EngineMode::kBaseline;
-    config.gc = GcKind::kGenerational;
+    config.engine.execution.mode = EngineMode::kBaseline;
+    config.engine.execution.gc = GcKind::kGenerational;
   } else if (name == "Yak") {
-    config.mode = EngineMode::kBaseline;
-    config.gc = GcKind::kRegion;
+    config.engine.execution.mode = EngineMode::kBaseline;
+    config.engine.execution.gc = GcKind::kRegion;
     config.yak_epochs = true;
   } else {
-    config.mode = EngineMode::kGerenuk;
-    config.gc = GcKind::kGenerational;
+    config.engine.execution.mode = EngineMode::kGerenuk;
+    config.engine.execution.gc = GcKind::kGenerational;
   }
   HadoopEngine engine(config);
   HadoopWorkloads workloads(engine);

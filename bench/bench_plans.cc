@@ -194,11 +194,11 @@ void StageThroughput(bench::JsonWriter& json) {
   constexpr int64_t kRecords = 120000;
   double rps[2];
   for (bool use_plans : {false, true}) {
-    SparkConfig config;
-    config.mode = EngineMode::kGerenuk;
-    config.heap_bytes = 64u << 20;
-    config.num_partitions = 4;
-    config.use_plan_compiler = use_plans;
+    EngineConfig config;
+    config.execution.mode = EngineMode::kGerenuk;
+    config.execution.heap_bytes = 64u << 20;
+    config.execution.num_partitions = 4;
+    config.execution.use_plan_compiler = use_plans;
     SparkEngine engine(config);
     const Klass* pair = engine.heap().klasses().DefineClass(
         "Pair", {
@@ -273,11 +273,11 @@ void TinyRecordGrouping(bench::JsonWriter& json) {
   for (Cell& cell : cells) {
     double best = 0.0;
     for (int round = 0; round < 3; ++round) {  // round 0 is a warmup
-      SparkConfig config;
-      config.mode = cell.mode;
-      config.heap_bytes = 64u << 20;
-      config.num_partitions = 8;
-      config.use_plan_compiler = cell.plans;
+      EngineConfig config;
+      config.execution.mode = cell.mode;
+      config.execution.heap_bytes = 64u << 20;
+      config.execution.num_partitions = 8;
+      config.execution.use_plan_compiler = cell.plans;
       SparkEngine engine(config);
       SparkWorkloads workloads(engine);
       workloads.RunAccountGrouping(posts, /*initial_capacity=*/16);

@@ -138,13 +138,13 @@ struct RecoveryRun {
 };
 
 RecoveryRun RunWordCountProcessMode(const std::vector<std::string>& lines, bool kill) {
-  SparkConfig config;
-  config.mode = EngineMode::kGerenuk;
-  config.heap_bytes = 48u << 20;
-  config.num_workers = 4;
-  config.process_executors = true;
-  config.executor_heartbeat_ms = 5;
-  config.max_task_attempts = 3;
+  EngineConfig config;
+  config.execution.mode = EngineMode::kGerenuk;
+  config.execution.heap_bytes = 48u << 20;
+  config.execution.num_workers = 4;
+  config.execution.process_executors = true;
+  config.execution.executor_heartbeat_ms = 5;
+  config.fault.max_task_attempts = 3;
   SparkEngine engine(config);
   SparkWorkloads workloads(engine);
   if (kill) {

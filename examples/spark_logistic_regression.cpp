@@ -19,10 +19,10 @@ int main(int argc, char** argv) {
 
   double weights[2];
   for (EngineMode mode : {EngineMode::kBaseline, EngineMode::kGerenuk}) {
-    SparkConfig config;
-    config.mode = mode;
-    config.heap_bytes = 64u << 20;
-    config.num_partitions = 4;
+    EngineConfig config;
+    config.execution.mode = mode;
+    config.execution.heap_bytes = 64u << 20;
+    config.execution.num_partitions = 4;
     SparkEngine engine(config);
     SparkWorkloads workloads(engine);
 

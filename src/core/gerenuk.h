@@ -8,14 +8,23 @@
 //   4. execute speculatively over native buffers   (nativebuf/, exec/)
 //   5. or simply run whole jobs on the bundled
 //      mini-Spark / mini-Hadoop engines            (dataflow/, mapreduce/)
+//   6. or share a pooled engine fleet between many
+//      tenants through the service layer           (service/)
 //
 // The typical application only touches the engine layer:
 //
-//   SparkConfig config;
-//   config.mode = EngineMode::kGerenuk;            // or kBaseline
+//   EngineConfig config;
+//   config.execution.mode = EngineMode::kGerenuk;  // or kBaseline
 //   SparkEngine engine(config);
 //   engine.RegisterDataType(my_record_klass);      // §3.1 annotations
 //   DatasetPtr out = engine.ReduceByKey(input, udfs, pre_ops, key, reduce);
+//
+// Multi-tenant applications go through EngineService instead of owning an
+// engine (DESIGN.md §11):
+//
+//   EngineService service(service_config);
+//   Session session = service.CreateSession("tenant-a");
+//   JobResult r = session.Submit(spec).wait();     // plan-cache-hot repeats
 //
 // Lower layers (Compiler below, SerExecutor, Interpreter) are public for
 // programs that embed the transformation directly.
@@ -33,6 +42,7 @@
 #include "src/serde/heap_serializer.h"
 #include "src/serde/inline_serializer.h"
 #include "src/serde/wellknown.h"
+#include "src/service/engine_service.h"
 #include "src/transform/transformer.h"
 
 namespace gerenuk {

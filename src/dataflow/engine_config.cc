@@ -1,0 +1,86 @@
+#include "src/dataflow/engine_config.h"
+
+#include <sstream>
+
+namespace gerenuk {
+
+std::string EngineConfig::Validate() const {
+  std::ostringstream err;
+  auto fail = [&err](const std::string& msg) -> std::string {
+    err << msg;
+    return err.str();
+  };
+
+  // Execution.
+  if (execution.num_partitions < 1)
+    return fail("execution.num_partitions must be >= 1 (got " +
+                std::to_string(execution.num_partitions) + ")");
+  if (execution.num_workers < 1)
+    return fail("execution.num_workers must be >= 1 (got " +
+                std::to_string(execution.num_workers) + ")");
+  if (execution.heap_bytes == 0)
+    return fail("execution.heap_bytes must be non-zero");
+  if (execution.executor_heartbeat_ms < 1)
+    return fail("execution.executor_heartbeat_ms must be >= 1 (got " +
+                std::to_string(execution.executor_heartbeat_ms) + ")");
+  if (execution.executor_heartbeat_timeout_ms < execution.executor_heartbeat_ms)
+    return fail("execution.executor_heartbeat_timeout_ms (" +
+                std::to_string(execution.executor_heartbeat_timeout_ms) +
+                ") must be >= executor_heartbeat_ms (" +
+                std::to_string(execution.executor_heartbeat_ms) +
+                "): the supervisor would declare every live executor dead");
+  if (execution.max_executor_relaunches < 0)
+    return fail("execution.max_executor_relaunches must be >= 0 (got " +
+                std::to_string(execution.max_executor_relaunches) + ")");
+  if (execution.process_executors && execution.max_executor_relaunches == 0 &&
+      fault.max_task_attempts > 1)
+    return fail(
+        "execution.process_executors with max_executor_relaunches == 0 "
+        "contradicts fault.max_task_attempts > 1: a retried task needs a "
+        "fresh executor slot to land on");
+
+  // Fault tolerance.
+  if (fault.max_task_attempts < 1)
+    return fail("fault.max_task_attempts must be >= 1 (got " +
+                std::to_string(fault.max_task_attempts) + ")");
+  if (fault.retry_backoff_ms < 0)
+    return fail("fault.retry_backoff_ms must be >= 0 (got " +
+                std::to_string(fault.retry_backoff_ms) + ")");
+  if (fault.retry_backoff_jitter_ms < 0)
+    return fail("fault.retry_backoff_jitter_ms must be >= 0 (got " +
+                std::to_string(fault.retry_backoff_jitter_ms) + ")");
+  if (fault.task_deadline_ms < 0)
+    return fail("fault.task_deadline_ms must be >= 0 (got " +
+                std::to_string(fault.task_deadline_ms) + ")");
+  if (fault.governor_abort_threshold > 1.0)
+    return fail("fault.governor_abort_threshold must be <= 1.0 (got " +
+                std::to_string(fault.governor_abort_threshold) +
+                "): an abort rate never exceeds 1, so the governor would "
+                "never engage");
+  if (fault.governor_abort_threshold > 0.0 && fault.governor_min_tasks < 1)
+    return fail("fault.governor_min_tasks must be >= 1 when the governor is "
+                "enabled (got " +
+                std::to_string(fault.governor_min_tasks) + ")");
+
+  // Shuffle.
+  if (shuffle.shuffle_spill_threshold_bytes < 0)
+    return fail("shuffle.shuffle_spill_threshold_bytes must be >= 0 (got " +
+                std::to_string(shuffle.shuffle_spill_threshold_bytes) + ")");
+  if (shuffle.shuffle_fetch_budget_bytes <= 0)
+    return fail("shuffle.shuffle_fetch_budget_bytes must be > 0 (got " +
+                std::to_string(shuffle.shuffle_fetch_budget_bytes) +
+                "): a zero fetch budget deadlocks every spilled fetch");
+  if (shuffle.shuffle_spill_threshold_bytes > 0 &&
+      !shuffle.shuffle_spill_dir.empty() &&
+      shuffle.shuffle_spill_dir.find('\0') != std::string::npos)
+    return fail("shuffle.shuffle_spill_dir contains an embedded NUL");
+
+  // Observability.
+  if (observability.trace && observability.trace_buffer_events == 0)
+    return fail("observability.trace_buffer_events must be non-zero when "
+                "observability.trace is on");
+
+  return std::string();
+}
+
+}  // namespace gerenuk

@@ -1,11 +1,19 @@
 // The shared engine configuration: both the mini-Spark and mini-Hadoop
 // engines are configured through these knobs, so the task scheduler, the
 // managed heap, and the partitioning are wired identically in both systems.
+//
+// Knobs are grouped by concern: `execution` (mode, heap, parallelism,
+// process model), `fault` (retries, deadlines, governor), `shuffle` (spill
+// + fetch backpressure), `observability` (trace + plan profiler). A whole
+// config is checked in one place — EngineConfig::Validate() — and both
+// engine constructors refuse an invalid one with the descriptive error it
+// returns.
 #ifndef SRC_DATAFLOW_ENGINE_CONFIG_H_
 #define SRC_DATAFLOW_ENGINE_CONFIG_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "src/dataflow/stage_compiler.h"  // EngineMode
@@ -14,7 +22,19 @@
 
 namespace gerenuk {
 
-struct EngineConfig {
+// Service-mode hook generalizing the SpeculationGovernor from per-engine to
+// per-tenant-per-SER: `should_speculate(sig)` is consulted (in addition to
+// the engine's own governor) before each speculative stage, keyed by the
+// stage's ProgramSignature hash; `observe(sig, tasks, aborts)` is fed at
+// the stage barrier. Both driver-side, never from workers. Installed via
+// SparkEngine/HadoopEngine::set_speculation_oracle.
+struct SpeculationOracle {
+  std::function<bool(uint64_t signature_hash)> should_speculate;
+  std::function<void(uint64_t signature_hash, int tasks, int aborts)> observe;
+};
+
+// --- Execution: mode, heap, parallelism, process model ---
+struct ExecutionOptions {
   EngineMode mode = EngineMode::kBaseline;
   size_t heap_bytes = 64u << 20;
   GcKind gc = GcKind::kGenerational;
@@ -27,19 +47,12 @@ struct EngineConfig {
   // (it is single-mutator), whatever this is set to. Output bytes and
   // abort/commit counts are identical for every worker count.
   int num_workers = 1;
-
-  // --- Fault tolerance (see DESIGN.md "Fault model & recovery") ---
-  // Scheduler retry budget per task. 1 = the seed's fail-fast behavior.
-  int max_task_attempts = 1;
-  // Deterministic backoff before attempt n: retry_backoff_ms << (n - 2).
-  int64_t retry_backoff_ms = 0;
-  // Per-attempt deadline (cooperative); 0 disables straggler detection.
-  int64_t task_deadline_ms = 0;
-  // Deterministic jitter added to the exponential backoff term: a seeded
-  // hash of (task, attempt) in [0, retry_backoff_jitter_ms]. Reproducible —
-  // the same seed gives the same schedule on every run and worker count.
-  int64_t retry_backoff_jitter_ms = 0;
-  uint64_t retry_jitter_seed = 0;
+  // Lower transformed SERs to flat direct-threaded plans (SerPlan) and run
+  // the fast path through the PlanExecutor with batched record channels.
+  // Off: the tree-walking Interpreter runs the fast path (the reference
+  // implementation — also the abort/slow-path fallback either way). Output
+  // bytes are identical in both settings; see tests/plan_test.cc.
+  bool use_plan_compiler = true;
 
   // --- Process-mode execution (see DESIGN.md "Process model & shuffle") ---
   // Run Gerenuk-mode stages in forked executor processes supervised by the
@@ -54,8 +67,34 @@ struct EngineConfig {
   int64_t executor_heartbeat_timeout_ms = 1000;
   // Fresh processes allowed per executor slot after the initial launch.
   int max_executor_relaunches = 3;
+};
 
-  // --- Shuffle service (Spark-side reduce/join exchange) ---
+// --- Fault tolerance (see DESIGN.md "Fault model & recovery") ---
+struct FaultToleranceOptions {
+  // Scheduler retry budget per task. 1 = the seed's fail-fast behavior.
+  int max_task_attempts = 1;
+  // Deterministic backoff before attempt n: retry_backoff_ms << (n - 2).
+  int64_t retry_backoff_ms = 0;
+  // Per-attempt deadline (cooperative); 0 disables straggler detection.
+  int64_t task_deadline_ms = 0;
+  // Deterministic jitter added to the exponential backoff term: a seeded
+  // hash of (task, attempt) in [0, retry_backoff_jitter_ms]. Reproducible —
+  // the same seed gives the same schedule on every run and worker count.
+  int64_t retry_backoff_jitter_ms = 0;
+  uint64_t retry_jitter_seed = 0;
+  // What happens to a task whose input fails its integrity checksum.
+  QuarantinePolicy quarantine = QuarantinePolicy::kFailFast;
+
+  // --- Adaptive speculation governor ---
+  // Once the cumulative abort rate over speculative tasks reaches this
+  // threshold (with at least governor_min_tasks observed), remaining stages
+  // run the slow path directly. <= 0 disables the governor.
+  double governor_abort_threshold = -1.0;
+  int governor_min_tasks = 4;
+};
+
+// --- Shuffle service (Spark-side reduce/join exchange) ---
+struct ShuffleOptions {
   // Spill threshold: once resident shuffle bytes would exceed this, newly
   // added partitions are sealed, compressed, and spilled to disk; reducers
   // fetch them on demand. 0 = never spill (all-resident, the default).
@@ -69,16 +108,10 @@ struct EngineConfig {
   // Directory for spill files ("" = $TMPDIR or /tmp). Files are unlinked at
   // creation, so they vanish with the process no matter how it dies.
   std::string shuffle_spill_dir;
-  // Lower transformed SERs to flat direct-threaded plans (SerPlan) and run
-  // the fast path through the PlanExecutor with batched record channels.
-  // Off: the tree-walking Interpreter runs the fast path (the reference
-  // implementation — also the abort/slow-path fallback either way). Output
-  // bytes are identical in both settings; see tests/plan_test.cc.
-  bool use_plan_compiler = true;
-  // What happens to a task whose input fails its integrity checksum.
-  QuarantinePolicy quarantine = QuarantinePolicy::kFailFast;
+};
 
-  // --- Observability (see DESIGN.md "Observability") ---
+// --- Observability (see DESIGN.md "Observability") ---
+struct ObservabilityOptions {
   // Record a per-task event timeline: stage/task/fast-path/slow-path spans,
   // abort + retry/relaunch/quarantine instants, GC pauses, ser/deser spans,
   // shuffle-byte counters. Off by default: no Trace is allocated and every
@@ -93,24 +126,30 @@ struct EngineConfig {
   // loop then runs the unprofiled instantiation — zero overhead). Results
   // land in EngineStats::plan_ops.
   int64_t plan_profile_stride = 0;
+};
 
-  // --- Adaptive speculation governor ---
-  // Once the cumulative abort rate over speculative tasks reaches this
-  // threshold (with at least governor_min_tasks observed), remaining stages
-  // run the slow path directly. <= 0 disables the governor.
-  double governor_abort_threshold = -1.0;
-  int governor_min_tasks = 4;
+struct EngineConfig {
+  ExecutionOptions execution;
+  FaultToleranceOptions fault;
+  ShuffleOptions shuffle;
+  ObservabilityOptions observability;
 
   RetryPolicy retry_policy() const {
     RetryPolicy policy;
-    policy.max_attempts = max_task_attempts;
-    policy.backoff_base_ms = retry_backoff_ms;
-    policy.backoff_jitter_ms = retry_backoff_jitter_ms;
-    policy.jitter_seed = retry_jitter_seed;
-    policy.task_deadline_ms = task_deadline_ms;
-    policy.quarantine = quarantine;
+    policy.max_attempts = fault.max_task_attempts;
+    policy.backoff_base_ms = fault.retry_backoff_ms;
+    policy.backoff_jitter_ms = fault.retry_backoff_jitter_ms;
+    policy.jitter_seed = fault.retry_jitter_seed;
+    policy.task_deadline_ms = fault.task_deadline_ms;
+    policy.quarantine = fault.quarantine;
     return policy;
   }
+
+  // Checks the whole config for contradictions and out-of-range knobs.
+  // Returns "" when valid, otherwise a descriptive one-line error naming
+  // the offending field(s). Both engine constructors call this and refuse
+  // an invalid config.
+  std::string Validate() const;
 };
 
 }  // namespace gerenuk

@@ -98,19 +98,27 @@ class TaskBroadcast {
   bool rooted_ = false;
 };
 
+// One validation gate for the whole config, crossed before any member that
+// consumes a knob (the heap, the scheduler) is built.
+static const EngineConfig& ValidatedEngineConfig(const EngineConfig& config) {
+  const std::string error = config.Validate();
+  GERENUK_CHECK(error.empty()) << "invalid EngineConfig: " << error;
+  return config;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
 // Engine
 // ---------------------------------------------------------------------------
 
-SparkEngine::SparkEngine(const SparkConfig& config)
-    : config_(config),
-      heap_(std::make_unique<Heap>(HeapConfig{config.heap_bytes, config.gc, 0.55, 0.35, 2})),
+SparkEngine::SparkEngine(const EngineConfig& config)
+    : config_(ValidatedEngineConfig(config)),
+      heap_(std::make_unique<Heap>(HeapConfig{config.execution.heap_bytes, config.execution.gc, 0.55, 0.35, 2})),
       wk_(std::make_unique<WellKnown>(*heap_)),
       kryo_(*heap_),
       inline_serde_(*heap_),
-      governor_(config.governor_abort_threshold, config.governor_min_tasks) {
+      governor_(config.fault.governor_abort_threshold, config.fault.governor_min_tasks) {
   heap_->set_memory_tracker(&memory_);
   // Worker heaps share the engine's class registry, so Klass pointers in the
   // driver-compiled programs are valid in every executor context. The engine
@@ -120,18 +128,18 @@ SparkEngine::SparkEngine(const SparkConfig& config)
   // stages mutate the shared engine heap and always run serially in the
   // driver).
   const bool process_mode =
-      config.process_executors && config.mode == EngineMode::kGerenuk;
+      config.execution.process_executors && config.execution.mode == EngineMode::kGerenuk;
   scheduler_ = std::make_unique<TaskScheduler>(
-      config.num_workers, HeapConfig{config.heap_bytes, config.gc, 0.55, 0.35, 2},
+      config.execution.num_workers, HeapConfig{config.execution.heap_bytes, config.execution.gc, 0.55, 0.35, 2},
       &heap_->klasses(), &memory_, process_mode);
   scheduler_->set_retry_policy(config.retry_policy());
   ExecutorSupervisorConfig supervision;
-  supervision.heartbeat_ms = config.executor_heartbeat_ms;
-  supervision.heartbeat_timeout_ms = config.executor_heartbeat_timeout_ms;
-  supervision.max_executor_relaunches = config.max_executor_relaunches;
+  supervision.heartbeat_ms = config.execution.executor_heartbeat_ms;
+  supervision.heartbeat_timeout_ms = config.execution.executor_heartbeat_timeout_ms;
+  supervision.max_executor_relaunches = config.execution.max_executor_relaunches;
   scheduler_->set_supervisor_config(supervision);
-  if (config.trace) {
-    trace_ = std::make_unique<Trace>(scheduler_->num_workers(), config.trace_buffer_events);
+  if (config.observability.trace) {
+    trace_ = std::make_unique<Trace>(scheduler_->num_workers(), config.observability.trace_buffer_events);
     scheduler_->set_trace(trace_.get());
     // Driver-side GC (the engine heap: sources, baseline stages, collect)
     // reports into the driver's direct sink.
@@ -154,8 +162,8 @@ void SparkEngine::RegisterDataType(const Klass* klass) {
 
 DatasetPtr SparkEngine::Source(const Klass* klass, int64_t count,
                                const std::function<ObjRef(int64_t, RootScope&)>& make) {
-  DatasetPtr ds = MakeSourceDataset(*heap_, inline_serde_, &memory_, config_.mode, klass,
-                                    config_.num_partitions, count, make);
+  DatasetPtr ds = MakeSourceDataset(*heap_, inline_serde_, &memory_, config_.execution.mode, klass,
+                                    config_.execution.num_partitions, count, make);
   // Committed data carries an integrity seal from the moment it exists;
   // consumers verify it at stage input (DESIGN.md "Fault model & recovery").
   for (NativePartition& part : ds->native_parts) {
@@ -199,29 +207,46 @@ SparkEngine::CompiledStage SparkEngine::CompileStage(const Klass* in_klass,
                                                      const std::vector<NarrowOp>& ops,
                                                      bool has_broadcast,
                                                      const Klass* broadcast_klass) {
-  CompiledStage stage = CompileNarrowStage(config_.mode, layouts_, in_klass, udfs, ops,
-                                           has_broadcast, broadcast_klass, &stats_.transform,
-                                           heap_->klasses());
-  if (config_.mode == EngineMode::kGerenuk) {
+  // The cache is only consulted when the plan compiler is on: an entry
+  // always carries (transformed, plan) as a unit, so a mixed-configuration
+  // engine never receives a plan it was told not to use.
+  PlanCache* cache = config_.execution.use_plan_compiler ? plan_cache_ : nullptr;
+  CompiledStage stage = CompileNarrowStage(config_.execution.mode, layouts_, in_klass, udfs,
+                                           ops, has_broadcast, broadcast_klass,
+                                           &stats_.transform, heap_->klasses(), cache);
+  if (config_.execution.mode == EngineMode::kGerenuk) {
     stats_.stages_compiled += 1;
-    if (config_.use_plan_compiler && stage.transformed != nullptr) {
+    if (stage.cache_hit) {
+      stats_.plan_cache_hits += 1;
+    } else if (config_.execution.use_plan_compiler && stage.transformed != nullptr) {
       // The transformer may have grown the offset-expression pool; re-fold
       // before lowering so every now-constant expression becomes an immediate.
       pool_.FoldConstants();
       stage.plan = CompilePlan(*stage.transformed, layouts_);
       stats_.plans_compiled += 1;
+      if (cache != nullptr) {
+        cache->Insert(stage.signature, {stage.transformed, stage.plan, nullptr, 0});
+      }
     }
   }
   return stage;
 }
 
 SparkEngine::CompiledFn SparkEngine::CompileFn(const SerProgram& udfs, const Function* fn) {
-  CompiledFn compiled = CompileSingleFunction(config_.mode, layouts_, udfs, fn, &stats_.transform);
-  if (config_.mode == EngineMode::kGerenuk && config_.use_plan_compiler &&
-      compiled.transformed != nullptr) {
+  PlanCache* cache = config_.execution.use_plan_compiler ? plan_cache_ : nullptr;
+  CompiledFn compiled = CompileSingleFunction(config_.execution.mode, layouts_, udfs, fn,
+                                              &stats_.transform, cache);
+  if (compiled.cache_hit) {
+    stats_.plan_cache_hits += 1;
+  } else if (config_.execution.mode == EngineMode::kGerenuk &&
+             config_.execution.use_plan_compiler && compiled.transformed != nullptr) {
     pool_.FoldConstants();
     compiled.plan = CompilePlan(*compiled.transformed, layouts_);
     stats_.plans_compiled += 1;
+    if (cache != nullptr) {
+      cache->Insert(compiled.signature,
+                    {compiled.transformed, compiled.plan, compiled.fast_fn, 0});
+    }
   }
   return compiled;
 }
@@ -235,13 +260,13 @@ DatasetPtr SparkEngine::RunStage(const DatasetPtr& input, const SerProgram& udfs
                                  const BroadcastVar* broadcast) {
   CompiledStage stage = CompileStage(input->klass, udfs, ops, broadcast != nullptr,
                                      broadcast != nullptr ? broadcast->klass : nullptr);
-  return config_.mode == EngineMode::kBaseline ? RunNarrowBaseline(input, stage, broadcast)
+  return config_.execution.mode == EngineMode::kBaseline ? RunNarrowBaseline(input, stage, broadcast)
                                                : RunNarrowGerenuk(input, stage, broadcast);
 }
 
 DatasetPtr SparkEngine::RunNarrowBaseline(const DatasetPtr& input, const CompiledStage& stage,
                                           const BroadcastVar* broadcast) {
-  int parts = config_.num_partitions;
+  int parts = config_.execution.num_partitions;
   auto out = std::make_shared<Dataset>(*heap_, stage.out_klass, parts, &memory_);
   ClaimTaskOrdinals(parts);
   std::vector<Value> args;
@@ -278,11 +303,11 @@ DatasetPtr SparkEngine::RunNarrowBaseline(const DatasetPtr& input, const Compile
 
 DatasetPtr SparkEngine::RunNarrowGerenuk(const DatasetPtr& input, const CompiledStage& stage,
                                          const BroadcastVar* broadcast) {
-  int parts = config_.num_partitions;
+  int parts = config_.execution.num_partitions;
   auto out = std::make_shared<Dataset>(*heap_, stage.out_klass, parts, &memory_);
   const int64_t base = ClaimTaskOrdinals(parts);
   const FaultPlan* faults = ActiveFaults();
-  const bool speculate = governor_.ShouldSpeculate();
+  const bool speculate = ShouldSpeculateFor(stage.signature.hash);
   const int aborts_before = stats_.aborts;
   const StageCodec codec = PartitionVectorCodec(&out->native_parts, &memory_);
   TraceSpan stage_span(DriverSink(), TraceEventType::kStage, "narrow");
@@ -331,7 +356,7 @@ DatasetPtr SparkEngine::RunNarrowGerenuk(const DatasetPtr& input, const Compiled
       },
       &stats_, &codec);
   if (speculate) {
-    ObserveSpeculation(parts, stats_.aborts - aborts_before);
+    ObserveSpeculation(stage.signature.hash, parts, stats_.aborts - aborts_before);
   }
   return out;
 }
@@ -345,7 +370,7 @@ void SparkEngine::ShuffleBaseline(const DatasetPtr& input, const CompiledStage& 
                                   const BroadcastVar* broadcast,
                                   std::vector<std::vector<ByteBuffer>>* buckets,
                                   std::vector<std::vector<int64_t>>* bucket_counts) {
-  int parts = config_.num_partitions;
+  int parts = config_.execution.num_partitions;
   buckets->clear();
   bucket_counts->clear();
   for (int p = 0; p < parts; ++p) {
@@ -404,7 +429,7 @@ void SparkEngine::ShuffleGerenuk(const DatasetPtr& input, const CompiledStage& s
                                  const KeySpec& key, const CompiledFn& key_fn,
                                  const BroadcastVar* broadcast,
                                  std::vector<std::vector<NativePartition>>* buckets) {
-  int parts = config_.num_partitions;
+  int parts = config_.execution.num_partitions;
   // Per-map-task, per-bucket outputs — the analogue of map output files, so
   // an aborted task discards only its own contribution. All slots are
   // constructed here, before the fan-out, so tasks never mutate the vectors.
@@ -418,7 +443,7 @@ void SparkEngine::ShuffleGerenuk(const DatasetPtr& input, const CompiledStage& s
   }
   const int64_t base = ClaimTaskOrdinals(parts);
   const FaultPlan* faults = ActiveFaults();
-  const bool speculate = governor_.ShouldSpeculate();
+  const bool speculate = ShouldSpeculateFor(stage.signature.hash);
   const int aborts_before = stats_.aborts;
   ShuffleKeyHash hasher;
   const StageCodec codec = BucketRowCodec(buckets, &memory_);
@@ -503,7 +528,7 @@ void SparkEngine::ShuffleGerenuk(const DatasetPtr& input, const CompiledStage& s
       },
       &stats_, &codec);
   if (speculate) {
-    ObserveSpeculation(parts, stats_.aborts - aborts_before);
+    ObserveSpeculation(stage.signature.hash, parts, stats_.aborts - aborts_before);
   }
 }
 
@@ -519,17 +544,17 @@ DatasetPtr SparkEngine::ReduceByKey(const DatasetPtr& input, const SerProgram& u
   CompiledFn key_c = CompileFn(udfs, key.fn);
   CompiledFn reduce_c = CompileFn(udfs, reduce_fn);
   const Klass* rec_klass = stage.out_klass;
-  auto out = std::make_shared<Dataset>(*heap_, rec_klass, config_.num_partitions, &memory_);
+  auto out = std::make_shared<Dataset>(*heap_, rec_klass, config_.execution.num_partitions, &memory_);
 
-  if (config_.mode == EngineMode::kBaseline) {
+  if (config_.execution.mode == EngineMode::kBaseline) {
     std::vector<std::vector<ByteBuffer>> buckets;
     std::vector<std::vector<int64_t>> counts;
     ShuffleBaseline(input, stage, key, key_c, broadcast, &buckets, &counts);
 
-    ClaimTaskOrdinals(config_.num_partitions);
+    ClaimTaskOrdinals(config_.execution.num_partitions);
     TraceSpan stage_span(DriverSink(), TraceEventType::kStage, "reduce");
     scheduler_->RunStageSerial(
-        config_.num_partitions,
+        config_.execution.num_partitions,
         [&](WorkerContext& ctx, int p) {
           ctx.stats().tasks_run += 1;
           heap_->set_phase_times(&ctx.stats().times);
@@ -582,21 +607,21 @@ DatasetPtr SparkEngine::ReduceByKey(const DatasetPtr& input, const SerProgram& u
   // spilled blocks on demand under the credit gate. The run is built before
   // the reduce stage submits, so process-mode executor children inherit the
   // resident blocks and the spill-file descriptor through fork.
-  ShuffleRun shuffle(config_.num_partitions, config_.num_partitions, shuffle_config());
-  for (int t = 0; t < config_.num_partitions; ++t) {
-    for (int b = 0; b < config_.num_partitions; ++b) {
+  ShuffleRun shuffle(config_.execution.num_partitions, config_.execution.num_partitions, shuffle_config());
+  for (int t = 0; t < config_.execution.num_partitions; ++t) {
+    for (int b = 0; b < config_.execution.num_partitions; ++b) {
       shuffle.Add(t, b, std::move(buckets[static_cast<size_t>(t)][static_cast<size_t>(b)]),
                   &stats_, DriverSink());
     }
   }
 
-  ClaimTaskOrdinals(config_.num_partitions);
-  const bool speculate = governor_.ShouldSpeculate();
+  ClaimTaskOrdinals(config_.execution.num_partitions);
+  const bool speculate = ShouldSpeculateFor(reduce_c.signature.hash);
   const int aborts_before = stats_.aborts;
   const StageCodec codec = PartitionVectorCodec(&out->native_parts, &memory_);
   TraceSpan stage_span(DriverSink(), TraceEventType::kStage, "reduce");
   scheduler_->RunStage(
-      config_.num_partitions,
+      config_.execution.num_partitions,
       [&](WorkerContext& ctx, int p) {
         ctx.stats().tasks_run += 1;
         ctx.heap().set_phase_times(&ctx.stats().times);
@@ -728,7 +753,8 @@ DatasetPtr SparkEngine::ReduceByKey(const DatasetPtr& input, const SerProgram& u
       },
       &stats_, &codec);
   if (speculate) {
-    ObserveSpeculation(config_.num_partitions, stats_.aborts - aborts_before);
+    ObserveSpeculation(reduce_c.signature.hash, config_.execution.num_partitions,
+                       stats_.aborts - aborts_before);
   }
   return out;
 }
@@ -746,9 +772,9 @@ DatasetPtr SparkEngine::JoinByKey(const DatasetPtr& left, const KeySpec& left_ke
   CompiledFn lkey = CompileFn(udfs, left_key.fn);
   CompiledFn rkey = CompileFn(udfs, right_key.fn);
   CompiledFn combine = CompileFn(udfs, combine_fn);
-  auto out = std::make_shared<Dataset>(*heap_, out_klass, config_.num_partitions, &memory_);
+  auto out = std::make_shared<Dataset>(*heap_, out_klass, config_.execution.num_partitions, &memory_);
 
-  if (config_.mode == EngineMode::kBaseline) {
+  if (config_.execution.mode == EngineMode::kBaseline) {
     std::vector<std::vector<ByteBuffer>> lb;
     std::vector<std::vector<ByteBuffer>> rb;
     std::vector<std::vector<int64_t>> lc;
@@ -756,10 +782,10 @@ DatasetPtr SparkEngine::JoinByKey(const DatasetPtr& left, const KeySpec& left_ke
     ShuffleBaseline(left, left_stage, left_key, lkey, nullptr, &lb, &lc);
     ShuffleBaseline(right, right_stage, right_key, rkey, nullptr, &rb, &rc);
 
-    ClaimTaskOrdinals(config_.num_partitions);
+    ClaimTaskOrdinals(config_.execution.num_partitions);
     TraceSpan stage_span(DriverSink(), TraceEventType::kStage, "join");
     scheduler_->RunStageSerial(
-        config_.num_partitions,
+        config_.execution.num_partitions,
         [&](WorkerContext& ctx, int p) {
           ctx.stats().tasks_run += 1;
           heap_->set_phase_times(&ctx.stats().times);
@@ -828,10 +854,10 @@ DatasetPtr SparkEngine::JoinByKey(const DatasetPtr& left, const KeySpec& left_ke
   // held open for the whole probe — its record addresses back the hash
   // table — which is exactly the hold-and-wait shape the credit gate's
   // grace timeout exists for.
-  ShuffleRun lrun(config_.num_partitions, config_.num_partitions, shuffle_config());
-  ShuffleRun rrun(config_.num_partitions, config_.num_partitions, shuffle_config());
-  for (int t = 0; t < config_.num_partitions; ++t) {
-    for (int b = 0; b < config_.num_partitions; ++b) {
+  ShuffleRun lrun(config_.execution.num_partitions, config_.execution.num_partitions, shuffle_config());
+  ShuffleRun rrun(config_.execution.num_partitions, config_.execution.num_partitions, shuffle_config());
+  for (int t = 0; t < config_.execution.num_partitions; ++t) {
+    for (int b = 0; b < config_.execution.num_partitions; ++b) {
       lrun.Add(t, b, std::move(lb[static_cast<size_t>(t)][static_cast<size_t>(b)]), &stats_,
                DriverSink());
       rrun.Add(t, b, std::move(rb[static_cast<size_t>(t)][static_cast<size_t>(b)]), &stats_,
@@ -839,11 +865,11 @@ DatasetPtr SparkEngine::JoinByKey(const DatasetPtr& left, const KeySpec& left_ke
     }
   }
 
-  ClaimTaskOrdinals(config_.num_partitions);
+  ClaimTaskOrdinals(config_.execution.num_partitions);
   const StageCodec codec = PartitionVectorCodec(&out->native_parts, &memory_);
   TraceSpan stage_span(DriverSink(), TraceEventType::kStage, "join");
   scheduler_->RunStage(
-      config_.num_partitions,
+      config_.execution.num_partitions,
       [&](WorkerContext& ctx, int p) {
         ctx.stats().tasks_run += 1;
         NativePartition& out_part = out->native_parts[static_cast<size_t>(p)];
@@ -894,7 +920,7 @@ DatasetPtr SparkEngine::JoinByKey(const DatasetPtr& left, const KeySpec& left_ke
 
 std::vector<size_t> SparkEngine::CollectToHeap(const DatasetPtr& dataset, RootScope& scope) {
   std::vector<size_t> slots;
-  if (config_.mode == EngineMode::kBaseline) {
+  if (config_.execution.mode == EngineMode::kBaseline) {
     for (const auto& part : dataset->heap_parts) {
       for (ObjRef ref : part) {
         slots.push_back(scope.Push(ref));

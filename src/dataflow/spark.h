@@ -29,6 +29,7 @@
 
 #include "src/dataflow/dataset.h"
 #include "src/dataflow/engine_config.h"
+#include "src/exec/plan_cache.h"
 #include "src/exec/ser_executor.h"
 #include "src/exec/task_scheduler.h"
 #include "src/serde/heap_serializer.h"
@@ -36,8 +37,10 @@
 
 namespace gerenuk {
 
-// The mini-Spark takes the shared knobs unchanged.
-using SparkConfig = EngineConfig;
+// Deprecated migration shim: the mini-Spark takes the shared EngineConfig
+// directly; out-of-tree callers spelling `SparkConfig` get one clean
+// deprecation warning and a rename.
+using SparkConfig [[deprecated("SparkConfig is EngineConfig; use EngineConfig")]] = EngineConfig;
 
 // A driver-built value shipped to every task (e.g. KMeans' current centers).
 struct BroadcastVar {
@@ -48,13 +51,13 @@ struct BroadcastVar {
 
 class SparkEngine {
  public:
-  explicit SparkEngine(const SparkConfig& config);
+  explicit SparkEngine(const EngineConfig& config);
   ~SparkEngine();
 
   Heap& heap() { return *heap_; }
   WellKnown& wk() { return *wk_; }
-  EngineMode mode() const { return config_.mode; }
-  int num_partitions() const { return config_.num_partitions; }
+  EngineMode mode() const { return config_.execution.mode; }
+  int num_partitions() const { return config_.execution.num_partitions; }
   int num_workers() const { return scheduler_->num_workers(); }
 
   // §3.1 annotation: top-level data types must be registered before any
@@ -120,6 +123,13 @@ class SparkEngine {
   // task counts surface through stats().
   const SpeculationGovernor& governor() const { return governor_; }
 
+  // Service-mode hooks. Both must be installed while the engine is idle
+  // (between jobs): the compiler and the stage barriers read them without
+  // synchronization.
+  void set_plan_cache(PlanCache* cache) { plan_cache_ = cache; }
+  PlanCache* plan_cache() const { return plan_cache_; }
+  void set_speculation_oracle(SpeculationOracle oracle) { oracle_ = std::move(oracle); }
+
  private:
   using CompiledStage = StagePrograms;
   using CompiledFn = CompiledFunction;
@@ -161,10 +171,10 @@ class SparkEngine {
   // Shuffle-service knobs for this engine's reduce/join exchanges.
   ShuffleConfig shuffle_config() {
     ShuffleConfig sc;
-    sc.spill_threshold_bytes = config_.shuffle_spill_threshold_bytes;
-    sc.compress = config_.shuffle_compress;
-    sc.fetch_budget_bytes = config_.shuffle_fetch_budget_bytes;
-    sc.spill_dir = config_.shuffle_spill_dir;
+    sc.spill_threshold_bytes = config_.shuffle.shuffle_spill_threshold_bytes;
+    sc.compress = config_.shuffle.shuffle_compress;
+    sc.fetch_budget_bytes = config_.shuffle.shuffle_fetch_budget_bytes;
+    sc.spill_dir = config_.shuffle.shuffle_spill_dir;
     sc.tracker = &memory_;
     return sc;
   }
@@ -173,13 +183,13 @@ class SparkEngine {
   // Shared TaskIo tracing/profiling wiring for every Gerenuk-mode stage.
   void BindObservability(TaskIo* io, WorkerContext& ctx) const {
     io->trace = ctx.trace_sink();
-    if (config_.plan_profile_stride > 0) {
+    if (config_.observability.plan_profile_stride > 0) {
       io->plan_profile = &ctx.stats().plan_ops;
-      io->plan_profile_stride = config_.plan_profile_stride;
+      io->plan_profile_stride = config_.observability.plan_profile_stride;
     }
   }
 
-  SparkConfig config_;
+  EngineConfig config_;
   std::unique_ptr<Heap> heap_;
   std::unique_ptr<WellKnown> wk_;
   ExprPool pool_;
@@ -192,14 +202,31 @@ class SparkEngine {
   EngineStats stats_;
   FaultPlan fault_plan_;
   SpeculationGovernor governor_;
+  SpeculationOracle oracle_;
+  PlanCache* plan_cache_ = nullptr;  // not owned; null outside service mode
   int64_t task_seq_ = 0;
+
+  // Stage-submission speculation decision: the engine governor AND the
+  // per-tenant-per-SER oracle (when installed) both have veto power.
+  bool ShouldSpeculateFor(uint64_t signature_hash) const {
+    if (!governor_.ShouldSpeculate()) {
+      return false;
+    }
+    if (oracle_.should_speculate != nullptr && !oracle_.should_speculate(signature_hash)) {
+      return false;
+    }
+    return true;
+  }
 
   // Barrier-side governor feed: counts one completed speculative stage and
   // records a flip in stats_. Driver-only, so decisions never depend on the
   // in-flight schedule.
-  void ObserveSpeculation(int tasks, int aborts_delta) {
+  void ObserveSpeculation(uint64_t signature_hash, int tasks, int aborts_delta) {
     if (governor_.Observe(tasks, aborts_delta)) {
       stats_.governor_flips += 1;
+    }
+    if (oracle_.observe != nullptr) {
+      oracle_.observe(signature_hash, tasks, aborts_delta);
     }
   }
 };

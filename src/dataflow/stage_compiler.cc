@@ -1,11 +1,38 @@
 #include "src/dataflow/stage_compiler.h"
 
 #include <map>
+#include <sstream>
 
 #include "src/analysis/ser_analyzer.h"
 #include "src/ir/builder.h"
+#include "src/support/fnv.h"
 
 namespace gerenuk {
+
+ProgramSignature ComputeProgramSignature(EngineMode mode, const DataStructAnalyzer& layouts,
+                                         const SerProgram& original,
+                                         const std::vector<const Klass*>& klasses) {
+  std::ostringstream text;
+  text << "mode=" << (mode == EngineMode::kGerenuk ? "gerenuk" : "baseline") << '\n';
+  for (const Klass* klass : klasses) {
+    if (klass == nullptr) {
+      continue;
+    }
+    // The full analyzed layout (field kinds, offset expressions) when
+    // available, so the same-named klass with a different shape — a fresh
+    // engine, a re-registered schema — can never alias a cache entry.
+    text << "klass " << klass->name() << ":\n";
+    if (layouts.IsTopLevel(klass)) {
+      text << layouts.SchemaToString(klass);
+    }
+  }
+  text << PrintProgram(original);
+
+  ProgramSignature sig;
+  sig.text = text.str();
+  sig.hash = Fnv1aDigest(sig.text.data(), sig.text.size());
+  return sig;
+}
 
 std::unique_ptr<SerProgram> CompileSerProgram(const SerProgram& original,
                                               const DataStructAnalyzer& layouts,
@@ -29,7 +56,7 @@ StagePrograms CompileNarrowStage(EngineMode mode, const DataStructAnalyzer& layo
                                  const Klass* in_klass, const SerProgram& udfs,
                                  const std::vector<NarrowOp>& ops, bool has_broadcast,
                                  const Klass* broadcast_klass, TransformStats* stats,
-                                 KlassRegistry& registry) {
+                                 KlassRegistry& registry, PlanCache* cache) {
   StagePrograms stage;
   stage.original = std::make_unique<SerProgram>();
   stage.in_klass = in_klass;
@@ -93,15 +120,25 @@ StagePrograms CompileNarrowStage(EngineMode mode, const DataStructAnalyzer& layo
   b.Done();
   stage.original->body = body;
 
+  stage.signature = ComputeProgramSignature(
+      mode, layouts, *stage.original,
+      {stage.in_klass, stage.out_klass, has_broadcast ? broadcast_klass : nullptr});
   if (mode == EngineMode::kGerenuk) {
-    stage.transformed = CompileSerProgram(*stage.original, layouts, stats);
+    PlanCache::Entry hit;
+    if (cache != nullptr && cache->Lookup(stage.signature, &hit)) {
+      stage.transformed = hit.transformed;
+      stage.plan = hit.plan;
+      stage.cache_hit = true;
+    } else {
+      stage.transformed = CompileSerProgram(*stage.original, layouts, stats);
+    }
   }
   return stage;
 }
 
 CompiledFunction CompileSingleFunction(EngineMode mode, const DataStructAnalyzer& layouts,
                                        const SerProgram& udfs, const Function* fn,
-                                       TransformStats* stats) {
+                                       TransformStats* stats, PlanCache* cache) {
   CompiledFunction compiled;
   compiled.original = std::make_unique<SerProgram>();
   std::map<int, int> remap;
@@ -111,9 +148,20 @@ CompiledFunction CompileSingleFunction(EngineMode mode, const DataStructAnalyzer
   GERENUK_CHECK_EQ(compiled.original->functions.size(), 1u)
       << fn->name << " must not call helper functions";
   compiled.orig_fn = compiled.original->function(id);
+  compiled.signature = ComputeProgramSignature(mode, layouts, *compiled.original, {});
   if (mode == EngineMode::kGerenuk) {
-    compiled.transformed = CompileSerProgram(*compiled.original, layouts, stats);
-    compiled.fast_fn = compiled.transformed->function(id);
+    PlanCache::Entry hit;
+    if (cache != nullptr && cache->Lookup(compiled.signature, &hit)) {
+      compiled.transformed = hit.transformed;
+      compiled.plan = hit.plan;
+      compiled.fast_fn = hit.fast_fn;
+      compiled.cache_hit = true;
+    } else {
+      std::unique_ptr<SerProgram> transformed =
+          CompileSerProgram(*compiled.original, layouts, stats);
+      compiled.fast_fn = transformed->function(id);
+      compiled.transformed = std::move(transformed);
+    }
   }
   return compiled;
 }

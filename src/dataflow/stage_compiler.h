@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/analysis/layout.h"
+#include "src/exec/plan_cache.h"  // ProgramSignature, PlanCache
 #include "src/ir/ir.h"
 #include "src/transform/transformer.h"
 
@@ -19,6 +20,15 @@ namespace gerenuk {
 class SerPlan;  // src/exec/plan.h — compiled form of a transformed program
 
 enum class EngineMode : uint8_t { kBaseline, kGerenuk };
+
+// Canonical signature of a SER: engine mode, the layouts of every klass the
+// program touches (in order), and the printed original program. Two jobs
+// with the same signature compile to byte-identical plans inside one engine,
+// which is what makes the PlanCache sound. Null klasses are skipped, so
+// call sites pass `{in, out, broadcast}` unconditionally.
+ProgramSignature ComputeProgramSignature(EngineMode mode, const DataStructAnalyzer& layouts,
+                                         const SerProgram& original,
+                                         const std::vector<const Klass*>& klasses);
 
 struct NarrowOp {
   enum Kind : uint8_t { kMap, kFlatMap, kFilter } kind = kMap;
@@ -36,21 +46,33 @@ struct NarrowOp {
 
 struct StagePrograms {
   std::unique_ptr<SerProgram> original;
-  std::unique_ptr<SerProgram> transformed;  // kGerenuk only
+  // kGerenuk only. Shared (not unique) because a PlanCache entry and every
+  // live stage compiled from it co-own the same transformed program — the
+  // SerPlan's function table is keyed by this exact program's Function
+  // pointers, so the pair must travel together.
+  std::shared_ptr<const SerProgram> transformed;
   // Flat direct-threaded plan over `transformed` (kGerenuk with
   // EngineConfig::use_plan_compiler; null otherwise). Immutable after
   // compile; shared read-only across workers.
   std::shared_ptr<const SerPlan> plan;
   const Klass* in_klass = nullptr;
   const Klass* out_klass = nullptr;
+  // Canonical identity of this stage's SER (computed in both modes; the
+  // hash keys per-tenant abort-rate histories, the text keys the PlanCache).
+  ProgramSignature signature;
+  // True when `transformed`/`plan` came out of a PlanCache — the transform
+  // and CompilePlan were both skipped.
+  bool cache_hit = false;
 };
 
 struct CompiledFunction {
   std::unique_ptr<SerProgram> original;
-  std::unique_ptr<SerProgram> transformed;
+  std::shared_ptr<const SerProgram> transformed;  // see StagePrograms note
   std::shared_ptr<const SerPlan> plan;  // over `transformed`, may be null
   const Function* orig_fn = nullptr;
   const Function* fast_fn = nullptr;  // kGerenuk only
+  ProgramSignature signature;
+  bool cache_hit = false;
 };
 
 // Runs SER analysis + Algorithm 1 over `original`, accumulating compiler
@@ -59,17 +81,21 @@ std::unique_ptr<SerProgram> CompileSerProgram(const SerProgram& original,
                                               const DataStructAnalyzer& layouts,
                                               TransformStats* stats);
 
-// Builds and (in kGerenuk mode) compiles a fused narrow stage.
+// Builds and (in kGerenuk mode) compiles a fused narrow stage. With a
+// `cache`, a signature hit fills `transformed`/`plan`/`cache_hit` and skips
+// the transform entirely; the caller inserts on miss after compiling the
+// plan (the pool-fold + CompilePlan step lives in the engines).
 StagePrograms CompileNarrowStage(EngineMode mode, const DataStructAnalyzer& layouts,
                                  const Klass* in_klass, const SerProgram& udfs,
                                  const std::vector<NarrowOp>& ops, bool has_broadcast,
                                  const Klass* broadcast_klass, TransformStats* stats,
-                                 KlassRegistry& registry);
+                                 KlassRegistry& registry, PlanCache* cache = nullptr);
 
 // Imports and compiles one self-contained function (key/reduce/combine).
+// Same cache contract as CompileNarrowStage.
 CompiledFunction CompileSingleFunction(EngineMode mode, const DataStructAnalyzer& layouts,
                                        const SerProgram& udfs, const Function* fn,
-                                       TransformStats* stats);
+                                       TransformStats* stats, PlanCache* cache = nullptr);
 
 }  // namespace gerenuk
 

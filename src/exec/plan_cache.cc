@@ -1,0 +1,91 @@
+#include "src/exec/plan_cache.h"
+
+#include "src/exec/plan.h"
+#include "src/ir/ir.h"
+
+namespace gerenuk {
+
+size_t PlanCache::EstimateBytes(const std::string& key, const SerProgram* transformed,
+                                const SerPlan* plan) {
+  size_t bytes = key.size() + sizeof(Entry);
+  if (transformed != nullptr) {
+    bytes += sizeof(SerProgram);
+    for (const auto& fn : transformed->functions) {
+      bytes += sizeof(Function);
+      bytes += fn->body.size() * sizeof(Statement);
+      bytes += fn->vars.size() * sizeof(VarInfo);
+      bytes += fn->label_index.size() * sizeof(int);
+    }
+  }
+  if (plan != nullptr) {
+    bytes += sizeof(SerPlan);
+    bytes += static_cast<size_t>(plan->ops_total()) * sizeof(PlanOp);
+  }
+  return bytes;
+}
+
+bool PlanCache::Lookup(const ProgramSignature& sig, Entry* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(sig.text);
+  if (it == index_.end()) {
+    stats_.misses += 1;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  it->second = lru_.begin();
+  stats_.hits += 1;
+  if (out != nullptr) {
+    *out = it->second->second;
+  }
+  return true;
+}
+
+void PlanCache::Insert(const ProgramSignature& sig, Entry entry) {
+  if (!sig.valid()) {
+    return;
+  }
+  entry.bytes = EstimateBytes(sig.text, entry.transformed.get(), entry.plan.get());
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(sig.text);
+  if (it != index_.end()) {
+    stats_.bytes -= static_cast<int64_t>(it->second->second.bytes);
+    lru_.erase(it->second);
+    index_.erase(it);
+    stats_.entries -= 1;
+  }
+  stats_.bytes += static_cast<int64_t>(entry.bytes);
+  stats_.entries += 1;
+  stats_.insertions += 1;
+  lru_.emplace_front(sig.text, std::move(entry));
+  index_[sig.text] = lru_.begin();
+  EvictToBudgetLocked();
+}
+
+void PlanCache::EvictToBudgetLocked() {
+  // Never evict the entry just inserted (front): an oversized entry stays
+  // resident until the next insert displaces it, so a hot oversized program
+  // still caches between back-to-back submissions.
+  while (stats_.bytes > static_cast<int64_t>(budget_bytes_) && lru_.size() > 1) {
+    auto victim = std::prev(lru_.end());
+    stats_.bytes -= static_cast<int64_t>(victim->second.bytes);
+    stats_.entries -= 1;
+    stats_.evictions += 1;
+    index_.erase(victim->first);
+    lru_.erase(victim);
+  }
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  stats_.bytes = 0;
+  stats_.entries = 0;
+}
+
+}  // namespace gerenuk

@@ -26,6 +26,14 @@ bool EntryOrder(const BufferEntry& a, const BufferEntry& b) {
   return a.key < b.key;
 }
 
+// One validation gate for the whole config, crossed before any member that
+// consumes a knob (the heap, the scheduler) is built.
+const HadoopConfig& ValidatedHadoopConfig(const HadoopConfig& config) {
+  const std::string error = config.Validate();
+  GERENUK_CHECK(error.empty()) << "invalid HadoopConfig: " << error;
+  return config;
+}
+
 }  // namespace
 
 HadoopEngine::Segment::Segment(int partitions, MemoryTracker* tracker, EngineMode mode) {
@@ -42,30 +50,30 @@ HadoopEngine::Segment::Segment(int partitions, MemoryTracker* tracker, EngineMod
 }
 
 HadoopEngine::HadoopEngine(const HadoopConfig& config)
-    : config_(config),
-      heap_(std::make_unique<Heap>(HeapConfig{config.heap_bytes, config.gc, 0.55, 0.35, 2})),
+    : config_(ValidatedHadoopConfig(config)),
+      heap_(std::make_unique<Heap>(HeapConfig{config.engine.execution.heap_bytes, config.engine.execution.gc, 0.55, 0.35, 2})),
       wk_(std::make_unique<WellKnown>(*heap_)),
       kryo_(*heap_),
       inline_serde_(*heap_),
-      governor_(config.governor_abort_threshold, config.governor_min_tasks) {
+      governor_(config.engine.fault.governor_abort_threshold, config.engine.fault.governor_min_tasks) {
   heap_->set_memory_tracker(&memory_);
   // Worker heaps share the engine's class registry (see TaskScheduler); the
   // engine WellKnown above defines the well-known classes first.
   // Process executors apply to Gerenuk-mode stages only (baseline stages
   // mutate the shared engine heap and run serially in the driver).
   const bool process_mode =
-      config.process_executors && config.mode == EngineMode::kGerenuk;
+      config.engine.execution.process_executors && config.engine.execution.mode == EngineMode::kGerenuk;
   scheduler_ = std::make_unique<TaskScheduler>(
-      config.num_workers, HeapConfig{config.heap_bytes, config.gc, 0.55, 0.35, 2},
+      config.engine.execution.num_workers, HeapConfig{config.engine.execution.heap_bytes, config.engine.execution.gc, 0.55, 0.35, 2},
       &heap_->klasses(), &memory_, process_mode);
-  scheduler_->set_retry_policy(config.retry_policy());
+  scheduler_->set_retry_policy(config.engine.retry_policy());
   ExecutorSupervisorConfig supervision;
-  supervision.heartbeat_ms = config.executor_heartbeat_ms;
-  supervision.heartbeat_timeout_ms = config.executor_heartbeat_timeout_ms;
-  supervision.max_executor_relaunches = config.max_executor_relaunches;
+  supervision.heartbeat_ms = config.engine.execution.executor_heartbeat_ms;
+  supervision.heartbeat_timeout_ms = config.engine.execution.executor_heartbeat_timeout_ms;
+  supervision.max_executor_relaunches = config.engine.execution.max_executor_relaunches;
   scheduler_->set_supervisor_config(supervision);
-  if (config.trace) {
-    trace_ = std::make_unique<Trace>(scheduler_->num_workers(), config.trace_buffer_events);
+  if (config.engine.observability.trace) {
+    trace_ = std::make_unique<Trace>(scheduler_->num_workers(), config.engine.observability.trace_buffer_events);
     scheduler_->set_trace(trace_.get());
     // Driver-side GC (sources, baseline phases, Yak epochs) reports into
     // the driver's direct sink.
@@ -86,8 +94,8 @@ void HadoopEngine::RegisterDataType(const Klass* klass) {
 
 DatasetPtr HadoopEngine::Source(const Klass* klass, int64_t count,
                                 const std::function<ObjRef(int64_t, RootScope&)>& make) {
-  DatasetPtr ds = MakeSourceDataset(*heap_, inline_serde_, &memory_, config_.mode, klass,
-                                    config_.num_partitions, count, make);
+  DatasetPtr ds = MakeSourceDataset(*heap_, inline_serde_, &memory_, config_.engine.execution.mode, klass,
+                                    config_.engine.execution.num_partitions, count, make);
   // Seal committed inputs so map tasks verify integrity at stage input.
   for (NativePartition& part : ds->native_parts) {
     part.Seal();
@@ -115,30 +123,54 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
                                 const KeySpec& key, const Function* reduce_fn,
                                 const Function* combiner_fn) {
   const int reducers = config_.num_reducers;
+  // See SparkEngine::CompileStage: the cache is consulted only when the plan
+  // compiler is on, and entries carry (transformed, plan) as a unit.
+  PlanCache* cache = config_.engine.execution.use_plan_compiler ? plan_cache_ : nullptr;
   StagePrograms map_stage =
-      CompileNarrowStage(config_.mode, layouts_, input->klass, udfs,
+      CompileNarrowStage(config_.engine.execution.mode, layouts_, input->klass, udfs,
                          {NarrowOp::FlatMap(map_fn, out_klass)}, false, nullptr,
-                         &stats_.transform, heap_->klasses());
-  CompiledFunction key_c = CompileSingleFunction(config_.mode, layouts_, udfs, key.fn,
-                                                 &stats_.transform);
-  CompiledFunction reduce_c = CompileSingleFunction(config_.mode, layouts_, udfs, reduce_fn,
-                                                    &stats_.transform);
+                         &stats_.transform, heap_->klasses(), cache);
+  CompiledFunction key_c = CompileSingleFunction(config_.engine.execution.mode, layouts_, udfs,
+                                                 key.fn, &stats_.transform, cache);
+  CompiledFunction reduce_c = CompileSingleFunction(config_.engine.execution.mode, layouts_,
+                                                    udfs, reduce_fn, &stats_.transform, cache);
   CompiledFunction combine_c;
   if (combiner_fn != nullptr) {
-    combine_c = CompileSingleFunction(config_.mode, layouts_, udfs, combiner_fn,
-                                      &stats_.transform);
+    combine_c = CompileSingleFunction(config_.engine.execution.mode, layouts_, udfs,
+                                      combiner_fn, &stats_.transform, cache);
   }
-  if (config_.mode == EngineMode::kGerenuk && config_.use_plan_compiler) {
+  if (config_.engine.execution.mode == EngineMode::kGerenuk &&
+      config_.engine.execution.use_plan_compiler) {
     // Transformation may have grown the offset-expression pool; fold before
     // lowering so now-constant expressions become plan immediates.
     pool_.FoldConstants();
-    map_stage.plan = CompilePlan(*map_stage.transformed, layouts_);
-    key_c.plan = CompilePlan(*key_c.transformed, layouts_);
-    reduce_c.plan = CompilePlan(*reduce_c.transformed, layouts_);
-    stats_.plans_compiled += 3;
-    if (combiner_fn != nullptr) {
-      combine_c.plan = CompilePlan(*combine_c.transformed, layouts_);
+    auto stage_plan = [&](StagePrograms* stage) {
+      if (stage->cache_hit) {
+        stats_.plan_cache_hits += 1;
+        return;
+      }
+      stage->plan = CompilePlan(*stage->transformed, layouts_);
       stats_.plans_compiled += 1;
+      if (cache != nullptr) {
+        cache->Insert(stage->signature, {stage->transformed, stage->plan, nullptr, 0});
+      }
+    };
+    auto fn_plan = [&](CompiledFunction* fn) {
+      if (fn->cache_hit) {
+        stats_.plan_cache_hits += 1;
+        return;
+      }
+      fn->plan = CompilePlan(*fn->transformed, layouts_);
+      stats_.plans_compiled += 1;
+      if (cache != nullptr) {
+        cache->Insert(fn->signature, {fn->transformed, fn->plan, fn->fast_fn, 0});
+      }
+    };
+    stage_plan(&map_stage);
+    fn_plan(&key_c);
+    fn_plan(&reduce_c);
+    if (combiner_fn != nullptr) {
+      fn_plan(&combine_c);
     }
   }
 
@@ -150,15 +182,15 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
   // -------------------------------------------------------------------------
   // One map task per input split: chained jobs feed a previous job's output
   // in, whose partition count is the previous reducer count.
-  int map_tasks = config_.mode == EngineMode::kBaseline
+  int map_tasks = config_.engine.execution.mode == EngineMode::kBaseline
                       ? static_cast<int>(input->heap_parts.size())
                       : static_cast<int>(input->native_parts.size());
 
-  bool epochs = config_.yak_epochs && config_.mode == EngineMode::kBaseline;
+  bool epochs = config_.yak_epochs && config_.engine.execution.mode == EngineMode::kBaseline;
   const int64_t map_base = ClaimTaskOrdinals(map_tasks);
   const FaultPlan* faults = fault_plan_.empty() ? nullptr : &fault_plan_;
 
-  if (config_.mode == EngineMode::kBaseline) {
+  if (config_.engine.execution.mode == EngineMode::kBaseline) {
     TraceSpan map_span(DriverSink(), TraceEventType::kStage, "map");
     scheduler_->RunStageSerial(
         map_tasks,
@@ -184,7 +216,7 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
             }
             ctx.stats().spills += 1;
             std::sort(entries.begin(), entries.end(), EntryOrder);
-            Segment segment(reducers, &memory_, config_.mode);
+            Segment segment(reducers, &memory_, config_.engine.execution.mode);
             size_t i = 0;
             while (i < entries.size()) {
               size_t j = i + 1;
@@ -274,7 +306,7 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
     // worker pool; each task spills into its own segment list (the analogue
     // of per-task map output files), merged in task order at the barrier so
     // the reduce input is identical for every worker count.
-    const bool map_speculate = governor_.ShouldSpeculate();
+    const bool map_speculate = ShouldSpeculateFor(map_stage.signature.hash);
     const int map_aborts_before = stats_.aborts;
     std::vector<std::vector<Segment>> task_segments(static_cast<size_t>(map_tasks));
     // Process-mode wire codec: a map task's output is its ordered segment
@@ -340,7 +372,7 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
         uint32_t num_segments = in->ReadU32();
         for (uint32_t s = 0; s < num_segments; ++s) {
           require(in->remaining() >= 4);  // a segment is at least one key count
-          Segment segment(reducers, &memory_, config_.mode);
+          Segment segment(reducers, &memory_, config_.engine.execution.mode);
           for (int r = 0; r < reducers; ++r) {
             require(in->remaining() >= 4);
             uint32_t num_keys = in->ReadU32();
@@ -383,7 +415,7 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
             }
             ctx.stats().spills += 1;
             std::sort(entries.begin(), entries.end(), EntryOrder);
-            Segment segment(reducers, &memory_, config_.mode);
+            Segment segment(reducers, &memory_, config_.engine.execution.mode);
             BuilderStore builders(layouts_);
             std::unique_ptr<SerRunner> combine_runner = MakeFastRunner(
                 combiner_fn != nullptr ? combine_c.plan.get() : key_c.plan.get(),
@@ -455,9 +487,9 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
           io.attempt = ctx.attempt();
           io.cancelled = [&ctx] { return ctx.cancelled(); };
           io.trace = ctx.trace_sink();
-          if (config_.plan_profile_stride > 0) {
+          if (config_.engine.observability.plan_profile_stride > 0) {
             io.plan_profile = &ctx.stats().plan_ops;
-            io.plan_profile_stride = config_.plan_profile_stride;
+            io.plan_profile_stride = config_.engine.observability.plan_profile_stride;
           }
           io.plan = map_stage.plan.get();
           if (key_c.plan != nullptr) {
@@ -549,7 +581,7 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
         },
         &stats_, &map_codec);
     if (map_speculate) {
-      ObserveSpeculation(map_tasks, stats_.aborts - map_aborts_before);
+      ObserveSpeculation(map_stage.signature.hash, map_tasks, stats_.aborts - map_aborts_before);
     }
     for (auto& list : task_segments) {
       for (Segment& segment : list) {
@@ -588,7 +620,7 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
     return ref.segment->keys[static_cast<size_t>(r)][ref.index];
   };
 
-  if (config_.mode == EngineMode::kBaseline) {
+  if (config_.engine.execution.mode == EngineMode::kBaseline) {
     TraceSpan reduce_span(DriverSink(), TraceEventType::kStage, "reduce");
     scheduler_->RunStageSerial(
         reducers,
@@ -649,7 +681,7 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
   }
 
   // Gerenuk reduce: one task per reducer, fanned out to the worker pool.
-  const bool reduce_speculate = governor_.ShouldSpeculate();
+  const bool reduce_speculate = ShouldSpeculateFor(reduce_c.signature.hash);
   const int reduce_aborts_before = stats_.aborts;
   // Process-mode wire codec: a reduce task commits one sealed output
   // partition; its shuffle-wire bytes (seal included) ship back whole.
@@ -752,7 +784,7 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
       },
       &stats_, &reduce_codec);
   if (reduce_speculate) {
-    ObserveSpeculation(reducers, stats_.aborts - reduce_aborts_before);
+    ObserveSpeculation(reduce_c.signature.hash, reducers, stats_.aborts - reduce_aborts_before);
   }
   return out;
 }

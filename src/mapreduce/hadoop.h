@@ -30,15 +30,29 @@
 
 namespace gerenuk {
 
-// The mini-Hadoop extends the shared knobs; `num_partitions` is the number
-// of map tasks (input splits).
-struct HadoopConfig : EngineConfig {
+// The mini-Hadoop composes the shared knobs (`engine`) with its own;
+// `engine.execution.num_partitions` is the number of map tasks (input
+// splits). Composition — not inheritance — so brace-init stays unambiguous
+// and the grouped sub-structs of EngineConfig nest cleanly.
+struct HadoopConfig {
+  EngineConfig engine;
   int num_reducers = 2;
   size_t sort_buffer_bytes = 1u << 20;  // spill threshold
   // Yak comparison (Figure 9): with gc == GcKind::kRegion, wrap every map
   // and reduce task in an epoch (the paper's epoch_start in setup() /
   // epoch_end in cleanup() annotation). Baseline mode only.
   bool yak_epochs = false;
+
+  // Checks the engine knobs plus the Hadoop-specific ones.
+  std::string Validate() const {
+    if (num_reducers < 1) {
+      return "num_reducers must be >= 1 (got " + std::to_string(num_reducers) + ")";
+    }
+    if (sort_buffer_bytes == 0) {
+      return "sort_buffer_bytes must be non-zero: every emit would spill";
+    }
+    return engine.Validate();
+  }
 };
 
 class HadoopEngine {
@@ -48,7 +62,7 @@ class HadoopEngine {
 
   Heap& heap() { return *heap_; }
   WellKnown& wk() { return *wk_; }
-  EngineMode mode() const { return config_.mode; }
+  EngineMode mode() const { return config_.engine.execution.mode; }
 
   void RegisterDataType(const Klass* klass);
   const DataStructAnalyzer& layouts() const { return layouts_; }
@@ -86,6 +100,12 @@ class HadoopEngine {
   // (see src/exec/fault.h): both the map and reduce phases consult it.
   const SpeculationGovernor& governor() const { return governor_; }
 
+  // Service-mode hooks, shared semantics with SparkEngine: install only
+  // while the engine is idle.
+  void set_plan_cache(PlanCache* cache) { plan_cache_ = cache; }
+  PlanCache* plan_cache() const { return plan_cache_; }
+  void set_speculation_oracle(SpeculationOracle oracle) { oracle_ = std::move(oracle); }
+
  private:
   // One spilled, sorted map-output segment. Per reducer partition: records
   // in key order. Baseline keeps Kryo bytes; Gerenuk keeps native records.
@@ -117,14 +137,29 @@ class HadoopEngine {
   EngineStats stats_;
   FaultPlan fault_plan_;
   SpeculationGovernor governor_;
+  SpeculationOracle oracle_;
+  PlanCache* plan_cache_ = nullptr;  // not owned; null outside service mode
   int64_t task_seq_ = 0;
 
   // Driver-side sink for phase spans (null when tracing is off).
   TraceSink* DriverSink() const { return trace_ != nullptr ? trace_->driver() : nullptr; }
 
-  void ObserveSpeculation(int tasks, int aborts_delta) {
+  bool ShouldSpeculateFor(uint64_t signature_hash) const {
+    if (!governor_.ShouldSpeculate()) {
+      return false;
+    }
+    if (oracle_.should_speculate != nullptr && !oracle_.should_speculate(signature_hash)) {
+      return false;
+    }
+    return true;
+  }
+
+  void ObserveSpeculation(uint64_t signature_hash, int tasks, int aborts_delta) {
     if (governor_.Observe(tasks, aborts_delta)) {
       stats_.governor_flips += 1;
+    }
+    if (oracle_.observe != nullptr) {
+      oracle_.observe(signature_hash, tasks, aborts_delta);
     }
   }
 };

@@ -1,0 +1,85 @@
+#include "src/service/admission.h"
+
+#include <utility>
+
+namespace gerenuk {
+
+bool AdmissionController::Submit(QueuedJob job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ || depth_ >= max_depth_) {
+      stats_.rejected += 1;
+      return false;
+    }
+    TenantQueue& queue = tenants_[job.tenant];
+    if (static_cast<int>(queue.jobs.size()) >= max_depth_per_tenant_) {
+      stats_.rejected += 1;
+      return false;
+    }
+    if (queue.jobs.empty()) {
+      ring_.push_back(job.tenant);
+    }
+    queue.jobs.push_back(std::move(job));
+    depth_ += 1;
+    stats_.submitted += 1;
+  }
+  cv_.notify_one();
+  return true;
+}
+
+bool AdmissionController::Next(QueuedJob* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return depth_ > 0 || shutdown_; });
+  if (depth_ == 0) {
+    return false;  // shut down and drained
+  }
+  // DRR scan. Terminates: every full rotation of the ring adds `quantum_`
+  // to each resident tenant's deficit, so some head job's cost is
+  // eventually covered.
+  for (;;) {
+    const std::string tenant = ring_.front();
+    TenantQueue& queue = tenants_[tenant];
+    if (!queue.granted) {
+      queue.deficit += quantum_;
+      queue.granted = true;
+    }
+    if (queue.deficit < queue.jobs.front().spec.cost) {
+      // Deficit exhausted for this visit: rotate, banking the remainder.
+      queue.granted = false;
+      ring_.pop_front();
+      ring_.push_back(tenant);
+      continue;
+    }
+    *out = std::move(queue.jobs.front());
+    queue.jobs.pop_front();
+    queue.deficit -= out->spec.cost;
+    depth_ -= 1;
+    stats_.dispatched += 1;
+    if (queue.jobs.empty()) {
+      queue.deficit = 0;  // an idle tenant must not bank credit
+      queue.granted = false;
+      ring_.pop_front();
+    }
+    return true;
+  }
+}
+
+void AdmissionController::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+int AdmissionController::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return depth_;
+}
+
+}  // namespace gerenuk

@@ -1,0 +1,83 @@
+// Admission control for the multi-tenant engine service: bounded queue
+// depth (global and per tenant) with deficit-round-robin (DRR) fair-share
+// dispatch across tenants.
+//
+// Submit never blocks: a job that would exceed either depth bound is
+// rejected synchronously (the caller resolves its handle to kRejected).
+// Next blocks dispatcher threads until a job is dispatchable; after
+// Shutdown it drains the backlog and then returns false.
+//
+// DRR (Shreedhar & Varghese): tenants with pending jobs sit in a round-robin
+// ring; a tenant at the head earns `quantum` deficit per visit and dispatches
+// jobs while its deficit covers the head job's cost. Costs are abstract
+// units (JobSpec::cost); with equal costs and a saturated queue every tenant
+// completes within one quantum of its neighbors — the fairness-spread bound
+// the service tests assert.
+#ifndef SRC_SERVICE_ADMISSION_H_
+#define SRC_SERVICE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "src/service/job.h"
+
+namespace gerenuk {
+
+class AdmissionController {
+ public:
+  struct Stats {
+    int64_t submitted = 0;   // accepted into the queue
+    int64_t rejected = 0;    // refused at Submit (depth bound or shutdown)
+    int64_t dispatched = 0;  // handed to a dispatcher via Next
+  };
+
+  AdmissionController(int max_queue_depth, int max_queue_depth_per_tenant, int64_t drr_quantum)
+      : max_depth_(max_queue_depth),
+        max_depth_per_tenant_(max_queue_depth_per_tenant),
+        quantum_(drr_quantum) {}
+
+  // Enqueues the job unless the global or per-tenant depth bound is hit or
+  // the controller is shut down; returns false (job dropped) in those cases.
+  bool Submit(QueuedJob job);
+
+  // Blocks until a job is dispatchable and moves it into `*out`. Returns
+  // false only when shut down AND drained — dispatcher threads exit on it.
+  bool Next(QueuedJob* out);
+
+  // Stops accepting new jobs; queued jobs still drain through Next.
+  void Shutdown();
+
+  Stats stats() const;
+  int depth() const;
+
+ private:
+  struct TenantQueue {
+    std::deque<QueuedJob> jobs;
+    int64_t deficit = 0;  // earned DRR credit, reset when the queue empties
+    // Whether the quantum for the current head-of-ring visit has been
+    // granted. Without this a tenant parked at the head would earn a fresh
+    // quantum on every Next() call and starve the ring behind it.
+    bool granted = false;
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  const int max_depth_;
+  const int max_depth_per_tenant_;
+  const int64_t quantum_;
+  // Tenant in ring_ <=> its queue is non-empty. Ring order is round-robin:
+  // a tenant whose deficit cannot cover its head job rotates to the back.
+  std::map<std::string, TenantQueue> tenants_;
+  std::deque<std::string> ring_;
+  int depth_ = 0;
+  bool shutdown_ = false;
+  Stats stats_;
+};
+
+}  // namespace gerenuk
+
+#endif  // SRC_SERVICE_ADMISSION_H_

@@ -1,0 +1,300 @@
+#include "src/service/engine_service.h"
+
+#include <chrono>
+#include <exception>
+#include <string>
+#include <utility>
+
+#include "src/support/logging.h"
+
+namespace gerenuk {
+
+namespace {
+
+int64_t NanosBetween(std::chrono::steady_clock::time_point from,
+                     std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count();
+}
+
+const ServiceConfig& ValidatedServiceConfig(const ServiceConfig& config) {
+  const std::string error = config.Validate();
+  GERENUK_CHECK(error.empty()) << "invalid ServiceConfig: " << error;
+  return config;
+}
+
+}  // namespace
+
+std::string ServiceConfig::Validate() const {
+  if (num_engines < 1) {
+    return "num_engines must be >= 1 (got " + std::to_string(num_engines) + ")";
+  }
+  if (max_queue_depth < 1) {
+    return "max_queue_depth must be >= 1 (got " + std::to_string(max_queue_depth) + ")";
+  }
+  if (max_queue_depth_per_tenant < 1 || max_queue_depth_per_tenant > max_queue_depth) {
+    return "max_queue_depth_per_tenant must be in [1, max_queue_depth] (got " +
+           std::to_string(max_queue_depth_per_tenant) + " with max_queue_depth " +
+           std::to_string(max_queue_depth) + ")";
+  }
+  if (drr_quantum < 1) {
+    return "drr_quantum must be >= 1 (got " + std::to_string(drr_quantum) + ")";
+  }
+  if (plan_cache_budget_bytes == 0) {
+    return "plan_cache_budget_bytes must be non-zero: every insert would thrash";
+  }
+  if (engine.execution.process_executors) {
+    return "process_executors is incompatible with service mode: dispatcher "
+           "threads cannot fork executor processes safely";
+  }
+  if (hadoop_num_reducers < 1) {
+    return "hadoop_num_reducers must be >= 1 (got " + std::to_string(hadoop_num_reducers) + ")";
+  }
+  if (hadoop_sort_buffer_bytes == 0) {
+    return "hadoop_sort_buffer_bytes must be non-zero: every emit would spill";
+  }
+  return engine.Validate();
+}
+
+EngineService::EngineService(const ServiceConfig& config)
+    : config_(ValidatedServiceConfig(config)),
+      admission_(config_.max_queue_depth, config_.max_queue_depth_per_tenant,
+                 config_.drr_quantum) {
+  // The pooled engines run with the engine-wide governor disabled; the
+  // per-tenant oracle (fed from config_.engine.fault.governor_*) replaces it.
+  EngineConfig pooled = config_.engine;
+  pooled.fault.governor_abort_threshold = -1.0;
+  HadoopConfig pooled_hadoop;
+  pooled_hadoop.engine = pooled;
+  pooled_hadoop.num_reducers = config_.hadoop_num_reducers;
+  pooled_hadoop.sort_buffer_bytes = config_.hadoop_sort_buffer_bytes;
+
+  slots_.reserve(static_cast<size_t>(config_.num_engines));
+  for (int i = 0; i < config_.num_engines; ++i) {
+    auto slot = std::make_unique<EngineSlot>(config_.plan_cache_budget_bytes);
+    slot->spark = std::make_unique<SparkEngine>(pooled);
+    slot->hadoop = std::make_unique<HadoopEngine>(pooled_hadoop);
+    slot->spark->set_plan_cache(&slot->spark_cache);
+    slot->hadoop->set_plan_cache(&slot->hadoop_cache);
+    slot->ctx.spark = slot->spark.get();
+    slot->ctx.hadoop = slot->hadoop.get();
+    slot->ctx.slot = i;
+    if (config_.setup != nullptr) {
+      // Setup runs on this thread before the dispatcher exists; the thread
+      // start below publishes its effects to the dispatcher.
+      slot->ctx.setup = config_.setup(slot->ctx);
+    }
+    slots_.push_back(std::move(slot));
+  }
+  for (auto& slot : slots_) {
+    slot->dispatcher = std::thread(&EngineService::DispatchLoop, this, slot.get());
+  }
+}
+
+EngineService::~EngineService() { Shutdown(); }
+
+void EngineService::Shutdown() {
+  if (shut_down_.exchange(true)) {
+    return;
+  }
+  admission_.Shutdown();
+  for (auto& slot : slots_) {
+    if (slot->dispatcher.joinable()) {
+      slot->dispatcher.join();
+    }
+  }
+}
+
+JobHandle EngineService::Submit(const std::string& tenant, JobSpec spec) {
+  auto state = std::make_shared<internal::JobState>();
+  state->id = next_job_id_.fetch_add(1, std::memory_order_relaxed);
+  QueuedJob job;
+  job.tenant = tenant;
+  job.spec = std::move(spec);
+  job.state = state;
+  job.enqueued = std::chrono::steady_clock::now();
+  if (!admission_.Submit(std::move(job))) {
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->result.status = JobStatus::kRejected;
+      state->result.error = "admission refused: queue depth bound hit or service shut down";
+    }
+    state->cv.notify_all();
+  }
+  return JobHandle(std::move(state));
+}
+
+void EngineService::DispatchLoop(EngineSlot* slot) {
+  QueuedJob job;
+  while (admission_.Next(&job)) {
+    RunOne(slot, &job);
+    job = QueuedJob();  // drop the body + handle reference before blocking
+  }
+}
+
+void EngineService::RunOne(EngineSlot* slot, QueuedJob* job) {
+  const auto started = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(job->state->mu);
+    job->state->result.status = JobStatus::kRunning;
+  }
+  job->state->cv.notify_all();
+
+  // Per-job scoping: metrics (and the merged trace, when tracing) restart
+  // from zero so the snapshot after the body is this job's delta.
+  slot->spark->ResetMetrics();
+  slot->hadoop->ResetMetrics();
+  if (slot->spark->trace() != nullptr) {
+    slot->spark->trace()->ResetMerged();
+  }
+  if (slot->hadoop->trace() != nullptr) {
+    slot->hadoop->trace()->ResetMerged();
+  }
+  InstallOracle(slot, job->tenant);
+
+  std::string output;
+  std::string error;
+  bool ok = true;
+  if (job->spec.run == nullptr) {
+    ok = false;
+    error = "job has no body";
+  } else {
+    try {
+      output = job->spec.run(slot->ctx);
+    } catch (const std::exception& e) {
+      ok = false;
+      error = e.what();
+    } catch (...) {
+      ok = false;
+      error = "job body threw a non-exception value";
+    }
+  }
+  const auto finished = std::chrono::steady_clock::now();
+
+  EngineStats stats = slot->spark->stats();
+  stats += slot->hadoop->stats();
+  const int64_t queue_wait_ns = NanosBetween(job->enqueued, started);
+  const int64_t exec_ns = NanosBetween(started, finished);
+
+  {
+    std::lock_guard<std::mutex> lock(tenants_mu_);
+    TenantState& tenant = tenants_[job->tenant];
+    tenant.jobs_completed += 1;
+    stats.ExportTo(&tenant.registry);
+    tenant.registry.Counter(ok ? "jobs_succeeded" : "jobs_failed") += 1;
+    tenant.registry.Hist("job_queue_wait", MetricUnit::kNanos).Record(queue_wait_ns);
+    tenant.registry.Hist("job_exec", MetricUnit::kNanos).Record(exec_ns);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(job->state->mu);
+    JobResult& result = job->state->result;
+    result.status = ok ? JobStatus::kSucceeded : JobStatus::kFailed;
+    result.output = std::move(output);
+    result.error = std::move(error);
+    result.stats = stats;
+    result.queue_wait_ns = queue_wait_ns;
+    result.exec_ns = exec_ns;
+  }
+  job->state->cv.notify_all();
+}
+
+void EngineService::InstallOracle(EngineSlot* slot, const std::string& tenant) {
+  SpeculationOracle oracle;
+  oracle.should_speculate = [this, tenant](uint64_t signature_hash) {
+    return TenantShouldSpeculate(tenant, signature_hash);
+  };
+  oracle.observe = [this, tenant](uint64_t signature_hash, int tasks, int aborts) {
+    TenantObserve(tenant, signature_hash, tasks, aborts);
+  };
+  slot->spark->set_speculation_oracle(oracle);
+  slot->hadoop->set_speculation_oracle(std::move(oracle));
+}
+
+bool EngineService::TenantShouldSpeculate(const std::string& tenant,
+                                          uint64_t signature_hash) const {
+  const double threshold = config_.engine.fault.governor_abort_threshold;
+  if (threshold <= 0.0) {
+    return true;  // oracle disabled; history still accumulates
+  }
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  auto tenant_it = tenants_.find(tenant);
+  if (tenant_it == tenants_.end()) {
+    return true;
+  }
+  auto history_it = tenant_it->second.speculation.find(signature_hash);
+  if (history_it == tenant_it->second.speculation.end()) {
+    return true;
+  }
+  const auto [tasks, aborts] = history_it->second;
+  if (tasks < config_.engine.fault.governor_min_tasks) {
+    return true;
+  }
+  return static_cast<double>(aborts) < threshold * static_cast<double>(tasks);
+}
+
+void EngineService::TenantObserve(const std::string& tenant, uint64_t signature_hash,
+                                  int tasks, int aborts) {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  auto& entry = tenants_[tenant].speculation[signature_hash];
+  entry.first += tasks;
+  entry.second += aborts;
+}
+
+MetricsRegistry EngineService::metrics() const {
+  MetricsRegistry out;
+  const AdmissionController::Stats admission = admission_.stats();
+  out.Counter("service.jobs_submitted") = admission.submitted;
+  out.Counter("service.jobs_rejected") = admission.rejected;
+  out.Counter("service.jobs_dispatched") = admission.dispatched;
+  const PlanCache::Stats cache = plan_cache_stats();
+  out.Counter("service.plan_cache.hits") = cache.hits;
+  out.Counter("service.plan_cache.misses") = cache.misses;
+  out.Counter("service.plan_cache.evictions") = cache.evictions;
+  out.Counter("service.plan_cache.insertions") = cache.insertions;
+  out.Counter("service.plan_cache.bytes") = cache.bytes;
+  out.Counter("service.plan_cache.entries") = cache.entries;
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  for (const auto& [name, tenant] : tenants_) {
+    const std::string prefix = "tenant." + name + ".";
+    out.Counter(prefix + "jobs_completed") = tenant.jobs_completed;
+    out.MergeWithPrefix(prefix, tenant.registry);
+  }
+  return out;
+}
+
+PlanCache::Stats EngineService::plan_cache_stats() const {
+  PlanCache::Stats total;
+  for (const auto& slot : slots_) {
+    for (const PlanCache* cache : {&slot->spark_cache, &slot->hadoop_cache}) {
+      const PlanCache::Stats s = cache->stats();
+      total.hits += s.hits;
+      total.misses += s.misses;
+      total.evictions += s.evictions;
+      total.insertions += s.insertions;
+      total.bytes += s.bytes;
+      total.entries += s.entries;
+    }
+  }
+  return total;
+}
+
+AdmissionController::Stats EngineService::admission_stats() const { return admission_.stats(); }
+
+MetricsRegistry EngineService::TenantMetrics(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    return MetricsRegistry();
+  }
+  MetricsRegistry out = it->second.registry;
+  out.Counter("jobs_completed") = it->second.jobs_completed;
+  return out;
+}
+
+int64_t EngineService::TenantJobsCompleted(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  auto it = tenants_.find(tenant);
+  return it != tenants_.end() ? it->second.jobs_completed : 0;
+}
+
+}  // namespace gerenuk

@@ -1,0 +1,175 @@
+// Multi-tenant service mode: one EngineService owns a pool of engines and
+// accepts jobs from many concurrent clients.
+//
+//   EngineService service(config);
+//   Session alice = service.CreateSession("alice");
+//   JobHandle h = alice.Submit({"wordcount", /*cost=*/1, body});
+//   const JobResult& r = h.wait();   // r.output, r.stats, ...
+//
+// Architecture (see DESIGN.md "Service mode & plan cache"):
+//   * Every engine slot pairs a SparkEngine and a HadoopEngine with their
+//     own signature-keyed PlanCaches (cached artifacts hold engine-local
+//     pointers, so caches never cross engines) and one dispatcher thread.
+//   * Submissions flow through the AdmissionController: bounded global and
+//     per-tenant queue depth, DRR fair-share dispatch across tenants.
+//   * Per-job scoping: the dispatcher resets the slot's engine metrics (and
+//     merged trace, when tracing) before each body runs, so JobResult.stats
+//     is this job's delta; the deltas also accumulate into the tenant's
+//     MetricsRegistry, surfaced namespaced ("tenant.<id>.*") by metrics().
+//   * Speculation is governed per tenant per SER: the service keeps an
+//     abort-rate history keyed by (tenant, signature hash) and installs a
+//     SpeculationOracle on the slot's engines before each job. The pooled
+//     engines run with their own engine-wide governor disabled — otherwise
+//     one tenant's hostile inputs would flip speculation off for everyone.
+#ifndef SRC_SERVICE_ENGINE_SERVICE_H_
+#define SRC_SERVICE_ENGINE_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/dataflow/spark.h"
+#include "src/exec/plan_cache.h"
+#include "src/mapreduce/hadoop.h"
+#include "src/service/admission.h"
+#include "src/service/job.h"
+
+namespace gerenuk {
+
+// Runs once per engine slot, before its dispatcher starts: register data
+// types, build SER programs, and return a payload handed to every job that
+// runs on the slot (EngineContext::setup).
+using EngineSetup = std::function<std::shared_ptr<void>(EngineContext&)>;
+
+struct ServiceConfig {
+  // Template for every pooled engine. The service forces the engine-wide
+  // speculation governor off on the pooled copies; `fault.governor_*` here
+  // configures the per-tenant-per-SER oracle instead.
+  EngineConfig engine;
+  // Mini-Hadoop knobs of the pooled HadoopEngines (their `.engine` is the
+  // template above).
+  int hadoop_num_reducers = 2;
+  size_t hadoop_sort_buffer_bytes = 1u << 20;
+  // Pool size: engine slots, one dispatcher thread each.
+  int num_engines = 2;
+  // Admission bounds + DRR quantum (see admission.h).
+  int max_queue_depth = 256;
+  int max_queue_depth_per_tenant = 64;
+  int64_t drr_quantum = 4;
+  // Per-cache byte budget; each slot owns two caches (Spark + Hadoop).
+  size_t plan_cache_budget_bytes = 64u << 20;
+  // Optional per-slot setup (klasses + SER programs built once per engine).
+  EngineSetup setup;
+
+  // Returns "" when valid, otherwise a descriptive one-line error.
+  std::string Validate() const;
+};
+
+class Session;
+
+class EngineService {
+ public:
+  // Validates `config` (GERENUK_CHECK on error), builds the pool, runs
+  // `config.setup` on every slot, and starts the dispatchers.
+  explicit EngineService(const ServiceConfig& config);
+  ~EngineService();  // Shutdown() + join
+
+  EngineService(const EngineService&) = delete;
+  EngineService& operator=(const EngineService&) = delete;
+
+  // Sessions are lightweight per-tenant handles; any number may share a
+  // tenant id. The service must outlive every session.
+  Session CreateSession(const std::string& tenant);
+
+  // Thread-safe; callable from any number of client threads. Returns a
+  // handle already resolved to kRejected when admission refuses the job.
+  JobHandle Submit(const std::string& tenant, JobSpec spec);
+
+  // Stops admission, drains the queue, joins the dispatchers. Idempotent;
+  // also run by the destructor.
+  void Shutdown();
+
+  // Admission counters + pool-wide plan-cache stats + every tenant's
+  // registry namespaced under "tenant.<id>.".
+  MetricsRegistry metrics() const;
+
+  // Aggregated over every slot's two caches.
+  PlanCache::Stats plan_cache_stats() const;
+  AdmissionController::Stats admission_stats() const;
+
+  // Snapshot of one tenant's scoped registry (empty if never seen).
+  MetricsRegistry TenantMetrics(const std::string& tenant) const;
+  int64_t TenantJobsCompleted(const std::string& tenant) const;
+
+  int num_engines() const { return static_cast<int>(slots_.size()); }
+
+ private:
+  struct EngineSlot {
+    explicit EngineSlot(size_t cache_budget_bytes)
+        : spark_cache(cache_budget_bytes), hadoop_cache(cache_budget_bytes) {}
+    PlanCache spark_cache;
+    PlanCache hadoop_cache;
+    std::unique_ptr<SparkEngine> spark;
+    std::unique_ptr<HadoopEngine> hadoop;
+    EngineContext ctx;
+    std::thread dispatcher;
+  };
+
+  struct TenantState {
+    MetricsRegistry registry;
+    int64_t jobs_completed = 0;
+    // signature hash -> (speculative tasks, aborts): the per-tenant-per-SER
+    // generalization of SpeculationGovernor's engine-wide counters.
+    std::unordered_map<uint64_t, std::pair<int64_t, int64_t>> speculation;
+  };
+
+  void DispatchLoop(EngineSlot* slot);
+  void RunOne(EngineSlot* slot, QueuedJob* job);
+  void InstallOracle(EngineSlot* slot, const std::string& tenant);
+  bool TenantShouldSpeculate(const std::string& tenant, uint64_t signature_hash) const;
+  void TenantObserve(const std::string& tenant, uint64_t signature_hash, int tasks, int aborts);
+
+  const ServiceConfig config_;
+  AdmissionController admission_;
+  std::vector<std::unique_ptr<EngineSlot>> slots_;
+  std::atomic<uint64_t> next_job_id_{1};
+  std::atomic<bool> shut_down_{false};
+
+  mutable std::mutex tenants_mu_;
+  std::map<std::string, TenantState> tenants_;
+};
+
+// Per-tenant handle: tags every Submit with the tenant id and scopes
+// metrics reads to it. Copyable.
+class Session {
+ public:
+  Session() = default;
+
+  const std::string& tenant() const { return tenant_; }
+  JobHandle Submit(JobSpec spec) { return service_->Submit(tenant_, std::move(spec)); }
+  MetricsRegistry metrics() const { return service_->TenantMetrics(tenant_); }
+  int64_t jobs_completed() const { return service_->TenantJobsCompleted(tenant_); }
+
+ private:
+  friend class EngineService;
+  Session(EngineService* service, std::string tenant)
+      : service_(service), tenant_(std::move(tenant)) {}
+
+  EngineService* service_ = nullptr;
+  std::string tenant_;
+};
+
+inline Session EngineService::CreateSession(const std::string& tenant) {
+  return Session(this, tenant);
+}
+
+}  // namespace gerenuk
+
+#endif  // SRC_SERVICE_ENGINE_SERVICE_H_

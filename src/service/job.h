@@ -1,0 +1,142 @@
+// Job-level types of the multi-tenant engine service: what a client submits
+// (JobSpec), what a job body sees (EngineContext), what comes back
+// (JobResult via JobHandle), and the queued form the admission controller
+// schedules (QueuedJob).
+//
+// A job body is a plain function over one pooled engine slot. It returns the
+// job's canonical output bytes as a string — the service never interprets
+// them, it only stores them in the result — so "byte-identical to a
+// sequential run" is checkable by the caller with a string compare. A body
+// that throws fails the job with the exception's message; it never takes the
+// service down.
+#ifndef SRC_SERVICE_JOB_H_
+#define SRC_SERVICE_JOB_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "src/support/metrics.h"
+
+namespace gerenuk {
+
+class SparkEngine;
+class HadoopEngine;
+
+// Terminal states are kSucceeded / kFailed / kRejected; kRejected is decided
+// synchronously at Submit (admission queue full or service shut down).
+enum class JobStatus : uint8_t { kQueued, kRunning, kSucceeded, kFailed, kRejected };
+
+inline const char* JobStatusName(JobStatus status) {
+  switch (status) {
+    case JobStatus::kQueued:
+      return "queued";
+    case JobStatus::kRunning:
+      return "running";
+    case JobStatus::kSucceeded:
+      return "succeeded";
+    case JobStatus::kFailed:
+      return "failed";
+    case JobStatus::kRejected:
+      return "rejected";
+  }
+  return "?";
+}
+
+// One pooled engine slot as a job body sees it. Both engines share the
+// slot's dispatcher thread, so a body may use either (or both) without
+// synchronizing. `setup` is the slot's ServiceConfig::setup payload —
+// klasses and SER programs built once per engine, shared by every job that
+// runs on the slot (registering the same data types per job would redefine
+// them and defeat the signature-keyed plan cache).
+struct EngineContext {
+  SparkEngine* spark = nullptr;
+  HadoopEngine* hadoop = nullptr;
+  std::shared_ptr<void> setup;
+  int slot = 0;
+};
+
+struct JobSpec {
+  std::string name;  // metrics/trace label; not part of scheduling identity
+  // DRR cost in abstract units (>= 1): a tenant submitting cost-4 jobs gets
+  // one dispatched for every four cost-1 jobs of its neighbors.
+  int64_t cost = 1;
+  // The job body; returns the job's canonical output bytes.
+  std::function<std::string(EngineContext&)> run;
+};
+
+// Everything a terminal job reports. `stats` is the per-job EngineStats
+// delta: the dispatcher resets the slot's metrics before the body runs and
+// snapshots them (both engines, summed) after it returns.
+struct JobResult {
+  JobStatus status = JobStatus::kQueued;
+  std::string output;
+  std::string error;  // kFailed: exception message; kRejected: admission reason
+  EngineStats stats;
+  int64_t queue_wait_ns = 0;
+  int64_t exec_ns = 0;
+};
+
+namespace internal {
+
+// Shared between the client's JobHandle and the service's dispatcher.
+struct JobState {
+  std::mutex mu;
+  std::condition_variable cv;
+  uint64_t id = 0;
+  JobResult result;
+};
+
+inline bool IsTerminal(JobStatus status) {
+  return status == JobStatus::kSucceeded || status == JobStatus::kFailed ||
+         status == JobStatus::kRejected;
+}
+
+}  // namespace internal
+
+// Client-side handle to one submitted job. Copyable; all copies observe the
+// same job. poll() never blocks; wait() blocks until a terminal status and
+// returns the result by value, so it stays valid after the handle (even a
+// temporary `Submit(...).wait()` chain) is gone.
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  uint64_t id() const { return state_ != nullptr ? state_->id : 0; }
+
+  JobStatus poll() const {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->result.status;
+  }
+
+  JobResult wait() const {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [this] { return internal::IsTerminal(state_->result.status); });
+    return state_->result;
+  }
+
+ private:
+  friend class EngineService;
+  explicit JobHandle(std::shared_ptr<internal::JobState> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<internal::JobState> state_;
+};
+
+// A job in the admission queue: the spec plus the handle state to resolve
+// and the enqueue instant (queue-wait accounting).
+struct QueuedJob {
+  std::string tenant;
+  JobSpec spec;
+  std::shared_ptr<internal::JobState> state;
+  std::chrono::steady_clock::time_point enqueued{};
+};
+
+}  // namespace gerenuk
+
+#endif  // SRC_SERVICE_JOB_H_

@@ -126,6 +126,16 @@ void MetricsRegistry::Merge(const MetricsRegistry& other) {
   }
 }
 
+void MetricsRegistry::MergeWithPrefix(const std::string& prefix,
+                                      const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) {
+    counters_[prefix + name] += value;
+  }
+  for (const auto& [name, hist] : other.hists_) {
+    Hist(prefix + name, hist.unit()) += hist;
+  }
+}
+
 std::string MetricsRegistry::Render() const {
   std::string out;
   for (const auto& [name, value] : counters_) {

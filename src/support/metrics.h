@@ -270,6 +270,11 @@ class MetricsRegistry {
   // missing on either side are kept, never dropped.
   void Merge(const MetricsRegistry& other);
 
+  // Merge, with every incoming name prefixed ("tenant.alice." + name). The
+  // service uses this to fold per-tenant registries into one namespaced
+  // snapshot without the tenants colliding.
+  void MergeWithPrefix(const std::string& prefix, const MetricsRegistry& other);
+
   const std::map<std::string, int64_t>& counters() const { return counters_; }
   const std::map<std::string, Histogram>& histograms() const { return hists_; }
 
@@ -376,6 +381,7 @@ struct TransformStats {
   X(governor_flips)                                                           \
   X(slow_path_direct)                                                         \
   X(plans_compiled)                                                           \
+  X(plan_cache_hits)                                                          \
   X(key_allocs_saved)                                                         \
   X(executors_launched)                                                       \
   X(executor_deaths)                                                          \
@@ -416,6 +422,10 @@ struct EngineStats {
   // extractions that reused the per-task scratch string without a fresh
   // heap allocation.
   int plans_compiled = 0;
+  // Stage/function compilations whose transformed program + SerPlan came out
+  // of a signature-keyed PlanCache (service mode), skipping both the
+  // transform and CompilePlan.
+  int plan_cache_hits = 0;
   int64_t key_allocs_saved = 0;
   // Process executors & shuffle service (see DESIGN.md "Process model &
   // shuffle service"). Launch/death/relaunch and the spill counters are

@@ -132,6 +132,13 @@ void Trace::FlushWorkersAtBarrier() {
   metrics_.Counter("trace_dropped_events") = dropped_events();
 }
 
+void Trace::ResetMerged() {
+  merged_.clear();
+  metrics_ = MetricsRegistry();
+  pending_aborts_.clear();
+  metrics_.Counter("trace_dropped_events") = dropped_events();
+}
+
 int64_t Trace::dropped_events() const {
   int64_t total = dropped_total_;
   for (const auto& sink : workers_) {

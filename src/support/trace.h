@@ -224,6 +224,12 @@ class Trace {
   // physical events (GC pauses). Identical for any worker count.
   std::vector<std::string> ScrubbedLines() const;
 
+  // Drops the merged timeline and its derived histograms so the next job's
+  // events start a fresh scope (service mode: per-job trace export). Must
+  // run while workers are quiescent, like FlushWorkersAtBarrier; sinks and
+  // their cumulative drop counts are untouched.
+  void ResetMerged();
+
  private:
   friend class TraceSink;
   void AppendDirect(const TraceEvent& ev);  // driver-sink path

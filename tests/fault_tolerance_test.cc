@@ -264,8 +264,8 @@ std::vector<uint8_t> CleanMapBytes() {
 TEST(FaultToleranceSparkTest, EntryExceptionRetriedAndRecovered) {
   const std::vector<uint8_t> clean = CleanMapBytes();
   for (int workers : kWorkerCounts) {
-    SparkConfig config = SparkWith(workers);
-    config.max_task_attempts = 2;
+    EngineConfig config = SparkWith(workers);
+    config.fault.max_task_attempts = 2;
     SparkJob job(config);
     DatasetPtr in = job.MakeInput(600);
     job.engine.fault_plan().InjectException(job.engine.next_task_ordinal() + 1);
@@ -283,8 +283,8 @@ TEST(FaultToleranceSparkTest, EntryExceptionRetriedAndRecovered) {
 TEST(FaultToleranceSparkTest, SlowPathOomRetriedOnFreshContext) {
   const std::vector<uint8_t> clean = CleanMapBytes();
   for (int workers : kWorkerCounts) {
-    SparkConfig config = SparkWith(workers);
-    config.max_task_attempts = 2;
+    EngineConfig config = SparkWith(workers);
+    config.fault.max_task_attempts = 2;
     SparkJob job(config);
     DatasetPtr in = job.MakeInput(600);
     const int64_t base = job.engine.next_task_ordinal();
@@ -308,9 +308,9 @@ TEST(FaultToleranceSparkTest, SlowPathOomRetriedOnFreshContext) {
 TEST(FaultToleranceSparkTest, StragglerRelaunchedPastDeadline) {
   const std::vector<uint8_t> clean = CleanMapBytes();
   for (int workers : kWorkerCounts) {
-    SparkConfig config = SparkWith(workers);
-    config.max_task_attempts = 2;
-    config.task_deadline_ms = 50;
+    EngineConfig config = SparkWith(workers);
+    config.fault.max_task_attempts = 2;
+    config.fault.task_deadline_ms = 50;
     SparkJob job(config);
     DatasetPtr in = job.MakeInput(600);
     // The injected delay (far beyond the deadline) cooperatively observes the
@@ -330,9 +330,9 @@ TEST(FaultToleranceSparkTest, StragglerRelaunchedPastDeadline) {
 TEST(FaultToleranceSparkTest, CorruptInputQuarantinedWhenPolicyAllows) {
   std::vector<uint8_t> reference;
   for (int workers : kWorkerCounts) {
-    SparkConfig config = SparkWith(workers);
-    config.max_task_attempts = 3;  // must not be consumed: corruption is permanent
-    config.quarantine = QuarantinePolicy::kSkip;
+    EngineConfig config = SparkWith(workers);
+    config.fault.max_task_attempts = 3;  // must not be consumed: corruption is permanent
+    config.fault.quarantine = QuarantinePolicy::kSkip;
     SparkJob job(config);
     DatasetPtr in = job.MakeInput(600);
     job.engine.fault_plan().InjectCorruption(job.engine.next_task_ordinal() + 1);
@@ -377,8 +377,8 @@ TEST(FaultToleranceSparkTest, ReduceByKeyWithRetryIdenticalAcrossWorkerCounts) {
   std::vector<uint8_t> reference;
   int64_t reference_shuffle = 0;
   for (int workers : kWorkerCounts) {
-    SparkConfig config = SparkWith(workers);
-    config.max_task_attempts = 2;
+    EngineConfig config = SparkWith(workers);
+    config.fault.max_task_attempts = 2;
     SparkJob job(config);
     DatasetPtr in = job.MakeInput(1000);
     // Fail the first shuffle-write task's first attempt at entry.
@@ -421,9 +421,9 @@ TEST(SpeculationGovernorTest, FlipsOnceAtThresholdAndRoutesToSlowPath) {
     clean = DatasetBytes(out);
   }
   for (int workers : kWorkerCounts) {
-    SparkConfig config = SparkWith(workers);
-    config.governor_abort_threshold = 0.5;
-    config.governor_min_tasks = 4;
+    EngineConfig config = SparkWith(workers);
+    config.fault.governor_abort_threshold = 0.5;
+    config.fault.governor_min_tasks = 4;
     SparkJob job(config);
     ASSERT_TRUE(job.engine.governor().enabled());
     DatasetPtr in = job.MakeInput(600);
@@ -447,9 +447,9 @@ TEST(SpeculationGovernorTest, FlipsOnceAtThresholdAndRoutesToSlowPath) {
 
 TEST(SpeculationGovernorTest, BelowThresholdKeepsSpeculating) {
   for (int workers : kWorkerCounts) {
-    SparkConfig config = SparkWith(workers);
-    config.governor_abort_threshold = 0.75;
-    config.governor_min_tasks = 4;
+    EngineConfig config = SparkWith(workers);
+    config.fault.governor_abort_threshold = 0.75;
+    config.fault.governor_min_tasks = 4;
     SparkJob job(config);
     DatasetPtr in = job.MakeInput(600);
     job.engine.ForceAborts(2);  // rate 0.5 < 0.75
@@ -474,7 +474,7 @@ TEST(FaultToleranceHadoopTest, MapFaultsRecoveredIdenticallyAcrossWorkerCounts) 
   EngineStats reference_stats;
   for (int workers : kWorkerCounts) {
     HadoopConfig config = HadoopWith(workers);
-    config.max_task_attempts = 2;
+    config.engine.fault.max_task_attempts = 2;
     HadoopJob job(config);
     DatasetPtr in = job.MakeInput(800);
     const int64_t base = job.engine.next_task_ordinal();
@@ -508,8 +508,8 @@ TEST(FaultToleranceHadoopTest, GovernorRoutesReducePhaseToSlowPath) {
   std::vector<uint8_t> reference;
   for (int workers : kWorkerCounts) {
     HadoopConfig config = HadoopWith(workers);
-    config.governor_abort_threshold = 0.5;
-    config.governor_min_tasks = 4;
+    config.engine.fault.governor_abort_threshold = 0.5;
+    config.engine.fault.governor_min_tasks = 4;
     HadoopJob job(config);
     DatasetPtr in = job.MakeInput(800);
     const int64_t base = job.engine.next_task_ordinal();

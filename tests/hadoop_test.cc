@@ -24,7 +24,7 @@ struct WordCountWorkload {
 
   explicit WordCountWorkload(EngineMode mode, HadoopConfig base = HadoopConfig{})
       : engine([&] {
-          base.mode = mode;
+          base.engine.execution.mode = mode;
           return base;
         }()) {
     KlassRegistry& reg = engine.heap().klasses();

@@ -16,41 +16,47 @@ namespace gerenuk {
 
 constexpr int kWorkerCounts[] = {1, 2, 8};
 
-// The shared Pair{key:i64, value:f64} workload, usable with either engine.
-template <typename Engine, typename Config>
-struct PairJob {
-  Engine engine;
-  const Klass* pair;
-  const Klass* pair_array;
+// The Pair workload's klasses + SER programs, separable from engine
+// ownership so a service-mode EngineSetup can build them on pooled engines
+// it does not own (see tests/service_test.cc).
+struct PairUdfs {
+  const Klass* pair = nullptr;
+  const Klass* pair_array = nullptr;
   SerProgram udfs;
-  const Function* double_value;   // map: value *= 2
-  const Function* explode;        // flatMap: -> [ (key, v), (key+1000, v) ]
-  const Function* get_key;        // key extractor
-  const Function* sum_values;     // reduce: (a, b) -> (a.key, a.v + b.v)
+  const Function* double_value = nullptr;  // map: value *= 2
+  const Function* explode = nullptr;       // flatMap: -> [ (key, v), (key+1000, v) ]
+  const Function* get_key = nullptr;       // key extractor
+  const Function* sum_values = nullptr;    // reduce: (a, b) -> (a.key, a.v + b.v)
+};
 
-  explicit PairJob(const Config& config) : engine(config) {
-    KlassRegistry& reg = engine.heap().klasses();
-    pair = reg.DefineClass("Pair", {
-                                       {"key", FieldKind::kI64, nullptr, 0},
-                                       {"value", FieldKind::kF64, nullptr, 0},
-                                   });
-    engine.RegisterDataType(pair);
-    pair_array = reg.Find("Pair[]");
-
-    {
+// Defines the Pair klass on `engine` and builds the four UDFs into `out`.
+// Call at most once per engine (klass names are unique per registry).
+template <typename Engine>
+inline void BuildPairUdfs(Engine& engine, PairUdfs* out) {
+  KlassRegistry& reg = engine.heap().klasses();
+  const Klass* pair = reg.DefineClass("Pair", {
+                                                  {"key", FieldKind::kI64, nullptr, 0},
+                                                  {"value", FieldKind::kF64, nullptr, 0},
+                                              });
+  engine.RegisterDataType(pair);
+  out->pair = pair;
+  out->pair_array = reg.Find("Pair[]");
+  const Klass* pair_array = out->pair_array;
+  SerProgram& udfs = out->udfs;
+  {
       Function* f = udfs.AddFunction("double_value");
       FunctionBuilder b(f);
       int rec = b.Param("rec", IrType::Ref(pair));
       f->return_type = IrType::Ref(pair);
       int k = b.FieldLoad(rec, pair, "key");
       int v = b.FieldLoad(rec, pair, "value");
-      int out = b.NewObject(pair);
-      b.FieldStore(out, pair, "key", k);
+      int result = b.NewObject(pair);
+      b.FieldStore(result, pair, "key", k);
       int two = b.ConstF(2.0);
-      b.FieldStore(out, pair, "value", b.BinOp(BinOpKind::kMul, v, two));
-      b.Return(out);
+      b.FieldStore(result, pair, "value", b.BinOp(BinOpKind::kMul, v, two));
+      b.Return(result);
       b.Done();
-      double_value = f;
+      out->double_value = f;
     }
     {
       Function* f = udfs.AddFunction("explode");
@@ -72,7 +78,7 @@ struct PairJob {
       b.ArrayStore(arr, b.ConstI(1), second);
       b.Return(arr);
       b.Done();
-      explode = f;
+      out->explode = f;
     }
     {
       Function* f = udfs.AddFunction("get_key");
@@ -81,7 +87,7 @@ struct PairJob {
       f->return_type = IrType::I64();
       b.Return(b.FieldLoad(rec, pair, "key"));
       b.Done();
-      get_key = f;
+      out->get_key = f;
     }
     {
       Function* f = udfs.AddFunction("sum_values");
@@ -89,47 +95,58 @@ struct PairJob {
       int a = b.Param("a", IrType::Ref(pair));
       int c = b.Param("b", IrType::Ref(pair));
       f->return_type = IrType::Ref(pair);
-      int out = b.NewObject(pair);
-      b.FieldStore(out, pair, "key", b.FieldLoad(a, pair, "key"));
+      int result = b.NewObject(pair);
+      b.FieldStore(result, pair, "key", b.FieldLoad(a, pair, "key"));
       int sum = b.BinOp(BinOpKind::kAdd, b.FieldLoad(a, pair, "value"),
                         b.FieldLoad(c, pair, "value"));
-      b.FieldStore(out, pair, "value", sum);
-      b.Return(out);
+      b.FieldStore(result, pair, "value", sum);
+      b.Return(result);
       b.Done();
-      sum_values = f;
+      out->sum_values = f;
     }
-  }
+}
 
-  DatasetPtr MakeInput(int64_t count) {
-    const Klass* k = pair;
-    Heap* h = &engine.heap();
-    return engine.Source(pair, count, [h, k](int64_t i, RootScope&) {
-      ObjRef rec = h->AllocObject(k);
-      h->SetPrim<int64_t>(rec, k->FindField("key")->offset, i % 10);
-      h->SetPrim<double>(rec, k->FindField("value")->offset, (i % 7) - 3.0);
-      return rec;
-    });
-  }
+// Deterministic Pair input: key = i % 10, value = (i % 7) - 3.0.
+template <typename Engine>
+inline DatasetPtr MakePairInput(Engine& engine, const PairUdfs& udfs, int64_t count) {
+  const Klass* k = udfs.pair;
+  Heap* h = &engine.heap();
+  return engine.Source(k, count, [h, k](int64_t i, RootScope&) {
+    ObjRef rec = h->AllocObject(k);
+    h->SetPrim<int64_t>(rec, k->FindField("key")->offset, i % 10);
+    h->SetPrim<double>(rec, k->FindField("value")->offset, (i % 7) - 3.0);
+    return rec;
+  });
+}
+
+// The shared Pair{key:i64, value:f64} workload, usable with either engine.
+template <typename Engine, typename Config>
+struct PairJob : PairUdfs {
+  Engine engine;
+
+  explicit PairJob(const Config& config) : engine(config) { BuildPairUdfs(engine, this); }
+
+  DatasetPtr MakeInput(int64_t count) { return MakePairInput(engine, *this, count); }
 };
 
-using SparkJob = PairJob<SparkEngine, SparkConfig>;
+using SparkJob = PairJob<SparkEngine, EngineConfig>;
 using HadoopJob = PairJob<HadoopEngine, HadoopConfig>;
 
-inline SparkConfig SparkWith(int workers) {
-  SparkConfig config;
-  config.mode = EngineMode::kGerenuk;
-  config.heap_bytes = 24u << 20;
-  config.num_partitions = 4;
-  config.num_workers = workers;
+inline EngineConfig SparkWith(int workers) {
+  EngineConfig config;
+  config.execution.mode = EngineMode::kGerenuk;
+  config.execution.heap_bytes = 24u << 20;
+  config.execution.num_partitions = 4;
+  config.execution.num_workers = workers;
   return config;
 }
 
 inline HadoopConfig HadoopWith(int workers) {
   HadoopConfig config;
-  config.mode = EngineMode::kGerenuk;
-  config.heap_bytes = 24u << 20;
-  config.num_partitions = 4;
-  config.num_workers = workers;
+  config.engine.execution.mode = EngineMode::kGerenuk;
+  config.engine.execution.heap_bytes = 24u << 20;
+  config.engine.execution.num_partitions = 4;
+  config.engine.execution.num_workers = workers;
   config.num_reducers = 3;
   config.sort_buffer_bytes = 1u << 14;  // force several spills per map task
   return config;

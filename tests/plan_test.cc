@@ -14,23 +14,23 @@
 namespace gerenuk {
 namespace {
 
-SparkConfig PlanSpark(bool use_plans) {
-  SparkConfig config;
-  config.mode = EngineMode::kGerenuk;
-  config.heap_bytes = 64u << 20;
-  config.num_partitions = 3;
-  config.use_plan_compiler = use_plans;
+EngineConfig PlanSpark(bool use_plans) {
+  EngineConfig config;
+  config.execution.mode = EngineMode::kGerenuk;
+  config.execution.heap_bytes = 64u << 20;
+  config.execution.num_partitions = 3;
+  config.execution.use_plan_compiler = use_plans;
   return config;
 }
 
 HadoopConfig PlanHadoop(bool use_plans) {
   HadoopConfig config;
-  config.mode = EngineMode::kGerenuk;
-  config.heap_bytes = 64u << 20;
-  config.num_partitions = 3;
+  config.engine.execution.mode = EngineMode::kGerenuk;
+  config.engine.execution.heap_bytes = 64u << 20;
+  config.engine.execution.num_partitions = 3;
   config.num_reducers = 2;
   config.sort_buffer_bytes = 64 << 10;
-  config.use_plan_compiler = use_plans;
+  config.engine.execution.use_plan_compiler = use_plans;
   return config;
 }
 
@@ -113,8 +113,8 @@ TEST(PlanDifferentialTest, StageBytesIdenticalAcrossWorkersAndRunners) {
   std::vector<uint8_t> reference;
   for (bool use_plans : {false, true}) {
     for (int workers : kWorkerCounts) {
-      SparkConfig config = SparkWith(workers);
-      config.use_plan_compiler = use_plans;
+      EngineConfig config = SparkWith(workers);
+      config.execution.use_plan_compiler = use_plans;
       SparkJob job(config);
       DatasetPtr out = job.engine.RunStage(job.MakeInput(800), job.udfs,
                                            {NarrowOp::Map(job.double_value, job.pair)});
@@ -136,8 +136,8 @@ TEST(PlanDifferentialTest, ReduceByKeyBytesIdenticalAcrossWorkersAndRunners) {
   std::vector<uint8_t> reference;
   for (bool use_plans : {false, true}) {
     for (int workers : kWorkerCounts) {
-      SparkConfig config = SparkWith(workers);
-      config.use_plan_compiler = use_plans;
+      EngineConfig config = SparkWith(workers);
+      config.execution.use_plan_compiler = use_plans;
       SparkJob job(config);
       DatasetPtr out = job.engine.ReduceByKey(job.MakeInput(1000), job.udfs, {},
                                               KeySpec{job.get_key, false}, job.sum_values);
@@ -167,8 +167,8 @@ TEST(PlanDifferentialTest, ForcedAbortsMatchAcrossRunners) {
   }
   for (bool use_plans : {false, true}) {
     for (int workers : kWorkerCounts) {
-      SparkConfig config = SparkWith(workers);
-      config.use_plan_compiler = use_plans;
+      EngineConfig config = SparkWith(workers);
+      config.execution.use_plan_compiler = use_plans;
       SparkJob job(config);
       DatasetPtr in = job.MakeInput(600);
       // One abort late in a task, one mid-record (record 7 of task 2).

@@ -74,10 +74,10 @@ TEST(JitterBackoffTest, ScheduleIsReproducible) {
 // Process-mode pipelines
 // ---------------------------------------------------------------------------
 
-SparkConfig ProcessSparkWith(int workers) {
-  SparkConfig config = SparkWith(workers);
-  config.process_executors = true;
-  config.executor_heartbeat_ms = 1;  // short stages still collect heartbeats
+EngineConfig ProcessSparkWith(int workers) {
+  EngineConfig config = SparkWith(workers);
+  config.execution.process_executors = true;
+  config.execution.executor_heartbeat_ms = 1;  // short stages still collect heartbeats
   return config;
 }
 
@@ -114,9 +114,9 @@ TEST(ProcessModeTest, SigkilledExecutorIsRecovered) {
     reference = RunSparkPipeline(in_process, 1200);
   }
   for (int workers : kWorkerCounts) {
-    SparkConfig config = ProcessSparkWith(workers);
-    config.max_task_attempts = 3;
-    config.trace = true;
+    EngineConfig config = ProcessSparkWith(workers);
+    config.fault.max_task_attempts = 3;
+    config.observability.trace = true;
     SparkJob job(config);
     // Kill the executor running the second task of the first (narrow)
     // stage, on its first attempt only: genuine SIGKILL mid-stage.
@@ -147,10 +147,10 @@ TEST(ProcessModeTest, WedgedExecutorHitsHeartbeatTimeout) {
     SparkJob in_process(SparkWith(2));
     reference = RunSparkPipeline(in_process, 400);
   }
-  SparkConfig config = ProcessSparkWith(2);
-  config.max_task_attempts = 3;
-  config.executor_heartbeat_ms = 10;
-  config.executor_heartbeat_timeout_ms = 150;
+  EngineConfig config = ProcessSparkWith(2);
+  config.fault.max_task_attempts = 3;
+  config.execution.executor_heartbeat_ms = 10;
+  config.execution.executor_heartbeat_timeout_ms = 150;
   SparkJob job(config);
   // SIGSTOP wedges the executor without killing it: only the liveness check
   // can reclaim the task (the supervisor SIGKILLs the stopped child).
@@ -170,8 +170,8 @@ TEST(ProcessModeTest, WireShippedTaskErrorKeepsClassification) {
   {
     // Retryable: the child survives, ships TaskError{kException} over the
     // wire, and the supervisor requeues within the attempt budget.
-    SparkConfig config = ProcessSparkWith(2);
-    config.max_task_attempts = 2;
+    EngineConfig config = ProcessSparkWith(2);
+    config.fault.max_task_attempts = 2;
     SparkJob job(config);
     job.engine.fault_plan().InjectException(job.engine.next_task_ordinal() + 1);
     EXPECT_EQ(RunSparkPipeline(job, 400), reference);
@@ -181,8 +181,8 @@ TEST(ProcessModeTest, WireShippedTaskErrorKeepsClassification) {
   {
     // Non-retryable: an exhausted attempt budget fails the stage with the
     // original classification intact.
-    SparkConfig config = ProcessSparkWith(2);
-    config.max_task_attempts = 1;
+    EngineConfig config = ProcessSparkWith(2);
+    config.fault.max_task_attempts = 1;
     SparkJob job(config);
     job.engine.fault_plan().InjectException(job.engine.next_task_ordinal() + 1);
     try {
@@ -208,8 +208,8 @@ TEST(ProcessModeTest, HadoopJobByteIdenticalToInProcess) {
   }
   for (int workers : kWorkerCounts) {
     HadoopConfig config = HadoopWith(workers);
-    config.process_executors = true;
-    config.executor_heartbeat_ms = 1;
+    config.engine.execution.process_executors = true;
+    config.engine.execution.executor_heartbeat_ms = 1;
     HadoopJob job(config);
     DatasetPtr in = job.MakeInput(500);
     job.engine.ResetMetrics();
@@ -224,7 +224,7 @@ TEST(ProcessModeTest, HadoopJobByteIdenticalToInProcess) {
 TEST(ProcessModeTest, IntegritySealFailureNamesStagePartitionAttempt) {
   // Satellite: a corrupt-input TaskError must carry (stage, partition,
   // attempt) in its detail string, in any execution mode.
-  SparkConfig config = SparkWith(2);
+  EngineConfig config = SparkWith(2);
   SparkJob job(config);
   DatasetPtr in = job.MakeInput(200);
   job.engine.fault_plan().InjectCorruption(job.engine.next_task_ordinal() + 2);

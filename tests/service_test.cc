@@ -1,0 +1,567 @@
+// Multi-tenant service mode: config validation, the Session/JobHandle
+// lifecycle, DRR fair-share dispatch, bounded-queue rejection, per-tenant
+// metrics scoping, the per-tenant-per-SER speculation oracle, and the
+// acceptance storm — 16 tenants x 64 heterogeneous jobs whose outputs are
+// byte-identical to sequential single-engine runs with a >90% plan-cache
+// hit rate.
+#include "src/service/engine_service.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/service/admission.h"
+#include "src/service/job.h"
+#include "tests/pair_job.h"
+
+namespace gerenuk {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Config validation (the one-call Validate() satellite)
+// ---------------------------------------------------------------------------
+
+TEST(EngineConfigValidateTest, AcceptsDefaults) {
+  EXPECT_EQ(EngineConfig{}.Validate(), "");
+  EXPECT_EQ(HadoopConfig{}.Validate(), "");
+  EXPECT_EQ(ServiceConfig{}.Validate(), "");
+}
+
+TEST(EngineConfigValidateTest, NamesTheOffendingField) {
+  EngineConfig config;
+  config.execution.num_partitions = 0;
+  EXPECT_NE(config.Validate().find("num_partitions"), std::string::npos);
+
+  config = EngineConfig{};
+  config.execution.heap_bytes = 0;
+  EXPECT_NE(config.Validate().find("heap_bytes"), std::string::npos);
+
+  config = EngineConfig{};
+  config.execution.executor_heartbeat_timeout_ms = 1;  // < heartbeat period
+  EXPECT_NE(config.Validate().find("heartbeat"), std::string::npos);
+
+  config = EngineConfig{};
+  config.fault.max_task_attempts = 0;
+  EXPECT_NE(config.Validate().find("max_task_attempts"), std::string::npos);
+
+  config = EngineConfig{};
+  config.fault.governor_abort_threshold = 1.5;
+  EXPECT_NE(config.Validate().find("governor_abort_threshold"), std::string::npos);
+
+  config = EngineConfig{};
+  config.observability.trace = true;
+  config.observability.trace_buffer_events = 0;
+  EXPECT_NE(config.Validate().find("trace_buffer_events"), std::string::npos);
+}
+
+TEST(EngineConfigValidateTest, HadoopConfigComposesEngineValidation) {
+  HadoopConfig config;
+  config.num_reducers = 0;
+  EXPECT_NE(config.Validate().find("num_reducers"), std::string::npos);
+
+  config = HadoopConfig{};
+  config.sort_buffer_bytes = 0;
+  EXPECT_NE(config.Validate().find("sort_buffer_bytes"), std::string::npos);
+
+  config = HadoopConfig{};
+  config.engine.execution.num_workers = 0;  // engine error surfaces through
+  EXPECT_NE(config.Validate().find("num_workers"), std::string::npos);
+}
+
+TEST(ServiceConfigValidateTest, RejectsProcessExecutorsAndBadBounds) {
+  ServiceConfig config;
+  config.engine.execution.process_executors = true;
+  EXPECT_NE(config.Validate().find("process_executors"), std::string::npos);
+
+  config = ServiceConfig{};
+  config.num_engines = 0;
+  EXPECT_NE(config.Validate().find("num_engines"), std::string::npos);
+
+  config = ServiceConfig{};
+  config.max_queue_depth_per_tenant = config.max_queue_depth + 1;
+  EXPECT_NE(config.Validate().find("max_queue_depth_per_tenant"), std::string::npos);
+
+  config = ServiceConfig{};
+  config.drr_quantum = 0;
+  EXPECT_NE(config.Validate().find("drr_quantum"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// DRR admission control (deterministic, controller in isolation)
+// ---------------------------------------------------------------------------
+
+QueuedJob Queued(const std::string& tenant, int64_t cost) {
+  QueuedJob job;
+  job.tenant = tenant;
+  job.spec.cost = cost;
+  job.state = std::make_shared<internal::JobState>();
+  return job;
+}
+
+TEST(AdmissionControllerTest, EqualCostsRoundRobinAcrossTenants) {
+  AdmissionController admission(64, 32, /*drr_quantum=*/1);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(admission.Submit(Queued("a", 1)));
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(admission.Submit(Queued("b", 1)));
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(admission.Submit(Queued("c", 1)));
+  std::vector<std::string> order;
+  QueuedJob job;
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_TRUE(admission.Next(&job));
+    order.push_back(job.tenant);
+  }
+  EXPECT_EQ(order, (std::vector<std::string>{"a", "b", "c", "a", "b", "c", "a", "b", "c"}));
+  EXPECT_EQ(admission.depth(), 0);
+}
+
+TEST(AdmissionControllerTest, CostWeightedSharing) {
+  // Tenant "cheap" submits cost-1 jobs, "pricey" cost-4: with quantum 4,
+  // every round serves four cheap jobs and one pricey job.
+  AdmissionController admission(64, 32, /*drr_quantum=*/4);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(admission.Submit(Queued("cheap", 1)));
+  for (int i = 0; i < 2; ++i) ASSERT_TRUE(admission.Submit(Queued("pricey", 4)));
+  std::vector<std::string> order;
+  QueuedJob job;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(admission.Next(&job));
+    order.push_back(job.tenant);
+  }
+  EXPECT_EQ(order, (std::vector<std::string>{"cheap", "cheap", "cheap", "cheap", "pricey",
+                                             "cheap", "cheap", "cheap", "cheap", "pricey"}));
+}
+
+TEST(AdmissionControllerTest, BoundsAndShutdownDrain) {
+  AdmissionController admission(/*max_queue_depth=*/4, /*max_queue_depth_per_tenant=*/2, 1);
+  EXPECT_TRUE(admission.Submit(Queued("a", 1)));
+  EXPECT_TRUE(admission.Submit(Queued("a", 1)));
+  EXPECT_FALSE(admission.Submit(Queued("a", 1))) << "per-tenant depth bound";
+  EXPECT_TRUE(admission.Submit(Queued("b", 1)));
+  EXPECT_TRUE(admission.Submit(Queued("c", 1)));
+  EXPECT_FALSE(admission.Submit(Queued("d", 1))) << "global depth bound";
+  admission.Shutdown();
+  EXPECT_FALSE(admission.Submit(Queued("e", 1))) << "no admission after shutdown";
+  QueuedJob job;
+  int drained = 0;
+  while (admission.Next(&job)) {
+    drained += 1;
+  }
+  EXPECT_EQ(drained, 4) << "queued jobs drain through shutdown";
+  EXPECT_EQ(admission.stats().rejected, 3);
+  EXPECT_EQ(admission.stats().dispatched, 4);
+}
+
+// ---------------------------------------------------------------------------
+// Service fixtures: the Pair workload on pooled engines
+// ---------------------------------------------------------------------------
+
+// Per-slot setup payload: the Pair klasses + UDFs, built once per engine.
+struct PairServiceSetup {
+  PairUdfs spark;
+  PairUdfs hadoop;
+};
+
+EngineSetup PairSetupFn() {
+  return [](EngineContext& ctx) -> std::shared_ptr<void> {
+    auto setup = std::make_shared<PairServiceSetup>();
+    BuildPairUdfs(*ctx.spark, &setup->spark);
+    BuildPairUdfs(*ctx.hadoop, &setup->hadoop);
+    return setup;
+  };
+}
+
+std::string BytesString(const std::vector<uint8_t>& bytes) {
+  return std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+}
+
+// The heterogeneous job kinds of the acceptance storm. Deterministic per
+// (kind): fixed input sizes, fixed programs.
+constexpr int kJobKinds = 4;
+constexpr int64_t kKindCounts[kJobKinds] = {60, 48, 80, 36};
+
+std::string RunKindOnSpark(int kind, SparkEngine& engine, const PairUdfs& u) {
+  const int64_t count = kKindCounts[kind];
+  DatasetPtr in = MakePairInput(engine, u, count);
+  switch (kind) {
+    case 0:
+      return BytesString(
+          DatasetBytes(engine.RunStage(in, u.udfs, {NarrowOp::Map(u.double_value, u.pair)})));
+    case 1:
+      return BytesString(
+          DatasetBytes(engine.RunStage(in, u.udfs, {NarrowOp::FlatMap(u.explode, u.pair)})));
+    case 2:
+      return BytesString(DatasetBytes(
+          engine.ReduceByKey(in, u.udfs, {}, KeySpec{u.get_key, false}, u.sum_values)));
+    default:
+      return "";
+  }
+}
+
+std::string RunKindOnHadoop(HadoopEngine& engine, const PairUdfs& u) {
+  DatasetPtr in = MakePairInput(engine, u, kKindCounts[3]);
+  return BytesString(DatasetBytes(engine.RunJob(in, u.udfs, u.explode, u.pair,
+                                                KeySpec{u.get_key, false}, u.sum_values,
+                                                u.sum_values)));
+}
+
+JobSpec KindJob(int kind) {
+  JobSpec spec;
+  spec.name = "kind" + std::to_string(kind);
+  spec.run = [kind](EngineContext& ctx) -> std::string {
+    auto* setup = static_cast<PairServiceSetup*>(ctx.setup.get());
+    if (kind == 3) {
+      return RunKindOnHadoop(*ctx.hadoop, setup->hadoop);
+    }
+    return RunKindOnSpark(kind, *ctx.spark, setup->spark);
+  };
+  return spec;
+}
+
+EngineConfig ServiceEngineConfig() {
+  EngineConfig config;
+  config.execution.mode = EngineMode::kGerenuk;
+  config.execution.heap_bytes = 32u << 20;
+  config.execution.num_partitions = 4;
+  config.execution.num_workers = 2;
+  return config;
+}
+
+ServiceConfig SmallService(int num_engines) {
+  ServiceConfig config;
+  config.engine = ServiceEngineConfig();
+  config.num_engines = num_engines;
+  config.setup = PairSetupFn();
+  return config;
+}
+
+// Sequential reference outputs: each kind run once on standalone engines
+// with the same configuration the pooled engines use.
+std::vector<std::string> SequentialExpected() {
+  std::vector<std::string> expected(kJobKinds);
+  SparkEngine spark(ServiceEngineConfig());
+  PairUdfs spark_udfs;
+  BuildPairUdfs(spark, &spark_udfs);
+  for (int kind = 0; kind < 3; ++kind) {
+    expected[kind] = RunKindOnSpark(kind, spark, spark_udfs);
+  }
+  HadoopConfig hadoop_config;
+  hadoop_config.engine = ServiceEngineConfig();
+  HadoopEngine hadoop(hadoop_config);
+  PairUdfs hadoop_udfs;
+  BuildPairUdfs(hadoop, &hadoop_udfs);
+  expected[3] = RunKindOnHadoop(hadoop, hadoop_udfs);
+  return expected;
+}
+
+// ---------------------------------------------------------------------------
+// Session / JobHandle lifecycle
+// ---------------------------------------------------------------------------
+
+TEST(ServiceTest, SubmitWaitSucceedsWithPerJobStats) {
+  EngineService service(SmallService(1));
+  Session session = service.CreateSession("alice");
+  JobHandle handle = session.Submit(KindJob(0));
+  ASSERT_TRUE(handle.valid());
+  const JobResult& result = handle.wait();
+  EXPECT_EQ(result.status, JobStatus::kSucceeded);
+  EXPECT_EQ(handle.poll(), JobStatus::kSucceeded) << "poll observes the terminal status";
+  EXPECT_EQ(result.output, SequentialExpected()[0]);
+  EXPECT_GT(result.stats.tasks_run, 0) << "per-job stats delta, not engine lifetime";
+  EXPECT_GT(result.exec_ns, 0);
+  EXPECT_GE(result.queue_wait_ns, 0);
+}
+
+TEST(ServiceTest, FailedJobCarriesTheError) {
+  EngineService service(SmallService(1));
+  Session session = service.CreateSession("alice");
+  JobSpec bad;
+  bad.name = "throws";
+  bad.run = [](EngineContext&) -> std::string { throw std::runtime_error("boom"); };
+  const JobResult& result = session.Submit(std::move(bad)).wait();
+  EXPECT_EQ(result.status, JobStatus::kFailed);
+  EXPECT_EQ(result.error, "boom");
+  // The slot survives: the next job on the same engine still succeeds.
+  const JobResult& next = session.Submit(KindJob(0)).wait();
+  EXPECT_EQ(next.status, JobStatus::kSucceeded);
+}
+
+TEST(ServiceTest, OverflowingSubmitsAreRejected) {
+  ServiceConfig config = SmallService(1);
+  config.max_queue_depth = 3;
+  config.max_queue_depth_per_tenant = 3;
+  EngineService service(config);
+  Session session = service.CreateSession("alice");
+
+  // A gate job parks the only dispatcher so the queue can fill.
+  struct Gate {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool open = false;
+    std::atomic<bool> running{false};
+  };
+  auto gate = std::make_shared<Gate>();
+  JobSpec blocker;
+  blocker.name = "gate";
+  blocker.run = [gate](EngineContext&) -> std::string {
+    gate->running.store(true);
+    std::unique_lock<std::mutex> lock(gate->mu);
+    gate->cv.wait(lock, [&] { return gate->open; });
+    return "";
+  };
+  JobHandle blocked = session.Submit(std::move(blocker));
+  while (!gate->running.load()) {
+    std::this_thread::yield();
+  }
+
+  std::vector<JobHandle> queued;
+  for (int i = 0; i < 3; ++i) {
+    queued.push_back(session.Submit(KindJob(0)));
+  }
+  JobHandle rejected = session.Submit(KindJob(0));
+  EXPECT_EQ(rejected.poll(), JobStatus::kRejected) << "rejection is synchronous";
+  const JobResult& rejection = rejected.wait();
+  EXPECT_EQ(rejection.status, JobStatus::kRejected);
+  EXPECT_FALSE(rejection.error.empty());
+
+  {
+    std::lock_guard<std::mutex> lock(gate->mu);
+    gate->open = true;
+  }
+  gate->cv.notify_all();
+  EXPECT_EQ(blocked.wait().status, JobStatus::kSucceeded);
+  for (JobHandle& handle : queued) {
+    EXPECT_EQ(handle.wait().status, JobStatus::kSucceeded);
+  }
+  EXPECT_EQ(service.admission_stats().rejected, 1);
+}
+
+TEST(ServiceTest, DrrDispatchOrderIsFairUnderSaturation) {
+  ServiceConfig config = SmallService(1);
+  config.max_queue_depth = 64;
+  config.max_queue_depth_per_tenant = 16;
+  config.drr_quantum = 1;
+  EngineService service(config);
+
+  struct Gate {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool open = false;
+    std::atomic<bool> running{false};
+  };
+  auto gate = std::make_shared<Gate>();
+  JobSpec blocker;
+  blocker.run = [gate](EngineContext&) -> std::string {
+    gate->running.store(true);
+    std::unique_lock<std::mutex> lock(gate->mu);
+    gate->cv.wait(lock, [&] { return gate->open; });
+    return "";
+  };
+  Session warmup = service.CreateSession("warmup");
+  JobHandle blocked = warmup.Submit(std::move(blocker));
+  while (!gate->running.load()) {
+    std::this_thread::yield();
+  }
+
+  // With the dispatcher parked, enqueue 4 tenants x 8 jobs; the dispatch
+  // order over the static queue is pure DRR — strict round-robin at
+  // quantum 1 and equal costs.
+  auto order = std::make_shared<std::vector<std::string>>();
+  auto order_mu = std::make_shared<std::mutex>();
+  const std::vector<std::string> tenants = {"a", "b", "c", "d"};
+  std::vector<JobHandle> handles;
+  for (const std::string& tenant : tenants) {
+    Session session = service.CreateSession(tenant);
+    for (int i = 0; i < 8; ++i) {
+      JobSpec spec;
+      spec.run = [tenant, order, order_mu](EngineContext&) -> std::string {
+        std::lock_guard<std::mutex> lock(*order_mu);
+        order->push_back(tenant);
+        return "";
+      };
+      handles.push_back(session.Submit(std::move(spec)));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(gate->mu);
+    gate->open = true;
+  }
+  gate->cv.notify_all();
+  blocked.wait();
+  for (JobHandle& handle : handles) {
+    EXPECT_EQ(handle.wait().status, JobStatus::kSucceeded);
+  }
+
+  ASSERT_EQ(order->size(), 32u);
+  for (size_t i = 0; i < order->size(); ++i) {
+    EXPECT_EQ((*order)[i], tenants[i % 4]) << "strict round-robin at index " << i;
+  }
+  // Completed-job spread at every prefix is within one round (trivially
+  // within the 2x acceptance bound).
+  for (const std::string& tenant : tenants) {
+    EXPECT_EQ(service.TenantJobsCompleted(tenant), 8);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-tenant metrics scoping + speculation oracle
+// ---------------------------------------------------------------------------
+
+TEST(ServiceTest, MetricsAreScopedPerTenant) {
+  EngineService service(SmallService(1));
+  Session alice = service.CreateSession("alice");
+  Session bob = service.CreateSession("bob");
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(alice.Submit(KindJob(0)).wait().status, JobStatus::kSucceeded);
+  }
+  ASSERT_EQ(bob.Submit(KindJob(2)).wait().status, JobStatus::kSucceeded);
+
+  MetricsRegistry alice_metrics = alice.metrics();
+  EXPECT_EQ(alice_metrics.Counter("jobs_succeeded"), 3);
+  EXPECT_EQ(alice_metrics.Counter("jobs_completed"), 3);
+  EXPECT_EQ(alice_metrics.Hist("job_exec").count(), 3);
+  MetricsRegistry bob_metrics = bob.metrics();
+  EXPECT_EQ(bob_metrics.Counter("jobs_succeeded"), 1);
+
+  MetricsRegistry combined = service.metrics();
+  EXPECT_EQ(combined.Counter("tenant.alice.jobs_succeeded"), 3);
+  EXPECT_EQ(combined.Counter("tenant.bob.jobs_succeeded"), 1);
+  EXPECT_EQ(combined.Counter("service.jobs_dispatched"), 4);
+  EXPECT_GT(combined.Counter("service.plan_cache.hits"), 0) << "repeat kinds hit the cache";
+  // Per-tenant task counts stay separated: alice ran 3x the kind-0 stage.
+  EXPECT_EQ(combined.Counter("tenant.alice.tasks_run"),
+            3 * alice.Submit(KindJob(0)).wait().stats.tasks_run);
+}
+
+TEST(ServiceTest, SpeculationOracleIsPerTenantAndPerSer) {
+  ServiceConfig config = SmallService(1);
+  config.engine.fault.governor_abort_threshold = 0.5;
+  config.engine.fault.governor_min_tasks = 4;
+  EngineService service(config);
+  Session alice = service.CreateSession("alice");
+  Session bob = service.CreateSession("bob");
+
+  // Alice poisons her SER: every task of the stage aborts once.
+  JobSpec poison = KindJob(0);
+  auto run = poison.run;
+  poison.run = [run](EngineContext& ctx) -> std::string {
+    ctx.spark->ForceAborts(4);
+    return run(ctx);
+  };
+  const JobResult& poisoned = alice.Submit(std::move(poison)).wait();
+  ASSERT_EQ(poisoned.status, JobStatus::kSucceeded);
+  EXPECT_EQ(poisoned.stats.aborts, 4);
+
+  // Alice's abort rate (1.0 >= 0.5 over >= 4 tasks) turns her SER's
+  // speculation off; the job still succeeds via the direct slow path.
+  const JobResult& alice_after = alice.Submit(KindJob(0)).wait();
+  ASSERT_EQ(alice_after.status, JobStatus::kSucceeded);
+  EXPECT_EQ(alice_after.stats.slow_path_direct, 4);
+  EXPECT_EQ(alice_after.stats.fast_path_commits, 0);
+
+  // Bob runs the same SER untouched — the history is keyed per tenant.
+  const JobResult& bob_same_ser = bob.Submit(KindJob(0)).wait();
+  ASSERT_EQ(bob_same_ser.status, JobStatus::kSucceeded);
+  EXPECT_EQ(bob_same_ser.stats.slow_path_direct, 0);
+  EXPECT_GT(bob_same_ser.stats.fast_path_commits, 0);
+
+  // A different SER of alice's still speculates — the history is keyed
+  // per signature, not per tenant alone.
+  const JobResult& alice_other_ser = alice.Submit(KindJob(1)).wait();
+  ASSERT_EQ(alice_other_ser.status, JobStatus::kSucceeded);
+  EXPECT_EQ(alice_other_ser.stats.slow_path_direct, 0);
+  EXPECT_GT(alice_other_ser.stats.fast_path_commits, 0);
+
+  // Every path produced the same bytes.
+  const std::string expected = SequentialExpected()[0];
+  EXPECT_EQ(poisoned.output, expected);
+  EXPECT_EQ(alice_after.output, expected);
+  EXPECT_EQ(bob_same_ser.output, expected);
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance storm: 16 tenants x 64 heterogeneous jobs, concurrent
+// submitters, outputs byte-identical to sequential runs, hit rate > 90%.
+// ---------------------------------------------------------------------------
+
+TEST(ServiceTest, SixteenTenantStormIsByteIdenticalWithHotCache) {
+  const std::vector<std::string> expected = SequentialExpected();
+
+  ServiceConfig config = SmallService(4);
+  config.max_queue_depth = 2048;
+  config.max_queue_depth_per_tenant = 64;
+  EngineService service(config);
+
+  constexpr int kTenants = 16;
+  constexpr int kJobsPerTenant = 64;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kTenants);
+  for (int t = 0; t < kTenants; ++t) {
+    clients.emplace_back([&, t] {
+      Session session = service.CreateSession("tenant" + std::to_string(t));
+      std::vector<JobHandle> handles;
+      std::vector<int> kinds;
+      handles.reserve(kJobsPerTenant);
+      for (int j = 0; j < kJobsPerTenant; ++j) {
+        const int kind = (t + j) % kJobKinds;
+        kinds.push_back(kind);
+        handles.push_back(session.Submit(KindJob(kind)));
+      }
+      for (int j = 0; j < kJobsPerTenant; ++j) {
+        const JobResult& result = handles[j].wait();
+        if (result.status != JobStatus::kSucceeded) {
+          failures.fetch_add(1);
+        } else if (result.output != expected[kinds[j]]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) {
+    client.join();
+  }
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0) << "service outputs must be byte-identical to sequential runs";
+
+  const PlanCache::Stats cache = service.plan_cache_stats();
+  const double lookups = static_cast<double>(cache.hits + cache.misses);
+  ASSERT_GT(lookups, 0.0);
+  EXPECT_GT(static_cast<double>(cache.hits) / lookups, 0.9)
+      << "hits=" << cache.hits << " misses=" << cache.misses;
+  EXPECT_EQ(cache.evictions, 0) << "the storm's working set fits the default budget";
+
+  for (int t = 0; t < kTenants; ++t) {
+    EXPECT_EQ(service.TenantJobsCompleted("tenant" + std::to_string(t)), kJobsPerTenant);
+  }
+  const AdmissionController::Stats admission = service.admission_stats();
+  EXPECT_EQ(admission.submitted, kTenants * kJobsPerTenant);
+  EXPECT_EQ(admission.dispatched, kTenants * kJobsPerTenant);
+  EXPECT_EQ(admission.rejected, 0);
+}
+
+TEST(ServiceTest, ShutdownDrainsQueuedJobs) {
+  auto service = std::make_unique<EngineService>(SmallService(2));
+  Session session = service->CreateSession("alice");
+  std::vector<JobHandle> handles;
+  for (int i = 0; i < 8; ++i) {
+    handles.push_back(session.Submit(KindJob(i % kJobKinds)));
+  }
+  service->Shutdown();  // drains, then joins
+  for (JobHandle& handle : handles) {
+    EXPECT_EQ(handle.wait().status, JobStatus::kSucceeded) << "queued jobs drain on shutdown";
+  }
+  JobHandle late = session.Submit(KindJob(0));
+  EXPECT_EQ(late.poll(), JobStatus::kRejected);
+  service.reset();
+}
+
+}  // namespace
+}  // namespace gerenuk

@@ -316,7 +316,7 @@ TEST(WireRobustnessTest, ConcatenatedPartitionsParseInSequence) {
 // Engine integration: a spilling shuffle keeps the determinism invariant
 // ---------------------------------------------------------------------------
 
-std::vector<uint8_t> RunReduceJob(SparkConfig config) {
+std::vector<uint8_t> RunReduceJob(EngineConfig config) {
   SparkJob job(config);
   DatasetPtr in = job.MakeInput(600);
   job.engine.ResetMetrics();
@@ -330,9 +330,9 @@ TEST(ShuffleEngineTest, SpillingReduceMatchesResidentAcrossWorkerCounts) {
   ASSERT_FALSE(reference.empty());
   for (int workers : kWorkerCounts) {
     for (bool compress : {true, false}) {
-      SparkConfig config = SparkWith(workers);
-      config.shuffle_spill_threshold_bytes = 1;  // spill every block
-      config.shuffle_compress = compress;
+      EngineConfig config = SparkWith(workers);
+      config.shuffle.shuffle_spill_threshold_bytes = 1;  // spill every block
+      config.shuffle.shuffle_compress = compress;
       SparkJob job(config);
       DatasetPtr in = job.MakeInput(600);
       job.engine.ResetMetrics();
@@ -347,7 +347,7 @@ TEST(ShuffleEngineTest, SpillingReduceMatchesResidentAcrossWorkerCounts) {
 }
 
 TEST(ShuffleEngineTest, SpillingJoinMatchesResident) {
-  auto run_join = [](SparkConfig config) {
+  auto run_join = [](EngineConfig config) {
     SparkJob job(config);
     DatasetPtr left = job.MakeInput(200);
     DatasetPtr right = job.MakeInput(140);
@@ -359,12 +359,12 @@ TEST(ShuffleEngineTest, SpillingJoinMatchesResident) {
   };
   const std::vector<uint8_t> reference = run_join(SparkWith(2));
   ASSERT_FALSE(reference.empty());
-  SparkConfig config = SparkWith(2);
-  config.shuffle_spill_threshold_bytes = 1;
+  EngineConfig config = SparkWith(2);
+  config.shuffle.shuffle_spill_threshold_bytes = 1;
   // A tight fetch budget forces the join's build side to hold credit while
   // the probe side fetches — the hold-and-wait pattern the grace timeout
   // converts into bounded over-admission.
-  config.shuffle_fetch_budget_bytes = 256;
+  config.shuffle.shuffle_fetch_budget_bytes = 256;
   EXPECT_EQ(run_join(config), reference);
 }
 

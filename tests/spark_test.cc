@@ -27,7 +27,7 @@ struct PairWorkload {
   const Function* add_broadcast;  // map with broadcast: value += bc.value
 
   explicit PairWorkload(EngineMode mode, size_t heap_bytes = 48u << 20)
-      : engine(SparkConfig{mode, heap_bytes, GcKind::kGenerational, 3}) {
+      : engine(EngineConfig{{mode, heap_bytes, GcKind::kGenerational, 3}}) {
     KlassRegistry& reg = engine.heap().klasses();
     pair = reg.DefineClass("Pair", {
                                        {"key", FieldKind::kI64, nullptr, 0},

@@ -211,10 +211,10 @@ struct TraceRun {
 };
 
 TraceRun RunFaultedPairJob(int workers, size_t buffer_events) {
-  SparkConfig config = SparkWith(workers);
-  config.trace = true;
-  config.trace_buffer_events = buffer_events;
-  config.max_task_attempts = 3;
+  EngineConfig config = SparkWith(workers);
+  config.observability.trace = true;
+  config.observability.trace_buffer_events = buffer_events;
+  config.fault.max_task_attempts = 3;
   SparkJob job(config);
   DatasetPtr in = job.MakeInput(400);
 
@@ -299,8 +299,8 @@ TEST(TraceExportTest, ChromeJsonParsesWithRequiredFields) {
 }
 
 TEST(TraceExportTest, TextTimelineRendersEveryMergedEvent) {
-  SparkConfig config = SparkWith(2);
-  config.trace = true;
+  EngineConfig config = SparkWith(2);
+  config.observability.trace = true;
   SparkJob job(config);
   DatasetPtr in = job.MakeInput(100);
   DatasetPtr out =
@@ -331,9 +331,9 @@ TEST(TraceOverflowTest, TinyRingDropsAndCountsUnderForcedAborts) {
 }
 
 TEST(TraceOverflowTest, DroppedCounterSurfacesInEngineMetrics) {
-  SparkConfig config = SparkWith(2);
-  config.trace = true;
-  config.trace_buffer_events = 16;
+  EngineConfig config = SparkWith(2);
+  config.observability.trace = true;
+  config.observability.trace_buffer_events = 16;
   SparkJob job(config);
   job.engine.ForceAborts(4);
   DatasetPtr out = job.engine.RunStage(job.MakeInput(400), job.udfs,
@@ -389,7 +389,7 @@ TEST(TraceNestingTest, AbortInstantNestsInFastSpanThenSlowPathFollows) {
 TEST(TraceHadoopTest, ScrubbedLinesIdenticalAcrossWorkerCounts) {
   auto run_job = [](int workers) {
     HadoopConfig config = HadoopWith(workers);
-    config.trace = true;
+    config.engine.observability.trace = true;
     HadoopJob job(config);
     DatasetPtr in = job.MakeInput(300);
     job.engine.fault_plan().AbortTask(job.engine.next_task_ordinal() + 1);
@@ -441,8 +441,8 @@ TEST(TraceHadoopTest, ScrubbedLinesIdenticalAcrossWorkerCounts) {
 
 TEST(TracePlanProfilerTest, StrideCollectsDispatchCountsAndSamples) {
   auto run_stage = [](int workers) {
-    SparkConfig config = SparkWith(workers);
-    config.plan_profile_stride = 8;
+    EngineConfig config = SparkWith(workers);
+    config.observability.plan_profile_stride = 8;
     SparkJob job(config);
     DatasetPtr out = job.engine.RunStage(job.MakeInput(400), job.udfs,
                                          {NarrowOp::Map(job.double_value, job.pair)});
@@ -462,8 +462,8 @@ TEST(TracePlanProfilerTest, StrideCollectsDispatchCountsAndSamples) {
 }
 
 TEST(TracePlanProfilerTest, DisabledStrideLeavesProfileEmpty) {
-  SparkConfig config = SparkWith(2);
-  ASSERT_EQ(config.plan_profile_stride, 0);  // off by default
+  EngineConfig config = SparkWith(2);
+  ASSERT_EQ(config.observability.plan_profile_stride, 0);  // off by default
   SparkJob job(config);
   DatasetPtr out = job.engine.RunStage(job.MakeInput(100), job.udfs,
                                        {NarrowOp::Map(job.double_value, job.pair)});

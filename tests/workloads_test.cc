@@ -9,19 +9,19 @@
 namespace gerenuk {
 namespace {
 
-SparkConfig SmallSpark(EngineMode mode) {
-  SparkConfig config;
-  config.mode = mode;
-  config.heap_bytes = 64u << 20;
-  config.num_partitions = 3;
+EngineConfig SmallSpark(EngineMode mode) {
+  EngineConfig config;
+  config.execution.mode = mode;
+  config.execution.heap_bytes = 64u << 20;
+  config.execution.num_partitions = 3;
   return config;
 }
 
 HadoopConfig SmallHadoop(EngineMode mode) {
   HadoopConfig config;
-  config.mode = mode;
-  config.heap_bytes = 64u << 20;
-  config.num_partitions = 3;
+  config.engine.execution.mode = mode;
+  config.engine.execution.heap_bytes = 64u << 20;
+  config.engine.execution.num_partitions = 3;
   config.num_reducers = 2;
   config.sort_buffer_bytes = 64 << 10;
   return config;
