@@ -8,11 +8,16 @@
 //      against a fixed engine pool.
 //   3. Fairness — under saturation, the per-tenant completed-job spread in
 //      the first half of the run (DRR should keep max/min within 2x).
+//   4. Resilience — cancel latency (cancel() on a running job to terminal
+//      status) and breaker recovery time (TripBreaker to the close after
+//      rebuild + probes).
 //
 // Run with --quick for the perf-smoke pass (smaller job counts, same shape).
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -234,6 +239,71 @@ void Fairness(bench::JsonWriter& json, int tenants, int jobs_per_tenant) {
   json.End();
 }
 
+void Resilience(bench::JsonWriter& json, int rounds) {
+  bench::PrintHeader("Service 4: cancel latency and breaker recovery time");
+  EngineService service(BenchService(1));
+  Session session = service.CreateSession("resilience");
+  RunTenants(service, 1, 3, 400, nullptr);  // warm the plan cache
+
+  // Cancel latency: a long-running body (many stages) is cancelled mid-run;
+  // measured from cancel() to the handle turning terminal — the cooperative
+  // unwind reaching the next task-attempt boundary plus handle resolution.
+  std::vector<double> cancel_ms;
+  for (int i = 0; i < rounds; ++i) {
+    auto started = std::make_shared<std::atomic<bool>>(false);
+    JobSpec endless;
+    endless.name = "endless";
+    endless.run = [started](EngineContext& ctx) -> std::string {
+      auto* setup = static_cast<PairServiceSetup*>(ctx.setup.get());
+      const PairUdfs& u = setup->spark;
+      for (;;) {
+        DatasetPtr in = MakePairInput(*ctx.spark, u, 400);
+        ctx.spark->RunStage(in, u.udfs, {NarrowOp::Map(u.double_value, u.pair)});
+        started->store(true);
+      }
+    };
+    JobHandle handle = session.Submit(std::move(endless));
+    while (!started->load()) {
+      std::this_thread::yield();
+    }
+    Clock::time_point start = Clock::now();
+    handle.cancel();
+    JobResult result = handle.wait();
+    cancel_ms.push_back(MsSince(start));
+    GERENUK_CHECK(result.status == JobStatus::kCancelled) << result.error;
+  }
+  std::sort(cancel_ms.begin(), cancel_ms.end());
+  const double cancel_median = cancel_ms[cancel_ms.size() / 2];
+
+  // Breaker recovery: TripBreaker, then feed probe jobs; measured from the
+  // trip to the breaker closing — engine teardown, rebuild (including the
+  // per-slot setup), and the probe successes.
+  const auto baseline_closes = service.breaker_stats().closes;
+  std::vector<double> recovery_ms;
+  for (int i = 0; i < rounds; ++i) {
+    Clock::time_point start = Clock::now();
+    GERENUK_CHECK(service.TripBreaker(0));
+    while (service.breaker_stats().closes <= baseline_closes + i) {
+      JobResult probe = session.Submit(MapJob(400)).wait();
+      GERENUK_CHECK(probe.status == JobStatus::kSucceeded) << probe.error;
+    }
+    recovery_ms.push_back(MsSince(start));
+  }
+  std::sort(recovery_ms.begin(), recovery_ms.end());
+  const double recovery_median = recovery_ms[recovery_ms.size() / 2];
+
+  std::printf("cancel latency:    %8.2fms median of %d (cancel -> terminal)\n", cancel_median,
+              rounds);
+  std::printf("breaker recovery:  %8.2fms median of %d (trip -> rebuilt + probes -> close)\n",
+              recovery_median, rounds);
+
+  json.BeginObject("resilience");
+  json.Field("cancel_latency_ms", cancel_median);
+  json.Field("breaker_recovery_ms", recovery_median);
+  json.Field("rounds", static_cast<int64_t>(rounds));
+  json.End();
+}
+
 }  // namespace
 }  // namespace gerenuk
 
@@ -251,6 +321,7 @@ int main(int argc, char** argv) {
   gerenuk::ThroughputScaling(json, /*num_engines=*/quick ? 2 : 4,
                              /*jobs_per_tenant=*/quick ? 4 : 12);
   gerenuk::Fairness(json, /*tenants=*/quick ? 4 : 8, /*jobs_per_tenant=*/quick ? 6 : 12);
+  gerenuk::Resilience(json, /*rounds=*/quick ? 3 : 9);
   json.End();
   std::printf("\nwrote BENCH_service.json\n");
   return 0;

@@ -129,6 +129,9 @@ class SparkEngine {
   void set_plan_cache(PlanCache* cache) { plan_cache_ = cache; }
   PlanCache* plan_cache() const { return plan_cache_; }
   void set_speculation_oracle(SpeculationOracle oracle) { oracle_ = std::move(oracle); }
+  // Job-level cooperative cancellation (see TaskScheduler::set_cancel_check):
+  // probed at every task-attempt boundary of every stage this engine runs.
+  void set_cancel_check(CancelCheck check) { scheduler_->set_cancel_check(std::move(check)); }
 
  private:
   using CompiledStage = StagePrograms;

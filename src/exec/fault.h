@@ -89,6 +89,49 @@ class TaskError : public std::runtime_error {
 };
 
 // ---------------------------------------------------------------------------
+// Job-level cooperative cancellation
+// ---------------------------------------------------------------------------
+
+// Why a running job should stop: a client called JobHandle::cancel(), or the
+// job's deadline expired. kNone means "keep going".
+enum class CancelCause : uint8_t { kNone = 0, kUserCancel = 1, kDeadline = 2 };
+
+inline const char* CancelCauseName(CancelCause cause) {
+  switch (cause) {
+    case CancelCause::kNone:
+      return "none";
+    case CancelCause::kUserCancel:
+      return "cancel";
+    case CancelCause::kDeadline:
+      return "deadline";
+  }
+  return "?";
+}
+
+// Probe installed by the service layer (TaskScheduler::set_cancel_check):
+// returns the first non-kNone cause once the enclosing job should stop. Must
+// be cheap and thread-safe — the scheduler polls it from every worker at
+// task-attempt boundaries and between retry backoffs.
+using CancelCheck = std::function<CancelCause()>;
+
+// Thrown by the scheduler when the cancel check fires. Unlike TaskError it
+// is never retryable: the stage fails fast, unwinds out of the engine and the
+// job body, and the service maps the cause to kCancelled/kDeadlineExceeded.
+class JobCancelled : public std::runtime_error {
+ public:
+  explicit JobCancelled(CancelCause cause)
+      : std::runtime_error(cause == CancelCause::kDeadline
+                               ? "job deadline exceeded (cooperative cancel at a task boundary)"
+                               : "job cancelled (cooperative cancel at a task boundary)"),
+        cause_(cause) {}
+
+  CancelCause cause() const { return cause_; }
+
+ private:
+  CancelCause cause_;
+};
+
+// ---------------------------------------------------------------------------
 // Recovery policies
 // ---------------------------------------------------------------------------
 

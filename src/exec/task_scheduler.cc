@@ -91,7 +91,18 @@ class TaskTraceScope {
 
 }  // namespace
 
+void TaskScheduler::ThrowIfJobCancelled() const {
+  if (cancel_check_ == nullptr) {
+    return;
+  }
+  const CancelCause cause = cancel_check_();
+  if (cause != CancelCause::kNone) {
+    throw JobCancelled(cause);
+  }
+}
+
 void TaskScheduler::RunAttempt(WorkerContext& ctx, int task, int attempt, bool fresh_context) {
+  ThrowIfJobCancelled();
   if (fresh_context) {
     // The previous attempt's executor is terminated and a fresh one
     // launched (§3.6, generalized to arbitrary faults): new heap, new
@@ -102,7 +113,16 @@ void TaskScheduler::RunAttempt(WorkerContext& ctx, int task, int attempt, bool f
   if (backoff_ms > 0) {
     // Deterministic backoff: a pure function of (task, attempt) and the
     // policy's jitter seed — reproducible schedules, no thundering herd.
-    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    // Slept in slices so a job-level cancel interrupts the wait instead of
+    // riding out the full (possibly long) backoff.
+    int64_t remaining_ms = backoff_ms;
+    while (remaining_ms > 0) {
+      ThrowIfJobCancelled();
+      const int64_t slice_ms = remaining_ms < 10 ? remaining_ms : 10;
+      std::this_thread::sleep_for(std::chrono::milliseconds(slice_ms));
+      remaining_ms -= slice_ms;
+    }
+    ThrowIfJobCancelled();
   }
   ctx.BeginAttempt(attempt, policy_.task_deadline_ms);
   TaskTraceScope span(ctx.trace_sink(), task, attempt);
@@ -121,6 +141,10 @@ bool TaskScheduler::HandleFailure(int task, int attempt, int slot, std::exceptio
     kind = e.kind();
     retryable = e.retryable();
     input_records = e.input_records();
+  } catch (const JobCancelled&) {
+    // The enclosing job was cancelled (or hit its deadline): retrying would
+    // just re-observe the cancel flag. Fail fast so the stage unwinds.
+    retryable = false;
   } catch (...) {
   }
   TraceSink* sink = contexts_[static_cast<size_t>(slot)]->trace_sink();
@@ -781,6 +805,7 @@ void TaskScheduler::RunStageSerial(int num_tasks, const Task& task, EngineStats*
   WorkerContext& ctx = *contexts_[0];
   for (int t = 0; t < num_tasks; ++t) {
     try {
+      ThrowIfJobCancelled();
       TaskTraceScope span(ctx.trace_sink(), t, 1);
       task(ctx, t);
     } catch (...) {

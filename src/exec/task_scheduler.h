@@ -217,6 +217,16 @@ class TaskScheduler {
   }
   const ExecutorSupervisorConfig& supervisor_config() const { return supervisor_config_; }
 
+  // Job-level cooperative cancellation (service mode). The check is probed
+  // at every task-attempt boundary — before an attempt starts, in slices of
+  // a retry backoff sleep, and between serial-stage tasks — and a non-kNone
+  // cause fails the attempt with JobCancelled (never retried), so the stage
+  // unwinds promptly with whatever tasks already committed reflected in the
+  // stats. Install while the scheduler is idle (between stages), like
+  // set_trace: workers read it without synchronization beyond the stage
+  // barrier. Pass nullptr to detach.
+  void set_cancel_check(CancelCheck check) { cancel_check_ = std::move(check); }
+
   // Attaches a trace (or detaches with nullptr): each worker context gets
   // its per-worker sink, task attempts are bracketed with spans, scheduler
   // decisions (retry/relaunch/quarantine) become instants, and worker sinks
@@ -261,6 +271,8 @@ class TaskScheduler {
   void WorkerLoop(int slot);
   void RunTasksOn(WorkerContext& ctx, int slot);
   void RunAttempt(WorkerContext& ctx, int task, int attempt, bool fresh_context);
+  // Throws JobCancelled when the installed cancel check reports a cause.
+  void ThrowIfJobCancelled() const;
   // Classifies a failed attempt under mu_: requeue, quarantine, or record
   // the error. `slot` is the worker the attempt ran on (banned for straggler
   // relaunches). Returns true if the stage gained new runnable work.
@@ -280,6 +292,7 @@ class TaskScheduler {
   std::vector<std::unique_ptr<WorkerContext>> contexts_;
   std::vector<std::thread> threads_;
   RetryPolicy policy_;
+  CancelCheck cancel_check_;  // null = no job-level cancellation
   Trace* trace_ = nullptr;
   bool process_mode_ = false;
   ExecutorSupervisorConfig supervisor_config_;

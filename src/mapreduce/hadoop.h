@@ -105,6 +105,9 @@ class HadoopEngine {
   void set_plan_cache(PlanCache* cache) { plan_cache_ = cache; }
   PlanCache* plan_cache() const { return plan_cache_; }
   void set_speculation_oracle(SpeculationOracle oracle) { oracle_ = std::move(oracle); }
+  // Job-level cooperative cancellation, shared semantics with SparkEngine:
+  // probed at every map/reduce task-attempt boundary.
+  void set_cancel_check(CancelCheck check) { scheduler_->set_cancel_check(std::move(check)); }
 
  private:
   // One spilled, sorted map-output segment. Per reducer partition: records

@@ -1,30 +1,78 @@
 #include "src/service/admission.h"
 
+#include <algorithm>
+#include <chrono>
 #include <utility>
 
 namespace gerenuk {
 
-bool AdmissionController::Submit(QueuedJob job) {
+namespace {
+
+// Clamp for the byte-correction EWMA: one pathological job (an exploding
+// join, an empty output) must not swing the tenant's future charges by more
+// than an order of magnitude in either direction.
+constexpr double kMinCorrection = 0.25;
+constexpr double kMaxCorrection = 8.0;
+constexpr double kCorrectionAlpha = 0.2;
+
+}  // namespace
+
+int64_t AdmissionController::ChargeForLocked(const TenantQueue& queue, const JobSpec& spec) const {
+  if (spec.input_bytes <= 0) {
+    return 0;  // unknown size: bypasses byte accounting entirely
+  }
+  const double charge = static_cast<double>(spec.input_bytes) * queue.byte_correction;
+  return std::max<int64_t>(1, static_cast<int64_t>(charge));
+}
+
+AdmitResult AdmissionController::Submit(QueuedJob job) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_ || depth_ >= max_depth_) {
+    if (shutdown_) {
       stats_.rejected += 1;
-      return false;
+      stats_.rejected_shutdown += 1;
+      return AdmitResult::kRejectedShutdown;
+    }
+    if (depth_ >= max_depth_) {
+      stats_.rejected += 1;
+      stats_.rejected_global_depth += 1;
+      return AdmitResult::kRejectedGlobalDepth;
     }
     TenantQueue& queue = tenants_[job.tenant];
     if (static_cast<int>(queue.jobs.size()) >= max_depth_per_tenant_) {
       stats_.rejected += 1;
-      return false;
+      stats_.rejected_tenant_depth += 1;
+      return AdmitResult::kRejectedTenantDepth;
     }
+    const int64_t charge = ChargeForLocked(queue, job.spec);
+    if (charge > 0) {
+      const bool over_global =
+          max_inflight_bytes_ >= 0 && stats_.inflight_bytes + charge > max_inflight_bytes_;
+      const bool over_tenant = max_inflight_bytes_per_tenant_ >= 0 &&
+                               queue.inflight_bytes + charge > max_inflight_bytes_per_tenant_;
+      if (over_global || over_tenant) {
+        stats_.rejected += 1;
+        stats_.rejected_bytes += 1;
+        return AdmitResult::kRejectedBytes;
+      }
+    }
+    job.byte_charge = charge;
+    queue.inflight_bytes += charge;
+    stats_.inflight_bytes += charge;
     if (queue.jobs.empty()) {
       ring_.push_back(job.tenant);
     }
-    queue.jobs.push_back(std::move(job));
+    // Priority insert within this tenant only: before the first strictly
+    // lower-priority job, so equal priorities stay FIFO.
+    auto pos = std::find_if(queue.jobs.begin(), queue.jobs.end(), [&job](const QueuedJob& other) {
+      return other.spec.priority < job.spec.priority;
+    });
+    queue.jobs.insert(pos, std::move(job));
     depth_ += 1;
     stats_.submitted += 1;
   }
   cv_.notify_one();
-  return true;
+  return AdmitResult::kAdmitted;
 }
 
 bool AdmissionController::Next(QueuedJob* out) {
@@ -64,6 +112,62 @@ bool AdmissionController::Next(QueuedJob* out) {
   }
 }
 
+bool AdmissionController::Cancel(const internal::JobState* state, QueuedJob* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto tenant_it = tenants_.find(state->tenant);
+  if (tenant_it == tenants_.end()) {
+    return false;
+  }
+  TenantQueue& queue = tenant_it->second;
+  auto job_it = std::find_if(queue.jobs.begin(), queue.jobs.end(),
+                             [state](const QueuedJob& job) { return job.state.get() == state; });
+  if (job_it == queue.jobs.end()) {
+    return false;  // already dispatched (or never admitted): cooperative path
+  }
+  queue.inflight_bytes -= job_it->byte_charge;
+  stats_.inflight_bytes -= job_it->byte_charge;
+  *out = std::move(*job_it);
+  queue.jobs.erase(job_it);
+  depth_ -= 1;
+  stats_.cancelled_queued += 1;
+  if (queue.jobs.empty()) {
+    queue.deficit = 0;
+    queue.granted = false;
+    auto ring_it = std::find(ring_.begin(), ring_.end(), state->tenant);
+    if (ring_it != ring_.end()) {
+      ring_.erase(ring_it);
+    }
+  }
+  return true;
+}
+
+void AdmissionController::Release(const std::string& tenant, int64_t byte_charge) {
+  if (byte_charge <= 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it != tenants_.end()) {
+    it->second.inflight_bytes -= byte_charge;
+  }
+  stats_.inflight_bytes -= byte_charge;
+}
+
+void AdmissionController::ObserveCompletion(const std::string& tenant, int64_t input_bytes,
+                                            int64_t output_bytes) {
+  if (input_bytes <= 0) {
+    return;  // no estimate was charged, so there is nothing to correct
+  }
+  const double sample =
+      static_cast<double>(input_bytes + std::max<int64_t>(0, output_bytes)) /
+      static_cast<double>(input_bytes);
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantQueue& queue = tenants_[tenant];
+  queue.byte_correction =
+      queue.byte_correction * (1.0 - kCorrectionAlpha) + kCorrectionAlpha * sample;
+  queue.byte_correction = std::min(kMaxCorrection, std::max(kMinCorrection, queue.byte_correction));
+}
+
 void AdmissionController::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -80,6 +184,43 @@ AdmissionController::Stats AdmissionController::stats() const {
 int AdmissionController::depth() const {
   std::lock_guard<std::mutex> lock(mu_);
   return depth_;
+}
+
+// Defined here (not in job.h) because a synchronous queued-job cancel must
+// reach into the admission controller, and job.h only forward-declares it.
+bool JobHandle::cancel() {
+  if (state_ == nullptr) {
+    return false;
+  }
+  // Set the cooperative flag first: if the job is dispatched between our
+  // queue removal attempt and now, the dispatcher or scheduler still sees it.
+  state_->cancel_requested.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (internal::IsTerminal(state_->result.status)) {
+      return false;
+    }
+  }
+  std::shared_ptr<AdmissionController> admission = state_->admission.lock();
+  if (admission == nullptr) {
+    return true;  // service gone; the flag alone is the best we can do
+  }
+  QueuedJob job;
+  if (admission->Cancel(state_.get(), &job)) {
+    // Removed before dispatch: resolve the handle right here, synchronously.
+    const int64_t queue_wait_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                             job.enqueued)
+            .count();
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (!internal::IsTerminal(state_->result.status)) {
+      state_->result.status = JobStatus::kCancelled;
+      state_->result.error = "cancelled before dispatch";
+      state_->result.queue_wait_ns = queue_wait_ns;
+      state_->cv.notify_all();
+    }
+  }
+  return true;
 }
 
 }  // namespace gerenuk

@@ -1,18 +1,28 @@
 // Admission control for the multi-tenant engine service: bounded queue
-// depth (global and per tenant) with deficit-round-robin (DRR) fair-share
-// dispatch across tenants.
+// depth (global and per tenant), in-flight byte quotas, and deficit-round-
+// robin (DRR) fair-share dispatch across tenants.
 //
-// Submit never blocks: a job that would exceed either depth bound is
-// rejected synchronously (the caller resolves its handle to kRejected).
-// Next blocks dispatcher threads until a job is dispatchable; after
-// Shutdown it drains the backlog and then returns false.
+// Submit never blocks: a job that would exceed a depth bound or byte budget
+// is rejected synchronously with a typed AdmitResult (the caller resolves
+// its handle to kRejected, naming the bound that fired). Next blocks
+// dispatcher threads until a job is dispatchable; after Shutdown it drains
+// the backlog and then returns false.
 //
 // DRR (Shreedhar & Varghese): tenants with pending jobs sit in a round-robin
 // ring; a tenant at the head earns `quantum` deficit per visit and dispatches
 // jobs while its deficit covers the head job's cost. Costs are abstract
 // units (JobSpec::cost); with equal costs and a saturated queue every tenant
 // completes within one quantum of its neighbors — the fairness-spread bound
-// the service tests assert.
+// the service tests assert. Within ONE tenant's queue, higher JobSpec
+// priority dispatches first (FIFO among equals); priority never crosses
+// tenant boundaries, so it cannot defeat DRR fairness.
+//
+// Byte quotas: a job with input_bytes > 0 is charged
+// input_bytes × tenant-correction at Submit, where the correction is an EWMA
+// of observed (input + output) / input for that tenant's completed jobs
+// (initially 1.0). The charge stays held until the service releases it at
+// the job's terminal state, bounding the total bytes the service has
+// admitted-but-not-finished, globally and per tenant.
 #ifndef SRC_SERVICE_ADMISSION_H_
 #define SRC_SERVICE_ADMISSION_H_
 
@@ -27,26 +37,83 @@
 
 namespace gerenuk {
 
+// Why Submit admitted or refused a job. Every rejection reason has its own
+// metrics counter and trace instant so capacity incidents are attributable.
+enum class AdmitResult : uint8_t {
+  kAdmitted,
+  kRejectedTenantDepth,
+  kRejectedGlobalDepth,
+  kRejectedBytes,
+  kRejectedShutdown,
+};
+
+inline const char* AdmitResultName(AdmitResult result) {
+  switch (result) {
+    case AdmitResult::kAdmitted:
+      return "admitted";
+    case AdmitResult::kRejectedTenantDepth:
+      return "rejected_tenant_depth";
+    case AdmitResult::kRejectedGlobalDepth:
+      return "rejected_global_depth";
+    case AdmitResult::kRejectedBytes:
+      return "rejected_bytes";
+    case AdmitResult::kRejectedShutdown:
+      return "rejected_shutdown";
+  }
+  return "?";
+}
+
 class AdmissionController {
  public:
   struct Stats {
     int64_t submitted = 0;   // accepted into the queue
-    int64_t rejected = 0;    // refused at Submit (depth bound or shutdown)
+    int64_t rejected = 0;    // refused at Submit, any reason (sum of the below)
     int64_t dispatched = 0;  // handed to a dispatcher via Next
+    int64_t rejected_tenant_depth = 0;
+    int64_t rejected_global_depth = 0;
+    int64_t rejected_bytes = 0;
+    int64_t rejected_shutdown = 0;
+    int64_t cancelled_queued = 0;  // removed by Cancel before dispatch
+    int64_t inflight_bytes = 0;    // currently-held byte charges (point-in-time)
   };
 
-  AdmissionController(int max_queue_depth, int max_queue_depth_per_tenant, int64_t drr_quantum)
+  // Byte budgets of -1 disable byte-quota admission (the historical 3-arg
+  // signature keeps compiling); 0 is a configuration error the service
+  // rejects in Validate, not here.
+  AdmissionController(int max_queue_depth, int max_queue_depth_per_tenant, int64_t drr_quantum,
+                      int64_t max_inflight_bytes = -1, int64_t max_inflight_bytes_per_tenant = -1)
       : max_depth_(max_queue_depth),
         max_depth_per_tenant_(max_queue_depth_per_tenant),
-        quantum_(drr_quantum) {}
+        quantum_(drr_quantum),
+        max_inflight_bytes_(max_inflight_bytes),
+        max_inflight_bytes_per_tenant_(max_inflight_bytes_per_tenant) {}
 
-  // Enqueues the job unless the global or per-tenant depth bound is hit or
-  // the controller is shut down; returns false (job dropped) in those cases.
-  bool Submit(QueuedJob job);
+  // Enqueues the job unless a depth bound or byte budget is hit or the
+  // controller is shut down; the job is dropped on any non-kAdmitted result.
+  // On admission the computed byte charge is recorded in the queued job and
+  // held until Release.
+  AdmitResult Submit(QueuedJob job);
 
   // Blocks until a job is dispatchable and moves it into `*out`. Returns
   // false only when shut down AND drained — dispatcher threads exit on it.
   bool Next(QueuedJob* out);
+
+  // Synchronous cancel of a still-queued job: removes the job whose handle
+  // state is `state` from its tenant queue, releases its byte charge, and
+  // moves it into `*out`. Returns false if the job is not queued here (it
+  // was already dispatched, cancelled, or never admitted) — the caller then
+  // relies on the cooperative cancel flag instead.
+  bool Cancel(const internal::JobState* state, QueuedJob* out);
+
+  // Returns a dispatched job's byte charge to the budgets. Call exactly once
+  // per dispatched job, at its terminal state (any status). No-op for
+  // charge == 0.
+  void Release(const std::string& tenant, int64_t byte_charge);
+
+  // Feeds the tenant's byte-correction EWMA with one completed job's
+  // observed sizes. Call for kSucceeded jobs only — failed bodies report
+  // truncated outputs that would bias the estimate low.
+  void ObserveCompletion(const std::string& tenant, int64_t input_bytes, int64_t output_bytes);
 
   // Stops accepting new jobs; queued jobs still drain through Next.
   void Shutdown();
@@ -62,13 +129,21 @@ class AdmissionController {
     // granted. Without this a tenant parked at the head would earn a fresh
     // quantum on every Next() call and starve the ring behind it.
     bool granted = false;
+    // Byte-quota state (persists while the queue is empty: the correction
+    // is a property of the tenant's workload, not of its backlog).
+    int64_t inflight_bytes = 0;
+    double byte_correction = 1.0;  // EWMA of observed (input+output)/input
   };
+
+  int64_t ChargeForLocked(const TenantQueue& queue, const JobSpec& spec) const;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   const int max_depth_;
   const int max_depth_per_tenant_;
   const int64_t quantum_;
+  const int64_t max_inflight_bytes_;             // -1 = unlimited
+  const int64_t max_inflight_bytes_per_tenant_;  // -1 = unlimited
   // Tenant in ring_ <=> its queue is non-empty. Ring order is round-robin:
   // a tenant whose deficit cannot cover its head job rotates to the back.
   std::map<std::string, TenantQueue> tenants_;

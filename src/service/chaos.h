@@ -1,0 +1,134 @@
+// Deterministic chaos campaigns against the engine service: a seeded
+// schedule of jobs and faults — injected task failures, forced SER aborts,
+// cancel storms, deadline races, dispatcher stalls, slot kills — driven
+// through a real EngineService, with the invariants the service must hold
+// under all of it checked at the end:
+//
+//   * no hangs — every JobHandle reaches a terminal status under a global
+//     watchdog budget;
+//   * correctness under recovery — every kSucceeded output is byte-identical
+//     to the workload's fault-free sequential reference;
+//   * conservation — admission counters balance (submitted == dispatched +
+//     cancelled-in-queue once drained) and every byte charge is released;
+//   * breaker sanity — opens == rebuilds, and (when requested) at least one
+//     full open -> half-open -> close cycle happened.
+//
+// Everything random comes from one seeded Rng (support/rng.h), so a failing
+// campaign replays exactly from its seed (tests/chaos_test --chaos_seed=N).
+// The schedule is deterministic; the interleaving is not — which is the
+// point: the invariants above must hold for every interleaving.
+#ifndef SRC_SERVICE_CHAOS_H_
+#define SRC_SERVICE_CHAOS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/service/engine_service.h"
+#include "src/service/job.h"
+
+namespace gerenuk {
+
+// Campaign shape + fault mix. Probabilities are per job and independent, so
+// one job can stack several faults (an aborting body under a tight deadline
+// that also gets cancelled — exactly the races worth probing).
+struct ChaosConfig {
+  uint64_t seed = 1;
+  int tenants = 8;
+  int jobs_per_tenant = 25;
+  int num_engines = 2;
+
+  // Fault mix.
+  double p_task_fault = 0.30;     // injected task exception, first attempt only
+  double p_unrecoverable = 0.06;  // exception on every attempt -> job fails
+  double p_force_aborts = 0.20;   // forced SER aborts (speculation recovery path)
+  double p_cancel = 0.12;         // client cancels after a random delay
+  double p_deadline = 0.12;       // tight per-job deadline (races dispatch/run)
+  double p_stall = 0.06;          // sleep at body entry (parks the dispatcher)
+  double p_slot_kill = 0.015;     // TripBreaker on a random slot before submit
+  int64_t stall_ms_max = 20;
+  int64_t cancel_delay_us_max = 4000;
+  int64_t deadline_ms_max = 30;
+
+  // Service knobs the campaign overrides on the workload's config.
+  int max_queue_depth = 4096;
+  int max_queue_depth_per_tenant = 512;
+  int breaker_failure_threshold = 3;
+  int breaker_probe_jobs = 2;
+  int64_t max_inflight_bytes = -1;
+  int64_t max_inflight_bytes_per_tenant = -1;
+
+  // Global no-hang budget for waiting out the whole campaign.
+  int64_t watchdog_ms = 300000;
+  // When the random mix never completed a breaker cycle, deterministically
+  // trip slot 0 and feed probe jobs until one closes (acceptance requires
+  // at least one full cycle per campaign).
+  bool force_breaker_cycle = true;
+};
+
+// One job's planned faults, fixed before the campaign starts.
+struct ChaosJobPlan {
+  int tenant = 0;
+  int kind = 0;
+  int priority = 0;
+  int64_t deadline_ms = 0;  // 0 = none
+  bool cancel = false;
+  int64_t cancel_delay_us = 0;
+  int64_t stall_ms = 0;
+  int force_aborts = 0;
+  bool inject_exception = false;
+  bool unrecoverable = false;
+  int kill_slot = -1;  // >= 0: TripBreaker(kill_slot) right before this submit
+};
+
+inline bool operator==(const ChaosJobPlan& a, const ChaosJobPlan& b) {
+  return a.tenant == b.tenant && a.kind == b.kind && a.priority == b.priority &&
+         a.deadline_ms == b.deadline_ms && a.cancel == b.cancel &&
+         a.cancel_delay_us == b.cancel_delay_us && a.stall_ms == b.stall_ms &&
+         a.force_aborts == b.force_aborts && a.inject_exception == b.inject_exception &&
+         a.unrecoverable == b.unrecoverable && a.kill_slot == b.kill_slot;
+}
+
+// The full campaign schedule, in submission order (tenants interleaved
+// round-robin). Pure function of (config, num_kinds): same seed, same plans.
+struct ChaosSchedule {
+  std::vector<ChaosJobPlan> jobs;
+  static ChaosSchedule Generate(const ChaosConfig& config, int num_kinds);
+};
+
+// What the campaign runs: a kind-indexed job factory over a service config
+// (engine template + per-slot setup), plus the fault-free reference output
+// per kind for the byte-identical check.
+struct ChaosWorkload {
+  int num_kinds = 0;
+  ServiceConfig service;  // engine/hadoop/setup template; campaign overrides bounds
+  std::function<JobSpec(int kind)> make_job;
+  std::vector<std::string> expected;  // reference output per kind ("" = skip check)
+};
+
+struct ChaosReport {
+  int64_t jobs = 0;
+  int64_t succeeded = 0;
+  int64_t failed = 0;
+  int64_t cancelled = 0;
+  int64_t deadline_exceeded = 0;
+  int64_t rejected = 0;
+  int64_t hangs = 0;
+  int64_t output_mismatches = 0;
+  AdmissionController::Stats admission;
+  EngineService::BreakerStats breaker;
+  // Human-readable invariant violations; empty <=> the campaign passed.
+  std::vector<std::string> violations;
+  bool ok() const { return violations.empty(); }
+  std::string Summary() const;
+};
+
+// Runs one campaign end to end and checks the invariants. On a detected
+// hang the EngineService is intentionally leaked (its destructor would
+// block on the hung job) — acceptable in a test process about to fail.
+ChaosReport RunChaosCampaign(const ChaosConfig& config, const ChaosWorkload& workload);
+
+}  // namespace gerenuk
+
+#endif  // SRC_SERVICE_CHAOS_H_

@@ -16,10 +16,34 @@ int64_t NanosBetween(std::chrono::steady_clock::time_point from,
   return std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count();
 }
 
+// Steady-clock nanoseconds since its (arbitrary) epoch: the representation
+// JobState::deadline_steady_ns uses, comparable across threads.
+int64_t NowSteadyNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 const ServiceConfig& ValidatedServiceConfig(const ServiceConfig& config) {
   const std::string error = config.Validate();
   GERENUK_CHECK(error.empty()) << "invalid ServiceConfig: " << error;
   return config;
+}
+
+std::string RejectionMessage(AdmitResult result) {
+  switch (result) {
+    case AdmitResult::kRejectedGlobalDepth:
+      return "admission refused: global queue depth bound hit (max_queue_depth)";
+    case AdmitResult::kRejectedTenantDepth:
+      return "admission refused: per-tenant queue depth bound hit (max_queue_depth_per_tenant)";
+    case AdmitResult::kRejectedBytes:
+      return "admission refused: in-flight byte budget exhausted (max_inflight_bytes)";
+    case AdmitResult::kRejectedShutdown:
+      return "admission refused: service shut down";
+    case AdmitResult::kAdmitted:
+      break;
+  }
+  return "admission refused";
 }
 
 }  // namespace
@@ -39,6 +63,34 @@ std::string ServiceConfig::Validate() const {
   if (drr_quantum < 1) {
     return "drr_quantum must be >= 1 (got " + std::to_string(drr_quantum) + ")";
   }
+  if (max_inflight_bytes == 0 || max_inflight_bytes < -1) {
+    return "max_inflight_bytes must be > 0, or -1 to disable byte-quota admission (got " +
+           std::to_string(max_inflight_bytes) + "); a zero budget would reject every sized job";
+  }
+  if (max_inflight_bytes_per_tenant == 0 || max_inflight_bytes_per_tenant < -1) {
+    return "max_inflight_bytes_per_tenant must be > 0, or -1 to disable (got " +
+           std::to_string(max_inflight_bytes_per_tenant) +
+           "); a zero budget would reject every sized job";
+  }
+  if (max_inflight_bytes > 0 && max_inflight_bytes_per_tenant > max_inflight_bytes) {
+    return "max_inflight_bytes_per_tenant must be <= max_inflight_bytes (got " +
+           std::to_string(max_inflight_bytes_per_tenant) + " with max_inflight_bytes " +
+           std::to_string(max_inflight_bytes) + ")";
+  }
+  if (default_deadline_ms < 0) {
+    return "default_deadline_ms must be >= 0, where 0 means no deadline (got " +
+           std::to_string(default_deadline_ms) + ")";
+  }
+  if (breaker_failure_threshold < 1) {
+    return "breaker_failure_threshold must be >= 1 (got " +
+           std::to_string(breaker_failure_threshold) + ")";
+  }
+  if (breaker_probe_jobs < 1) {
+    return "breaker_probe_jobs must be >= 1 (got " + std::to_string(breaker_probe_jobs) + ")";
+  }
+  if (breaker_open_ms < 0) {
+    return "breaker_open_ms must be >= 0 (got " + std::to_string(breaker_open_ms) + ")";
+  }
   if (plan_cache_budget_bytes == 0) {
     return "plan_cache_budget_bytes must be non-zero: every insert would thrash";
   }
@@ -55,34 +107,29 @@ std::string ServiceConfig::Validate() const {
   return engine.Validate();
 }
 
-EngineService::EngineService(const ServiceConfig& config)
-    : config_(ValidatedServiceConfig(config)),
-      admission_(config_.max_queue_depth, config_.max_queue_depth_per_tenant,
-                 config_.drr_quantum) {
+EngineService::EngineService(const ServiceConfig& config) : config_(ValidatedServiceConfig(config)) {
   // The pooled engines run with the engine-wide governor disabled; the
   // per-tenant oracle (fed from config_.engine.fault.governor_*) replaces it.
-  EngineConfig pooled = config_.engine;
-  pooled.fault.governor_abort_threshold = -1.0;
-  HadoopConfig pooled_hadoop;
-  pooled_hadoop.engine = pooled;
-  pooled_hadoop.num_reducers = config_.hadoop_num_reducers;
-  pooled_hadoop.sort_buffer_bytes = config_.hadoop_sort_buffer_bytes;
+  pooled_config_ = config_.engine;
+  pooled_config_.fault.governor_abort_threshold = -1.0;
+  pooled_hadoop_config_.engine = pooled_config_;
+  pooled_hadoop_config_.num_reducers = config_.hadoop_num_reducers;
+  pooled_hadoop_config_.sort_buffer_bytes = config_.hadoop_sort_buffer_bytes;
+
+  admission_ = std::make_shared<AdmissionController>(
+      config_.max_queue_depth, config_.max_queue_depth_per_tenant, config_.drr_quantum,
+      config_.max_inflight_bytes, config_.max_inflight_bytes_per_tenant);
+  if (config_.engine.observability.trace) {
+    service_trace_ =
+        std::make_unique<Trace>(/*num_workers=*/0, config_.engine.observability.trace_buffer_events);
+  }
 
   slots_.reserve(static_cast<size_t>(config_.num_engines));
   for (int i = 0; i < config_.num_engines; ++i) {
     auto slot = std::make_unique<EngineSlot>(config_.plan_cache_budget_bytes);
-    slot->spark = std::make_unique<SparkEngine>(pooled);
-    slot->hadoop = std::make_unique<HadoopEngine>(pooled_hadoop);
-    slot->spark->set_plan_cache(&slot->spark_cache);
-    slot->hadoop->set_plan_cache(&slot->hadoop_cache);
-    slot->ctx.spark = slot->spark.get();
-    slot->ctx.hadoop = slot->hadoop.get();
-    slot->ctx.slot = i;
-    if (config_.setup != nullptr) {
-      // Setup runs on this thread before the dispatcher exists; the thread
-      // start below publishes its effects to the dispatcher.
-      slot->ctx.setup = config_.setup(slot->ctx);
-    }
+    // Setup runs on this thread before the dispatcher exists; the thread
+    // start below publishes its effects to the dispatcher.
+    BuildSlotEngines(slot.get(), i);
     slots_.push_back(std::move(slot));
   }
   for (auto& slot : slots_) {
@@ -96,7 +143,7 @@ void EngineService::Shutdown() {
   if (shut_down_.exchange(true)) {
     return;
   }
-  admission_.Shutdown();
+  admission_->Shutdown();
   for (auto& slot : slots_) {
     if (slot->dispatcher.joinable()) {
       slot->dispatcher.join();
@@ -104,40 +151,133 @@ void EngineService::Shutdown() {
   }
 }
 
+void EngineService::BuildSlotEngines(EngineSlot* slot, int index) {
+  // Cached artifacts hold pointers into the engines they were compiled on —
+  // clear the caches before the old engines go away, never after.
+  slot->spark_cache.Clear();
+  slot->hadoop_cache.Clear();
+  slot->spark.reset();
+  slot->hadoop.reset();
+  slot->spark = std::make_unique<SparkEngine>(pooled_config_);
+  slot->hadoop = std::make_unique<HadoopEngine>(pooled_hadoop_config_);
+  slot->spark->set_plan_cache(&slot->spark_cache);
+  slot->hadoop->set_plan_cache(&slot->hadoop_cache);
+  slot->ctx.spark = slot->spark.get();
+  slot->ctx.hadoop = slot->hadoop.get();
+  slot->ctx.slot = index;
+  slot->ctx.setup.reset();
+  if (config_.setup != nullptr) {
+    slot->ctx.setup = config_.setup(slot->ctx);
+  }
+}
+
+bool EngineService::TripBreaker(int slot) {
+  if (slot < 0 || slot >= static_cast<int>(slots_.size())) {
+    return false;
+  }
+  slots_[static_cast<size_t>(slot)]->kill_requested.store(true, std::memory_order_release);
+  return true;
+}
+
 JobHandle EngineService::Submit(const std::string& tenant, JobSpec spec) {
   auto state = std::make_shared<internal::JobState>();
   state->id = next_job_id_.fetch_add(1, std::memory_order_relaxed);
+  state->tenant = tenant;
+  state->admission = admission_;
+  const int64_t id = static_cast<int64_t>(state->id);
+
+  if (spec.deadline_ms < 0) {
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->result.status = JobStatus::kRejected;
+      state->result.error = "invalid JobSpec: deadline_ms must be >= 0, where 0 means the "
+                            "service default (got " +
+                            std::to_string(spec.deadline_ms) + ")";
+    }
+    ServiceInstant(TraceEventType::kAdmissionReject, "rejected_invalid_spec", id);
+    return JobHandle(std::move(state));
+  }
+  const int64_t deadline_ms = spec.deadline_ms > 0 ? spec.deadline_ms : config_.default_deadline_ms;
+  if (deadline_ms > 0) {
+    state->deadline_steady_ns = NowSteadyNs() + deadline_ms * 1000000;
+  }
+
   QueuedJob job;
   job.tenant = tenant;
   job.spec = std::move(spec);
   job.state = state;
   job.enqueued = std::chrono::steady_clock::now();
-  if (!admission_.Submit(std::move(job))) {
+  const AdmitResult admit = admission_->Submit(std::move(job));
+  if (admit != AdmitResult::kAdmitted) {
     {
       std::lock_guard<std::mutex> lock(state->mu);
       state->result.status = JobStatus::kRejected;
-      state->result.error = "admission refused: queue depth bound hit or service shut down";
+      state->result.error = RejectionMessage(admit);
     }
     state->cv.notify_all();
+    ServiceInstant(TraceEventType::kAdmissionReject, AdmitResultName(admit), id);
   }
   return JobHandle(std::move(state));
 }
 
 void EngineService::DispatchLoop(EngineSlot* slot) {
   QueuedJob job;
-  while (admission_.Next(&job)) {
+  while (admission_->Next(&job)) {
+    if (slot->kill_requested.exchange(false, std::memory_order_acq_rel)) {
+      // Simulated slot loss (TripBreaker): open as if the failure threshold
+      // had been crossed. The popped job then runs on the rebuilt engines.
+      OpenBreaker(slot);
+    }
     RunOne(slot, &job);
     job = QueuedJob();  // drop the body + handle reference before blocking
   }
 }
 
-void EngineService::RunOne(EngineSlot* slot, QueuedJob* job) {
-  const auto started = std::chrono::steady_clock::now();
+void EngineService::ResolveUnrun(QueuedJob* job, JobStatus status, const char* error) {
+  const int64_t queue_wait_ns = NanosBetween(job->enqueued, std::chrono::steady_clock::now());
+  admission_->Release(job->tenant, job->byte_charge);
+  const bool deadline = status == JobStatus::kDeadlineExceeded;
+  (deadline ? jobs_deadline_exceeded_ : jobs_cancelled_).fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(tenants_mu_);
+    tenants_[job->tenant].registry.Counter(deadline ? "jobs_deadline_exceeded" : "jobs_cancelled") +=
+        1;
+  }
+  ServiceInstant(TraceEventType::kJobCancel,
+                 deadline ? "job_deadline_exceeded" : "job_cancelled",
+                 static_cast<int64_t>(job->state->id));
   {
     std::lock_guard<std::mutex> lock(job->state->mu);
-    job->state->result.status = JobStatus::kRunning;
+    JobResult& result = job->state->result;
+    if (internal::IsTerminal(result.status)) {
+      return;  // a concurrent JobHandle::cancel resolved it first
+    }
+    result.status = status;
+    result.error = error;
+    result.queue_wait_ns = queue_wait_ns;
   }
   job->state->cv.notify_all();
+}
+
+void EngineService::RunOne(EngineSlot* slot, QueuedJob* job) {
+  internal::JobState* state = job->state.get();
+  // Queue-side terminal checks: a job whose cancel or deadline fired while
+  // it waited never touches an engine (its stats stay zero).
+  if (state->cancel_requested.load(std::memory_order_acquire)) {
+    ResolveUnrun(job, JobStatus::kCancelled, "cancelled before the body started");
+    return;
+  }
+  if (state->deadline_steady_ns > 0 && NowSteadyNs() >= state->deadline_steady_ns) {
+    ResolveUnrun(job, JobStatus::kDeadlineExceeded, "deadline expired in the admission queue");
+    return;
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->result.status = JobStatus::kRunning;
+  }
+  state->cv.notify_all();
 
   // Per-job scoping: metrics (and the merged trace, when tracing) restart
   // from zero so the snapshot after the body is this job's delta.
@@ -151,51 +291,159 @@ void EngineService::RunOne(EngineSlot* slot, QueuedJob* job) {
   }
   InstallOracle(slot, job->tenant);
 
+  // Cooperative cancellation: both engines probe this at every task-attempt
+  // boundary while the body runs. The raw JobState pointer is safe — the
+  // check is detached below before `job` releases its state reference.
+  const int64_t deadline_ns = state->deadline_steady_ns;
+  CancelCheck check = [state, deadline_ns]() {
+    if (state->cancel_requested.load(std::memory_order_acquire)) {
+      return CancelCause::kUserCancel;
+    }
+    if (deadline_ns > 0 && NowSteadyNs() >= deadline_ns) {
+      return CancelCause::kDeadline;
+    }
+    return CancelCause::kNone;
+  };
+  slot->spark->set_cancel_check(check);
+  slot->hadoop->set_cancel_check(check);
+
   std::string output;
   std::string error;
-  bool ok = true;
+  JobStatus status = JobStatus::kSucceeded;
   if (job->spec.run == nullptr) {
-    ok = false;
+    status = JobStatus::kFailed;
     error = "job has no body";
   } else {
     try {
       output = job->spec.run(slot->ctx);
+      // A body that finishes despite a set cancel flag still succeeds: the
+      // work is done, throwing it away would help no one.
+    } catch (const JobCancelled& e) {
+      status = e.cause() == CancelCause::kDeadline ? JobStatus::kDeadlineExceeded
+                                                   : JobStatus::kCancelled;
+      error = e.what();
     } catch (const std::exception& e) {
-      ok = false;
+      status = JobStatus::kFailed;
       error = e.what();
     } catch (...) {
-      ok = false;
+      status = JobStatus::kFailed;
       error = "job body threw a non-exception value";
     }
   }
+  slot->spark->set_cancel_check(nullptr);
+  slot->hadoop->set_cancel_check(nullptr);
   const auto finished = std::chrono::steady_clock::now();
 
   EngineStats stats = slot->spark->stats();
   stats += slot->hadoop->stats();
   const int64_t queue_wait_ns = NanosBetween(job->enqueued, started);
   const int64_t exec_ns = NanosBetween(started, finished);
+  const int64_t output_bytes = static_cast<int64_t>(output.size());
+
+  admission_->Release(job->tenant, job->byte_charge);
+  if (status == JobStatus::kSucceeded) {
+    admission_->ObserveCompletion(job->tenant, job->spec.input_bytes, output_bytes);
+  } else if (status == JobStatus::kCancelled) {
+    jobs_cancelled_.fetch_add(1, std::memory_order_relaxed);
+    ServiceInstant(TraceEventType::kJobCancel, "job_cancelled", static_cast<int64_t>(state->id));
+  } else if (status == JobStatus::kDeadlineExceeded) {
+    jobs_deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    ServiceInstant(TraceEventType::kJobCancel, "job_deadline_exceeded",
+                   static_cast<int64_t>(state->id));
+  }
 
   {
     std::lock_guard<std::mutex> lock(tenants_mu_);
     TenantState& tenant = tenants_[job->tenant];
     tenant.jobs_completed += 1;
     stats.ExportTo(&tenant.registry);
-    tenant.registry.Counter(ok ? "jobs_succeeded" : "jobs_failed") += 1;
+    const char* outcome = status == JobStatus::kSucceeded          ? "jobs_succeeded"
+                          : status == JobStatus::kFailed           ? "jobs_failed"
+                          : status == JobStatus::kCancelled        ? "jobs_cancelled"
+                                                                   : "jobs_deadline_exceeded";
+    tenant.registry.Counter(outcome) += 1;
     tenant.registry.Hist("job_queue_wait", MetricUnit::kNanos).Record(queue_wait_ns);
     tenant.registry.Hist("job_exec", MetricUnit::kNanos).Record(exec_ns);
   }
 
+  // Breaker bookkeeping before the handle resolves: once a waiter observes
+  // the terminal status, breaker_stats() already reflects this job. A
+  // threshold-crossing failure pays for its slot rebuild here — rare, and
+  // the job it delays is the one that broke the slot.
+  ObserveJobOutcome(slot, status, stats.executor_deaths);
+
   {
-    std::lock_guard<std::mutex> lock(job->state->mu);
-    JobResult& result = job->state->result;
-    result.status = ok ? JobStatus::kSucceeded : JobStatus::kFailed;
+    std::lock_guard<std::mutex> lock(state->mu);
+    JobResult& result = state->result;
+    result.status = status;
     result.output = std::move(output);
     result.error = std::move(error);
     result.stats = stats;
     result.queue_wait_ns = queue_wait_ns;
     result.exec_ns = exec_ns;
   }
-  job->state->cv.notify_all();
+  state->cv.notify_all();
+}
+
+void EngineService::OpenBreaker(EngineSlot* slot) {
+  const int64_t slot_index = slot->ctx.slot;
+  slot->state.store(BreakerState::kOpen, std::memory_order_relaxed);
+  breaker_opens_.fetch_add(1, std::memory_order_relaxed);
+  ServiceInstant(TraceEventType::kBreaker, "breaker_open", slot_index);
+  // Drain is implicit: each slot runs one job at a time on its own
+  // dispatcher, so by the time the breaker opens there is no in-flight work
+  // on the slot, and nothing dispatches to it while its dispatcher is here.
+  BuildSlotEngines(slot, static_cast<int>(slot_index));
+  breaker_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  ServiceInstant(TraceEventType::kBreaker, "breaker_rebuild", slot_index);
+  if (config_.breaker_open_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(config_.breaker_open_ms));
+  }
+  slot->probe_successes = 0;
+  slot->state.store(BreakerState::kHalfOpen, std::memory_order_relaxed);
+  breaker_half_opens_.fetch_add(1, std::memory_order_relaxed);
+  ServiceInstant(TraceEventType::kBreaker, "breaker_half_open", slot_index);
+}
+
+void EngineService::ObserveJobOutcome(EngineSlot* slot, JobStatus status,
+                                      int64_t executor_deaths) {
+  const BreakerState state = slot->state.load(std::memory_order_relaxed);
+  if (status == JobStatus::kSucceeded) {
+    if (state == BreakerState::kHalfOpen) {
+      slot->probe_successes += 1;
+      if (slot->probe_successes >= config_.breaker_probe_jobs) {
+        slot->health.Reset();
+        slot->state.store(BreakerState::kClosed, std::memory_order_relaxed);
+        breaker_closes_.fetch_add(1, std::memory_order_relaxed);
+        ServiceInstant(TraceEventType::kBreaker, "breaker_close", slot->ctx.slot);
+      }
+    } else {
+      slot->health.OnSuccess();
+    }
+    return;
+  }
+  if (status != JobStatus::kFailed) {
+    return;  // cancelled / deadline-exceeded jobs say nothing about slot health
+  }
+  slot->health.OnFailure(executor_deaths);
+  if (state == BreakerState::kHalfOpen) {
+    breaker_probe_failures_.fetch_add(1, std::memory_order_relaxed);
+    ServiceInstant(TraceEventType::kBreaker, "breaker_probe_failure", slot->ctx.slot);
+    OpenBreaker(slot);
+    return;
+  }
+  if (state == BreakerState::kClosed &&
+      slot->health.score >= static_cast<double>(config_.breaker_failure_threshold)) {
+    OpenBreaker(slot);
+  }
+}
+
+void EngineService::ServiceInstant(TraceEventType type, const char* name, int64_t arg) {
+  if (service_trace_ == nullptr) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(service_trace_mu_);
+  service_trace_->driver()->Instant(type, name, arg);
 }
 
 void EngineService::InstallOracle(EngineSlot* slot, const std::string& tenant) {
@@ -242,10 +490,25 @@ void EngineService::TenantObserve(const std::string& tenant, uint64_t signature_
 
 MetricsRegistry EngineService::metrics() const {
   MetricsRegistry out;
-  const AdmissionController::Stats admission = admission_.stats();
+  const AdmissionController::Stats admission = admission_->stats();
   out.Counter("service.jobs_submitted") = admission.submitted;
   out.Counter("service.jobs_rejected") = admission.rejected;
   out.Counter("service.jobs_dispatched") = admission.dispatched;
+  out.Counter("service.rejected_tenant_depth") = admission.rejected_tenant_depth;
+  out.Counter("service.rejected_global_depth") = admission.rejected_global_depth;
+  out.Counter("service.rejected_bytes") = admission.rejected_bytes;
+  out.Counter("service.rejected_shutdown") = admission.rejected_shutdown;
+  out.Counter("service.jobs_cancelled_queued") = admission.cancelled_queued;
+  out.Counter("service.inflight_bytes") = admission.inflight_bytes;
+  out.Counter("service.jobs_cancelled") = jobs_cancelled_.load(std::memory_order_relaxed);
+  out.Counter("service.jobs_deadline_exceeded") =
+      jobs_deadline_exceeded_.load(std::memory_order_relaxed);
+  const BreakerStats breaker = breaker_stats();
+  out.Counter("service.breaker.opens") = breaker.opens;
+  out.Counter("service.breaker.rebuilds") = breaker.rebuilds;
+  out.Counter("service.breaker.half_opens") = breaker.half_opens;
+  out.Counter("service.breaker.closes") = breaker.closes;
+  out.Counter("service.breaker.probe_failures") = breaker.probe_failures;
   const PlanCache::Stats cache = plan_cache_stats();
   out.Counter("service.plan_cache.hits") = cache.hits;
   out.Counter("service.plan_cache.misses") = cache.misses;
@@ -278,7 +541,17 @@ PlanCache::Stats EngineService::plan_cache_stats() const {
   return total;
 }
 
-AdmissionController::Stats EngineService::admission_stats() const { return admission_.stats(); }
+AdmissionController::Stats EngineService::admission_stats() const { return admission_->stats(); }
+
+EngineService::BreakerStats EngineService::breaker_stats() const {
+  BreakerStats out;
+  out.opens = breaker_opens_.load(std::memory_order_relaxed);
+  out.rebuilds = breaker_rebuilds_.load(std::memory_order_relaxed);
+  out.half_opens = breaker_half_opens_.load(std::memory_order_relaxed);
+  out.closes = breaker_closes_.load(std::memory_order_relaxed);
+  out.probe_failures = breaker_probe_failures_.load(std::memory_order_relaxed);
+  return out;
+}
 
 MetricsRegistry EngineService::TenantMetrics(const std::string& tenant) const {
   std::lock_guard<std::mutex> lock(tenants_mu_);

@@ -6,12 +6,23 @@
 //   JobHandle h = alice.Submit({"wordcount", /*cost=*/1, body});
 //   const JobResult& r = h.wait();   // r.output, r.stats, ...
 //
-// Architecture (see DESIGN.md "Service mode & plan cache"):
+// Architecture (see DESIGN.md "Service mode & plan cache" and "Service
+// resilience"):
 //   * Every engine slot pairs a SparkEngine and a HadoopEngine with their
 //     own signature-keyed PlanCaches (cached artifacts hold engine-local
 //     pointers, so caches never cross engines) and one dispatcher thread.
 //   * Submissions flow through the AdmissionController: bounded global and
-//     per-tenant queue depth, DRR fair-share dispatch across tenants.
+//     per-tenant queue depth, in-flight byte quotas, DRR fair-share dispatch
+//     across tenants, priority order within a tenant.
+//   * Jobs carry optional deadlines and can be cancelled: expiry and
+//     JobHandle::cancel() set a cooperative flag the scheduler probes at
+//     every task-attempt boundary, so a running job unwinds at the next
+//     boundary with its partial stats; a still-queued job resolves
+//     synchronously without ever running.
+//   * Per-slot circuit breaker: a decayed failure score per slot; past the
+//     threshold the breaker opens — the slot's engines are torn down and
+//     rebuilt (caches cleared, setup re-run) — then half-opens, closing
+//     again after `breaker_probe_jobs` consecutive successes.
 //   * Per-job scoping: the dispatcher resets the slot's engine metrics (and
 //     merged trace, when tracing) before each body runs, so JobResult.stats
 //     is this job's delta; the deltas also accumulate into the tenant's
@@ -40,12 +51,15 @@
 #include "src/mapreduce/hadoop.h"
 #include "src/service/admission.h"
 #include "src/service/job.h"
+#include "src/support/trace.h"
 
 namespace gerenuk {
 
 // Runs once per engine slot, before its dispatcher starts: register data
 // types, build SER programs, and return a payload handed to every job that
-// runs on the slot (EngineContext::setup).
+// runs on the slot (EngineContext::setup). Also re-run after a circuit
+// breaker rebuilds a slot's engines, so it must be safe to call again on a
+// fresh engine pair.
 using EngineSetup = std::function<std::shared_ptr<void>(EngineContext&)>;
 
 struct ServiceConfig {
@@ -63,6 +77,18 @@ struct ServiceConfig {
   int max_queue_depth = 256;
   int max_queue_depth_per_tenant = 64;
   int64_t drr_quantum = 4;
+  // In-flight byte budgets for byte-quota admission; -1 disables. 0 is
+  // invalid (it would reject every sized job — name the budget instead).
+  int64_t max_inflight_bytes = -1;
+  int64_t max_inflight_bytes_per_tenant = -1;
+  // Deadline applied to jobs whose spec leaves deadline_ms == 0; 0 = none.
+  int64_t default_deadline_ms = 0;
+  // Circuit breaker: a slot's decayed failure score reaching the threshold
+  // opens its breaker (rebuild); after `breaker_open_ms` the breaker
+  // half-opens, and `breaker_probe_jobs` consecutive successes close it.
+  int breaker_failure_threshold = 5;
+  int breaker_probe_jobs = 2;
+  int64_t breaker_open_ms = 0;
   // Per-cache byte budget; each slot owns two caches (Spark + Hadoop).
   size_t plan_cache_budget_bytes = 64u << 20;
   // Optional per-slot setup (klasses + SER programs built once per engine).
@@ -76,6 +102,15 @@ class Session;
 
 class EngineService {
  public:
+  // Slot circuit-breaker lifecycle counters, summed over all slots.
+  struct BreakerStats {
+    int64_t opens = 0;            // closed/half-open -> open transitions
+    int64_t rebuilds = 0;         // engine teardown+rebuild cycles (== opens)
+    int64_t half_opens = 0;       // open -> half-open transitions
+    int64_t closes = 0;           // half-open -> closed (probe successes)
+    int64_t probe_failures = 0;   // half-open jobs that failed (re-opens)
+  };
+
   // Validates `config` (GERENUK_CHECK on error), builds the pool, runs
   // `config.setup` on every slot, and starts the dispatchers.
   explicit EngineService(const ServiceConfig& config);
@@ -89,20 +124,28 @@ class EngineService {
   Session CreateSession(const std::string& tenant);
 
   // Thread-safe; callable from any number of client threads. Returns a
-  // handle already resolved to kRejected when admission refuses the job.
+  // handle already resolved to kRejected when the spec is invalid or
+  // admission refuses the job (the error names the bound that fired).
   JobHandle Submit(const std::string& tenant, JobSpec spec);
 
   // Stops admission, drains the queue, joins the dispatchers. Idempotent;
   // also run by the destructor.
   void Shutdown();
 
-  // Admission counters + pool-wide plan-cache stats + every tenant's
-  // registry namespaced under "tenant.<id>.".
+  // Chaos / operations hook: marks slot `slot` as lost. Its dispatcher
+  // opens the breaker (teardown + rebuild) before running its next job, as
+  // if the failure threshold had been crossed. Returns false for an
+  // out-of-range slot. Thread-safe.
+  bool TripBreaker(int slot);
+
+  // Admission counters + pool-wide plan-cache stats + breaker/cancel
+  // counters + every tenant's registry namespaced under "tenant.<id>.".
   MetricsRegistry metrics() const;
 
   // Aggregated over every slot's two caches.
   PlanCache::Stats plan_cache_stats() const;
   AdmissionController::Stats admission_stats() const;
+  BreakerStats breaker_stats() const;
 
   // Snapshot of one tenant's scoped registry (empty if never seen).
   MetricsRegistry TenantMetrics(const std::string& tenant) const;
@@ -110,7 +153,25 @@ class EngineService {
 
   int num_engines() const { return static_cast<int>(slots_.size()); }
 
+  // The service-level event timeline (admission rejects, cancels, breaker
+  // transitions); null when config.engine.observability.trace is off.
+  Trace* service_trace() { return service_trace_.get(); }
+
  private:
+  enum class BreakerState : int { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  // Decayed failure pressure for one slot. Dispatcher-thread-only: each
+  // slot's score is read and written exclusively by its own dispatcher.
+  // A success halves the score (so sporadic failures age out); a failure
+  // adds one plus the job's executor-death incidents (a crashing executor
+  // is stronger evidence of a sick slot than a clean body exception).
+  struct SlotHealth {
+    double score = 0.0;
+    void OnSuccess() { score *= 0.5; }
+    void OnFailure(int64_t incidents) { score += 1.0 + static_cast<double>(incidents); }
+    void Reset() { score = 0.0; }
+  };
+
   struct EngineSlot {
     explicit EngineSlot(size_t cache_budget_bytes)
         : spark_cache(cache_budget_bytes), hadoop_cache(cache_budget_bytes) {}
@@ -120,6 +181,12 @@ class EngineService {
     std::unique_ptr<HadoopEngine> hadoop;
     EngineContext ctx;
     std::thread dispatcher;
+    // Breaker state. `state` is atomic only so metrics snapshots from other
+    // threads are race-free; all writes happen on the slot's dispatcher.
+    SlotHealth health;
+    std::atomic<BreakerState> state{BreakerState::kClosed};
+    int probe_successes = 0;  // dispatcher-only, valid while half-open
+    std::atomic<bool> kill_requested{false};  // TripBreaker -> dispatcher
   };
 
   struct TenantState {
@@ -135,12 +202,39 @@ class EngineService {
   void InstallOracle(EngineSlot* slot, const std::string& tenant);
   bool TenantShouldSpeculate(const std::string& tenant, uint64_t signature_hash) const;
   void TenantObserve(const std::string& tenant, uint64_t signature_hash, int tasks, int aborts);
+  // Wires (or re-wires, after a rebuild) fresh engines into `slot`.
+  void BuildSlotEngines(EngineSlot* slot, int index);
+  // Breaker transitions; dispatcher-thread-only for the given slot.
+  void OpenBreaker(EngineSlot* slot);
+  void ObserveJobOutcome(EngineSlot* slot, JobStatus status, int64_t executor_deaths);
+  // Resolves a job's handle without running it (queue-side cancel/deadline).
+  void ResolveUnrun(QueuedJob* job, JobStatus status, const char* error);
+  // Appends one instant to the service trace (no-op when tracing is off).
+  // Unlike engine traces, service events race across client threads and
+  // dispatchers, so the driver sink is guarded by a mutex here.
+  void ServiceInstant(TraceEventType type, const char* name, int64_t arg);
 
   const ServiceConfig config_;
-  AdmissionController admission_;
+  // Engine templates for pool construction and breaker rebuilds.
+  EngineConfig pooled_config_;
+  HadoopConfig pooled_hadoop_config_;
+  // Shared (not a plain member) so JobHandle::cancel can reach it through a
+  // weak_ptr after the handle outlives the service.
+  std::shared_ptr<AdmissionController> admission_;
   std::vector<std::unique_ptr<EngineSlot>> slots_;
   std::atomic<uint64_t> next_job_id_{1};
   std::atomic<bool> shut_down_{false};
+
+  std::atomic<int64_t> jobs_cancelled_{0};
+  std::atomic<int64_t> jobs_deadline_exceeded_{0};
+  std::atomic<int64_t> breaker_opens_{0};
+  std::atomic<int64_t> breaker_rebuilds_{0};
+  std::atomic<int64_t> breaker_half_opens_{0};
+  std::atomic<int64_t> breaker_closes_{0};
+  std::atomic<int64_t> breaker_probe_failures_{0};
+
+  std::unique_ptr<Trace> service_trace_;  // null when tracing is off
+  std::mutex service_trace_mu_;
 
   mutable std::mutex tenants_mu_;
   std::map<std::string, TenantState> tenants_;

@@ -44,6 +44,12 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "spill_bytes";
     case TraceEventType::kFetchBytes:
       return "fetch_bytes";
+    case TraceEventType::kAdmissionReject:
+      return "admission_reject";
+    case TraceEventType::kJobCancel:
+      return "job_cancel";
+    case TraceEventType::kBreaker:
+      return "breaker";
   }
   return "?";
 }

@@ -58,6 +58,9 @@ enum class TraceEventType : uint8_t {
   kHeartbeat,          // counter: heartbeats received during a stage (arg)
   kSpillBytes,         // counter: stored bytes a shuffle block spilled (arg)
   kFetchBytes,         // counter: raw bytes fetched from a spilled block (arg)
+  kAdmissionReject,    // instant: service refused a job at Submit (arg = job id)
+  kJobCancel,          // instant: job cancelled / deadline-expired (arg = job id)
+  kBreaker,            // instant: slot breaker transition (arg = slot)
 };
 
 const char* TraceEventTypeName(TraceEventType type);

@@ -1,0 +1,121 @@
+// Deterministic chaos campaigns against the engine service (ctest -L chaos).
+//
+// Every campaign derives from one seed; a failure report prints the seed, and
+// `chaos_test --chaos_seed=N` replays the exact schedule. `--quick` shrinks
+// the campaigns for the perf-smoke pass.
+#include "src/service/chaos.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "tests/pair_service.h"
+
+namespace gerenuk {
+namespace {
+
+uint64_t g_chaos_seed = 20260808;
+bool g_quick = false;
+
+// The Pair workload as a chaos target: recovery needs a retry budget, and
+// byte quotas need per-job size estimates.
+ChaosWorkload PairChaosWorkload() {
+  ChaosWorkload workload;
+  workload.num_kinds = kJobKinds;
+  workload.service = SmallService(/*num_engines=*/2);
+  // Injected single-attempt faults must recover byte-identically, so give
+  // tasks a retry budget beyond the first attempt.
+  workload.service.engine.fault.max_task_attempts = 3;
+  workload.make_job = [](int kind) {
+    JobSpec spec = KindJob(kind);
+    spec.input_bytes = kKindCounts[kind] * 16;  // rough record-size estimate
+    return spec;
+  };
+  workload.expected = SequentialExpected();
+  return workload;
+}
+
+TEST(ChaosScheduleTest, SameSeedYieldsTheSameSchedule) {
+  ChaosConfig config;
+  config.seed = g_chaos_seed;
+  config.tenants = 4;
+  config.jobs_per_tenant = 16;
+  const ChaosSchedule a = ChaosSchedule::Generate(config, kJobKinds);
+  const ChaosSchedule b = ChaosSchedule::Generate(config, kJobKinds);
+  ASSERT_EQ(a.jobs.size(), 64u);
+  EXPECT_TRUE(a.jobs == b.jobs) << "schedule must be a pure function of the seed";
+
+  config.seed = g_chaos_seed + 1;
+  const ChaosSchedule c = ChaosSchedule::Generate(config, kJobKinds);
+  EXPECT_FALSE(a.jobs == c.jobs) << "a different seed must perturb the schedule";
+}
+
+TEST(ChaosScheduleTest, FaultMixLandsNearTheConfiguredRates) {
+  ChaosConfig config;
+  config.seed = g_chaos_seed;
+  config.tenants = 8;
+  config.jobs_per_tenant = 250;  // schedule generation only — no jobs run
+  const ChaosSchedule schedule = ChaosSchedule::Generate(config, kJobKinds);
+  int64_t faults = 0, cancels = 0, deadlines = 0;
+  for (const ChaosJobPlan& plan : schedule.jobs) {
+    faults += plan.inject_exception ? 1 : 0;
+    cancels += plan.cancel ? 1 : 0;
+    deadlines += plan.deadline_ms > 0 ? 1 : 0;
+  }
+  const double n = static_cast<double>(schedule.jobs.size());
+  EXPECT_NEAR(faults / n, config.p_task_fault, 0.05);
+  EXPECT_NEAR(cancels / n, config.p_cancel, 0.05);
+  EXPECT_NEAR(deadlines / n, config.p_deadline, 0.05);
+}
+
+// The fast campaign: small enough for the perf-smoke label, still covering
+// every fault class.
+TEST(ChaosCampaignTest, QuickCampaignHoldsAllInvariants) {
+  ChaosConfig config;
+  config.seed = g_chaos_seed;
+  config.tenants = g_quick ? 2 : 4;
+  config.jobs_per_tenant = g_quick ? 6 : 10;
+  const ChaosReport report = RunChaosCampaign(config, PairChaosWorkload());
+  std::printf("quick campaign (seed %llu): %s\n",
+              static_cast<unsigned long long>(config.seed), report.Summary().c_str());
+  EXPECT_TRUE(report.ok()) << "seed=" << config.seed << "\n" << report.Summary();
+}
+
+// The acceptance campaign from the issue: >= 8 tenants x >= 200 jobs, every
+// handle terminal, kOk outputs byte-identical to the fault-free reference,
+// and at least one full breaker cycle.
+TEST(ChaosCampaignTest, AcceptanceCampaignEightTenantsTwoHundredJobs) {
+  if (g_quick) {
+    GTEST_SKIP() << "--quick runs the small campaign only";
+  }
+  ChaosConfig config;
+  config.seed = g_chaos_seed;
+  config.tenants = 8;
+  config.jobs_per_tenant = 25;
+  const ChaosReport report = RunChaosCampaign(config, PairChaosWorkload());
+  std::printf("acceptance campaign (seed %llu): %s\n",
+              static_cast<unsigned long long>(config.seed), report.Summary().c_str());
+  ASSERT_EQ(report.jobs, 200);
+  EXPECT_TRUE(report.ok()) << "seed=" << config.seed << "\n" << report.Summary();
+  EXPECT_GE(report.breaker.closes, 1);
+  EXPECT_GT(report.succeeded, 0);
+}
+
+}  // namespace
+}  // namespace gerenuk
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--chaos_seed=", 13) == 0) {
+      gerenuk::g_chaos_seed = std::strtoull(argv[i] + 13, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      gerenuk::g_quick = true;
+    }
+  }
+  return RUN_ALL_TESTS();
+}

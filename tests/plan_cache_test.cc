@@ -222,5 +222,33 @@ TEST(PlanCacheLruTest, ReplaceAndClear) {
   EXPECT_FALSE(cache.Lookup(Sig("a"), nullptr));
 }
 
+// Regression pin: replacing a key's entry must account only the new entry's
+// bytes — the old footprint is subtracted, not leaked. A leak here would
+// inflate stats().bytes on every replacement until the budget evicted live
+// entries that actually fit.
+TEST(PlanCacheLruTest, ReplacementAccountsOnlyTheNewEntryBytes) {
+  PlanCache cache;
+  PlanCache::Entry small = SyntheticEntry();
+  PlanCache::Entry large = SyntheticEntry();
+  large.plan = std::make_shared<SerPlan>();  // same key, bigger footprint
+  const int64_t small_bytes = static_cast<int64_t>(
+      PlanCache::EstimateBytes("a", small.transformed.get(), nullptr));
+  const int64_t large_bytes = static_cast<int64_t>(
+      PlanCache::EstimateBytes("a", large.transformed.get(), large.plan.get()));
+  ASSERT_GT(large_bytes, small_bytes);
+
+  cache.Insert(Sig("a"), std::move(small));
+  EXPECT_EQ(cache.stats().bytes, small_bytes);
+  cache.Insert(Sig("a"), std::move(large));
+  EXPECT_EQ(cache.stats().bytes, large_bytes) << "old entry's bytes must not linger";
+  EXPECT_EQ(cache.stats().entries, 1);
+  EXPECT_EQ(cache.stats().insertions, 2);
+  EXPECT_EQ(cache.stats().evictions, 0) << "a replacement is not an eviction";
+
+  // And shrinking back down must not go negative or stick high.
+  cache.Insert(Sig("a"), SyntheticEntry());
+  EXPECT_EQ(cache.stats().bytes, small_bytes);
+}
+
 }  // namespace
 }  // namespace gerenuk

@@ -1,17 +1,20 @@
 // Multi-tenant service mode: config validation, the Session/JobHandle
-// lifecycle, DRR fair-share dispatch, bounded-queue rejection, per-tenant
-// metrics scoping, the per-tenant-per-SER speculation oracle, and the
-// acceptance storm — 16 tenants x 64 heterogeneous jobs whose outputs are
-// byte-identical to sequential single-engine runs with a >90% plan-cache
-// hit rate.
+// lifecycle, DRR fair-share dispatch, bounded-queue and byte-quota
+// rejection, job deadlines and cancellation, per-slot circuit breakers,
+// per-tenant metrics scoping, the per-tenant-per-SER speculation oracle,
+// and the acceptance storm — 16 tenants x 64 heterogeneous jobs whose
+// outputs are byte-identical to sequential single-engine runs with a >90%
+// plan-cache hit rate.
 #include "src/service/engine_service.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -20,10 +23,54 @@
 
 #include "src/service/admission.h"
 #include "src/service/job.h"
-#include "tests/pair_job.h"
+#include "tests/pair_service.h"
 
 namespace gerenuk {
 namespace {
+
+// Bounded wait for tests: no test should ever block forever on a handle. A
+// job that misses the budget fails the test instead of hanging the suite.
+JobResult WaitDone(const JobHandle& handle,
+                   std::chrono::milliseconds timeout = std::chrono::minutes(2)) {
+  std::optional<JobResult> result = handle.wait_for(timeout);
+  EXPECT_TRUE(result.has_value()) << "job " << handle.id()
+                                  << " did not reach a terminal status in time";
+  return result.has_value() ? *result : JobResult{};
+}
+
+// A gate job parks a dispatcher so the queue can fill deterministically.
+struct Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+  std::atomic<bool> running{false};
+};
+
+JobSpec GateJob(const std::shared_ptr<Gate>& gate) {
+  JobSpec spec;
+  spec.name = "gate";
+  spec.run = [gate](EngineContext&) -> std::string {
+    gate->running.store(true);
+    std::unique_lock<std::mutex> lock(gate->mu);
+    gate->cv.wait(lock, [&] { return gate->open; });
+    return "";
+  };
+  return spec;
+}
+
+void OpenGate(const std::shared_ptr<Gate>& gate) {
+  {
+    std::lock_guard<std::mutex> lock(gate->mu);
+    gate->open = true;
+  }
+  gate->cv.notify_all();
+}
+
+void AwaitGateRunning(const std::shared_ptr<Gate>& gate) {
+  while (!gate->running.load()) {
+    std::this_thread::yield();
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Config validation (the one-call Validate() satellite)
@@ -94,23 +141,61 @@ TEST(ServiceConfigValidateTest, RejectsProcessExecutorsAndBadBounds) {
   EXPECT_NE(config.Validate().find("drr_quantum"), std::string::npos);
 }
 
+TEST(ServiceConfigValidateTest, NamesResilienceFields) {
+  ServiceConfig config;
+  config.default_deadline_ms = -1;
+  EXPECT_NE(config.Validate().find("default_deadline_ms"), std::string::npos);
+
+  config = ServiceConfig{};
+  config.max_inflight_bytes = 0;  // zero byte budget: would reject everything
+  EXPECT_NE(config.Validate().find("max_inflight_bytes"), std::string::npos);
+
+  config = ServiceConfig{};
+  config.max_inflight_bytes_per_tenant = 0;
+  EXPECT_NE(config.Validate().find("max_inflight_bytes_per_tenant"), std::string::npos);
+
+  config = ServiceConfig{};
+  config.max_inflight_bytes = 1024;
+  config.max_inflight_bytes_per_tenant = 2048;  // per-tenant above global
+  EXPECT_NE(config.Validate().find("max_inflight_bytes_per_tenant"), std::string::npos);
+
+  config = ServiceConfig{};
+  config.breaker_failure_threshold = 0;
+  EXPECT_NE(config.Validate().find("breaker_failure_threshold"), std::string::npos);
+
+  config = ServiceConfig{};
+  config.breaker_probe_jobs = 0;
+  EXPECT_NE(config.Validate().find("breaker_probe_jobs"), std::string::npos);
+
+  config = ServiceConfig{};
+  config.breaker_open_ms = -5;
+  EXPECT_NE(config.Validate().find("breaker_open_ms"), std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // DRR admission control (deterministic, controller in isolation)
 // ---------------------------------------------------------------------------
 
-QueuedJob Queued(const std::string& tenant, int64_t cost) {
+QueuedJob Queued(const std::string& tenant, int64_t cost, int priority = 0,
+                 int64_t input_bytes = 0) {
   QueuedJob job;
   job.tenant = tenant;
   job.spec.cost = cost;
+  job.spec.priority = priority;
+  job.spec.input_bytes = input_bytes;
   job.state = std::make_shared<internal::JobState>();
+  job.state->tenant = tenant;
   return job;
 }
 
 TEST(AdmissionControllerTest, EqualCostsRoundRobinAcrossTenants) {
   AdmissionController admission(64, 32, /*drr_quantum=*/1);
-  for (int i = 0; i < 3; ++i) ASSERT_TRUE(admission.Submit(Queued("a", 1)));
-  for (int i = 0; i < 3; ++i) ASSERT_TRUE(admission.Submit(Queued("b", 1)));
-  for (int i = 0; i < 3; ++i) ASSERT_TRUE(admission.Submit(Queued("c", 1)));
+  for (int i = 0; i < 3; ++i)
+    ASSERT_EQ(admission.Submit(Queued("a", 1)), AdmitResult::kAdmitted);
+  for (int i = 0; i < 3; ++i)
+    ASSERT_EQ(admission.Submit(Queued("b", 1)), AdmitResult::kAdmitted);
+  for (int i = 0; i < 3; ++i)
+    ASSERT_EQ(admission.Submit(Queued("c", 1)), AdmitResult::kAdmitted);
   std::vector<std::string> order;
   QueuedJob job;
   for (int i = 0; i < 9; ++i) {
@@ -125,8 +210,10 @@ TEST(AdmissionControllerTest, CostWeightedSharing) {
   // Tenant "cheap" submits cost-1 jobs, "pricey" cost-4: with quantum 4,
   // every round serves four cheap jobs and one pricey job.
   AdmissionController admission(64, 32, /*drr_quantum=*/4);
-  for (int i = 0; i < 8; ++i) ASSERT_TRUE(admission.Submit(Queued("cheap", 1)));
-  for (int i = 0; i < 2; ++i) ASSERT_TRUE(admission.Submit(Queued("pricey", 4)));
+  for (int i = 0; i < 8; ++i)
+    ASSERT_EQ(admission.Submit(Queued("cheap", 1)), AdmitResult::kAdmitted);
+  for (int i = 0; i < 2; ++i)
+    ASSERT_EQ(admission.Submit(Queued("pricey", 4)), AdmitResult::kAdmitted);
   std::vector<std::string> order;
   QueuedJob job;
   for (int i = 0; i < 10; ++i) {
@@ -137,126 +224,111 @@ TEST(AdmissionControllerTest, CostWeightedSharing) {
                                              "cheap", "cheap", "cheap", "cheap", "pricey"}));
 }
 
-TEST(AdmissionControllerTest, BoundsAndShutdownDrain) {
+TEST(AdmissionControllerTest, BoundsAndShutdownDrainWithTypedRejections) {
   AdmissionController admission(/*max_queue_depth=*/4, /*max_queue_depth_per_tenant=*/2, 1);
-  EXPECT_TRUE(admission.Submit(Queued("a", 1)));
-  EXPECT_TRUE(admission.Submit(Queued("a", 1)));
-  EXPECT_FALSE(admission.Submit(Queued("a", 1))) << "per-tenant depth bound";
-  EXPECT_TRUE(admission.Submit(Queued("b", 1)));
-  EXPECT_TRUE(admission.Submit(Queued("c", 1)));
-  EXPECT_FALSE(admission.Submit(Queued("d", 1))) << "global depth bound";
+  EXPECT_EQ(admission.Submit(Queued("a", 1)), AdmitResult::kAdmitted);
+  EXPECT_EQ(admission.Submit(Queued("a", 1)), AdmitResult::kAdmitted);
+  EXPECT_EQ(admission.Submit(Queued("a", 1)), AdmitResult::kRejectedTenantDepth);
+  EXPECT_EQ(admission.Submit(Queued("b", 1)), AdmitResult::kAdmitted);
+  EXPECT_EQ(admission.Submit(Queued("c", 1)), AdmitResult::kAdmitted);
+  EXPECT_EQ(admission.Submit(Queued("d", 1)), AdmitResult::kRejectedGlobalDepth);
   admission.Shutdown();
-  EXPECT_FALSE(admission.Submit(Queued("e", 1))) << "no admission after shutdown";
+  EXPECT_EQ(admission.Submit(Queued("e", 1)), AdmitResult::kRejectedShutdown);
   QueuedJob job;
   int drained = 0;
   while (admission.Next(&job)) {
     drained += 1;
   }
   EXPECT_EQ(drained, 4) << "queued jobs drain through shutdown";
-  EXPECT_EQ(admission.stats().rejected, 3);
-  EXPECT_EQ(admission.stats().dispatched, 4);
+  const AdmissionController::Stats stats = admission.stats();
+  EXPECT_EQ(stats.rejected, 3);
+  EXPECT_EQ(stats.rejected_tenant_depth, 1);
+  EXPECT_EQ(stats.rejected_global_depth, 1);
+  EXPECT_EQ(stats.rejected_shutdown, 1);
+  EXPECT_EQ(stats.dispatched, 4);
 }
 
-// ---------------------------------------------------------------------------
-// Service fixtures: the Pair workload on pooled engines
-// ---------------------------------------------------------------------------
-
-// Per-slot setup payload: the Pair klasses + UDFs, built once per engine.
-struct PairServiceSetup {
-  PairUdfs spark;
-  PairUdfs hadoop;
-};
-
-EngineSetup PairSetupFn() {
-  return [](EngineContext& ctx) -> std::shared_ptr<void> {
-    auto setup = std::make_shared<PairServiceSetup>();
-    BuildPairUdfs(*ctx.spark, &setup->spark);
-    BuildPairUdfs(*ctx.hadoop, &setup->hadoop);
-    return setup;
-  };
-}
-
-std::string BytesString(const std::vector<uint8_t>& bytes) {
-  return std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size());
-}
-
-// The heterogeneous job kinds of the acceptance storm. Deterministic per
-// (kind): fixed input sizes, fixed programs.
-constexpr int kJobKinds = 4;
-constexpr int64_t kKindCounts[kJobKinds] = {60, 48, 80, 36};
-
-std::string RunKindOnSpark(int kind, SparkEngine& engine, const PairUdfs& u) {
-  const int64_t count = kKindCounts[kind];
-  DatasetPtr in = MakePairInput(engine, u, count);
-  switch (kind) {
-    case 0:
-      return BytesString(
-          DatasetBytes(engine.RunStage(in, u.udfs, {NarrowOp::Map(u.double_value, u.pair)})));
-    case 1:
-      return BytesString(
-          DatasetBytes(engine.RunStage(in, u.udfs, {NarrowOp::FlatMap(u.explode, u.pair)})));
-    case 2:
-      return BytesString(DatasetBytes(
-          engine.ReduceByKey(in, u.udfs, {}, KeySpec{u.get_key, false}, u.sum_values)));
-    default:
-      return "";
+TEST(AdmissionControllerTest, PriorityOrdersWithinOneTenantOnly) {
+  AdmissionController admission(64, 32, /*drr_quantum=*/1);
+  // Tenant "a": priorities 0, 5, 1, 5 — dispatch order 5, 5 (FIFO among
+  // equals), 1, 0. Tenant "b" keeps its DRR turn regardless of "a"'s
+  // priorities.
+  ASSERT_EQ(admission.Submit(Queued("a", 1, /*priority=*/0)), AdmitResult::kAdmitted);
+  ASSERT_EQ(admission.Submit(Queued("b", 1, /*priority=*/0)), AdmitResult::kAdmitted);
+  ASSERT_EQ(admission.Submit(Queued("a", 1, /*priority=*/5)), AdmitResult::kAdmitted);
+  ASSERT_EQ(admission.Submit(Queued("a", 1, /*priority=*/1)), AdmitResult::kAdmitted);
+  ASSERT_EQ(admission.Submit(Queued("a", 1, /*priority=*/5)), AdmitResult::kAdmitted);
+  std::vector<std::pair<std::string, int>> order;
+  QueuedJob job;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(admission.Next(&job));
+    order.emplace_back(job.tenant, job.spec.priority);
   }
+  EXPECT_EQ(order, (std::vector<std::pair<std::string, int>>{
+                       {"a", 5}, {"b", 0}, {"a", 5}, {"a", 1}, {"a", 0}}));
 }
 
-std::string RunKindOnHadoop(HadoopEngine& engine, const PairUdfs& u) {
-  DatasetPtr in = MakePairInput(engine, u, kKindCounts[3]);
-  return BytesString(DatasetBytes(engine.RunJob(in, u.udfs, u.explode, u.pair,
-                                                KeySpec{u.get_key, false}, u.sum_values,
-                                                u.sum_values)));
-}
+TEST(AdmissionControllerTest, ByteQuotaRejectsChargesAndReleases) {
+  AdmissionController admission(64, 32, 1, /*max_inflight_bytes=*/1000,
+                                /*max_inflight_bytes_per_tenant=*/600);
+  ASSERT_EQ(admission.Submit(Queued("a", 1, 0, /*input_bytes=*/500)), AdmitResult::kAdmitted);
+  EXPECT_EQ(admission.stats().inflight_bytes, 500);
+  EXPECT_EQ(admission.Submit(Queued("a", 1, 0, 500)), AdmitResult::kRejectedBytes)
+      << "per-tenant byte budget";
+  ASSERT_EQ(admission.Submit(Queued("b", 1, 0, 400)), AdmitResult::kAdmitted);
+  EXPECT_EQ(admission.Submit(Queued("c", 1, 0, 200)), AdmitResult::kRejectedBytes)
+      << "global byte budget";
+  ASSERT_EQ(admission.Submit(Queued("c", 1, 0, /*input_bytes=*/0)), AdmitResult::kAdmitted)
+      << "jobs of unknown size bypass byte accounting";
+  EXPECT_EQ(admission.stats().rejected_bytes, 2);
+  EXPECT_EQ(admission.stats().inflight_bytes, 900);
 
-JobSpec KindJob(int kind) {
-  JobSpec spec;
-  spec.name = "kind" + std::to_string(kind);
-  spec.run = [kind](EngineContext& ctx) -> std::string {
-    auto* setup = static_cast<PairServiceSetup*>(ctx.setup.get());
-    if (kind == 3) {
-      return RunKindOnHadoop(*ctx.hadoop, setup->hadoop);
-    }
-    return RunKindOnSpark(kind, *ctx.spark, setup->spark);
-  };
-  return spec;
-}
-
-EngineConfig ServiceEngineConfig() {
-  EngineConfig config;
-  config.execution.mode = EngineMode::kGerenuk;
-  config.execution.heap_bytes = 32u << 20;
-  config.execution.num_partitions = 4;
-  config.execution.num_workers = 2;
-  return config;
-}
-
-ServiceConfig SmallService(int num_engines) {
-  ServiceConfig config;
-  config.engine = ServiceEngineConfig();
-  config.num_engines = num_engines;
-  config.setup = PairSetupFn();
-  return config;
-}
-
-// Sequential reference outputs: each kind run once on standalone engines
-// with the same configuration the pooled engines use.
-std::vector<std::string> SequentialExpected() {
-  std::vector<std::string> expected(kJobKinds);
-  SparkEngine spark(ServiceEngineConfig());
-  PairUdfs spark_udfs;
-  BuildPairUdfs(spark, &spark_udfs);
-  for (int kind = 0; kind < 3; ++kind) {
-    expected[kind] = RunKindOnSpark(kind, spark, spark_udfs);
+  // Dispatch + release returns the budget.
+  QueuedJob job;
+  int64_t released = 0;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(admission.Next(&job));
+    released += job.byte_charge;
+    admission.Release(job.tenant, job.byte_charge);
   }
-  HadoopConfig hadoop_config;
-  hadoop_config.engine = ServiceEngineConfig();
-  HadoopEngine hadoop(hadoop_config);
-  PairUdfs hadoop_udfs;
-  BuildPairUdfs(hadoop, &hadoop_udfs);
-  expected[3] = RunKindOnHadoop(hadoop, hadoop_udfs);
-  return expected;
+  EXPECT_EQ(released, 900);
+  EXPECT_EQ(admission.stats().inflight_bytes, 0);
+}
+
+TEST(AdmissionControllerTest, ObservedOutputsCorrectFutureCharges) {
+  AdmissionController admission(64, 32, 1, /*max_inflight_bytes=*/10000, -1);
+  // The tenant's jobs double their input: after observations, a 100-byte
+  // job is charged more than its raw estimate.
+  for (int i = 0; i < 20; ++i) {
+    admission.ObserveCompletion("a", /*input_bytes=*/100, /*output_bytes=*/100);
+  }
+  ASSERT_EQ(admission.Submit(Queued("a", 1, 0, /*input_bytes=*/100)), AdmitResult::kAdmitted);
+  QueuedJob job;
+  ASSERT_TRUE(admission.Next(&job));
+  EXPECT_GT(job.byte_charge, 150) << "EWMA correction lifted the charge toward 2x";
+  EXPECT_LE(job.byte_charge, 200);
+  admission.Release(job.tenant, job.byte_charge);
+  EXPECT_EQ(admission.stats().inflight_bytes, 0);
+}
+
+TEST(AdmissionControllerTest, CancelRemovesQueuedJobAndReleasesBytes) {
+  AdmissionController admission(64, 32, 1, /*max_inflight_bytes=*/1000, -1);
+  QueuedJob queued = Queued("a", 1, 0, /*input_bytes=*/400);
+  const internal::JobState* state = queued.state.get();
+  ASSERT_EQ(admission.Submit(std::move(queued)), AdmitResult::kAdmitted);
+  ASSERT_EQ(admission.Submit(Queued("a", 1)), AdmitResult::kAdmitted);
+
+  QueuedJob removed;
+  EXPECT_TRUE(admission.Cancel(state, &removed));
+  EXPECT_EQ(removed.state.get(), state);
+  EXPECT_EQ(admission.depth(), 1);
+  EXPECT_EQ(admission.stats().cancelled_queued, 1);
+  EXPECT_EQ(admission.stats().inflight_bytes, 0) << "the cancel released its byte charge";
+  EXPECT_FALSE(admission.Cancel(state, &removed)) << "double cancel finds nothing";
+
+  QueuedJob job;
+  ASSERT_TRUE(admission.Next(&job));
+  EXPECT_NE(job.state.get(), state) << "the cancelled job never dispatches";
 }
 
 // ---------------------------------------------------------------------------
@@ -268,7 +340,7 @@ TEST(ServiceTest, SubmitWaitSucceedsWithPerJobStats) {
   Session session = service.CreateSession("alice");
   JobHandle handle = session.Submit(KindJob(0));
   ASSERT_TRUE(handle.valid());
-  const JobResult& result = handle.wait();
+  const JobResult result = WaitDone(handle);
   EXPECT_EQ(result.status, JobStatus::kSucceeded);
   EXPECT_EQ(handle.poll(), JobStatus::kSucceeded) << "poll observes the terminal status";
   EXPECT_EQ(result.output, SequentialExpected()[0]);
@@ -283,12 +355,24 @@ TEST(ServiceTest, FailedJobCarriesTheError) {
   JobSpec bad;
   bad.name = "throws";
   bad.run = [](EngineContext&) -> std::string { throw std::runtime_error("boom"); };
-  const JobResult& result = session.Submit(std::move(bad)).wait();
+  const JobResult result = WaitDone(session.Submit(std::move(bad)));
   EXPECT_EQ(result.status, JobStatus::kFailed);
   EXPECT_EQ(result.error, "boom");
   // The slot survives: the next job on the same engine still succeeds.
-  const JobResult& next = session.Submit(KindJob(0)).wait();
+  const JobResult next = WaitDone(session.Submit(KindJob(0)));
   EXPECT_EQ(next.status, JobStatus::kSucceeded);
+}
+
+TEST(ServiceTest, WaitForTimesOutWhileRunningThenObservesCompletion) {
+  EngineService service(SmallService(1));
+  Session session = service.CreateSession("alice");
+  auto gate = std::make_shared<Gate>();
+  JobHandle handle = session.Submit(GateJob(gate));
+  AwaitGateRunning(gate);
+  EXPECT_FALSE(handle.wait_for(std::chrono::milliseconds(30)).has_value())
+      << "bounded wait returns nullopt while the job runs";
+  OpenGate(gate);
+  EXPECT_EQ(WaitDone(handle).status, JobStatus::kSucceeded);
 }
 
 TEST(ServiceTest, OverflowingSubmitsAreRejected) {
@@ -298,26 +382,9 @@ TEST(ServiceTest, OverflowingSubmitsAreRejected) {
   EngineService service(config);
   Session session = service.CreateSession("alice");
 
-  // A gate job parks the only dispatcher so the queue can fill.
-  struct Gate {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool open = false;
-    std::atomic<bool> running{false};
-  };
   auto gate = std::make_shared<Gate>();
-  JobSpec blocker;
-  blocker.name = "gate";
-  blocker.run = [gate](EngineContext&) -> std::string {
-    gate->running.store(true);
-    std::unique_lock<std::mutex> lock(gate->mu);
-    gate->cv.wait(lock, [&] { return gate->open; });
-    return "";
-  };
-  JobHandle blocked = session.Submit(std::move(blocker));
-  while (!gate->running.load()) {
-    std::this_thread::yield();
-  }
+  JobHandle blocked = session.Submit(GateJob(gate));
+  AwaitGateRunning(gate);
 
   std::vector<JobHandle> queued;
   for (int i = 0; i < 3; ++i) {
@@ -325,21 +392,342 @@ TEST(ServiceTest, OverflowingSubmitsAreRejected) {
   }
   JobHandle rejected = session.Submit(KindJob(0));
   EXPECT_EQ(rejected.poll(), JobStatus::kRejected) << "rejection is synchronous";
-  const JobResult& rejection = rejected.wait();
+  const JobResult rejection = WaitDone(rejected);
   EXPECT_EQ(rejection.status, JobStatus::kRejected);
-  EXPECT_FALSE(rejection.error.empty());
+  EXPECT_NE(rejection.error.find("max_queue_depth"), std::string::npos)
+      << "the error names the bound that fired: " << rejection.error;
 
-  {
-    std::lock_guard<std::mutex> lock(gate->mu);
-    gate->open = true;
-  }
-  gate->cv.notify_all();
-  EXPECT_EQ(blocked.wait().status, JobStatus::kSucceeded);
+  OpenGate(gate);
+  EXPECT_EQ(WaitDone(blocked).status, JobStatus::kSucceeded);
   for (JobHandle& handle : queued) {
-    EXPECT_EQ(handle.wait().status, JobStatus::kSucceeded);
+    EXPECT_EQ(WaitDone(handle).status, JobStatus::kSucceeded);
   }
   EXPECT_EQ(service.admission_stats().rejected, 1);
+  EXPECT_EQ(service.admission_stats().rejected_global_depth, 1)
+      << "global and per-tenant bounds are equal here; global is checked first";
+  EXPECT_EQ(service.metrics().Counter("service.rejected_global_depth"), 1);
 }
+
+TEST(ServiceTest, PerTenantDepthRejectionIsTyped) {
+  ServiceConfig config = SmallService(1);
+  config.max_queue_depth = 16;
+  config.max_queue_depth_per_tenant = 1;
+  config.engine.observability.trace = true;  // capture the rejection instant
+  EngineService service(config);
+  Session session = service.CreateSession("alice");
+
+  auto gate = std::make_shared<Gate>();
+  JobHandle blocked = session.Submit(GateJob(gate));
+  AwaitGateRunning(gate);
+  JobHandle queued = session.Submit(KindJob(0));
+  JobHandle rejected = session.Submit(KindJob(0));
+  const JobResult rejection = WaitDone(rejected);
+  EXPECT_EQ(rejection.status, JobStatus::kRejected);
+  EXPECT_NE(rejection.error.find("max_queue_depth_per_tenant"), std::string::npos)
+      << rejection.error;
+  EXPECT_EQ(service.admission_stats().rejected_tenant_depth, 1);
+  EXPECT_EQ(service.metrics().Counter("service.rejected_tenant_depth"), 1);
+
+  ASSERT_NE(service.service_trace(), nullptr);
+  int reject_instants = 0;
+  for (const TraceEvent& ev : service.service_trace()->events()) {
+    if (ev.type == TraceEventType::kAdmissionReject &&
+        std::string(ev.name) == "rejected_tenant_depth") {
+      reject_instants += 1;
+    }
+  }
+  EXPECT_EQ(reject_instants, 1) << "each rejection emits a typed trace instant";
+
+  OpenGate(gate);
+  EXPECT_EQ(WaitDone(blocked).status, JobStatus::kSucceeded);
+  EXPECT_EQ(WaitDone(queued).status, JobStatus::kSucceeded);
+}
+
+TEST(ServiceTest, ByteQuotaRejectionIsTypedAndCounted) {
+  ServiceConfig config = SmallService(1);
+  config.max_inflight_bytes = 1000;
+  config.engine.observability.trace = true;
+  EngineService service(config);
+  Session session = service.CreateSession("alice");
+
+  auto gate = std::make_shared<Gate>();
+  JobHandle blocked = session.Submit(GateJob(gate));
+  AwaitGateRunning(gate);
+
+  JobSpec big = KindJob(0);
+  big.input_bytes = 800;
+  JobHandle queued = session.Submit(std::move(big));
+  JobSpec over = KindJob(0);
+  over.input_bytes = 800;
+  JobHandle rejected = session.Submit(std::move(over));
+  const JobResult rejection = WaitDone(rejected);
+  EXPECT_EQ(rejection.status, JobStatus::kRejected);
+  EXPECT_NE(rejection.error.find("max_inflight_bytes"), std::string::npos) << rejection.error;
+  EXPECT_EQ(service.admission_stats().rejected_bytes, 1);
+  EXPECT_EQ(service.metrics().Counter("service.rejected_bytes"), 1);
+  ASSERT_NE(service.service_trace(), nullptr);
+  int byte_rejects = 0;
+  for (const TraceEvent& ev : service.service_trace()->events()) {
+    if (ev.type == TraceEventType::kAdmissionReject &&
+        std::string(ev.name) == "rejected_bytes") {
+      byte_rejects += 1;
+    }
+  }
+  EXPECT_EQ(byte_rejects, 1);
+
+  OpenGate(gate);
+  EXPECT_EQ(WaitDone(blocked).status, JobStatus::kSucceeded);
+  EXPECT_EQ(WaitDone(queued).status, JobStatus::kSucceeded);
+  EXPECT_EQ(service.admission_stats().inflight_bytes, 0)
+      << "charges are released at terminal states";
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines & cancellation
+// ---------------------------------------------------------------------------
+
+TEST(ServiceTest, NegativeDeadlineIsRejectedNamingTheField) {
+  EngineService service(SmallService(1));
+  Session session = service.CreateSession("alice");
+  JobSpec spec = KindJob(0);
+  spec.deadline_ms = -7;
+  JobHandle handle = session.Submit(std::move(spec));
+  EXPECT_EQ(handle.poll(), JobStatus::kRejected) << "spec validation is synchronous";
+  const JobResult result = WaitDone(handle);
+  EXPECT_NE(result.error.find("deadline_ms"), std::string::npos) << result.error;
+}
+
+TEST(ServiceTest, CancelQueuedJobResolvesSynchronously) {
+  EngineService service(SmallService(1));
+  Session session = service.CreateSession("alice");
+  auto gate = std::make_shared<Gate>();
+  JobHandle blocked = session.Submit(GateJob(gate));
+  AwaitGateRunning(gate);
+
+  JobHandle queued = session.Submit(KindJob(0));
+  EXPECT_EQ(queued.poll(), JobStatus::kQueued);
+  EXPECT_TRUE(queued.cancel());
+  EXPECT_EQ(queued.poll(), JobStatus::kCancelled) << "queued cancel is synchronous";
+  const JobResult result = WaitDone(queued);
+  EXPECT_EQ(result.status, JobStatus::kCancelled);
+  EXPECT_NE(result.error.find("before dispatch"), std::string::npos) << result.error;
+  EXPECT_EQ(result.stats.tasks_run, 0) << "the job never touched an engine";
+  EXPECT_FALSE(queued.cancel()) << "cancelling a terminal job reports no effect";
+  EXPECT_EQ(service.admission_stats().cancelled_queued, 1);
+
+  OpenGate(gate);
+  EXPECT_EQ(WaitDone(blocked).status, JobStatus::kSucceeded);
+  // The cancelled job must not have been dispatched.
+  EXPECT_EQ(service.admission_stats().dispatched, 1);
+}
+
+TEST(ServiceTest, CancelRunningJobUnwindsAtATaskBoundaryWithPartialStats) {
+  EngineService service(SmallService(1));
+  Session session = service.CreateSession("alice");
+
+  // An endless body: loops stages until cancelled. Without cooperative
+  // cancellation this job would never finish.
+  auto started = std::make_shared<std::atomic<bool>>(false);
+  JobSpec endless;
+  endless.name = "endless";
+  endless.run = [started](EngineContext& ctx) -> std::string {
+    auto* setup = static_cast<PairServiceSetup*>(ctx.setup.get());
+    for (;;) {
+      RunKindOnSpark(0, *ctx.spark, setup->spark);
+      started->store(true);
+    }
+  };
+  JobHandle handle = session.Submit(std::move(endless));
+  while (!started->load()) {
+    std::this_thread::yield();
+  }
+  EXPECT_TRUE(handle.cancel());
+  const JobResult result = WaitDone(handle, std::chrono::seconds(30));
+  EXPECT_EQ(result.status, JobStatus::kCancelled);
+  EXPECT_NE(result.error.find("cancel"), std::string::npos) << result.error;
+  EXPECT_GT(result.stats.tasks_run, 0) << "partial progress is visible in the stats delta";
+  EXPECT_EQ(service.metrics().Counter("service.jobs_cancelled"), 1);
+  EXPECT_EQ(service.metrics().Counter("tenant.alice.jobs_cancelled"), 1);
+
+  // The slot survives a cancelled job like it survives a failed one.
+  EXPECT_EQ(WaitDone(session.Submit(KindJob(0))).status, JobStatus::kSucceeded);
+}
+
+TEST(ServiceTest, DeadlineExpiresMidRunAtATaskBoundary) {
+  EngineService service(SmallService(1));
+  Session session = service.CreateSession("alice");
+  JobSpec slow;
+  slow.name = "slow";
+  slow.deadline_ms = 40;
+  slow.run = [](EngineContext& ctx) -> std::string {
+    // Uncooperative prefix outlives the deadline; the next task boundary
+    // observes the expiry.
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    auto* setup = static_cast<PairServiceSetup*>(ctx.setup.get());
+    for (;;) {
+      RunKindOnSpark(0, *ctx.spark, setup->spark);
+    }
+  };
+  const JobResult result = WaitDone(session.Submit(std::move(slow)), std::chrono::seconds(30));
+  EXPECT_EQ(result.status, JobStatus::kDeadlineExceeded);
+  EXPECT_NE(result.error.find("deadline"), std::string::npos) << result.error;
+  EXPECT_EQ(service.metrics().Counter("service.jobs_deadline_exceeded"), 1);
+}
+
+TEST(ServiceTest, DeadlineCanExpireInTheQueueWithoutRunning) {
+  EngineService service(SmallService(1));
+  Session session = service.CreateSession("alice");
+  auto gate = std::make_shared<Gate>();
+  JobHandle blocked = session.Submit(GateJob(gate));
+  AwaitGateRunning(gate);
+
+  JobSpec doomed = KindJob(0);
+  doomed.deadline_ms = 20;
+  JobHandle handle = session.Submit(std::move(doomed));
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  OpenGate(gate);
+  const JobResult result = WaitDone(handle);
+  EXPECT_EQ(result.status, JobStatus::kDeadlineExceeded);
+  EXPECT_NE(result.error.find("queue"), std::string::npos) << result.error;
+  EXPECT_EQ(result.stats.tasks_run, 0) << "the job was never run";
+  EXPECT_EQ(WaitDone(blocked).status, JobStatus::kSucceeded);
+}
+
+TEST(ServiceTest, DefaultDeadlineAppliesWhenSpecLeavesItZero) {
+  ServiceConfig config = SmallService(1);
+  config.default_deadline_ms = 40;
+  EngineService service(config);
+  Session session = service.CreateSession("alice");
+  JobSpec slow;
+  slow.run = [](EngineContext& ctx) -> std::string {
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    auto* setup = static_cast<PairServiceSetup*>(ctx.setup.get());
+    for (;;) {
+      RunKindOnSpark(0, *ctx.spark, setup->spark);
+    }
+  };
+  EXPECT_EQ(WaitDone(session.Submit(std::move(slow)), std::chrono::seconds(30)).status,
+            JobStatus::kDeadlineExceeded);
+}
+
+TEST(ServiceTest, PriorityDispatchesFirstWithinATenant) {
+  EngineService service(SmallService(1));
+  Session session = service.CreateSession("alice");
+  auto gate = std::make_shared<Gate>();
+  JobHandle blocked = session.Submit(GateJob(gate));
+  AwaitGateRunning(gate);
+
+  auto order = std::make_shared<std::vector<int>>();
+  auto order_mu = std::make_shared<std::mutex>();
+  std::vector<JobHandle> handles;
+  for (int priority : {0, 5, 1}) {
+    JobSpec spec;
+    spec.priority = priority;
+    spec.run = [priority, order, order_mu](EngineContext&) -> std::string {
+      std::lock_guard<std::mutex> lock(*order_mu);
+      order->push_back(priority);
+      return "";
+    };
+    handles.push_back(session.Submit(std::move(spec)));
+  }
+  OpenGate(gate);
+  EXPECT_EQ(WaitDone(blocked).status, JobStatus::kSucceeded);
+  for (JobHandle& handle : handles) {
+    EXPECT_EQ(WaitDone(handle).status, JobStatus::kSucceeded);
+  }
+  EXPECT_EQ(*order, (std::vector<int>{5, 1, 0})) << "highest priority first within the tenant";
+}
+
+// ---------------------------------------------------------------------------
+// Slot circuit breakers
+// ---------------------------------------------------------------------------
+
+TEST(ServiceTest, BreakerOpensRebuildsAndClosesAfterProbes) {
+  ServiceConfig config = SmallService(1);
+  config.breaker_failure_threshold = 2;
+  config.breaker_probe_jobs = 2;
+  EngineService service(config);
+  Session session = service.CreateSession("alice");
+
+  JobSpec bad;
+  bad.run = [](EngineContext&) -> std::string { throw std::runtime_error("sick slot"); };
+  EXPECT_EQ(WaitDone(session.Submit(bad)).status, JobStatus::kFailed);
+  EXPECT_EQ(service.breaker_stats().opens, 0) << "one failure stays under the threshold";
+  EXPECT_EQ(WaitDone(session.Submit(bad)).status, JobStatus::kFailed);
+
+  EngineService::BreakerStats breaker = service.breaker_stats();
+  EXPECT_EQ(breaker.opens, 1) << "the second consecutive failure crossed the threshold";
+  EXPECT_EQ(breaker.rebuilds, 1);
+  EXPECT_EQ(breaker.half_opens, 1);
+  EXPECT_EQ(breaker.closes, 0);
+
+  // Two probe successes close the breaker; the rebuilt slot (fresh engines,
+  // re-run setup) still produces the reference bytes.
+  const std::string expected = SequentialExpected()[0];
+  for (int i = 0; i < 2; ++i) {
+    const JobResult result = WaitDone(session.Submit(KindJob(0)));
+    ASSERT_EQ(result.status, JobStatus::kSucceeded);
+    EXPECT_EQ(result.output, expected);
+  }
+  breaker = service.breaker_stats();
+  EXPECT_EQ(breaker.closes, 1);
+  EXPECT_EQ(breaker.probe_failures, 0);
+  EXPECT_EQ(service.metrics().Counter("service.breaker.closes"), 1);
+}
+
+TEST(ServiceTest, HalfOpenFailureReopensTheBreaker) {
+  ServiceConfig config = SmallService(1);
+  config.breaker_failure_threshold = 1;
+  config.breaker_probe_jobs = 1;
+  EngineService service(config);
+  Session session = service.CreateSession("alice");
+
+  JobSpec bad;
+  bad.run = [](EngineContext&) -> std::string { throw std::runtime_error("still sick"); };
+  EXPECT_EQ(WaitDone(session.Submit(bad)).status, JobStatus::kFailed);  // opens
+  EXPECT_EQ(WaitDone(session.Submit(bad)).status, JobStatus::kFailed);  // probe fails, reopens
+  const EngineService::BreakerStats breaker = service.breaker_stats();
+  EXPECT_EQ(breaker.opens, 2);
+  EXPECT_EQ(breaker.probe_failures, 1);
+  EXPECT_EQ(breaker.closes, 0);
+  // A clean probe still closes it.
+  EXPECT_EQ(WaitDone(session.Submit(KindJob(0))).status, JobStatus::kSucceeded);
+  EXPECT_EQ(service.breaker_stats().closes, 1);
+}
+
+TEST(ServiceTest, TripBreakerForcesAFullCycle) {
+  ServiceConfig config = SmallService(1);
+  config.breaker_probe_jobs = 2;
+  config.engine.observability.trace = true;
+  EngineService service(config);
+  Session session = service.CreateSession("alice");
+
+  ASSERT_TRUE(service.TripBreaker(0));
+  EXPECT_FALSE(service.TripBreaker(99)) << "out-of-range slot";
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(WaitDone(session.Submit(KindJob(0))).status, JobStatus::kSucceeded);
+  }
+  const EngineService::BreakerStats breaker = service.breaker_stats();
+  EXPECT_EQ(breaker.opens, 1);
+  EXPECT_EQ(breaker.rebuilds, 1);
+  EXPECT_EQ(breaker.half_opens, 1);
+  EXPECT_EQ(breaker.closes, 1);
+
+  // The transitions are visible as trace instants, in lifecycle order.
+  ASSERT_NE(service.service_trace(), nullptr);
+  std::vector<std::string> names;
+  for (const TraceEvent& ev : service.service_trace()->events()) {
+    if (ev.type == TraceEventType::kBreaker) {
+      names.push_back(ev.name);
+    }
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{"breaker_open", "breaker_rebuild",
+                                             "breaker_half_open", "breaker_close"}));
+}
+
+// ---------------------------------------------------------------------------
+// DRR fairness under saturation
+// ---------------------------------------------------------------------------
 
 TEST(ServiceTest, DrrDispatchOrderIsFairUnderSaturation) {
   ServiceConfig config = SmallService(1);
@@ -348,25 +736,10 @@ TEST(ServiceTest, DrrDispatchOrderIsFairUnderSaturation) {
   config.drr_quantum = 1;
   EngineService service(config);
 
-  struct Gate {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool open = false;
-    std::atomic<bool> running{false};
-  };
   auto gate = std::make_shared<Gate>();
-  JobSpec blocker;
-  blocker.run = [gate](EngineContext&) -> std::string {
-    gate->running.store(true);
-    std::unique_lock<std::mutex> lock(gate->mu);
-    gate->cv.wait(lock, [&] { return gate->open; });
-    return "";
-  };
   Session warmup = service.CreateSession("warmup");
-  JobHandle blocked = warmup.Submit(std::move(blocker));
-  while (!gate->running.load()) {
-    std::this_thread::yield();
-  }
+  JobHandle blocked = warmup.Submit(GateJob(gate));
+  AwaitGateRunning(gate);
 
   // With the dispatcher parked, enqueue 4 tenants x 8 jobs; the dispatch
   // order over the static queue is pure DRR — strict round-robin at
@@ -387,14 +760,10 @@ TEST(ServiceTest, DrrDispatchOrderIsFairUnderSaturation) {
       handles.push_back(session.Submit(std::move(spec)));
     }
   }
-  {
-    std::lock_guard<std::mutex> lock(gate->mu);
-    gate->open = true;
-  }
-  gate->cv.notify_all();
-  blocked.wait();
+  OpenGate(gate);
+  WaitDone(blocked);
   for (JobHandle& handle : handles) {
-    EXPECT_EQ(handle.wait().status, JobStatus::kSucceeded);
+    EXPECT_EQ(WaitDone(handle).status, JobStatus::kSucceeded);
   }
 
   ASSERT_EQ(order->size(), 32u);
@@ -417,9 +786,9 @@ TEST(ServiceTest, MetricsAreScopedPerTenant) {
   Session alice = service.CreateSession("alice");
   Session bob = service.CreateSession("bob");
   for (int i = 0; i < 3; ++i) {
-    ASSERT_EQ(alice.Submit(KindJob(0)).wait().status, JobStatus::kSucceeded);
+    ASSERT_EQ(WaitDone(alice.Submit(KindJob(0))).status, JobStatus::kSucceeded);
   }
-  ASSERT_EQ(bob.Submit(KindJob(2)).wait().status, JobStatus::kSucceeded);
+  ASSERT_EQ(WaitDone(bob.Submit(KindJob(2))).status, JobStatus::kSucceeded);
 
   MetricsRegistry alice_metrics = alice.metrics();
   EXPECT_EQ(alice_metrics.Counter("jobs_succeeded"), 3);
@@ -435,7 +804,7 @@ TEST(ServiceTest, MetricsAreScopedPerTenant) {
   EXPECT_GT(combined.Counter("service.plan_cache.hits"), 0) << "repeat kinds hit the cache";
   // Per-tenant task counts stay separated: alice ran 3x the kind-0 stage.
   EXPECT_EQ(combined.Counter("tenant.alice.tasks_run"),
-            3 * alice.Submit(KindJob(0)).wait().stats.tasks_run);
+            3 * WaitDone(alice.Submit(KindJob(0))).stats.tasks_run);
 }
 
 TEST(ServiceTest, SpeculationOracleIsPerTenantAndPerSer) {
@@ -453,26 +822,26 @@ TEST(ServiceTest, SpeculationOracleIsPerTenantAndPerSer) {
     ctx.spark->ForceAborts(4);
     return run(ctx);
   };
-  const JobResult& poisoned = alice.Submit(std::move(poison)).wait();
+  const JobResult poisoned = WaitDone(alice.Submit(std::move(poison)));
   ASSERT_EQ(poisoned.status, JobStatus::kSucceeded);
   EXPECT_EQ(poisoned.stats.aborts, 4);
 
   // Alice's abort rate (1.0 >= 0.5 over >= 4 tasks) turns her SER's
   // speculation off; the job still succeeds via the direct slow path.
-  const JobResult& alice_after = alice.Submit(KindJob(0)).wait();
+  const JobResult alice_after = WaitDone(alice.Submit(KindJob(0)));
   ASSERT_EQ(alice_after.status, JobStatus::kSucceeded);
   EXPECT_EQ(alice_after.stats.slow_path_direct, 4);
   EXPECT_EQ(alice_after.stats.fast_path_commits, 0);
 
   // Bob runs the same SER untouched — the history is keyed per tenant.
-  const JobResult& bob_same_ser = bob.Submit(KindJob(0)).wait();
+  const JobResult bob_same_ser = WaitDone(bob.Submit(KindJob(0)));
   ASSERT_EQ(bob_same_ser.status, JobStatus::kSucceeded);
   EXPECT_EQ(bob_same_ser.stats.slow_path_direct, 0);
   EXPECT_GT(bob_same_ser.stats.fast_path_commits, 0);
 
   // A different SER of alice's still speculates — the history is keyed
   // per signature, not per tenant alone.
-  const JobResult& alice_other_ser = alice.Submit(KindJob(1)).wait();
+  const JobResult alice_other_ser = WaitDone(alice.Submit(KindJob(1)));
   ASSERT_EQ(alice_other_ser.status, JobStatus::kSucceeded);
   EXPECT_EQ(alice_other_ser.stats.slow_path_direct, 0);
   EXPECT_GT(alice_other_ser.stats.fast_path_commits, 0);
@@ -515,7 +884,7 @@ TEST(ServiceTest, SixteenTenantStormIsByteIdenticalWithHotCache) {
         handles.push_back(session.Submit(KindJob(kind)));
       }
       for (int j = 0; j < kJobsPerTenant; ++j) {
-        const JobResult& result = handles[j].wait();
+        const JobResult result = WaitDone(handles[j]);
         if (result.status != JobStatus::kSucceeded) {
           failures.fetch_add(1);
         } else if (result.output != expected[kinds[j]]) {
@@ -556,7 +925,7 @@ TEST(ServiceTest, ShutdownDrainsQueuedJobs) {
   }
   service->Shutdown();  // drains, then joins
   for (JobHandle& handle : handles) {
-    EXPECT_EQ(handle.wait().status, JobStatus::kSucceeded) << "queued jobs drain on shutdown";
+    EXPECT_EQ(WaitDone(handle).status, JobStatus::kSucceeded) << "queued jobs drain on shutdown";
   }
   JobHandle late = session.Submit(KindJob(0));
   EXPECT_EQ(late.poll(), JobStatus::kRejected);
