@@ -53,13 +53,23 @@ Function* BuildSpin(SerProgram& prog) {
   return spin;
 }
 
-// The prior run's tracing-off dispatch rate, read from BENCH_plans.json in
-// the working directory before JsonWriter truncates it; 0 when absent. The
-// file's first "plan_records_per_sec" belongs to the dispatch section.
-double ReadPriorPlanRps() {
+// The prior run's dispatch rates, read from BENCH_plans.json in the working
+// directory before JsonWriter truncates it; 0 when absent. The file's first
+// occurrence of each key belongs to the dispatch section. Older files
+// predate the vectorizer and carry only "plan_records_per_sec" (then the
+// scalar rate); current files report the vectorized rate under that key and
+// the scalar rate under "scalar_plan_records_per_sec", so the scalar
+// baseline falls back to the legacy key when the new one is missing.
+struct PriorRates {
+  double plan = 0.0;    // primary dispatch rate (vectorized in new files)
+  double scalar = 0.0;  // scalar plan dispatch rate
+};
+
+PriorRates ReadPriorPlanRps() {
+  PriorRates prior;
   std::FILE* f = std::fopen("BENCH_plans.json", "r");
   if (f == nullptr) {
-    return 0.0;
+    return prior;
   }
   std::string text;
   char buf[4096];
@@ -68,15 +78,23 @@ double ReadPriorPlanRps() {
     text.append(buf, n);
   }
   std::fclose(f);
-  const char* key = "\"plan_records_per_sec\":";
-  size_t pos = text.find(key);
-  if (pos == std::string::npos) {
-    return 0.0;
+  auto find = [&](const char* key) {
+    size_t pos = text.find(key);
+    if (pos == std::string::npos) {
+      return 0.0;
+    }
+    return std::strtod(text.c_str() + pos + std::strlen(key), nullptr);
+  };
+  prior.plan = find("\"plan_records_per_sec\":");
+  prior.scalar = find("\"scalar_plan_records_per_sec\":");
+  if (prior.scalar == 0.0) {
+    prior.scalar = prior.plan;  // legacy single-rate file: scalar dispatch
   }
-  return std::strtod(text.c_str() + pos + std::strlen(key), nullptr);
+  return prior;
 }
 
-void DispatchExperiment(bench::JsonWriter& json, double prior_plan_rps) {
+// Returns the number of regression guards that fired (0 = healthy).
+int DispatchExperiment(bench::JsonWriter& json, const PriorRates& prior) {
   bench::PrintHeader("Plans 1: fast-path dispatch, interpreter vs compiled plan");
   SerProgram prog;
   Function* spin = BuildSpin(prog);
@@ -92,15 +110,25 @@ void DispatchExperiment(bench::JsonWriter& json, double prior_plan_rps) {
   constexpr int kRounds = 5;
   int64_t sum = 0;
   double interp_rps = 0.0;
-  double plan_rps = 0.0;
+  double scalar_rps = 0.0;
+  double vec_rps = 0.0;
   pool.FoldConstants();
-  std::shared_ptr<const SerPlan> plan = CompilePlan(prog, layouts);
+  PlanOptions scalar_options;
+  scalar_options.vectorize = false;
+  std::shared_ptr<const SerPlan> scalar_plan = CompilePlan(prog, layouts, scalar_options);
+  std::shared_ptr<const SerPlan> vec_plan = CompilePlan(prog, layouts);
+  GERENUK_CHECK_EQ(scalar_plan->vec_loops(), 0);
+  GERENUK_CHECK_GT(vec_plan->vec_loops(), 0);  // spin must vectorize
   Interpreter interp(prog, heap, wk, &layouts, nullptr);
-  PlanExecutor exec(*plan, heap, wk, &layouts, nullptr);
-  for (int i = 0; i < kCalls / 10; ++i) {  // warmup both paths
+  PlanExecutor scalar_exec(*scalar_plan, heap, wk, &layouts, nullptr);
+  PlanExecutor vec_exec(*vec_plan, heap, wk, &layouts, nullptr);
+  for (int i = 0; i < kCalls / 10; ++i) {  // warmup all three paths
     sum += interp.CallFunction(spin, args).i;
-    sum += exec.CallFunction(spin, args).i;
+    sum += scalar_exec.CallFunction(spin, args).i;
+    sum += vec_exec.CallFunction(spin, args).i;
   }
+  GERENUK_CHECK_EQ(scalar_exec.CallFunction(spin, args).i,
+                   vec_exec.CallFunction(spin, args).i);
   for (int round = 0; round < kRounds; ++round) {
     // Re-warm after each executor switch: alternating rounds retrain the
     // indirect-branch predictor, which otherwise taxes whichever side just
@@ -114,18 +142,27 @@ void DispatchExperiment(bench::JsonWriter& json, double prior_plan_rps) {
     }
     interp_rps = std::max(interp_rps, kCalls / ((NowMs() - start) / 1000.0));
     for (int i = 0; i < kCalls / 20; ++i) {
-      sum += exec.CallFunction(spin, args).i;
+      sum += scalar_exec.CallFunction(spin, args).i;
     }
     start = NowMs();
     for (int i = 0; i < kCalls; ++i) {
-      sum += exec.CallFunction(spin, args).i;
+      sum += scalar_exec.CallFunction(spin, args).i;
     }
-    plan_rps = std::max(plan_rps, kCalls / ((NowMs() - start) / 1000.0));
+    scalar_rps = std::max(scalar_rps, kCalls / ((NowMs() - start) / 1000.0));
+    for (int i = 0; i < kCalls / 20; ++i) {
+      sum += vec_exec.CallFunction(spin, args).i;
+    }
+    start = NowMs();
+    for (int i = 0; i < kCalls; ++i) {
+      sum += vec_exec.CallFunction(spin, args).i;
+    }
+    vec_rps = std::max(vec_rps, kCalls / ((NowMs() - start) / 1000.0));
   }
-  // The same plan with the sampled op profiler on (stride 64): the dispatch
-  // loop switches to its profiled instantiation, so this is the whole
-  // tracing-on surcharge for pure dispatch.
-  PlanExecutor profiled(*plan, heap, wk, &layouts, nullptr);
+  // The vectorized plan with the sampled op profiler on (stride 64): the
+  // dispatch loop switches to its profiled instantiation, so this is the
+  // whole tracing-on surcharge for pure dispatch. Vec handlers charge their
+  // opcode once per lane, so the profile stays per-element.
+  PlanExecutor profiled(*vec_plan, heap, wk, &layouts, nullptr);
   OpProfile profile;
   profiled.EnableProfiling(&profile, /*stride=*/64);
   double profiled_rps = 0.0;
@@ -141,58 +178,96 @@ void DispatchExperiment(bench::JsonWriter& json, double prior_plan_rps) {
   }
   GERENUK_CHECK_NE(sum, 0);  // keep the loops observable
   GERENUK_CHECK_GT(profile.samples, 0);
-  double ratio = plan_rps / interp_rps;
-  std::printf("spin plan: ops=%lld fused=%lld copies elided=%lld\n",
-              static_cast<long long>(plan->ops_total()),
-              static_cast<long long>(plan->ops_fused()),
-              static_cast<long long>(plan->ops_copies_elided()));
+  double ratio = vec_rps / interp_rps;
+  std::printf("spin plan: ops=%lld fused=%lld copies elided=%lld vec loops=%lld "
+              "ops vectorized=%lld layout=%s\n",
+              static_cast<long long>(vec_plan->ops_total()),
+              static_cast<long long>(vec_plan->ops_fused()),
+              static_cast<long long>(vec_plan->ops_copies_elided()),
+              static_cast<long long>(vec_plan->vec_loops()),
+              static_cast<long long>(vec_plan->ops_vectorized()), vec_plan->layout());
   for (size_t k = 0; k < static_cast<size_t>(PlanOpCode::kCount); ++k) {
-    if (plan->op_counts()[k] > 0) {
+    if (vec_plan->op_counts()[k] > 0) {
       std::printf("  %-24s %6lld\n", PlanOpName(static_cast<PlanOpCode>(k)),
-                  static_cast<long long>(plan->op_counts()[k]));
+                  static_cast<long long>(vec_plan->op_counts()[k]));
     }
   }
   std::printf("interpreter: %10.0f records/s\n", interp_rps);
-  std::printf("plan:        %10.0f records/s\n", plan_rps);
-  std::printf("plan+profiler: %8.0f records/s (stride 64, %.1f%% surcharge)\n", profiled_rps,
-              (plan_rps - profiled_rps) / plan_rps * 100.0);
+  std::printf("scalar plan: %10.0f records/s\n", scalar_rps);
+  std::printf("vec plan:    %10.0f records/s (%.2fx scalar)\n", vec_rps,
+              vec_rps / scalar_rps);
+  std::printf("vec+profiler: %9.0f records/s (stride 64, %.1f%% surcharge)\n", profiled_rps,
+              (vec_rps - profiled_rps) / vec_rps * 100.0);
   std::printf("plan/interpreter = %.2fx (acceptance bar: >= 2x)\n", ratio);
 
-  // Tracing-off overhead guard: the unprofiled dispatch loop must stay
-  // within 5% of the prior run's rate (the profiler is a separate template
-  // instantiation precisely so the off path carries no new instructions).
+  int regressions = 0;
+
+  // Tracing-off overhead guard: the unprofiled scalar dispatch loop must
+  // stay within 5% of the prior run's scalar rate (the profiler is a
+  // separate template instantiation precisely so the off path carries no
+  // new instructions, and the vectorizer must not tax scalar dispatch).
   double tracing_off_overhead_pct = 0.0;
   int tracing_off_regression = 0;
-  if (prior_plan_rps > 0.0) {
-    tracing_off_overhead_pct = (prior_plan_rps - plan_rps) / prior_plan_rps * 100.0;
-    std::printf("tracing-off dispatch vs prior BENCH_plans.json: %+.1f%% (budget: 5%%)\n",
+  if (prior.scalar > 0.0) {
+    tracing_off_overhead_pct = (prior.scalar - scalar_rps) / prior.scalar * 100.0;
+    std::printf("tracing-off scalar dispatch vs prior BENCH_plans.json: %+.1f%% (budget: 5%%)\n",
                 tracing_off_overhead_pct);
     if (tracing_off_overhead_pct > 5.0) {
       tracing_off_regression = 1;
+      regressions += 1;
       std::fprintf(stderr,
-                   "REGRESSION: tracing-off plan dispatch is %.1f%% slower than the prior "
-                   "run (%.0f vs %.0f records/s; budget 5%%)\n",
-                   tracing_off_overhead_pct, plan_rps, prior_plan_rps);
+                   "REGRESSION: tracing-off scalar plan dispatch is %.1f%% slower than the "
+                   "prior run (%.0f vs %.0f records/s; budget 5%%)\n",
+                   tracing_off_overhead_pct, scalar_rps, prior.scalar);
     }
   } else {
     std::printf("tracing-off overhead guard: no prior BENCH_plans.json, skipping\n");
   }
 
+  // Vectorized-path guard: the vec dispatch loop must never fall more than
+  // 5% below the prior run's *scalar* plan rate — the floor a broken
+  // vectorizer (bailing every strip, or pessimizing the loop) would breach.
+  double vec_vs_prior_scalar_pct = 0.0;
+  int vec_regression = 0;
+  if (prior.scalar > 0.0) {
+    vec_vs_prior_scalar_pct = (vec_rps - prior.scalar) / prior.scalar * 100.0;
+    std::printf("vec dispatch vs prior scalar rate: %+.1f%% (floor: -5%%)\n",
+                vec_vs_prior_scalar_pct);
+    if (vec_vs_prior_scalar_pct < -5.0) {
+      vec_regression = 1;
+      regressions += 1;
+      std::fprintf(stderr,
+                   "REGRESSION: vectorized plan dispatch is %.1f%% below the prior run's "
+                   "scalar rate (%.0f vs %.0f records/s; floor -5%%)\n",
+                   -vec_vs_prior_scalar_pct, vec_rps, prior.scalar);
+    }
+  } else {
+    std::printf("vec regression guard: no prior BENCH_plans.json, skipping\n");
+  }
+
   json.BeginObject("dispatch");
   json.Field("interpreter_records_per_sec", interp_rps);
-  json.Field("plan_records_per_sec", plan_rps);
+  json.Field("plan_records_per_sec", vec_rps);  // primary rate: the default path
+  json.Field("scalar_plan_records_per_sec", scalar_rps);
   json.Field("profiled_records_per_sec", profiled_rps);
-  json.Field("profiler_overhead_pct", (plan_rps - profiled_rps) / plan_rps * 100.0);
+  json.Field("profiler_overhead_pct", (vec_rps - profiled_rps) / vec_rps * 100.0);
   json.Field("plan_vs_interpreter", ratio);
+  json.Field("vec_vs_scalar", vec_rps / scalar_rps);
+  json.Field("vec_loops", vec_plan->vec_loops());
+  json.Field("ops_vectorized", vec_plan->ops_vectorized());
+  json.Field("layout", vec_plan->layout());
   json.Field("tracing_off_overhead_pct", tracing_off_overhead_pct);
   json.Field("tracing_off_regression", tracing_off_regression);
+  json.Field("vec_vs_prior_scalar_pct", vec_vs_prior_scalar_pct);
+  json.Field("vec_regression", vec_regression);
   json.End();
+  return regressions;
 }
 
 void StageThroughput(bench::JsonWriter& json) {
   bench::PrintHeader("Plans 2: full map-stage throughput, use_plan_compiler off/on");
   constexpr int64_t kRecords = 120000;
-  double rps[2];
+  double rps[2] = {0.0, 0.0};
   for (bool use_plans : {false, true}) {
     EngineConfig config;
     config.execution.mode = EngineMode::kGerenuk;
@@ -335,12 +410,26 @@ void OpMix(bench::JsonWriter& json) {
                                            &tstats, reg);
   pool.FoldConstants();
   std::shared_ptr<const SerPlan> plan = CompilePlan(*stage.transformed, layouts);
+  double run_len_avg =
+      plan->run_count() > 0
+          ? static_cast<double>(plan->run_len_sum()) / static_cast<double>(plan->run_count())
+          : 0.0;
   std::printf("ops=%lld fused=%lld copies elided=%lld offsets folded=%lld symbolic=%lld\n",
               static_cast<long long>(plan->ops_total()),
               static_cast<long long>(plan->ops_fused()),
               static_cast<long long>(plan->ops_copies_elided()),
               static_cast<long long>(plan->offsets_folded()),
               static_cast<long long>(plan->offsets_symbolic()));
+  std::printf("fused runs=%lld (avg len %.1f, max %lld)  vec loops=%lld rejected=%lld "
+              "ops vectorized=%lld layout=%s\n",
+              static_cast<long long>(plan->run_count()), run_len_avg,
+              static_cast<long long>(plan->run_len_max()),
+              static_cast<long long>(plan->vec_loops()),
+              static_cast<long long>(plan->vec_loops_rejected()),
+              static_cast<long long>(plan->ops_vectorized()), plan->layout());
+  for (const std::string& why : plan->vec_reject_reasons()) {
+    std::printf("  vec reject: %s\n", why.c_str());
+  }
 
   json.BeginObject("op_mix");
   json.Field("ops_total", plan->ops_total());
@@ -348,6 +437,20 @@ void OpMix(bench::JsonWriter& json) {
   json.Field("ops_copies_elided", plan->ops_copies_elided());
   json.Field("offsets_folded", plan->offsets_folded());
   json.Field("offsets_symbolic", plan->offsets_symbolic());
+  json.Field("fused_run_count", plan->run_count());
+  json.Field("fused_run_len_avg", run_len_avg);
+  json.Field("fused_run_len_max", plan->run_len_max());
+  json.Field("vec_loops", plan->vec_loops());
+  json.Field("vec_loops_rejected", plan->vec_loops_rejected());
+  json.Field("ops_vectorized", plan->ops_vectorized());
+  json.Field("layout", plan->layout());
+  json.BeginArray("vec_reject_reasons");
+  for (const std::string& why : plan->vec_reject_reasons()) {
+    json.BeginObject();
+    json.Field("reason", why);
+    json.End();
+  }
+  json.End();
   json.BeginArray("ops");
   for (size_t i = 0; i < static_cast<size_t>(PlanOpCode::kCount); ++i) {
     if (plan->op_counts()[i] == 0) {
@@ -365,19 +468,134 @@ void OpMix(bench::JsonWriter& json) {
   json.End();
 }
 
+// Plans 5: the layout cost model's other bucket. A loop whose body chases a
+// heap pointer (FieldLoad) every iteration must stay row-layout: the
+// vectorizer rejects it, the plan is op-for-op what the scalar compiler
+// emits, and turning `vectorize` on must cost nothing. This is the
+// acceptance bar "row-layout ablation no worse than the scalar plan path".
+int RowLayoutAblation(bench::JsonWriter& json) {
+  bench::PrintHeader("Plans 5: row-layout ablation (pointer-chasing loop, vec on vs off)");
+  Heap heap(HeapConfig{16u << 20, GcKind::kGenerational, 0.55, 0.35, 2});
+  WellKnown wk{heap};
+  const Klass* pair = heap.klasses().DefineClass(
+      "Pair", {
+                  {"key", FieldKind::kI64, nullptr, 0},
+                  {"value", FieldKind::kF64, nullptr, 0},
+              });
+  ExprPool pool;
+  DataStructAnalyzer layouts{pool};
+  SerProgram prog;
+  Function* row_spin = prog.AddFunction("row_spin");
+  {
+    FunctionBuilder b(row_spin);
+    int rec = b.Param("rec", IrType::Ref(pair));
+    int n = b.Param("n", IrType::I64());
+    row_spin->return_type = IrType::I64();
+    int acc = b.Local("acc", IrType::I64());
+    b.AssignTo(acc, b.ConstI(1));
+    b.For(n, [&](int i) {
+      int k = b.FieldLoad(rec, pair, "key");  // the pointer-chasing op
+      int t = b.BinOp(BinOpKind::kMul, i, k);
+      b.AssignTo(acc, b.BinOp(BinOpKind::kAdd, acc, t));
+    });
+    b.Return(acc);
+    b.Done();
+  }
+  pool.FoldConstants();
+  PlanOptions scalar_options;
+  scalar_options.vectorize = false;
+  std::shared_ptr<const SerPlan> scalar_plan = CompilePlan(prog, layouts, scalar_options);
+  std::shared_ptr<const SerPlan> vec_plan = CompilePlan(prog, layouts);
+  // The cost model must keep this loop in the row bucket in both configs.
+  GERENUK_CHECK_EQ(vec_plan->vec_loops(), 0);
+  GERENUK_CHECK_GT(vec_plan->vec_loops_rejected(), 0);
+  GERENUK_CHECK_EQ(vec_plan->ops_total(), scalar_plan->ops_total());
+  const char* reject =
+      vec_plan->vec_reject_reasons().empty() ? "" : vec_plan->vec_reject_reasons()[0].c_str();
+  std::printf("row_spin: layout=%s vec loops rejected=%lld (%s)\n", vec_plan->layout(),
+              static_cast<long long>(vec_plan->vec_loops_rejected()), reject);
+
+  RootScope scope(heap);
+  size_t rec_slot = scope.Push(heap.AllocObject(pair));
+  heap.SetPrim<int64_t>(scope.Get(rec_slot), pair->FindField("key")->offset, 3);
+  const std::vector<Value> args = {Value::Ref(static_cast<int64_t>(scope.Get(rec_slot))),
+                                   Value::I64(64)};
+  constexpr int kCalls = 100000;
+  constexpr int kRounds = 5;
+  int64_t sum = 0;
+  double off_rps = 0.0;
+  double on_rps = 0.0;
+  PlanExecutor off_exec(*scalar_plan, heap, wk, &layouts, nullptr);
+  PlanExecutor on_exec(*vec_plan, heap, wk, &layouts, nullptr);
+  for (int i = 0; i < kCalls / 10; ++i) {  // warmup
+    sum += off_exec.CallFunction(row_spin, args).i;
+    sum += on_exec.CallFunction(row_spin, args).i;
+  }
+  GERENUK_CHECK_EQ(off_exec.CallFunction(row_spin, args).i,
+                   on_exec.CallFunction(row_spin, args).i);
+  for (int round = 0; round < kRounds; ++round) {
+    for (int i = 0; i < kCalls / 20; ++i) {
+      sum += off_exec.CallFunction(row_spin, args).i;
+    }
+    double start = NowMs();
+    for (int i = 0; i < kCalls; ++i) {
+      sum += off_exec.CallFunction(row_spin, args).i;
+    }
+    off_rps = std::max(off_rps, kCalls / ((NowMs() - start) / 1000.0));
+    for (int i = 0; i < kCalls / 20; ++i) {
+      sum += on_exec.CallFunction(row_spin, args).i;
+    }
+    start = NowMs();
+    for (int i = 0; i < kCalls; ++i) {
+      sum += on_exec.CallFunction(row_spin, args).i;
+    }
+    on_rps = std::max(on_rps, kCalls / ((NowMs() - start) / 1000.0));
+  }
+  GERENUK_CHECK_NE(sum, 0);
+  double overhead_pct = (off_rps - on_rps) / off_rps * 100.0;
+  std::printf("vectorize off: %10.0f records/s\n", off_rps);
+  std::printf("vectorize on:  %10.0f records/s (%+.1f%% vs off; budget: 5%%)\n", on_rps,
+              -overhead_pct);
+  int row_regression = 0;
+  if (overhead_pct > 5.0) {
+    row_regression = 1;
+    std::fprintf(stderr,
+                 "REGRESSION: row-layout plan with vectorize on is %.1f%% slower than with "
+                 "vectorize off (%.0f vs %.0f records/s; budget 5%%)\n",
+                 overhead_pct, on_rps, off_rps);
+  }
+
+  json.BeginObject("row_layout_ablation");
+  json.Field("layout", vec_plan->layout());
+  json.Field("vec_loops_rejected", vec_plan->vec_loops_rejected());
+  json.Field("reject_reason", reject);
+  json.Field("vectorize_off_records_per_sec", off_rps);
+  json.Field("vectorize_on_records_per_sec", on_rps);
+  json.Field("vectorize_on_overhead_pct", overhead_pct);
+  json.Field("row_layout_regression", row_regression);
+  json.End();
+  return row_regression;
+}
+
 }  // namespace
 }  // namespace gerenuk
 
 int main() {
-  double prior_plan_rps = gerenuk::ReadPriorPlanRps();  // before JsonWriter truncates it
+  // Read the prior rates before JsonWriter truncates the file.
+  gerenuk::PriorRates prior = gerenuk::ReadPriorPlanRps();
   gerenuk::bench::JsonWriter json("BENCH_plans.json");
   GERENUK_CHECK(json.ok()) << "cannot open BENCH_plans.json for writing";
   json.BeginObject();
-  gerenuk::DispatchExperiment(json, prior_plan_rps);
+  int regressions = gerenuk::DispatchExperiment(json, prior);
   gerenuk::StageThroughput(json);
   gerenuk::TinyRecordGrouping(json);
   gerenuk::OpMix(json);
+  regressions += gerenuk::RowLayoutAblation(json);
   json.End();
   std::printf("\nwrote BENCH_plans.json\n");
+  if (regressions > 0) {
+    std::fprintf(stderr, "%d perf regression guard(s) fired\n", regressions);
+    return 1;
+  }
   return 0;
 }

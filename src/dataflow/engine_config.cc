@@ -20,6 +20,12 @@ std::string EngineConfig::Validate() const {
                 std::to_string(execution.num_workers) + ")");
   if (execution.heap_bytes == 0)
     return fail("execution.heap_bytes must be non-zero");
+  if (execution.vector_batch_size < 1 || execution.vector_batch_size > (1 << 20))
+    return fail("execution.vector_batch_size must be in [1, 1048576] (got " +
+                std::to_string(execution.vector_batch_size) + ")");
+  if (execution.vec_bail_after_strips < -1)
+    return fail("execution.vec_bail_after_strips must be >= -1 (got " +
+                std::to_string(execution.vec_bail_after_strips) + ")");
   if (execution.executor_heartbeat_ms < 1)
     return fail("execution.executor_heartbeat_ms must be >= 1 (got " +
                 std::to_string(execution.executor_heartbeat_ms) + ")");

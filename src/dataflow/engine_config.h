@@ -53,6 +53,17 @@ struct ExecutionOptions {
   // implementation — also the abort/slow-path fallback either way). Output
   // bytes are identical in both settings; see tests/plan_test.cc.
   bool use_plan_compiler = true;
+  // Lower counted loops inside compiled plans to columnar batch kernels
+  // (kVec* opcodes, see DESIGN.md §13). The layout cost model still falls
+  // back to row execution per SER when the loop body is pointer-chasing;
+  // a vec strip that hits a runtime hazard replays through the scalar path,
+  // so output bytes are identical in all settings and at any worker count.
+  bool vectorize = true;
+  // Lanes per vectorized strip (column length). Power of two not required.
+  int32_t vector_batch_size = 256;
+  // Test-only: vectorized loops hand control to the scalar path after this
+  // many strips (-1 = never) — exercises the mid-loop bail/replay seam.
+  int64_t vec_bail_after_strips = -1;
 
   // --- Process-mode execution (see DESIGN.md "Process model & shuffle") ---
   // Run Gerenuk-mode stages in forked executor processes supervised by the
@@ -127,6 +138,17 @@ struct ObservabilityOptions {
   // land in EngineStats::plan_ops.
   int64_t plan_profile_stride = 0;
 };
+
+// The slice of ExecutionOptions that participates in a SER's canonical
+// signature (see ComputeProgramSignature): plans compiled under different
+// vec configs must never share a PlanCache entry.
+inline VecSignature VecSignatureOf(const ExecutionOptions& execution) {
+  VecSignature vec;
+  vec.vectorize = execution.vectorize;
+  vec.vector_batch_size = execution.vector_batch_size;
+  vec.vec_bail_after_strips = execution.vec_bail_after_strips;
+  return vec;
+}
 
 struct EngineConfig {
   ExecutionOptions execution;

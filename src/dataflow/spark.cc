@@ -213,7 +213,8 @@ SparkEngine::CompiledStage SparkEngine::CompileStage(const Klass* in_klass,
   PlanCache* cache = config_.execution.use_plan_compiler ? plan_cache_ : nullptr;
   CompiledStage stage = CompileNarrowStage(config_.execution.mode, layouts_, in_klass, udfs,
                                            ops, has_broadcast, broadcast_klass,
-                                           &stats_.transform, heap_->klasses(), cache);
+                                           &stats_.transform, heap_->klasses(), cache,
+                                           VecSignatureOf(config_.execution));
   if (config_.execution.mode == EngineMode::kGerenuk) {
     stats_.stages_compiled += 1;
     if (stage.cache_hit) {
@@ -222,7 +223,7 @@ SparkEngine::CompiledStage SparkEngine::CompileStage(const Klass* in_klass,
       // The transformer may have grown the offset-expression pool; re-fold
       // before lowering so every now-constant expression becomes an immediate.
       pool_.FoldConstants();
-      stage.plan = CompilePlan(*stage.transformed, layouts_);
+      stage.plan = CompilePlan(*stage.transformed, layouts_, plan_options());
       stats_.plans_compiled += 1;
       if (cache != nullptr) {
         cache->Insert(stage.signature, {stage.transformed, stage.plan, nullptr, 0});
@@ -235,13 +236,14 @@ SparkEngine::CompiledStage SparkEngine::CompileStage(const Klass* in_klass,
 SparkEngine::CompiledFn SparkEngine::CompileFn(const SerProgram& udfs, const Function* fn) {
   PlanCache* cache = config_.execution.use_plan_compiler ? plan_cache_ : nullptr;
   CompiledFn compiled = CompileSingleFunction(config_.execution.mode, layouts_, udfs, fn,
-                                              &stats_.transform, cache);
+                                              &stats_.transform, cache,
+                                              VecSignatureOf(config_.execution));
   if (compiled.cache_hit) {
     stats_.plan_cache_hits += 1;
   } else if (config_.execution.mode == EngineMode::kGerenuk &&
              config_.execution.use_plan_compiler && compiled.transformed != nullptr) {
     pool_.FoldConstants();
-    compiled.plan = CompilePlan(*compiled.transformed, layouts_);
+    compiled.plan = CompilePlan(*compiled.transformed, layouts_, plan_options());
     stats_.plans_compiled += 1;
     if (cache != nullptr) {
       cache->Insert(compiled.signature,

@@ -137,6 +137,16 @@ class SparkEngine {
   using CompiledStage = StagePrograms;
   using CompiledFn = CompiledFunction;
 
+  // The plan-compiler knobs derived from EngineConfig::execution; must agree
+  // with VecSignatureOf so the cache key always matches the compiled plan.
+  PlanOptions plan_options() const {
+    PlanOptions options;
+    options.vectorize = config_.execution.vectorize;
+    options.vector_batch_size = config_.execution.vector_batch_size;
+    options.vec_bail_after_strips = config_.execution.vec_bail_after_strips;
+    return options;
+  }
+
   // Builds the stage body: deserialize -> narrow chain -> serialize.
   CompiledStage CompileStage(const Klass* in_klass, const SerProgram& udfs,
                              const std::vector<NarrowOp>& ops, bool has_broadcast,

@@ -21,14 +21,29 @@ class SerPlan;  // src/exec/plan.h — compiled form of a transformed program
 
 enum class EngineMode : uint8_t { kBaseline, kGerenuk };
 
-// Canonical signature of a SER: engine mode, the layouts of every klass the
-// program touches (in order), and the printed original program. Two jobs
-// with the same signature compile to byte-identical plans inside one engine,
-// which is what makes the PlanCache sound. Null klasses are skipped, so
-// call sites pass `{in, out, broadcast}` unconditionally.
+// Vectorization configuration that participates in the SER's canonical
+// signature. Plans compiled under different vec configs differ (batch
+// opcodes, strip size, bail knob), so a cache hit must never cross them —
+// a scalar-compiled SerPlan served to a vectorized engine (or vice versa)
+// would silently execute with the wrong kernels. Mirrors the
+// EngineConfig::execution fields of the same names; defaults match theirs
+// so signature-only call sites (tests) stay aligned with a default engine.
+struct VecSignature {
+  bool vectorize = true;
+  int32_t vector_batch_size = 256;
+  int64_t vec_bail_after_strips = -1;
+};
+
+// Canonical signature of a SER: engine mode, vectorization config, the
+// layouts of every klass the program touches (in order), and the printed
+// original program. Two jobs with the same signature compile to
+// byte-identical plans inside one engine, which is what makes the PlanCache
+// sound. Null klasses are skipped, so call sites pass `{in, out, broadcast}`
+// unconditionally.
 ProgramSignature ComputeProgramSignature(EngineMode mode, const DataStructAnalyzer& layouts,
                                          const SerProgram& original,
-                                         const std::vector<const Klass*>& klasses);
+                                         const std::vector<const Klass*>& klasses,
+                                         const VecSignature& vec = VecSignature());
 
 struct NarrowOp {
   enum Kind : uint8_t { kMap, kFlatMap, kFilter } kind = kMap;
@@ -89,13 +104,15 @@ StagePrograms CompileNarrowStage(EngineMode mode, const DataStructAnalyzer& layo
                                  const Klass* in_klass, const SerProgram& udfs,
                                  const std::vector<NarrowOp>& ops, bool has_broadcast,
                                  const Klass* broadcast_klass, TransformStats* stats,
-                                 KlassRegistry& registry, PlanCache* cache = nullptr);
+                                 KlassRegistry& registry, PlanCache* cache = nullptr,
+                                 const VecSignature& vec = VecSignature());
 
 // Imports and compiles one self-contained function (key/reduce/combine).
 // Same cache contract as CompileNarrowStage.
 CompiledFunction CompileSingleFunction(EngineMode mode, const DataStructAnalyzer& layouts,
                                        const SerProgram& udfs, const Function* fn,
-                                       TransformStats* stats, PlanCache* cache = nullptr);
+                                       TransformStats* stats, PlanCache* cache = nullptr,
+                                       const VecSignature& vec = VecSignature());
 
 }  // namespace gerenuk
 

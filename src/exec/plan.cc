@@ -1,5 +1,6 @@
 #include "src/exec/plan.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <type_traits>
@@ -23,11 +24,37 @@ namespace {
 #define GERENUK_FORCE_INLINE inline
 #endif
 
+// The vectorized kernels want plain indexed loops the compiler can
+// auto-vectorize; restrict-qualified pointers tell it the destination column
+// never aliases the operand columns (the lowering guarantees distinct
+// column ids).
+#if defined(__GNUC__) || defined(__clang__)
+#define GERENUK_RESTRICT __restrict__
+#else
+#define GERENUK_RESTRICT
+#endif
+
 // Exact copies of the interpreter's binop semantics, including the dynamic
 // float rule (either operand kF64 promotes), the divide-by-zero checks, and
 // the bitwise-on-float fatal — the differential tests depend on parity.
 GERENUK_FORCE_INLINE double AsF(const Value& v) {
   return v.tag == ValueTag::kF64 ? v.d : static_cast<double>(v.i);
+}
+
+// Column lanes are raw 8-byte payloads: i64 bits for integer-tagged values,
+// double bits for kF64. All column memory is accessed as int64_t; doubles
+// round-trip through memcpy-based punning (compiles to a plain move, keeps
+// the loops strict-aliasing clean and auto-vectorizable).
+GERENUK_FORCE_INLINE int64_t F2Bits(double d) {
+  int64_t b;
+  std::memcpy(&b, &d, sizeof(b));
+  return b;
+}
+
+GERENUK_FORCE_INLINE double BitsAsF(int64_t b) {
+  double d;
+  std::memcpy(&d, &b, sizeof(d));
+  return d;
 }
 
 GERENUK_FORCE_INLINE Value EvalBin(BinOpKind kind, const Value& a, const Value& b) {
@@ -326,6 +353,641 @@ Value PlanExecutor::RunIntrinsic(const PlanOp& op, const Value* slots,
   return Value::None();
 }
 
+// ---------------------------------------------------------------------------
+// Vectorized tier: per-strip lane kernels
+// ---------------------------------------------------------------------------
+//
+// Every kernel below observes the bail contract: it either completes the
+// whole strip or returns false BEFORE any architecturally visible side
+// effect (slot writes, builder stores, faults). On bail the dispatch loop
+// jumps to the scalar loop head and replays the strip lane by lane from the
+// untouched slot state, so faults and SerAborts surface at exactly the lane
+// the scalar execution would have reached.
+
+PlanExecutor::VecState* PlanExecutor::VecStateFor(const PlanOp& op, int32_t cap,
+                                                  int32_t ncols, int32_t nscans) {
+  auto it = vec_states_.find(&op);
+  if (it != vec_states_.end()) {
+    return it->second.get();
+  }
+  GERENUK_CHECK(cap > 0);
+  auto st = std::make_unique<VecState>();
+  st->ncols = ncols;
+  st->cap = cap;
+  // Two scratch columns beyond the plan's count (uniform-operand splats);
+  // per-column stride rounded so every column starts 64-byte aligned.
+  const int32_t total_cols = ncols + 2;
+  const size_t stride = (static_cast<size_t>(cap) + 7) & ~size_t{7};
+  st->storage.resize(stride * static_cast<size_t>(total_cols) + 8);
+  uintptr_t base = reinterpret_cast<uintptr_t>(st->storage.data());
+  int64_t* aligned = reinterpret_cast<int64_t*>((base + 63) & ~uintptr_t{63});
+  st->col.resize(static_cast<size_t>(total_cols));
+  for (int32_t c = 0; c < total_cols; ++c) {
+    st->col[static_cast<size_t>(c)] = aligned + static_cast<size_t>(c) * stride;
+    GERENUK_CHECK_EQ(reinterpret_cast<uintptr_t>(st->col[static_cast<size_t>(c)]) & 63,
+                     0u);
+  }
+  st->col_tag.assign(static_cast<size_t>(total_cols), ValueTag::kNone);
+  st->col_last.assign(static_cast<size_t>(total_cols), -1);
+  st->sel.resize(static_cast<size_t>(cap));
+  st->scan_carry.assign(static_cast<size_t>(nscans), Value());
+  st->scan_valid.assign(static_cast<size_t>(nscans), 0);
+  VecState* raw = st.get();
+  vec_states_[&op] = std::move(st);
+  return raw;
+}
+
+// Iterates the selected lanes: the full [0, nn) range while the strip is
+// dense, the selection vector after a filter compacted it.
+#define GVEC_LOOP(STMT)                           \
+  do {                                            \
+    if (st.sel_dense) {                           \
+      for (int32_t j = 0; j < nn; ++j) {          \
+        STMT;                                     \
+      }                                           \
+    } else {                                      \
+      for (int32_t k = 0; k < st.sel_len; ++k) {  \
+        const int32_t j = sel[k];                 \
+        STMT;                                     \
+      }                                           \
+    }                                             \
+  } while (0)
+
+bool PlanExecutor::VecBinOpLanes(VecState& st, const PlanOp& op, const Value* slots) {
+  const int32_t nn = st.n;
+  const int32_t* GERENUK_RESTRICT sel = st.sel.data();
+  const ValueTag ltag = op.c == 0 ? st.col_tag[static_cast<size_t>(op.a)]
+                                  : slots[op.a].tag;
+  const ValueTag rtag = op.d == 0 ? st.col_tag[static_cast<size_t>(op.b)]
+                                  : slots[op.b].tag;
+  const bool is_float = ltag == ValueTag::kF64 || rtag == ValueTag::kF64;
+  const bool is_cmp = op.binop >= BinOpKind::kLt && op.binop <= BinOpKind::kNe;
+  const bool is_bitwise = op.binop >= BinOpKind::kAnd && op.binop <= BinOpKind::kShr;
+  if (is_float && is_bitwise) {
+    return false;  // scalar replay reproduces the bitwise-on-float fatal
+  }
+  // Materialize both operands as full columns in the strip's numeric
+  // representation: raw i64 payloads on the int path, double bits on the
+  // float path. Uniform operands are splat into the scratch columns so the
+  // op loops are always column(x)column.
+  auto mat_int = [&](int32_t ref, int32_t mode, int32_t scratch) -> const int64_t* {
+    if (mode == 0) {
+      return st.col[static_cast<size_t>(ref)];
+    }
+    int64_t* GERENUK_RESTRICT s = st.col[static_cast<size_t>(st.ncols + scratch)];
+    const int64_t u = slots[ref].i;
+    for (int32_t j = 0; j < nn; ++j) {
+      s[j] = u;
+    }
+    return s;
+  };
+  auto mat_f64 = [&](int32_t ref, int32_t mode, int32_t scratch) -> const int64_t* {
+    int64_t* GERENUK_RESTRICT s = st.col[static_cast<size_t>(st.ncols + scratch)];
+    if (mode == 0) {
+      if (st.col_tag[static_cast<size_t>(ref)] == ValueTag::kF64) {
+        return st.col[static_cast<size_t>(ref)];
+      }
+      const int64_t* GERENUK_RESTRICT c = st.col[static_cast<size_t>(ref)];
+      for (int32_t j = 0; j < nn; ++j) {
+        s[j] = F2Bits(static_cast<double>(c[j]));
+      }
+      return s;
+    }
+    const int64_t u = F2Bits(AsF(slots[ref]));
+    for (int32_t j = 0; j < nn; ++j) {
+      s[j] = u;
+    }
+    return s;
+  };
+  const int64_t* GERENUK_RESTRICT xa;
+  const int64_t* GERENUK_RESTRICT xb;
+  if (is_float) {
+    xa = mat_f64(op.a, op.c, 0);
+    xb = mat_f64(op.b, op.d, 1);
+  } else {
+    xa = mat_int(op.a, op.c, 0);
+    xb = mat_int(op.b, op.d, 1);
+  }
+  // Divide-by-zero on the int path is a fatal in EvalBin: scan the selected
+  // divisor lanes before computing anything and bail so the scalar replay
+  // faults at the first offending lane.
+  if (!is_float && (op.binop == BinOpKind::kDiv || op.binop == BinOpKind::kRem)) {
+    if (st.sel_dense) {
+      for (int32_t j = 0; j < nn; ++j) {
+        if (xb[j] == 0) {
+          return false;
+        }
+      }
+    } else {
+      for (int32_t k = 0; k < st.sel_len; ++k) {
+        if (xb[sel[k]] == 0) {
+          return false;
+        }
+      }
+    }
+  }
+  int64_t* GERENUK_RESTRICT dd = st.col[static_cast<size_t>(op.dst)];
+  if (!is_float) {
+    switch (op.binop) {
+      case BinOpKind::kAdd: GVEC_LOOP(dd[j] = xa[j] + xb[j]); break;
+      case BinOpKind::kSub: GVEC_LOOP(dd[j] = xa[j] - xb[j]); break;
+      case BinOpKind::kMul: GVEC_LOOP(dd[j] = xa[j] * xb[j]); break;
+      case BinOpKind::kDiv: GVEC_LOOP(dd[j] = xa[j] / xb[j]); break;
+      case BinOpKind::kRem: GVEC_LOOP(dd[j] = xa[j] % xb[j]); break;
+      case BinOpKind::kLt: GVEC_LOOP(dd[j] = xa[j] < xb[j] ? 1 : 0); break;
+      case BinOpKind::kLe: GVEC_LOOP(dd[j] = xa[j] <= xb[j] ? 1 : 0); break;
+      case BinOpKind::kGt: GVEC_LOOP(dd[j] = xa[j] > xb[j] ? 1 : 0); break;
+      case BinOpKind::kGe: GVEC_LOOP(dd[j] = xa[j] >= xb[j] ? 1 : 0); break;
+      case BinOpKind::kEq: GVEC_LOOP(dd[j] = xa[j] == xb[j] ? 1 : 0); break;
+      case BinOpKind::kNe: GVEC_LOOP(dd[j] = xa[j] != xb[j] ? 1 : 0); break;
+      case BinOpKind::kAnd: GVEC_LOOP(dd[j] = xa[j] & xb[j]); break;
+      case BinOpKind::kOr: GVEC_LOOP(dd[j] = xa[j] | xb[j]); break;
+      case BinOpKind::kXor: GVEC_LOOP(dd[j] = xa[j] ^ xb[j]); break;
+      case BinOpKind::kShl: GVEC_LOOP(dd[j] = xa[j] << xb[j]); break;
+      case BinOpKind::kShr: GVEC_LOOP(dd[j] = xa[j] >> xb[j]); break;
+      case BinOpKind::kMin: GVEC_LOOP(dd[j] = xa[j] < xb[j] ? xa[j] : xb[j]); break;
+      case BinOpKind::kMax: GVEC_LOOP(dd[j] = xa[j] > xb[j] ? xa[j] : xb[j]); break;
+    }
+    st.col_tag[static_cast<size_t>(op.dst)] = ValueTag::kI64;
+  } else {
+    switch (op.binop) {
+      case BinOpKind::kAdd:
+        GVEC_LOOP(dd[j] = F2Bits(BitsAsF(xa[j]) + BitsAsF(xb[j])));
+        break;
+      case BinOpKind::kSub:
+        GVEC_LOOP(dd[j] = F2Bits(BitsAsF(xa[j]) - BitsAsF(xb[j])));
+        break;
+      case BinOpKind::kMul:
+        GVEC_LOOP(dd[j] = F2Bits(BitsAsF(xa[j]) * BitsAsF(xb[j])));
+        break;
+      case BinOpKind::kDiv:
+        GVEC_LOOP(dd[j] = F2Bits(BitsAsF(xa[j]) / BitsAsF(xb[j])));
+        break;
+      case BinOpKind::kRem:
+        GVEC_LOOP(dd[j] = F2Bits(std::fmod(BitsAsF(xa[j]), BitsAsF(xb[j]))));
+        break;
+      case BinOpKind::kLt: GVEC_LOOP(dd[j] = BitsAsF(xa[j]) < BitsAsF(xb[j]) ? 1 : 0); break;
+      case BinOpKind::kLe: GVEC_LOOP(dd[j] = BitsAsF(xa[j]) <= BitsAsF(xb[j]) ? 1 : 0); break;
+      case BinOpKind::kGt: GVEC_LOOP(dd[j] = BitsAsF(xa[j]) > BitsAsF(xb[j]) ? 1 : 0); break;
+      case BinOpKind::kGe: GVEC_LOOP(dd[j] = BitsAsF(xa[j]) >= BitsAsF(xb[j]) ? 1 : 0); break;
+      case BinOpKind::kEq: GVEC_LOOP(dd[j] = BitsAsF(xa[j]) == BitsAsF(xb[j]) ? 1 : 0); break;
+      case BinOpKind::kNe: GVEC_LOOP(dd[j] = BitsAsF(xa[j]) != BitsAsF(xb[j]) ? 1 : 0); break;
+      case BinOpKind::kMin:
+        GVEC_LOOP({
+          const double x = BitsAsF(xa[j]);
+          const double y = BitsAsF(xb[j]);
+          dd[j] = F2Bits(x < y ? x : y);
+        });
+        break;
+      case BinOpKind::kMax:
+        GVEC_LOOP({
+          const double x = BitsAsF(xa[j]);
+          const double y = BitsAsF(xb[j]);
+          dd[j] = F2Bits(x > y ? x : y);
+        });
+        break;
+      default:
+        return false;  // unreachable: bitwise handled above
+    }
+    st.col_tag[static_cast<size_t>(op.dst)] = is_cmp ? ValueTag::kI64 : ValueTag::kF64;
+  }
+  st.col_last[static_cast<size_t>(op.dst)] =
+      st.sel_dense ? nn - 1 : sel[st.sel_len - 1];
+  return true;
+}
+
+bool PlanExecutor::VecUnOpLanes(VecState& st, const PlanOp& op, const Value* slots) {
+  const int32_t nn = st.n;
+  const int32_t* GERENUK_RESTRICT sel = st.sel.data();
+  int64_t* GERENUK_RESTRICT dd = st.col[static_cast<size_t>(op.dst)];
+  if (op.b == 1) {
+    // Broadcast / copy forms (kAssign and kConst in the loop body).
+    if (op.c == 2) {
+      const int64_t bits = op.imm_tag == ValueTag::kF64 ? F2Bits(op.fimm) : op.imm;
+      for (int32_t j = 0; j < nn; ++j) {
+        dd[j] = bits;
+      }
+      st.col_tag[static_cast<size_t>(op.dst)] = op.imm_tag;
+    } else if (op.c == 1) {
+      const Value v = slots[op.a];
+      const int64_t bits = v.tag == ValueTag::kF64 ? F2Bits(v.d) : v.i;
+      for (int32_t j = 0; j < nn; ++j) {
+        dd[j] = bits;
+      }
+      st.col_tag[static_cast<size_t>(op.dst)] = v.tag;
+    } else {
+      const int64_t* GERENUK_RESTRICT cc = st.col[static_cast<size_t>(op.a)];
+      for (int32_t j = 0; j < nn; ++j) {
+        dd[j] = cc[j];
+      }
+      st.col_tag[static_cast<size_t>(op.dst)] = st.col_tag[static_cast<size_t>(op.a)];
+    }
+    st.col_last[static_cast<size_t>(op.dst)] =
+        st.sel_dense ? nn - 1 : sel[st.sel_len - 1];
+    return true;
+  }
+  // Real unops. A uniform source is splat into scratch 0 so each kind is one
+  // column loop; the weird-tag cases mirror the scalar handler exactly (a
+  // kF64 Value carries i == 0, which is what AsBool and kI2F observe).
+  const int64_t* GERENUK_RESTRICT xs;
+  ValueTag stag;
+  if (op.c == 0) {
+    xs = st.col[static_cast<size_t>(op.a)];
+    stag = st.col_tag[static_cast<size_t>(op.a)];
+  } else {
+    int64_t* GERENUK_RESTRICT s = st.col[static_cast<size_t>(st.ncols)];
+    const Value v = slots[op.a];
+    const int64_t bits = v.tag == ValueTag::kF64 ? F2Bits(v.d) : v.i;
+    for (int32_t j = 0; j < nn; ++j) {
+      s[j] = bits;
+    }
+    xs = s;
+    stag = v.tag;
+  }
+  ValueTag out_tag = ValueTag::kI64;
+  switch (op.unop) {
+    case UnOpKind::kNeg:
+      if (stag == ValueTag::kF64) {
+        GVEC_LOOP(dd[j] = F2Bits(-BitsAsF(xs[j])));
+        out_tag = ValueTag::kF64;
+      } else {
+        GVEC_LOOP(dd[j] = -xs[j]);
+      }
+      break;
+    case UnOpKind::kNot:
+      if (stag == ValueTag::kF64) {
+        GVEC_LOOP(dd[j] = 1);  // scalar AsBool reads .i, zero for kF64 Values
+      } else {
+        GVEC_LOOP(dd[j] = xs[j] == 0 ? 1 : 0);
+      }
+      break;
+    case UnOpKind::kI2F:
+      if (stag == ValueTag::kF64) {
+        GVEC_LOOP(dd[j] = F2Bits(0.0));
+      } else {
+        GVEC_LOOP(dd[j] = F2Bits(static_cast<double>(xs[j])));
+      }
+      out_tag = ValueTag::kF64;
+      break;
+    case UnOpKind::kF2I:
+      if (stag == ValueTag::kF64) {
+        GVEC_LOOP(dd[j] = static_cast<int64_t>(BitsAsF(xs[j])));
+      } else {
+        GVEC_LOOP(dd[j] = static_cast<int64_t>(static_cast<double>(xs[j])));
+      }
+      break;
+  }
+  st.col_tag[static_cast<size_t>(op.dst)] = out_tag;
+  st.col_last[static_cast<size_t>(op.dst)] =
+      st.sel_dense ? nn - 1 : sel[st.sel_len - 1];
+  return true;
+}
+
+// Serial in-order reduction over the selected lanes: bit-exact against the
+// scalar loop by construction (same expression per lane, same order).
+#define GVEC_SCAN_I(EXPR)                        \
+  do {                                           \
+    for (int32_t k = 0; k < st.sel_len; ++k) {   \
+      const int32_t j = st.sel_dense ? k : sel[k]; \
+      const int64_t x = xc != nullptr ? xc[j] : xu; \
+      const int64_t l = carry_left ? c : x;      \
+      const int64_t r = carry_left ? x : c;      \
+      c = (EXPR);                                \
+      dd[j] = c;                                 \
+    }                                            \
+  } while (0)
+#define GVEC_SCAN_F(EXPR, STORE)                 \
+  do {                                           \
+    for (int32_t k = 0; k < st.sel_len; ++k) {   \
+      const int32_t j = st.sel_dense ? k : sel[k]; \
+      const double x = xc != nullptr                              \
+                           ? (xtag == ValueTag::kF64              \
+                                  ? BitsAsF(xc[j])                \
+                                  : static_cast<double>(xc[j]))   \
+                           : xf;                 \
+      const double l = carry_left ? c : x;       \
+      const double r = carry_left ? x : c;       \
+      c = (EXPR);                                \
+      dd[j] = (STORE);                           \
+    }                                            \
+  } while (0)
+
+bool PlanExecutor::VecScanLanes(VecState& st, const PlanOp& op, const Value* slots) {
+  const int32_t* GERENUK_RESTRICT sel = st.sel.data();
+  const size_t scan_idx = static_cast<size_t>(op.dst2);
+  const Value carry0 = slots[op.a];
+  const int64_t* xc = nullptr;
+  Value xuni = Value::None();
+  ValueTag xtag;
+  if (op.d == 0) {
+    xc = st.col[static_cast<size_t>(op.b)];
+    xtag = st.col_tag[static_cast<size_t>(op.b)];
+  } else {
+    xuni = slots[op.b];
+    xtag = xuni.tag;
+  }
+  const bool is_float = carry0.tag == ValueTag::kF64 || xtag == ValueTag::kF64;
+  const bool is_cmp = op.binop >= BinOpKind::kLt && op.binop <= BinOpKind::kNe;
+  const bool is_bitwise = op.binop >= BinOpKind::kAnd && op.binop <= BinOpKind::kShr;
+  if (is_float && is_bitwise) {
+    return false;
+  }
+  const bool carry_left = op.c == 0;
+  int64_t* GERENUK_RESTRICT dd = st.col[static_cast<size_t>(op.dst)];
+  if (!is_float) {
+    const int64_t xu = xc != nullptr ? 0 : xuni.i;
+    int64_t c = carry0.i;
+    switch (op.binop) {
+      case BinOpKind::kAdd: GVEC_SCAN_I(l + r); break;
+      case BinOpKind::kSub: GVEC_SCAN_I(l - r); break;
+      case BinOpKind::kMul: GVEC_SCAN_I(l * r); break;
+      case BinOpKind::kDiv:
+      case BinOpKind::kRem: {
+        // The divisor can be the carry itself, so the zero check is per-lane;
+        // bailing mid-scan is safe — only the scratch column was touched.
+        const bool is_div = op.binop == BinOpKind::kDiv;
+        for (int32_t k = 0; k < st.sel_len; ++k) {
+          const int32_t j = st.sel_dense ? k : sel[k];
+          const int64_t x = xc != nullptr ? xc[j] : xu;
+          const int64_t l = carry_left ? c : x;
+          const int64_t r = carry_left ? x : c;
+          if (r == 0) {
+            return false;
+          }
+          c = is_div ? l / r : l % r;
+          dd[j] = c;
+        }
+        break;
+      }
+      case BinOpKind::kLt: GVEC_SCAN_I(l < r ? 1 : 0); break;
+      case BinOpKind::kLe: GVEC_SCAN_I(l <= r ? 1 : 0); break;
+      case BinOpKind::kGt: GVEC_SCAN_I(l > r ? 1 : 0); break;
+      case BinOpKind::kGe: GVEC_SCAN_I(l >= r ? 1 : 0); break;
+      case BinOpKind::kEq: GVEC_SCAN_I(l == r ? 1 : 0); break;
+      case BinOpKind::kNe: GVEC_SCAN_I(l != r ? 1 : 0); break;
+      case BinOpKind::kAnd: GVEC_SCAN_I(l & r); break;
+      case BinOpKind::kOr: GVEC_SCAN_I(l | r); break;
+      case BinOpKind::kXor: GVEC_SCAN_I(l ^ r); break;
+      case BinOpKind::kShl: GVEC_SCAN_I(l << r); break;
+      case BinOpKind::kShr: GVEC_SCAN_I(l >> r); break;
+      case BinOpKind::kMin: GVEC_SCAN_I(l < r ? l : r); break;
+      case BinOpKind::kMax: GVEC_SCAN_I(l > r ? l : r); break;
+    }
+    st.scan_carry[scan_idx] = Value::I64(c);
+    st.col_tag[static_cast<size_t>(op.dst)] = ValueTag::kI64;
+  } else {
+    const double xf = xc != nullptr ? 0.0 : AsF(xuni);
+    double c = AsF(carry0);
+    switch (op.binop) {
+      case BinOpKind::kAdd: GVEC_SCAN_F(l + r, F2Bits(c)); break;
+      case BinOpKind::kSub: GVEC_SCAN_F(l - r, F2Bits(c)); break;
+      case BinOpKind::kMul: GVEC_SCAN_F(l * r, F2Bits(c)); break;
+      case BinOpKind::kDiv: GVEC_SCAN_F(l / r, F2Bits(c)); break;
+      case BinOpKind::kRem: GVEC_SCAN_F(std::fmod(l, r), F2Bits(c)); break;
+      case BinOpKind::kLt: GVEC_SCAN_F(l < r ? 1.0 : 0.0, static_cast<int64_t>(c)); break;
+      case BinOpKind::kLe: GVEC_SCAN_F(l <= r ? 1.0 : 0.0, static_cast<int64_t>(c)); break;
+      case BinOpKind::kGt: GVEC_SCAN_F(l > r ? 1.0 : 0.0, static_cast<int64_t>(c)); break;
+      case BinOpKind::kGe: GVEC_SCAN_F(l >= r ? 1.0 : 0.0, static_cast<int64_t>(c)); break;
+      case BinOpKind::kEq: GVEC_SCAN_F(l == r ? 1.0 : 0.0, static_cast<int64_t>(c)); break;
+      case BinOpKind::kNe: GVEC_SCAN_F(l != r ? 1.0 : 0.0, static_cast<int64_t>(c)); break;
+      case BinOpKind::kMin: GVEC_SCAN_F(l < r ? l : r, F2Bits(c)); break;
+      case BinOpKind::kMax: GVEC_SCAN_F(l > r ? l : r, F2Bits(c)); break;
+      default:
+        return false;  // unreachable: bitwise handled above
+    }
+    if (is_cmp) {
+      st.scan_carry[scan_idx] = Value::I64(static_cast<int64_t>(c));
+      st.col_tag[static_cast<size_t>(op.dst)] = ValueTag::kI64;
+    } else {
+      st.scan_carry[scan_idx] = Value::F64(c);
+      st.col_tag[static_cast<size_t>(op.dst)] = ValueTag::kF64;
+    }
+  }
+  st.scan_valid[scan_idx] = 1;
+  st.col_last[static_cast<size_t>(op.dst)] =
+      st.sel_dense ? st.sel_len - 1 : sel[st.sel_len - 1];
+  return true;
+}
+
+#undef GVEC_SCAN_I
+#undef GVEC_SCAN_F
+
+bool PlanExecutor::VecReadColLanes(VecState& st, const PlanOp& op, const Value* slots) {
+  const int32_t nn = st.n;
+  const int32_t* GERENUK_RESTRICT sel = st.sel.data();
+  int64_t* GERENUK_RESTRICT dd = st.col[static_cast<size_t>(op.dst)];
+  const int64_t base = slots[op.a].i;
+  if (op.c == 1) {
+    // Length broadcast: the base is loop-invariant, so the scalar loop would
+    // issue the same read every iteration (same fatals too — ArrayLength's
+    // klass check fires here exactly where lane 0 would hit it).
+    const int64_t len =
+        IsBuilderAddr(base) ? builders_->ArrayLength(base) : NativeReadI32(base);
+    for (int32_t j = 0; j < nn; ++j) {
+      dd[j] = len;
+    }
+    st.col_tag[static_cast<size_t>(op.dst)] = ValueTag::kI64;
+    st.col_last[static_cast<size_t>(op.dst)] =
+        st.sel_dense ? nn - 1 : sel[st.sel_len - 1];
+    return true;
+  }
+  const int64_t* idxc = op.d == 0 ? st.col[static_cast<size_t>(op.b)] : nullptr;
+  const int64_t uidx = op.d == 0 ? 0 : slots[op.b].i;
+  int64_t data_addr;
+  int64_t len;
+  int64_t elem_off0;
+  if (IsBuilderAddr(base)) {
+    uint8_t* data = nullptr;
+    if (!builders_->TryGetPrimArray(base, op.kind, &data, &len)) {
+      return false;  // odd node shape: scalar replay reproduces its fault
+    }
+    data_addr = reinterpret_cast<int64_t>(data);
+    elem_off0 = 0;
+  } else {
+    len = NativeReadI32(base);
+    data_addr = base;
+    elem_off0 = 4;  // committed arrays are [len:i32][elements]
+  }
+  // Bounds are a fatal in both the builder and committed scalar paths: bail
+  // so the replay faults at the first out-of-range lane.
+  bool oob = false;
+  if (idxc != nullptr) {
+    GVEC_LOOP(oob |= idxc[j] < 0 || idxc[j] >= len);
+  } else {
+    oob = uidx < 0 || uidx >= len;
+  }
+  if (oob) {
+    return false;
+  }
+  const int64_t esz = FieldKindSize(op.kind);
+  if (op.float_kind) {
+    GVEC_LOOP(dd[j] = F2Bits(NativeReadFloat(
+                  data_addr, elem_off0 + (idxc != nullptr ? idxc[j] : uidx) * esz,
+                  op.kind)));
+  } else {
+    GVEC_LOOP(dd[j] = NativeReadInt(
+                  data_addr, elem_off0 + (idxc != nullptr ? idxc[j] : uidx) * esz,
+                  op.kind));
+  }
+  st.col_tag[static_cast<size_t>(op.dst)] = op.float_kind ? ValueTag::kF64 : ValueTag::kI64;
+  st.col_last[static_cast<size_t>(op.dst)] =
+      st.sel_dense ? nn - 1 : sel[st.sel_len - 1];
+  return true;
+}
+
+bool PlanExecutor::VecWriteColPrepare(VecState& st, const PlanOp& op, const Value* slots,
+                                      const int32_t* args_pool) {
+  const int32_t nn = st.n;
+  const int32_t* GERENUK_RESTRICT sel = st.sel.data();
+  const int64_t base = slots[op.a].i;
+  if (!IsBuilderAddr(base)) {
+    return false;  // scalar replay raises SerAbort{kDisruptNativeSpace}
+  }
+  // Runtime alias guards: the lowering proved the stored array is a distinct
+  // slot from every gathered array, but two distinct slots can still hold the
+  // same builder — in that case lane-major commit order would diverge from
+  // the scalar's op-major order, so hand the strip to the scalar loop.
+  for (int32_t g = 0; g < op.args_len; ++g) {
+    if (slots[args_pool[op.args_off + g]].i == base) {
+      return false;
+    }
+  }
+  uint8_t* data = nullptr;
+  int64_t len = 0;
+  if (!builders_->TryGetPrimArray(base, op.kind, &data, &len)) {
+    return false;
+  }
+  const int64_t* idxc = st.col[static_cast<size_t>(op.b)];
+  bool oob = false;
+  GVEC_LOOP(oob |= idxc[j] < 0 || idxc[j] >= len);
+  if (oob) {
+    return false;  // replay hits the builder bounds fatal at the right lane
+  }
+  // All checks passed — defer the scatter to kVecLoopEnd so a later op's
+  // bail can still replay this strip from pristine state.
+  if (st.pending_count == st.pending.size()) {
+    st.pending.emplace_back();
+  }
+  VecState::Pending& p = st.pending[st.pending_count++];
+  p.op = &op;
+  if (st.sel_dense) {
+    p.count = -1;
+  } else {
+    p.count = st.sel_len;
+    p.lanes.assign(sel, sel + st.sel_len);
+  }
+  return true;
+}
+
+void PlanExecutor::VecFilterLanes(VecState& st, const PlanOp& op, const Value* slots) {
+  const int32_t nn = st.n;
+  // b == 0: keep lanes whose condition is false (the If() shape — the scalar
+  // branch skips the rest of the body when the condition holds).
+  const bool keep_if = op.b != 0;
+  if (op.c == 1) {
+    if (slots[op.a].AsBool() != keep_if) {
+      st.sel_len = 0;
+    }
+    return;
+  }
+  const int64_t* GERENUK_RESTRICT cc = st.col[static_cast<size_t>(op.a)];
+  if (st.col_tag[static_cast<size_t>(op.a)] == ValueTag::kF64) {
+    // Scalar AsBool reads Value::i, which is zero for every kF64 Value: the
+    // condition is uniformly false.
+    if (keep_if) {
+      st.sel_len = 0;
+    }
+    return;
+  }
+  int32_t* GERENUK_RESTRICT sel = st.sel.data();
+  int32_t out = 0;
+  if (st.sel_dense) {
+    for (int32_t j = 0; j < nn; ++j) {
+      if ((cc[j] != 0) == keep_if) {
+        sel[out++] = j;
+      }
+    }
+    st.sel_dense = out == nn;
+  } else {
+    for (int32_t k = 0; k < st.sel_len; ++k) {
+      const int32_t j = sel[k];
+      if ((cc[j] != 0) == keep_if) {
+        sel[out++] = j;
+      }
+    }
+  }
+  st.sel_len = out;
+}
+
+void PlanExecutor::VecCommitStrip(VecState& st, const PlanOp& end_op, Value* slots,
+                                  const int32_t* args_pool) {
+  // 1. Deferred scatters, in op order then lane order — equivalent to the
+  // scalar order because every pending op's checks proved independence.
+  for (size_t pi = 0; pi < st.pending_count; ++pi) {
+    const VecState::Pending& p = st.pending[pi];
+    const PlanOp& sop = *p.op;
+    const int64_t base = slots[sop.a].i;
+    uint8_t* data = nullptr;
+    int64_t len = 0;
+    const bool ok = builders_->TryGetPrimArray(base, sop.kind, &data, &len);
+    GERENUK_CHECK(ok);  // verified at prepare time; the body cannot change it
+    const int64_t daddr = reinterpret_cast<int64_t>(data);
+    const int64_t esz = FieldKindSize(sop.kind);
+    const int64_t* idxc = st.col[static_cast<size_t>(sop.b)];
+    const int64_t* valc = sop.d == 0 ? st.col[static_cast<size_t>(sop.c)] : nullptr;
+    const ValueTag vt = sop.d == 0 ? st.col_tag[static_cast<size_t>(sop.c)]
+                                   : slots[sop.c].tag;
+    const Value uni = sop.d == 0 ? Value::None() : slots[sop.c];
+    const int32_t cnt = p.count < 0 ? st.n : p.count;
+    for (int32_t k = 0; k < cnt; ++k) {
+      const int32_t j = p.count < 0 ? k : p.lanes[static_cast<size_t>(k)];
+      const int64_t off = idxc[j] * esz;
+      if (sop.float_kind) {
+        const double fv = valc != nullptr
+                              ? (vt == ValueTag::kF64 ? BitsAsF(valc[j])
+                                                      : static_cast<double>(valc[j]))
+                              : AsF(uni);
+        NativeWriteFloat(daddr, off, sop.kind, fv);
+      } else {
+        // Scalar ArrayStore passes Value::i, which is zero for kF64 Values.
+        const int64_t iv =
+            valc != nullptr ? (vt == ValueTag::kF64 ? 0 : valc[j]) : uni.i;
+        NativeWriteInt(daddr, off, sop.kind, iv);
+      }
+    }
+  }
+  // 2. Column write-backs: each slot gets the value of the last lane that
+  // defined it this strip (col_last is -1 when the defining op was skipped
+  // by an empty selection — the slot keeps its pre-strip value, exactly as
+  // the scalar loop would leave it).
+  const int32_t* a = &args_pool[end_op.args_off];
+  int32_t ncol = *a++;
+  for (int32_t w = 0; w < ncol; ++w) {
+    const int32_t slot = *a++;
+    const int32_t col = *a++;
+    const int32_t last = st.col_last[static_cast<size_t>(col)];
+    if (last < 0) {
+      continue;
+    }
+    const ValueTag t = st.col_tag[static_cast<size_t>(col)];
+    const int64_t bits = st.col[static_cast<size_t>(col)][last];
+    slots[slot] = t == ValueTag::kF64 ? Value::F64(BitsAsF(bits)) : Value{t, bits, 0.0};
+  }
+  // 3. Scan carries.
+  int32_t nscan = *a++;
+  for (int32_t w = 0; w < nscan; ++w) {
+    const int32_t slot = *a++;
+    const int32_t idx = *a++;
+    if (st.scan_valid[static_cast<size_t>(idx)]) {
+      slots[slot] = st.scan_carry[static_cast<size_t>(idx)];
+    }
+  }
+  // 4. Advance the induction slot past the strip.
+  slots[end_op.a] = Value::I64(st.base + st.n);
+}
+
+#undef GVEC_LOOP
+
 template <bool kProfiled>
 Value PlanExecutor::Execute(Frame& frame) {
   const PlanFunction& pf = *frame.func;
@@ -361,7 +1023,9 @@ Value PlanExecutor::Execute(Frame& frame) {
       &&lbl_kBinOpJump, &&lbl_kReadConstBin, &&lbl_kBinOpBin,
       &&lbl_kBinOpBinJump, &&lbl_kBinOpRun, &&lbl_kBinOpRunBranch,
       &&lbl_kBinOpRunJump, &&lbl_kBranchElse, &&lbl_kBinOpBranchElse,
-      &&lbl_kBinOpRunBranchElse,
+      &&lbl_kBinOpRunBranchElse, &&lbl_kVecLoopBegin, &&lbl_kVecBinOp,
+      &&lbl_kVecUnOp, &&lbl_kVecScan, &&lbl_kVecReadCol, &&lbl_kVecWriteCol,
+      &&lbl_kVecFilter, &&lbl_kVecLoopEnd,
   };
   static_assert(sizeof(kDispatch) / sizeof(kDispatch[0]) ==
                 static_cast<size_t>(PlanOpCode::kCount));
@@ -781,6 +1445,139 @@ Value PlanExecutor::Execute(Frame& frame) {
   }
 #undef RUN_BINOPS
 #undef RUN_BINOPS_PEEL
+
+  // --- Vectorized tier -----------------------------------------------------
+  // A [kVecLoopBegin .. kVecLoopEnd] block executes one strip (up to
+  // vector_batch_size iterations) of a counted loop per dispatch cycle. All
+  // side effects are transactional: slot write-backs and builder scatters
+  // happen only in kVecLoopEnd, so any body op can bail (JUMP to op->target2,
+  // the scalar loop head) and the scalar path replays the strip from
+  // untouched state — faults, SerAborts, and results stay byte-identical to
+  // the scalar/interpreter execution.
+  OP(kVecLoopBegin) {
+    const Value iv = slots[op->a];
+    const Value lv = slots[op->b];
+    if (iv.tag != ValueTag::kI64 || lv.tag != ValueTag::kI64) {
+      JUMP(op->target2);  // dynamic tags the lowering did not anticipate
+    }
+    if (lv.i - iv.i <= 0) {
+      // Loop exhausted: mirror the scalar head (compare, then branch out).
+      slots[op->d] = Value::Bool(true);
+      auto it = vec_states_.find(op);
+      if (it != vec_states_.end()) {
+        it->second->strips_done = 0;
+      }
+      JUMP(op->target);
+    }
+    VecState* stp = VecStateFor(*op, plan.vector_batch_size(), op->c,
+                                static_cast<int32_t>(op->imm));
+    const int64_t bail_after = plan.vec_bail_after_strips();
+    if (bail_after >= 0 && stp->strips_done >= bail_after) {
+      stp->strips_done = 0;  // test knob: hand the rest to the scalar loop
+      JUMP(op->target2);
+    }
+    VecState& st = *stp;
+    const int64_t rem = lv.i - iv.i;
+    const int32_t n =
+        rem < static_cast<int64_t>(st.cap) ? static_cast<int32_t>(rem) : st.cap;
+    st.base = iv.i;
+    st.n = n;
+    st.sel_len = n;
+    st.sel_dense = true;
+    std::fill(st.col_last.begin(), st.col_last.end(), -1);
+    std::fill(st.scan_valid.begin(), st.scan_valid.end(), 0);
+    st.pending_count = 0;
+    int64_t* GERENUK_RESTRICT ind = st.col[static_cast<size_t>(op->dst)];
+    for (int32_t j = 0; j < n; ++j) {
+      ind[j] = iv.i + j;
+    }
+    st.col_tag[static_cast<size_t>(op->dst)] = ValueTag::kI64;
+    st.col_last[static_cast<size_t>(op->dst)] = n - 1;
+    vec_cur_ = stp;
+    NEXT();
+  }
+  OP(kVecBinOp) {
+    VecState& st = *vec_cur_;
+    if (st.sel_len > 0) {
+      opcount.n += st.sel_len - 1;  // per-element accounting (lanes, not ops)
+      if constexpr (kProfiled) {
+        profile_->dispatches[static_cast<size_t>(op->code)] += st.sel_len - 1;
+      }
+      if (!VecBinOpLanes(st, *op, slots)) {
+        JUMP(op->target2);
+      }
+    }
+    NEXT();
+  }
+  OP(kVecUnOp) {
+    VecState& st = *vec_cur_;
+    if (st.sel_len > 0) {
+      opcount.n += st.sel_len - 1;
+      if constexpr (kProfiled) {
+        profile_->dispatches[static_cast<size_t>(op->code)] += st.sel_len - 1;
+      }
+      if (!VecUnOpLanes(st, *op, slots)) {
+        JUMP(op->target2);
+      }
+    }
+    NEXT();
+  }
+  OP(kVecScan) {
+    VecState& st = *vec_cur_;
+    if (st.sel_len > 0) {
+      opcount.n += st.sel_len - 1;
+      if constexpr (kProfiled) {
+        profile_->dispatches[static_cast<size_t>(op->code)] += st.sel_len - 1;
+      }
+      if (!VecScanLanes(st, *op, slots)) {
+        JUMP(op->target2);
+      }
+    }
+    NEXT();
+  }
+  OP(kVecReadCol) {
+    VecState& st = *vec_cur_;
+    if (st.sel_len > 0) {
+      opcount.n += st.sel_len - 1;
+      if constexpr (kProfiled) {
+        profile_->dispatches[static_cast<size_t>(op->code)] += st.sel_len - 1;
+      }
+      if (!VecReadColLanes(st, *op, slots)) {
+        JUMP(op->target2);
+      }
+    }
+    NEXT();
+  }
+  OP(kVecWriteCol) {
+    VecState& st = *vec_cur_;
+    if (st.sel_len > 0) {
+      opcount.n += st.sel_len - 1;
+      if constexpr (kProfiled) {
+        profile_->dispatches[static_cast<size_t>(op->code)] += st.sel_len - 1;
+      }
+      if (!VecWriteColPrepare(st, *op, slots, args_pool)) {
+        JUMP(op->target2);
+      }
+    }
+    NEXT();
+  }
+  OP(kVecFilter) {
+    VecState& st = *vec_cur_;
+    if (st.sel_len > 0) {
+      opcount.n += st.sel_len - 1;
+      if constexpr (kProfiled) {
+        profile_->dispatches[static_cast<size_t>(op->code)] += st.sel_len - 1;
+      }
+      VecFilterLanes(st, *op, slots);
+    }
+    NEXT();
+  }
+  OP(kVecLoopEnd) {
+    VecState& st = *vec_cur_;
+    VecCommitStrip(st, *op, slots, args_pool);
+    st.strips_done += 1;
+    JUMP(op->target);  // back to kVecLoopBegin for the next strip
+  }
 
 #ifndef GERENUK_COMPUTED_GOTO
       case PlanOpCode::kCount:

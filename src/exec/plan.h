@@ -92,8 +92,47 @@ enum class PlanOpCode : uint8_t {
   kBranchElse,         // cond is a
   kBinOpBranchElse,    // dst = a <binop> b first; cond is c
   kBinOpRunBranchElse, // the run first; cond is c
+  // --- vectorized batch tier (see DESIGN.md §13) ---------------------------
+  // A qualifying counted loop is strip-mined: the vec block runs strips of
+  // `vector_batch_size` iterations over per-loop column vectors; the original
+  // scalar loop is kept immediately after the block as both the vectorize-off
+  // path and the bail target. All observable side effects of a strip (slot
+  // writebacks, native-array scatters) are deferred to kVecLoopEnd, so a bail
+  // mid-strip hands off to the scalar loop with pristine strip-start state —
+  // aborts and faults then fire at exactly the iteration, and with exactly
+  // the lane-major ordering, the interpreter would produce.
+  //
+  // Operand encoding shared by the vec body ops: a ref/mode pair selects a
+  // column (mode 0: ref is a column id), a loop-invariant slot (mode 1: ref
+  // is a slot id), or the op's immediate payload (mode 2, kVecUnOp only).
+  kVecLoopBegin,  // a=induction slot, b=limit slot, c=#columns, d=done slot;
+                  // dst=induction column; target=loop exit, target2=scalar
+                  // loop head (bail); imm=#scan ops. Computes n=min(batch,
+                  // limit-i); n<=0 writes done=true and jumps to target.
+  kVecBinOp,      // dst col = <binop>(a/c ref/mode, b/d ref/mode) per lane
+  kVecUnOp,       // dst col = <unop>(a/c) per lane; b==1 => plain copy or
+                  // broadcast (imm_tag/imm/fimm when c==2)
+  kVecScan,       // serial loop-carried reduction, bit-exact order: carried
+                  // slot a, operand b/d, direction c (0: carry<op>x, 1:
+                  // x<op>carry); dst col holds the running value per lane,
+                  // dst2 is the scan's writeback index
+  kVecReadCol,    // gather: base slot a (invariant), index b/d, element
+                  // `kind`; c==1 => native array length broadcast instead
+  kVecWriteCol,   // deferred scatter: base slot a, index column b, value c/d,
+                  // element `kind`; args = alias-guard slots (bases this
+                  // loop reads — equal address at runtime bails to scalar)
+  kVecFilter,     // shrink the selection vector: cond a/c, keep lanes where
+                  // AsBool(cond) == b
+  kVecLoopEnd,    // commit the strip: apply pending scatters, write back
+                  // columns/scan carries per args = [ncol,(slot,col)...,
+                  // nscan,(slot,idx)...], advance induction slot a (col dst),
+                  // jump target back to kVecLoopBegin
   kCount,
 };
+
+inline bool IsVecOp(PlanOpCode c) {
+  return c >= PlanOpCode::kVecLoopBegin && c <= PlanOpCode::kVecLoopEnd;
+}
 
 const char* PlanOpName(PlanOpCode code);
 
@@ -194,6 +233,22 @@ class SerPlan {
   int64_t ops_copies_elided() const { return ops_copies_elided_; }
   int64_t offsets_folded() const { return offsets_folded_; }
   int64_t offsets_symbolic() const { return offsets_symbolic_; }
+  // Fused-run shape (kBinOpRun collapse): how many runs and how long.
+  int64_t run_count() const { return run_count_; }
+  int64_t run_len_sum() const { return run_len_sum_; }
+  int64_t run_len_max() const { return run_len_max_; }
+
+  // Vectorization outcome: counted loops strip-mined into the vec tier, the
+  // scalar body ops those loops cover, loops examined but kept scalar (and
+  // why), and the layout the cost model chose for this SER — "columnar"
+  // when at least one loop vectorized, "row" otherwise.
+  int64_t vec_loops() const { return vec_loops_; }
+  int64_t vec_loops_rejected() const { return vec_loops_rejected_; }
+  int64_t ops_vectorized() const { return ops_vectorized_; }
+  int32_t vector_batch_size() const { return vector_batch_size_; }
+  int64_t vec_bail_after_strips() const { return vec_bail_after_strips_; }
+  const char* layout() const { return vec_loops_ > 0 ? "columnar" : "row"; }
+  const std::vector<std::string>& vec_reject_reasons() const { return vec_reject_reasons_; }
 
  private:
   friend class PlanBuilder;  // the compiler (plan_compiler.cc) fills these in
@@ -209,13 +264,34 @@ class SerPlan {
   int64_t ops_copies_elided_ = 0;
   int64_t offsets_folded_ = 0;
   int64_t offsets_symbolic_ = 0;
+  int64_t run_count_ = 0;
+  int64_t run_len_sum_ = 0;
+  int64_t run_len_max_ = 0;
+  int64_t vec_loops_ = 0;
+  int64_t vec_loops_rejected_ = 0;
+  int64_t ops_vectorized_ = 0;
+  int32_t vector_batch_size_ = 0;
+  int64_t vec_bail_after_strips_ = -1;
+  std::vector<std::string> vec_reject_reasons_;
+};
+
+// Compile-time knobs for the vectorization tier. The vec config is part of
+// the plan's identity: engines fold it into ProgramSignature so a cache hit
+// can never hand a scalar-compiled plan to a vectorized config (plan_cache.h).
+struct PlanOptions {
+  bool vectorize = true;        // run the loop vectorizer pass
+  int32_t vector_batch_size = 256;  // lanes per strip (column vector length)
+  // Test-only: force the Nth kVecLoopBegin of every loop entry to bail to
+  // the scalar loop, exercising the mid-loop handoff. -1 = never.
+  int64_t vec_bail_after_strips = -1;
 };
 
 // Lowers every function of `program` (a *transformed* SerProgram; labels
 // must be resolved). `layouts` supplies the ExprPool for offset folding and
 // flattening — run ExprPool::FoldConstants() first for best results.
 std::shared_ptr<const SerPlan> CompilePlan(const SerProgram& program,
-                                           const DataStructAnalyzer& layouts);
+                                           const DataStructAnalyzer& layouts,
+                                           const PlanOptions& options = PlanOptions());
 
 // Direct-threaded executor over one or more SerPlans. Functions are looked
 // up across every registered plan, so a stage plan and its key/reduce
@@ -269,6 +345,35 @@ class PlanExecutor : public RootProvider, public SerRunner {
     std::vector<Value> slots;
   };
 
+  // Per-loop columnar scratch. Columns are 64-byte-aligned 8-byte lanes
+  // (int64 bits; doubles live in the same buffer via their bit pattern, the
+  // per-column tag says which view is live). One VecState per kVecLoopBegin
+  // op, lazily built and cached for the executor's lifetime — loop bodies
+  // contain no calls, so a loop can never have two live strips at once.
+  struct VecState {
+    int32_t ncols = 0;
+    int32_t cap = 0;  // vector_batch_size lanes per column
+    std::vector<int64_t> storage;  // ncols+2 columns (2 operand scratch)
+    std::vector<int64_t*> col;     // aligned pointers into storage
+    std::vector<ValueTag> col_tag;
+    std::vector<int32_t> col_last;  // last lane that wrote the col this strip
+    std::vector<int32_t> sel;       // dense selection vector (lane indices)
+    int32_t sel_len = 0;
+    bool sel_dense = true;  // sel is the identity [0, n)
+    int64_t base = 0;       // induction value at strip start
+    int32_t n = 0;          // lanes in this strip
+    int64_t strips_done = 0;  // for the vec_bail_after_strips test knob
+    std::vector<Value> scan_carry;
+    std::vector<uint8_t> scan_valid;
+    struct Pending {  // deferred scatter: op + the selection it ran under
+      const PlanOp* op = nullptr;
+      int32_t count = 0;  // -1 = dense [0, n)
+      std::vector<int32_t> lanes;
+    };
+    std::vector<Pending> pending;
+    size_t pending_count = 0;  // live prefix of `pending` (entries reused)
+  };
+
   static constexpr size_t kInputBatch = 256;
   static constexpr size_t kEmitBatch = 128;
 
@@ -279,6 +384,21 @@ class PlanExecutor : public RootProvider, public SerRunner {
   Value Execute(Frame& frame);
   Value RunIntrinsic(const PlanOp& op, const Value* slots, const int32_t* args_pool);
   void RefillInput();
+
+  // Vectorized-tier lane kernels (plan.cc). Those returning bool report
+  // "false = bail": a hazard was detected before any observable side effect,
+  // and the dispatch loop jumps to the scalar loop head to replay the strip
+  // lane by lane.
+  VecState* VecStateFor(const PlanOp& op, int32_t cap, int32_t ncols, int32_t nscans);
+  static bool VecBinOpLanes(VecState& st, const PlanOp& op, const Value* slots);
+  static bool VecUnOpLanes(VecState& st, const PlanOp& op, const Value* slots);
+  static bool VecScanLanes(VecState& st, const PlanOp& op, const Value* slots);
+  bool VecReadColLanes(VecState& st, const PlanOp& op, const Value* slots);
+  bool VecWriteColPrepare(VecState& st, const PlanOp& op, const Value* slots,
+                          const int32_t* args_pool);
+  static void VecFilterLanes(VecState& st, const PlanOp& op, const Value* slots);
+  void VecCommitStrip(VecState& st, const PlanOp& end_op, Value* slots,
+                      const int32_t* args_pool);
 
   // Profiler hot-path hook: exact dispatch count, then a countdown to the
   // next timing sample. Only the kProfiled=true Execute instantiation
@@ -303,6 +423,11 @@ class PlanExecutor : public RootProvider, public SerRunner {
   const PlanFunction* last_pf_ = nullptr;
   std::vector<std::unique_ptr<Frame>> frame_pool_;  // [0, active) live
   size_t active_frames_ = 0;
+  // Vectorized-loop scratch, keyed by the kVecLoopBegin op. `vec_cur_` is
+  // the state of the strip currently executing (set by Begin, read by the
+  // body ops — valid because vec bodies contain no calls).
+  std::unordered_map<const PlanOp*, std::unique_ptr<VecState>> vec_states_;
+  VecState* vec_cur_ = nullptr;
   int64_t ops_executed_ = 0;
   // Sampled profiler state (see EnableProfiling). Null profile = off; the
   // dispatch loop then runs the unprofiled instantiation.

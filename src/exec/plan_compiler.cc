@@ -1,5 +1,6 @@
 #include "src/exec/plan_compiler.h"
 
+#include <algorithm>
 #include <map>
 #include <utility>
 
@@ -83,10 +84,17 @@ class Flattener {
 
 class PlanBuilder {
  public:
-  PlanBuilder(const SerProgram& program, const DataStructAnalyzer& layouts, SerPlan* plan)
-      : program_(program), pool_(layouts.pool()), plan_(plan), flattener_(pool_) {}
+  PlanBuilder(const SerProgram& program, const DataStructAnalyzer& layouts, SerPlan* plan,
+              const PlanOptions& options)
+      : program_(program),
+        pool_(layouts.pool()),
+        plan_(plan),
+        options_(options),
+        flattener_(pool_) {}
 
   void Build() {
+    plan_->vector_batch_size_ = options_.vectorize ? options_.vector_batch_size : 0;
+    plan_->vec_bail_after_strips_ = options_.vec_bail_after_strips;
     plan_->funcs_.resize(program_.functions.size());
     for (size_t i = 0; i < program_.functions.size(); ++i) {
       LowerFunction(*program_.functions[i], &plan_->funcs_[i]);
@@ -303,6 +311,15 @@ class PlanBuilder {
       }
     }
 
+    // Pass V: loop vectorization (between const hoisting, which it relies on
+    // for step/invariant detection, and jump threading, which must then treat
+    // the vec block as opaque). Each qualifying counted loop gets a strip-
+    // mined vec block spliced in front of the untouched scalar loop; see
+    // VectorizeLoops below for the qualification rules.
+    if (options_.vectorize) {
+      VectorizeLoops(&ops, out);
+    }
+
     // Pass B2: jump threading. A kJump is replaced by a copy of a short
     // prefix of its target block (up to kThreadWindow ops) plus a jump to
     // the remainder — inlining the destination, so any prefix length is
@@ -312,10 +329,13 @@ class PlanBuilder {
     // fusion passes below.
     {
       constexpr size_t kThreadWindow = 3;
+      // Vec ops count as control: a thread window must never copy into a
+      // vec block (kVecLoopBegin..kVecLoopEnd is a contiguous unit whose
+      // body ops are only reachable through their own Begin).
       auto is_control = [](PlanOpCode c) {
         return c == PlanOpCode::kJump || c == PlanOpCode::kBranch ||
                c == PlanOpCode::kReturn || c == PlanOpCode::kReturnVoid ||
-               c == PlanOpCode::kAbort;
+               c == PlanOpCode::kAbort || IsVecOp(c);
       };
       auto is_unconditional = [](PlanOpCode c) {
         return c == PlanOpCode::kJump || c == PlanOpCode::kReturn ||
@@ -336,8 +356,9 @@ class PlanBuilder {
           }
           // Thread only when the prefix reaches a control op inside the
           // window; otherwise the copy would end in a rejoin jump and save
-          // no dispatches — pure code growth.
-          if (end < ops.size() && end - t < kThreadWindow) {
+          // no dispatches — pure code growth. A vec op is never copied:
+          // duplicating a kVecLoopBegin would detach it from its body.
+          if (end < ops.size() && end - t < kThreadWindow && !IsVecOp(ops[end].code)) {
             ++end;  // the control op itself is part of the prefix
             for (size_t m = t; m < end; ++m) {
               threaded.push_back(ops[m]);  // targets still in old indices
@@ -379,6 +400,11 @@ class PlanBuilder {
       for (const PlanOp& op : ops) {
         if (op.target >= 0) {
           leader[static_cast<size_t>(op.target)] = 1;
+        }
+        // Vec blocks carry bail targets in target2 (the scalar loop head);
+        // that head must stay addressable, so it leads a block here too.
+        if (op.target2 >= 0) {
+          leader[static_cast<size_t>(op.target2)] = 1;
         }
       }
       auto run_member = [](const PlanOp& op) {
@@ -423,6 +449,10 @@ class PlanBuilder {
           }
           packed.push_back(run);
           plan_->ops_fused_ += static_cast<int64_t>(k - j - 1);
+          plan_->run_count_ += 1;
+          plan_->run_len_sum_ += static_cast<int64_t>(k - j);
+          plan_->run_len_max_ =
+              std::max(plan_->run_len_max_, static_cast<int64_t>(k - j));
           j = k;
         } else {
           packed.push_back(ops[j]);
@@ -491,6 +521,452 @@ class PlanBuilder {
       ops = std::move(fused);
     }
     out->ops = std::move(ops);
+  }
+
+  // ---------------------------------------------------------------------
+  // Pass V: loop vectorization.
+  //
+  // Recognizes the counted-loop shape FunctionBuilder::For emits (after
+  // copy elimination and const hoisting):
+  //
+  //     H:   done = i >= limit          (kBinOp kGe)
+  //     H+1: if (done) goto E           (kBranch)
+  //          <body>                     (H+2 .. J-2)
+  //     J-1: i = i + <const 1>          (kBinOp kAdd)
+  //     J:   goto H                     (kJump)
+  //     E:   ...
+  //
+  // and, when the body qualifies (pure arithmetic / filters / native-array
+  // column access — the layout cost model's "columnar" bucket), splices a
+  // strip-mined vec block in front of the untouched scalar loop:
+  //
+  //     VB:  kVecLoopBegin  (exit -> E, bail -> H)
+  //          <vec body over column vectors + selection vector>
+  //     VE:  kVecLoopEnd    (commit, i += n, -> VB)
+  //     H:   ... scalar loop, unchanged ...
+  //     E:   ...
+  //
+  // The scalar loop is simultaneously the vectorize-off path (never entered
+  // when strips run to completion: VB jumps straight to E when no
+  // iterations remain) and the bail target. All strip side effects — slot
+  // writebacks, native-array scatters, the induction advance — are deferred
+  // to kVecLoopEnd, so a bail anywhere in a strip re-enters the scalar loop
+  // with pristine strip-start state and replays the strip lane by lane:
+  // aborts and faults fire at exactly the iteration, in exactly the
+  // lane-major order, the interpreter would produce. Loops whose bodies
+  // contain pointer-chasing ops (heap fields, record reads with symbolic
+  // offsets, calls, allocation, emit) are rejected and stay row-layout;
+  // the rejection reasons feed the op_mix bench output.
+  void VectorizeLoops(std::vector<PlanOp>* ops_ptr, PlanFunction* out) {
+    std::vector<PlanOp>& ops = *ops_ptr;
+
+    // Slots whose only writer is a kConst (post-hoist these sit at function
+    // entry): the step-size check needs their values. Snapshotted by value —
+    // `ops` reallocates on every splice.
+    std::vector<int32_t> writes(static_cast<size_t>(out->num_vars), 0);
+    std::vector<char> const_i64(static_cast<size_t>(out->num_vars), 0);
+    std::vector<int64_t> const_val(static_cast<size_t>(out->num_vars), 0);
+    for (const PlanOp& op : ops) {
+      if (op.dst >= 0 && static_cast<size_t>(op.dst) < writes.size()) {
+        writes[static_cast<size_t>(op.dst)] += 1;
+        bool is_i64_const = op.code == PlanOpCode::kConst && op.imm_tag == ValueTag::kI64;
+        const_i64[static_cast<size_t>(op.dst)] = is_i64_const ? 1 : 0;
+        const_val[static_cast<size_t>(op.dst)] = is_i64_const ? op.imm : 0;
+      }
+    }
+    auto known_i64 = [&](int32_t slot, int64_t* v) {
+      if (slot < out->num_params || static_cast<size_t>(slot) >= writes.size()) return false;
+      if (writes[static_cast<size_t>(slot)] != 1 || !const_i64[static_cast<size_t>(slot)]) {
+        return false;
+      }
+      *v = const_val[static_cast<size_t>(slot)];
+      return true;
+    };
+
+    size_t h = 0;
+    while (h + 3 < ops.size()) {
+      size_t loop_end = 0;  // J (the back-edge jump), once a loop matches
+      if (!MatchCountedLoop(ops, h, &loop_end)) {
+        ++h;
+        continue;
+      }
+      const size_t J = loop_end;
+      std::string reject;
+      std::vector<PlanOp> vec = LowerLoopBody(ops, h, J, out, known_i64, &reject);
+      if (vec.empty()) {
+        plan_->vec_loops_rejected_ += 1;
+        if (plan_->vec_reject_reasons_.size() < 64) {
+          plan_->vec_reject_reasons_.push_back(reject);
+        }
+        h = J + 1;
+        continue;
+      }
+
+      // Splice [Begin, body..., End] in front of the scalar loop at h.
+      const size_t K = vec.size();
+      const int32_t E = ops[h + 1].target;  // loop exit (old index)
+      std::vector<PlanOp> spliced;
+      spliced.reserve(ops.size() + K);
+      spliced.insert(spliced.end(), ops.begin(), ops.begin() + static_cast<long>(h));
+      for (PlanOp& v : vec) {
+        // Vec-op targets were emitted in "final index" space already except
+        // for the symbolic markers below.
+        spliced.push_back(v);
+      }
+      spliced.insert(spliced.end(), ops.begin() + static_cast<long>(h), ops.end());
+      // Old indices >= h shift by K; vec ops' targets are patched here so
+      // LowerLoopBody doesn't need to know the final layout.
+      for (size_t m = 0; m < spliced.size(); ++m) {
+        PlanOp& op = spliced[m];
+        bool is_new_vec = m >= h && m < h + K;
+        if (is_new_vec) {
+          PlanOp& vop = op;
+          if (vop.code == PlanOpCode::kVecLoopBegin) {
+            vop.target = static_cast<int32_t>(E >= static_cast<int32_t>(h) ? E + K : E);
+            vop.target2 = static_cast<int32_t>(h + K);
+          } else if (vop.code == PlanOpCode::kVecLoopEnd) {
+            vop.target = static_cast<int32_t>(h);  // back to Begin
+          } else {
+            vop.target2 = static_cast<int32_t>(h + K);  // bail target
+          }
+          continue;
+        }
+        if (op.target >= static_cast<int32_t>(h)) {
+          op.target += static_cast<int32_t>(K);
+        }
+        if (op.target2 >= static_cast<int32_t>(h)) {
+          op.target2 += static_cast<int32_t>(K);
+        }
+      }
+      ops = std::move(spliced);
+      plan_->vec_loops_ += 1;
+      plan_->ops_vectorized_ += static_cast<int64_t>(J - h + 1);
+      h = J + K + 1;  // continue after the (shifted) scalar loop
+    }
+  }
+
+  // Matches the For() shape at `h` and verifies no control edge enters the
+  // loop interior from outside. On success *J is the back-edge jump index.
+  static bool MatchCountedLoop(const std::vector<PlanOp>& ops, size_t h, size_t* J) {
+    const PlanOp& cmp = ops[h];
+    if (cmp.code != PlanOpCode::kBinOp || cmp.binop != BinOpKind::kGe) return false;
+    const PlanOp& br = ops[h + 1];
+    if (br.code != PlanOpCode::kBranch || br.a != cmp.dst || br.target < 0) return false;
+    const size_t E = static_cast<size_t>(br.target);
+    if (E <= h + 1 || E > ops.size()) return false;
+    const size_t j = E - 1;
+    if (j <= h + 1 || j >= ops.size()) return false;
+    const PlanOp& back = ops[j];
+    if (back.code != PlanOpCode::kJump || back.target != static_cast<int32_t>(h)) return false;
+    // No branch from anywhere may land strictly inside (h, j] except a
+    // body-internal continue targeting the increment at j-1.
+    for (size_t q = 0; q < ops.size(); ++q) {
+      for (int32_t t : {ops[q].target, ops[q].target2}) {
+        if (t <= static_cast<int32_t>(h) || t > static_cast<int32_t>(j)) continue;
+        bool is_continue = t == static_cast<int32_t>(j - 1) && q > h + 1 && q < j - 1;
+        bool is_exit_branch = q == h + 1;
+        if (!is_continue && !is_exit_branch) return false;
+      }
+    }
+    *J = j;
+    return true;
+  }
+
+  // Qualifies the body of the loop [h, J] and lowers it to a vec block
+  // [kVecLoopBegin, body..., kVecLoopEnd]. Returns an empty vector (and a
+  // reason) when the loop must stay scalar. `known_i64` resolves slots
+  // written by exactly one kConst.
+  template <typename KnownI64>
+  std::vector<PlanOp> LowerLoopBody(const std::vector<PlanOp>& ops, size_t h, size_t J,
+                                    PlanFunction* out, const KnownI64& known_i64,
+                                    std::string* reject) {
+    const int32_t i_slot = ops[h].a;
+    const int32_t limit_slot = ops[h].b;
+    const int32_t done_slot = ops[h].dst;
+    auto fail = [&](const std::string& why) {
+      *reject = why;
+      return std::vector<PlanOp>();
+    };
+    if (i_slot < 0 || limit_slot < 0 || done_slot < 0) return fail("malformed-head");
+    if (done_slot == i_slot || done_slot == limit_slot) return fail("aliased-head-slots");
+
+    // Increment must be i = i + 1 with a known-const step slot.
+    const PlanOp& inc = ops[J - 1];
+    if (inc.code != PlanOpCode::kBinOp || inc.binop != BinOpKind::kAdd || inc.dst != i_slot) {
+      return fail("non-unit-step");
+    }
+    int64_t step = 0;
+    int32_t step_slot = inc.a == i_slot ? inc.b : (inc.b == i_slot ? inc.a : -1);
+    if (step_slot < 0 || !known_i64(step_slot, &step) || step != 1) {
+      return fail("non-unit-step");
+    }
+    if (J < h + 3) return fail("empty-body");
+
+    // Slots written anywhere in [h, J] (done, i, and body dsts).
+    std::vector<char> written(static_cast<size_t>(out->num_vars), 0);
+    std::vector<int32_t> body_writes(static_cast<size_t>(out->num_vars), 0);
+    for (size_t p = h; p <= J; ++p) {
+      int32_t d = ops[p].dst;
+      if (d >= 0 && static_cast<size_t>(d) < written.size()) {
+        written[static_cast<size_t>(d)] = 1;
+        if (p >= h + 2 && p <= J - 2) {
+          body_writes[static_cast<size_t>(d)] += 1;
+        }
+      }
+    }
+    if (written[static_cast<size_t>(limit_slot)] &&
+        !(limit_slot == i_slot || limit_slot == done_slot)) {
+      return fail("limit-written-in-loop");
+    }
+    if (body_writes[static_cast<size_t>(i_slot)] > 0) return fail("induction-written-in-body");
+
+    const int32_t kIndCol = 0;
+    int32_t ncols = 1;  // col 0 is the induction vector
+    int32_t nscans = 0;
+    std::vector<int32_t> col_of(static_cast<size_t>(out->num_vars), -1);
+    std::vector<char> is_scan_slot(static_cast<size_t>(out->num_vars), 0);
+    std::vector<std::pair<int32_t, int32_t>> col_wb;   // (slot, col)
+    std::vector<std::pair<int32_t, int32_t>> scan_wb;  // (slot, scan idx)
+    std::vector<int32_t> load_bases;
+    std::vector<size_t> store_positions;  // indices into `body`
+    std::vector<PlanOp> body;
+    std::string why;
+
+    // Resolve a read: mode 0 = column, mode 1 = loop-invariant slot.
+    auto resolve = [&](int32_t s, int32_t* ref, int32_t* mode) {
+      if (s < 0 || static_cast<size_t>(s) >= col_of.size()) return false;
+      if (s == i_slot) {
+        *ref = kIndCol;
+        *mode = 0;
+        return true;
+      }
+      if (col_of[static_cast<size_t>(s)] >= 0) {
+        *ref = col_of[static_cast<size_t>(s)];
+        *mode = 0;
+        return true;
+      }
+      if (!written[static_cast<size_t>(s)]) {
+        *ref = s;
+        *mode = 1;
+        return true;
+      }
+      return false;  // read of a body-defined slot before its definition
+    };
+    auto def_col = [&](int32_t slot, bool track_writeback) {
+      int32_t c = ncols++;
+      col_of[static_cast<size_t>(slot)] = c;
+      if (track_writeback) col_wb.emplace_back(slot, c);
+      return c;
+    };
+
+    for (size_t p = h + 2; p <= J - 2; ++p) {
+      const PlanOp& s = ops[p];
+      PlanOp v;
+      v.kind = s.kind;
+      v.float_kind = s.float_kind;
+      switch (s.code) {
+        case PlanOpCode::kBinOp: {
+          bool carried = s.dst >= 0 && (s.a == s.dst || s.b == s.dst) && s.dst != i_slot &&
+                         col_of[static_cast<size_t>(s.dst)] < 0;
+          if (carried) {
+            // Loop-carried reduction: single body write, operand is the
+            // carried slot itself -> ordered kVecScan.
+            if (body_writes[static_cast<size_t>(s.dst)] != 1) {
+              return fail("carried-slot-multi-write");
+            }
+            int32_t other = s.a == s.dst ? s.b : s.a;
+            int32_t oref = 0, omode = 0;
+            if (!resolve(other, &oref, &omode)) return fail("carried-operand-unresolved");
+            v.code = PlanOpCode::kVecScan;
+            v.binop = s.binop;
+            v.a = s.dst;                       // carried slot
+            v.b = oref;
+            v.d = omode;
+            v.c = s.a == s.dst ? 0 : 1;        // carry on the left / right
+            v.dst = def_col(s.dst, /*track_writeback=*/false);
+            v.dst2 = nscans;
+            scan_wb.emplace_back(s.dst, nscans);
+            is_scan_slot[static_cast<size_t>(s.dst)] = 1;
+            ++nscans;
+            break;
+          }
+          if (s.dst < 0 || body_writes[static_cast<size_t>(s.dst)] != 1 || s.dst == i_slot ||
+              is_scan_slot[static_cast<size_t>(s.dst)] != 0) {
+            return fail("multi-write-slot");
+          }
+          int32_t aref = 0, amode = 0, bref = 0, bmode = 0;
+          if (!resolve(s.a, &aref, &amode) || !resolve(s.b, &bref, &bmode)) {
+            return fail("operand-unresolved");
+          }
+          v.code = PlanOpCode::kVecBinOp;
+          v.binop = s.binop;
+          v.a = aref;
+          v.c = amode;
+          v.b = bref;
+          v.d = bmode;
+          v.dst = def_col(s.dst, true);
+          break;
+        }
+        case PlanOpCode::kConst: {
+          if (s.dst < 0 || body_writes[static_cast<size_t>(s.dst)] != 1) {
+            return fail("multi-write-slot");
+          }
+          if (s.imm_tag != ValueTag::kI64 && s.imm_tag != ValueTag::kF64) {
+            return fail("non-numeric-const");
+          }
+          v.code = PlanOpCode::kVecUnOp;
+          v.b = 1;  // broadcast
+          v.c = 2;  // immediate
+          v.imm_tag = s.imm_tag;
+          v.imm = s.imm;
+          v.fimm = s.fimm;
+          v.dst = def_col(s.dst, true);
+          break;
+        }
+        case PlanOpCode::kAssign:
+        case PlanOpCode::kUnOp: {
+          if (s.dst < 0 || body_writes[static_cast<size_t>(s.dst)] != 1) {
+            return fail("multi-write-slot");
+          }
+          int32_t aref = 0, amode = 0;
+          if (!resolve(s.a, &aref, &amode)) return fail("operand-unresolved");
+          v.code = PlanOpCode::kVecUnOp;
+          v.unop = s.unop;
+          v.b = s.code == PlanOpCode::kAssign ? 1 : 0;
+          v.a = aref;
+          v.c = amode;
+          v.dst = def_col(s.dst, true);
+          break;
+        }
+        case PlanOpCode::kNativeArrayLength:
+        case PlanOpCode::kNativeArrayLoad: {
+          if (s.dst < 0 || body_writes[static_cast<size_t>(s.dst)] != 1) {
+            return fail("multi-write-slot");
+          }
+          if (s.a < 0 || written[static_cast<size_t>(s.a)]) {
+            return fail("gather-base-not-invariant");
+          }
+          v.code = PlanOpCode::kVecReadCol;
+          v.a = s.a;
+          if (s.code == PlanOpCode::kNativeArrayLength) {
+            v.c = 1;  // length broadcast
+          } else {
+            int32_t iref = 0, imode = 0;
+            if (!resolve(s.b, &iref, &imode)) return fail("gather-index-unresolved");
+            v.b = iref;
+            v.d = imode;
+            v.c = 0;
+          }
+          load_bases.push_back(s.a);
+          v.dst = def_col(s.dst, true);
+          break;
+        }
+        case PlanOpCode::kNativeArrayStore: {
+          if (s.a < 0 || written[static_cast<size_t>(s.a)]) {
+            return fail("scatter-base-not-invariant");
+          }
+          int32_t iref = 0, imode = 0, vref = 0, vmode = 0;
+          if (!resolve(s.b, &iref, &imode) || imode != 0) {
+            return fail("scatter-index-not-column");
+          }
+          if (!resolve(s.c, &vref, &vmode)) return fail("scatter-value-unresolved");
+          v.code = PlanOpCode::kVecWriteCol;
+          v.a = s.a;
+          v.b = iref;
+          v.c = vref;
+          v.d = vmode;
+          store_positions.push_back(body.size());
+          break;
+        }
+        case PlanOpCode::kBranch: {
+          // A continue-style branch targeting the increment is a filter:
+          // lanes where the condition holds skip the rest of the body.
+          if (s.target != static_cast<int32_t>(J - 1)) return fail("irreducible-branch");
+          int32_t cref = 0, cmode = 0;
+          if (!resolve(s.a, &cref, &cmode)) return fail("filter-cond-unresolved");
+          v.code = PlanOpCode::kVecFilter;
+          v.a = cref;
+          v.c = cmode;
+          v.b = 0;  // keep lanes where the condition is false (branch skips)
+          break;
+        }
+        default:
+          // Pointer-chasing / effectful op: heap fields, symbolic-offset
+          // record reads, calls, allocation, emits, aborts. The cost model
+          // keeps this loop row-layout.
+          return fail(std::string("row-op:") + PlanOpName(s.code));
+      }
+      body.push_back(v);
+    }
+
+    if (ncols <= 1 && nscans == 0 && store_positions.empty()) {
+      return fail("no-vectorizable-work");
+    }
+    if (ncols > 128) return fail("too-many-columns");
+
+    // Deferred scatters demand that no lane can observe this strip's stores:
+    // every gathered base must be a provably different array. Statically
+    // distinct slots get a runtime address guard; an identical slot is a
+    // certain alias.
+    if (!store_positions.empty() && !load_bases.empty()) {
+      std::sort(load_bases.begin(), load_bases.end());
+      load_bases.erase(std::unique(load_bases.begin(), load_bases.end()), load_bases.end());
+      for (size_t sp : store_positions) {
+        int32_t sbase = body[sp].a;
+        for (int32_t lb : load_bases) {
+          if (lb == sbase) return fail("scatter-gather-alias");
+        }
+        body[sp].args_off = static_cast<int32_t>(out->args_pool.size());
+        body[sp].args_len = static_cast<int32_t>(load_bases.size());
+        for (int32_t lb : load_bases) {
+          out->args_pool.push_back(lb);
+        }
+      }
+    }
+    // With multiple scatters in one strip, commit order is (op, lane) while
+    // scalar order is (lane, op); those agree only when no two scatters can
+    // hit the same element from different lanes — guaranteed when every
+    // index is the (all-distinct) induction vector.
+    if (store_positions.size() > 1) {
+      for (size_t sp : store_positions) {
+        if (body[sp].b != kIndCol) return fail("multi-scatter-computed-index");
+      }
+    }
+
+    // Assemble [Begin, body..., End]. Targets that depend on the final
+    // layout (exit, bail) are patched by the caller.
+    std::vector<PlanOp> vec;
+    vec.reserve(body.size() + 2);
+    PlanOp begin;
+    begin.code = PlanOpCode::kVecLoopBegin;
+    begin.a = i_slot;
+    begin.b = limit_slot;
+    begin.c = ncols;
+    begin.d = done_slot;
+    begin.dst = kIndCol;
+    begin.imm = nscans;
+    vec.push_back(begin);
+    for (PlanOp& v : body) {
+      vec.push_back(v);
+    }
+    PlanOp end;
+    end.code = PlanOpCode::kVecLoopEnd;
+    end.a = i_slot;
+    end.dst = kIndCol;
+    end.args_off = static_cast<int32_t>(out->args_pool.size());
+    out->args_pool.push_back(static_cast<int32_t>(col_wb.size()));
+    for (const auto& wb : col_wb) {
+      out->args_pool.push_back(wb.first);
+      out->args_pool.push_back(wb.second);
+    }
+    out->args_pool.push_back(static_cast<int32_t>(scan_wb.size()));
+    for (const auto& wb : scan_wb) {
+      out->args_pool.push_back(wb.first);
+      out->args_pool.push_back(wb.second);
+    }
+    end.args_len = static_cast<int32_t>(out->args_pool.size()) - end.args_off;
+    vec.push_back(end);
+    return vec;
   }
 
   static bool TryFuse(const PlanOp& x, const PlanOp& y, PlanOp* out) {
@@ -739,14 +1215,16 @@ class PlanBuilder {
   const SerProgram& program_;
   const ExprPool& pool_;
   SerPlan* plan_;
+  PlanOptions options_;
   Flattener flattener_;
   std::unordered_map<int, std::pair<int32_t, int32_t>> flat_cache_;
 };
 
 std::shared_ptr<const SerPlan> CompilePlan(const SerProgram& program,
-                                           const DataStructAnalyzer& layouts) {
+                                           const DataStructAnalyzer& layouts,
+                                           const PlanOptions& options) {
   auto plan = std::make_shared<SerPlan>();
-  PlanBuilder builder(program, layouts, plan.get());
+  PlanBuilder builder(program, layouts, plan.get(), options);
   builder.Build();
   return plan;
 }
@@ -800,6 +1278,14 @@ const char* PlanOpName(PlanOpCode code) {
     case PlanOpCode::kBranchElse: return "branch+else";
     case PlanOpCode::kBinOpBranchElse: return "binop+branch+else";
     case PlanOpCode::kBinOpRunBranchElse: return "binop.run+branch+else";
+    case PlanOpCode::kVecLoopBegin: return "vec.loop.begin";
+    case PlanOpCode::kVecBinOp: return "vec.binop";
+    case PlanOpCode::kVecUnOp: return "vec.unop";
+    case PlanOpCode::kVecScan: return "vec.scan";
+    case PlanOpCode::kVecReadCol: return "vec.readcol";
+    case PlanOpCode::kVecWriteCol: return "vec.writecol";
+    case PlanOpCode::kVecFilter: return "vec.filter";
+    case PlanOpCode::kVecLoopEnd: return "vec.loop.end";
     case PlanOpCode::kCount: break;
   }
   return "?";

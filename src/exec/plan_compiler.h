@@ -13,7 +13,8 @@ namespace gerenuk {
 // only compile plans:
 //
 //   std::shared_ptr<const SerPlan> CompilePlan(const SerProgram& program,
-//                                              const DataStructAnalyzer& layouts);
+//                                              const DataStructAnalyzer& layouts,
+//                                              const PlanOptions& options = {});
 
 }  // namespace gerenuk
 

@@ -126,18 +126,20 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
   // See SparkEngine::CompileStage: the cache is consulted only when the plan
   // compiler is on, and entries carry (transformed, plan) as a unit.
   PlanCache* cache = config_.engine.execution.use_plan_compiler ? plan_cache_ : nullptr;
+  const VecSignature vec = VecSignatureOf(config_.engine.execution);
   StagePrograms map_stage =
       CompileNarrowStage(config_.engine.execution.mode, layouts_, input->klass, udfs,
                          {NarrowOp::FlatMap(map_fn, out_klass)}, false, nullptr,
-                         &stats_.transform, heap_->klasses(), cache);
+                         &stats_.transform, heap_->klasses(), cache, vec);
   CompiledFunction key_c = CompileSingleFunction(config_.engine.execution.mode, layouts_, udfs,
-                                                 key.fn, &stats_.transform, cache);
-  CompiledFunction reduce_c = CompileSingleFunction(config_.engine.execution.mode, layouts_,
-                                                    udfs, reduce_fn, &stats_.transform, cache);
+                                                 key.fn, &stats_.transform, cache, vec);
+  CompiledFunction reduce_c =
+      CompileSingleFunction(config_.engine.execution.mode, layouts_, udfs, reduce_fn,
+                            &stats_.transform, cache, vec);
   CompiledFunction combine_c;
   if (combiner_fn != nullptr) {
     combine_c = CompileSingleFunction(config_.engine.execution.mode, layouts_, udfs,
-                                      combiner_fn, &stats_.transform, cache);
+                                      combiner_fn, &stats_.transform, cache, vec);
   }
   if (config_.engine.execution.mode == EngineMode::kGerenuk &&
       config_.engine.execution.use_plan_compiler) {
@@ -149,7 +151,7 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
         stats_.plan_cache_hits += 1;
         return;
       }
-      stage->plan = CompilePlan(*stage->transformed, layouts_);
+      stage->plan = CompilePlan(*stage->transformed, layouts_, plan_options());
       stats_.plans_compiled += 1;
       if (cache != nullptr) {
         cache->Insert(stage->signature, {stage->transformed, stage->plan, nullptr, 0});
@@ -160,7 +162,7 @@ DatasetPtr HadoopEngine::RunJob(const DatasetPtr& input, const SerProgram& udfs,
         stats_.plan_cache_hits += 1;
         return;
       }
-      fn->plan = CompilePlan(*fn->transformed, layouts_);
+      fn->plan = CompilePlan(*fn->transformed, layouts_, plan_options());
       stats_.plans_compiled += 1;
       if (cache != nullptr) {
         cache->Insert(fn->signature, {fn->transformed, fn->plan, fn->fast_fn, 0});

@@ -110,6 +110,16 @@ class HadoopEngine {
   void set_cancel_check(CancelCheck check) { scheduler_->set_cancel_check(std::move(check)); }
 
  private:
+  // The plan-compiler knobs derived from EngineConfig::execution; must agree
+  // with VecSignatureOf so the cache key always matches the compiled plan.
+  PlanOptions plan_options() const {
+    PlanOptions options;
+    options.vectorize = config_.engine.execution.vectorize;
+    options.vector_batch_size = config_.engine.execution.vector_batch_size;
+    options.vec_bail_after_strips = config_.engine.execution.vec_bail_after_strips;
+    return options;
+  }
+
   // One spilled, sorted map-output segment. Per reducer partition: records
   // in key order. Baseline keeps Kryo bytes; Gerenuk keeps native records.
   struct Segment {

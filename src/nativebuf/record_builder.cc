@@ -116,6 +116,26 @@ void BuilderStore::ArrayLoad(int64_t builder_addr, int64_t index, FieldKind kind
   }
 }
 
+bool BuilderStore::TryGetPrimArray(int64_t builder_addr, FieldKind kind, uint8_t** data,
+                                   int64_t* len) {
+  if (!IsBuilderAddr(builder_addr)) {
+    return false;
+  }
+  int64_t id = BuilderAddrToId(builder_addr);
+  if (id < 0 || id >= static_cast<int64_t>(active_)) {
+    return false;
+  }
+  Node& node = nodes_[static_cast<size_t>(id)];
+  if (node.klass == nullptr || !node.klass->is_array() ||
+      node.klass->element_kind() == FieldKind::kRef ||
+      node.klass->element_size() != FieldKindSize(kind)) {
+    return false;
+  }
+  *data = node.prim.data();
+  *len = node.length;
+  return true;
+}
+
 void BuilderStore::AttachElement(int64_t builder_addr, int64_t index, int64_t child_addr) {
   Node& node = NodeAt(builder_addr);
   GERENUK_CHECK(node.klass->is_array());

@@ -71,6 +71,14 @@ class BuilderStore {
   // the bytes without rendering. Returns false otherwise.
   bool TryGetStringBytes(int64_t builder_addr, const uint8_t** data, int64_t* len) const;
 
+  // Bulk view for the vectorized gather/scatter kernels: succeeds only when
+  // `builder_addr` is a live under-construction primitive array whose element
+  // width matches `kind`, so per-lane loads/stores through the view are
+  // byte-identical to ArrayLoad/ArrayStore. Any other node shape returns
+  // false (the caller falls back to the scalar path, which reproduces the
+  // scalar fault semantics exactly).
+  bool TryGetPrimArray(int64_t builder_addr, FieldKind kind, uint8_t** data, int64_t* len);
+
   // gWriteObject: renders the structure rooted at `addr` (builder or
   // committed) into `out` as one [size][body] record; returns the body addr.
   int64_t Render(int64_t addr, const Klass* klass, NativePartition& out) const;

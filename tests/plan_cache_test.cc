@@ -89,9 +89,67 @@ TEST(ProgramSignatureTest, BroadcastShapeChangesSignature) {
   EXPECT_NE(without.hash, with_broadcast.hash);
 }
 
+TEST(ProgramSignatureTest, VecConfigChangesSignature) {
+  // Plans compiled under different vectorization configs are different
+  // machine code (vec opcodes, batch geometry, bail knob): each VecSignature
+  // field must change the canonical text so cache hits never cross configs.
+  SparkJob job(SparkWith(1));
+  auto sig = [&](const VecSignature& vec) {
+    return ComputeProgramSignature(EngineMode::kGerenuk, job.engine.layouts(), job.udfs,
+                                   {job.pair}, vec);
+  };
+  ProgramSignature def = sig(VecSignature());
+  // The defaulted parameter must mean exactly the default VecSignature.
+  ProgramSignature implicit =
+      ComputeProgramSignature(EngineMode::kGerenuk, job.engine.layouts(), job.udfs, {job.pair});
+  EXPECT_EQ(def.text, implicit.text);
+  EXPECT_EQ(def.hash, implicit.hash);
+  EXPECT_NE(def.text.find("vec=on"), std::string::npos);
+
+  VecSignature off;
+  off.vectorize = false;
+  VecSignature batch;
+  batch.vector_batch_size = 64;
+  VecSignature bail;
+  bail.vec_bail_after_strips = 2;
+  for (const VecSignature& other : {off, batch, bail}) {
+    ProgramSignature s = sig(other);
+    EXPECT_NE(s.text, def.text);
+    EXPECT_NE(s.hash, def.hash);
+  }
+  EXPECT_NE(sig(off).text.find("vec=off"), std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // Engine-level cache behavior
 // ---------------------------------------------------------------------------
+
+// Two engines sharing one service-mode cache, identical program, different
+// vec configs: the second submission must miss and insert its own entry —
+// a vec plan handed to a vectorize-off engine (or vice versa) would silently
+// change the executed opcode stream.
+TEST(PlanCacheEngineTest, VecConfigNeverSharesCacheEntries) {
+  PlanCache cache;
+  std::vector<uint8_t> reference;
+  for (bool vectorize : {true, false}) {
+    EngineConfig config = SparkWith(1);
+    config.execution.vectorize = vectorize;
+    SparkJob job(config);
+    job.engine.set_plan_cache(&cache);
+    DatasetPtr out = job.engine.RunStage(job.MakeInput(300), job.udfs,
+                                         {NarrowOp::Map(job.double_value, job.pair)});
+    std::vector<uint8_t> bytes = DatasetBytes(out);
+    ASSERT_FALSE(bytes.empty());
+    if (reference.empty()) {
+      reference = bytes;
+    } else {
+      EXPECT_EQ(bytes, reference);  // different plans, same output bytes
+    }
+  }
+  EXPECT_EQ(cache.stats().hits, 0);
+  EXPECT_EQ(cache.stats().misses, 2);
+  EXPECT_EQ(cache.stats().insertions, 2);
+}
 
 TEST(PlanCacheEngineTest, RepeatStageHitsWithByteIdenticalOutput) {
   SparkJob job(SparkWith(2));

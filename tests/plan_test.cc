@@ -14,29 +14,55 @@
 namespace gerenuk {
 namespace {
 
-EngineConfig PlanSpark(bool use_plans) {
+// The three fast-path runners every differential sweeps: the tree-walking
+// Interpreter, the scalar direct-threaded plan, and the vectorized plan.
+// The vec runner uses a non-power-of-two batch size so most loops end in a
+// partial tail strip (the shape most likely to expose a commit bug).
+enum class Runner { kInterpreter, kScalarPlan, kVecPlan };
+constexpr Runner kRunners[] = {Runner::kInterpreter, Runner::kScalarPlan, Runner::kVecPlan};
+
+const char* RunnerName(Runner r) {
+  switch (r) {
+    case Runner::kInterpreter: return "interpreter";
+    case Runner::kScalarPlan: return "scalar-plan";
+    default: return "vec-plan";
+  }
+}
+
+void ApplyRunner(ExecutionOptions& execution, Runner r) {
+  execution.use_plan_compiler = r != Runner::kInterpreter;
+  execution.vectorize = r == Runner::kVecPlan;
+  if (r == Runner::kVecPlan) {
+    execution.vector_batch_size = 13;  // force non-power-of-two tail batches
+  }
+}
+
+EngineConfig PlanSpark(Runner runner, int workers = 1) {
   EngineConfig config;
   config.execution.mode = EngineMode::kGerenuk;
   config.execution.heap_bytes = 64u << 20;
   config.execution.num_partitions = 3;
-  config.execution.use_plan_compiler = use_plans;
+  config.execution.num_workers = workers;
+  ApplyRunner(config.execution, runner);
   return config;
 }
 
-HadoopConfig PlanHadoop(bool use_plans) {
+HadoopConfig PlanHadoop(Runner runner, int workers = 1) {
   HadoopConfig config;
   config.engine.execution.mode = EngineMode::kGerenuk;
   config.engine.execution.heap_bytes = 64u << 20;
   config.engine.execution.num_partitions = 3;
+  config.engine.execution.num_workers = workers;
   config.num_reducers = 2;
   config.sort_buffer_bytes = 64 << 10;
-  config.engine.execution.use_plan_compiler = use_plans;
+  ApplyRunner(config.engine.execution, runner);
   return config;
 }
 
-// All eight Spark benchmark programs, interpreter vs compiled plan. Both
-// runs are kGerenuk mode with identical partitioning, so floating-point
-// evaluation order is identical and checksums must match exactly.
+// All eight Spark benchmark programs, interpreter vs scalar plan vs
+// vectorized plan, at 1/2/8 workers. Every run is kGerenuk mode with
+// identical partitioning, so floating-point evaluation order is identical
+// and checksums must match exactly across all nine configurations.
 TEST(PlanDifferentialTest, SparkWorkloadChecksumsMatchInterpreter) {
   SyntheticGraph graph = MakePowerLawGraph(250, 1300, 7);
   SyntheticPoints points = MakeClusteredPoints(300, 4, 3, 11);
@@ -48,34 +74,46 @@ TEST(PlanDifferentialTest, SparkWorkloadChecksumsMatchInterpreter) {
     double checksum;
     int64_t records;
   };
-  std::vector<Row> rows[2];
-  for (bool use_plans : {false, true}) {
-    SparkEngine engine(PlanSpark(use_plans));
-    SparkWorkloads workloads(engine);
-    for (const WorkloadResult& result :
-         {workloads.RunPageRank(graph, 3), workloads.RunConnectedComponents(graph, 4),
-          workloads.RunKMeans(points, 3, 3),
-          workloads.RunLogisticRegression(labeled, 3, 0.5),
-          workloads.RunChiSquareSelector(labeled),
-          workloads.RunGradientBoosting(labeled, 3, 0.5), workloads.RunWordCount(lines),
-          workloads.RunAccountGrouping(posts, 64)}) {
-      rows[use_plans ? 1 : 0].push_back({result.checksum, result.records});
+  std::vector<Row> reference;
+  for (Runner runner : kRunners) {
+    for (int workers : kWorkerCounts) {
+      SparkEngine engine(PlanSpark(runner, workers));
+      SparkWorkloads workloads(engine);
+      std::vector<Row> rows;
+      for (const WorkloadResult& result :
+           {workloads.RunPageRank(graph, 3), workloads.RunConnectedComponents(graph, 4),
+            workloads.RunKMeans(points, 3, 3),
+            workloads.RunLogisticRegression(labeled, 3, 0.5),
+            workloads.RunChiSquareSelector(labeled),
+            workloads.RunGradientBoosting(labeled, 3, 0.5), workloads.RunWordCount(lines),
+            workloads.RunAccountGrouping(posts, 64)}) {
+        rows.push_back({result.checksum, result.records});
+      }
+      // The toggle must actually change the execution engine.
+      if (runner == Runner::kInterpreter) {
+        EXPECT_EQ(engine.stats().plans_compiled, 0);
+      } else {
+        EXPECT_GT(engine.stats().plans_compiled, 0);
+      }
+      ASSERT_EQ(rows.size(), 8u);
+      if (reference.empty()) {
+        reference = rows;
+        continue;
+      }
+      for (size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_EQ(rows[i].checksum, reference[i].checksum)
+            << "workload " << i << " runner=" << RunnerName(runner)
+            << " workers=" << workers;
+        EXPECT_EQ(rows[i].records, reference[i].records)
+            << "workload " << i << " runner=" << RunnerName(runner)
+            << " workers=" << workers;
+      }
     }
-    // The toggle must actually change the execution engine.
-    if (use_plans) {
-      EXPECT_GT(engine.stats().plans_compiled, 0);
-    } else {
-      EXPECT_EQ(engine.stats().plans_compiled, 0);
-    }
-  }
-  ASSERT_EQ(rows[0].size(), 8u);
-  for (size_t i = 0; i < rows[0].size(); ++i) {
-    EXPECT_EQ(rows[0][i].checksum, rows[1][i].checksum) << "workload " << i;
-    EXPECT_EQ(rows[0][i].records, rows[1][i].records) << "workload " << i;
   }
 }
 
-// All seven Hadoop jobs, interpreter vs compiled plan.
+// All seven Hadoop jobs, interpreter vs scalar plan vs vectorized plan, at
+// 1/2/8 workers.
 TEST(PlanDifferentialTest, HadoopWorkloadChecksumsMatchInterpreter) {
   std::vector<SyntheticPost> posts = MakePosts(400, 70, 6, 37);
   std::vector<std::string> lines = MakeTextLines(100, 8, 50, 41);
@@ -83,27 +121,36 @@ TEST(PlanDifferentialTest, HadoopWorkloadChecksumsMatchInterpreter) {
     double checksum;
     int64_t records;
   };
-  std::vector<Row> rows[2];
-  for (bool use_plans : {false, true}) {
-    HadoopEngine engine(PlanHadoop(use_plans));
-    HadoopWorkloads workloads(engine);
-    DatasetPtr post_input = workloads.MakePostInput(posts);
-    DatasetPtr text_input = workloads.MakeTextInput(lines);
-    for (const WorkloadResult& result :
-         {workloads.RunIuf(post_input), workloads.RunUah(post_input),
-          workloads.RunSpf(post_input), workloads.RunUed(post_input),
-          workloads.RunCed(post_input), workloads.RunImc(text_input),
-          workloads.RunTfc(text_input)}) {
-      rows[use_plans ? 1 : 0].push_back({result.checksum, result.records});
+  std::vector<Row> reference;
+  for (Runner runner : kRunners) {
+    for (int workers : kWorkerCounts) {
+      HadoopEngine engine(PlanHadoop(runner, workers));
+      HadoopWorkloads workloads(engine);
+      DatasetPtr post_input = workloads.MakePostInput(posts);
+      DatasetPtr text_input = workloads.MakeTextInput(lines);
+      std::vector<Row> rows;
+      for (const WorkloadResult& result :
+           {workloads.RunIuf(post_input), workloads.RunUah(post_input),
+            workloads.RunSpf(post_input), workloads.RunUed(post_input),
+            workloads.RunCed(post_input), workloads.RunImc(text_input),
+            workloads.RunTfc(text_input)}) {
+        rows.push_back({result.checksum, result.records});
+      }
+      if (runner != Runner::kInterpreter) {
+        EXPECT_GT(engine.stats().plans_compiled, 0);
+      }
+      ASSERT_EQ(rows.size(), 7u);
+      if (reference.empty()) {
+        reference = rows;
+        continue;
+      }
+      for (size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_EQ(rows[i].checksum, reference[i].checksum)
+            << "job " << i << " runner=" << RunnerName(runner) << " workers=" << workers;
+        EXPECT_EQ(rows[i].records, reference[i].records)
+            << "job " << i << " runner=" << RunnerName(runner) << " workers=" << workers;
+      }
     }
-    if (use_plans) {
-      EXPECT_GT(engine.stats().plans_compiled, 0);
-    }
-  }
-  ASSERT_EQ(rows[0].size(), 7u);
-  for (size_t i = 0; i < rows[0].size(); ++i) {
-    EXPECT_EQ(rows[0][i].checksum, rows[1][i].checksum) << "job " << i;
-    EXPECT_EQ(rows[0][i].records, rows[1][i].records) << "job " << i;
   }
 }
 
@@ -111,10 +158,10 @@ TEST(PlanDifferentialTest, HadoopWorkloadChecksumsMatchInterpreter) {
 // then every (worker count, runner) combination must reproduce it.
 TEST(PlanDifferentialTest, StageBytesIdenticalAcrossWorkersAndRunners) {
   std::vector<uint8_t> reference;
-  for (bool use_plans : {false, true}) {
+  for (Runner runner : kRunners) {
     for (int workers : kWorkerCounts) {
       EngineConfig config = SparkWith(workers);
-      config.execution.use_plan_compiler = use_plans;
+      ApplyRunner(config.execution, runner);
       SparkJob job(config);
       DatasetPtr out = job.engine.RunStage(job.MakeInput(800), job.udfs,
                                            {NarrowOp::Map(job.double_value, job.pair)});
@@ -123,7 +170,8 @@ TEST(PlanDifferentialTest, StageBytesIdenticalAcrossWorkersAndRunners) {
       if (reference.empty()) {
         reference = bytes;
       } else {
-        EXPECT_EQ(bytes, reference) << "plans=" << use_plans << " workers=" << workers;
+        EXPECT_EQ(bytes, reference)
+            << "runner=" << RunnerName(runner) << " workers=" << workers;
       }
     }
   }
@@ -134,10 +182,10 @@ TEST(PlanDifferentialTest, StageBytesIdenticalAcrossWorkersAndRunners) {
 // plan. Bytes must still be identical everywhere.
 TEST(PlanDifferentialTest, ReduceByKeyBytesIdenticalAcrossWorkersAndRunners) {
   std::vector<uint8_t> reference;
-  for (bool use_plans : {false, true}) {
+  for (Runner runner : kRunners) {
     for (int workers : kWorkerCounts) {
       EngineConfig config = SparkWith(workers);
-      config.execution.use_plan_compiler = use_plans;
+      ApplyRunner(config.execution, runner);
       SparkJob job(config);
       DatasetPtr out = job.engine.ReduceByKey(job.MakeInput(1000), job.udfs, {},
                                               KeySpec{job.get_key, false}, job.sum_values);
@@ -146,7 +194,8 @@ TEST(PlanDifferentialTest, ReduceByKeyBytesIdenticalAcrossWorkersAndRunners) {
       if (reference.empty()) {
         reference = bytes;
       } else {
-        EXPECT_EQ(bytes, reference) << "plans=" << use_plans << " workers=" << workers;
+        EXPECT_EQ(bytes, reference)
+            << "runner=" << RunnerName(runner) << " workers=" << workers;
       }
       EXPECT_EQ(job.engine.stats().aborts, 0);
     }
@@ -156,7 +205,8 @@ TEST(PlanDifferentialTest, ReduceByKeyBytesIdenticalAcrossWorkersAndRunners) {
 // Forced aborts (fault plan, mid-record): the compiled fast path must
 // abandon the task at the same point, discard its buffered emits, and the
 // slow-path re-execution must reproduce the clean bytes — at every worker
-// count, with and without plans.
+// count, for every runner (the vec runner's small odd batch means the abort
+// lands while batch strip state is live).
 TEST(PlanDifferentialTest, ForcedAbortsMatchAcrossRunners) {
   std::vector<uint8_t> clean;
   {
@@ -165,10 +215,10 @@ TEST(PlanDifferentialTest, ForcedAbortsMatchAcrossRunners) {
                                          {NarrowOp::Map(job.double_value, job.pair)});
     clean = DatasetBytes(out);
   }
-  for (bool use_plans : {false, true}) {
+  for (Runner runner : kRunners) {
     for (int workers : kWorkerCounts) {
       EngineConfig config = SparkWith(workers);
-      config.execution.use_plan_compiler = use_plans;
+      ApplyRunner(config.execution, runner);
       SparkJob job(config);
       DatasetPtr in = job.MakeInput(600);
       // One abort late in a task, one mid-record (record 7 of task 2).
@@ -176,9 +226,9 @@ TEST(PlanDifferentialTest, ForcedAbortsMatchAcrossRunners) {
       job.engine.fault_plan().AbortTask(job.engine.next_task_ordinal() + 2, 7);
       DatasetPtr out = job.engine.RunStage(in, job.udfs,
                                            {NarrowOp::Map(job.double_value, job.pair)});
-      EXPECT_EQ(job.engine.stats().aborts, 2) << "plans=" << use_plans;
+      EXPECT_EQ(job.engine.stats().aborts, 2) << "runner=" << RunnerName(runner);
       EXPECT_EQ(DatasetBytes(out), clean)
-          << "plans=" << use_plans << " workers=" << workers;
+          << "runner=" << RunnerName(runner) << " workers=" << workers;
     }
   }
 }
@@ -189,26 +239,30 @@ TEST(PlanDifferentialTest, ForcedAbortsMatchAcrossRunners) {
 // must still produce the correct grouping.
 TEST(PlanDifferentialTest, RealAbortsMatchAcrossRunners) {
   std::vector<SyntheticPost> posts = MakePosts(700, 110, 5, 29);
-  double checksums[2];
-  int aborts[2];
-  for (bool use_plans : {false, true}) {
-    SparkEngine engine(PlanSpark(use_plans));
+  double checksums[3];
+  int aborts[3];
+  int idx = 0;
+  for (Runner runner : kRunners) {
+    SparkEngine engine(PlanSpark(runner));
     SparkWorkloads workloads(engine);
     WorkloadResult result = workloads.RunAccountGrouping(posts, 4);
-    checksums[use_plans ? 1 : 0] = result.checksum;
-    aborts[use_plans ? 1 : 0] = engine.stats().aborts;
+    checksums[idx] = result.checksum;
+    aborts[idx] = engine.stats().aborts;
+    ++idx;
   }
-  EXPECT_EQ(checksums[0], checksums[1]);
   EXPECT_EQ(checksums[0], 700.0);  // every post grouped exactly once
-  EXPECT_EQ(aborts[0], aborts[1]);
   EXPECT_GT(aborts[0], 0);
+  for (int i = 1; i < 3; ++i) {
+    EXPECT_EQ(checksums[i], checksums[0]) << RunnerName(kRunners[i]);
+    EXPECT_EQ(aborts[i], aborts[0]) << RunnerName(kRunners[i]);
+  }
 }
 
 // Satellite 1's observable: string-keyed shuffles reuse the per-task
 // scratch key buffer instead of allocating per record.
 TEST(PlanDifferentialTest, StringShufflesReuseScratchKeys) {
   std::vector<std::string> lines = MakeTextLines(100, 6, 60, 23);
-  SparkEngine engine(PlanSpark(true));
+  SparkEngine engine(PlanSpark(Runner::kVecPlan));
   SparkWorkloads workloads(engine);
   WorkloadResult result = workloads.RunWordCount(lines);
   EXPECT_EQ(result.checksum, 100.0 * 6);
@@ -244,12 +298,12 @@ TEST(ExprFoldTest, FoldedConstantsAgreeWithEvalOnAllWorkloadSchemas) {
     }
   };
   {
-    SparkEngine engine(PlanSpark(true));
+    SparkEngine engine(PlanSpark(Runner::kVecPlan));
     SparkWorkloads workloads(engine);
     check_pool(engine.layouts());
   }
   {
-    HadoopEngine engine(PlanHadoop(true));
+    HadoopEngine engine(PlanHadoop(Runner::kVecPlan));
     HadoopWorkloads workloads(engine);
     check_pool(engine.layouts());
   }

@@ -1,0 +1,438 @@
+// Differential proof for the vectorized plan kernels (ctest -L vec): every
+// kVec* opcode path must be observationally identical to the scalar plan
+// path and to the tree-walking Interpreter — exact results (bit-exact for
+// floats) for every batch size, every tail shape, mid-loop bails, rejected
+// row-layout loops, and aborts that land while a vectorized plan is active.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/analysis/layout.h"
+#include "src/analysis/ser_analyzer.h"
+#include "src/exec/plan.h"
+#include "src/exec/ser_executor.h"
+#include "src/ir/builder.h"
+#include "src/runtime/roots.h"
+#include "src/serde/inline_serializer.h"
+#include "src/support/rng.h"
+#include "src/transform/transformer.h"
+
+namespace gerenuk {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Layer 1: direct CallFunction differentials over builder-authored loops.
+// ---------------------------------------------------------------------------
+
+struct VecHarness {
+  Heap heap{HeapConfig{32u << 20, GcKind::kGenerational, 0.55, 0.35, 2}};
+  WellKnown wk{heap};
+  ExprPool pool;
+  DataStructAnalyzer layouts{pool};
+  SerProgram prog;
+
+  std::shared_ptr<const SerPlan> Compile(bool vectorize, int32_t batch = 256,
+                                         int64_t bail_after = -1) {
+    pool.FoldConstants();
+    PlanOptions options;
+    options.vectorize = vectorize;
+    options.vector_batch_size = batch;
+    options.vec_bail_after_strips = bail_after;
+    return CompilePlan(prog, layouts, options);
+  }
+};
+
+// The batch sizes the sweeps run: 1 (every strip is a tail), small odd
+// (non-power-of-two strips), the default, and larger-than-any-trip.
+constexpr int32_t kBatchSizes[] = {1, 3, 7, 64, 256};
+// Trip counts around the strip boundaries, including empty and odd tails.
+constexpr int64_t kTrips[] = {0, 1, 5, 63, 64, 65, 255, 256, 257, 1000};
+
+// acc = 1; m = 1<<40; for i: t = i*3; u = t^7; acc += u; m = min(m, u).
+// Exercises kVecBinOp (int arith + bitwise), two kVecScan reductions
+// (kAdd and kMin), invariant-slot operands, and the induction column.
+Function* BuildIntLoop(SerProgram& prog) {
+  Function* f = prog.AddFunction("int_loop");
+  FunctionBuilder b(f);
+  int n = b.Param("n", IrType::I64());
+  f->return_type = IrType::I64();
+  int acc = b.Local("acc", IrType::I64());
+  int m = b.Local("m", IrType::I64());
+  b.AssignTo(acc, b.ConstI(1));
+  b.AssignTo(m, b.ConstI(1ll << 40));
+  int three = b.ConstI(3);
+  int seven = b.ConstI(7);
+  b.For(n, [&](int i) {
+    int t = b.BinOp(BinOpKind::kMul, i, three);
+    int u = b.BinOp(BinOpKind::kXor, t, seven);
+    b.AssignTo(acc, b.BinOp(BinOpKind::kAdd, acc, u));
+    b.AssignTo(m, b.BinOp(BinOpKind::kMin, m, u));
+  });
+  b.Return(b.BinOp(BinOpKind::kAdd, acc, m));
+  b.Done();
+  return f;
+}
+
+TEST(VecKernelTest, IntLoopMatchesScalarAndInterpreter) {
+  VecHarness h;
+  Function* f = BuildIntLoop(h.prog);
+  std::shared_ptr<const SerPlan> scalar = h.Compile(false);
+  EXPECT_EQ(scalar->vec_loops(), 0);
+  EXPECT_STREQ(scalar->layout(), "row");
+  Interpreter interp(h.prog, h.heap, h.wk, &h.layouts, nullptr);
+  PlanExecutor scalar_exec(*scalar, h.heap, h.wk, &h.layouts, nullptr);
+  for (int32_t batch : kBatchSizes) {
+    std::shared_ptr<const SerPlan> vec = h.Compile(true, batch);
+    ASSERT_EQ(vec->vec_loops(), 1) << "batch " << batch;
+    EXPECT_STREQ(vec->layout(), "columnar");
+    EXPECT_GT(vec->ops_vectorized(), 0);
+    PlanExecutor vec_exec(*vec, h.heap, h.wk, &h.layouts, nullptr);
+    for (int64_t n : kTrips) {
+      std::vector<Value> args = {Value::I64(n)};
+      int64_t want = interp.CallFunction(f, args).i;
+      EXPECT_EQ(scalar_exec.CallFunction(f, args).i, want) << "n=" << n;
+      EXPECT_EQ(vec_exec.CallFunction(f, args).i, want)
+          << "n=" << n << " batch=" << batch;
+    }
+  }
+}
+
+// facc = 0.0; fm = 1e300; for i: x = i * 0.5; y = x + 0.25; facc += y;
+// fm = min(fm, y). Exercises the float kernel lanes (int induction column
+// promoted through a float invariant), float scans, and bit-exact carries.
+Function* BuildFloatLoop(SerProgram& prog) {
+  Function* f = prog.AddFunction("float_loop");
+  FunctionBuilder b(f);
+  int n = b.Param("n", IrType::I64());
+  f->return_type = IrType::F64();
+  int facc = b.Local("facc", IrType::F64());
+  int fm = b.Local("fm", IrType::F64());
+  b.AssignTo(facc, b.ConstF(0.0));
+  b.AssignTo(fm, b.ConstF(1e300));
+  int half = b.ConstF(0.5);
+  int quarter = b.ConstF(0.25);
+  b.For(n, [&](int i) {
+    int x = b.BinOp(BinOpKind::kMul, i, half);
+    int y = b.BinOp(BinOpKind::kAdd, x, quarter);
+    b.AssignTo(facc, b.BinOp(BinOpKind::kAdd, facc, y));
+    b.AssignTo(fm, b.BinOp(BinOpKind::kMin, fm, y));
+  });
+  b.Return(b.BinOp(BinOpKind::kAdd, facc, fm));
+  b.Done();
+  return f;
+}
+
+TEST(VecKernelTest, FloatLoopMatchesBitExact) {
+  VecHarness h;
+  Function* f = BuildFloatLoop(h.prog);
+  std::shared_ptr<const SerPlan> scalar = h.Compile(false);
+  Interpreter interp(h.prog, h.heap, h.wk, &h.layouts, nullptr);
+  PlanExecutor scalar_exec(*scalar, h.heap, h.wk, &h.layouts, nullptr);
+  for (int32_t batch : kBatchSizes) {
+    std::shared_ptr<const SerPlan> vec = h.Compile(true, batch);
+    ASSERT_EQ(vec->vec_loops(), 1) << "batch " << batch;
+    PlanExecutor vec_exec(*vec, h.heap, h.wk, &h.layouts, nullptr);
+    for (int64_t n : kTrips) {
+      std::vector<Value> args = {Value::I64(n)};
+      double want = interp.CallFunction(f, args).d;
+      // Bit-exact, not approximately equal: scan order must be serial.
+      EXPECT_EQ(scalar_exec.CallFunction(f, args).d, want) << "n=" << n;
+      EXPECT_EQ(vec_exec.CallFunction(f, args).d, want)
+          << "n=" << n << " batch=" << batch;
+    }
+  }
+}
+
+// for i: if (i % 3 != 0) continue-skip; acc += i*i — a continue-style
+// branch, which the vectorizer lowers to kVecFilter + a compacted selection
+// vector feeding the downstream binop and scan.
+Function* BuildFilteredLoop(SerProgram& prog) {
+  Function* f = prog.AddFunction("filtered_loop");
+  FunctionBuilder b(f);
+  int n = b.Param("n", IrType::I64());
+  f->return_type = IrType::I64();
+  int acc = b.Local("acc", IrType::I64());
+  b.AssignTo(acc, b.ConstI(0));
+  int three = b.ConstI(3);
+  int zero = b.ConstI(0);
+  b.For(n, [&](int i) {
+    int rem = b.BinOp(BinOpKind::kRem, i, three);
+    int keep = b.BinOp(BinOpKind::kEq, rem, zero);
+    b.If(keep, [&] {
+      int sq = b.BinOp(BinOpKind::kMul, i, i);
+      b.AssignTo(acc, b.BinOp(BinOpKind::kAdd, acc, sq));
+    });
+  });
+  b.Return(acc);
+  b.Done();
+  return f;
+}
+
+TEST(VecKernelTest, FilteredLoopMatchesWithSelectionVectors) {
+  VecHarness h;
+  Function* f = BuildFilteredLoop(h.prog);
+  std::shared_ptr<const SerPlan> scalar = h.Compile(false);
+  Interpreter interp(h.prog, h.heap, h.wk, &h.layouts, nullptr);
+  PlanExecutor scalar_exec(*scalar, h.heap, h.wk, &h.layouts, nullptr);
+  for (int32_t batch : kBatchSizes) {
+    std::shared_ptr<const SerPlan> vec = h.Compile(true, batch);
+    ASSERT_EQ(vec->vec_loops(), 1) << "batch " << batch;
+    EXPECT_GT(vec->op_counts()[static_cast<size_t>(PlanOpCode::kVecFilter)], 0);
+    PlanExecutor vec_exec(*vec, h.heap, h.wk, &h.layouts, nullptr);
+    for (int64_t n : kTrips) {
+      std::vector<Value> args = {Value::I64(n)};
+      int64_t want = interp.CallFunction(f, args).i;
+      EXPECT_EQ(scalar_exec.CallFunction(f, args).i, want) << "n=" << n;
+      EXPECT_EQ(vec_exec.CallFunction(f, args).i, want)
+          << "n=" << n << " batch=" << batch;
+    }
+  }
+}
+
+// The mid-loop handoff seam: vec_bail_after_strips hands the loop to the
+// scalar path after N strips, from exactly the committed induction state.
+// 0 = the vec block runs no strip at all; every setting must agree.
+TEST(VecKernelTest, BailKnobHandsOffMidLoopToScalar) {
+  VecHarness h;
+  Function* f = BuildIntLoop(h.prog);
+  std::shared_ptr<const SerPlan> scalar = h.Compile(false);
+  PlanExecutor scalar_exec(*scalar, h.heap, h.wk, &h.layouts, nullptr);
+  for (int64_t bail_after : {0ll, 1ll, 2ll, 7ll}) {
+    std::shared_ptr<const SerPlan> vec = h.Compile(true, /*batch=*/16, bail_after);
+    ASSERT_EQ(vec->vec_loops(), 1);
+    PlanExecutor vec_exec(*vec, h.heap, h.wk, &h.layouts, nullptr);
+    for (int64_t n : {0ll, 15ll, 16ll, 100ll, 1000ll}) {
+      std::vector<Value> args = {Value::I64(n)};
+      EXPECT_EQ(vec_exec.CallFunction(f, args).i, scalar_exec.CallFunction(f, args).i)
+          << "bail_after=" << bail_after << " n=" << n;
+    }
+  }
+}
+
+// A pointer-chasing body (heap FieldLoad per iteration) must stay in the
+// layout cost model's row bucket: the loop is rejected with a named reason,
+// no vec ops are emitted, and results still match the interpreter.
+TEST(VecKernelTest, RowOpLoopIsRejectedAndStaysScalar) {
+  VecHarness h;
+  const Klass* pair = h.heap.klasses().DefineClass(
+      "Pair", {
+                  {"key", FieldKind::kI64, nullptr, 0},
+                  {"value", FieldKind::kF64, nullptr, 0},
+              });
+  Function* f = h.prog.AddFunction("row_loop");
+  {
+    FunctionBuilder b(f);
+    int rec = b.Param("rec", IrType::Ref(pair));
+    int n = b.Param("n", IrType::I64());
+    f->return_type = IrType::I64();
+    int acc = b.Local("acc", IrType::I64());
+    b.AssignTo(acc, b.ConstI(0));
+    b.For(n, [&](int i) {
+      int k = b.FieldLoad(rec, pair, "key");
+      b.AssignTo(acc, b.BinOp(BinOpKind::kAdd, acc, b.BinOp(BinOpKind::kMul, i, k)));
+    });
+    b.Return(acc);
+    b.Done();
+  }
+  std::shared_ptr<const SerPlan> vec = h.Compile(true);
+  EXPECT_EQ(vec->vec_loops(), 0);
+  EXPECT_EQ(vec->vec_loops_rejected(), 1);
+  EXPECT_STREQ(vec->layout(), "row");
+  ASSERT_FALSE(vec->vec_reject_reasons().empty());
+  EXPECT_EQ(vec->vec_reject_reasons()[0].substr(0, 7), "row-op:");
+
+  Interpreter interp(h.prog, h.heap, h.wk, &h.layouts, nullptr);
+  PlanExecutor vec_exec(*vec, h.heap, h.wk, &h.layouts, nullptr);
+  RootScope scope(h.heap);
+  size_t rec = scope.Push(h.heap.AllocObject(pair));
+  h.heap.SetPrim<int64_t>(scope.Get(rec), pair->FindField("key")->offset, 5);
+  std::vector<Value> args = {Value::Ref(static_cast<int64_t>(scope.Get(rec))),
+                             Value::I64(37)};
+  EXPECT_EQ(vec_exec.CallFunction(f, args).i, interp.CallFunction(f, args).i);
+}
+
+// ---------------------------------------------------------------------------
+// Layer 2: the transformed-SER path — gathers from committed input arrays,
+// scatters into builder arrays, and abort handling under a vectorized plan.
+// ---------------------------------------------------------------------------
+
+// exec_test's LabeledPoint pipeline, narrowed to what the vec kernels need:
+// scale's array loop gathers from the committed input (kVecReadCol), computes
+// per-lane, and scatters into the output builder array (kVecWriteCol).
+struct VecPipeline {
+  Heap heap{HeapConfig{32u << 20, GcKind::kGenerational, 0.55, 0.35, 2}};
+  WellKnown wk{heap};
+  const Klass* double_array;
+  const Klass* dense_vector;
+  const Klass* labeled_point;
+  ExprPool pool;
+  DataStructAnalyzer layouts{pool};
+  SerProgram program;
+  std::unique_ptr<SerProgram> transformed;
+
+  VecPipeline() {
+    KlassRegistry& reg = heap.klasses();
+    double_array = reg.Find("f64[]");
+    dense_vector = reg.DefineClass("DenseVector", {
+                                                      {"numActives", FieldKind::kI32, nullptr, 0},
+                                                      {"values", FieldKind::kRef, double_array, 0},
+                                                  });
+    labeled_point =
+        reg.DefineClass("LabeledPoint", {
+                                            {"label", FieldKind::kF64, nullptr, 0},
+                                            {"features", FieldKind::kRef, dense_vector, 0},
+                                        });
+    std::string error;
+    GERENUK_CHECK(layouts.AnalyzeTopLevel(labeled_point, &error)) << error;
+
+    Function* udf = program.AddFunction("scale");
+    {
+      FunctionBuilder b(udf);
+      int lp = b.Param("lp", IrType::Ref(labeled_point));
+      udf->return_type = IrType::Ref(labeled_point);
+      int label = b.FieldLoad(lp, labeled_point, "label");
+      int vec = b.FieldLoad(lp, labeled_point, "features");
+      int values = b.FieldLoad(vec, dense_vector, "values");
+      int len = b.ArrayLength(values);
+      int new_values = b.NewArray(double_array, len);
+      int one = b.ConstF(1.0);
+      b.For(len, [&](int i) {
+        int v = b.ArrayLoad(values, i, IrType::F64());
+        int v1 = b.BinOp(BinOpKind::kAdd, v, one);
+        b.ArrayStore(new_values, i, v1);
+      });
+      int new_vec = b.NewObject(dense_vector);
+      int num = b.FieldLoad(vec, dense_vector, "numActives");
+      b.FieldStore(new_vec, dense_vector, "numActives", num);
+      b.FieldStore(new_vec, dense_vector, "values", new_values);
+      int new_lp = b.NewObject(labeled_point);
+      int two = b.ConstF(2.0);
+      b.FieldStore(new_lp, labeled_point, "label", b.BinOp(BinOpKind::kMul, label, two));
+      b.FieldStore(new_lp, labeled_point, "features", new_vec);
+      b.Return(new_lp);
+      b.Done();
+    }
+    Function* body = program.AddFunction("task_body");
+    {
+      FunctionBuilder b(body);
+      int rec = b.Deserialize(labeled_point);
+      int out = b.Call(udf, {rec});
+      b.Serialize(out);
+      b.Return();
+      b.Done();
+    }
+    program.body = body;
+    SerAnalyzer analyzer(program, layouts);
+    SerAnalysis analysis = analyzer.Run();
+    Transformer transformer(program, analysis, layouts);
+    TransformResult result = transformer.Run();
+    transformed = std::move(result.transformed);
+  }
+
+  std::shared_ptr<const SerPlan> Compile(bool vectorize, int32_t batch = 256) {
+    pool.FoldConstants();
+    PlanOptions options;
+    options.vectorize = vectorize;
+    options.vector_batch_size = batch;
+    return CompilePlan(*transformed, layouts, options);
+  }
+
+  // Deterministic input: `n` records with array lengths 1..50.
+  NativePartition MakeInput(int n, uint64_t seed) {
+    NativePartition input;
+    InlineSerializer serde(heap);
+    RootScope scope(heap);
+    Rng rng(seed);
+    for (int r = 0; r < n; ++r) {
+      size_t values_len = 1 + rng.NextBounded(50);
+      size_t arr = scope.Push(heap.AllocArray(double_array, values_len));
+      for (size_t i = 0; i < values_len; ++i) {
+        heap.ASet<double>(scope.Get(arr), static_cast<int64_t>(i), rng.NextDouble(-10, 10));
+      }
+      size_t vec = scope.Push(heap.AllocObject(dense_vector));
+      heap.SetPrim<int32_t>(scope.Get(vec), dense_vector->FindField("numActives")->offset,
+                            static_cast<int32_t>(values_len));
+      heap.SetRef(scope.Get(vec), dense_vector->FindField("values")->offset, scope.Get(arr));
+      size_t lp = scope.Push(heap.AllocObject(labeled_point));
+      heap.SetPrim<double>(scope.Get(lp), labeled_point->FindField("label")->offset,
+                           rng.NextDouble(-5, 5));
+      heap.SetRef(scope.Get(lp), labeled_point->FindField("features")->offset, scope.Get(vec));
+      ByteBuffer record;
+      serde.WriteRecord(scope.Get(lp), labeled_point, record);
+      input.AppendRecord(record.data() + 4, static_cast<uint32_t>(record.size() - 4));
+    }
+    return input;
+  }
+
+  // Runs the task with `plan` (null = interpreter fast path) and returns the
+  // output partition's bytes.
+  std::vector<uint8_t> Run(const NativePartition& input, const SerPlan* plan,
+                           const FaultPlan* faults = nullptr, int* aborts = nullptr) {
+    SerExecutor exec(heap, wk, layouts, program, *transformed);
+    NativePartition output;
+    InlineSerializer serde(heap);
+    PhaseTimes times;
+    TaskIo io;
+    io.input = &input;
+    io.plan = plan;
+    io.faults = faults;
+    io.task_ordinal = faults != nullptr ? 0 : -1;
+    io.emit_native = [&output](int64_t addr, const Klass* klass, SerRunner&,
+                               BuilderStore& builders) {
+      builders.Render(addr, klass, output);
+    };
+    io.emit_heap = [this, &output, &serde](ObjRef ref, const Klass* klass, SerRunner&) {
+      ByteBuffer body;
+      serde.WriteRecord(ref, klass, body);
+      output.AppendRecord(body.data() + 4, static_cast<uint32_t>(body.size() - 4));
+    };
+    io.on_abort = [&output] { output.Release(); };
+    SpecOutcome outcome = exec.RunTaskIo(io, times);
+    if (aborts != nullptr) {
+      *aborts = outcome.aborts;
+    }
+    ByteBuffer wire;
+    output.SerializeTo(wire);
+    return wire.bytes();
+  }
+};
+
+TEST(VecStageTest, ArrayLoopGatherScatterMatchesAllRunners) {
+  VecPipeline p;
+  std::shared_ptr<const SerPlan> scalar = p.Compile(false);
+  EXPECT_EQ(scalar->vec_loops(), 0);
+  NativePartition input = p.MakeInput(64, /*seed=*/17);
+  std::vector<uint8_t> reference = p.Run(input, nullptr);  // interpreter
+  ASSERT_FALSE(reference.empty());
+  EXPECT_EQ(p.Run(input, scalar.get()), reference);
+  for (int32_t batch : {1, 4, 7, 256}) {
+    std::shared_ptr<const SerPlan> vec = p.Compile(true, batch);
+    ASSERT_GE(vec->vec_loops(), 1) << "batch " << batch;
+    EXPECT_GT(vec->op_counts()[static_cast<size_t>(PlanOpCode::kVecReadCol)], 0);
+    EXPECT_GT(vec->op_counts()[static_cast<size_t>(PlanOpCode::kVecWriteCol)], 0);
+    EXPECT_STREQ(vec->layout(), "columnar");
+    EXPECT_EQ(p.Run(input, vec.get()), reference) << "batch " << batch;
+  }
+}
+
+// A forced abort mid-partition while the vectorized plan is running: the
+// fast path must discard its output (including any in-flight strip state)
+// and the slow-path re-execution must reproduce the clean bytes.
+TEST(VecStageTest, MidPartitionAbortUnderVecPlanReproducesCleanBytes) {
+  VecPipeline p;
+  NativePartition input = p.MakeInput(32, /*seed=*/23);
+  std::vector<uint8_t> clean = p.Run(input, nullptr);
+  for (int32_t batch : {4, 256}) {
+    std::shared_ptr<const SerPlan> vec = p.Compile(true, batch);
+    ASSERT_GE(vec->vec_loops(), 1);
+    FaultPlan faults;
+    faults.AbortTask(0, /*record=*/7);  // mid-partition, mid-batch state live
+    int aborts = 0;
+    EXPECT_EQ(p.Run(input, vec.get(), &faults, &aborts), clean) << "batch " << batch;
+    EXPECT_GT(aborts, 0);
+  }
+}
+
+}  // namespace
+}  // namespace gerenuk
